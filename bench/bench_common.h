@@ -1,0 +1,43 @@
+#pragma once
+// bench_common.h — Shared helpers for the experiment benches.
+//
+// Every bench binary regenerates one element of the paper's evaluation
+// (a row of Table 1/2, Figure 1, or Equation 4): it prints the row in the
+// paper's template columns, the measured quality-measure comparison
+// (baseline vs predictable variant), and then runs a google-benchmark
+// timing of the underlying simulator so the harness doubles as a
+// performance regression check.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/report.h"
+#include "core/template.h"
+
+namespace pred::bench {
+
+inline void printHeader(const std::string& experimentId,
+                        const std::string& title) {
+  std::printf("\n==== %s — %s ====\n", experimentId.c_str(), title.c_str());
+}
+
+inline void printInstance(const core::PredictabilityInstance& inst) {
+  std::printf("Template row: %s\n", core::tableRow(inst).c_str());
+}
+
+inline void printKV(const std::string& key, const std::string& value) {
+  std::printf("  %-46s %s\n", (key + ":").c_str(), value.c_str());
+}
+
+/// Standard tail: run any registered google-benchmarks.
+inline int runBenchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace pred::bench

@@ -1,0 +1,70 @@
+// eq4_domino.cpp — Experiment E2: regenerates Equation 4 / Section 2.2.
+//
+// The PPC755-style domino effect: T_{p_n}(q1*) = 9n+1, T_{p_n}(q2*) = 12n,
+// so the state-induced predictability of the program family is bounded by
+// SIPr_{p_n} <= (9n+1)/12n -> 3/4, and the difference 3n-1 grows without
+// bound (the Lundqvist/Stenström domino criterion).
+
+#include "bench_common.h"
+#include "core/definitions.h"
+#include "core/domino.h"
+#include "core/report.h"
+#include "pipeline/domino_program.h"
+
+namespace {
+
+using namespace pred;
+using pipeline::Cycles;
+
+void runEquation4() {
+  bench::printHeader("Equation 4", "PPC755 domino effect (Schneider)");
+
+  core::PredictabilityInstance inst;
+  inst.approach = "Domino effect in an out-of-order pipeline";
+  inst.hardwareUnit = "Two asymmetric integer units, greedy dispatcher";
+  inst.property = core::Property::ExecutionTime;
+  inst.uncertainties = {core::Uncertainty::InitialPipelineState};
+  inst.measure = core::MeasureKind::Ratio;
+  inst.citation = "[22,14]";
+  bench::printInstance(inst);
+
+  core::TextTable t({"n", "T(q1*) [9n+1]", "T(q2*) [12n]", "diff",
+                     "SIPr bound (9n+1)/12n"});
+  core::DominoSeries series;
+  for (int n : {1, 2, 4, 8, 16, 32, 64, 128}) {
+    const Cycles t1 = pipeline::dominoTime(n, pipeline::dominoStateQ1());
+    const Cycles t2 = pipeline::dominoTime(n, pipeline::dominoStateQ2());
+    t.addRow({std::to_string(n), std::to_string(t1), std::to_string(t2),
+              std::to_string(t2 - t1),
+              core::fmt(static_cast<double>(t1) / static_cast<double>(t2), 5)});
+    series.n.push_back(static_cast<std::uint64_t>(n));
+    series.timeFromQ1.push_back(t1);
+    series.timeFromQ2.push_back(t2);
+  }
+  std::printf("%s", t.render().c_str());
+
+  const auto verdict = core::detectDomino(series);
+  bench::printKV("domino detector", verdict.summary());
+  bench::printKV("limit of SIPr bound", "3/4 = 0.75");
+  std::printf(
+      "\nnote: q2* is the EMPTY pipeline — as in the paper, the empty state\n"
+      "is the slower one; a partially filled pipeline (q1*: IU1 busy for 2\n"
+      "more cycles) forces the greedy dual dispatcher into the faster\n"
+      "pairing, and the states never converge.\n");
+}
+
+void BM_DominoSimulation(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pipeline::dominoTime(n, pipeline::dominoStateQ2()));
+  }
+}
+BENCHMARK(BM_DominoSimulation)->Arg(16)->Arg(128);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runEquation4();
+  return pred::bench::runBenchmarks(argc, argv);
+}

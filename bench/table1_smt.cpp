@@ -1,0 +1,97 @@
+// table1_smt.cpp — Experiment E5: Table 1, row 3.
+//
+// Time-predictable simultaneous multithreading (Barre et al. [2]; Mische et
+// al. [16]).  Property: execution time of tasks in the real-time thread.
+// Uncertainty: execution context (the other threads).  Quality measure:
+// variability in execution times — zero under the RT-priority policy.
+
+#include "bench_common.h"
+#include "core/measures.h"
+#include "core/report.h"
+#include "isa/ast.h"
+#include "isa/exec.h"
+#include "isa/workloads.h"
+#include "pipeline/smt.h"
+
+namespace {
+
+using namespace pred;
+using pipeline::Cycles;
+
+void runRow() {
+  bench::printHeader("Table 1, row 3", "time-predictable SMT");
+
+  core::PredictabilityInstance inst;
+  inst.approach = "Time-predictable simultaneous multithreading";
+  inst.hardwareUnit = "SMT processor";
+  inst.property = core::Property::ExecutionTime;
+  inst.uncertainties = {core::Uncertainty::ExecutionContext};
+  inst.measure = core::MeasureKind::Range;
+  inst.citation = "[2,16]";
+  bench::printInstance(inst);
+
+  const auto rtProg = isa::ast::compileBranchy(isa::workloads::sumLoop(24));
+  const auto bg1 = isa::ast::compileBranchy(isa::workloads::matMul(4));
+  const auto bg2 = isa::ast::compileBranchy(isa::workloads::bubbleSort(8));
+  const auto bg3 = isa::ast::compileBranchy(isa::workloads::divKernel(12));
+  const auto tRt = isa::FunctionalCore::run(rtProg, isa::Input{}).trace;
+  const auto t1 = isa::FunctionalCore::run(bg1, isa::Input{}).trace;
+  const auto t2 = isa::FunctionalCore::run(bg2, isa::Input{}).trace;
+  const auto t3 = isa::FunctionalCore::run(bg3, isa::Input{}).trace;
+
+  const std::vector<std::pair<std::string,
+                              std::vector<const isa::Trace*>>> contexts = {
+      {"RT alone", {&tRt}},
+      {"RT + matMul", {&tRt, &t1}},
+      {"RT + 2 threads", {&tRt, &t1, &t2}},
+      {"RT + 3 threads", {&tRt, &t1, &t2, &t3}},
+  };
+
+  core::TextTable t({"execution context", "RT time (rt-priority)",
+                     "RT time (round-robin)"});
+  std::vector<Cycles> prio, rr;
+  for (const auto& [name, threads] : contexts) {
+    pipeline::SmtConfig cp;
+    cp.policy = pipeline::SmtPolicy::RtPriority;
+    pipeline::SmtConfig cr;
+    cr.policy = pipeline::SmtPolicy::RoundRobin;
+    const auto dp = pipeline::SmtPipeline(cp).run(threads);
+    const auto dr = pipeline::SmtPipeline(cr).run(threads);
+    prio.push_back(dp[0]);
+    rr.push_back(dr[0]);
+    t.addRow({name, std::to_string(dp[0]), std::to_string(dr[0])});
+  }
+  std::printf("%s", t.render().c_str());
+
+  const auto sp = core::computeStats(prio);
+  const auto sr = core::computeStats(rr);
+  bench::printKV("RT-thread variability (rt-priority)",
+                 core::fmt(sp.range(), 0) + " cycles");
+  bench::printKV("RT-thread variability (round-robin)",
+                 core::fmt(sr.range(), 0) + " cycles");
+  std::printf(
+      "shape reproduced: with the real-time thread prioritized, its\n"
+      "execution time is context-independent (zero interference); under\n"
+      "fair round-robin it degrades as co-runner threads are added.\n");
+}
+
+void BM_SmtRun(benchmark::State& state) {
+  const auto rtProg = isa::ast::compileBranchy(isa::workloads::sumLoop(24));
+  const auto bg = isa::ast::compileBranchy(isa::workloads::matMul(4));
+  const auto tRt = isa::FunctionalCore::run(rtProg, isa::Input{}).trace;
+  const auto tBg = isa::FunctionalCore::run(bg, isa::Input{}).trace;
+  pipeline::SmtConfig cfg;
+  cfg.policy = pipeline::SmtPolicy::RtPriority;
+  pipeline::SmtPipeline smt(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(smt.run({&tRt, &tBg, &tBg, &tBg}));
+  }
+}
+BENCHMARK(BM_SmtRun);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  runRow();
+  return pred::bench::runBenchmarks(argc, argv);
+}

@@ -1,0 +1,46 @@
+// cache_metrics.cpp — Computes the inherent predictability metrics of
+// cache replacement policies (Reineke et al., discussed in the paper's
+// related-work section): evict(k) and fill(k), by exhaustive exploration of
+// the reachable set of possible cache-set states.
+//
+// Usage:   ./build/examples/cache_metrics [maxWays]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "cache/metrics.h"
+
+using namespace pred::cache;
+
+int main(int argc, char** argv) {
+  const int maxWays = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  std::printf("evict(k): pairwise-distinct accesses needed to GUARANTEE an\n"
+              "          unknown block is evicted (no analysis can prove a\n"
+              "          miss earlier)\n");
+  std::printf("fill(k):  accesses after which the cache-set state is\n"
+              "          PRECISELY known (from then on, any sound analysis\n"
+              "          can classify every access)\n\n");
+  std::printf("%-8s %4s %10s %10s %14s\n", "policy", "k", "evict", "fill",
+              "peak states");
+
+  for (const Policy p :
+       {Policy::LRU, Policy::FIFO, Policy::PLRU, Policy::MRU,
+        Policy::RANDOM}) {
+    for (int k = 2; k <= maxWays; k *= 2) {
+      if (p == Policy::RANDOM && k > 2) continue;  // provably infinite
+      try {
+        const auto r = computeMetrics(p, k);
+        std::printf("%-8s %4d %10s %10s %14zu\n", toString(p).c_str(), k,
+                    r.evictFinite ? std::to_string(r.evict).c_str() : "inf",
+                    r.fillFinite ? std::to_string(r.fill).c_str() : "inf",
+                    r.peakStates);
+      } catch (const std::exception& e) {
+        std::printf("%-8s %4d   (%s)\n", toString(p).c_str(), k, e.what());
+      }
+    }
+  }
+  std::printf("\nLRU dominates: its uncertainty vanishes fastest — the\n"
+              "inherent reason the paper's surveyed works recommend it.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// single_path_transform.cpp — Shows the single-path paradigm (Puschner &
+// Burns; Table 2, row 6) end to end: the same source AST compiled
+// conventionally and in single-path form, their disassemblies, and their
+// execution-time behavior over inputs.
+//
+// Usage:   ./build/examples/single_path_transform
+
+#include <cstdio>
+
+#include "analysis/exhaustive.h"
+#include "core/definitions.h"
+#include "isa/ast.h"
+#include "isa/singlepath.h"
+#include "isa/workloads.h"
+
+using namespace pred;
+using namespace pred::isa;
+
+namespace {
+
+void timingReport(const char* label, const Program& prog) {
+  auto inputs = workloads::randomArrayInputs(prog, "a", 8, 8, 3, 16);
+  for (auto& in : inputs) {
+    in = mergeInputs(in, varInput(prog, "key", 5));
+  }
+  pipeline::InOrderConfig cfg;
+  cfg.constantDiv = true;
+  const auto setup = analysis::exhaustiveInOrder(
+      prog, inputs, cache::CacheGeometry{4, 8, 2}, cache::Policy::LRU,
+      cache::CacheTiming{2, 2}, 1, 7, cfg);
+  const auto ii = core::inputInducedPredictability(setup.matrix);
+  std::printf("%-12s BCET=%llu WCET=%llu IIPr=%.4f (over %zu inputs)\n",
+              label, static_cast<unsigned long long>(setup.matrix.bcet()),
+              static_cast<unsigned long long>(setup.matrix.wcet()), ii.value,
+              setup.matrix.numInputs());
+}
+
+}  // namespace
+
+int main() {
+  const auto source = workloads::linearSearch(8);
+
+  const Program branchy = ast::compileBranchy(source);
+  const Program single = ast::compileSinglePath(source);
+
+  std::printf("=== conventional (branchy) compilation: %zu instructions ===\n",
+              branchy.size());
+  std::printf("%s\n", branchy.disassemble().c_str());
+  std::printf("=== single-path compilation: %zu instructions ===\n",
+              single.size());
+  std::printf("%s\n", single.disassemble().c_str());
+
+  std::printf("=== timing over random inputs (uniform-latency memory) ===\n");
+  timingReport("branchy", branchy);
+  timingReport("single-path", single);
+  std::printf(
+      "\nThe single-path version executes the same instruction sequence for\n"
+      "every input (IIPr = 1): input-dependent branches became predicated\n"
+      "CMOV merges, the input-dependent while-loop runs its full bound with\n"
+      "an accumulated loop predicate.\n");
+  return 0;
+}

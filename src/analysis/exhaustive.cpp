@@ -1,0 +1,91 @@
+#include "analysis/exhaustive.h"
+
+#include <algorithm>
+
+#include "isa/exec.h"
+#include "pipeline/memory_iface.h"
+
+namespace pred::analysis {
+
+core::TimingMatrix timingMatrixInOrder(
+    const isa::Program& program, const std::vector<isa::Input>& inputs,
+    const std::vector<InOrderHwState>& states,
+    const pipeline::InOrderConfig& config) {
+  // Architectural traces depend on the input only.
+  std::vector<isa::Trace> traces;
+  traces.reserve(inputs.size());
+  for (const auto& in : inputs) {
+    auto run = isa::FunctionalCore::run(program, in);
+    if (!run.completed) {
+      throw std::runtime_error("program did not halt for input " + in.name);
+    }
+    traces.push_back(std::move(run.trace));
+  }
+
+  core::TimingMatrix m(states.size(), inputs.size());
+  for (std::size_t q = 0; q < states.size(); ++q) {
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      pipeline::CachedMemory mem(states[q].cache);  // fresh copy of state q
+      std::unique_ptr<branch::Predictor> pred =
+          states[q].predictor ? states[q].predictor->clone() : nullptr;
+      std::unique_ptr<pipeline::CachedMemory> imem;
+      if (states[q].icache) {
+        imem = std::make_unique<pipeline::CachedMemory>(*states[q].icache);
+      }
+      pipeline::InOrderPipeline pipe(config, &mem, pred.get(), imem.get());
+      m.at(q, i) = pipe.run(traces[i]);
+    }
+  }
+  return m;
+}
+
+ExhaustiveSetup exhaustiveInOrder(const isa::Program& program,
+                                  const std::vector<isa::Input>& inputs,
+                                  const cache::CacheGeometry& geom,
+                                  cache::Policy policy,
+                                  const cache::CacheTiming& timing,
+                                  int numStates, std::uint64_t seed,
+                                  const pipeline::InOrderConfig& config,
+                                  std::int64_t warmAddrSpace) {
+  if (warmAddrSpace <= 0) {
+    warmAddrSpace =
+        std::min(program.layout.memWords, 8 * geom.capacityWords());
+  }
+  auto caches = cache::enumerateInitialStates(geom, policy, timing, numStates,
+                                              seed, warmAddrSpace);
+  std::vector<InOrderHwState> states;
+  states.reserve(caches.size());
+  for (auto& c : caches) states.emplace_back(std::move(c));
+  auto matrix = timingMatrixInOrder(program, inputs, states, config);
+  return ExhaustiveSetup{std::move(states), std::move(matrix)};
+}
+
+ExhaustiveSetup exhaustiveInOrderWithICache(
+    const isa::Program& program, const std::vector<isa::Input>& inputs,
+    const cache::CacheGeometry& dataGeom, const cache::CacheGeometry& instrGeom,
+    cache::Policy policy, const cache::CacheTiming& dataTiming,
+    const cache::CacheTiming& instrTiming, int numStates, std::uint64_t seed,
+    const pipeline::InOrderConfig& config) {
+  const std::int64_t dataWarm =
+      std::min(program.layout.memWords, 8 * dataGeom.capacityWords());
+  // Instruction-address space: the program's own pc range (plus slack so
+  // warmed states contain foreign lines too).
+  const std::int64_t instrWarm =
+      std::max<std::int64_t>(static_cast<std::int64_t>(program.size()),
+                             2 * instrGeom.capacityWords());
+  auto dCaches = cache::enumerateInitialStates(dataGeom, policy, dataTiming,
+                                               numStates, seed, dataWarm);
+  auto iCaches = cache::enumerateInitialStates(instrGeom, policy, instrTiming,
+                                               numStates, seed * 31 + 7,
+                                               instrWarm);
+  std::vector<InOrderHwState> states;
+  states.reserve(dCaches.size());
+  for (std::size_t k = 0; k < dCaches.size(); ++k) {
+    states.emplace_back(std::move(dCaches[k]), nullptr,
+                        std::move(iCaches[k]));
+  }
+  auto matrix = timingMatrixInOrder(program, inputs, states, config);
+  return ExhaustiveSetup{std::move(states), std::move(matrix)};
+}
+
+}  // namespace pred::analysis

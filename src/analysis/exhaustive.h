@@ -1,0 +1,74 @@
+#pragma once
+// exhaustive.h — Exhaustive evaluation of T_p(q, i) (Definition 2) over
+// finite uncertainty sets.
+//
+// This is the "optimal analysis" of Proposition 1 made literal: for finite
+// Q and I we simply execute the system on every pair, obtaining the exact
+// BCET/WCET and the full timing matrix that the evaluators of Definitions
+// 3-5 (src/core/definitions.h) consume.  Benches use it as ground truth
+// against which sampled estimates and static bounds are compared.
+
+#include <optional>
+#include <vector>
+
+#include "branch/predictor.h"
+#include "core/definitions.h"
+#include "isa/machine.h"
+#include "isa/program.h"
+#include "pipeline/inorder.h"
+
+namespace pred::analysis {
+
+/// Hardware-state axis for the in-order system: a cache snapshot plus an
+/// optional predictor snapshot.
+struct InOrderHwState {
+  cache::SetAssocCache cache;                    ///< data cache
+  std::unique_ptr<branch::Predictor> predictor;  ///< may be null
+  std::optional<cache::SetAssocCache> icache;    ///< optional I-cache
+
+  InOrderHwState(cache::SetAssocCache c,
+                 std::unique_ptr<branch::Predictor> p = nullptr,
+                 std::optional<cache::SetAssocCache> ic = std::nullopt)
+      : cache(std::move(c)), predictor(std::move(p)), icache(std::move(ic)) {}
+};
+
+/// Computes the full |Q| x |I| timing matrix of `program` on the in-order
+/// pipeline: Q = `states`, I = `inputs`.  Functional traces are computed
+/// once per input (the architectural path does not depend on q) and each
+/// run replays a fresh copy of the state.
+core::TimingMatrix timingMatrixInOrder(
+    const isa::Program& program, const std::vector<isa::Input>& inputs,
+    const std::vector<InOrderHwState>& states,
+    const pipeline::InOrderConfig& config);
+
+/// Convenience: Q from enumerateInitialStates (count states, seeded), I
+/// given; returns the matrix plus the state list used.
+struct ExhaustiveSetup {
+  std::vector<InOrderHwState> states;
+  core::TimingMatrix matrix;
+};
+
+/// `warmAddrSpace` is the address range the warm-up streams draw from; 0
+/// selects a default that overlaps the program's data (8x the cache
+/// capacity) so distinct initial states actually differ on the lines the
+/// program touches.
+ExhaustiveSetup exhaustiveInOrder(const isa::Program& program,
+                                  const std::vector<isa::Input>& inputs,
+                                  const cache::CacheGeometry& geom,
+                                  cache::Policy policy,
+                                  const cache::CacheTiming& timing,
+                                  int numStates, std::uint64_t seed,
+                                  const pipeline::InOrderConfig& config,
+                                  std::int64_t warmAddrSpace = 0);
+
+/// As above, with an instruction cache: the hardware-state axis pairs each
+/// data-cache state with an I-cache state (warmed over the program's
+/// instruction-address space).
+ExhaustiveSetup exhaustiveInOrderWithICache(
+    const isa::Program& program, const std::vector<isa::Input>& inputs,
+    const cache::CacheGeometry& dataGeom, const cache::CacheGeometry& instrGeom,
+    cache::Policy policy, const cache::CacheTiming& dataTiming,
+    const cache::CacheTiming& instrTiming, int numStates, std::uint64_t seed,
+    const pipeline::InOrderConfig& config);
+
+}  // namespace pred::analysis

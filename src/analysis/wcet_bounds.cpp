@@ -1,0 +1,216 @@
+#include "analysis/wcet_bounds.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "branch/static_schemes.h"
+#include "isa/exec.h"
+
+namespace pred::analysis {
+
+namespace {
+
+/// Scale factor for blocks inside functions: worst-case number of calls to
+/// the containing function (no recursion; call chains bounded).
+std::vector<std::uint64_t> functionCallWeights(
+    const isa::Cfg& cfg, const std::vector<std::uint64_t>& blockWeight) {
+  const auto& program = cfg.program();
+  std::vector<std::uint64_t> fnWeight(program.functions.size(), 0);
+
+  auto functionIndexOf = [&](std::int32_t pc) -> int {
+    for (std::size_t f = 0; f < program.functions.size(); ++f) {
+      const auto& fn = program.functions[f];
+      if (pc >= fn.entry && pc < fn.end) return static_cast<int>(f);
+    }
+    return -1;
+  };
+  auto functionEntryIndex = [&](std::int32_t entry) -> int {
+    for (std::size_t f = 0; f < program.functions.size(); ++f) {
+      if (program.functions[f].entry == entry) return static_cast<int>(f);
+    }
+    return -1;
+  };
+
+  // Fixpoint over call chains (depth-bounded: recursion unsupported).
+  for (int iter = 0; iter < 16; ++iter) {
+    bool changed = false;
+    std::vector<std::uint64_t> next(fnWeight.size(), 0);
+    for (std::size_t pc = 0; pc < program.size(); ++pc) {
+      const auto& ins = program.code[pc];
+      if (ins.op != isa::Op::CALL) continue;
+      const int callee = functionEntryIndex(ins.imm);
+      if (callee < 0) continue;
+      const auto ipc = static_cast<std::int32_t>(pc);
+      const int callerFn = functionIndexOf(ipc);
+      const std::uint64_t siteWeight =
+          blockWeight[static_cast<std::size_t>(cfg.blockOf(ipc))] *
+          (callerFn < 0 ? 1
+                        : std::max<std::uint64_t>(
+                              fnWeight[static_cast<std::size_t>(callerFn)],
+                              0));
+      next[static_cast<std::size_t>(callee)] += siteWeight;
+    }
+    for (std::size_t f = 0; f < fnWeight.size(); ++f) {
+      if (next[f] != fnWeight[f]) changed = true;
+    }
+    fnWeight = std::move(next);
+    if (!changed) break;
+  }
+  return fnWeight;
+}
+
+core::Cycles worstInstrCost(const isa::Instr& ins,
+                            const cache::ClassificationResult& cls,
+                            std::int32_t pc, const BoundsInputs& in) {
+  const auto& p = in.pipeConfig;
+  switch (isa::latencyClass(ins.op)) {
+    case isa::LatencyClass::Single:
+      return p.aluLatency;
+    case isa::LatencyClass::Multiply:
+      return p.mulLatency;
+    case isa::LatencyClass::Divide:
+      return static_cast<core::Cycles>(isa::maxDivLatency());
+    case isa::LatencyClass::Memory: {
+      auto it = cls.classOf.find(pc);
+      const bool alwaysHit =
+          in.useCacheClassification && it != cls.classOf.end() &&
+          it->second == cache::AccessClass::AlwaysHit;
+      return p.aluLatency + (alwaysHit ? in.cacheTiming.hitLatency
+                                       : in.cacheTiming.missLatency);
+    }
+    case isa::LatencyClass::Control:
+      return p.controlLatency + p.takenPenalty;
+    case isa::LatencyClass::None:
+      return 1;
+  }
+  return 1;
+}
+
+core::Cycles bestInstrCost(const isa::Instr& ins, const BoundsInputs& in) {
+  const auto& p = in.pipeConfig;
+  switch (isa::latencyClass(ins.op)) {
+    case isa::LatencyClass::Single:
+      return p.aluLatency;
+    case isa::LatencyClass::Multiply:
+      return p.mulLatency;
+    case isa::LatencyClass::Divide:
+      return p.constantDiv ? static_cast<core::Cycles>(isa::maxDivLatency())
+                           : static_cast<core::Cycles>(isa::divLatency(0));
+    case isa::LatencyClass::Memory:
+      return p.aluLatency + in.cacheTiming.hitLatency;
+    case isa::LatencyClass::Control:
+      // Unconditional control flow always redirects; conditionals may fall
+      // through at no penalty.
+      if (ins.op == isa::Op::JMP || ins.op == isa::Op::CALL ||
+          ins.op == isa::Op::RET) {
+        return p.controlLatency + p.takenPenalty;
+      }
+      return p.controlLatency;
+    case isa::LatencyClass::None:
+      return 1;
+  }
+  return 1;
+}
+
+}  // namespace
+
+core::Cycles ipetUpperBound(const isa::Cfg& cfg, const BoundsInputs& in) {
+  const auto& program = cfg.program();
+  const auto cls = cache::classifyDataAccesses(
+      cfg, in.dataCacheGeom, cache::syntacticOracle(program));
+  cache::ClassificationResult fetchCls;
+  if (in.instrCacheGeom) {
+    fetchCls = cache::classifyInstrFetches(cfg, *in.instrCacheGeom);
+  }
+  const auto weights = branch::blockWeights(cfg);
+  const auto fnWeights = functionCallWeights(cfg, weights);
+
+  core::Cycles ub = 0;
+  for (const auto& bb : cfg.blocks()) {
+    // Scale by the containing function's worst-case call count.
+    std::uint64_t scale = 1;
+    if (auto fn = program.functionAt(bb.begin)) {
+      for (std::size_t f = 0; f < program.functions.size(); ++f) {
+        if (program.functions[f].entry == fn->entry) {
+          scale = fnWeights[f];
+          break;
+        }
+      }
+    }
+    core::Cycles blockCost = 0;
+    for (std::int32_t pc = bb.begin; pc < bb.end; ++pc) {
+      blockCost +=
+          worstInstrCost(program.code[static_cast<std::size_t>(pc)], cls, pc, in);
+      if (in.instrCacheGeom) {
+        auto it = fetchCls.classOf.find(pc);
+        const bool fetchHit =
+            it != fetchCls.classOf.end() &&
+            it->second == cache::AccessClass::AlwaysHit;
+        blockCost += fetchHit ? in.instrTiming.hitLatency
+                              : in.instrTiming.missLatency;
+      }
+    }
+    ub += blockCost * weights[static_cast<std::size_t>(bb.id)] * scale;
+  }
+  return ub;
+}
+
+core::Cycles structuralLowerBound(const isa::Cfg& cfg,
+                                  const BoundsInputs& in) {
+  const auto& program = cfg.program();
+  // Exit block: the first block terminated by HALT.
+  std::int32_t exitBlock = -1;
+  for (const auto& bb : cfg.blocks()) {
+    if (program.code[static_cast<std::size_t>(bb.lastInstr())].op ==
+        isa::Op::HALT) {
+      exitBlock = bb.id;
+      break;
+    }
+  }
+  if (exitBlock < 0) return 0;
+
+  // Min execution count per block: product of MIN bounds of enclosing
+  // loops; the header additionally runs its final exit test (+1), which is
+  // sound because dominating the exit implies the loop is entered.
+  std::vector<std::uint64_t> minWeight(
+      static_cast<std::size_t>(cfg.numBlocks()), 1);
+  for (const auto& loop : cfg.loops()) {
+    const auto mb =
+        loop.minBound > 0 ? static_cast<std::uint64_t>(loop.minBound) : 0;
+    for (const auto b : loop.blocks) {
+      const std::uint64_t factor = (b == loop.header) ? mb + 1 : mb;
+      minWeight[static_cast<std::size_t>(b)] *= factor;
+    }
+  }
+
+  core::Cycles lb = 0;
+  for (const auto& bb : cfg.blocks()) {
+    if (!cfg.dominates(bb.id, exitBlock)) continue;
+    if (minWeight[static_cast<std::size_t>(bb.id)] == 0) continue;
+    core::Cycles blockCost = 0;
+    for (std::int32_t pc = bb.begin; pc < bb.end; ++pc) {
+      blockCost += bestInstrCost(program.code[static_cast<std::size_t>(pc)], in);
+      // Best-case fetch: always an I-cache hit.
+      if (in.instrCacheGeom) blockCost += in.instrTiming.hitLatency;
+    }
+    lb += blockCost * minWeight[static_cast<std::size_t>(bb.id)];
+  }
+  return lb;
+}
+
+core::BoundsDecomposition figure1Decomposition(const isa::Cfg& cfg,
+                                               const BoundsInputs& in,
+                                               core::Cycles bcet,
+                                               core::Cycles wcet) {
+  core::BoundsDecomposition d;
+  d.lowerBound = structuralLowerBound(cfg, in);
+  d.bcet = bcet;
+  d.wcet = wcet;
+  d.upperBound = ipetUpperBound(cfg, in);
+  if (!d.wellFormed()) {
+    throw std::runtime_error("unsound bounds: " + d.summary());
+  }
+  return d;
+}
+
+}  // namespace pred::analysis

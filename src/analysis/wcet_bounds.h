@@ -1,0 +1,67 @@
+#pragma once
+// wcet_bounds.h — Sound-but-incomplete static timing bounds (Figure 1's LB
+// and UB).
+//
+// Figure 1 of the paper decomposes the distance UB - LB into the inherent
+// input/state-induced variance (WCET - BCET) and the abstraction-induced
+// variance added by the analysis ((UB - WCET) + (BCET - LB)).  This module
+// is the analysis side:
+//
+//   * ipetUpperBound — a path-insensitive IPET-style bound: every block is
+//     charged its worst per-instruction cost (memory accesses classified by
+//     the LRU must/may analysis; unclassified = miss) times its worst-case
+//     execution count (product of enclosing loop bounds).  Sound because it
+//     over-counts every block; deliberately imprecise in exactly the
+//     "abstraction-induced" way the figure depicts.
+//
+//   * structuralLowerBound — charges only blocks that dominate the exit
+//     (must execute whenever the program terminates) with their minimal
+//     execution count (product of enclosing loop MIN bounds) times their
+//     best per-instruction cost (all accesses hit, minimal DIV latency,
+//     conditional branches fall through).
+//
+// Soundness (LB <= T_p(q,i) <= UB for every q in the modeled Q and every i)
+// is enforced by property tests that compare against exhaustive execution.
+
+#include <optional>
+
+#include "cache/mustmay.h"
+#include "core/measures.h"
+#include "isa/cfg.h"
+#include "pipeline/inorder.h"
+
+namespace pred::analysis {
+
+struct BoundsInputs {
+  pipeline::InOrderConfig pipeConfig;
+  cache::CacheGeometry dataCacheGeom;
+  cache::CacheTiming cacheTiming;
+  /// When set, the pipeline fetches through an I-cache of this geometry;
+  /// the bounds then include per-fetch costs classified by the
+  /// instruction-fetch must/may analysis.
+  std::optional<cache::CacheGeometry> instrCacheGeom;
+  cache::CacheTiming instrTiming;
+
+  /// Analysis-quality knob: when false, the upper bound charges EVERY
+  /// memory access a miss (no cache analysis).  Both settings are sound;
+  /// comparing them isolates the abstraction-induced variance of Figure 1 —
+  /// a better analysis shrinks UB-WCET while WCET-BCET (inherent) is
+  /// untouched, which is the paper's inherence argument in numbers.
+  bool useCacheClassification = true;
+};
+
+/// Path-insensitive WCET upper bound.
+core::Cycles ipetUpperBound(const isa::Cfg& cfg, const BoundsInputs& cfgIn);
+
+/// Structural BCET lower bound.
+core::Cycles structuralLowerBound(const isa::Cfg& cfg,
+                                  const BoundsInputs& cfgIn);
+
+/// Full Figure 1 decomposition: LB/UB from the static analyses, BCET/WCET
+/// from the exhaustive matrix (caller supplies the exhaustive values).
+core::BoundsDecomposition figure1Decomposition(const isa::Cfg& cfg,
+                                               const BoundsInputs& cfgIn,
+                                               core::Cycles bcet,
+                                               core::Cycles wcet);
+
+}  // namespace pred::analysis

@@ -1,0 +1,104 @@
+#include "branch/dynamic.h"
+
+#include <stdexcept>
+
+namespace pred::branch {
+
+namespace {
+std::uint8_t bump(std::uint8_t counter, bool taken) {
+  if (taken) return counter < 3 ? counter + 1 : 3;
+  return counter > 0 ? counter - 1 : 0;
+}
+}  // namespace
+
+BimodalPredictor::BimodalPredictor(std::size_t tableSize, int initialCounter)
+    : table_(tableSize, static_cast<std::uint8_t>(initialCounter)) {
+  if (tableSize == 0) throw std::runtime_error("empty predictor table");
+}
+
+BimodalPredictor::BimodalPredictor(std::vector<std::uint8_t> table)
+    : table_(std::move(table)) {
+  if (table_.empty()) throw std::runtime_error("empty predictor table");
+}
+
+bool BimodalPredictor::predictTaken(std::int32_t pc) {
+  return table_[index(pc)] >= 2;
+}
+
+void BimodalPredictor::update(std::int32_t pc, bool taken) {
+  table_[index(pc)] = bump(table_[index(pc)], taken);
+}
+
+std::unique_ptr<Predictor> BimodalPredictor::clone() const {
+  return std::make_unique<BimodalPredictor>(*this);
+}
+
+OneBitPredictor::OneBitPredictor(std::size_t tableSize, bool initialTaken)
+    : table_(tableSize, initialTaken ? 1 : 0) {
+  if (tableSize == 0) throw std::runtime_error("empty predictor table");
+}
+
+bool OneBitPredictor::predictTaken(std::int32_t pc) {
+  return table_[static_cast<std::size_t>(pc) % table_.size()] != 0;
+}
+
+void OneBitPredictor::update(std::int32_t pc, bool taken) {
+  table_[static_cast<std::size_t>(pc) % table_.size()] = taken ? 1 : 0;
+}
+
+std::unique_ptr<Predictor> OneBitPredictor::clone() const {
+  return std::make_unique<OneBitPredictor>(*this);
+}
+
+GsharePredictor::GsharePredictor(std::size_t tableSize, int historyBits,
+                                 std::uint32_t initialHistory,
+                                 int initialCounter)
+    : table_(tableSize, static_cast<std::uint8_t>(initialCounter)),
+      historyBits_(historyBits),
+      history_(initialHistory & ((1u << historyBits) - 1)) {
+  if (tableSize == 0) throw std::runtime_error("empty predictor table");
+}
+
+std::size_t GsharePredictor::index(std::int32_t pc) const {
+  return (static_cast<std::size_t>(pc) ^ history_) % table_.size();
+}
+
+bool GsharePredictor::predictTaken(std::int32_t pc) {
+  return table_[index(pc)] >= 2;
+}
+
+void GsharePredictor::update(std::int32_t pc, bool taken) {
+  table_[index(pc)] = bump(table_[index(pc)], taken);
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) &
+             ((1u << historyBits_) - 1);
+}
+
+std::unique_ptr<Predictor> GsharePredictor::clone() const {
+  return std::make_unique<GsharePredictor>(*this);
+}
+
+LocalTwoLevelPredictor::LocalTwoLevelPredictor(std::size_t numBranches,
+                                               int historyBits,
+                                               int initialCounter)
+    : histories_(numBranches, 0),
+      patternTable_(static_cast<std::size_t>(1) << historyBits,
+                    static_cast<std::uint8_t>(initialCounter)),
+      historyBits_(historyBits) {
+  if (numBranches == 0) throw std::runtime_error("empty history table");
+}
+
+bool LocalTwoLevelPredictor::predictTaken(std::int32_t pc) {
+  return patternTable_[histories_[bIndex(pc)]] >= 2;
+}
+
+void LocalTwoLevelPredictor::update(std::int32_t pc, bool taken) {
+  auto& h = histories_[bIndex(pc)];
+  patternTable_[h] = bump(patternTable_[h], taken);
+  h = ((h << 1) | (taken ? 1 : 0)) & ((1u << historyBits_) - 1);
+}
+
+std::unique_ptr<Predictor> LocalTwoLevelPredictor::clone() const {
+  return std::make_unique<LocalTwoLevelPredictor>(*this);
+}
+
+}  // namespace pred::branch

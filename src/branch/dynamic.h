@@ -1,0 +1,89 @@
+#pragma once
+// dynamic.h — Dynamic branch predictors: 1-bit, 2-bit bimodal, gshare, and
+// local two-level.  Their prediction depends on table state accumulated at
+// run time — the "initial predictor state" uncertainty of the paper's
+// Table 1 — and on aliasing between branches, which makes static modeling
+// expensive (the analysis-complexity argument of [5,6]).
+
+#include <cstdint>
+#include <vector>
+
+#include "branch/predictor.h"
+
+namespace pred::branch {
+
+/// 2-bit saturating-counter table indexed by pc.  `initialCounters` (one
+/// value 0..3 broadcast, or a full table) defines the initial state.
+class BimodalPredictor : public Predictor {
+ public:
+  BimodalPredictor(std::size_t tableSize, int initialCounter = 1);
+  BimodalPredictor(std::vector<std::uint8_t> table);
+
+  bool predictTaken(std::int32_t pc) override;
+  void update(std::int32_t pc, bool taken) override;
+  std::unique_ptr<Predictor> clone() const override;
+  std::string name() const override { return "bimodal-2bit"; }
+
+  const std::vector<std::uint8_t>& table() const { return table_; }
+
+ private:
+  std::size_t index(std::int32_t pc) const {
+    return static_cast<std::size_t>(pc) % table_.size();
+  }
+  std::vector<std::uint8_t> table_;
+};
+
+/// 1-bit last-outcome predictor.
+class OneBitPredictor : public Predictor {
+ public:
+  OneBitPredictor(std::size_t tableSize, bool initialTaken = false);
+
+  bool predictTaken(std::int32_t pc) override;
+  void update(std::int32_t pc, bool taken) override;
+  std::unique_ptr<Predictor> clone() const override;
+  std::string name() const override { return "one-bit"; }
+
+ private:
+  std::vector<std::uint8_t> table_;
+};
+
+/// gshare: global history register XOR pc indexes a 2-bit counter table.
+class GsharePredictor : public Predictor {
+ public:
+  GsharePredictor(std::size_t tableSize, int historyBits,
+                  std::uint32_t initialHistory = 0, int initialCounter = 1);
+
+  bool predictTaken(std::int32_t pc) override;
+  void update(std::int32_t pc, bool taken) override;
+  std::unique_ptr<Predictor> clone() const override;
+  std::string name() const override { return "gshare"; }
+
+ private:
+  std::size_t index(std::int32_t pc) const;
+  std::vector<std::uint8_t> table_;
+  int historyBits_;
+  std::uint32_t history_;
+};
+
+/// Local two-level: per-pc history register selects a 2-bit counter in a
+/// pattern table.
+class LocalTwoLevelPredictor : public Predictor {
+ public:
+  LocalTwoLevelPredictor(std::size_t numBranches, int historyBits,
+                         int initialCounter = 1);
+
+  bool predictTaken(std::int32_t pc) override;
+  void update(std::int32_t pc, bool taken) override;
+  std::unique_ptr<Predictor> clone() const override;
+  std::string name() const override { return "local-2level"; }
+
+ private:
+  std::size_t bIndex(std::int32_t pc) const {
+    return static_cast<std::size_t>(pc) % histories_.size();
+  }
+  std::vector<std::uint32_t> histories_;
+  std::vector<std::uint8_t> patternTable_;
+  int historyBits_;
+};
+
+}  // namespace pred::branch

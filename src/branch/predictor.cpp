@@ -1,0 +1,16 @@
+#include "branch/predictor.h"
+
+namespace pred::branch {
+
+std::uint64_t countMispredictions(const isa::Trace& trace, Predictor& p) {
+  std::uint64_t mispredicts = 0;
+  for (const auto& rec : trace) {
+    if (!isa::isConditionalBranch(rec.instr.op)) continue;
+    const bool predicted = p.predictTaken(rec.pc);
+    if (predicted != rec.branchTaken) ++mispredicts;
+    p.update(rec.pc, rec.branchTaken);
+  }
+  return mispredicts;
+}
+
+}  // namespace pred::branch

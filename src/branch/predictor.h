@@ -1,0 +1,42 @@
+#pragma once
+// predictor.h — Branch predictor interface and misprediction accounting.
+//
+// Table 1, row 1 of the paper: Bodin & Puaut [5] and Burguière & Rochange
+// [6] argue for *static* branch prediction in real-time systems — the
+// property is the number of branch mispredictions, the uncertainty is the
+// initial predictor state (and, for the WCET-oriented scheme, analysis
+// imprecision), and the quality measure is the statically computable bound
+// (respectively the variability) of mispredictions.
+//
+// All predictors are deterministic state machines; dynamic ones expose their
+// table initialization so benches can enumerate initial predictor states
+// q ∈ Q (Definition 2 applied to the predictor component).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "isa/exec.h"
+
+namespace pred::branch {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Predicted direction for the conditional branch at `pc`.
+  virtual bool predictTaken(std::int32_t pc) = 0;
+
+  /// Informs the predictor of the actual outcome (dynamic predictors learn;
+  /// static ones ignore this).
+  virtual void update(std::int32_t pc, bool taken) = 0;
+
+  virtual std::unique_ptr<Predictor> clone() const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Counts mispredictions of the conditional branches in a trace, mutating
+/// the predictor as it goes.
+std::uint64_t countMispredictions(const isa::Trace& trace, Predictor& p);
+
+}  // namespace pred::branch

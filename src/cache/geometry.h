@@ -1,0 +1,30 @@
+#pragma once
+// geometry.h — Address mapping shared by all cache models.
+
+#include <cstdint>
+
+namespace pred::cache {
+
+/// Geometry of a set-associative cache over the word-addressed memory of the
+/// mini ISA.  A "line" groups lineWords consecutive words; lines map to sets
+/// by modulo.
+struct CacheGeometry {
+  std::int64_t lineWords = 4;
+  std::int64_t numSets = 8;
+  int ways = 2;
+
+  std::int64_t lineOf(std::int64_t wordAddr) const {
+    return wordAddr / lineWords;
+  }
+  std::int64_t setOf(std::int64_t wordAddr) const {
+    return lineOf(wordAddr) % numSets;
+  }
+  /// Tag = line number (keeping the set index in the tag is redundant but
+  /// harmless and simplifies debugging).
+  std::int64_t tagOf(std::int64_t wordAddr) const { return lineOf(wordAddr); }
+
+  std::int64_t totalLines() const { return numSets * ways; }
+  std::int64_t capacityWords() const { return totalLines() * lineWords; }
+};
+
+}  // namespace pred::cache

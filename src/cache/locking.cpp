@@ -1,0 +1,81 @@
+#include "cache/locking.h"
+
+#include <algorithm>
+
+namespace pred::cache {
+
+LockSelection selectByProfile(
+    const std::map<std::int64_t, std::uint64_t>& lineFreq,
+    std::int64_t capacityLines) {
+  std::vector<std::pair<std::uint64_t, std::int64_t>> ranked;
+  ranked.reserve(lineFreq.size());
+  for (const auto& [line, freq] : lineFreq) ranked.emplace_back(freq, line);
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;  // deterministic tie-break
+  });
+  LockSelection sel;
+  for (const auto& [freq, line] : ranked) {
+    if (static_cast<std::int64_t>(sel.lines.size()) >= capacityLines) break;
+    sel.lines.push_back(line);
+  }
+  return sel;
+}
+
+LockSelection selectByStaticWeight(const isa::Cfg& cfg,
+                                   const CacheGeometry& geom,
+                                   std::int64_t capacityLines) {
+  // weight(block) = product of bounds of enclosing loops.
+  std::vector<std::uint64_t> blockWeight(
+      static_cast<std::size_t>(cfg.numBlocks()), 1);
+  for (const auto& loop : cfg.loops()) {
+    const std::uint64_t bound =
+        loop.bound > 0 ? static_cast<std::uint64_t>(loop.bound) : 1;
+    for (const auto b : loop.blocks) {
+      blockWeight[static_cast<std::size_t>(b)] *= bound;
+    }
+  }
+  std::map<std::int64_t, std::uint64_t> lineWeight;
+  for (const auto& bb : cfg.blocks()) {
+    for (std::int32_t pc = bb.begin; pc < bb.end; ++pc) {
+      lineWeight[geom.lineOf(pc)] +=
+          blockWeight[static_cast<std::size_t>(bb.id)];
+    }
+  }
+  return selectByProfile(lineWeight, capacityLines);
+}
+
+std::map<std::int64_t, std::uint64_t> lineProfile(const isa::Trace& trace,
+                                                  const CacheGeometry& geom) {
+  std::map<std::int64_t, std::uint64_t> freq;
+  for (const auto& rec : trace) ++freq[geom.lineOf(rec.pc)];
+  return freq;
+}
+
+LockedICache::LockedICache(CacheGeometry geom, CacheTiming timing,
+                           LockSelection locked)
+    : geom_(geom), timing_(timing) {
+  for (const auto l : locked.lines) locked_.insert(l);
+}
+
+AccessResult LockedICache::fetch(std::int32_t pc) {
+  if (locked_.count(geom_.lineOf(pc))) {
+    ++hits_;
+    return AccessResult{true, timing_.hitLatency};
+  }
+  ++misses_;
+  return AccessResult{false, timing_.missLatency};
+}
+
+std::uint64_t guaranteedHits(const isa::Trace& trace,
+                             const CacheGeometry& geom,
+                             const LockSelection& locked) {
+  std::set<std::int64_t> lockedSet(locked.lines.begin(), locked.lines.end());
+  std::uint64_t hits = 0;
+  for (const auto& rec : trace) {
+    if (lockedSet.count(geom.lineOf(rec.pc))) ++hits;
+  }
+  return hits;
+}
+
+}  // namespace pred::cache

@@ -1,0 +1,76 @@
+#pragma once
+// locking.h — Static cache locking (Puaut & Decotigny [18]; Table 2, row 3).
+//
+// The whole instruction cache is statically loaded with selected lines and
+// locked: locked lines always hit; every other fetch goes to memory.  This
+// removes BOTH sources of uncertainty the paper lists for this row:
+// uncertainty about the initial cache state (contents are chosen, not
+// inherited) and interference from preempting tasks (locked contents cannot
+// be evicted).  The quality measure is the statically computable bound on
+// hits — with locking, the guaranteed hit count equals the actual hit
+// count, for any initial state and any preemption pattern.
+//
+// Two low-complexity selection algorithms, mirroring the two algorithms of
+// the original paper:
+//   * selectByProfile     — greedy on observed execution frequency;
+//   * selectByStaticWeight — greedy on a static worst-case frequency
+//     estimate (product of enclosing loop bounds), no profile needed.
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "cache/set_assoc.h"
+#include "isa/cfg.h"
+#include "isa/exec.h"
+
+namespace pred::cache {
+
+struct LockSelection {
+  std::vector<std::int64_t> lines;  ///< locked I-space line numbers
+};
+
+/// Greedy by dynamic line frequency (profile from a measured trace).
+LockSelection selectByProfile(const std::map<std::int64_t, std::uint64_t>& lineFreq,
+                              std::int64_t capacityLines);
+
+/// Greedy by static worst-case frequency: weight(pc) = product of the
+/// bounds of all loops containing pc's block (1 outside loops).
+LockSelection selectByStaticWeight(const isa::Cfg& cfg,
+                                   const CacheGeometry& geom,
+                                   std::int64_t capacityLines);
+
+/// Instruction line-frequency profile of a trace.
+std::map<std::int64_t, std::uint64_t> lineProfile(const isa::Trace& trace,
+                                                  const CacheGeometry& geom);
+
+/// Locked instruction cache: fetches hit iff the line is locked.
+class LockedICache {
+ public:
+  LockedICache(CacheGeometry geom, CacheTiming timing, LockSelection locked);
+
+  AccessResult fetch(std::int32_t pc);
+
+  bool isLocked(std::int64_t line) const { return locked_.count(line) > 0; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void clearCounters() { hits_ = misses_ = 0; }
+
+ private:
+  CacheGeometry geom_;
+  CacheTiming timing_;
+  std::set<std::int64_t> locked_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Statically guaranteed hit count of a trace under a lock selection: every
+/// fetch of a locked line is a guaranteed hit, independent of initial state
+/// and preemptions.  (For an unlocked cache under preemption, the sound
+/// guarantee is zero — the preempting task may have evicted everything.)
+std::uint64_t guaranteedHits(const isa::Trace& trace, const CacheGeometry& geom,
+                             const LockSelection& locked);
+
+}  // namespace pred::cache

@@ -1,0 +1,45 @@
+#include "cache/method_cache.h"
+
+#include <stdexcept>
+
+namespace pred::cache {
+
+MethodCache::MethodCache(std::int64_t capacityInstrs, MethodCacheTiming timing)
+    : capacity_(capacityInstrs), timing_(timing) {
+  if (capacityInstrs <= 0) throw std::runtime_error("capacity must be > 0");
+}
+
+bool MethodCache::resident(int fnIndex) const {
+  for (const auto& b : blocks_) {
+    if (b.fn == fnIndex) return true;
+  }
+  return false;
+}
+
+Cycles MethodCache::onEnter(int fnIndex, std::int64_t sizeInstrs) {
+  if (resident(fnIndex)) {
+    ++hits_;
+    return timing_.hitLatency;
+  }
+  ++misses_;
+  if (sizeInstrs > capacity_) {
+    throw std::runtime_error("function larger than method cache");
+  }
+  while (used_ + sizeInstrs > capacity_) {
+    used_ -= blocks_.front().size;
+    blocks_.pop_front();
+  }
+  blocks_.push_back(Block{fnIndex, sizeInstrs});
+  used_ += sizeInstrs;
+  return timing_.missBaseLatency +
+         static_cast<Cycles>(sizeInstrs) / timing_.wordsPerCycle;
+}
+
+void MethodCache::reset() {
+  blocks_.clear();
+  used_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace pred::cache

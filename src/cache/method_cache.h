@@ -1,0 +1,74 @@
+#pragma once
+// method_cache.h — Schoeberl's method cache [23] and Metzlaff et al.'s
+// function scratchpad [15] (Table 2, row 1).
+//
+// Instead of fixed-size lines, the method cache caches *entire functions*:
+// a miss can occur only at a CALL or RET — every other instruction fetch is
+// guaranteed to hit, because the executing function is resident by
+// construction.  The paper casts the quality measure of this approach as
+// "simplicity of analysis": the set of program points at which an analysis
+// must consider cache behavior collapses from every instruction (ordinary
+// I-cache) to the call/return sites.
+//
+// Replacement is FIFO over variable-sized blocks, following Schoeberl's
+// design (LRU is infeasible for variable-sized blocks, as the paper notes).
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace pred::cache {
+
+using Cycles = std::uint64_t;
+
+struct MethodCacheTiming {
+  Cycles hitLatency = 0;        ///< call/return with resident target
+  Cycles missBaseLatency = 4;   ///< fixed miss overhead
+  Cycles wordsPerCycle = 1;     ///< transfer rate for loading a function
+};
+
+class MethodCache {
+ public:
+  /// `capacityInstrs`: total instruction capacity (the variable-block pool).
+  MethodCache(std::int64_t capacityInstrs, MethodCacheTiming timing);
+
+  /// Control transfer to function `fnIndex` (CALL) or back into it (RET).
+  /// Returns the added latency.  `sizeInstrs` is the function's size.
+  Cycles onEnter(int fnIndex, std::int64_t sizeInstrs);
+
+  bool resident(int fnIndex) const;
+  void reset();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+
+  /// Number of distinct program points at which a miss can occur — the
+  /// analysis-simplicity proxy.  Counted by the caller per program; exposed
+  /// here for symmetry with the I-cache comparison in the bench.
+ private:
+  struct Block {
+    int fn;
+    std::int64_t size;
+  };
+  std::int64_t capacity_;
+  std::int64_t used_ = 0;
+  MethodCacheTiming timing_;
+  std::deque<Block> blocks_;  ///< FIFO order, front = oldest
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Result of running a trace against a method cache vs a conventional
+/// I-cache (computed by bench/table2_method_cache and tests).
+struct MethodCacheComparison {
+  std::uint64_t methodCacheMisses = 0;
+  Cycles methodCacheStallCycles = 0;
+  std::uint64_t methodMissPoints = 0;  ///< static call/ret sites (miss points)
+  std::uint64_t icacheMisses = 0;
+  Cycles icacheStallCycles = 0;
+  std::uint64_t icacheMissPoints = 0;  ///< static instrs that can miss
+};
+
+}  // namespace pred::cache

@@ -1,0 +1,352 @@
+#include "cache/metrics.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pred::cache {
+
+namespace {
+
+using State = std::vector<std::int16_t>;
+
+constexpr std::int16_t kB = -2;    // the block whose eviction we track
+constexpr std::int16_t kOld = -1;  // unknown initial element (may alias)
+
+/// Policy-dependent state machine over a single cache set with completely
+/// unknown initial state.  State layout: slots[0..k-1] then metadata.
+///
+/// Canonical representations:
+///  * LRU:  slots listed in recency order (MRU first); no metadata.
+///  * FIFO: slots listed in queue order (index 0 = next victim); no
+///          metadata (the canonical rotation absorbs the pointer).
+///  * PLRU: spatial slots plus k-1 tree bits.
+///  * MRU:  spatial slots plus k MRU-bits (at least one zero).
+///  * RANDOM: spatial slots; the victim choice is a nondeterministic branch.
+class Machine {
+ public:
+  Machine(Policy policy, int k) : policy_(policy), k_(k) {
+    if (policy == Policy::PLRU && (k & (k - 1)) != 0) {
+      throw std::runtime_error("PLRU requires power-of-two associativity");
+    }
+  }
+
+  std::vector<State> initialStates(bool withB) const {
+    std::vector<State> metas = metaCombos();
+    std::vector<State> out;
+    const int positions = withB ? k_ : 1;
+    for (int pos = 0; pos < positions; ++pos) {
+      State slots(static_cast<std::size_t>(k_), kOld);
+      if (withB) slots[static_cast<std::size_t>(pos)] = kB;
+      for (const auto& meta : metas) {
+        State s = slots;
+        s.insert(s.end(), meta.begin(), meta.end());
+        if (policy_ == Policy::PLRU) canonicalizePlru(s);
+        out.push_back(std::move(s));
+      }
+    }
+    return out;
+  }
+
+  /// All successor states of `s` under an access to the fresh element `x`
+  /// (x is distinct from every previously accessed element and from B, but
+  /// may alias any still-unknown OLD element).
+  void successors(const State& s, std::int16_t x,
+                  std::vector<State>& out) const {
+    const std::size_t first = out.size();
+    // Alias-hit branches: x turns out to be the unknown element in slot w.
+    for (int w = 0; w < k_; ++w) {
+      if (s[static_cast<std::size_t>(w)] == kOld) {
+        State t = s;
+        t[static_cast<std::size_t>(w)] = x;
+        hitUpdate(t, w);
+        out.push_back(std::move(t));
+      }
+    }
+    // Miss branch(es): x is new to the cache.
+    missInsert(s, x, out);
+    if (policy_ == Policy::PLRU) {
+      for (std::size_t k = first; k < out.size(); ++k) canonicalizePlru(out[k]);
+    }
+  }
+
+  /// PLRU states are behaviorally invariant under swapping a node's
+  /// subtrees while flipping its bit; without quotienting by that symmetry,
+  /// equivalent states never merge and the fill metric diverges spuriously.
+  /// Canonical form: at every node, order the (recursively canonical)
+  /// subtrees lexicographically, flipping the bit when they swap; equal
+  /// subtrees (possible only via indistinct OLD contents) force bit 0.
+  void canonicalizePlru(State& s) const {
+    const State ser = plruSerialize(s, 0);
+    State out = s;
+    std::size_t pos = 0;
+    plruDecode(ser, pos, 0, out);
+    s = std::move(out);
+  }
+
+  State plruSerialize(const State& s, int node) const {
+    if (node >= k_ - 1) {
+      return State{s[static_cast<std::size_t>(node - (k_ - 1))]};
+    }
+    State l = plruSerialize(s, 2 * node + 1);
+    State r = plruSerialize(s, 2 * node + 2);
+    std::int16_t bit = static_cast<std::int16_t>(metaAt(s, node));
+    if (r < l) {
+      std::swap(l, r);
+      bit = static_cast<std::int16_t>(1 - bit);
+    } else if (l == r) {
+      bit = 0;
+    }
+    State v{bit};
+    v.insert(v.end(), l.begin(), l.end());
+    v.insert(v.end(), r.begin(), r.end());
+    return v;
+  }
+
+  void plruDecode(const State& v, std::size_t& pos, int node,
+                  State& out) const {
+    if (node >= k_ - 1) {
+      out[static_cast<std::size_t>(node - (k_ - 1))] = v[pos++];
+      return;
+    }
+    setMeta(out, node, v[pos++]);
+    plruDecode(v, pos, 2 * node + 1, out);
+    plruDecode(v, pos, 2 * node + 2, out);
+  }
+
+  bool containsB(const State& s) const {
+    for (int w = 0; w < k_; ++w) {
+      if (s[static_cast<std::size_t>(w)] == kB) return true;
+    }
+    return false;
+  }
+
+  bool fullyKnown(const State& s) const {
+    for (int w = 0; w < k_; ++w) {
+      if (s[static_cast<std::size_t>(w)] < 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::vector<State> metaCombos() const {
+    switch (policy_) {
+      case Policy::LRU:
+      case Policy::FIFO:
+      case Policy::RANDOM:
+        return {State{}};
+      case Policy::PLRU: {
+        std::vector<State> out;
+        const int bits = k_ - 1;
+        for (int mask = 0; mask < (1 << bits); ++mask) {
+          State m;
+          for (int b = 0; b < bits; ++b) m.push_back((mask >> b) & 1);
+          out.push_back(std::move(m));
+        }
+        return out;
+      }
+      case Policy::MRU: {
+        std::vector<State> out;
+        for (int mask = 0; mask < (1 << k_); ++mask) {
+          if (mask == (1 << k_) - 1) continue;  // invariant: >= one zero bit
+          State m;
+          for (int b = 0; b < k_; ++b) m.push_back((mask >> b) & 1);
+          out.push_back(std::move(m));
+        }
+        return out;
+      }
+    }
+    return {State{}};
+  }
+
+  void hitUpdate(State& s, int w) const {
+    switch (policy_) {
+      case Policy::LRU: {
+        // Move slot w to the front (MRU position).
+        const std::int16_t v = s[static_cast<std::size_t>(w)];
+        s.erase(s.begin() + w);
+        s.insert(s.begin(), v);
+        break;
+      }
+      case Policy::FIFO:
+      case Policy::RANDOM:
+        break;  // hits do not change the state
+      case Policy::PLRU:
+        plruTouch(s, w);
+        break;
+      case Policy::MRU:
+        mruTouch(s, w);
+        break;
+    }
+  }
+
+  void missInsert(const State& s, std::int16_t x,
+                  std::vector<State>& out) const {
+    switch (policy_) {
+      case Policy::LRU: {
+        State t = s;
+        t.erase(t.begin() + (k_ - 1));  // evict LRU
+        t.insert(t.begin(), x);
+        out.push_back(std::move(t));
+        break;
+      }
+      case Policy::FIFO: {
+        State t = s;
+        t.erase(t.begin());       // evict next-victim (canonical index 0)
+        t.insert(t.begin() + (k_ - 1), x);  // enqueue at the back
+        out.push_back(std::move(t));
+        break;
+      }
+      case Policy::PLRU: {
+        State t = s;
+        int node = 0;
+        while (node < k_ - 1) {
+          node = metaAt(t, node) ? 2 * node + 2 : 2 * node + 1;
+        }
+        const int w = node - (k_ - 1);
+        t[static_cast<std::size_t>(w)] = x;
+        plruTouch(t, w);
+        out.push_back(std::move(t));
+        break;
+      }
+      case Policy::MRU: {
+        State t = s;
+        int w = 0;
+        while (w < k_ && metaAt(t, w)) ++w;
+        if (w == k_) w = 0;  // unreachable by invariant
+        t[static_cast<std::size_t>(w)] = x;
+        mruTouch(t, w);
+        out.push_back(std::move(t));
+        break;
+      }
+      case Policy::RANDOM: {
+        for (int w = 0; w < k_; ++w) {  // victim nondeterministic
+          State t = s;
+          t[static_cast<std::size_t>(w)] = x;
+          out.push_back(std::move(t));
+        }
+        break;
+      }
+    }
+  }
+
+  int metaAt(const State& s, int idx) const {
+    return s[static_cast<std::size_t>(k_ + idx)];
+  }
+  void setMeta(State& s, int idx, int v) const {
+    s[static_cast<std::size_t>(k_ + idx)] = static_cast<std::int16_t>(v);
+  }
+
+  void plruTouch(State& s, int w) const {
+    int node = w + k_ - 1;
+    while (node > 0) {
+      const int parent = (node - 1) / 2;
+      const bool isLeftChild = (node == 2 * parent + 1);
+      setMeta(s, parent, isLeftChild ? 1 : 0);
+      node = parent;
+    }
+  }
+
+  void mruTouch(State& s, int w) const {
+    setMeta(s, w, 1);
+    bool allSet = true;
+    for (int b = 0; b < k_; ++b) allSet = allSet && metaAt(s, b);
+    if (allSet) {
+      for (int b = 0; b < k_; ++b) setMeta(s, b, b == w ? 1 : 0);
+    }
+  }
+
+  Policy policy_;
+  int k_;
+};
+
+}  // namespace
+
+MetricResult computeMetrics(Policy policy, int ways, int cutoff,
+                            std::size_t stateLimit) {
+  if (ways < 1) throw std::runtime_error("ways must be >= 1");
+  if (cutoff <= 0) cutoff = 8 * ways;
+
+  Machine machine(policy, ways);
+  MetricResult r;
+  r.policy = policy;
+  r.ways = ways;
+
+  // ---- evict: track the set of possible states containing B. -----------
+  {
+    std::set<State> frontier;
+    for (auto& s : machine.initialStates(/*withB=*/true)) {
+      frontier.insert(std::move(s));
+    }
+    for (int m = 1; m <= cutoff && !r.evictFinite; ++m) {
+      std::set<State> next;
+      std::vector<State> succ;
+      for (const auto& s : frontier) {
+        succ.clear();
+        machine.successors(s, static_cast<std::int16_t>(m - 1), succ);
+        for (auto& t : succ) next.insert(std::move(t));
+      }
+      if (next.size() > stateLimit) {
+        throw std::runtime_error("evict exploration exceeded state limit");
+      }
+      r.peakStates = std::max(r.peakStates, next.size());
+      frontier = std::move(next);
+      bool anyB = false;
+      for (const auto& s : frontier) anyB = anyB || machine.containsB(s);
+      if (!anyB) {
+        r.evictFinite = true;
+        r.evict = m;
+      }
+    }
+  }
+
+  // ---- fill: track all possible states until a single, fully known one. -
+  {
+    std::set<State> frontier;
+    for (auto& s : machine.initialStates(/*withB=*/false)) {
+      frontier.insert(std::move(s));
+    }
+    for (int m = 1; m <= cutoff && !r.fillFinite; ++m) {
+      std::set<State> next;
+      std::vector<State> succ;
+      for (const auto& s : frontier) {
+        succ.clear();
+        machine.successors(s, static_cast<std::int16_t>(m - 1), succ);
+        for (auto& t : succ) next.insert(std::move(t));
+      }
+      if (next.size() > stateLimit) {
+        throw std::runtime_error("fill exploration exceeded state limit");
+      }
+      r.peakStates = std::max(r.peakStates, next.size());
+      frontier = std::move(next);
+      if (frontier.size() == 1 && machine.fullyKnown(*frontier.begin())) {
+        r.fillFinite = true;
+        r.fill = m;
+      }
+    }
+  }
+
+  return r;
+}
+
+std::string MetricResult::summary() const {
+  std::ostringstream os;
+  os << toString(policy) << " k=" << ways << ": evict=";
+  if (evictFinite) {
+    os << evict;
+  } else {
+    os << "inf";
+  }
+  os << " fill=";
+  if (fillFinite) {
+    os << fill;
+  } else {
+    os << "inf";
+  }
+  return os.str();
+}
+
+}  // namespace pred::cache

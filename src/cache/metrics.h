@@ -1,0 +1,59 @@
+#pragma once
+// metrics.h — Inherent predictability metrics of cache replacement policies.
+//
+// The paper's related-work section singles out Reineke, Grund, Berg, Wilhelm
+// ("Timing predictability of cache replacement policies", Real-Time Systems
+// 37(2), 2007) as one of the few *inherent* (analysis-independent)
+// predictability notions: two metrics that state how quickly uncertainty
+// about the cache state can be eliminated by any analysis whatsoever:
+//
+//   evict(k): the minimal number of pairwise-distinct memory accesses after
+//             which a given (unaccessed) memory block is GUARANTEED to be
+//             evicted, regardless of the initial cache-set state.  Until
+//             then, no sound analysis can classify an access to that block
+//             as a miss.
+//
+//   fill(k):  the minimal number of pairwise-distinct accesses after which
+//             the cache-set state (contents and replacement metadata) is
+//             PRECISELY known.  From then on, every sound analysis can
+//             classify every access exactly.
+//
+// Both are limits on the precision achievable by ANY analysis — they mark
+// the inherent predictability of the policy (the paper's inherence aspect).
+//
+// We compute them by exhaustive exploration of the reachable set of possible
+// cache-set states: the initial state is completely unknown (every contents
+// arrangement and every metadata value), and each accessed element may alias
+// any still-unknown initial element (that is the worst case an analysis must
+// account for).  This yields the metric values as *computed facts* rather
+// than transcribed literature constants; the unit tests cross-check the
+// closed forms known for LRU (evict = fill = k) and FIFO (evict = 2k-1).
+
+#include <cstddef>
+#include <string>
+
+#include "cache/policy.h"
+
+namespace pred::cache {
+
+struct MetricResult {
+  Policy policy = Policy::LRU;
+  int ways = 0;
+  bool evictFinite = false;
+  int evict = -1;  ///< accesses needed; valid if evictFinite
+  bool fillFinite = false;
+  int fill = -1;   ///< accesses needed; valid if fillFinite
+  std::size_t peakStates = 0;  ///< exploration size (diagnostic)
+
+  std::string summary() const;
+};
+
+/// Computes evict/fill for one policy and associativity.  `cutoff` bounds
+/// the access-sequence length tried before declaring a metric infinite
+/// (default: 8 * ways, far beyond every finite known value).
+/// Throws std::runtime_error if the state set exceeds `stateLimit` (the
+/// metrics are then not decidable with these resources).
+MetricResult computeMetrics(Policy policy, int ways, int cutoff = 0,
+                            std::size_t stateLimit = 4'000'000);
+
+}  // namespace pred::cache

@@ -1,0 +1,143 @@
+#pragma once
+// mustmay.h — Abstract-interpretation cache analysis (must/may) for LRU.
+//
+// Role in the reproduction: the paper's Figure 1 distinguishes the inherent
+// input/state-induced variance (BCET..WCET) from the *abstraction-induced*
+// variance added by sound but incomplete analyses (LB..BCET and WCET..UB).
+// This module is that sound-but-incomplete analysis for the cache component:
+//   * must cache  — lines guaranteed present (upper bounds on LRU age);
+//     accesses to them are Always-Hit.
+//   * may cache   — overapproximation of possibly-present lines (lower
+//     bounds on age); accesses to lines outside it are Always-Miss.
+// Classification of each static access as Always-Hit / Always-Miss /
+// Unclassified feeds the WCET/BCET bound computation (src/analysis) and the
+// split-cache experiment's "% statically classified" quality measure.
+//
+// Soundness choices (documented deviations from maximal precision):
+//   * The may analysis ages lines only on *guaranteed* misses; accesses that
+//     may hit leave other lines' lower-bound ages unchanged.  This is sound
+//     (ages only grow when growth is certain) but weaker than the classical
+//     formulation; precision is irrelevant to the experiments, soundness is
+//     checked by property tests against concrete simulation.
+//   * An access with statically unknown address "taints" every set it may
+//     touch in the may analysis: a tainted set never yields Always-Miss
+//     classifications afterwards, because the unknown access may have
+//     inserted any line into it.  This models precisely the phenomenon that
+//     motivates split caches [24].
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "cache/split_cache.h"
+#include "isa/cfg.h"
+#include "isa/exec.h"
+#include "isa/program.h"
+
+namespace pred::cache {
+
+/// Static knowledge about one access's address.
+enum class AddrKind : std::uint8_t {
+  None,         ///< not a memory access
+  Exact,        ///< address known exactly
+  Range,        ///< somewhere within [lo, hi] (word addresses)
+  UnknownHeap,  ///< unknown, but within the heap region
+  UnknownAny,   ///< completely unknown
+};
+
+struct AddrInfo {
+  AddrKind kind = AddrKind::None;
+  std::int64_t lo = 0;
+  std::int64_t hi = 0;
+};
+
+/// Per-instruction address knowledge.
+using AddressOracle = std::function<AddrInfo(std::int32_t pc)>;
+
+/// Syntactic oracle: LD/ST with base register r0 have exact addresses;
+/// accesses the code generator marked as pointer-based are UnknownHeap;
+/// every other access is a Range over the static+stack regions (the
+/// conservative answer for array indexing).
+AddressOracle syntacticOracle(const isa::Program& program);
+
+enum class AccessClass : std::uint8_t { AlwaysHit, AlwaysMiss, Unclassified };
+
+std::string toString(AccessClass c);
+
+/// Abstract must/may state of ONE cache (all sets).
+class AbstractCache {
+ public:
+  explicit AbstractCache(CacheGeometry g);
+
+  /// Transfer function for an access with exact address.
+  void accessExact(std::int64_t wordAddr);
+  /// Transfer for an access somewhere in [lo, hi].
+  void accessRange(std::int64_t lo, std::int64_t hi);
+  /// Transfer for a completely unknown address (within this cache).
+  void accessUnknown();
+
+  /// Classification of an access *before* its transfer is applied.
+  AccessClass classify(std::int64_t wordAddr) const;
+
+  bool mustContain(std::int64_t wordAddr) const;
+  bool mayContain(std::int64_t wordAddr) const;
+
+  /// Control-flow join (may: union/min/taint-or; must: intersect/max).
+  void joinWith(const AbstractCache& other);
+
+  bool operator==(const AbstractCache& other) const;
+
+  const CacheGeometry& geometry() const { return geom_; }
+
+ private:
+  struct SetState {
+    std::map<std::int64_t, int> mustAge;  ///< tag -> max age (< ways)
+    std::map<std::int64_t, int> mayAge;   ///< tag -> min age (< ways)
+    bool mayTainted = false;
+
+    bool operator==(const SetState& o) const {
+      return mustAge == o.mustAge && mayAge == o.mayAge &&
+             mayTainted == o.mayTainted;
+    }
+  };
+
+  void ageMustAll(SetState& s);
+  void missTransfer(SetState& s, std::int64_t tag, bool guaranteedMiss);
+
+  CacheGeometry geom_;
+  std::vector<SetState> sets_;
+};
+
+/// Result of classifying every static data access of a program.
+struct ClassificationResult {
+  std::map<std::int32_t, AccessClass> classOf;  ///< per LD/ST instruction
+
+  std::size_t count(AccessClass c) const;
+  /// Fraction of *static* accesses classified (AH or AM).
+  double classifiedFraction() const;
+  /// Fraction of *dynamic* accesses classified, weighting by a trace.
+  double dynamicClassifiedFraction(const isa::Trace& trace) const;
+};
+
+/// Unified-cache data analysis over a CFG (fixpoint + final classification).
+ClassificationResult classifyDataAccesses(const isa::Cfg& cfg,
+                                          const CacheGeometry& geom,
+                                          const AddressOracle& oracle);
+
+/// Split-cache data analysis: routes by region, so UnknownHeap taints only
+/// the heap cache.
+ClassificationResult classifyDataAccessesSplit(const isa::Cfg& cfg,
+                                               const SplitCacheConfig& config,
+                                               const isa::MemoryLayout& layout,
+                                               const AddressOracle& oracle);
+
+/// Instruction-cache analysis: classifies each basic block's instruction
+/// lines (used for the Figure 1 UB computation).  Returns per-pc classes for
+/// every instruction fetch.
+ClassificationResult classifyInstrFetches(const isa::Cfg& cfg,
+                                          const CacheGeometry& geom);
+
+}  // namespace pred::cache

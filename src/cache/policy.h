@@ -1,0 +1,30 @@
+#pragma once
+// policy.h — Replacement policies.  The paper's related work [20] (Reineke,
+// Grund, Berg, Wilhelm: "Timing predictability of cache replacement
+// policies") defines inherent predictability metrics for exactly these
+// policies; src/cache/metrics.h computes them by state-space exploration.
+
+#include <string>
+
+namespace pred::cache {
+
+enum class Policy : unsigned char {
+  LRU,     ///< least recently used — the most predictable [20,29]
+  FIFO,    ///< round-robin / first-in first-out
+  PLRU,    ///< tree-based pseudo-LRU (ways must be a power of two)
+  MRU,     ///< bit-PLRU / "most recently used" bits
+  RANDOM,  ///< pseudo-random victim — unpredictable by design
+};
+
+inline std::string toString(Policy p) {
+  switch (p) {
+    case Policy::LRU: return "LRU";
+    case Policy::FIFO: return "FIFO";
+    case Policy::PLRU: return "PLRU";
+    case Policy::MRU: return "MRU";
+    case Policy::RANDOM: return "RANDOM";
+  }
+  return "?";
+}
+
+}  // namespace pred::cache

@@ -1,0 +1,223 @@
+#include "cache/set_assoc.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace pred::cache {
+
+namespace {
+bool isPow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
+
+std::uint64_t xorshift(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+}  // namespace
+
+SetAssocCache::SetAssocCache(CacheGeometry geometry, Policy policy,
+                             CacheTiming timing, std::uint64_t randomSeed)
+    : geometry_(geometry),
+      policy_(policy),
+      timing_(timing),
+      rng_(randomSeed | 1) {
+  if (policy == Policy::PLRU && !isPow2(geometry.ways)) {
+    throw std::runtime_error("PLRU requires power-of-two associativity");
+  }
+  sets_.resize(static_cast<std::size_t>(geometry.numSets));
+  reset();
+}
+
+void SetAssocCache::reset() {
+  for (auto& set : sets_) {
+    set.ways.assign(static_cast<std::size_t>(geometry_.ways), Way{});
+    set.order.clear();
+    for (int w = 0; w < geometry_.ways; ++w) set.order.push_back(w);
+    set.treeBits.assign(static_cast<std::size_t>(
+                            geometry_.ways > 1 ? geometry_.ways - 1 : 1),
+                        false);
+    set.mruBits.assign(static_cast<std::size_t>(geometry_.ways), false);
+    set.fifoPtr = 0;
+  }
+  hits_ = 0;
+  misses_ = 0;
+}
+
+int SetAssocCache::findWay(const Set& set, std::int64_t tag) const {
+  for (int w = 0; w < geometry_.ways; ++w) {
+    const auto& way = set.ways[static_cast<std::size_t>(w)];
+    if (way.valid && way.tag == tag) return w;
+  }
+  return -1;
+}
+
+void SetAssocCache::touch(Set& set, int way) {
+  switch (policy_) {
+    case Policy::LRU: {
+      auto& order = set.order;
+      for (std::size_t k = 0; k < order.size(); ++k) {
+        if (order[k] == way) {
+          order.erase(order.begin() + static_cast<std::ptrdiff_t>(k));
+          break;
+        }
+      }
+      order.insert(order.begin(), way);
+      break;
+    }
+    case Policy::FIFO:
+      break;  // hits do not update FIFO state
+    case Policy::PLRU: {
+      // Set bits along the root-to-leaf path to point away from `way`.
+      int node = way + geometry_.ways - 1;  // heap leaf index (root = 0)
+      while (node > 0) {
+        const int parent = (node - 1) / 2;
+        const bool isLeftChild = (node == 2 * parent + 1);
+        // bit false = victim search goes left; point away from the accessed
+        // child.
+        set.treeBits[static_cast<std::size_t>(parent)] = isLeftChild;
+        node = parent;
+      }
+      break;
+    }
+    case Policy::MRU: {
+      set.mruBits[static_cast<std::size_t>(way)] = true;
+      bool allSet = true;
+      for (const bool b : set.mruBits) allSet = allSet && b;
+      if (allSet) {
+        for (int w = 0; w < geometry_.ways; ++w) {
+          set.mruBits[static_cast<std::size_t>(w)] = (w == way);
+        }
+      }
+      break;
+    }
+    case Policy::RANDOM:
+      break;  // stateless
+  }
+}
+
+int SetAssocCache::chooseVictim(Set& set) {
+  // Prefer an invalid way in all policies.
+  for (int w = 0; w < geometry_.ways; ++w) {
+    if (!set.ways[static_cast<std::size_t>(w)].valid) return w;
+  }
+  switch (policy_) {
+    case Policy::LRU:
+      return set.order.back();
+    case Policy::FIFO: {
+      const int victim = set.fifoPtr;
+      set.fifoPtr = (set.fifoPtr + 1) % geometry_.ways;
+      return victim;
+    }
+    case Policy::PLRU: {
+      int node = 0;
+      while (node < geometry_.ways - 1) {
+        node = set.treeBits[static_cast<std::size_t>(node)] ? 2 * node + 2
+                                                            : 2 * node + 1;
+      }
+      return node - (geometry_.ways - 1);
+    }
+    case Policy::MRU: {
+      for (int w = 0; w < geometry_.ways; ++w) {
+        if (!set.mruBits[static_cast<std::size_t>(w)]) return w;
+      }
+      return 0;  // unreachable by MRU invariant
+    }
+    case Policy::RANDOM:
+      return static_cast<int>(xorshift(rng_) %
+                              static_cast<std::uint64_t>(geometry_.ways));
+  }
+  return 0;
+}
+
+AccessResult SetAssocCache::access(std::int64_t wordAddr) {
+  auto& set = sets_[static_cast<std::size_t>(geometry_.setOf(wordAddr))];
+  const std::int64_t tag = geometry_.tagOf(wordAddr);
+  const int way = findWay(set, tag);
+  if (way >= 0) {
+    touch(set, way);
+    ++hits_;
+    return AccessResult{true, timing_.hitLatency};
+  }
+  const int victim = chooseVictim(set);
+  set.ways[static_cast<std::size_t>(victim)] = Way{true, tag};
+  touch(set, victim);
+  ++misses_;
+  return AccessResult{false, timing_.missLatency};
+}
+
+bool SetAssocCache::contains(std::int64_t wordAddr) const {
+  const auto& set = sets_[static_cast<std::size_t>(geometry_.setOf(wordAddr))];
+  return findWay(set, geometry_.tagOf(wordAddr)) >= 0;
+}
+
+void SetAssocCache::warmUp(const std::vector<std::int64_t>& addrStream) {
+  for (const auto a : addrStream) access(a);
+  clearCounters();
+}
+
+std::string SetAssocCache::stateSignature() const {
+  std::ostringstream os;
+  for (std::size_t s = 0; s < sets_.size(); ++s) {
+    os << "S" << s << "{";
+    const auto& set = sets_[s];
+    for (const auto& w : set.ways) {
+      os << (w.valid ? std::to_string(w.tag) : std::string("-")) << ",";
+    }
+    os << "|";
+    switch (policy_) {
+      case Policy::LRU:
+        for (const int o : set.order) os << o;
+        break;
+      case Policy::FIFO:
+        os << set.fifoPtr;
+        break;
+      case Policy::PLRU:
+        for (const bool b : set.treeBits) os << (b ? 1 : 0);
+        break;
+      case Policy::MRU:
+        for (const bool b : set.mruBits) os << (b ? 1 : 0);
+        break;
+      case Policy::RANDOM:
+        break;
+    }
+    os << "}";
+  }
+  return os.str();
+}
+
+std::vector<SetAssocCache> enumerateInitialStates(
+    const CacheGeometry& g, Policy policy, const CacheTiming& t, int count,
+    std::uint64_t seed, std::int64_t addrSpaceWords) {
+  std::vector<SetAssocCache> states;
+  states.reserve(static_cast<std::size_t>(count));
+  std::uint64_t s = seed | 1;
+  for (int k = 0; k < count; ++k) {
+    SetAssocCache c(g, policy, t, seed + static_cast<std::uint64_t>(k));
+    if (k > 0) {
+      // Pseudo-random pollution stream of 4x capacity accesses, followed by
+      // a deterministic touch of the first k lines of the address space.
+      // The random part makes states differ globally; the deterministic
+      // tail guarantees that consecutive states differ on the LOW lines —
+      // where programs under test keep their data — so the state axis of
+      // Definition 2 is non-degenerate for small programs.
+      std::vector<std::int64_t> stream;
+      const auto len = static_cast<std::size_t>(4 * g.capacityWords());
+      stream.reserve(len + static_cast<std::size_t>(k));
+      for (std::size_t j = 0; j < len; ++j) {
+        stream.push_back(static_cast<std::int64_t>(
+            xorshift(s) % static_cast<std::uint64_t>(addrSpaceWords)));
+      }
+      const auto lines = g.totalLines();
+      for (std::int64_t j = 0; j < std::min<std::int64_t>(k, lines); ++j) {
+        stream.push_back(j * g.lineWords);
+      }
+      c.warmUp(stream);
+    }
+    states.push_back(std::move(c));
+  }
+  return states;
+}
+
+}  // namespace pred::cache

@@ -1,0 +1,114 @@
+#pragma once
+// set_assoc.h — Cycle-level set-associative cache simulation with
+// exchangeable replacement policies.
+//
+// This is the memory-hierarchy substrate behind several experiments:
+//  * Figure 1 (E1): the enumerable initial cache states form the hardware
+//    state set Q of Definition 2.
+//  * Table 1 row 7 / Wilhelm et al. [29]: LRU vs other policies as the
+//    state-induced variability knob of compositional architectures.
+//  * Table 2 rows 1-3: baselines for method cache, split caches, locking.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "cache/policy.h"
+
+namespace pred::cache {
+
+using Cycles = std::uint64_t;
+
+/// Latency parameters of a cache level backed by a flat memory.
+struct CacheTiming {
+  Cycles hitLatency = 1;
+  Cycles missLatency = 10;  ///< full line fill from backing memory
+};
+
+struct AccessResult {
+  bool hit = false;
+  Cycles latency = 0;
+};
+
+/// One set-associative cache.  Deterministic for all policies (RANDOM uses a
+/// seeded xorshift: "random" in the replacement-decision sense, yet
+/// reproducible — the nondeterminism enters through the enumerable seed,
+/// which is part of the hardware state q).
+class SetAssocCache {
+ public:
+  SetAssocCache(CacheGeometry geometry, Policy policy, CacheTiming timing,
+                std::uint64_t randomSeed = 1);
+
+  /// Performs one access (loads and stores behave identically: writeback
+  /// caches with allocate-on-write; dirty-line accounting does not affect
+  /// the studied timing properties).
+  AccessResult access(std::int64_t wordAddr);
+
+  /// Hit/miss lookup without state change (for analyses and tests).
+  bool contains(std::int64_t wordAddr) const;
+
+  /// Invalidate everything; policy metadata reset to the canonical initial
+  /// value.
+  void reset();
+
+  /// Warm the cache with an address stream (no latency accounting); used to
+  /// construct distinct, reproducible initial hardware states q ∈ Q.
+  void warmUp(const std::vector<std::int64_t>& addrStream);
+
+  const CacheGeometry& geometry() const { return geometry_; }
+  Policy policy() const { return policy_; }
+  const CacheTiming& timing() const { return timing_; }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  void clearCounters() {
+    hits_ = 0;
+    misses_ = 0;
+  }
+
+  /// Canonical text serialization of the full cache state (contents +
+  /// policy metadata) — lets tests compare states for equality and lets the
+  /// composability checker assert trace-equivalence.
+  std::string stateSignature() const;
+
+ private:
+  struct Way {
+    bool valid = false;
+    std::int64_t tag = -1;
+  };
+  struct Set {
+    std::vector<Way> ways;
+    // Policy metadata:
+    std::vector<int> order;       ///< LRU: way indices, MRU first
+                                  ///< FIFO: fill order queue
+    std::vector<bool> treeBits;   ///< PLRU internal nodes
+    std::vector<bool> mruBits;    ///< MRU bit per way
+    int fifoPtr = 0;              ///< FIFO next-victim pointer
+  };
+
+  int findWay(const Set& set, std::int64_t tag) const;
+  int chooseVictim(Set& set);
+  void touch(Set& set, int way);
+
+  CacheGeometry geometry_;
+  Policy policy_;
+  CacheTiming timing_;
+  std::vector<Set> sets_;
+  std::uint64_t rng_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Builds a family of `count` distinct initial cache states by warming a
+/// fresh cache with pseudo-random address streams (state 0 is the empty
+/// cache).  These play the role of Q in Definition 2.
+std::vector<SetAssocCache> enumerateInitialStates(const CacheGeometry& g,
+                                                  Policy policy,
+                                                  const CacheTiming& t,
+                                                  int count,
+                                                  std::uint64_t seed,
+                                                  std::int64_t addrSpaceWords);
+
+}  // namespace pred::cache

@@ -1,0 +1,41 @@
+#include "cache/split_cache.h"
+
+namespace pred::cache {
+
+SplitCache::SplitCache(SplitCacheConfig config, isa::MemoryLayout layout)
+    : config_(config), layout_(layout) {
+  static_ = std::make_unique<SetAssocCache>(config.staticGeom, config.policy,
+                                            config.timing);
+  stack_ = std::make_unique<SetAssocCache>(config.stackGeom, config.policy,
+                                           config.timing);
+  heap_ = std::make_unique<SetAssocCache>(config.heapGeom, config.policy,
+                                          config.timing);
+}
+
+AccessResult SplitCache::access(std::int64_t wordAddr) {
+  switch (layout_.regionOf(wordAddr)) {
+    case isa::DataRegion::Static:
+      return static_->access(wordAddr);
+    case isa::DataRegion::Stack:
+      return stack_->access(wordAddr);
+    case isa::DataRegion::Heap:
+      return heap_->access(wordAddr);
+  }
+  return static_->access(wordAddr);
+}
+
+std::uint64_t SplitCache::hits() const {
+  return static_->hits() + stack_->hits() + heap_->hits();
+}
+
+std::uint64_t SplitCache::misses() const {
+  return static_->misses() + stack_->misses() + heap_->misses();
+}
+
+void SplitCache::reset() {
+  static_->reset();
+  stack_->reset();
+  heap_->reset();
+}
+
+}  // namespace pred::cache

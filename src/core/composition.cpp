@@ -1,0 +1,40 @@
+#include "core/composition.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pred::core {
+
+double composedPredictability(const std::vector<ComponentRange>& components) {
+  Cycles lo = 0, hi = 0;
+  for (const auto& c : components) {
+    if (c.minCost > c.maxCost) {
+      throw std::runtime_error("component " + c.name + ": min > max");
+    }
+    lo += c.minCost;
+    hi += c.maxCost;
+  }
+  if (hi == 0) throw std::runtime_error("composition has zero worst cost");
+  return static_cast<double>(lo) / static_cast<double>(hi);
+}
+
+CompositionBounds composeWithBounds(
+    const std::vector<ComponentRange>& components) {
+  CompositionBounds b;
+  b.composed = composedPredictability(components);
+  b.lower = 1.0;
+  b.upper = 0.0;
+  bool any = false;
+  for (const auto& c : components) {
+    if (c.maxCost == 0) continue;  // contributes nothing to either bound
+    any = true;
+    b.lower = std::min(b.lower, c.ratio());
+    b.upper = std::max(b.upper, c.ratio());
+  }
+  if (!any) {
+    b.lower = b.upper = 1.0;
+  }
+  return b;
+}
+
+}  // namespace pred::core

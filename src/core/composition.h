@@ -1,0 +1,71 @@
+#pragma once
+// composition.h — Compositional predictability (the paper's Section 5
+// future work made executable).
+//
+// "We are in search of compositional notions of predictability, which would
+//  allow us to derive the predictability of such an architecture from that
+//  of its pipeline, branch predictor, memory hierarchy, and other
+//  components."
+//
+// For ADDITIVE architectures — in-order pipelines whose execution time
+// decomposes as
+//      T(q, i) = sum over components c of T_c(q_c, i),
+// with independent component state spaces Q = Q_1 x ... x Q_n — the
+// derivation is exact: for a fixed input, min/max over Q distribute over
+// the sum, so the system's state-induced predictability is
+//      SIPr = (sum of component minima) / (sum of component maxima),
+// and the mediant inequality brackets it by the worst and best component
+// ratios:
+//      min_c SIPr_c  <=  SIPr_system  <=  max_c SIPr_c.
+// A composed system is thus never less predictable than its worst
+// component — *provided* timing is additive.  The out-of-order pipeline's
+// domino effect (Equation 4) is precisely a failure of additivity: no
+// per-component decomposition can reproduce an unbounded cross-component
+// interaction, which is why the paper's Section 5 calls compositionality an
+// open problem for complex cores.  Tests verify both the exactness on the
+// in-order model and the mediant bounds; bench/composition_related
+// regenerates the numbers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/template.h"
+
+namespace pred::core {
+
+/// One component's contribution to the execution time of a fixed program
+/// path, as its state q_c ranges over the component's state space.
+struct ComponentRange {
+  std::string name;
+  Cycles minCost = 0;
+  Cycles maxCost = 0;
+
+  /// The component's own predictability ratio (1 if it contributes nothing
+  /// or is state-invariant).
+  double ratio() const {
+    if (maxCost == 0) return 1.0;
+    return static_cast<double>(minCost) / static_cast<double>(maxCost);
+  }
+};
+
+/// Exact state-induced predictability of the additive composition.
+/// Throws if all components have zero max cost.
+double composedPredictability(const std::vector<ComponentRange>& components);
+
+/// Mediant bounds: the composed value lies in
+/// [min_c ratio_c, max_c ratio_c] (components with maxCost 0 excluded).
+struct CompositionBounds {
+  double lower = 1.0;   ///< worst component ratio
+  double upper = 1.0;   ///< best component ratio
+  double composed = 1.0;
+
+  bool consistent() const {
+    return lower - 1e-12 <= composed && composed <= upper + 1e-12;
+  }
+};
+
+CompositionBounds composeWithBounds(
+    const std::vector<ComponentRange>& components);
+
+}  // namespace pred::core

@@ -1,0 +1,189 @@
+#include "core/definitions.h"
+
+#include <algorithm>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+namespace pred::core {
+
+TimingMatrix TimingMatrix::compute(const TimingFunction& fn,
+                                   std::size_t numStates,
+                                   std::size_t numInputs) {
+  TimingMatrix m(numStates, numInputs);
+  for (std::size_t q = 0; q < numStates; ++q) {
+    for (std::size_t i = 0; i < numInputs; ++i) {
+      const Cycles t = fn(q, i);
+      if (t == 0) {
+        throw std::runtime_error(
+            "T_p(q,i) = 0: quotients of Defs. 3-5 require positive times");
+      }
+      m.at(q, i) = t;
+    }
+  }
+  return m;
+}
+
+Cycles TimingMatrix::bcet() const {
+  return *std::min_element(t_.begin(), t_.end());
+}
+
+Cycles TimingMatrix::wcet() const {
+  return *std::max_element(t_.begin(), t_.end());
+}
+
+std::string PredictabilityValue::summary() const {
+  std::ostringstream os;
+  os << value << " (min T = " << minTime << " at q" << q1 << ",i" << i1
+     << "; max T = " << maxTime << " at q" << q2 << ",i" << i2 << "; "
+     << toString(provenance) << ")";
+  return os.str();
+}
+
+PredictabilityValue timingPredictability(const TimingMatrix& m) {
+  PredictabilityValue r;
+  r.minTime = ~Cycles{0};
+  r.maxTime = 0;
+  for (std::size_t q = 0; q < m.numStates(); ++q) {
+    for (std::size_t i = 0; i < m.numInputs(); ++i) {
+      const Cycles t = m.at(q, i);
+      if (t < r.minTime) {
+        r.minTime = t;
+        r.q1 = q;
+        r.i1 = i;
+      }
+      if (t > r.maxTime) {
+        r.maxTime = t;
+        r.q2 = q;
+        r.i2 = i;
+      }
+    }
+  }
+  r.value = static_cast<double>(r.minTime) / static_cast<double>(r.maxTime);
+  r.provenance = Inherence::Exhaustive;
+  return r;
+}
+
+PredictabilityValue stateInducedPredictability(const TimingMatrix& m) {
+  PredictabilityValue best;
+  best.value = 2.0;  // above any real quotient
+  for (std::size_t i = 0; i < m.numInputs(); ++i) {
+    Cycles lo = ~Cycles{0}, hi = 0;
+    std::size_t qlo = 0, qhi = 0;
+    for (std::size_t q = 0; q < m.numStates(); ++q) {
+      const Cycles t = m.at(q, i);
+      if (t < lo) {
+        lo = t;
+        qlo = q;
+      }
+      if (t > hi) {
+        hi = t;
+        qhi = q;
+      }
+    }
+    const double v = static_cast<double>(lo) / static_cast<double>(hi);
+    if (v < best.value) {
+      best.value = v;
+      best.minTime = lo;
+      best.maxTime = hi;
+      best.q1 = qlo;
+      best.q2 = qhi;
+      best.i1 = best.i2 = i;
+    }
+  }
+  best.provenance = Inherence::Exhaustive;
+  return best;
+}
+
+PredictabilityValue inputInducedPredictability(const TimingMatrix& m) {
+  PredictabilityValue best;
+  best.value = 2.0;
+  for (std::size_t q = 0; q < m.numStates(); ++q) {
+    Cycles lo = ~Cycles{0}, hi = 0;
+    std::size_t ilo = 0, ihi = 0;
+    for (std::size_t i = 0; i < m.numInputs(); ++i) {
+      const Cycles t = m.at(q, i);
+      if (t < lo) {
+        lo = t;
+        ilo = i;
+      }
+      if (t > hi) {
+        hi = t;
+        ihi = i;
+      }
+    }
+    const double v = static_cast<double>(lo) / static_cast<double>(hi);
+    if (v < best.value) {
+      best.value = v;
+      best.minTime = lo;
+      best.maxTime = hi;
+      best.i1 = ilo;
+      best.i2 = ihi;
+      best.q1 = best.q2 = q;
+    }
+  }
+  best.provenance = Inherence::Exhaustive;
+  return best;
+}
+
+PredictabilityValue timingPredictability(const TimingMatrix& m,
+                                         const std::vector<std::size_t>& qSub,
+                                         const std::vector<std::size_t>& iSub) {
+  if (qSub.empty() || iSub.empty()) {
+    throw std::runtime_error("empty uncertainty subset");
+  }
+  PredictabilityValue r;
+  r.minTime = ~Cycles{0};
+  r.maxTime = 0;
+  for (const auto q : qSub) {
+    for (const auto i : iSub) {
+      const Cycles t = m.at(q, i);
+      if (t < r.minTime) {
+        r.minTime = t;
+        r.q1 = q;
+        r.i1 = i;
+      }
+      if (t > r.maxTime) {
+        r.maxTime = t;
+        r.q2 = q;
+        r.i2 = i;
+      }
+    }
+  }
+  r.value = static_cast<double>(r.minTime) / static_cast<double>(r.maxTime);
+  r.provenance = Inherence::Exhaustive;
+  return r;
+}
+
+PredictabilityValue sampledTimingPredictability(const TimingFunction& fn,
+                                                std::size_t numStates,
+                                                std::size_t numInputs,
+                                                std::size_t samples,
+                                                std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> qd(0, numStates - 1);
+  std::uniform_int_distribution<std::size_t> id(0, numInputs - 1);
+  PredictabilityValue r;
+  r.minTime = ~Cycles{0};
+  r.maxTime = 0;
+  for (std::size_t k = 0; k < samples; ++k) {
+    const std::size_t q = qd(rng);
+    const std::size_t i = id(rng);
+    const Cycles t = fn(q, i);
+    if (t < r.minTime) {
+      r.minTime = t;
+      r.q1 = q;
+      r.i1 = i;
+    }
+    if (t > r.maxTime) {
+      r.maxTime = t;
+      r.q2 = q;
+      r.i2 = i;
+    }
+  }
+  r.value = static_cast<double>(r.minTime) / static_cast<double>(r.maxTime);
+  r.provenance = Inherence::Sampled;
+  return r;
+}
+
+}  // namespace pred::core

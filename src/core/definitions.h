@@ -1,0 +1,106 @@
+#pragma once
+// definitions.h — Executable forms of the paper's Definitions 2–5.
+//
+//   Def. 2:  T_p(q, i) — execution time of program p from hardware state q
+//            with input i.  Here: a TimingFunction evaluated over finite,
+//            explicitly enumerated sets Q (hardware states) and I (inputs),
+//            or a precomputed TimingMatrix.
+//
+//   Def. 3:  Pr_p(Q, I)   = min_{q1,q2 ∈ Q} min_{i1,i2 ∈ I} T(q1,i1)/T(q2,i2)
+//   Def. 4:  SIPr_p(Q, I) = min_{q1,q2 ∈ Q} min_{i ∈ I}     T(q1,i)/T(q2,i)
+//   Def. 5:  IIPr_p(Q, I) = min_{q ∈ Q}     min_{i1,i2 ∈ I} T(q,i1)/T(q,i2)
+//
+// All three lie in (0,1]; 1 means perfectly predictable.  Because the min of
+// a quotient is min/max, each evaluator is O(|Q|·|I|) over the matrix.
+//
+// Inherence: evaluating over the *whole* (finite) Q×I yields the inherent
+// value — no analysis is involved, only the system itself.  Evaluating over
+// a sampled subset yields an UPPER bound on none/LOWER bound on... careful:
+// Pr is a min over pairs; shrinking the set can only *raise* the min, so a
+// sampled evaluation OVERestimates predictability.  The API records this
+// distinction (Inherence::Sampled) so reports cannot silently launder a
+// sample into an inherent claim — the paper's central complaint about
+// analysis-based predictability arguments.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/template.h"
+
+namespace pred::core {
+
+/// T_p(q, i) with states and inputs addressed by index into the caller's Q
+/// and I sets.
+using TimingFunction = std::function<Cycles(std::size_t q, std::size_t i)>;
+
+/// Dense |Q| x |I| matrix of execution times.
+class TimingMatrix {
+ public:
+  TimingMatrix(std::size_t numStates, std::size_t numInputs)
+      : nQ_(numStates), nI_(numInputs), t_(numStates * numInputs, 0) {}
+
+  /// Evaluates `fn` on the full cross product (the inherent, exhaustive
+  /// view of Def. 2).
+  static TimingMatrix compute(const TimingFunction& fn, std::size_t numStates,
+                              std::size_t numInputs);
+
+  std::size_t numStates() const { return nQ_; }
+  std::size_t numInputs() const { return nI_; }
+
+  Cycles at(std::size_t q, std::size_t i) const { return t_[q * nI_ + i]; }
+  Cycles& at(std::size_t q, std::size_t i) { return t_[q * nI_ + i]; }
+
+  /// BCET / WCET over the whole matrix (Figure 1's endpoints).
+  Cycles bcet() const;
+  Cycles wcet() const;
+
+  /// All T values flattened (for histograms).
+  const std::vector<Cycles>& values() const { return t_; }
+
+ private:
+  std::size_t nQ_, nI_;
+  std::vector<Cycles> t_;
+};
+
+/// Result of evaluating one of Definitions 3–5, with witnesses.
+struct PredictabilityValue {
+  double value = 1.0;        ///< the quotient, in (0, 1]
+  Cycles minTime = 0;        ///< numerator witness  T(q1,i1)
+  Cycles maxTime = 0;        ///< denominator witness T(q2,i2)
+  std::size_t q1 = 0, i1 = 0;  ///< indices attaining the minimum time
+  std::size_t q2 = 0, i2 = 0;  ///< indices attaining the maximum time
+  Inherence provenance = Inherence::Exhaustive;
+
+  std::string summary() const;
+};
+
+/// Def. 3 over the full matrix (inherent).
+PredictabilityValue timingPredictability(const TimingMatrix& m);
+
+/// Def. 4 over the full matrix: for each fixed input, the min/max quotient
+/// over states; then the min over inputs.
+PredictabilityValue stateInducedPredictability(const TimingMatrix& m);
+
+/// Def. 5 over the full matrix: for each fixed state, the min/max quotient
+/// over inputs; then the min over states.
+PredictabilityValue inputInducedPredictability(const TimingMatrix& m);
+
+/// Def. 3 restricted to subsets Q' and I' (the "extent of uncertainty"
+/// refinement of Section 2: partial knowledge about input or state shrinks
+/// the quantification domains and can only improve predictability).
+PredictabilityValue timingPredictability(const TimingMatrix& m,
+                                         const std::vector<std::size_t>& qSub,
+                                         const std::vector<std::size_t>& iSub);
+
+/// Monte-Carlo estimate of Def. 3: evaluates fn on `samples` random (q, i)
+/// pairs.  The result is flagged Inherence::Sampled; it over-estimates the
+/// inherent Pr (min over a subset ≥ min over the full set).
+PredictabilityValue sampledTimingPredictability(const TimingFunction& fn,
+                                                std::size_t numStates,
+                                                std::size_t numInputs,
+                                                std::size_t samples,
+                                                std::uint64_t seed);
+
+}  // namespace pred::core

@@ -1,0 +1,64 @@
+#include "core/domino.h"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pred::core {
+
+double fitSlope(const std::vector<double>& x, const std::vector<double>& y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    throw std::runtime_error("fitSlope: need >= 2 points");
+  }
+  const auto n = static_cast<double>(x.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t k = 0; k < x.size(); ++k) {
+    sx += x[k];
+    sy += y[k];
+    sxx += x[k] * x[k];
+    sxy += x[k] * y[k];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (denom == 0) throw std::runtime_error("fitSlope: degenerate x");
+  return (n * sxy - sx * sy) / denom;
+}
+
+DominoVerdict detectDomino(const DominoSeries& series, double slopeThreshold) {
+  if (series.n.size() != series.timeFromQ1.size() ||
+      series.n.size() != series.timeFromQ2.size() || series.n.size() < 2) {
+    throw std::runtime_error("detectDomino: malformed series");
+  }
+  DominoVerdict v;
+  std::vector<double> xs, diffs;
+  xs.reserve(series.n.size());
+  diffs.reserve(series.n.size());
+  for (std::size_t k = 0; k < series.n.size(); ++k) {
+    xs.push_back(static_cast<double>(series.n[k]));
+    const double d =
+        std::abs(static_cast<double>(series.timeFromQ1[k]) -
+                 static_cast<double>(series.timeFromQ2[k]));
+    diffs.push_back(d);
+    v.maxAbsDiff = std::max(v.maxAbsDiff, d);
+  }
+  v.diffSlope = fitSlope(xs, diffs);
+  v.dominoEffect = v.diffSlope > slopeThreshold;
+  const auto last = series.n.size() - 1;
+  v.limitRatio = static_cast<double>(series.timeFromQ1[last]) /
+                 static_cast<double>(series.timeFromQ2[last]);
+
+  std::ostringstream os;
+  os << "diff slope " << v.diffSlope << " cycles/n, max |T1-T2| "
+     << v.maxAbsDiff << ", T1/T2 at n=" << series.n[last] << ": "
+     << v.limitRatio;
+  v.detail = os.str();
+  return v;
+}
+
+std::string DominoVerdict::summary() const {
+  std::ostringstream os;
+  os << (dominoEffect ? "DOMINO EFFECT" : "no domino effect") << " (" << detail
+     << ")";
+  return os.str();
+}
+
+}  // namespace pred::core

@@ -1,0 +1,51 @@
+#pragma once
+// domino.h — Domino-effect detection (Section 2.2 of the paper).
+//
+// "A system exhibits a domino effect [Lundqvist & Stenström] if there are
+//  two hardware states q1, q2 such that the difference in execution time of
+//  the same program starting in q1 respectively q2 may be arbitrarily high,
+//  i.e. cannot be bounded by a constant."
+//
+// Operationally, over a program family p_n (n = repetition count), a domino
+// effect manifests as |T(q1, p_n) - T(q2, p_n)| growing without bound in n.
+// The detector below takes the two measured cycle series, fits the
+// per-iteration growth, and classifies:
+//   * bounded difference  -> no domino effect (compositional architecture);
+//   * linearly growing    -> domino effect; also reports the limit of the
+//     SIPr bound T(q1,p_n)/T(q2,p_n) (Equation 4's (9n+1)/12n -> 3/4).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/template.h"
+
+namespace pred::core {
+
+/// Measured execution times of a program family from two initial states.
+struct DominoSeries {
+  std::vector<std::uint64_t> n;        ///< family parameter (≥ 1, increasing)
+  std::vector<Cycles> timeFromQ1;      ///< T_{p_n}(q1, i*)
+  std::vector<Cycles> timeFromQ2;      ///< T_{p_n}(q2, i*)
+};
+
+struct DominoVerdict {
+  bool dominoEffect = false;   ///< difference grows without bound
+  double diffSlope = 0.0;      ///< cycles of divergence per unit n
+  double maxAbsDiff = 0.0;     ///< largest observed |T1 - T2|
+  double limitRatio = 1.0;     ///< lim T1/T2 estimated from the last point
+  std::string detail;
+
+  std::string summary() const;
+};
+
+/// Classifies the series.  `slopeThreshold` is the minimal per-n divergence
+/// (in cycles) counted as unbounded growth; measurement noise is absent in
+/// our deterministic simulators, so the default is conservative.
+DominoVerdict detectDomino(const DominoSeries& series,
+                           double slopeThreshold = 0.25);
+
+/// Least-squares slope of y over x (helper, exposed for tests).
+double fitSlope(const std::vector<double>& x, const std::vector<double>& y);
+
+}  // namespace pred::core

@@ -1,0 +1,88 @@
+#include "core/measures.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace pred::core {
+
+Stats computeStats(const std::vector<double>& xs) {
+  Stats s;
+  if (xs.empty()) return s;
+  s.count = xs.size();
+  s.minimum = *std::min_element(xs.begin(), xs.end());
+  s.maximum = *std::max_element(xs.begin(), xs.end());
+  double sum = 0;
+  for (const double x : xs) sum += x;
+  s.mean = sum / static_cast<double>(xs.size());
+  double ss = 0;
+  for (const double x : xs) ss += (x - s.mean) * (x - s.mean);
+  s.variance = ss / static_cast<double>(xs.size());
+  s.stddev = std::sqrt(s.variance);
+  return s;
+}
+
+Stats computeStats(const std::vector<Cycles>& xs) {
+  std::vector<double> d(xs.begin(), xs.end());
+  return computeStats(d);
+}
+
+std::string BoundsDecomposition::summary() const {
+  std::ostringstream os;
+  os << "LB=" << lowerBound << " BCET=" << bcet << " WCET=" << wcet
+     << " UB=" << upperBound << " | inherent variance=" << inherentVariance()
+     << " abstraction-induced=" << abstractionVariance()
+     << " overestimation=" << overestimationFactor();
+  return os.str();
+}
+
+Histogram::Histogram(Cycles lo, Cycles hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  if (hi <= lo || buckets == 0) {
+    // Degenerate range (e.g. perfectly predictable system: all observations
+    // equal): use one bucket.
+    lo_ = lo;
+    hi_ = lo + 1;
+    counts_.assign(1, 0);
+  }
+}
+
+void Histogram::add(Cycles value) {
+  const Cycles clamped = std::min(std::max(value, lo_), hi_ - 1);
+  const auto span = hi_ - lo_;
+  const auto b = static_cast<std::size_t>(
+      (static_cast<unsigned long long>(clamped - lo_) * counts_.size()) /
+      span);
+  counts_[std::min(b, counts_.size() - 1)]++;
+  ++total_;
+}
+
+void Histogram::addAll(const std::vector<Cycles>& values) {
+  for (const auto v : values) add(v);
+}
+
+Cycles Histogram::bucketLo(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * b / counts_.size();
+}
+
+Cycles Histogram::bucketHi(std::size_t b) const {
+  return lo_ + (hi_ - lo_) * (b + 1) / counts_.size();
+}
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (const auto c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto bar = static_cast<std::size_t>(
+        (static_cast<unsigned long long>(counts_[b]) * width) / peak);
+    os << "[" << bucketLo(b) << ", " << bucketHi(b) << ") "
+       << std::string(bar, '#');
+    if (counts_[b] > 0 && bar == 0) os << ".";
+    os << " " << counts_[b] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pred::core

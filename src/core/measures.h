@@ -1,0 +1,88 @@
+#pragma once
+// measures.h — Quality measures (third template aspect) beyond the Def. 3
+// quotient, and the Figure 1 decomposition of bounds.
+//
+// Figure 1 of the paper shows, on the execution-time axis:
+//     LB ≤ BCET ≤ (observed times) ≤ WCET ≤ UB
+// with "input- and state-induced variance" between BCET and WCET and
+// "abstraction-induced variance" (overestimation) between WCET and UB (resp.
+// LB and BCET).  BoundsDecomposition captures exactly these quantities.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/template.h"
+
+namespace pred::core {
+
+/// Descriptive statistics of a set of observed quantities (execution times,
+/// latencies, misprediction counts, ...).
+struct Stats {
+  std::uint64_t count = 0;
+  double minimum = 0;
+  double maximum = 0;
+  double mean = 0;
+  double variance = 0;  ///< population variance
+  double stddev = 0;
+
+  double range() const { return maximum - minimum; }
+  /// min/max quotient — the paper's ratio measure lifted to any quantity.
+  double ratio() const { return maximum == 0 ? 1.0 : minimum / maximum; }
+};
+
+Stats computeStats(const std::vector<double>& xs);
+Stats computeStats(const std::vector<Cycles>& xs);
+
+/// Figure 1: the relation between inherent variance and analysis
+/// overestimation.
+struct BoundsDecomposition {
+  Cycles lowerBound = 0;  ///< LB: sound static lower bound
+  Cycles bcet = 0;        ///< exhaustively observed best case
+  Cycles wcet = 0;        ///< exhaustively observed worst case
+  Cycles upperBound = 0;  ///< UB: sound static upper bound
+
+  /// Input- and state-induced variance (inherent): WCET - BCET.
+  Cycles inherentVariance() const { return wcet - bcet; }
+  /// Abstraction-induced variance (overestimation): (UB-WCET) + (BCET-LB).
+  Cycles abstractionVariance() const {
+    return (upperBound - wcet) + (bcet - lowerBound);
+  }
+  /// WCET overestimation factor UB/WCET ≥ 1.
+  double overestimationFactor() const {
+    return wcet == 0 ? 1.0
+                     : static_cast<double>(upperBound) /
+                           static_cast<double>(wcet);
+  }
+  /// Soundness invariant of Figure 1.
+  bool wellFormed() const {
+    return lowerBound <= bcet && bcet <= wcet && wcet <= upperBound;
+  }
+
+  std::string summary() const;
+};
+
+/// Fixed-width histogram over cycle counts (the frequency axis of Fig. 1).
+class Histogram {
+ public:
+  Histogram(Cycles lo, Cycles hi, std::size_t buckets);
+
+  void add(Cycles value);
+  void addAll(const std::vector<Cycles>& values);
+
+  std::size_t buckets() const { return counts_.size(); }
+  std::uint64_t count(std::size_t b) const { return counts_[b]; }
+  std::uint64_t total() const { return total_; }
+  Cycles bucketLo(std::size_t b) const;
+  Cycles bucketHi(std::size_t b) const;
+
+  /// ASCII rendering (bench output; the reproduction of Figure 1's shape).
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  Cycles lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace pred::core

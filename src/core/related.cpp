@@ -1,0 +1,86 @@
+#include "core/related.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace pred::core {
+
+BernardesResult bernardesPredictableAt(const DynamicalSystem& sys, double a,
+                                       double delta, double eps, int horizon,
+                                       int gridPoints) {
+  if (gridPoints < 2) throw std::runtime_error("need >= 2 grid points");
+  BernardesResult result;
+  result.horizonChecked = horizon;
+
+  // Frontier of reachable predicted values at step i (interval endpoints
+  // tracked as a sample set; each step applies f then re-perturbs by
+  // +-delta on the grid).
+  std::vector<double> frontier;
+  for (int g = 0; g < gridPoints; ++g) {
+    const double off = -delta + 2.0 * delta * g / (gridPoints - 1);
+    frontier.push_back(a + off);
+  }
+
+  double actual = a;
+  double worst = 0.0;
+  for (int i = 1; i <= horizon; ++i) {
+    actual = sys.f(actual);
+    std::vector<double> next;
+    next.reserve(frontier.size() * static_cast<std::size_t>(gridPoints));
+    for (const double x : frontier) {
+      const double fx = sys.f(x);
+      for (int g = 0; g < gridPoints; ++g) {
+        const double off = -delta + 2.0 * delta * g / (gridPoints - 1);
+        next.push_back(fx + off);
+      }
+    }
+    // Keep only the extremes plus a mid sample: predicted behaviors form an
+    // interval image under continuous f, so min/max dominate the deviation.
+    const auto [mn, mx] = std::minmax_element(next.begin(), next.end());
+    const double lo = *mn, hi = *mx;
+    frontier = {lo, (lo + hi) / 2, hi};
+    worst = std::max({worst, std::abs(lo - actual), std::abs(hi - actual)});
+    if (worst > eps) break;
+  }
+  result.worstDeviation = worst;
+  result.predictable = worst <= eps;
+  return result;
+}
+
+ThieleWilhelmMeasure thieleWilhelm(const BoundsDecomposition& d) {
+  ThieleWilhelmMeasure m;
+  m.wcetGap = d.upperBound - d.wcet;
+  m.bcetGap = d.bcet - d.lowerBound;
+  m.worstCasePredictability =
+      d.upperBound == 0
+          ? 1.0
+          : static_cast<double>(d.wcet) / static_cast<double>(d.upperBound);
+  return m;
+}
+
+std::string ThieleWilhelmMeasure::summary() const {
+  std::ostringstream os;
+  os << "UB-WCET gap " << wcetGap << ", BCET-LB gap " << bcetGap
+     << ", worst-case predictability " << worstCasePredictability;
+  return os.str();
+}
+
+HolisticMeasure kirnerPuschnerHolistic(const TimingMatrix& m,
+                                       const BoundsDecomposition& d) {
+  HolisticMeasure h;
+  h.inherent = timingPredictability(m).value;
+  h.worstCase = thieleWilhelm(d).worstCasePredictability;
+  return h;
+}
+
+std::string HolisticMeasure::summary() const {
+  std::ostringstream os;
+  os << "inherent " << inherent << " x worst-case " << worstCase << " = "
+     << combined();
+  return os.str();
+}
+
+}  // namespace pred::core

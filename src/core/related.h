@@ -1,0 +1,87 @@
+#pragma once
+// related.h — Executable forms of the related-work predictability notions
+// the paper surveys in Section 4, so they can be compared against
+// Definitions 3-5 on the same systems (bench/composition_related).
+//
+//  * Bernardes [3]: predictability of a discrete dynamical system (X, f)
+//    at a point — every delta-perturbed predicted orbit stays close to the
+//    actual orbit.
+//  * Thiele & Wilhelm [26]: timing predictability as the distance between
+//    the worst (best) case and the analysis bound — an ANALYSIS-relative
+//    notion, precisely what the paper's inherence aspect argues against;
+//    implemented so the contrast is measurable.
+//  * Kirner & Puschner [11]: the "holistic" combination of the inherent
+//    quotient (Equation 1) with the predictability of the worst-case
+//    timing (bound tightness).
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "core/definitions.h"
+#include "core/measures.h"
+
+namespace pred::core {
+
+// ---------------------------------------------------------------------------
+// Bernardes: discrete dynamical systems.
+// ---------------------------------------------------------------------------
+
+/// A discrete dynamical system on (a subset of) the reals with the usual
+/// metric; f describes the behavior.
+struct DynamicalSystem {
+  std::function<double(double)> f;
+};
+
+struct BernardesResult {
+  bool predictable = false;
+  double worstDeviation = 0.0;  ///< max distance of a predicted orbit from
+                                ///< the actual orbit within the horizon
+  int horizonChecked = 0;
+};
+
+/// Checks Bernardes-predictability of `sys` at point `a`: every predicted
+/// behavior — a sequence (a_i) with a_0 in B(a, delta) and
+/// a_i in B(f(a_{i-1}), delta) — must stay within `eps` of the actual
+/// behavior (f^i(a)) for `horizon` steps.  The uncountable set of predicted
+/// behaviors is explored adversarially on a perturbation grid of
+/// `gridPoints` extreme choices per step (the extremes +-delta dominate for
+/// monotone f; the grid covers non-monotone f approximately, which is
+/// sufficient for the qualitative contraction-vs-chaos experiments here).
+BernardesResult bernardesPredictableAt(const DynamicalSystem& sys, double a,
+                                       double delta, double eps, int horizon,
+                                       int gridPoints = 3);
+
+// ---------------------------------------------------------------------------
+// Thiele & Wilhelm: bound-distance predictability (analysis-relative).
+// ---------------------------------------------------------------------------
+
+struct ThieleWilhelmMeasure {
+  Cycles wcetGap = 0;  ///< UB - WCET
+  Cycles bcetGap = 0;  ///< BCET - LB
+  /// Normalized worst-case predictability UB-relative: WCET/UB in (0,1].
+  double worstCasePredictability = 1.0;
+
+  std::string summary() const;
+};
+
+ThieleWilhelmMeasure thieleWilhelm(const BoundsDecomposition& d);
+
+// ---------------------------------------------------------------------------
+// Kirner & Puschner: holistic time-predictability.
+// ---------------------------------------------------------------------------
+
+struct HolisticMeasure {
+  double inherent = 1.0;   ///< Equation 1 / Def. 3 quotient (Grund [8])
+  double worstCase = 1.0;  ///< WCET/UB (Thiele/Wilhelm-style, in (0,1])
+  /// The combined "holistic time-predictability": the product — 1 iff the
+  /// system is perfectly predictable AND the analysis is exact.
+  double combined() const { return inherent * worstCase; }
+
+  std::string summary() const;
+};
+
+HolisticMeasure kirnerPuschnerHolistic(const TimingMatrix& m,
+                                       const BoundsDecomposition& d);
+
+}  // namespace pred::core

@@ -1,0 +1,72 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace pred::core {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::addRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::addRule() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.rule) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  auto renderRow = [&](const std::vector<std::string>& cells) {
+    std::ostringstream os;
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+    }
+    os << "\n";
+    return os.str();
+  };
+  auto rule = [&]() {
+    std::ostringstream os;
+    os << "+";
+    for (const auto w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+    return os.str();
+  };
+
+  std::ostringstream os;
+  os << rule() << renderRow(header_) << rule();
+  for (const auto& row : rows_) {
+    os << (row.rule ? rule() : renderRow(row.cells));
+  }
+  os << rule();
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string fmtVsBaseline(double value, double baseline, int precision) {
+  std::ostringstream os;
+  os << fmt(value, precision);
+  if (baseline != 0) {
+    os << " (" << fmt(value / baseline, precision) << "x of baseline)";
+  }
+  return os.str();
+}
+
+}  // namespace pred::core

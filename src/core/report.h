@@ -1,0 +1,36 @@
+#pragma once
+// report.h — Text-table rendering used by the bench binaries to print the
+// regenerated Tables 1/2 rows and per-experiment summaries.
+
+#include <string>
+#include <vector>
+
+namespace pred::core {
+
+/// Minimal monospace table builder with column auto-sizing.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  /// Adds a horizontal separator line before the next row.
+  void addRule();
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    bool rule = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Formats a double with fixed precision (benches want stable widths).
+std::string fmt(double v, int precision = 4);
+
+/// Formats "x (factor f vs baseline b)".
+std::string fmtVsBaseline(double value, double baseline, int precision = 2);
+
+}  // namespace pred::core

@@ -1,0 +1,71 @@
+#include "core/template.h"
+
+#include <sstream>
+
+namespace pred::core {
+
+std::string toString(Property p) {
+  switch (p) {
+    case Property::ExecutionTime: return "execution time";
+    case Property::BasicBlockTime: return "execution time of basic blocks";
+    case Property::PathTime: return "execution time of program paths";
+    case Property::MemoryAccessLatency: return "memory access latency";
+    case Property::DramAccessLatency: return "latency of DRAM accesses";
+    case Property::BusTransferLatency: return "latency of bus transfers";
+    case Property::BranchMispredictions: return "number of branch mispredictions";
+    case Property::CacheHits: return "number of cache hits";
+  }
+  return "?";
+}
+
+std::string toString(Uncertainty u) {
+  switch (u) {
+    case Uncertainty::InitialHardwareState: return "initial hardware state";
+    case Uncertainty::InitialCacheState: return "initial cache state";
+    case Uncertainty::InitialPredictorState: return "initial predictor state";
+    case Uncertainty::InitialPipelineState: return "initial pipeline state";
+    case Uncertainty::ProgramInput: return "program input";
+    case Uncertainty::ExecutionContext: return "execution context (co-runners)";
+    case Uncertainty::PreemptingTasks: return "preempting tasks";
+    case Uncertainty::DramRefresh: return "occurrence of DRAM refreshes";
+    case Uncertainty::DataAddresses: return "addresses of data accesses";
+    case Uncertainty::AnalysisImprecision: return "analysis imprecision";
+  }
+  return "?";
+}
+
+std::string toString(MeasureKind m) {
+  switch (m) {
+    case MeasureKind::Ratio: return "BCET/WCET ratio (Pr)";
+    case MeasureKind::Range: return "variability (max - min)";
+    case MeasureKind::Variance: return "variance";
+    case MeasureKind::BoundExistence: return "existence of bound";
+    case MeasureKind::BoundSize: return "size of bound";
+    case MeasureKind::StaticallyClassified: return "% statically classified";
+    case MeasureKind::AnalysisSimplicity: return "analysis simplicity";
+  }
+  return "?";
+}
+
+std::string toString(Inherence i) {
+  switch (i) {
+    case Inherence::Exhaustive: return "exhaustive (inherent)";
+    case Inherence::Sampled: return "sampled (bounds inherent value)";
+    case Inherence::AnalysisBased: return "analysis-based (not inherent)";
+  }
+  return "?";
+}
+
+std::string tableRow(const PredictabilityInstance& inst) {
+  std::ostringstream os;
+  os << inst.approach << " " << inst.citation << " | " << inst.hardwareUnit
+     << " | " << toString(inst.property) << " | ";
+  for (std::size_t k = 0; k < inst.uncertainties.size(); ++k) {
+    if (k) os << "; ";
+    os << toString(inst.uncertainties[k]);
+  }
+  os << " | " << toString(inst.measure);
+  return os.str();
+}
+
+}  // namespace pred::core

@@ -1,0 +1,113 @@
+#pragma once
+// template.h — The predictability template (Section 2.1 of the paper).
+//
+// "We therefore propose a template for predictability with the goal to
+//  enable a concise and uniform description of predictability instances.
+//  It consists of the above mentioned key aspects:
+//    - property to be predicted,
+//    - sources of uncertainty, and
+//    - quality measure."
+//
+// This header makes the template a first-class value: a
+// PredictabilityInstance names the property, the uncertainty sources, and
+// the quality measure of one "approach" — exactly the columns of the
+// paper's Tables 1 and 2 — and carries an evaluator that *measures* the
+// quality measure on our executable substrates.  The fourth key aspect,
+// inherence, is represented by recording whether a measurement derives from
+// exhaustive enumeration of the uncertainty (inherent, analysis-independent)
+// or from a particular (possibly suboptimal) analysis.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace pred::core {
+
+using Cycles = std::uint64_t;
+
+/// The property to be predicted (first template aspect).  The catalog covers
+/// every property appearing in Tables 1 and 2.
+enum class Property : std::uint8_t {
+  ExecutionTime,          ///< end-to-end execution time of a program/task
+  BasicBlockTime,         ///< execution time of basic blocks [21]
+  PathTime,               ///< execution time of program paths [28]
+  MemoryAccessLatency,    ///< latency of individual memory accesses [9,29]
+  DramAccessLatency,      ///< latency of DRAM requests [1,17,4]
+  BusTransferLatency,     ///< latency of bus transfers [29]
+  BranchMispredictions,   ///< number of branch mispredictions [5,6]
+  CacheHits,              ///< number of cache hits/misses [18,24]
+};
+
+/// Sources of uncertainty (second template aspect).
+enum class Uncertainty : std::uint8_t {
+  InitialHardwareState,    ///< pipeline/cache/predictor state at start
+  InitialCacheState,       ///< specifically the cache [18,23]
+  InitialPredictorState,   ///< specifically the branch predictor [5,6]
+  InitialPipelineState,    ///< specifically pipeline occupancy [21,29]
+  ProgramInput,            ///< i ∈ I (Def. 2) [19]
+  ExecutionContext,        ///< co-running tasks / threads [2,16,9,17]
+  PreemptingTasks,         ///< cache interference from preemption [18]
+  DramRefresh,             ///< occurrence of refreshes [1,4]
+  DataAddresses,           ///< statically unknown access addresses [24]
+  AnalysisImprecision,     ///< not a system property; kept because several
+                           ///< surveyed works state it as their concern
+};
+
+/// Quality measures (third template aspect).
+enum class MeasureKind : std::uint8_t {
+  Ratio,             ///< min/max quotient, the paper's Pr ∈ [0,1] (Def. 3)
+  Range,             ///< max - min (absolute variability)
+  Variance,          ///< statistical variance over the uncertainty space
+  BoundExistence,    ///< does a finite bound exist? (DRAM controllers)
+  BoundSize,         ///< size of the (statically computed) bound
+  StaticallyClassified,  ///< fraction of accesses statically classifiable [24]
+  AnalysisSimplicity,    ///< proxy: number of program points an analysis
+                         ///< must consider (method cache [23])
+};
+
+std::string toString(Property p);
+std::string toString(Uncertainty u);
+std::string toString(MeasureKind m);
+
+/// Whether a reported number is inherent (optimal-analysis / exhaustive) or
+/// produced by one particular analysis.  The paper's central thesis is that
+/// only the former defines predictability; the latter merely *bounds* it
+/// ("Overapproximating static analyses provide upper bounds on a system's
+/// inherent predictability").
+enum class Inherence : std::uint8_t {
+  Exhaustive,      ///< computed by enumerating the whole uncertainty space
+  Sampled,         ///< Monte-Carlo subset: bounds the exhaustive value
+  AnalysisBased,   ///< produced by a particular static analysis
+};
+
+std::string toString(Inherence i);
+
+/// One measured value of a quality measure, with its provenance.
+struct Measurement {
+  MeasureKind kind = MeasureKind::Ratio;
+  double value = 0.0;
+  Inherence provenance = Inherence::Exhaustive;
+  std::string detail;  ///< free-form, e.g. "min=12 max=48 over |Q|=16,|I|=8"
+};
+
+/// A predictability instance: one row of Table 1/2, made executable.
+struct PredictabilityInstance {
+  std::string approach;       ///< e.g. "WCET-oriented static branch prediction"
+  std::string hardwareUnit;   ///< e.g. "Branch predictor"
+  Property property = Property::ExecutionTime;
+  std::vector<Uncertainty> uncertainties;
+  MeasureKind measure = MeasureKind::Ratio;
+  std::string citation;       ///< paper reference tag, e.g. "[5,6]"
+
+  /// Measures the quality measure on the executable substrate, typically
+  /// once for a baseline system and once for the predictable variant.
+  std::function<std::vector<Measurement>()> evaluate;
+};
+
+/// Renders the instance as a row matching the columns of Tables 1 and 2
+/// (Approach | Hardware unit | Property | Source of uncertainty | Quality
+/// measure).
+std::string tableRow(const PredictabilityInstance& inst);
+
+}  // namespace pred::core

@@ -1,0 +1,42 @@
+#include "dram/device.h"
+
+namespace pred::dram {
+
+DramDevice::DramDevice(DramGeometry geometry, DramTiming timing)
+    : geometry_(geometry), timing_(timing) {
+  reset();
+}
+
+void DramDevice::reset() {
+  openRow_.assign(static_cast<std::size_t>(geometry_.banks), -1);
+}
+
+Cycles DramDevice::accessOpenPage(std::int64_t wordAddr) {
+  const auto bank = static_cast<std::size_t>(bankOf(wordAddr));
+  const std::int64_t row = rowOf(wordAddr);
+  if (openRow_[bank] == row) {
+    return timing_.tCL;  // row hit
+  }
+  Cycles d = timing_.tRCD + timing_.tCL;
+  if (openRow_[bank] != -1) d += timing_.tRP;  // row conflict: precharge first
+  openRow_[bank] = row;
+  return d;
+}
+
+Cycles DramDevice::accessClosedPage(std::int64_t wordAddr) {
+  const auto bank = static_cast<std::size_t>(bankOf(wordAddr));
+  openRow_[bank] = -1;  // auto-precharge
+  return closedPageDuration();
+}
+
+Cycles DramDevice::refreshOne() {
+  reset();  // refresh closes all row buffers
+  return timing_.tRFC;
+}
+
+Cycles DramDevice::refreshBurst() {
+  reset();
+  return timing_.tRFC * static_cast<Cycles>(timing_.rowsPerBank);
+}
+
+}  // namespace pred::dram

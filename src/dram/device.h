@@ -1,0 +1,82 @@
+#pragma once
+// device.h — SDRAM device timing model.
+//
+// Substrate for Table 2, rows 4 and 5 of the paper: the predictable DRAM
+// controllers Predator (Akesson, Goossens, Ringhofer [1]) and AMC (Paolieri
+// et al. [17]), and predictable refresh (Bhat & Mueller [4]).
+//
+// The model captures the timing structure those works depend on:
+//   * banks with one open row each (row-buffer): an access to the open row
+//     costs tCL; to another row tRP + tRCD + tCL (precharge + activate);
+//   * refresh: the device must refresh all rows every tREFI_total; a
+//     refresh command occupies the device for tRFC and closes row buffers.
+// Absolute nanosecond parameters are irrelevant to the reproduced *shapes*
+// (who bounds latency, who doesn't); defaults are typical DDR2-ish ratios
+// in controller cycles.
+
+#include <cstdint>
+#include <vector>
+
+namespace pred::dram {
+
+using Cycles = std::uint64_t;
+
+struct DramTiming {
+  Cycles tCL = 3;    ///< column access (open row)
+  Cycles tRCD = 3;   ///< activate (row open)
+  Cycles tRP = 3;    ///< precharge (row close)
+  Cycles tRFC = 20;  ///< refresh command duration
+  Cycles tREFI = 700;  ///< average interval between distributed refreshes
+  int rowsPerBank = 64;  ///< rows refreshed per retention period
+};
+
+struct DramGeometry {
+  int banks = 4;
+  std::int64_t rowWords = 64;  ///< words per row (row = addr / rowWords)
+};
+
+/// One DRAM device: bank/row state machine.  Controllers drive it.
+class DramDevice {
+ public:
+  DramDevice(DramGeometry geometry, DramTiming timing);
+
+  int bankOf(std::int64_t wordAddr) const {
+    return static_cast<int>((wordAddr / geometry_.rowWords) %
+                            geometry_.banks);
+  }
+  std::int64_t rowOf(std::int64_t wordAddr) const {
+    return wordAddr / geometry_.rowWords / geometry_.banks;
+  }
+
+  /// Performs an access in open-page policy: returns its service duration
+  /// (the device is busy that long).
+  Cycles accessOpenPage(std::int64_t wordAddr);
+
+  /// Performs an access in closed-page policy: the row is activated,
+  /// accessed, and precharged — constant duration (the Predator/AMC
+  /// "predictable access scheme").
+  Cycles accessClosedPage(std::int64_t wordAddr);
+
+  /// Refresh one row (distributed refresh) — closes all row buffers.
+  Cycles refreshOne();
+
+  /// Refresh the whole device in one burst (Bhat & Mueller style).
+  Cycles refreshBurst();
+
+  /// Worst-case single-access duration (closed page) — the analyzable bound.
+  Cycles closedPageDuration() const {
+    return timing_.tRCD + timing_.tCL + timing_.tRP;
+  }
+
+  const DramTiming& timing() const { return timing_; }
+  const DramGeometry& geometry() const { return geometry_; }
+
+  void reset();
+
+ private:
+  DramGeometry geometry_;
+  DramTiming timing_;
+  std::vector<std::int64_t> openRow_;  ///< per bank, -1 = closed
+};
+
+}  // namespace pred::dram

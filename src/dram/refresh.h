@@ -1,0 +1,42 @@
+#pragma once
+// refresh.h — Predictable DRAM refresh (Bhat & Mueller [4]; Table 2, row 5).
+//
+// Standard controllers issue a refresh command every tREFI; a memory access
+// arriving while the refresh occupies the device is delayed by up to tRFC —
+// the "occurrence of refreshes" uncertainty of the paper's table, invisible
+// to WCET analysis because refresh timing is asynchronous to the task.
+//
+// Bhat & Mueller instead execute all refreshes in one burst per retention
+// period and schedule the burst like an ordinary periodic task: during task
+// execution the device never refreshes, so every access latency is
+// refresh-free and constant; the burst cost moves into schedulability
+// analysis where it is visible and analyzable.
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/device.h"
+
+namespace pred::dram {
+
+enum class RefreshScheme : std::uint8_t {
+  Distributed,  ///< one row refresh every tREFI (standard)
+  Burst,        ///< all rows refreshed back-to-back, scheduled as a task
+};
+
+struct RefreshRunResult {
+  std::vector<Cycles> accessLatencies;  ///< per access, in arrival order
+  Cycles burstBudget = 0;  ///< cycles the schedulability analysis must
+                           ///< reserve per retention period (Burst only)
+  std::uint64_t refreshesDuringTask = 0;
+};
+
+/// Serves a single client's access stream (arrival cycles, addresses) under
+/// the given refresh scheme, closed-page accesses.  For Burst, the task is
+/// assumed scheduled between bursts (the Bhat/Mueller discipline), so no
+/// access collides with a refresh.
+RefreshRunResult runWithRefresh(DramDevice device, RefreshScheme scheme,
+                                const std::vector<Cycles>& arrivals,
+                                const std::vector<std::int64_t>& addrs);
+
+}  // namespace pred::dram

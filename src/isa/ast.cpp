@@ -1,0 +1,456 @@
+#include "isa/ast.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "isa/codegen_common.h"
+
+namespace pred::isa::ast {
+
+ExprPtr constant(std::int64_t v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Const;
+  e->value = v;
+  return e;
+}
+
+ExprPtr var(std::string name) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Var;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr arrayRef(std::string name, ExprPtr index) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::ArrayRef;
+  e->name = std::move(name);
+  e->lhs = std::move(index);
+  return e;
+}
+
+ExprPtr bin(BinOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Binary;
+  e->binop = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr cmp(CmpOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = Expr::Kind::Compare;
+  e->cmpop = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+StmtPtr assign(std::string name, ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::Assign;
+  s->name = std::move(name);
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr arrayAssign(std::string name, ExprPtr index, ExprPtr value) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::ArrayAssign;
+  s->name = std::move(name);
+  s->index = std::move(index);
+  s->expr = std::move(value);
+  return s;
+}
+
+StmtPtr ifElse(ExprPtr cond, StmtPtr thenS, StmtPtr elseS) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::If;
+  s->expr = std::move(cond);
+  s->a = std::move(thenS);
+  s->b = std::move(elseS);
+  return s;
+}
+
+StmtPtr forLoop(std::string loopVar, std::int64_t from, std::int64_t to,
+                StmtPtr body) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::For;
+  s->name = std::move(loopVar);
+  s->from = from;
+  s->to = to;
+  s->a = std::move(body);
+  return s;
+}
+
+StmtPtr whileLoop(ExprPtr cond, StmtPtr body, std::int64_t bound) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::While;
+  s->expr = std::move(cond);
+  s->a = std::move(body);
+  s->bound = bound;
+  return s;
+}
+
+StmtPtr seq(std::vector<StmtPtr> stmts) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::Seq;
+  s->seq = std::move(stmts);
+  return s;
+}
+
+StmtPtr callFn(std::string name) {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::CallFn;
+  s->name = std::move(name);
+  return s;
+}
+
+StmtPtr nop() {
+  auto s = std::make_shared<Stmt>();
+  s->kind = Stmt::Kind::Nop;
+  return s;
+}
+
+namespace detail {
+
+DataLayout::DataLayout(const AstProgram& prog, const MemoryLayout& layout)
+    : nextStatic_(layout.staticBase),
+      staticLimit_(layout.stackBase),
+      nextHeap_(layout.heapBase),
+      heapLimit_(layout.memWords) {
+  for (const auto& s : prog.scalars) {
+    scalarAddrs_[s] = nextStatic_++;
+  }
+  auto isHeap = [&prog](const std::string& n) {
+    for (const auto& h : prog.heapArrays) {
+      if (h == n) return true;
+    }
+    return false;
+  };
+  for (const auto& [name, len] : prog.arrays) {
+    if (isHeap(name)) {
+      heapPtrSlots_[name] = nextStatic_++;
+      heapBases_[name] = nextHeap_;
+      nextHeap_ += len;
+      if (nextHeap_ > heapLimit_) throw std::runtime_error("heap overflow");
+    } else {
+      staticArrayBases_[name] = nextStatic_;
+      arrayLens_[name] = len;
+      nextStatic_ += len;
+    }
+  }
+  if (nextStatic_ > staticLimit_) {
+    throw std::runtime_error("static region overflow");
+  }
+}
+
+std::int64_t DataLayout::scalarAddr(const std::string& name) const {
+  auto it = scalarAddrs_.find(name);
+  if (it == scalarAddrs_.end()) {
+    throw std::runtime_error("unknown scalar: " + name);
+  }
+  return it->second;
+}
+
+bool DataLayout::isHeapArray(const std::string& name) const {
+  return heapPtrSlots_.count(name) > 0;
+}
+
+std::int64_t DataLayout::staticArrayBase(const std::string& name) const {
+  auto it = staticArrayBases_.find(name);
+  if (it == staticArrayBases_.end()) {
+    throw std::runtime_error("unknown static array: " + name);
+  }
+  return it->second;
+}
+
+std::int64_t DataLayout::heapPointerSlot(const std::string& name) const {
+  auto it = heapPtrSlots_.find(name);
+  if (it == heapPtrSlots_.end()) {
+    throw std::runtime_error("unknown heap array: " + name);
+  }
+  return it->second;
+}
+
+std::int64_t DataLayout::heapArrayBase(const std::string& name) const {
+  return heapBases_.at(name);
+}
+
+void DataLayout::emitPrologue(ProgramBuilder& b) const {
+  for (const auto& [name, addr] : scalarAddrs_) b.var(name, addr);
+  for (const auto& [name, base] : staticArrayBases_) {
+    b.var(name, base);
+    b.arrayExtent(base, arrayLens_.at(name));
+  }
+  for (const auto& [name, slot] : heapPtrSlots_) {
+    b.var("__ptr_" + name, slot);
+    b.var(name, heapBases_.at(name));
+    // Prologue: materialize the heap base pointer.  A real allocator would
+    // produce an unpredictable value; the *static* analyses treat accesses
+    // through it as unknown addresses regardless.
+    b.li(kScratch, static_cast<std::int32_t>(heapBases_.at(name)));
+    b.st(kScratch, 0, static_cast<std::int32_t>(slot));
+  }
+}
+
+std::int64_t DataLayout::allocHiddenSlot(const std::string& name) {
+  if (nextStatic_ >= staticLimit_) {
+    throw std::runtime_error("static region overflow (hidden slots)");
+  }
+  scalarAddrs_[name] = nextStatic_;
+  return nextStatic_++;
+}
+
+int ExprCodegen::compile(const ExprPtr& e, TempPool& pool) {
+  if (!e) throw std::runtime_error("null expression");
+  switch (e->kind) {
+    case Expr::Kind::Const: {
+      const int r = pool.alloc();
+      b_.li(r, static_cast<std::int32_t>(e->value));
+      return r;
+    }
+    case Expr::Kind::Var: {
+      const int r = pool.alloc();
+      b_.ld(r, 0, static_cast<std::int32_t>(layout_.scalarAddr(e->name)));
+      return r;
+    }
+    case Expr::Kind::ArrayRef: {
+      const int idx = compile(e->lhs, pool);
+      if (layout_.isHeapArray(e->name)) {
+        b_.ld(kScratch, 0,
+              static_cast<std::int32_t>(layout_.heapPointerSlot(e->name)));
+        b_.add(idx, idx, kScratch);
+        b_.ld(idx, idx, 0);
+        b_.unknownAddress();
+      } else {
+        b_.ld(idx, idx,
+              static_cast<std::int32_t>(layout_.staticArrayBase(e->name)));
+      }
+      return idx;
+    }
+    case Expr::Kind::Binary: {
+      const int l = compile(e->lhs, pool);
+      const int r = compile(e->rhs, pool);
+      switch (e->binop) {
+        case BinOp::Add: b_.add(l, l, r); break;
+        case BinOp::Sub: b_.sub(l, l, r); break;
+        case BinOp::Mul: b_.mul(l, l, r); break;
+        case BinOp::Div: b_.div(l, l, r); break;
+        case BinOp::And: b_.and_(l, l, r); break;
+        case BinOp::Or: b_.or_(l, l, r); break;
+        case BinOp::Xor: b_.xor_(l, l, r); break;
+        case BinOp::Shl: b_.shl(l, l, r); break;
+        case BinOp::Shr: b_.shr(l, l, r); break;
+      }
+      pool.release(r);
+      return l;
+    }
+    case Expr::Kind::Compare: {
+      const int l = compile(e->lhs, pool);
+      const int r = compile(e->rhs, pool);
+      emitCompare(e->cmpop, l, r, pool);
+      pool.release(r);
+      return l;
+    }
+  }
+  throw std::runtime_error("unreachable expression kind");
+}
+
+void ExprCodegen::emitCompare(CmpOp op, int dst, int rhsReg, TempPool& pool) {
+  switch (op) {
+    case CmpOp::Lt:
+      b_.slt(dst, dst, rhsReg);
+      break;
+    case CmpOp::Gt:
+      b_.slt(dst, rhsReg, dst);
+      break;
+    case CmpOp::Le:
+      b_.slt(dst, rhsReg, dst);  // dst = (rhs < lhs) = (lhs > rhs)
+      b_.li(kScratch2, 1);
+      b_.sub(dst, kScratch2, dst);  // invert
+      break;
+    case CmpOp::Ge:
+      b_.slt(dst, dst, rhsReg);
+      b_.li(kScratch2, 1);
+      b_.sub(dst, kScratch2, dst);
+      break;
+    case CmpOp::Ne: {
+      const int t = pool.alloc();
+      b_.sub(dst, dst, rhsReg);  // d = l - r
+      b_.slt(t, 0, dst);         // t   = (0 < d)
+      b_.slt(dst, dst, 0);       // dst = (d < 0)
+      b_.or_(dst, dst, t);       // dst = (d != 0)
+      pool.release(t);
+      break;
+    }
+    case CmpOp::Eq: {
+      const int t = pool.alloc();
+      b_.sub(dst, dst, rhsReg);
+      b_.slt(t, 0, dst);
+      b_.slt(dst, dst, 0);
+      b_.or_(dst, dst, t);
+      b_.li(kScratch2, 1);
+      b_.sub(dst, kScratch2, dst);  // dst = (d == 0)
+      pool.release(t);
+      break;
+    }
+  }
+}
+
+int ExprCodegen::compileCond01(const ExprPtr& e, TempPool& pool) {
+  if (e->kind == Expr::Kind::Compare) return compile(e, pool);
+  return compile(cmp(CmpOp::Ne, e, constant(0)), pool);
+}
+
+}  // namespace detail
+
+// ---------------------------------------------------------------------------
+// Branchy statement compiler.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+using detail::DataLayout;
+using detail::ExprCodegen;
+using detail::kScratch;
+using detail::LabelGen;
+using detail::TempPool;
+
+class BranchyCompiler {
+ public:
+  BranchyCompiler(const AstProgram& prog, const MemoryLayout& mem)
+      : prog_(prog), layout_(prog, mem), expr_(b_, layout_) {}
+
+  Program compile() {
+    layout_.emitPrologue(b_);
+    compileStmt(prog_.main);
+    b_.halt();
+    for (const auto& f : prog_.functions) {
+      b_.beginFunction(f.name);
+      compileStmt(f.body);
+      b_.ret();
+      b_.endFunction();
+    }
+    return b_.build();
+  }
+
+ private:
+  void compileStmt(const StmtPtr& s) {
+    if (!s) return;
+    switch (s->kind) {
+      case Stmt::Kind::Nop:
+        break;
+      case Stmt::Kind::Seq:
+        for (const auto& c : s->seq) compileStmt(c);
+        break;
+      case Stmt::Kind::Assign: {
+        TempPool pool;
+        const int v = expr_.compile(s->expr, pool);
+        b_.st(v, 0, static_cast<std::int32_t>(layout_.scalarAddr(s->name)));
+        pool.release(v);
+        break;
+      }
+      case Stmt::Kind::ArrayAssign: {
+        TempPool pool;
+        const int v = expr_.compile(s->expr, pool);
+        const int ix = expr_.compile(s->index, pool);
+        if (layout_.isHeapArray(s->name)) {
+          b_.ld(kScratch, 0,
+                static_cast<std::int32_t>(layout_.heapPointerSlot(s->name)));
+          b_.add(ix, ix, kScratch);
+          b_.st(v, ix, 0);
+          b_.unknownAddress();
+        } else {
+          b_.st(v, ix,
+                static_cast<std::int32_t>(layout_.staticArrayBase(s->name)));
+        }
+        pool.release(ix);
+        pool.release(v);
+        break;
+      }
+      case Stmt::Kind::If: {
+        TempPool pool;
+        const int c = expr_.compileCond01(s->expr, pool);
+        const std::string elseL = labels_.fresh("else");
+        const std::string endL = labels_.fresh("endif");
+        b_.beq(c, 0, s->b ? elseL : endL);
+        pool.release(c);
+        compileStmt(s->a);
+        if (s->b) {
+          b_.jmp(endL);
+          b_.label(elseL);
+          compileStmt(s->b);
+        }
+        b_.label(endL);
+        break;
+      }
+      case Stmt::Kind::For: {
+        const auto varAddr =
+            static_cast<std::int32_t>(layout_.scalarAddr(s->name));
+        const std::string headL = labels_.fresh("for");
+        const std::string endL = labels_.fresh("endfor");
+        TempPool pool;
+        const int t = pool.alloc();
+        b_.li(t, static_cast<std::int32_t>(s->from));
+        b_.st(t, 0, varAddr);
+        b_.label(headL);
+        b_.ld(t, 0, varAddr);
+        const int u = pool.alloc();
+        b_.li(u, static_cast<std::int32_t>(s->to));
+        b_.bge(t, u, endL);
+        pool.release(u);
+        pool.release(t);
+        compileStmt(s->a);
+        {
+          TempPool pool2;
+          const int w = pool2.alloc();
+          b_.ld(w, 0, varAddr);
+          b_.addi(w, w, 1);
+          b_.st(w, 0, varAddr);
+          pool2.release(w);
+        }
+        b_.jmp(headL);
+        const auto trips = std::max<std::int64_t>(0, s->to - s->from);
+        b_.bound(trips, trips);  // counted loop: min == max
+        b_.label(endL);
+        break;
+      }
+      case Stmt::Kind::While: {
+        const std::string headL = labels_.fresh("while");
+        const std::string endL = labels_.fresh("endwhile");
+        b_.label(headL);
+        {
+          TempPool pool;
+          const int c = expr_.compileCond01(s->expr, pool);
+          b_.beq(c, 0, endL);
+          pool.release(c);
+        }
+        compileStmt(s->a);
+        b_.jmp(headL);
+        b_.bound(s->bound);
+        b_.label(endL);
+        break;
+      }
+      case Stmt::Kind::CallFn:
+        b_.call(s->name);
+        break;
+    }
+  }
+
+  const AstProgram& prog_;
+  ProgramBuilder b_;
+  DataLayout layout_;
+  ExprCodegen expr_;
+  LabelGen labels_;
+};
+
+}  // namespace
+
+Program compileBranchy(const AstProgram& prog) {
+  MemoryLayout mem;
+  return BranchyCompiler(prog, mem).compile();
+}
+
+}  // namespace pred::isa::ast

@@ -1,0 +1,124 @@
+#pragma once
+// ast.h — Structured programs (expressions, statements, functions) and the
+// conventional ("branchy") code generator.
+//
+// Workloads are authored once as ASTs and compiled twice:
+//   * compileBranchy()       — ordinary code with data-dependent branches;
+//   * compileSinglePath()    — Puschner & Burns' single-path paradigm [19]
+//                              (see singlepath.h), where all input-dependent
+//                              control flow is converted to predicated
+//                              straight-line code.
+// Comparing T_p(q, i) of the two compilations of the *same* AST is exactly
+// the experiment behind Table 2's last row: the single-path version trades
+// average performance for input-induced predictability (Def. 5).
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace pred::isa::ast {
+
+struct Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Comparison operators for condition expressions (materialized as 0/1).
+enum class CmpOp : std::uint8_t { Lt, Le, Gt, Ge, Eq, Ne };
+
+/// Arithmetic operators available in expressions.
+enum class BinOp : std::uint8_t { Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr };
+
+/// Expression tree node.
+struct Expr {
+  enum class Kind : std::uint8_t { Const, Var, ArrayRef, Binary, Compare };
+  Kind kind = Kind::Const;
+  std::int64_t value = 0;  ///< Const
+  std::string name;        ///< Var / ArrayRef
+  BinOp binop = BinOp::Add;
+  CmpOp cmpop = CmpOp::Lt;
+  ExprPtr lhs;  ///< Binary lhs / ArrayRef index / Compare lhs
+  ExprPtr rhs;  ///< Binary rhs / Compare rhs
+};
+
+ExprPtr constant(std::int64_t v);
+ExprPtr var(std::string name);
+ExprPtr arrayRef(std::string name, ExprPtr index);
+ExprPtr bin(BinOp op, ExprPtr l, ExprPtr r);
+ExprPtr cmp(CmpOp op, ExprPtr l, ExprPtr r);
+
+inline ExprPtr add(ExprPtr l, ExprPtr r) { return bin(BinOp::Add, l, r); }
+inline ExprPtr sub(ExprPtr l, ExprPtr r) { return bin(BinOp::Sub, l, r); }
+inline ExprPtr mul(ExprPtr l, ExprPtr r) { return bin(BinOp::Mul, l, r); }
+inline ExprPtr div(ExprPtr l, ExprPtr r) { return bin(BinOp::Div, l, r); }
+inline ExprPtr lt(ExprPtr l, ExprPtr r) { return cmp(CmpOp::Lt, l, r); }
+inline ExprPtr le(ExprPtr l, ExprPtr r) { return cmp(CmpOp::Le, l, r); }
+inline ExprPtr gt(ExprPtr l, ExprPtr r) { return cmp(CmpOp::Gt, l, r); }
+inline ExprPtr ge(ExprPtr l, ExprPtr r) { return cmp(CmpOp::Ge, l, r); }
+inline ExprPtr eq(ExprPtr l, ExprPtr r) { return cmp(CmpOp::Eq, l, r); }
+inline ExprPtr ne(ExprPtr l, ExprPtr r) { return cmp(CmpOp::Ne, l, r); }
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+/// Statement tree node.
+struct Stmt {
+  enum class Kind : std::uint8_t {
+    Assign,       ///< name = expr
+    ArrayAssign,  ///< name[index] = expr
+    If,           ///< if (cond) thenS else elseS
+    For,          ///< for (loopVar = from; loopVar < to; ++loopVar) body
+                  ///< from/to are *constants*: trip count is input-independent
+    While,        ///< while (cond) body — requires an iteration bound
+    Seq,          ///< sequence of statements
+    CallFn,       ///< call a declared function
+    Nop,
+  };
+  Kind kind = Kind::Nop;
+  std::string name;  ///< Assign/ArrayAssign target, For loop var, CallFn callee
+  ExprPtr expr;      ///< Assign/ArrayAssign value, If/While condition
+  ExprPtr index;     ///< ArrayAssign index
+  std::int64_t from = 0, to = 0;  ///< For range (constants)
+  std::int64_t bound = 0;         ///< While iteration bound
+  StmtPtr a;                      ///< If-then / For-body / While-body
+  StmtPtr b;                      ///< If-else
+  std::vector<StmtPtr> seq;       ///< Seq children
+};
+
+StmtPtr assign(std::string name, ExprPtr value);
+StmtPtr arrayAssign(std::string name, ExprPtr index, ExprPtr value);
+StmtPtr ifElse(ExprPtr cond, StmtPtr thenS, StmtPtr elseS = nullptr);
+StmtPtr forLoop(std::string loopVar, std::int64_t from, std::int64_t to,
+                StmtPtr body);
+StmtPtr whileLoop(ExprPtr cond, StmtPtr body, std::int64_t bound);
+StmtPtr seq(std::vector<StmtPtr> stmts);
+StmtPtr callFn(std::string name);
+StmtPtr nop();
+
+/// A declared function (no parameters; communicates through variables, like
+/// the global-memory discipline of many WCET benchmarks).
+struct FunctionDecl {
+  std::string name;
+  StmtPtr body;
+};
+
+/// A whole structured program.
+struct AstProgram {
+  std::vector<std::string> scalars;          ///< named scalar variables
+  std::map<std::string, std::int64_t> arrays;  ///< array name -> length
+  /// Arrays placed in the heap region and accessed through a runtime
+  /// pointer; their access addresses are statically unknown (split-cache
+  /// experiment E11).
+  std::vector<std::string> heapArrays;
+  std::vector<FunctionDecl> functions;
+  StmtPtr main;
+};
+
+/// Compiles to conventional branchy code.  Deterministic memory layout:
+/// scalars first (static region), then static arrays, heap arrays in the
+/// heap region with their base pointers stored as hidden scalars.
+Program compileBranchy(const AstProgram& prog);
+
+}  // namespace pred::isa::ast

@@ -1,0 +1,184 @@
+#include "isa/builder.h"
+
+#include <stdexcept>
+
+namespace pred::isa {
+
+ProgramBuilder& ProgramBuilder::label(const std::string& name) {
+  if (bound_.count(name)) {
+    throw std::runtime_error("label bound twice: " + name);
+  }
+  bound_[name] = here();
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::beginFunction(const std::string& name) {
+  if (inFunction_) throw std::runtime_error("functions may not nest");
+  inFunction_ = true;
+  functions_.push_back(FunctionInfo{name, here(), here()});
+  label(name);
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::endFunction() {
+  if (!inFunction_) throw std::runtime_error("endFunction outside function");
+  inFunction_ = false;
+  functions_.back().end = here();
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::emit(const Instr& instr) {
+  code_.push_back(instr);
+  return *this;
+}
+
+#define PRED_TRIREG(NAME, OP)                                      \
+  ProgramBuilder& ProgramBuilder::NAME(int rd, int rs1, int rs2) { \
+    return emit(Instr{Op::OP, static_cast<std::uint8_t>(rd),       \
+                      static_cast<std::uint8_t>(rs1),              \
+                      static_cast<std::uint8_t>(rs2), 0});         \
+  }
+
+PRED_TRIREG(add, ADD)
+PRED_TRIREG(sub, SUB)
+PRED_TRIREG(and_, AND)
+PRED_TRIREG(or_, OR)
+PRED_TRIREG(xor_, XOR)
+PRED_TRIREG(shl, SHL)
+PRED_TRIREG(shr, SHR)
+PRED_TRIREG(slt, SLT)
+PRED_TRIREG(mul, MUL)
+PRED_TRIREG(div, DIV)
+#undef PRED_TRIREG
+
+ProgramBuilder& ProgramBuilder::cmov(int rd, int rcond, int rs2) {
+  return emit(Instr{Op::CMOV, static_cast<std::uint8_t>(rd),
+                    static_cast<std::uint8_t>(rcond),
+                    static_cast<std::uint8_t>(rs2), 0});
+}
+
+ProgramBuilder& ProgramBuilder::addi(int rd, int rs1, std::int32_t imm) {
+  return emit(Instr{Op::ADDI, static_cast<std::uint8_t>(rd),
+                    static_cast<std::uint8_t>(rs1), 0, imm});
+}
+
+ProgramBuilder& ProgramBuilder::li(int rd, std::int32_t imm) {
+  return emit(Instr{Op::LI, static_cast<std::uint8_t>(rd), 0, 0, imm});
+}
+
+ProgramBuilder& ProgramBuilder::mov(int rd, int rs1) {
+  return emit(Instr{Op::MOV, static_cast<std::uint8_t>(rd),
+                    static_cast<std::uint8_t>(rs1), 0, 0});
+}
+
+ProgramBuilder& ProgramBuilder::ld(int rd, int rs1, std::int32_t imm) {
+  return emit(Instr{Op::LD, static_cast<std::uint8_t>(rd),
+                    static_cast<std::uint8_t>(rs1), 0, imm});
+}
+
+ProgramBuilder& ProgramBuilder::st(int rval, int rbase, std::int32_t imm) {
+  return emit(Instr{Op::ST, static_cast<std::uint8_t>(rval),
+                    static_cast<std::uint8_t>(rbase), 0, imm});
+}
+
+std::int32_t ProgramBuilder::labelRef(const std::string& name) {
+  // Emit a placeholder and remember the fixup; build() patches it.
+  fixups_.emplace_back(code_.size(), name);
+  return 0;
+}
+
+ProgramBuilder& ProgramBuilder::branchTo(Op op, int rs1, int rs2,
+                                         const std::string& target) {
+  const std::int32_t placeholder = labelRef(target);
+  return emit(Instr{op, 0, static_cast<std::uint8_t>(rs1),
+                    static_cast<std::uint8_t>(rs2), placeholder});
+}
+
+ProgramBuilder& ProgramBuilder::beq(int rs1, int rs2,
+                                    const std::string& target) {
+  return branchTo(Op::BEQ, rs1, rs2, target);
+}
+ProgramBuilder& ProgramBuilder::bne(int rs1, int rs2,
+                                    const std::string& target) {
+  return branchTo(Op::BNE, rs1, rs2, target);
+}
+ProgramBuilder& ProgramBuilder::blt(int rs1, int rs2,
+                                    const std::string& target) {
+  return branchTo(Op::BLT, rs1, rs2, target);
+}
+ProgramBuilder& ProgramBuilder::bge(int rs1, int rs2,
+                                    const std::string& target) {
+  return branchTo(Op::BGE, rs1, rs2, target);
+}
+
+ProgramBuilder& ProgramBuilder::jmp(const std::string& target) {
+  const std::int32_t placeholder = labelRef(target);
+  return emit(Instr{Op::JMP, 0, 0, 0, placeholder});
+}
+
+ProgramBuilder& ProgramBuilder::call(const std::string& target) {
+  const std::int32_t placeholder = labelRef(target);
+  return emit(Instr{Op::CALL, 0, 0, 0, placeholder});
+}
+
+ProgramBuilder& ProgramBuilder::ret() { return emit(Instr{Op::RET, 0, 0, 0, 0}); }
+ProgramBuilder& ProgramBuilder::nop() { return emit(Instr{Op::NOP, 0, 0, 0, 0}); }
+ProgramBuilder& ProgramBuilder::halt() {
+  return emit(Instr{Op::HALT, 0, 0, 0, 0});
+}
+
+ProgramBuilder& ProgramBuilder::deadline(std::int32_t cycles) {
+  return emit(Instr{Op::DEADLINE, 0, 0, 0, cycles});
+}
+
+ProgramBuilder& ProgramBuilder::bound(std::int64_t maxIterations,
+                                      std::int64_t minIterations) {
+  if (code_.empty()) throw std::runtime_error("bound() before any instruction");
+  const auto at = static_cast<std::int32_t>(code_.size() - 1);
+  loopBounds_[at] = maxIterations;
+  loopMinBounds_[at] = minIterations;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::var(const std::string& name,
+                                    std::int64_t wordAddr) {
+  variables_[name] = wordAddr;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::arrayExtent(std::int64_t base,
+                                            std::int64_t len) {
+  arrayExtents_[base] = len;
+  return *this;
+}
+
+ProgramBuilder& ProgramBuilder::unknownAddress() {
+  if (code_.empty() || !isMemAccess(code_.back().op)) {
+    throw std::runtime_error("unknownAddress() must follow LD/ST");
+  }
+  unknownAddr_.push_back(static_cast<std::int32_t>(code_.size() - 1));
+  return *this;
+}
+
+Program ProgramBuilder::build() {
+  if (inFunction_) throw std::runtime_error("unterminated function");
+  for (const auto& [index, name] : fixups_) {
+    auto it = bound_.find(name);
+    if (it == bound_.end()) throw std::runtime_error("unbound label: " + name);
+    code_[index].imm = it->second;
+  }
+  Program p;
+  p.code = std::move(code_);
+  p.functions = std::move(functions_);
+  p.loopBounds = std::move(loopBounds_);
+  p.loopMinBounds = std::move(loopMinBounds_);
+  p.variables = std::move(variables_);
+  p.arrayExtents = std::move(arrayExtents_);
+  p.unknownAddressAccesses = std::move(unknownAddr_);
+  if (auto err = p.validate()) {
+    throw std::runtime_error("invalid program: " + *err);
+  }
+  return p;
+}
+
+}  // namespace pred::isa

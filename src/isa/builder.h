@@ -1,0 +1,118 @@
+#pragma once
+// builder.h — Fluent, label-based assembler for mini-ISA programs.
+//
+// Hand-written kernels (the PPC755-style domino sequence of Equation 4, the
+// cache-stressing access patterns of Table 2, ...) are assembled with this
+// builder; machine-generated programs come out of the AST compilers (ast.h,
+// singlepath.h).
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace pred::isa {
+
+/// Incremental program assembler with forward-reference labels.
+///
+/// Usage:
+///   ProgramBuilder b;
+///   b.li(1, 0)
+///    .label("loop")
+///    .addi(1, 1, 1)
+///    .blt(1, 2, "loop")
+///    .halt();
+///   Program p = b.build();
+///
+/// Labels may be referenced before they are bound; build() patches all
+/// fixups and throws std::runtime_error on unbound labels.
+class ProgramBuilder {
+ public:
+  /// Binds a label to the next emitted instruction.
+  ProgramBuilder& label(const std::string& name);
+
+  /// Marks the start of a function; endFunction() closes it.  Functions may
+  /// not nest.
+  ProgramBuilder& beginFunction(const std::string& name);
+  ProgramBuilder& endFunction();
+
+  /// Raw emission (target already resolved).
+  ProgramBuilder& emit(const Instr& instr);
+
+  // Arithmetic / logic -------------------------------------------------
+  ProgramBuilder& add(int rd, int rs1, int rs2);
+  ProgramBuilder& sub(int rd, int rs1, int rs2);
+  ProgramBuilder& and_(int rd, int rs1, int rs2);
+  ProgramBuilder& or_(int rd, int rs1, int rs2);
+  ProgramBuilder& xor_(int rd, int rs1, int rs2);
+  ProgramBuilder& shl(int rd, int rs1, int rs2);
+  ProgramBuilder& shr(int rd, int rs1, int rs2);
+  ProgramBuilder& slt(int rd, int rs1, int rs2);
+  ProgramBuilder& addi(int rd, int rs1, std::int32_t imm);
+  ProgramBuilder& li(int rd, std::int32_t imm);
+  ProgramBuilder& mov(int rd, int rs1);
+  ProgramBuilder& mul(int rd, int rs1, int rs2);
+  ProgramBuilder& div(int rd, int rs1, int rs2);
+  ProgramBuilder& cmov(int rd, int rcond, int rs2);
+
+  // Memory --------------------------------------------------------------
+  ProgramBuilder& ld(int rd, int rs1, std::int32_t imm);
+  ProgramBuilder& st(int rval, int rbase, std::int32_t imm);
+
+  // Control flow ---------------------------------------------------------
+  ProgramBuilder& beq(int rs1, int rs2, const std::string& target);
+  ProgramBuilder& bne(int rs1, int rs2, const std::string& target);
+  ProgramBuilder& blt(int rs1, int rs2, const std::string& target);
+  ProgramBuilder& bge(int rs1, int rs2, const std::string& target);
+  ProgramBuilder& jmp(const std::string& target);
+  ProgramBuilder& call(const std::string& target);
+  ProgramBuilder& ret();
+
+  // Misc -----------------------------------------------------------------
+  ProgramBuilder& nop();
+  ProgramBuilder& halt();
+  ProgramBuilder& deadline(std::int32_t cycles);
+
+  /// Attaches a loop bound to the *most recently emitted* instruction
+  /// (expected to be the loop's backward branch).  `minIterations` defaults
+  /// to 0 (input-dependent loop); counted loops pass min == max.
+  ProgramBuilder& bound(std::int64_t maxIterations,
+                        std::int64_t minIterations = 0);
+
+  /// Declares a named variable at a static word address.
+  ProgramBuilder& var(const std::string& name, std::int64_t wordAddr);
+
+  /// Declares a static array extent [base, base+len) for the address
+  /// oracle.
+  ProgramBuilder& arrayExtent(std::int64_t base, std::int64_t len);
+
+  /// Marks the most recently emitted LD/ST as having a statically unknown
+  /// address (heap access through a pointer).
+  ProgramBuilder& unknownAddress();
+
+  /// Index the next instruction will get (for manual target computation).
+  std::int32_t here() const { return static_cast<std::int32_t>(code_.size()); }
+
+  /// Finalizes the program: patches label fixups, validates, and returns it.
+  /// Throws std::runtime_error on unbound labels or validation failure.
+  Program build();
+
+ private:
+  ProgramBuilder& branchTo(Op op, int rs1, int rs2, const std::string& target);
+  std::int32_t labelRef(const std::string& name);
+
+  std::vector<Instr> code_;
+  std::map<std::string, std::int32_t> bound_;             // label -> index
+  std::vector<std::pair<std::size_t, std::string>> fixups_;  // instr -> label
+  std::vector<FunctionInfo> functions_;
+  std::map<std::int32_t, std::int64_t> loopBounds_;
+  std::map<std::int32_t, std::int64_t> loopMinBounds_;
+  std::map<std::string, std::int64_t> variables_;
+  std::map<std::int64_t, std::int64_t> arrayExtents_;
+  std::vector<std::int32_t> unknownAddr_;
+  bool inFunction_ = false;
+};
+
+}  // namespace pred::isa

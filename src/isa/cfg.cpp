@@ -1,0 +1,238 @@
+#include "isa/cfg.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace pred::isa {
+
+Cfg::Cfg(const Program& program) : program_(&program) {
+  buildBlocks();
+  buildEdges();
+  computeRpo();
+  computeDominators();
+  findLoops();
+}
+
+void Cfg::buildBlocks() {
+  const auto n = static_cast<std::int32_t>(program_->size());
+  std::set<std::int32_t> leaders;
+  leaders.insert(0);
+  for (std::int32_t pc = 0; pc < n; ++pc) {
+    const Instr& ins = program_->code[static_cast<std::size_t>(pc)];
+    if (isControlFlow(ins.op)) {
+      if (ins.op != Op::RET) leaders.insert(ins.imm);
+      if (pc + 1 < n) leaders.insert(pc + 1);
+    }
+  }
+  for (const auto& f : program_->functions) {
+    leaders.insert(f.entry);
+    if (f.end < n) leaders.insert(f.end);
+  }
+
+  blockOf_.assign(static_cast<std::size_t>(n), -1);
+  std::vector<std::int32_t> sorted(leaders.begin(), leaders.end());
+  for (std::size_t k = 0; k < sorted.size(); ++k) {
+    BasicBlock bb;
+    bb.id = static_cast<std::int32_t>(k);
+    bb.begin = sorted[k];
+    bb.end = (k + 1 < sorted.size()) ? sorted[k + 1] : n;
+    // A block also ends at its first control-flow instruction or HALT.
+    for (std::int32_t pc = bb.begin; pc < bb.end; ++pc) {
+      const Instr& ins = program_->code[static_cast<std::size_t>(pc)];
+      if (isControlFlow(ins.op) || ins.op == Op::HALT) {
+        bb.end = pc + 1;
+        break;
+      }
+    }
+    // If we shortened the block, the gap becomes additional blocks; register
+    // the remainder as a new leader by re-inserting.
+    if (bb.end < ((k + 1 < sorted.size()) ? sorted[k + 1] : n)) {
+      sorted.insert(sorted.begin() + static_cast<std::ptrdiff_t>(k) + 1,
+                    bb.end);
+    }
+    for (std::int32_t pc = bb.begin; pc < bb.end; ++pc) {
+      blockOf_[static_cast<std::size_t>(pc)] = bb.id;
+    }
+    blocks_.push_back(bb);
+  }
+}
+
+void Cfg::buildEdges() {
+  const auto n = static_cast<std::int32_t>(program_->size());
+  auto addEdge = [this](std::int32_t from, std::int32_t to) {
+    auto& s = blocks_[static_cast<std::size_t>(from)].succs;
+    if (std::find(s.begin(), s.end(), to) == s.end()) s.push_back(to);
+    auto& p = blocks_[static_cast<std::size_t>(to)].preds;
+    if (std::find(p.begin(), p.end(), from) == p.end()) p.push_back(from);
+  };
+
+  for (const auto& bb : blocks_) {
+    const std::int32_t last = bb.lastInstr();
+    const Instr& ins = program_->code[static_cast<std::size_t>(last)];
+    switch (ins.op) {
+      case Op::JMP:
+        addEdge(bb.id, blockOf(ins.imm));
+        break;
+      case Op::BEQ:
+      case Op::BNE:
+      case Op::BLT:
+      case Op::BGE:
+        addEdge(bb.id, blockOf(ins.imm));
+        if (last + 1 < n) addEdge(bb.id, blockOf(last + 1));
+        break;
+      case Op::CALL:
+        // Intraprocedural view: a call returns to the fall-through.
+        if (last + 1 < n) addEdge(bb.id, blockOf(last + 1));
+        break;
+      case Op::RET:
+      case Op::HALT:
+        break;  // no intraprocedural successor
+      default:
+        if (last + 1 < n) addEdge(bb.id, blockOf(last + 1));
+        break;
+    }
+  }
+}
+
+void Cfg::computeRpo() {
+  const auto nb = numBlocks();
+  std::vector<char> visited(static_cast<std::size_t>(nb), 0);
+  std::vector<std::int32_t> postorder;
+  postorder.reserve(static_cast<std::size_t>(nb));
+
+  // Iterative DFS from the entry and from every function entry (callee
+  // bodies are only reachable via CALL, which the intraprocedural edge set
+  // skips).
+  std::vector<std::int32_t> roots{entry()};
+  for (const auto& f : program_->functions) roots.push_back(blockOf(f.entry));
+
+  for (const auto root : roots) {
+    if (visited[static_cast<std::size_t>(root)]) continue;
+    std::vector<std::pair<std::int32_t, std::size_t>> stack{{root, 0}};
+    visited[static_cast<std::size_t>(root)] = 1;
+    while (!stack.empty()) {
+      auto& [b, next] = stack.back();
+      const auto& succs = blocks_[static_cast<std::size_t>(b)].succs;
+      if (next < succs.size()) {
+        const auto s = succs[next++];
+        if (!visited[static_cast<std::size_t>(s)]) {
+          visited[static_cast<std::size_t>(s)] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        postorder.push_back(b);
+        stack.pop_back();
+      }
+    }
+  }
+  rpo_.assign(postorder.rbegin(), postorder.rend());
+  for (std::int32_t b = 0; b < nb; ++b) {
+    if (!visited[static_cast<std::size_t>(b)]) rpo_.push_back(b);
+  }
+}
+
+void Cfg::computeDominators() {
+  // Cooper/Harvey/Kennedy iterative dominators over RPO.
+  const auto nb = numBlocks();
+  idom_.assign(static_cast<std::size_t>(nb), -1);
+  std::vector<std::int32_t> rpoIndex(static_cast<std::size_t>(nb), -1);
+  for (std::size_t k = 0; k < rpo_.size(); ++k) {
+    rpoIndex[static_cast<std::size_t>(rpo_[k])] = static_cast<std::int32_t>(k);
+  }
+  idom_[static_cast<std::size_t>(entry())] = entry();
+
+  auto intersect = [&](std::int32_t a, std::int32_t b) {
+    while (a != b) {
+      while (rpoIndex[static_cast<std::size_t>(a)] >
+             rpoIndex[static_cast<std::size_t>(b)]) {
+        a = idom_[static_cast<std::size_t>(a)];
+      }
+      while (rpoIndex[static_cast<std::size_t>(b)] >
+             rpoIndex[static_cast<std::size_t>(a)]) {
+        b = idom_[static_cast<std::size_t>(b)];
+      }
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto b : rpo_) {
+      if (b == entry()) continue;
+      std::int32_t newIdom = -1;
+      for (const auto p : blocks_[static_cast<std::size_t>(b)].preds) {
+        if (idom_[static_cast<std::size_t>(p)] == -1) continue;
+        newIdom = (newIdom == -1) ? p : intersect(newIdom, p);
+      }
+      if (newIdom != -1 && idom_[static_cast<std::size_t>(b)] != newIdom) {
+        idom_[static_cast<std::size_t>(b)] = newIdom;
+        changed = true;
+      }
+    }
+  }
+  idom_[static_cast<std::size_t>(entry())] = -1;
+}
+
+bool Cfg::dominates(std::int32_t a, std::int32_t b) const {
+  std::int32_t x = b;
+  while (x != -1) {
+    if (x == a) return true;
+    x = idom_[static_cast<std::size_t>(x)];
+  }
+  return false;
+}
+
+void Cfg::findLoops() {
+  for (const auto& bb : blocks_) {
+    for (const auto s : bb.succs) {
+      if (!dominates(s, bb.id)) continue;
+      // Back edge bb -> s: collect the natural loop.
+      Loop loop;
+      loop.header = s;
+      loop.backEdgeSrc = bb.id;
+      std::set<std::int32_t> body{s};
+      std::vector<std::int32_t> work;
+      if (bb.id != s) {
+        body.insert(bb.id);
+        work.push_back(bb.id);
+      }
+      while (!work.empty()) {
+        const auto x = work.back();
+        work.pop_back();
+        for (const auto p : blocks_[static_cast<std::size_t>(x)].preds) {
+          if (!body.count(p)) {
+            body.insert(p);
+            work.push_back(p);
+          }
+        }
+      }
+      loop.blocks.assign(body.begin(), body.end());
+      const auto latchLast = blocks_[static_cast<std::size_t>(bb.id)].lastInstr();
+      if (auto it = program_->loopBounds.find(latchLast);
+          it != program_->loopBounds.end()) {
+        loop.bound = it->second;
+      }
+      if (auto it = program_->loopMinBounds.find(latchLast);
+          it != program_->loopMinBounds.end()) {
+        loop.minBound = it->second;
+      }
+      loops_.push_back(std::move(loop));
+    }
+  }
+}
+
+std::string Cfg::toDot() const {
+  std::ostringstream os;
+  os << "digraph cfg {\n  node [shape=box fontname=monospace];\n";
+  for (const auto& bb : blocks_) {
+    os << "  b" << bb.id << " [label=\"B" << bb.id << " [" << bb.begin << ","
+       << bb.end << ")\"];\n";
+    for (const auto s : bb.succs) os << "  b" << bb.id << " -> b" << s << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace pred::isa

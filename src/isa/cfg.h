@@ -1,0 +1,96 @@
+#pragma once
+// cfg.h — Control-flow graphs over mini-ISA programs.
+//
+// The static analyses (IPET-lite WCET/BCET bounds, cache must/may analysis,
+// WCET-oriented static branch prediction à la Bodin & Puaut [5]) and the
+// basic-block-oriented pipeline modes (Rochange & Sainrat [21], Whitham &
+// Audsley [28]) all operate on this CFG.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace pred::isa {
+
+/// A basic block: a maximal single-entry straight-line instruction range
+/// [begin, end).
+struct BasicBlock {
+  std::int32_t id = 0;
+  std::int32_t begin = 0;
+  std::int32_t end = 0;  ///< one past the last instruction
+  std::vector<std::int32_t> succs;
+  std::vector<std::int32_t> preds;
+
+  std::int32_t size() const { return end - begin; }
+  /// Index of the block-terminating instruction.
+  std::int32_t lastInstr() const { return end - 1; }
+};
+
+/// A natural loop discovered via back edges (u -> h where h dominates u).
+struct Loop {
+  std::int32_t header = 0;           ///< block id of the loop header
+  std::int32_t backEdgeSrc = 0;      ///< block id of the latch
+  std::vector<std::int32_t> blocks;  ///< all block ids in the loop body
+  std::int64_t bound = -1;           ///< max iterations (-1 if unknown)
+  std::int64_t minBound = 0;         ///< min iterations (0 if unknown)
+};
+
+/// Control-flow graph of one program (intraprocedural: CALL/RET edges fall
+/// through to the next instruction; callee bodies form separate subgraphs
+/// reached only through their entries).
+class Cfg {
+ public:
+  explicit Cfg(const Program& program);
+
+  const Program& program() const { return *program_; }
+  const std::vector<BasicBlock>& blocks() const { return blocks_; }
+  const BasicBlock& block(std::int32_t id) const {
+    return blocks_[static_cast<std::size_t>(id)];
+  }
+  std::int32_t numBlocks() const {
+    return static_cast<std::int32_t>(blocks_.size());
+  }
+
+  /// Block containing the given instruction index.
+  std::int32_t blockOf(std::int32_t pc) const {
+    return blockOf_[static_cast<std::size_t>(pc)];
+  }
+
+  /// Entry block id (containing instruction 0).
+  std::int32_t entry() const { return 0; }
+
+  /// Immediate dominator of each block (-1 for the entry / unreachable).
+  const std::vector<std::int32_t>& idom() const { return idom_; }
+
+  /// True if block a dominates block b.
+  bool dominates(std::int32_t a, std::int32_t b) const;
+
+  /// Natural loops; bounds filled in from Program::loopBounds where the
+  /// latch's terminating instruction carries one.
+  const std::vector<Loop>& loops() const { return loops_; }
+
+  /// Reverse post-order over blocks (entry first); unreachable blocks last.
+  const std::vector<std::int32_t>& rpo() const { return rpo_; }
+
+  /// Graphviz dot rendering (debugging aid / documentation).
+  std::string toDot() const;
+
+ private:
+  void buildBlocks();
+  void buildEdges();
+  void computeRpo();
+  void computeDominators();
+  void findLoops();
+
+  const Program* program_;
+  std::vector<BasicBlock> blocks_;
+  std::vector<std::int32_t> blockOf_;
+  std::vector<std::int32_t> idom_;
+  std::vector<std::int32_t> rpo_;
+  std::vector<Loop> loops_;
+};
+
+}  // namespace pred::isa

@@ -1,0 +1,118 @@
+#pragma once
+// codegen_common.h — Internal helpers shared by the branchy (ast.cpp) and
+// single-path (singlepath.cpp) code generators.  Not part of the public API.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/ast.h"
+#include "isa/builder.h"
+
+namespace pred::isa::ast::detail {
+
+/// Register conventions used by both code generators.
+inline constexpr int kFirstTemp = 1;   ///< r1..r11: expression temporaries
+inline constexpr int kLastTemp = 11;
+inline constexpr int kScratch = 12;    ///< address computation
+inline constexpr int kScratch2 = 13;   ///< second scratch
+
+/// Memory layout assignment for an AstProgram: scalars and static arrays in
+/// the static region, heap arrays in the heap region reached through hidden
+/// pointer scalars (their accesses are statically unknown addresses).
+class DataLayout {
+ public:
+  DataLayout(const AstProgram& prog, const MemoryLayout& layout);
+
+  std::int64_t scalarAddr(const std::string& name) const;
+  bool isHeapArray(const std::string& name) const;
+  /// Base word address of a static array.
+  std::int64_t staticArrayBase(const std::string& name) const;
+  /// Address of the hidden pointer scalar holding a heap array's base.
+  std::int64_t heapPointerSlot(const std::string& name) const;
+  /// Runtime base address of a heap array (stored into the pointer slot by
+  /// the program prologue).
+  std::int64_t heapArrayBase(const std::string& name) const;
+
+  /// Registers every scalar/array symbol with the builder so tests and
+  /// benches can address them by name, and emits the prologue that
+  /// initializes heap pointer slots.
+  void emitPrologue(ProgramBuilder& b) const;
+
+  /// Allocates an extra hidden scalar slot (single-path predicate slots,
+  /// loop counters); returns its address.
+  std::int64_t allocHiddenSlot(const std::string& name);
+
+  const std::map<std::string, std::int64_t>& scalarAddrs() const {
+    return scalarAddrs_;
+  }
+
+ private:
+  std::map<std::string, std::int64_t> scalarAddrs_;
+  std::map<std::string, std::int64_t> staticArrayBases_;
+  std::map<std::string, std::int64_t> arrayLens_;
+  std::map<std::string, std::int64_t> heapPtrSlots_;
+  std::map<std::string, std::int64_t> heapBases_;
+  std::int64_t nextStatic_;
+  std::int64_t staticLimit_;
+  std::int64_t nextHeap_;
+  std::int64_t heapLimit_;
+};
+
+/// Simple stack allocator for expression temporaries.
+class TempPool {
+ public:
+  int alloc() {
+    if (next_ > kLastTemp) {
+      throw std::runtime_error("expression too deep: temporaries exhausted");
+    }
+    return next_++;
+  }
+  void release(int reg) {
+    if (reg != next_ - 1) {
+      throw std::runtime_error("temporaries released out of order");
+    }
+    --next_;
+  }
+
+ private:
+  int next_ = kFirstTemp;
+};
+
+/// Compiles expressions; both code generators share this (in single-path
+/// code, expressions are always evaluated unconditionally, which this
+/// implements naturally).
+class ExprCodegen {
+ public:
+  ExprCodegen(ProgramBuilder& b, DataLayout& layout)
+      : b_(b), layout_(layout) {}
+
+  /// Compiles `e` into a freshly allocated temp register, which the caller
+  /// must release (in reverse allocation order).
+  int compile(const ExprPtr& e, TempPool& pool);
+
+  /// Compiles a condition into a 0/1 value (normalizing non-comparison
+  /// expressions through `!= 0`).
+  int compileCond01(const ExprPtr& e, TempPool& pool);
+
+ private:
+  void emitCompare(CmpOp op, int dst, int rhsReg, TempPool& pool);
+
+  ProgramBuilder& b_;
+  DataLayout& layout_;
+};
+
+/// Monotonic label generator.
+class LabelGen {
+ public:
+  std::string fresh(const std::string& stem) {
+    return "__" + stem + "_" + std::to_string(counter_++);
+  }
+
+ private:
+  int counter_ = 0;
+};
+
+}  // namespace pred::isa::ast::detail

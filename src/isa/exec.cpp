@@ -1,0 +1,190 @@
+#include "isa/exec.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pred::isa {
+
+std::int32_t divLatency(std::int64_t dividend) {
+  const std::uint64_t magnitude =
+      dividend < 0 ? static_cast<std::uint64_t>(-(dividend + 1)) + 1
+                   : static_cast<std::uint64_t>(dividend);
+  const int bits = 64 - std::countl_zero(magnitude | 1ULL);
+  return 2 + (bits + 7) / 8;  // 3 .. 10 cycles
+}
+
+std::int32_t maxDivLatency() { return 2 + 8; }
+
+RunResult FunctionalCore::run(const Program& program, const Input& input,
+                              std::uint64_t maxSteps) {
+  MachineState state(program.layout.memWords);
+  state.applyInput(input);
+  return runFrom(program, std::move(state), maxSteps);
+}
+
+RunResult FunctionalCore::runFrom(const Program& program, MachineState state,
+                                  std::uint64_t maxSteps) {
+  RunResult result;
+  result.trace.reserve(1024);
+  const auto n = static_cast<std::int64_t>(program.size());
+
+  while (!state.halted && result.steps < maxSteps) {
+    if (state.pc < 0 || state.pc >= n) {
+      throw std::runtime_error("pc out of range: " + std::to_string(state.pc));
+    }
+    const auto pc = static_cast<std::int32_t>(state.pc);
+    const Instr& ins = program.code[static_cast<std::size_t>(pc)];
+    ExecRecord rec;
+    rec.pc = pc;
+    rec.instr = ins;
+    std::int64_t next = state.pc + 1;
+
+    switch (ins.op) {
+      case Op::ADD:
+        state.setReg(ins.rd, state.reg(ins.rs1) + state.reg(ins.rs2));
+        break;
+      case Op::SUB:
+        state.setReg(ins.rd, state.reg(ins.rs1) - state.reg(ins.rs2));
+        break;
+      case Op::AND:
+        state.setReg(ins.rd, state.reg(ins.rs1) & state.reg(ins.rs2));
+        break;
+      case Op::OR:
+        state.setReg(ins.rd, state.reg(ins.rs1) | state.reg(ins.rs2));
+        break;
+      case Op::XOR:
+        state.setReg(ins.rd, state.reg(ins.rs1) ^ state.reg(ins.rs2));
+        break;
+      case Op::SHL:
+        state.setReg(ins.rd, static_cast<std::int64_t>(
+                                 static_cast<std::uint64_t>(state.reg(ins.rs1))
+                                 << (state.reg(ins.rs2) & 63)));
+        break;
+      case Op::SHR:
+        state.setReg(ins.rd, state.reg(ins.rs1) >> (state.reg(ins.rs2) & 63));
+        break;
+      case Op::SLT:
+        state.setReg(ins.rd, state.reg(ins.rs1) < state.reg(ins.rs2) ? 1 : 0);
+        break;
+      case Op::ADDI:
+        state.setReg(ins.rd, state.reg(ins.rs1) + ins.imm);
+        break;
+      case Op::LI:
+        state.setReg(ins.rd, ins.imm);
+        break;
+      case Op::MOV:
+        state.setReg(ins.rd, state.reg(ins.rs1));
+        break;
+      case Op::MUL:
+        state.setReg(ins.rd, state.reg(ins.rs1) * state.reg(ins.rs2));
+        break;
+      case Op::DIV: {
+        const std::int64_t a = state.reg(ins.rs1);
+        const std::int64_t b = state.reg(ins.rs2);
+        state.setReg(ins.rd, b == 0 ? 0 : a / b);
+        rec.extraLatency = divLatency(a);
+        break;
+      }
+      case Op::LD: {
+        const std::int64_t addr = state.wrapAddr(state.reg(ins.rs1) + ins.imm);
+        rec.memWordAddr = addr;
+        state.setReg(ins.rd, state.mem[static_cast<std::size_t>(addr)]);
+        break;
+      }
+      case Op::ST: {
+        const std::int64_t addr = state.wrapAddr(state.reg(ins.rs1) + ins.imm);
+        rec.memWordAddr = addr;
+        state.mem[static_cast<std::size_t>(addr)] = state.reg(ins.rd);
+        break;
+      }
+      case Op::BEQ:
+        rec.branchTaken = state.reg(ins.rs1) == state.reg(ins.rs2);
+        if (rec.branchTaken) next = ins.imm;
+        break;
+      case Op::BNE:
+        rec.branchTaken = state.reg(ins.rs1) != state.reg(ins.rs2);
+        if (rec.branchTaken) next = ins.imm;
+        break;
+      case Op::BLT:
+        rec.branchTaken = state.reg(ins.rs1) < state.reg(ins.rs2);
+        if (rec.branchTaken) next = ins.imm;
+        break;
+      case Op::BGE:
+        rec.branchTaken = state.reg(ins.rs1) >= state.reg(ins.rs2);
+        if (rec.branchTaken) next = ins.imm;
+        break;
+      case Op::JMP:
+        rec.branchTaken = true;
+        next = ins.imm;
+        break;
+      case Op::CALL:
+        rec.branchTaken = true;
+        state.callStack.push_back(static_cast<std::int32_t>(state.pc + 1));
+        next = ins.imm;
+        break;
+      case Op::RET:
+        if (state.callStack.empty()) {
+          throw std::runtime_error("RET with empty call stack at pc " +
+                                   std::to_string(pc));
+        }
+        rec.branchTaken = true;
+        next = state.callStack.back();
+        state.callStack.pop_back();
+        break;
+      case Op::CMOV:
+        if (state.reg(ins.rs1) != 0) state.setReg(ins.rd, state.reg(ins.rs2));
+        break;
+      case Op::NOP:
+      case Op::DEADLINE:
+        break;
+      case Op::HALT:
+        state.halted = true;
+        next = state.pc;
+        break;
+    }
+
+    rec.nextPc = static_cast<std::int32_t>(next);
+    result.trace.push_back(rec);
+    ++result.steps;
+    state.pc = next;
+  }
+
+  result.completed = state.halted;
+  result.finalState = std::move(state);
+  return result;
+}
+
+TraceStats computeStats(const Trace& trace) {
+  TraceStats s;
+  s.instructions = trace.size();
+  for (const auto& rec : trace) {
+    switch (rec.instr.op) {
+      case Op::LD:
+        ++s.memAccesses;
+        ++s.loads;
+        break;
+      case Op::ST:
+        ++s.memAccesses;
+        ++s.stores;
+        break;
+      case Op::MUL:
+        ++s.multiplies;
+        break;
+      case Op::DIV:
+        ++s.divides;
+        break;
+      case Op::CALL:
+        ++s.calls;
+        break;
+      default:
+        break;
+    }
+    if (isConditionalBranch(rec.instr.op)) {
+      ++s.condBranches;
+      if (rec.branchTaken) ++s.takenBranches;
+    }
+  }
+  return s;
+}
+
+}  // namespace pred::isa

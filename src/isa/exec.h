@@ -1,0 +1,85 @@
+#pragma once
+// exec.h — Functional (architectural) execution and dynamic traces.
+//
+// All timing models in this repository are trace-driven: the functional core
+// first executes the program architecturally, producing the dynamic
+// instruction trace (with resolved branch outcomes, effective addresses and
+// data-dependent latencies); the micro-architectural models then replay that
+// trace cycle-accurately.  This separation is sound here because the ISA has
+// no timing-dependent *functional* behavior — execution time never feeds
+// back into computed values — which matches the setting of the paper: the
+// property of interest (Def. 2) is T_p(q, i), the time of a fixed
+// architectural behavior determined by the input i alone.
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/machine.h"
+#include "isa/program.h"
+
+namespace pred::isa {
+
+/// One dynamically executed instruction.
+struct ExecRecord {
+  std::int32_t pc = 0;          ///< static instruction index
+  Instr instr;                  ///< decoded instruction
+  bool branchTaken = false;     ///< outcome for conditional branches
+  std::int32_t nextPc = 0;      ///< successor instruction index
+  std::int64_t memWordAddr = -1;  ///< effective word address for LD/ST
+  std::int32_t extraLatency = 0;  ///< data-dependent latency (DIV)
+};
+
+/// Dynamic trace: the sequence of executed instructions.
+using Trace = std::vector<ExecRecord>;
+
+/// Result of a functional run.
+struct RunResult {
+  Trace trace;
+  MachineState finalState{0};
+  bool completed = false;  ///< false if the step limit was hit before HALT
+  std::uint64_t steps = 0;
+};
+
+/// Data-dependent DIV latency in cycles: a sequential divider that retires
+/// 8 quotient bits per cycle — the kind of variable-duration instruction
+/// Whitham & Audsley [28] eliminate in their predictable execution mode.
+std::int32_t divLatency(std::int64_t dividend);
+
+/// Upper bound on divLatency over all operand values (used by analyses and
+/// by constant-duration execution modes).
+std::int32_t maxDivLatency();
+
+/// Functional simulator for the mini ISA.
+class FunctionalCore {
+ public:
+  /// Default cap on executed instructions; prevents runaway traces from
+  /// malformed workloads.
+  static constexpr std::uint64_t kDefaultMaxSteps = 2'000'000;
+
+  /// Runs `program` from instruction 0 on the all-zero state overlaid with
+  /// `input` until HALT or the step limit.
+  static RunResult run(const Program& program, const Input& input,
+                       std::uint64_t maxSteps = kDefaultMaxSteps);
+
+  /// Runs from an explicit initial machine state (for multi-phase
+  /// experiments).
+  static RunResult runFrom(const Program& program, MachineState state,
+                           std::uint64_t maxSteps = kDefaultMaxSteps);
+};
+
+/// Trace statistics used by several benches.
+struct TraceStats {
+  std::uint64_t instructions = 0;
+  std::uint64_t memAccesses = 0;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t condBranches = 0;
+  std::uint64_t takenBranches = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t multiplies = 0;
+  std::uint64_t divides = 0;
+};
+
+TraceStats computeStats(const Trace& trace);
+
+}  // namespace pred::isa

@@ -1,0 +1,155 @@
+#include "isa/instr.h"
+
+#include <sstream>
+
+namespace pred::isa {
+
+bool isConditionalBranch(Op op) {
+  switch (op) {
+    case Op::BEQ:
+    case Op::BNE:
+    case Op::BLT:
+    case Op::BGE:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isControlFlow(Op op) {
+  switch (op) {
+    case Op::BEQ:
+    case Op::BNE:
+    case Op::BLT:
+    case Op::BGE:
+    case Op::JMP:
+    case Op::CALL:
+    case Op::RET:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool isMemAccess(Op op) { return op == Op::LD || op == Op::ST; }
+
+LatencyClass latencyClass(Op op) {
+  switch (op) {
+    case Op::MUL:
+      return LatencyClass::Multiply;
+    case Op::DIV:
+      return LatencyClass::Divide;
+    case Op::LD:
+    case Op::ST:
+      return LatencyClass::Memory;
+    case Op::BEQ:
+    case Op::BNE:
+    case Op::BLT:
+    case Op::BGE:
+    case Op::JMP:
+    case Op::CALL:
+    case Op::RET:
+      return LatencyClass::Control;
+    case Op::NOP:
+    case Op::HALT:
+    case Op::DEADLINE:
+      return LatencyClass::None;
+    default:
+      return LatencyClass::Single;
+  }
+}
+
+std::string mnemonic(Op op) {
+  switch (op) {
+    case Op::ADD: return "add";
+    case Op::SUB: return "sub";
+    case Op::AND: return "and";
+    case Op::OR: return "or";
+    case Op::XOR: return "xor";
+    case Op::SHL: return "shl";
+    case Op::SHR: return "shr";
+    case Op::SLT: return "slt";
+    case Op::ADDI: return "addi";
+    case Op::LI: return "li";
+    case Op::MOV: return "mov";
+    case Op::MUL: return "mul";
+    case Op::DIV: return "div";
+    case Op::LD: return "ld";
+    case Op::ST: return "st";
+    case Op::BEQ: return "beq";
+    case Op::BNE: return "bne";
+    case Op::BLT: return "blt";
+    case Op::BGE: return "bge";
+    case Op::JMP: return "jmp";
+    case Op::CALL: return "call";
+    case Op::RET: return "ret";
+    case Op::CMOV: return "cmov";
+    case Op::NOP: return "nop";
+    case Op::HALT: return "halt";
+    case Op::DEADLINE: return "deadline";
+  }
+  return "???";
+}
+
+std::string toString(const Instr& instr) {
+  std::ostringstream os;
+  os << mnemonic(instr.op);
+  switch (instr.op) {
+    case Op::ADD:
+    case Op::SUB:
+    case Op::AND:
+    case Op::OR:
+    case Op::XOR:
+    case Op::SHL:
+    case Op::SHR:
+    case Op::SLT:
+    case Op::MUL:
+    case Op::DIV:
+      os << " r" << int(instr.rd) << ", r" << int(instr.rs1) << ", r"
+         << int(instr.rs2);
+      break;
+    case Op::ADDI:
+      os << " r" << int(instr.rd) << ", r" << int(instr.rs1) << ", "
+         << instr.imm;
+      break;
+    case Op::LI:
+      os << " r" << int(instr.rd) << ", " << instr.imm;
+      break;
+    case Op::MOV:
+      os << " r" << int(instr.rd) << ", r" << int(instr.rs1);
+      break;
+    case Op::LD:
+      os << " r" << int(instr.rd) << ", [r" << int(instr.rs1) << " + "
+         << instr.imm << "]";
+      break;
+    case Op::ST:
+      os << " [r" << int(instr.rs1) << " + " << instr.imm << "], r"
+         << int(instr.rd);
+      break;
+    case Op::BEQ:
+    case Op::BNE:
+    case Op::BLT:
+    case Op::BGE:
+      os << " r" << int(instr.rs1) << ", r" << int(instr.rs2) << ", @"
+         << instr.imm;
+      break;
+    case Op::JMP:
+    case Op::CALL:
+      os << " @" << instr.imm;
+      break;
+    case Op::CMOV:
+      os << " r" << int(instr.rd) << ", r" << int(instr.rs1) << ", r"
+         << int(instr.rs2);
+      break;
+    case Op::DEADLINE:
+      os << " " << instr.imm;
+      break;
+    case Op::RET:
+    case Op::NOP:
+    case Op::HALT:
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace pred::isa

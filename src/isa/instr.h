@@ -1,0 +1,124 @@
+#pragma once
+// instr.h — Instruction set of the mini register ISA used throughout the
+// reproduction of "A Template for Predictability Definitions with Supporting
+// Evidence" (Grund, Reineke, Wilhelm; PPES 2011).
+//
+// The paper's Definition 2 introduces T_p(q, i): the execution time of a
+// program p started in hardware state q with input i.  Every timing model in
+// src/pipeline consumes programs written in this ISA, so that the *same*
+// program can be timed on different micro-architectures (in-order ARM7-class,
+// out-of-order PPC755-class, PRET, SMT, ...) — exactly the comparisons the
+// paper's Tables 1 and 2 survey.
+//
+// Design notes:
+//  * Word-oriented: registers and memory cells hold int64_t values; memory is
+//    word-addressed.  Cache models map word addresses to byte addresses via a
+//    configurable word size.
+//  * Control flow targets are absolute instruction indices (resolved by the
+//    ProgramBuilder from labels).
+//  * CALL/RET use an architectural return-address stack; this keeps the
+//    functional semantics trivial while giving the method-cache model
+//    (Schoeberl [23]) clean call/return events.
+//  * DEADLINE is the PRET-inspired timing instruction (Lickly et al. [13]):
+//    functionally a no-op, but timing models that support it stall until the
+//    given cycle count since the last deadline has elapsed.
+
+#include <cstdint>
+#include <string>
+
+namespace pred::isa {
+
+/// Opcodes of the mini ISA.  Kept deliberately small but complete enough to
+/// compile structured programs (see ast.h) and to exhibit every timing
+/// phenomenon the paper discusses (variable-latency instructions,
+/// data-dependent branches, memory accesses, calls/returns).
+enum class Op : std::uint8_t {
+  // Arithmetic / logic, single-cycle class.
+  ADD,   ///< rd = rs1 + rs2
+  SUB,   ///< rd = rs1 - rs2
+  AND,   ///< rd = rs1 & rs2
+  OR,    ///< rd = rs1 | rs2
+  XOR,   ///< rd = rs1 ^ rs2
+  SHL,   ///< rd = rs1 << (rs2 & 63)
+  SHR,   ///< rd = (arithmetic) rs1 >> (rs2 & 63)
+  SLT,   ///< rd = (rs1 < rs2) ? 1 : 0
+  ADDI,  ///< rd = rs1 + imm
+  LI,    ///< rd = imm
+  MOV,   ///< rd = rs1
+
+  // Multi-cycle arithmetic.  MUL has a fixed multi-cycle latency; DIV has a
+  // *data-dependent* latency (a classic source of input-induced timing
+  // variability; Whitham & Audsley [28] explicitly force such instructions to
+  // constant duration in their predictable mode).
+  MUL,   ///< rd = rs1 * rs2
+  DIV,   ///< rd = rs1 / rs2 (0 if rs2 == 0); data-dependent latency
+
+  // Memory.  Effective word address = regs[rs1] + imm (wrapped to memory
+  // size).  For ST the value register is held in rd.
+  LD,    ///< rd = mem[rs1 + imm]
+  ST,    ///< mem[rs1 + imm] = rd
+
+  // Control flow.  imm holds the absolute instruction-index target.
+  BEQ,   ///< if (rs1 == rs2) goto imm
+  BNE,   ///< if (rs1 != rs2) goto imm
+  BLT,   ///< if (rs1 <  rs2) goto imm
+  BGE,   ///< if (rs1 >= rs2) goto imm
+  JMP,   ///< goto imm
+  CALL,  ///< push(pc + 1); goto imm   (imm must be a function entry)
+  RET,   ///< goto pop()
+
+  // Predication (single-path code generation, Puschner & Burns [19]).
+  CMOV,  ///< if (rs1 != 0) rd = rs2   — constant latency regardless of rs1
+
+  // Misc.
+  NOP,      ///< no operation
+  HALT,     ///< stop execution
+  DEADLINE, ///< PRET timing instruction: wait until imm cycles since the
+            ///< previous DEADLINE (timing models only; functional no-op)
+};
+
+/// Number of architectural registers.  Register 0 is hard-wired to zero
+/// (writes to it are ignored), as in RISC ISAs.
+inline constexpr int kNumRegs = 32;
+
+/// A single decoded instruction.  Plain data; no invariants beyond field
+/// ranges, which Program::validate() checks.
+struct Instr {
+  Op op = Op::NOP;
+  std::uint8_t rd = 0;   ///< destination register (value source for ST)
+  std::uint8_t rs1 = 0;  ///< first source register
+  std::uint8_t rs2 = 0;  ///< second source register
+  std::int32_t imm = 0;  ///< immediate / branch target / deadline cycles
+};
+
+/// True for BEQ/BNE/BLT/BGE (conditional, two-way) branches.
+bool isConditionalBranch(Op op);
+
+/// True for any instruction that may redirect control flow
+/// (conditional branches, JMP, CALL, RET).
+bool isControlFlow(Op op);
+
+/// True for LD/ST.
+bool isMemAccess(Op op);
+
+/// Latency class used by timing models that distinguish only
+/// short/long/memory operations.
+enum class LatencyClass : std::uint8_t {
+  Single,    ///< 1-cycle ALU class
+  Multiply,  ///< fixed multi-cycle
+  Divide,    ///< data-dependent multi-cycle
+  Memory,    ///< LD/ST; actual latency decided by the memory hierarchy model
+  Control,   ///< branches/jumps/calls/returns
+  None,      ///< NOP/HALT/DEADLINE
+};
+
+/// Latency class of an opcode.
+LatencyClass latencyClass(Op op);
+
+/// Mnemonic for disassembly and error messages.
+std::string mnemonic(Op op);
+
+/// Human-readable rendering of one instruction (for disassembly listings).
+std::string toString(const Instr& instr);
+
+}  // namespace pred::isa

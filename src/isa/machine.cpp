@@ -1,0 +1,66 @@
+#include "isa/machine.h"
+
+#include <stdexcept>
+
+namespace pred::isa {
+
+MachineState::MachineState(std::int64_t memWords)
+    : regs(kNumRegs, 0), mem(static_cast<std::size_t>(memWords), 0) {}
+
+void MachineState::applyInput(const Input& input) {
+  for (const auto& [r, v] : input.regs) setReg(r, v);
+  for (const auto& [a, v] : input.mem) {
+    mem[static_cast<std::size_t>(wrapAddr(a))] = v;
+  }
+}
+
+Input regInput(int reg, std::int64_t value, std::string name) {
+  Input in;
+  in.regs[reg] = value;
+  in.name = name.empty() ? ("r" + std::to_string(reg) + "=" +
+                            std::to_string(value))
+                         : std::move(name);
+  return in;
+}
+
+Input varInput(const Program& program, const std::string& variable,
+               std::int64_t value) {
+  auto it = program.variables.find(variable);
+  if (it == program.variables.end()) {
+    throw std::runtime_error("unknown variable: " + variable);
+  }
+  Input in;
+  in.mem[it->second] = value;
+  in.name = variable + "=" + std::to_string(value);
+  return in;
+}
+
+Input mergeInputs(const Input& a, const Input& b) {
+  Input out = a;
+  for (const auto& [r, v] : b.regs) out.regs[r] = v;
+  for (const auto& [m, v] : b.mem) out.mem[m] = v;
+  if (!b.name.empty()) {
+    out.name = out.name.empty() ? b.name : out.name + "," + b.name;
+  }
+  return out;
+}
+
+std::vector<Input> enumerateInputs(
+    const Program& program,
+    const std::map<std::string, std::vector<std::int64_t>>& choices) {
+  std::vector<Input> result;
+  result.push_back(Input{});
+  for (const auto& [variable, values] : choices) {
+    std::vector<Input> next;
+    next.reserve(result.size() * values.size());
+    for (const auto& base : result) {
+      for (const auto v : values) {
+        next.push_back(mergeInputs(base, varInput(program, variable, v)));
+      }
+    }
+    result = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace pred::isa

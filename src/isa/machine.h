@@ -1,0 +1,78 @@
+#pragma once
+// machine.h — Architectural machine state and program inputs.
+//
+// The paper (Definition 2) distinguishes the *hardware state* q ∈ Q (caches,
+// pipeline occupancy, predictor tables, ... — modeled by the timing models in
+// src/pipeline, src/cache, ...) from the *program input* i ∈ I.  This header
+// models the architectural side: register/memory contents, and the Input
+// abstraction that the predictability evaluators in src/core quantify over.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/program.h"
+
+namespace pred::isa {
+
+/// A program input i ∈ I: initial values for selected registers and memory
+/// words.  Everything not mentioned defaults to zero, so inputs compose and
+/// compare cheaply.
+struct Input {
+  std::map<int, std::int64_t> regs;            ///< register -> value
+  std::map<std::int64_t, std::int64_t> mem;    ///< word address -> value
+  std::string name;                            ///< label for reports
+
+  bool operator==(const Input& o) const {
+    return regs == o.regs && mem == o.mem;
+  }
+};
+
+/// Architectural state during functional execution.
+struct MachineState {
+  std::vector<std::int64_t> regs;        ///< kNumRegs registers, regs[0] == 0
+  std::vector<std::int64_t> mem;         ///< word-addressed memory
+  std::vector<std::int32_t> callStack;   ///< return addresses
+  std::int64_t pc = 0;
+  bool halted = false;
+
+  explicit MachineState(std::int64_t memWords = 4096);
+
+  /// Applies an input on top of the all-zero state.
+  void applyInput(const Input& input);
+
+  std::int64_t reg(int r) const { return regs[static_cast<std::size_t>(r)]; }
+  void setReg(int r, std::int64_t v) {
+    if (r != 0) regs[static_cast<std::size_t>(r)] = v;
+  }
+
+  /// Wraps a raw effective address into the memory range (total semantics:
+  /// no traps; real RT systems would configure an MPU, which is orthogonal
+  /// to timing predictability).
+  std::int64_t wrapAddr(std::int64_t addr) const {
+    const auto n = static_cast<std::int64_t>(mem.size());
+    std::int64_t w = addr % n;
+    return w < 0 ? w + n : w;
+  }
+};
+
+/// Convenience factory: input setting a single register.
+Input regInput(int reg, std::int64_t value, std::string name = "");
+
+/// Convenience factory: input setting a named program variable (looked up in
+/// Program::variables).
+Input varInput(const Program& program, const std::string& variable,
+               std::int64_t value);
+
+/// Merges two inputs (right-hand side wins on conflicts).
+Input mergeInputs(const Input& a, const Input& b);
+
+/// Enumerates the cross product of per-variable value choices as a vector of
+/// inputs — the finite input sets I that the evaluators in src/core quantify
+/// over.  `choices` maps variable name -> candidate values.
+std::vector<Input> enumerateInputs(
+    const Program& program,
+    const std::map<std::string, std::vector<std::int64_t>>& choices);
+
+}  // namespace pred::isa

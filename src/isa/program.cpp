@@ -1,0 +1,84 @@
+#include "isa/program.h"
+
+#include <set>
+#include <sstream>
+
+namespace pred::isa {
+
+std::optional<FunctionInfo> Program::functionAt(std::int32_t pc) const {
+  for (const auto& f : functions) {
+    if (pc >= f.entry && pc < f.end) return f;
+  }
+  return std::nullopt;
+}
+
+std::optional<FunctionInfo> Program::functionEntry(std::int32_t pc) const {
+  for (const auto& f : functions) {
+    if (pc == f.entry) return f;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> Program::validate() const {
+  if (code.empty()) return "empty program";
+  const auto n = static_cast<std::int32_t>(code.size());
+  for (std::int32_t pc = 0; pc < n; ++pc) {
+    const Instr& ins = code[pc];
+    if (ins.rd >= kNumRegs || ins.rs1 >= kNumRegs || ins.rs2 >= kNumRegs) {
+      return "instruction " + std::to_string(pc) + ": register out of range";
+    }
+    if (isControlFlow(ins.op) && ins.op != Op::RET) {
+      if (ins.imm < 0 || ins.imm >= n) {
+        return "instruction " + std::to_string(pc) + ": branch target " +
+               std::to_string(ins.imm) + " out of range";
+      }
+    }
+    if (ins.op == Op::CALL) {
+      bool found = false;
+      for (const auto& f : functions) found = found || f.entry == ins.imm;
+      if (!found) {
+        return "instruction " + std::to_string(pc) +
+               ": call target is not a function entry";
+      }
+    }
+  }
+  for (const auto& f : functions) {
+    if (f.entry < 0 || f.end > n || f.entry >= f.end) {
+      return "function " + f.name + ": bad range";
+    }
+  }
+  for (std::size_t a = 0; a < functions.size(); ++a) {
+    for (std::size_t b = a + 1; b < functions.size(); ++b) {
+      const auto& fa = functions[a];
+      const auto& fb = functions[b];
+      if (fa.entry < fb.end && fb.entry < fa.end) {
+        return "functions " + fa.name + " and " + fb.name + " overlap";
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::string Program::disassemble() const {
+  std::set<std::int32_t> targets;
+  for (const auto& ins : code) {
+    if (isControlFlow(ins.op) && ins.op != Op::RET) targets.insert(ins.imm);
+  }
+  std::ostringstream os;
+  for (std::size_t pc = 0; pc < code.size(); ++pc) {
+    const auto ipc = static_cast<std::int32_t>(pc);
+    if (auto f = functionEntry(ipc)) {
+      os << f->name << ":\n";
+    } else if (targets.count(ipc)) {
+      os << "L" << pc << ":\n";
+    }
+    os << "  " << pc << ":\t" << toString(code[pc]);
+    if (auto it = loopBounds.find(ipc); it != loopBounds.end()) {
+      os << "\t; loop bound " << it->second;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace pred::isa

@@ -1,0 +1,102 @@
+#pragma once
+// program.h — Programs of the mini ISA: instruction sequences plus the static
+// metadata (functions, loop bounds, named variables) that the analyses in
+// src/analysis and the specialized caches in src/cache need.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/instr.h"
+
+namespace pred::isa {
+
+/// A function (contiguous instruction range).  Functions are the caching
+/// granule of the method cache (Schoeberl [23]): the whole body is loaded on
+/// call/return misses.
+struct FunctionInfo {
+  std::string name;
+  std::int32_t entry = 0;  ///< index of the first instruction
+  std::int32_t end = 0;    ///< one past the last instruction
+  /// Number of instructions in the function (its "size" for the method
+  /// cache, which caches variable-sized blocks).
+  std::int32_t size() const { return end - entry; }
+};
+
+/// Classification of data addresses, used by the split-cache model
+/// (Schoeberl et al. [24]): separate caches for stack, static, and heap data
+/// remove the need to disambiguate heap addresses statically.
+enum class DataRegion : std::uint8_t { Static, Stack, Heap };
+
+/// Memory layout constants shared by the code generators and the split-cache
+/// router.  Word addresses in [staticBase, stackBase) are static data,
+/// [stackBase, heapBase) stack, and [heapBase, memWords) heap.
+struct MemoryLayout {
+  std::int64_t staticBase = 0;
+  std::int64_t stackBase = 1024;
+  std::int64_t heapBase = 2048;
+  std::int64_t memWords = 4096;
+
+  DataRegion regionOf(std::int64_t wordAddr) const {
+    if (wordAddr >= heapBase) return DataRegion::Heap;
+    if (wordAddr >= stackBase) return DataRegion::Stack;
+    return DataRegion::Static;
+  }
+};
+
+/// A complete program: code, functions, and static metadata.
+///
+/// Loop bounds: the AST code generators record, for every loop-header
+/// instruction index, the maximal number of times the loop body can execute.
+/// The IPET-lite WCET analysis (src/analysis) relies on them; this mirrors
+/// the common real-time assumption that loop bounds are known (the paper's
+/// Figure 1 presupposes a terminating program with a finite WCET).
+struct Program {
+  std::vector<Instr> code;
+  std::vector<FunctionInfo> functions;
+  MemoryLayout layout;
+
+  /// Maps the instruction index of a loop's *backward branch* to the maximal
+  /// iteration count of that loop.
+  std::map<std::int32_t, std::int64_t> loopBounds;
+
+  /// Minimal iteration counts (same key as loopBounds).  Counted For loops
+  /// have min == max; input-dependent While loops have min 0.  Used by the
+  /// structural lower-bound analysis (Figure 1's LB).
+  std::map<std::int32_t, std::int64_t> loopMinBounds;
+
+  /// Named variables (AST compiler output): variable name -> static word
+  /// address.  Used by examples/tests to set inputs and read results.
+  std::map<std::string, std::int64_t> variables;
+
+  /// Static array extents: base word address -> length in words.  The
+  /// syntactic address oracle narrows indexed accesses to these ranges.
+  std::map<std::int64_t, std::int64_t> arrayExtents;
+
+  /// Instruction indices whose LD/ST address is statically unknown (e.g.
+  /// heap accesses through pointers).  The split-cache experiment (E11) and
+  /// the must/may analysis treat these as wildcard accesses.
+  std::vector<std::int32_t> unknownAddressAccesses;
+
+  std::size_t size() const { return code.size(); }
+  const Instr& at(std::size_t pc) const { return code[pc]; }
+
+  /// Returns the function containing instruction index pc, if any.
+  std::optional<FunctionInfo> functionAt(std::int32_t pc) const;
+
+  /// Returns the function with the given entry point, if any.
+  std::optional<FunctionInfo> functionEntry(std::int32_t pc) const;
+
+  /// Checks structural well-formedness: register indices in range, branch
+  /// targets inside the program, HALT reachable as last resort, functions
+  /// non-overlapping.  Returns an error description or std::nullopt if OK.
+  std::optional<std::string> validate() const;
+
+  /// Full disassembly listing (one instruction per line, with labels for
+  /// functions and branch targets).
+  std::string disassemble() const;
+};
+
+}  // namespace pred::isa

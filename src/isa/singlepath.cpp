@@ -1,0 +1,273 @@
+#include "isa/singlepath.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "isa/codegen_common.h"
+
+namespace pred::isa::ast {
+
+namespace {
+
+using detail::DataLayout;
+using detail::ExprCodegen;
+using detail::kScratch;
+using detail::kScratch2;
+using detail::LabelGen;
+using detail::TempPool;
+
+class SinglePathCompiler {
+ public:
+  SinglePathCompiler(const AstProgram& prog, const MemoryLayout& mem)
+      : prog_(prog), layout_(prog, mem), expr_(b_, layout_) {}
+
+  Program compile() {
+    layout_.emitPrologue(b_);
+    // Entry predicate of main is constant true.
+    const auto mainPred = layout_.allocHiddenSlot("__pred_main");
+    {
+      TempPool pool;
+      const int one = pool.alloc();
+      b_.li(one, 1);
+      b_.st(one, 0, static_cast<std::int32_t>(mainPred));
+      pool.release(one);
+    }
+    // Pre-allocate an entry-predicate slot per function (the call sequence
+    // stores the caller's predicate there).
+    for (const auto& f : prog_.functions) {
+      fnPredSlots_[f.name] = layout_.allocHiddenSlot("__pred_fn_" + f.name);
+    }
+    compileStmt(prog_.main, mainPred);
+    b_.halt();
+    for (const auto& f : prog_.functions) {
+      b_.beginFunction(f.name);
+      compileStmt(f.body, fnPredSlots_.at(f.name));
+      b_.ret();
+      b_.endFunction();
+    }
+    return b_.build();
+  }
+
+ private:
+  /// Emits a predicated write of register `valueReg` to the address formed
+  /// by base register `addrReg` (pass 0 with an immediate for scalars) plus
+  /// `imm`.  The store always executes; when the predicate in `predSlot` is
+  /// false it rewrites the old value.
+  void predicatedStore(int valueReg, int addrReg, std::int32_t imm,
+                       std::int64_t predSlot, TempPool& pool) {
+    const int p = pool.alloc();
+    const int old = pool.alloc();
+    b_.ld(p, 0, static_cast<std::int32_t>(predSlot));
+    b_.ld(old, addrReg, imm);
+    b_.cmov(old, p, valueReg);
+    b_.st(old, addrReg, imm);
+    pool.release(old);
+    pool.release(p);
+  }
+
+  void compileStmt(const StmtPtr& s, std::int64_t predSlot) {
+    if (!s) return;
+    switch (s->kind) {
+      case Stmt::Kind::Nop:
+        break;
+      case Stmt::Kind::Seq:
+        for (const auto& c : s->seq) compileStmt(c, predSlot);
+        break;
+      case Stmt::Kind::Assign: {
+        TempPool pool;
+        const int v = expr_.compile(s->expr, pool);
+        predicatedStore(
+            v, 0, static_cast<std::int32_t>(layout_.scalarAddr(s->name)),
+            predSlot, pool);
+        pool.release(v);
+        break;
+      }
+      case Stmt::Kind::ArrayAssign: {
+        TempPool pool;
+        const int v = expr_.compile(s->expr, pool);
+        const int ix = expr_.compile(s->index, pool);
+        if (layout_.isHeapArray(s->name)) {
+          b_.ld(kScratch, 0,
+                static_cast<std::int32_t>(layout_.heapPointerSlot(s->name)));
+          b_.add(ix, ix, kScratch);
+          // Predicated read-modify-write through the heap pointer.  Both the
+          // load and store addresses are statically unknown.
+          const int p = pool.alloc();
+          const int old = pool.alloc();
+          b_.ld(p, 0, static_cast<std::int32_t>(predSlot));
+          b_.ld(old, ix, 0);
+          b_.unknownAddress();
+          b_.cmov(old, p, v);
+          b_.st(old, ix, 0);
+          b_.unknownAddress();
+          pool.release(old);
+          pool.release(p);
+        } else {
+          predicatedStore(
+              v, ix,
+              static_cast<std::int32_t>(layout_.staticArrayBase(s->name)),
+              predSlot, pool);
+        }
+        pool.release(ix);
+        pool.release(v);
+        break;
+      }
+      case Stmt::Kind::If: {
+        const auto slotThen =
+            layout_.allocHiddenSlot("__pred_then_" + freshId());
+        const auto slotElse =
+            s->b ? layout_.allocHiddenSlot("__pred_else_" + freshId()) : -1;
+        {
+          TempPool pool;
+          const int t = expr_.compileCond01(s->expr, pool);
+          const int p = pool.alloc();
+          b_.ld(p, 0, static_cast<std::int32_t>(predSlot));
+          const int pt = pool.alloc();
+          b_.and_(pt, p, t);
+          b_.st(pt, 0, static_cast<std::int32_t>(slotThen));
+          if (s->b) {
+            b_.li(kScratch2, 1);
+            b_.sub(t, kScratch2, t);  // !cond
+            b_.and_(pt, p, t);
+            b_.st(pt, 0, static_cast<std::int32_t>(slotElse));
+          }
+          pool.release(pt);
+          pool.release(p);
+          pool.release(t);
+        }
+        compileStmt(s->a, slotThen);
+        if (s->b) compileStmt(s->b, slotElse);
+        break;
+      }
+      case Stmt::Kind::For: {
+        // Counted loop: constant trip count, counter update unpredicated.
+        const auto varAddr =
+            static_cast<std::int32_t>(layout_.scalarAddr(s->name));
+        const std::string headL = labels_.fresh("spfor");
+        const std::string endL = labels_.fresh("spendfor");
+        {
+          TempPool pool;
+          const int t = pool.alloc();
+          b_.li(t, static_cast<std::int32_t>(s->from));
+          b_.st(t, 0, varAddr);
+          pool.release(t);
+        }
+        b_.label(headL);
+        {
+          TempPool pool;
+          const int t = pool.alloc();
+          const int u = pool.alloc();
+          b_.ld(t, 0, varAddr);
+          b_.li(u, static_cast<std::int32_t>(s->to));
+          b_.bge(t, u, endL);
+          pool.release(u);
+          pool.release(t);
+        }
+        compileStmt(s->a, predSlot);
+        {
+          TempPool pool;
+          const int w = pool.alloc();
+          b_.ld(w, 0, varAddr);
+          b_.addi(w, w, 1);
+          b_.st(w, 0, varAddr);
+          pool.release(w);
+        }
+        b_.jmp(headL);
+        const auto trips = std::max<std::int64_t>(0, s->to - s->from);
+        b_.bound(trips, trips);
+        b_.label(endL);
+        break;
+      }
+      case Stmt::Kind::While: {
+        // Input-dependent loop: iterate exactly `bound` times; the body is
+        // predicated by the accumulated loop condition, which goes (and
+        // stays) false once the source condition first fails.
+        const auto slotLoop =
+            layout_.allocHiddenSlot("__pred_loop_" + freshId());
+        const auto counter =
+            layout_.allocHiddenSlot("__sp_counter_" + freshId());
+        const std::string headL = labels_.fresh("spwhile");
+        const std::string endL = labels_.fresh("spendwhile");
+        {
+          TempPool pool;
+          const int p = pool.alloc();
+          b_.ld(p, 0, static_cast<std::int32_t>(predSlot));
+          b_.st(p, 0, static_cast<std::int32_t>(slotLoop));
+          b_.li(p, 0);
+          b_.st(p, 0, static_cast<std::int32_t>(counter));
+          pool.release(p);
+        }
+        b_.label(headL);
+        {
+          TempPool pool;
+          const int t = pool.alloc();
+          const int u = pool.alloc();
+          b_.ld(t, 0, static_cast<std::int32_t>(counter));
+          b_.li(u, static_cast<std::int32_t>(s->bound));
+          b_.bge(t, u, endL);
+          pool.release(u);
+          pool.release(t);
+        }
+        {
+          TempPool pool;
+          const int t = expr_.compileCond01(s->expr, pool);
+          const int pl = pool.alloc();
+          b_.ld(pl, 0, static_cast<std::int32_t>(slotLoop));
+          b_.and_(pl, pl, t);
+          b_.st(pl, 0, static_cast<std::int32_t>(slotLoop));
+          pool.release(pl);
+          pool.release(t);
+        }
+        compileStmt(s->a, slotLoop);
+        {
+          TempPool pool;
+          const int w = pool.alloc();
+          b_.ld(w, 0, static_cast<std::int32_t>(counter));
+          b_.addi(w, w, 1);
+          b_.st(w, 0, static_cast<std::int32_t>(counter));
+          pool.release(w);
+        }
+        b_.jmp(headL);
+        // Single-path While: the loop ALWAYS runs exactly `bound` times —
+        // min == max, which is precisely its predictability payoff.
+        b_.bound(s->bound, s->bound);
+        b_.label(endL);
+        break;
+      }
+      case Stmt::Kind::CallFn: {
+        auto it = fnPredSlots_.find(s->name);
+        if (it == fnPredSlots_.end()) {
+          throw std::runtime_error("call to undeclared function: " + s->name);
+        }
+        TempPool pool;
+        const int p = pool.alloc();
+        b_.ld(p, 0, static_cast<std::int32_t>(predSlot));
+        b_.st(p, 0, static_cast<std::int32_t>(it->second));
+        pool.release(p);
+        b_.call(s->name);
+        break;
+      }
+    }
+  }
+
+  std::string freshId() { return std::to_string(idCounter_++); }
+
+  const AstProgram& prog_;
+  ProgramBuilder b_;
+  DataLayout layout_;
+  ExprCodegen expr_;
+  LabelGen labels_;
+  std::map<std::string, std::int64_t> fnPredSlots_;
+  int idCounter_ = 0;
+};
+
+}  // namespace
+
+Program compileSinglePath(const AstProgram& prog) {
+  MemoryLayout mem;
+  return SinglePathCompiler(prog, mem).compile();
+}
+
+}  // namespace pred::isa::ast

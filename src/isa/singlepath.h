@@ -1,0 +1,37 @@
+#pragma once
+// singlepath.h — Single-path code generation (Puschner & Burns, "Writing
+// temporally predictable code", WORDS 2002; Table 2, last row of the paper).
+//
+// The single-path paradigm removes *input-induced* timing variability
+// (Definition 5) at the source: every input-dependent branch is converted to
+// predicated straight-line code, and every input-dependent loop iterates a
+// constant number of times, with the loop body predicated by the accumulated
+// loop condition.  Consequently the instruction trace — and on architectures
+// without data-dependent instruction latencies, the execution time — is the
+// same for all inputs.
+//
+// Implementation notes:
+//  * Predicates live in dedicated hidden memory slots (one per static
+//    If/While statement, plus an entry predicate per function), so arbitrary
+//    nesting and calls compose without register pressure.  Recursion is not
+//    supported (the paradigm targets WCET-analyzable code, which excludes
+//    unbounded recursion anyway).
+//  * A predicated assignment evaluates the right-hand side unconditionally,
+//    then merges via CMOV and writes back — the store always happens, with
+//    either the new or the old value, keeping the memory access trace
+//    input-independent for scalar targets.
+//  * Counted For loops are kept as real loops: their trip count is a
+//    compile-time constant, so they cause no input-induced variability.
+
+#include "isa/ast.h"
+#include "isa/program.h"
+
+namespace pred::isa::ast {
+
+/// Compiles the program in single-path form.  The produced Program computes
+/// the same final variable values as compileBranchy() for every input
+/// (verified by differential tests), but its dynamic instruction trace is
+/// input-independent.
+Program compileSinglePath(const AstProgram& prog);
+
+}  // namespace pred::isa::ast

@@ -1,0 +1,390 @@
+#include "isa/workloads.h"
+
+#include <functional>
+#include <stdexcept>
+
+#include "isa/builder.h"
+
+namespace pred::isa::workloads {
+
+using namespace ast;
+
+AstProgram sumLoop(std::int64_t n) {
+  AstProgram p;
+  p.scalars = {"s", "i"};
+  p.arrays["a"] = n;
+  p.main = seq({
+      assign("s", constant(0)),
+      forLoop("i", 0, n,
+              assign("s", add(var("s"), arrayRef("a", var("i"))))),
+  });
+  return p;
+}
+
+AstProgram linearSearch(std::int64_t n) {
+  AstProgram p;
+  p.scalars = {"i", "key", "found"};
+  p.arrays["a"] = n;
+  p.main = seq({
+      assign("i", constant(0)),
+      assign("found", constant(0)),
+      whileLoop(
+          bin(BinOp::And,
+              cmp(CmpOp::Lt, var("i"), constant(n)),
+              cmp(CmpOp::Eq, var("found"), constant(0))),
+          seq({
+              ifElse(eq(arrayRef("a", var("i")), var("key")),
+                     assign("found", constant(1)),
+                     assign("i", add(var("i"), constant(1)))),
+          }),
+          n),
+  });
+  return p;
+}
+
+AstProgram bubbleSort(std::int64_t n) {
+  AstProgram p;
+  p.scalars = {"i", "j", "t", "swapped"};
+  p.arrays["a"] = n;
+  p.main = seq({
+      forLoop(
+          "i", 0, n - 1,
+          forLoop(
+              "j", 0, n - 1,
+              ifElse(gt(arrayRef("a", var("j")),
+                        arrayRef("a", add(var("j"), constant(1)))),
+                     seq({
+                         assign("t", arrayRef("a", var("j"))),
+                         arrayAssign("a", var("j"),
+                                     arrayRef("a", add(var("j"), constant(1)))),
+                         arrayAssign("a", add(var("j"), constant(1)), var("t")),
+                     })))),
+  });
+  return p;
+}
+
+AstProgram branchTree(int depth) {
+  AstProgram p;
+  p.scalars = {"cls"};
+  for (int d = 0; d < depth; ++d) p.scalars.push_back("x" + std::to_string(d));
+
+  // Recursive tree: at level d compare x_d against a threshold; accumulate a
+  // class id.
+  std::function<StmtPtr(int, std::int64_t)> build =
+      [&](int d, std::int64_t id) -> StmtPtr {
+    if (d == depth) return assign("cls", constant(id));
+    return ifElse(lt(var("x" + std::to_string(d)), constant(8)),
+                  build(d + 1, id * 2), build(d + 1, id * 2 + 1));
+  };
+  p.main = build(0, 1);
+  return p;
+}
+
+AstProgram matMul(std::int64_t n) {
+  AstProgram p;
+  p.scalars = {"i", "j", "k", "acc"};
+  p.arrays["ma"] = n * n;
+  p.arrays["mb"] = n * n;
+  p.arrays["mc"] = n * n;
+  auto idx = [&](const char* i, const char* j) {
+    return add(mul(var(i), constant(n)), var(j));
+  };
+  p.main = forLoop(
+      "i", 0, n,
+      forLoop(
+          "j", 0, n,
+          seq({
+              assign("acc", constant(0)),
+              forLoop("k", 0, n,
+                      assign("acc",
+                             add(var("acc"),
+                                 mul(arrayRef("ma", idx("i", "k")),
+                                     arrayRef("mb", idx("k", "j")))))),
+              arrayAssign("mc", idx("i", "j"), var("acc")),
+          })));
+  return p;
+}
+
+AstProgram heapMix(std::int64_t n) {
+  AstProgram p;
+  p.scalars = {"i", "s"};
+  p.arrays["stat"] = n;   // static region
+  p.arrays["hp"] = n;     // heap region, pointer-accessed
+  p.heapArrays = {"hp"};
+  p.main = seq({
+      assign("s", constant(0)),
+      forLoop("i", 0, n,
+              seq({
+                  arrayAssign("hp", var("i"),
+                              add(arrayRef("stat", var("i")), constant(1))),
+                  assign("s", add(var("s"), arrayRef("hp", var("i")))),
+              })),
+  });
+  return p;
+}
+
+AstProgram divKernel(std::int64_t n) {
+  AstProgram p;
+  p.scalars = {"i", "q", "x"};
+  p.arrays["a"] = n;
+  p.main = seq({
+      assign("q", constant(0)),
+      forLoop("i", 0, n,
+              assign("q", add(var("q"),
+                              div(arrayRef("a", var("i")),
+                                  add(var("x"), constant(1)))))),
+  });
+  return p;
+}
+
+AstProgram callRoundRobin(int numFuncs, int bodySize, int rounds) {
+  AstProgram p;
+  p.scalars = {"r", "acc"};
+  p.arrays["buf"] = 64;
+  for (int f = 0; f < numFuncs; ++f) {
+    std::vector<StmtPtr> body;
+    for (int s = 0; s < bodySize; ++s) {
+      body.push_back(assign(
+          "acc", add(var("acc"),
+                     add(arrayRef("buf", constant((f * 7 + s) % 64)),
+                         constant(f + 1)))));
+    }
+    p.functions.push_back(FunctionDecl{"fn" + std::to_string(f), seq(body)});
+  }
+  std::vector<StmtPtr> calls;
+  for (int f = 0; f < numFuncs; ++f) calls.push_back(callFn("fn" + std::to_string(f)));
+  p.main = seq({
+      assign("acc", constant(0)),
+      forLoop("r", 0, rounds, seq(calls)),
+  });
+  return p;
+}
+
+AstProgram fibonacci(std::int64_t n) {
+  AstProgram p;
+  p.scalars = {"i", "f", "prev", "t"};
+  p.main = seq({
+      assign("prev", constant(0)),
+      assign("f", constant(1)),
+      forLoop("i", 0, n,
+              seq({
+                  assign("t", add(var("f"), var("prev"))),
+                  assign("prev", var("f")),
+                  assign("f", var("t")),
+              })),
+  });
+  return p;
+}
+
+AstProgram matrixTranspose(std::int64_t n) {
+  AstProgram p;
+  p.scalars = {"i", "j", "t"};
+  p.arrays["m"] = n * n;
+  auto idx = [&](const char* r, const char* c) {
+    return add(mul(var(r), constant(n)), var(c));
+  };
+  // Triangular sweep: swap m[i][j] with m[j][i] for j > i.  The inner loop
+  // runs the full range with a guard (keeping trip counts constant makes
+  // the workload usable by the single-path comparison too).
+  p.main = forLoop(
+      "i", 0, n,
+      forLoop("j", 0, n,
+              ifElse(gt(var("j"), var("i")),
+                     seq({
+                         assign("t", arrayRef("m", idx("i", "j"))),
+                         arrayAssign("m", idx("i", "j"),
+                                     arrayRef("m", idx("j", "i"))),
+                         arrayAssign("m", idx("j", "i"), var("t")),
+                     }))));
+  return p;
+}
+
+AstProgram crcLike(std::int64_t n, int bitsPerWord) {
+  AstProgram p;
+  p.scalars = {"i", "b", "crc", "w", "mix"};
+  p.arrays["a"] = n;
+  p.main = seq({
+      assign("crc", constant(0x5A)),
+      forLoop(
+          "i", 0, n,
+          seq({
+              assign("w", arrayRef("a", var("i"))),
+              forLoop(
+                  "b", 0, bitsPerWord,
+                  seq({
+                      assign("mix",
+                             bin(BinOp::And,
+                                 bin(BinOp::Xor, var("crc"), var("w")),
+                                 constant(1))),
+                      ifElse(eq(var("mix"), constant(1)),
+                             assign("crc",
+                                    bin(BinOp::Xor,
+                                        bin(BinOp::Shr, var("crc"),
+                                            constant(1)),
+                                        constant(0x8C))),
+                             assign("crc", bin(BinOp::Shr, var("crc"),
+                                               constant(1)))),
+                      assign("w", bin(BinOp::Shr, var("w"), constant(1))),
+                  })),
+          })),
+  });
+  return p;
+}
+
+Program strideWalk(std::int64_t len, std::int64_t stride, int reps) {
+  ProgramBuilder b;
+  // r1 = index, r2 = len, r3 = accumulator, r4 = rep counter, r5 = reps
+  b.var("base", 0);
+  b.li(3, 0);
+  b.li(4, 0);
+  b.li(5, reps);
+  b.label("rep");
+  b.li(1, 0);
+  b.li(2, static_cast<std::int32_t>(len));
+  b.label("walk");
+  b.ld(6, 1, 0);
+  b.add(3, 3, 6);
+  b.addi(1, 1, static_cast<std::int32_t>(stride));
+  b.blt(1, 2, "walk").bound((len + stride - 1) / stride);
+  b.addi(4, 4, 1);
+  b.blt(4, 5, "rep").bound(reps);
+  b.halt();
+  return b.build();
+}
+
+Program randomWalk(std::int64_t len, int count, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> dist(0, len - 1);
+  ProgramBuilder b;
+  b.li(3, 0);
+  for (int k = 0; k < count; ++k) {
+    b.ld(2, 0, static_cast<std::int32_t>(dist(rng)));
+    b.add(3, 3, 2);
+  }
+  b.halt();
+  return b.build();
+}
+
+namespace {
+
+/// Helper for randomAst: uniformly draws grammar productions.
+class AstSampler {
+ public:
+  explicit AstSampler(std::uint64_t seed) : rng_(seed) {}
+
+  ExprPtr expr(int depth) {
+    switch (pick(depth > 0 ? 5 : 3)) {
+      case 0:
+        return constant(range(-8, 16));
+      case 1:
+        return var(scalarName());
+      case 2:
+        return arrayRef("a", indexExpr());
+      case 3:
+        return bin(static_cast<BinOp>(pick(4)),  // Add..Div
+                   expr(depth - 1), expr(depth - 1));
+      default:
+        return cmp(static_cast<CmpOp>(pick(6)), expr(depth - 1),
+                   expr(depth - 1));
+    }
+  }
+
+  /// Index expressions stay in [0, 7] by masking: idx & 7.
+  ExprPtr indexExpr() {
+    return bin(BinOp::And, var(scalarName()), constant(7));
+  }
+
+  StmtPtr stmt(int depth, int stmtsPerBlock) {
+    const int choice = pick(depth > 0 ? 6 : 2);
+    switch (choice) {
+      case 0:
+        return assign(resultName(), expr(2));
+      case 1:
+        return arrayAssign("a", indexExpr(), expr(2));
+      case 2:
+        return ifElse(cmp(static_cast<CmpOp>(pick(6)), expr(1), expr(1)),
+                      block(depth - 1, stmtsPerBlock),
+                      pick(2) ? block(depth - 1, stmtsPerBlock) : nullptr);
+      case 3: {
+        // Termination: the loop variable is a dedicated per-depth counter
+        // ("f<depth>") that no other statement ever assigns.
+        return forLoop("f" + std::to_string(depth), 0, range(1, 4),
+                       block(depth - 1, stmtsPerBlock));
+      }
+      case 4: {
+        // Terminating while: dedicated per-depth counter "w<depth>",
+        // incremented as the first body statement and never assigned
+        // elsewhere; the loop bound equals the trip limit.
+        const auto cv = "w" + std::to_string(depth);
+        const std::int64_t trips = range(1, 4);
+        auto body =
+            seq({assign(cv, bin(BinOp::Add, var(cv), constant(1))),
+                 block(depth - 1, stmtsPerBlock)});
+        return seq({assign(cv, constant(0)),
+                    whileLoop(lt(var(cv), constant(trips)), body, trips)});
+      }
+      default:
+        return assign(resultName(),
+                      bin(BinOp::Add, var(resultName()), expr(1)));
+    }
+  }
+
+  StmtPtr block(int depth, int stmtsPerBlock) {
+    std::vector<StmtPtr> stmts;
+    const int n = 1 + pick(stmtsPerBlock);
+    for (int k = 0; k < n; ++k) stmts.push_back(stmt(depth, stmtsPerBlock));
+    return seq(std::move(stmts));
+  }
+
+ private:
+  int pick(int n) { return static_cast<int>(rng_() % static_cast<std::uint64_t>(n)); }
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    rng_() % static_cast<std::uint64_t>(hi - lo + 1));
+  }
+  std::string scalarName() { return "x" + std::to_string(pick(4)); }
+  std::string resultName() { return "r" + std::to_string(pick(4)); }
+
+  std::mt19937_64 rng_;
+};
+
+}  // namespace
+
+ast::AstProgram randomAst(std::uint64_t seed, int maxDepth,
+                          int stmtsPerBlock) {
+  AstSampler sampler(seed);
+  ast::AstProgram p;
+  p.scalars = {"x0", "x1", "x2", "x3", "r0", "r1", "r2", "r3"};
+  for (int d = 0; d <= maxDepth; ++d) {
+    p.scalars.push_back("f" + std::to_string(d));  // for-loop counters
+    p.scalars.push_back("w" + std::to_string(d));  // while-loop counters
+  }
+  p.arrays["a"] = 8;
+  p.main = sampler.block(maxDepth, stmtsPerBlock);
+  return p;
+}
+
+std::vector<Input> randomArrayInputs(const Program& program,
+                                     const std::string& arrayName,
+                                     std::int64_t n, int howMany,
+                                     std::uint64_t seed,
+                                     std::int64_t valueRange) {
+  auto it = program.variables.find(arrayName);
+  if (it == program.variables.end()) {
+    throw std::runtime_error("unknown array: " + arrayName);
+  }
+  const std::int64_t base = it->second;
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::int64_t> dist(0, valueRange - 1);
+  std::vector<Input> inputs;
+  inputs.reserve(static_cast<std::size_t>(howMany));
+  for (int k = 0; k < howMany; ++k) {
+    Input in;
+    in.name = arrayName + "#" + std::to_string(k);
+    for (std::int64_t i = 0; i < n; ++i) in.mem[base + i] = dist(rng);
+    inputs.push_back(std::move(in));
+  }
+  return inputs;
+}
+
+}  // namespace pred::isa::workloads

@@ -1,0 +1,95 @@
+#pragma once
+// workloads.h — Workload programs for the experiments.
+//
+// The paper's evaluation is a survey (Tables 1 and 2); to *measure* the
+// quality measures it attributes to each approach we need concrete programs.
+// These generators produce the classic real-time kernel shapes (the kind the
+// Mälardalen WCET suite contains): counted loops over arrays,
+// input-dependent searches, sorting with data-dependent swaps, branchy
+// classifiers, and call-heavy programs for the method cache.
+//
+// Workloads authored as ASTs compile both branchy and single-path; raw
+// builders produce special-purpose instruction sequences (cache stressors).
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "isa/ast.h"
+#include "isa/machine.h"
+#include "isa/program.h"
+
+namespace pred::isa::workloads {
+
+/// s = sum of a[0..n-1]; counted loop, no input-dependent control flow.
+ast::AstProgram sumLoop(std::int64_t n);
+
+/// Linear search: i = index of first a[i] == key (or n); the iteration count
+/// depends on the input — the canonical input-induced variability example.
+ast::AstProgram linearSearch(std::int64_t n);
+
+/// Bubble sort over a[0..n-1]: data-dependent swap branches inside counted
+/// loops (classic single-path showcase).
+ast::AstProgram bubbleSort(std::int64_t n);
+
+/// Nested if-tree classifier of depth `depth` over input variables
+/// x0..x{depth-1}; result in "cls".  Exercises branch predictors.
+ast::AstProgram branchTree(int depth);
+
+/// Matrix multiply c = a * b for n x n matrices (three nested counted
+/// loops); heavy MUL and memory traffic.
+ast::AstProgram matMul(std::int64_t n);
+
+/// Program with a heap-allocated array accessed through a pointer (addresses
+/// statically unknown) plus static and stack-region accesses; the split
+/// cache experiment's workload.
+ast::AstProgram heapMix(std::int64_t n);
+
+/// Division-heavy kernel: data-dependent DIV latencies (input-induced
+/// variability even without branches).
+ast::AstProgram divKernel(std::int64_t n);
+
+/// Call-heavy program: `numFuncs` functions, each with a body of roughly
+/// `bodySize` statements, called in a round-robin pattern `rounds` times.
+/// The method-cache workload.
+ast::AstProgram callRoundRobin(int numFuncs, int bodySize, int rounds);
+
+/// Iterative Fibonacci: fib(n) into "f"; pure counted loop, heavy scalar
+/// reuse (a favorable must-analysis subject).
+ast::AstProgram fibonacci(std::int64_t n);
+
+/// In-place n x n matrix transpose of array "m" (row-major): triangular
+/// nested loops with data-independent but non-rectangular iteration space.
+ast::AstProgram matrixTranspose(std::int64_t n);
+
+/// CRC-like bit-mixing reduction over a[0..n-1] using shifts and xors with
+/// a data-dependent branch per bit (classic WCET benchmark shape).
+ast::AstProgram crcLike(std::int64_t n, int bitsPerWord = 8);
+
+/// Raw program: walks an array of `len` words with `stride`, `reps` times.
+/// Cache stressor with a precisely known address stream.
+Program strideWalk(std::int64_t len, std::int64_t stride, int reps);
+
+/// Raw program: pseudo-random (but fixed, seed-determined) sequence of
+/// `count` loads over `len` words.
+Program randomWalk(std::int64_t len, int count, std::uint64_t seed);
+
+/// Inputs: an array fill for workloads reading a[0..n-1], plus key/x
+/// variables as applicable.  Produces `howMany` pseudo-random inputs drawn
+/// from the given seed.
+std::vector<Input> randomArrayInputs(const Program& program,
+                                     const std::string& arrayName,
+                                     std::int64_t n, int howMany,
+                                     std::uint64_t seed,
+                                     std::int64_t valueRange = 64);
+
+/// Pseudo-random structured program for property-based testing: scalars
+/// x0..x3 (inputs), scalars r0..r3 (results), array a[8] (input/output).
+/// Statements are drawn from assignments, if/else, bounded while loops and
+/// counted for loops up to the given nesting depth.  Always terminates;
+/// both code generators accept it (differential single-path tests sweep
+/// seeds).
+ast::AstProgram randomAst(std::uint64_t seed, int maxDepth = 3,
+                          int stmtsPerBlock = 3);
+
+}  // namespace pred::isa::workloads

@@ -1,0 +1,72 @@
+#include "noc/arbiter.h"
+
+#include <stdexcept>
+
+namespace pred::noc {
+
+TdmArbiter::TdmArbiter(std::vector<int> slotTable)
+    : slotTable_(std::move(slotTable)) {
+  if (slotTable_.empty()) throw std::runtime_error("empty TDM slot table");
+}
+
+int TdmArbiter::grant(Cycles slotIndex, const std::vector<bool>& pending,
+                      const std::vector<Cycles>&) {
+  const int owner = slotTable_[static_cast<std::size_t>(
+      slotIndex % static_cast<Cycles>(slotTable_.size()))];
+  if (owner >= 0 && static_cast<std::size_t>(owner) < pending.size() &&
+      pending[static_cast<std::size_t>(owner)]) {
+    return owner;
+  }
+  return -1;  // unclaimed slots stay idle: composability over utilization
+}
+
+std::unique_ptr<Arbiter> TdmArbiter::clone() const {
+  return std::make_unique<TdmArbiter>(*this);
+}
+
+int FcfsArbiter::grant(Cycles, const std::vector<bool>& pending,
+                       const std::vector<Cycles>& arrivals) {
+  int best = -1;
+  for (std::size_t c = 0; c < pending.size(); ++c) {
+    if (!pending[c]) continue;
+    if (best < 0 || arrivals[c] < arrivals[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+std::unique_ptr<Arbiter> FcfsArbiter::clone() const {
+  return std::make_unique<FcfsArbiter>(*this);
+}
+
+int RoundRobinArbiter::grant(Cycles, const std::vector<bool>& pending,
+                             const std::vector<Cycles>&) {
+  const int n = static_cast<int>(pending.size());
+  for (int k = 0; k < n; ++k) {
+    const int c = (next_ + k) % n;
+    if (pending[static_cast<std::size_t>(c)]) {
+      next_ = (c + 1) % n;
+      return c;
+    }
+  }
+  return -1;
+}
+
+std::unique_ptr<Arbiter> RoundRobinArbiter::clone() const {
+  return std::make_unique<RoundRobinArbiter>(*this);
+}
+
+int FixedPriorityArbiter::grant(Cycles, const std::vector<bool>& pending,
+                                const std::vector<Cycles>&) {
+  for (std::size_t c = 0; c < pending.size(); ++c) {
+    if (pending[c]) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+std::unique_ptr<Arbiter> FixedPriorityArbiter::clone() const {
+  return std::make_unique<FixedPriorityArbiter>(*this);
+}
+
+}  // namespace pred::noc

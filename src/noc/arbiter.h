@@ -1,0 +1,86 @@
+#pragma once
+// arbiter.h — Arbitration policies for shared interconnect/memory resources.
+//
+// The paper repeatedly contrasts TDMA against FCFS arbitration (Section 1)
+// and describes CoMPSoC [9], which achieves COMPOSABILITY — "the composition
+// of applications on one platform does not have any influence on their
+// timing behavior" — through TDM arbitration on the NoC and on SRAM access.
+// This module provides the arbiter family; shared_resource.h builds the
+// served-request timeline, and composability.h checks the trace-equality
+// property that defines composability.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace pred::noc {
+
+using Cycles = std::uint64_t;
+
+/// An arbiter picks, for a given service slot, which of the requesting
+/// clients is granted.  `pending[c]` is true if client c has a request
+/// waiting at the slot start.
+class Arbiter {
+ public:
+  virtual ~Arbiter() = default;
+
+  /// Returns the granted client, or -1 to leave the slot idle.
+  /// `slotIndex` counts service slots from 0; `arrivalOrderHint` gives, for
+  /// each pending client, the arrival cycle of its oldest request (used by
+  /// FCFS).
+  virtual int grant(Cycles slotIndex, const std::vector<bool>& pending,
+                    const std::vector<Cycles>& arrivalOrderHint) = 0;
+
+  virtual std::string name() const = 0;
+  virtual std::unique_ptr<Arbiter> clone() const = 0;
+};
+
+/// TDM: slot s belongs to client slotTable[s % len]; a slot not claimed by
+/// its owner stays idle (non-work-conserving — this is what buys
+/// composability).
+class TdmArbiter : public Arbiter {
+ public:
+  explicit TdmArbiter(std::vector<int> slotTable);
+  int grant(Cycles slotIndex, const std::vector<bool>& pending,
+            const std::vector<Cycles>& arrivals) override;
+  std::string name() const override { return "TDM"; }
+  std::unique_ptr<Arbiter> clone() const override;
+
+ private:
+  std::vector<int> slotTable_;
+};
+
+/// FCFS: grant the pending client whose oldest request arrived first
+/// (ties: lower client id).  Work-conserving; latency depends on
+/// co-runners.
+class FcfsArbiter : public Arbiter {
+ public:
+  int grant(Cycles slotIndex, const std::vector<bool>& pending,
+            const std::vector<Cycles>& arrivals) override;
+  std::string name() const override { return "FCFS"; }
+  std::unique_ptr<Arbiter> clone() const override;
+};
+
+/// Round-robin: rotate among pending clients.
+class RoundRobinArbiter : public Arbiter {
+ public:
+  int grant(Cycles slotIndex, const std::vector<bool>& pending,
+            const std::vector<Cycles>& arrivals) override;
+  std::string name() const override { return "round-robin"; }
+  std::unique_ptr<Arbiter> clone() const override;
+
+ private:
+  int next_ = 0;
+};
+
+/// Fixed priority: lowest client id wins.
+class FixedPriorityArbiter : public Arbiter {
+ public:
+  int grant(Cycles slotIndex, const std::vector<bool>& pending,
+            const std::vector<Cycles>& arrivals) override;
+  std::string name() const override { return "fixed-priority"; }
+  std::unique_ptr<Arbiter> clone() const override;
+};
+
+}  // namespace pred::noc

@@ -1,0 +1,38 @@
+#pragma once
+// composability.h — The CoMPSoC composability check (Hansson et al. [9];
+// Table 1, row 4).
+//
+// Definition from the paper: "By composability they mean that the
+// composition of applications on one platform does not have any influence
+// on their timing behavior."  Operationally: the latency trace of an
+// application (here: a client's request stream on the shared resource) must
+// be IDENTICAL no matter which other applications co-run.  This module
+// executes one observed client against a set of co-runner scenarios and
+// compares the per-request latency traces.
+
+#include <string>
+#include <vector>
+
+#include "noc/shared_resource.h"
+
+namespace pred::noc {
+
+struct ComposabilityReport {
+  bool composable = false;  ///< all scenarios produced identical traces
+  /// Per-scenario worst-case latency of the observed client.
+  std::vector<Cycles> worstLatencyPerScenario;
+  /// Max over scenarios of the per-request latency deviation from the
+  /// solo run (0 for a composable resource).
+  Cycles maxDeviation = 0;
+  std::string detail;
+};
+
+/// Runs `observedStream` (client id must be consistent with the streams)
+/// alone and under each co-runner scenario, under the given arbiter
+/// (cloned per run so no state leaks between scenarios).
+ComposabilityReport checkComposability(
+    const SharedResource& resource, const Arbiter& arbiter, int observedClient,
+    const std::vector<NocRequest>& observedStream,
+    const std::vector<std::vector<NocRequest>>& scenarios);
+
+}  // namespace pred::noc

@@ -1,0 +1,106 @@
+#include "noc/shared_resource.h"
+
+#include <algorithm>
+#include <deque>
+#include <stdexcept>
+
+namespace pred::noc {
+
+SharedResource::SharedResource(int numClients, Cycles serviceTime)
+    : numClients_(numClients), serviceTime_(serviceTime) {
+  if (numClients < 1 || serviceTime < 1) {
+    throw std::runtime_error("bad shared-resource parameters");
+  }
+}
+
+std::vector<NocServed> SharedResource::run(
+    Arbiter& arbiter, std::vector<NocRequest> requests) const {
+  std::stable_sort(requests.begin(), requests.end(),
+                   [](const NocRequest& a, const NocRequest& b) {
+                     return a.arrival < b.arrival;
+                   });
+  std::vector<std::deque<NocRequest>> queues(
+      static_cast<std::size_t>(numClients_));
+  for (const auto& r : requests) {
+    if (r.client < 0 || r.client >= numClients_) {
+      throw std::runtime_error("client id out of range");
+    }
+    queues[static_cast<std::size_t>(r.client)].push_back(r);
+  }
+  std::size_t remaining = requests.size();
+  std::vector<NocServed> served;
+  served.reserve(requests.size());
+
+  std::vector<bool> pending(static_cast<std::size_t>(numClients_));
+  std::vector<Cycles> arrivals(static_cast<std::size_t>(numClients_));
+  const Cycles safetySlots = 1000000 + 64 * (requests.size() + 1);
+  for (Cycles s = 0; remaining > 0; ++s) {
+    if (s > safetySlots) {
+      throw std::runtime_error("shared resource starved (arbiter bug?)");
+    }
+    const Cycles slotStart = s * serviceTime_;
+    for (int c = 0; c < numClients_; ++c) {
+      const auto& q = queues[static_cast<std::size_t>(c)];
+      pending[static_cast<std::size_t>(c)] =
+          !q.empty() && q.front().arrival <= slotStart;
+      arrivals[static_cast<std::size_t>(c)] =
+          q.empty() ? ~Cycles{0} : q.front().arrival;
+    }
+    const int granted = arbiter.grant(s, pending, arrivals);
+    if (granted < 0) continue;
+    if (!pending[static_cast<std::size_t>(granted)]) {
+      throw std::runtime_error("arbiter granted a non-pending client");
+    }
+    auto& q = queues[static_cast<std::size_t>(granted)];
+    const NocRequest req = q.front();
+    q.pop_front();
+    served.push_back(NocServed{req, slotStart, slotStart + serviceTime_});
+    --remaining;
+  }
+  return served;
+}
+
+std::vector<Cycles> SharedResource::clientLatencies(
+    const std::vector<NocServed>& all, int client) {
+  std::vector<NocServed> mine;
+  for (const auto& s : all) {
+    if (s.request.client == client) mine.push_back(s);
+  }
+  std::stable_sort(mine.begin(), mine.end(),
+                   [](const NocServed& a, const NocServed& b) {
+                     return a.request.arrival < b.request.arrival;
+                   });
+  std::vector<Cycles> lat;
+  lat.reserve(mine.size());
+  for (const auto& s : mine) lat.push_back(s.latency());
+  return lat;
+}
+
+std::vector<NocRequest> periodicStream(int client, Cycles phase, Cycles period,
+                                       int count) {
+  std::vector<NocRequest> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    out.push_back(NocRequest{client,
+                             phase + period * static_cast<Cycles>(k),
+                             static_cast<std::uint64_t>(k)});
+  }
+  return out;
+}
+
+std::vector<NocRequest> burstyStream(int client, Cycles phase,
+                                     Cycles burstPeriod, int burstLen,
+                                     int bursts) {
+  std::vector<NocRequest> out;
+  out.reserve(static_cast<std::size_t>(burstLen * bursts));
+  std::uint64_t id = 0;
+  for (int b = 0; b < bursts; ++b) {
+    for (int k = 0; k < burstLen; ++k) {
+      out.push_back(NocRequest{
+          client, phase + burstPeriod * static_cast<Cycles>(b), id++});
+    }
+  }
+  return out;
+}
+
+}  // namespace pred::noc

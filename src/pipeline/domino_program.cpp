@@ -1,0 +1,54 @@
+#include "pipeline/domino_program.h"
+
+#include "isa/builder.h"
+#include "isa/exec.h"
+#include "pipeline/memory_iface.h"
+
+namespace pred::pipeline {
+
+OooConfig dominoConfig() {
+  OooConfig c;
+  c.aluLatency = 1;
+  c.mulLatency = 2;
+  c.dispatchWidth = 2;
+  return c;
+}
+
+isa::Program dominoProgram(int n) {
+  // The calibrated dependent sequence (found by systematic search over
+  // MUL/ADD bodies, see DESIGN.md): three repetitions of a 4-instruction
+  // read-after-write chain form one "sequence"; executing the sequence n
+  // times takes
+  //     9n+1 cycles from q1* = {IU0 free, IU1 busy 2 more cycles}
+  //    12n   cycles from q2* = {empty pipeline}
+  // on the greedy dual-dispatch pipeline of dominoConfig().  As in
+  // Schneider's PPC755 observation, the EMPTY pipeline is the slower state:
+  // with IU1 initially busy, the greedy dispatcher is forced into a pairing
+  // of the dependent ADDs that overlaps the MUL; from the empty state it
+  // greedily mis-pairs, and the misalignment reproduces itself in every
+  // repetition — the states never converge (domino effect).
+  isa::ProgramBuilder b;
+  for (int k = 0; k < 3 * n; ++k) {
+    b.add(3, 5, 5);
+    b.mul(4, 4, 1);
+    b.add(3, 2, 1);
+    b.add(5, 3, 4);
+  }
+  b.halt();
+  return b.build();
+}
+
+OooInitialState dominoStateQ1() { return OooInitialState{0, 2, 0}; }
+OooInitialState dominoStateQ2() { return OooInitialState{0, 0, 0}; }
+
+Cycles dominoTime(int n, const OooInitialState& q) {
+  const isa::Program p = dominoProgram(n);
+  auto run = isa::FunctionalCore::run(p, isa::Input{});
+  // Time the sequence itself: drop the final HALT marker.
+  run.trace.pop_back();
+  FixedLatencyMemory mem(2);
+  OooPipeline pipe(dominoConfig(), &mem);
+  return pipe.run(run.trace, q);
+}
+
+}  // namespace pred::pipeline

@@ -1,0 +1,57 @@
+#include "pipeline/inorder.h"
+
+namespace pred::pipeline {
+
+InOrderPipeline::InOrderPipeline(InOrderConfig config, MemorySystem* memory,
+                                 branch::Predictor* predictor,
+                                 MemorySystem* instrMemory)
+    : config_(config),
+      memory_(memory),
+      predictor_(predictor),
+      instrMemory_(instrMemory) {}
+
+Cycles InOrderPipeline::run(const isa::Trace& trace) {
+  Cycles total = 0;
+  mispredicts_ = 0;
+  for (const auto& rec : trace) {
+    if (instrMemory_ != nullptr) total += instrMemory_->access(rec.pc);
+    switch (isa::latencyClass(rec.instr.op)) {
+      case isa::LatencyClass::Single:
+        total += config_.aluLatency;
+        break;
+      case isa::LatencyClass::Multiply:
+        total += config_.mulLatency;
+        break;
+      case isa::LatencyClass::Divide:
+        total += config_.constantDiv
+                     ? static_cast<Cycles>(isa::maxDivLatency())
+                     : static_cast<Cycles>(rec.extraLatency);
+        break;
+      case isa::LatencyClass::Memory:
+        total += config_.aluLatency + memory_->access(rec.memWordAddr);
+        break;
+      case isa::LatencyClass::Control: {
+        total += config_.controlLatency;
+        if (isa::isConditionalBranch(rec.instr.op) && predictor_ != nullptr) {
+          const bool predicted = predictor_->predictTaken(rec.pc);
+          if (predicted != rec.branchTaken) {
+            total += config_.mispredictPenalty;
+            ++mispredicts_;
+          } else if (rec.branchTaken) {
+            total += config_.takenPenalty;
+          }
+          predictor_->update(rec.pc, rec.branchTaken);
+        } else if (rec.branchTaken) {
+          total += config_.takenPenalty;
+        }
+        break;
+      }
+      case isa::LatencyClass::None:
+        total += 1;  // NOP/HALT/DEADLINE occupy one issue slot
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace pred::pipeline

@@ -1,0 +1,58 @@
+#pragma once
+// inorder.h — In-order scalar pipeline (ARM7-class).
+//
+// Wilhelm et al. [29] recommend such "compositional architectures" for
+// time-critical systems: instructions retire strictly in order, every stall
+// is local, and consequently there are no domino effects — the
+// state-induced execution-time variation is bounded by the cache and
+// predictor contents alone.  The cycle model is additive: each dynamic
+// instruction contributes its class latency plus memory latency (from the
+// attached MemorySystem) plus branch penalties (from the attached
+// Predictor, if any).  Additivity is precisely what makes this pipeline a
+// compositional baseline against the out-of-order model (ooo.h).
+
+#include <cstdint>
+
+#include "branch/predictor.h"
+#include "isa/exec.h"
+#include "pipeline/memory_iface.h"
+
+namespace pred::pipeline {
+
+struct InOrderConfig {
+  Cycles aluLatency = 1;
+  Cycles mulLatency = 4;
+  /// When true, DIV takes maxDivLatency() always (the Whitham/Audsley
+  /// constant-duration mode); otherwise the data-dependent trace latency.
+  bool constantDiv = false;
+  Cycles controlLatency = 1;
+  Cycles takenPenalty = 1;       ///< fetch bubble on taken control flow
+  Cycles mispredictPenalty = 3;  ///< extra penalty with a predictor attached
+};
+
+class InOrderPipeline {
+ public:
+  /// `memory` must outlive the pipeline; `predictor` may be null (then
+  /// taken branches pay takenPenalty and there is no misprediction).
+  /// `instrMemory` models the instruction fetch path (I-cache or
+  /// scratchpad); null means single-cycle fetch folded into the class
+  /// latency.  Instruction addresses are the pc indices (a separate
+  /// address space from data, as in split I/D hierarchies).
+  InOrderPipeline(InOrderConfig config, MemorySystem* memory,
+                  branch::Predictor* predictor = nullptr,
+                  MemorySystem* instrMemory = nullptr);
+
+  /// Executes the dynamic trace and returns the cycle count.
+  Cycles run(const isa::Trace& trace);
+
+  std::uint64_t mispredictions() const { return mispredicts_; }
+
+ private:
+  InOrderConfig config_;
+  MemorySystem* memory_;
+  branch::Predictor* predictor_;
+  MemorySystem* instrMemory_;
+  std::uint64_t mispredicts_ = 0;
+};
+
+}  // namespace pred::pipeline

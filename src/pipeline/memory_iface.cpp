@@ -1,0 +1,4 @@
+#include "pipeline/memory_iface.h"
+
+// Interface implementations are header-only; this TU anchors the vtable.
+namespace pred::pipeline {}

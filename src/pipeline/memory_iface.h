@@ -1,0 +1,129 @@
+#pragma once
+// memory_iface.h — Memory-system interface used by all pipeline models.
+//
+// Pipelines see memory through a single latency hook, so the same pipeline
+// composes with a scratchpad (fixed latency — the PRET/virtual-traces
+// choice), a conventional cache (state-dependent latency — the uncertainty
+// source of Table 1) or a split cache.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cache/set_assoc.h"
+#include "cache/split_cache.h"
+
+namespace pred::pipeline {
+
+using Cycles = std::uint64_t;
+
+class MemorySystem {
+ public:
+  virtual ~MemorySystem() = default;
+  /// Latency of one data access.
+  virtual Cycles access(std::int64_t wordAddr) = 0;
+};
+
+/// Scratchpad / TDM-slot memory: constant latency, no state.
+class FixedLatencyMemory : public MemorySystem {
+ public:
+  explicit FixedLatencyMemory(Cycles latency) : latency_(latency) {}
+  Cycles access(std::int64_t) override { return latency_; }
+
+ private:
+  Cycles latency_;
+};
+
+/// Conventional data cache in front of a flat memory.  Holds the cache *by
+/// value*: copying a CachedMemory snapshots the cache state, which is how
+/// benches replay the same initial hardware state q across runs.
+class CachedMemory : public MemorySystem {
+ public:
+  explicit CachedMemory(cache::SetAssocCache cacheState)
+      : cache_(std::move(cacheState)) {}
+  Cycles access(std::int64_t wordAddr) override {
+    return cache_.access(wordAddr).latency;
+  }
+  cache::SetAssocCache& cache() { return cache_; }
+
+ private:
+  cache::SetAssocCache cache_;
+};
+
+/// Split data cache (Schoeberl et al. [24]) as a memory system.
+class SplitCachedMemory : public MemorySystem {
+ public:
+  explicit SplitCachedMemory(cache::SplitCache split)
+      : split_(std::move(split)) {}
+  Cycles access(std::int64_t wordAddr) override {
+    return split_.access(wordAddr).latency;
+  }
+  cache::SplitCache& split() { return split_; }
+
+ private:
+  cache::SplitCache split_;
+};
+
+/// Memory reached over a shared bus (Wilhelm et al. [29], Table 1 row 7:
+/// "latencies of bus transfers" under "concurrently executing
+/// applications").  Our core owns every k-th bus slot of a TDM wheel of
+/// `wheelSize` slots; under TDM the access latency depends ONLY on the
+/// phase of the core's own request stream (worst case: one full wheel),
+/// never on the co-runners.  The work-conserving alternative is modeled by
+/// `contended`: a per-access extra delay pattern representing whatever the
+/// co-runners do — the uncertainty the TDM bus removes.
+class SharedBusMemory : public MemorySystem {
+ public:
+  /// TDM bus: `slotCycles` per slot, `wheelSize` slots per rotation, the
+  /// core owns slot 0.  `serviceCycles` is the memory's own latency.
+  SharedBusMemory(Cycles slotCycles, int wheelSize, Cycles serviceCycles)
+      : slotCycles_(slotCycles),
+        wheelSize_(static_cast<Cycles>(wheelSize)),
+        service_(serviceCycles) {}
+
+  Cycles access(std::int64_t) override {
+    // Wait for the next owned slot from the current local time.
+    const Cycles wheel = slotCycles_ * wheelSize_;
+    const Cycles phase = now_ % wheel;
+    const Cycles wait = phase == 0 ? 0 : wheel - phase;
+    const Cycles latency = wait + slotCycles_ + service_;
+    now_ += latency;
+    return latency;
+  }
+
+  /// Worst-case per-access latency bound — co-runner independent.
+  Cycles latencyBound() const {
+    return slotCycles_ * wheelSize_ + slotCycles_ + service_;
+  }
+
+  void resetClock() { now_ = 0; }
+
+ private:
+  Cycles slotCycles_;
+  Cycles wheelSize_;
+  Cycles service_;
+  Cycles now_ = 0;
+};
+
+/// The contended (FCFS-style) bus baseline: each access pays an extra
+/// co-runner-dependent delay drawn from the supplied pattern.  Different
+/// patterns = different execution contexts; the variability across patterns
+/// is the row's quality measure.
+class ContendedBusMemory : public MemorySystem {
+ public:
+  ContendedBusMemory(Cycles serviceCycles, std::vector<Cycles> delayPattern)
+      : service_(serviceCycles), delays_(std::move(delayPattern)) {}
+
+  Cycles access(std::int64_t) override {
+    const Cycles d = delays_.empty() ? 0 : delays_[next_ % delays_.size()];
+    ++next_;
+    return service_ + d;
+  }
+
+ private:
+  Cycles service_;
+  std::vector<Cycles> delays_;
+  std::size_t next_ = 0;
+};
+
+}  // namespace pred::pipeline

@@ -1,0 +1,71 @@
+#pragma once
+// ooo.h — Out-of-order dual-unit pipeline (PPC755-class).
+//
+// Models the micro-architectural features Schneider's PPC755 domino effect
+// (Section 2.2, Equation 4 of the paper) depends on:
+//   * two ASYMMETRIC integer units — unit IU0 executes all integer ops
+//     including multi-cycle MUL/DIV; unit IU1 executes only single-cycle
+//     ops;
+//   * a GREEDY dispatcher — instructions dispatch in program order, and
+//     each takes the lowest-numbered capable unit that is free *right now*,
+//     with no lookahead (a single-cycle op can grab IU0 although a MUL two
+//     slots later will need it);
+//   * read-after-write dependencies through registers with full forwarding;
+//   * blocking reservation stations (a unit is occupied from dispatch to
+//     completion).
+//
+// The hardware state q of Definition 2 is the initial occupancy of the
+// units (OooInitialState), the enumerable residue of whatever executed
+// before.  bench/eq4_domino drives this model with the instruction sequence
+// of domino_program.h to reproduce the 9n+1 vs 12n cycle counts.
+//
+// Optionally the pipeline drains at given program points
+// (`drainBefore`): that is Rochange & Sainrat's time-predictable execution
+// mode [21] — flushing at basic-block boundaries removes all inter-block
+// timing dependencies (Table 1, row 2).
+
+#include <cstdint>
+#include <set>
+
+#include "isa/exec.h"
+#include "pipeline/memory_iface.h"
+
+namespace pred::pipeline {
+
+struct OooConfig {
+  Cycles aluLatency = 1;
+  Cycles mulLatency = 4;
+  bool constantDiv = false;
+  Cycles controlLatency = 1;
+  Cycles takenRedirect = 1;  ///< dispatch bubble after a taken branch
+  int dispatchWidth = 2;     ///< instructions dispatched per cycle (PPC755: 2)
+};
+
+/// Initial pipeline occupancy: cycles until each unit becomes free, the
+/// residue of previously executing code.  {0,0,0} is the empty pipeline.
+struct OooInitialState {
+  Cycles iu0Busy = 0;  ///< complex integer unit (ALU + MUL + DIV)
+  Cycles iu1Busy = 0;  ///< simple integer unit (single-cycle ops, branches)
+  Cycles lsuBusy = 0;  ///< load/store unit
+
+  bool operator==(const OooInitialState& o) const {
+    return iu0Busy == o.iu0Busy && iu1Busy == o.iu1Busy && lsuBusy == o.lsuBusy;
+  }
+};
+
+class OooPipeline {
+ public:
+  OooPipeline(OooConfig config, MemorySystem* memory);
+
+  /// Runs the dynamic trace from the given initial occupancy.  If
+  /// `drainBefore` is non-null, dispatch of any instruction whose pc is in
+  /// the set waits until the pipeline is fully drained (preschedule mode).
+  Cycles run(const isa::Trace& trace, const OooInitialState& init = {},
+             const std::set<std::int32_t>* drainBefore = nullptr);
+
+ private:
+  OooConfig config_;
+  MemorySystem* memory_;
+};
+
+}  // namespace pred::pipeline

@@ -1,0 +1,46 @@
+#pragma once
+// pret.h — Precision-timed (PRET) thread-interleaved pipeline (Lickly et
+// al. [13], Edwards & Lee [7]; Table 1, row 5).
+//
+// N hardware threads share the pipeline in a fixed round-robin slot
+// schedule: thread t may issue only in cycles ≡ t (mod N).  Because N
+// exceeds every instruction latency and memory is a scratchpad, an
+// instruction always completes before its thread's next slot — so each
+// thread observes CONSTANT instruction timing, independent of the other
+// threads and of any initial state (at the sacrifice of single-thread
+// performance, as the paper notes).  The ISA-level DEADLINE instruction
+// stalls its thread until the given number of cycles has elapsed since the
+// previous deadline, giving programs control over timing — the PRET
+// signature feature.
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/exec.h"
+
+namespace pred::pipeline {
+
+using Cycles = std::uint64_t;
+
+struct PretConfig {
+  int numThreads = 4;
+};
+
+class PretPipeline {
+ public:
+  explicit PretPipeline(PretConfig config);
+
+  /// Runs one trace per hardware thread (nullptr = idle thread) and returns
+  /// each thread's completion cycle.  A thread's completion time depends
+  /// only on its own trace — verified by the composability tests.
+  std::vector<Cycles> run(const std::vector<const isa::Trace*>& threads) const;
+
+  /// Completion time of a single thread in slot `slot` — the closed form
+  /// the tests compare against run().
+  Cycles threadTime(const isa::Trace& trace, int slot) const;
+
+ private:
+  PretConfig config_;
+};
+
+}  // namespace pred::pipeline

@@ -1,0 +1,52 @@
+#pragma once
+// smt.h — Simultaneous multithreading with a real-time thread (Barre,
+// Rochange, Sainrat [2]; Mische, Uhrig, Kluge, Ungerer [16]; Table 1,
+// row 3).
+//
+// Several hardware threads share one issue port.  The uncertainty source is
+// the *execution context*: which other tasks run in the non-real-time
+// threads.  Two thread-select policies:
+//   * RoundRobin — fair sharing; the real-time thread's completion time
+//     depends on the co-runners (variable).
+//   * RtPriority — the real-time thread (thread 0) issues whenever it is
+//     ready; non-RT threads only fill its stall slots.  The RT thread then
+//     experiences ZERO interference: its timing equals its solo timing, for
+//     any co-runner set — the predictability claim of both papers.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/exec.h"
+
+namespace pred::pipeline {
+
+using Cycles = std::uint64_t;
+
+enum class SmtPolicy : std::uint8_t { RoundRobin, RtPriority };
+
+std::string toString(SmtPolicy p);
+
+struct SmtConfig {
+  SmtPolicy policy = SmtPolicy::RtPriority;
+  Cycles aluLatency = 1;
+  Cycles mulLatency = 4;
+  Cycles memLatency = 2;  ///< scratchpad-backed to isolate issue interference
+  Cycles controlLatency = 1;
+  bool constantDiv = true;
+};
+
+class SmtPipeline {
+ public:
+  explicit SmtPipeline(SmtConfig config);
+
+  /// Runs one trace per thread (thread 0 = real-time thread; nullptr =
+  /// empty thread) and returns per-thread completion cycles.
+  std::vector<Cycles> run(const std::vector<const isa::Trace*>& threads) const;
+
+ private:
+  Cycles latencyOf(const isa::ExecRecord& rec) const;
+  SmtConfig config_;
+};
+
+}  // namespace pred::pipeline

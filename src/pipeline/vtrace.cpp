@@ -1,0 +1,61 @@
+#include "pipeline/vtrace.h"
+
+namespace pred::pipeline {
+
+std::set<std::int32_t> computeTraceBoundaries(const isa::Cfg& cfg,
+                                              int maxTraceLen) {
+  std::set<std::int32_t> boundaries;
+  boundaries.insert(0);
+  for (const auto& f : cfg.program().functions) boundaries.insert(f.entry);
+  for (const auto& loop : cfg.loops()) {
+    boundaries.insert(cfg.block(loop.header).begin);
+  }
+  // Split long straight-line stretches.
+  int sinceBoundary = 0;
+  for (std::int32_t pc = 0;
+       pc < static_cast<std::int32_t>(cfg.program().size()); ++pc) {
+    if (boundaries.count(pc)) {
+      sinceBoundary = 0;
+      continue;
+    }
+    if (++sinceBoundary >= maxTraceLen) {
+      boundaries.insert(pc);
+      sinceBoundary = 0;
+    }
+  }
+  return boundaries;
+}
+
+VirtualTracePipeline::VirtualTracePipeline(VirtualTraceConfig config,
+                                           std::set<std::int32_t> boundaries)
+    : config_(config), boundaries_(std::move(boundaries)) {}
+
+Cycles VirtualTracePipeline::run(const isa::Trace& trace) const {
+  Cycles total = 0;
+  for (const auto& rec : trace) {
+    if (boundaries_.count(rec.pc)) total += config_.boundaryPenalty;
+    switch (isa::latencyClass(rec.instr.op)) {
+      case isa::LatencyClass::Single:
+        total += config_.aluLatency;
+        break;
+      case isa::LatencyClass::Multiply:
+        total += config_.mulLatency;
+        break;
+      case isa::LatencyClass::Divide:
+        total += config_.divLatency;  // forced constant duration
+        break;
+      case isa::LatencyClass::Memory:
+        total += config_.memLatency;  // scratchpad
+        break;
+      case isa::LatencyClass::Control:
+        total += config_.controlLatency;  // perfect prediction in-trace
+        break;
+      case isa::LatencyClass::None:
+        total += 1;
+        break;
+    }
+  }
+  return total;
+}
+
+}  // namespace pred::pipeline

@@ -1,0 +1,57 @@
+#pragma once
+// vtrace.h — Predictable out-of-order execution using virtual traces
+// (Whitham & Audsley [28]; Table 1, row 6).
+//
+// The program is statically partitioned into "traces".  Within a trace:
+//   * branches are predicted perfectly (the trace fixes the path),
+//   * variable-duration instructions are forced to a constant duration,
+//   * memory is a scratchpad with fixed latency,
+//   * exceptions/caches/dynamic predictors do not exist.
+// Whenever a trace is entered or left, the pipeline state is reset (a fixed
+// drain penalty), eliminating any influence of the past.  Consequently the
+// execution time of a program path is a pure function of the path — zero
+// variability over hardware states (the property/measure pair the paper's
+// table lists: "execution time of program paths" / "variability in execution
+// times").
+
+#include <cstdint>
+#include <set>
+
+#include "isa/cfg.h"
+#include "isa/exec.h"
+
+namespace pred::pipeline {
+
+using Cycles = std::uint64_t;
+
+struct VirtualTraceConfig {
+  Cycles aluLatency = 1;
+  Cycles mulLatency = 4;        ///< constant (worst case)
+  Cycles divLatency = 10;       ///< constant (worst case), per [28]
+  Cycles memLatency = 2;        ///< scratchpad
+  Cycles controlLatency = 1;
+  Cycles boundaryPenalty = 3;   ///< pipeline drain + reset at trace entry
+  int maxTraceLen = 16;         ///< static partition granule
+};
+
+/// Computes the static trace boundaries: function entries, loop headers,
+/// and every maxTraceLen instructions within straight-line stretches.
+std::set<std::int32_t> computeTraceBoundaries(const isa::Cfg& cfg,
+                                              int maxTraceLen);
+
+class VirtualTracePipeline {
+ public:
+  VirtualTracePipeline(VirtualTraceConfig config,
+                       std::set<std::int32_t> boundaries);
+
+  /// Executes the dynamic trace.  There is deliberately no hardware-state
+  /// parameter: the per-boundary reset makes the time a function of the
+  /// path alone, which the tests verify by differential comparison.
+  Cycles run(const isa::Trace& trace) const;
+
+ private:
+  VirtualTraceConfig config_;
+  std::set<std::int32_t> boundaries_;
+};
+
+}  // namespace pred::pipeline

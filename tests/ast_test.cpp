@@ -1,0 +1,235 @@
+// ast_test.cpp — The branchy code generator computes what the AST says.
+
+#include <gtest/gtest.h>
+
+#include "isa/ast.h"
+#include "isa/exec.h"
+#include "isa/workloads.h"
+
+namespace pred::isa::ast {
+namespace {
+
+std::int64_t readVar(const Program& p, const MachineState& st,
+                     const std::string& name) {
+  return st.mem[static_cast<std::size_t>(p.variables.at(name))];
+}
+
+RunResult runOn(const Program& p, const Input& in = Input{}) {
+  auto r = FunctionalCore::run(p, in);
+  EXPECT_TRUE(r.completed);
+  return r;
+}
+
+TEST(AstCompile, ConstantsAndArithmetic) {
+  AstProgram a;
+  a.scalars = {"x", "y"};
+  a.main = seq({
+      assign("x", add(constant(6), mul(constant(4), constant(9)))),  // 42
+      assign("y", sub(var("x"), constant(2))),                       // 40
+  });
+  const auto p = compileBranchy(a);
+  auto r = runOn(p);
+  EXPECT_EQ(readVar(p, r.finalState, "x"), 42);
+  EXPECT_EQ(readVar(p, r.finalState, "y"), 40);
+}
+
+TEST(AstCompile, AllComparisons) {
+  AstProgram a;
+  a.scalars = {"lt1", "lt0", "le1", "gt1", "ge1", "eq1", "eq0", "ne1"};
+  a.main = seq({
+      assign("lt1", lt(constant(1), constant(2))),
+      assign("lt0", lt(constant(2), constant(2))),
+      assign("le1", le(constant(2), constant(2))),
+      assign("gt1", gt(constant(3), constant(2))),
+      assign("ge1", ge(constant(2), constant(2))),
+      assign("eq1", eq(constant(5), constant(5))),
+      assign("eq0", eq(constant(5), constant(6))),
+      assign("ne1", ne(constant(5), constant(6))),
+  });
+  const auto p = compileBranchy(a);
+  auto r = runOn(p);
+  EXPECT_EQ(readVar(p, r.finalState, "lt1"), 1);
+  EXPECT_EQ(readVar(p, r.finalState, "lt0"), 0);
+  EXPECT_EQ(readVar(p, r.finalState, "le1"), 1);
+  EXPECT_EQ(readVar(p, r.finalState, "gt1"), 1);
+  EXPECT_EQ(readVar(p, r.finalState, "ge1"), 1);
+  EXPECT_EQ(readVar(p, r.finalState, "eq1"), 1);
+  EXPECT_EQ(readVar(p, r.finalState, "eq0"), 0);
+  EXPECT_EQ(readVar(p, r.finalState, "ne1"), 1);
+}
+
+TEST(AstCompile, IfElseBothArms) {
+  AstProgram a;
+  a.scalars = {"x", "r"};
+  a.main = ifElse(lt(var("x"), constant(10)), assign("r", constant(1)),
+                  assign("r", constant(2)));
+  const auto p = compileBranchy(a);
+  {
+    auto r = runOn(p, varInput(p, "x", 5));
+    EXPECT_EQ(readVar(p, r.finalState, "r"), 1);
+  }
+  {
+    auto r = runOn(p, varInput(p, "x", 15));
+    EXPECT_EQ(readVar(p, r.finalState, "r"), 2);
+  }
+}
+
+TEST(AstCompile, IfWithoutElse) {
+  AstProgram a;
+  a.scalars = {"x", "r"};
+  a.main = seq({assign("r", constant(7)),
+                ifElse(eq(var("x"), constant(0)), assign("r", constant(9)))});
+  const auto p = compileBranchy(a);
+  auto r0 = runOn(p, varInput(p, "x", 0));
+  EXPECT_EQ(readVar(p, r0.finalState, "r"), 9);
+  auto r1 = runOn(p, varInput(p, "x", 3));
+  EXPECT_EQ(readVar(p, r1.finalState, "r"), 7);
+}
+
+TEST(AstCompile, ForLoopSumsRange) {
+  AstProgram a;
+  a.scalars = {"i", "s"};
+  a.main = seq({
+      assign("s", constant(0)),
+      forLoop("i", 0, 10, assign("s", add(var("s"), var("i")))),
+  });
+  const auto p = compileBranchy(a);
+  auto r = runOn(p);
+  EXPECT_EQ(readVar(p, r.finalState, "s"), 45);
+}
+
+TEST(AstCompile, WhileLoopStopsOnCondition) {
+  AstProgram a;
+  a.scalars = {"i"};
+  a.main = seq({
+      assign("i", constant(0)),
+      whileLoop(lt(var("i"), constant(6)),
+                assign("i", add(var("i"), constant(1))), 10),
+  });
+  const auto p = compileBranchy(a);
+  auto r = runOn(p);
+  EXPECT_EQ(readVar(p, r.finalState, "i"), 6);
+}
+
+TEST(AstCompile, ArraysReadWrite) {
+  AstProgram a;
+  a.scalars = {"i"};
+  a.arrays["v"] = 8;
+  a.main = seq({
+      forLoop("i", 0, 8, arrayAssign("v", var("i"), mul(var("i"), var("i")))),
+  });
+  const auto p = compileBranchy(a);
+  auto r = runOn(p);
+  const auto base = static_cast<std::size_t>(p.variables.at("v"));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(r.finalState.mem[base + static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(AstCompile, HeapArrayMarkedUnknown) {
+  const auto p = compileBranchy(workloads::heapMix(4));
+  EXPECT_FALSE(p.unknownAddressAccesses.empty());
+  auto r = runOn(p);
+  // hp[i] = stat[i] + 1 with stat zero-initialized -> s = n.
+  EXPECT_EQ(readVar(p, r.finalState, "s"), 4);
+}
+
+TEST(AstCompile, FunctionsCalled) {
+  AstProgram a;
+  a.scalars = {"acc"};
+  a.functions.push_back(
+      FunctionDecl{"bump", assign("acc", add(var("acc"), constant(5)))});
+  a.main = seq({assign("acc", constant(1)), callFn("bump"), callFn("bump")});
+  const auto p = compileBranchy(a);
+  EXPECT_EQ(p.functions.size(), 1u);
+  auto r = runOn(p);
+  EXPECT_EQ(readVar(p, r.finalState, "acc"), 11);
+}
+
+TEST(AstCompile, BubbleSortSorts) {
+  const auto p = compileBranchy(workloads::bubbleSort(6));
+  Input in;
+  const auto base = p.variables.at("a");
+  const std::int64_t vals[6] = {5, 3, 6, 1, 2, 4};
+  for (int i = 0; i < 6; ++i) in.mem[base + i] = vals[i];
+  auto r = runOn(p, in);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(r.finalState.mem[static_cast<std::size_t>(base + i)], i + 1);
+  }
+}
+
+TEST(AstCompile, MatMulIdentity) {
+  const auto p = compileBranchy(workloads::matMul(3));
+  Input in;
+  const auto baseA = p.variables.at("ma");
+  const auto baseB = p.variables.at("mb");
+  // a = identity, b = arbitrary.
+  for (int i = 0; i < 3; ++i) in.mem[baseA + i * 3 + i] = 1;
+  for (int k = 0; k < 9; ++k) in.mem[baseB + k] = k + 1;
+  auto r = runOn(p, in);
+  const auto baseC = static_cast<std::size_t>(p.variables.at("mc"));
+  for (int k = 0; k < 9; ++k) {
+    EXPECT_EQ(r.finalState.mem[baseC + static_cast<std::size_t>(k)], k + 1);
+  }
+}
+
+TEST(AstCompile, LinearSearchFindsKey) {
+  const auto p = compileBranchy(workloads::linearSearch(8));
+  Input in = varInput(p, "key", 7);
+  const auto base = p.variables.at("a");
+  for (int i = 0; i < 8; ++i) in.mem[base + i] = i;
+  auto r = runOn(p, in);
+  EXPECT_EQ(readVar(p, r.finalState, "found"), 1);
+  EXPECT_EQ(readVar(p, r.finalState, "i"), 7);
+}
+
+TEST(AstCompile, LinearSearchTraceLengthDependsOnInput) {
+  const auto p = compileBranchy(workloads::linearSearch(8));
+  const auto base = p.variables.at("a");
+  Input early = varInput(p, "key", 0);
+  Input never = varInput(p, "key", 99);
+  for (int i = 0; i < 8; ++i) {
+    early.mem[base + i] = i;
+    never.mem[base + i] = i;
+  }
+  auto rEarly = runOn(p, early);
+  auto rNever = runOn(p, never);
+  EXPECT_LT(rEarly.trace.size(), rNever.trace.size());
+}
+
+TEST(AstCompile, DivKernelUsesDataDependentLatency) {
+  const auto p = compileBranchy(workloads::divKernel(4));
+  Input in = varInput(p, "x", 0);
+  const auto base = p.variables.at("a");
+  in.mem[base + 0] = 1;
+  in.mem[base + 1] = 1'000'000;
+  auto r = runOn(p, in);
+  std::set<std::int32_t> latencies;
+  for (const auto& rec : r.trace) {
+    if (rec.instr.op == Op::DIV) latencies.insert(rec.extraLatency);
+  }
+  EXPECT_GE(latencies.size(), 2u);  // different operand magnitudes
+}
+
+TEST(AstCompile, CallRoundRobinFunctionsExist) {
+  const auto p = compileBranchy(workloads::callRoundRobin(4, 3, 2));
+  EXPECT_EQ(p.functions.size(), 4u);
+  auto r = runOn(p);
+  EXPECT_GT(computeStats(r.trace).calls, 0u);
+}
+
+TEST(AstCompile, ValidationPassesForAllWorkloads) {
+  const AstProgram progs[] = {
+      workloads::sumLoop(4),      workloads::linearSearch(4),
+      workloads::bubbleSort(4),   workloads::branchTree(3),
+      workloads::matMul(2),       workloads::heapMix(4),
+      workloads::divKernel(4),    workloads::callRoundRobin(3, 2, 2),
+  };
+  for (const auto& a : progs) {
+    const auto p = compileBranchy(a);
+    EXPECT_FALSE(p.validate().has_value());
+  }
+}
+
+}  // namespace
+}  // namespace pred::isa::ast

@@ -1,0 +1,237 @@
+// branch_test.cpp — Branch predictors: dynamic table semantics, static
+// schemes, the WCET-oriented scheme of Bodin & Puaut, and soundness of the
+// static misprediction bound.
+
+#include <gtest/gtest.h>
+
+#include "branch/dynamic.h"
+#include "branch/static_schemes.h"
+#include "isa/ast.h"
+#include "isa/exec.h"
+#include "isa/workloads.h"
+
+namespace pred::branch {
+namespace {
+
+isa::Trace traceOf(const isa::Program& p, const isa::Input& in = {}) {
+  auto r = isa::FunctionalCore::run(p, in);
+  EXPECT_TRUE(r.completed);
+  return r.trace;
+}
+
+TEST(Bimodal, SaturatingCounterLearning) {
+  BimodalPredictor p(16, 1);  // weakly not-taken
+  EXPECT_FALSE(p.predictTaken(0));
+  p.update(0, true);  // counter -> 2
+  EXPECT_TRUE(p.predictTaken(0));
+  p.update(0, true);  // 3 (saturated)
+  p.update(0, true);
+  p.update(0, false);  // 2: still predicts taken (hysteresis)
+  EXPECT_TRUE(p.predictTaken(0));
+  p.update(0, false);  // 1
+  EXPECT_FALSE(p.predictTaken(0));
+}
+
+TEST(Bimodal, AliasingBetweenBranches) {
+  BimodalPredictor p(4, 1);
+  // pcs 1 and 5 share entry 1.
+  for (int k = 0; k < 3; ++k) p.update(1, true);
+  EXPECT_TRUE(p.predictTaken(5));  // polluted by alias — the model's point
+}
+
+TEST(Bimodal, InitialStateMatters) {
+  BimodalPredictor strongTaken(8, 3);
+  BimodalPredictor strongNot(8, 0);
+  EXPECT_TRUE(strongTaken.predictTaken(2));
+  EXPECT_FALSE(strongNot.predictTaken(2));
+}
+
+TEST(OneBit, FlipsOnEachOutcome) {
+  OneBitPredictor p(8, false);
+  EXPECT_FALSE(p.predictTaken(0));
+  p.update(0, true);
+  EXPECT_TRUE(p.predictTaken(0));
+  p.update(0, false);
+  EXPECT_FALSE(p.predictTaken(0));
+}
+
+TEST(Gshare, HistoryAffectsIndex) {
+  GsharePredictor p(64, 4, 0, 1);
+  // Train pattern: alternating outcomes at one pc; gshare can learn it
+  // because history disambiguates.
+  for (int k = 0; k < 64; ++k) p.update(10, k % 2 == 0);
+  std::uint64_t wrong = 0;
+  for (int k = 0; k < 32; ++k) {
+    const bool actual = k % 2 == 0;
+    if (p.predictTaken(10) != actual) ++wrong;
+    p.update(10, actual);
+  }
+  BimodalPredictor b(64, 1);
+  for (int k = 0; k < 64; ++k) b.update(10, k % 2 == 0);
+  std::uint64_t wrongB = 0;
+  for (int k = 0; k < 32; ++k) {
+    const bool actual = k % 2 == 0;
+    if (b.predictTaken(10) != actual) ++wrongB;
+    b.update(10, actual);
+  }
+  EXPECT_LT(wrong, wrongB);  // history helps on alternating patterns
+}
+
+TEST(LocalTwoLevel, LearnsShortPeriodicPattern) {
+  LocalTwoLevelPredictor p(8, 4, 1);
+  // Period-3 pattern T T N.
+  auto pattern = [](int k) { return k % 3 != 2; };
+  for (int k = 0; k < 96; ++k) p.update(7, pattern(k));
+  std::uint64_t wrong = 0;
+  for (int k = 96; k < 126; ++k) {
+    if (p.predictTaken(7) != pattern(k)) ++wrong;
+    p.update(7, pattern(k));
+  }
+  EXPECT_LE(wrong, 2u);
+}
+
+TEST(Static, PredictorsIgnoreUpdates) {
+  auto p = alwaysNotTaken();
+  p.update(3, true);
+  p.update(3, true);
+  EXPECT_FALSE(p.predictTaken(3));
+}
+
+TEST(Static, BtfnPredictsBackwardTaken) {
+  const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(8));
+  auto p = btfn(prog);
+  for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+    const auto& ins = prog.code[pc];
+    if (!isa::isConditionalBranch(ins.op)) continue;
+    const bool backward = ins.imm <= static_cast<std::int32_t>(pc);
+    EXPECT_EQ(p.predictTaken(static_cast<std::int32_t>(pc)), backward);
+  }
+}
+
+TEST(Static, ProfileBasedMatchesMajority) {
+  const auto prog = isa::ast::compileBranchy(isa::workloads::linearSearch(8));
+  isa::Input in = isa::varInput(prog, "key", 99);  // never found: loop runs
+  const auto base = prog.variables.at("a");
+  for (int i = 0; i < 8; ++i) in.mem[base + i] = i;
+  const auto training = traceOf(prog, in);
+  auto p = profileBased(prog, training);
+  // Mispredictions of the profile scheme on its own training trace are <=
+  // those of the anti-profile (inverted) scheme.
+  std::map<std::int32_t, bool> inverted;
+  for (const auto& [pc, dir] : p.directions()) inverted[pc] = !dir;
+  StaticPredictor anti(inverted, "anti");
+  auto pCopy = p;
+  EXPECT_LE(countMispredictions(training, pCopy),
+            countMispredictions(training, anti));
+}
+
+TEST(CountMispredictions, ProfileNeverWorseThanNaiveOnTrainingTrace) {
+  // Per-branch majority is optimal among static schemes on the training
+  // trace, hence <= any fixed scheme there.
+  const auto prog = isa::ast::compileBranchy(isa::workloads::bubbleSort(5));
+  const auto inputs = isa::workloads::randomArrayInputs(prog, "a", 5, 1, 13, 32);
+  const auto trace = traceOf(prog, inputs[0]);
+  auto prof = profileBased(prog, trace);
+  auto ant = alwaysNotTaken();
+  auto at = alwaysTaken(prog);
+  const auto mProf = countMispredictions(trace, prof);
+  EXPECT_LE(mProf, countMispredictions(trace, ant));
+  EXPECT_LE(mProf, countMispredictions(trace, at));
+}
+
+TEST(WcetOriented, LatchesPredictedTaken) {
+  const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(8));
+  isa::Cfg cfg(prog);
+  auto p = wcetOriented(cfg);
+  for (std::size_t pc = 0; pc < prog.size(); ++pc) {
+    const auto& ins = prog.code[pc];
+    if (isa::isConditionalBranch(ins.op) &&
+        ins.imm <= static_cast<std::int32_t>(pc)) {
+      EXPECT_TRUE(p.predictTaken(static_cast<std::int32_t>(pc)));
+    }
+  }
+}
+
+TEST(WcetOriented, BoundSoundOnWorkloads) {
+  // The static bound must dominate the measured misprediction count for
+  // every input tried.
+  struct Case {
+    isa::ast::AstProgram ast;
+    std::string arrayName;
+    std::int64_t len;
+  };
+  const Case cases[] = {
+      {isa::workloads::sumLoop(8), "a", 8},
+      {isa::workloads::linearSearch(8), "a", 8},
+      {isa::workloads::bubbleSort(6), "a", 6},
+      {isa::workloads::branchTree(4), "", 0},
+  };
+  for (const auto& c : cases) {
+    const auto prog = isa::ast::compileBranchy(c.ast);
+    isa::Cfg cfg(prog);
+    auto scheme = wcetOriented(cfg);
+    const auto bound = mispredictionBound(cfg, scheme);
+    std::vector<isa::Input> inputs{isa::Input{}};
+    if (!c.arrayName.empty()) {
+      auto more = isa::workloads::randomArrayInputs(prog, c.arrayName, c.len,
+                                                    5, 17, 32);
+      inputs.insert(inputs.end(), more.begin(), more.end());
+    }
+    for (const auto& in : inputs) {
+      auto p = scheme;  // fresh (stateless anyway)
+      const auto measured = countMispredictions(traceOf(prog, in), p);
+      EXPECT_LE(measured, bound);
+    }
+  }
+}
+
+TEST(WcetOriented, TighterBoundThanWorstStaticChoice) {
+  // The WCET-oriented directions never lose to a naive fixed direction, and
+  // strictly beat always-taken on loop-heavy code (whose forward loop-exit
+  // tests are overwhelmingly not-taken).
+  const auto prog = isa::ast::compileBranchy(isa::workloads::matMul(4));
+  isa::Cfg cfg(prog);
+  const auto smart = wcetOriented(cfg);
+  EXPECT_LE(mispredictionBound(cfg, smart),
+            mispredictionBound(cfg, alwaysNotTaken()));
+  EXPECT_LT(mispredictionBound(cfg, smart),
+            mispredictionBound(cfg, alwaysTaken(prog)));
+}
+
+TEST(DynamicVsStatic, InitialStateInducesVariability) {
+  // Table 1, row 1's uncertainty source: with a dynamic predictor the
+  // misprediction count depends on the initial table state; with a static
+  // scheme it does not.
+  const auto prog = isa::ast::compileBranchy(isa::workloads::branchTree(4));
+  std::vector<isa::Input> inputs;
+  for (std::int64_t x0 : {0, 10}) {
+    inputs.push_back(isa::varInput(prog, "x0", x0));
+  }
+  for (const auto& in : inputs) {
+    const auto trace = traceOf(prog, in);
+    std::set<std::uint64_t> dynCounts, statCounts;
+    for (int init = 0; init <= 3; ++init) {
+      BimodalPredictor dyn(16, init);
+      dynCounts.insert(countMispredictions(trace, dyn));
+      auto stat = btfn(prog);
+      statCounts.insert(countMispredictions(trace, stat));
+    }
+    EXPECT_EQ(statCounts.size(), 1u);   // static: invariant
+    EXPECT_GE(dynCounts.size(), 2u);    // dynamic: state-dependent
+  }
+}
+
+TEST(Clone, PreservesState) {
+  BimodalPredictor p(8, 1);
+  p.update(0, true);
+  p.update(0, true);
+  auto q = p.clone();
+  EXPECT_TRUE(q->predictTaken(0));
+  q->update(0, false);
+  q->update(0, false);
+  EXPECT_FALSE(q->predictTaken(0));
+  EXPECT_TRUE(p.predictTaken(0));  // original untouched
+}
+
+}  // namespace
+}  // namespace pred::branch

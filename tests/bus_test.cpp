@@ -1,0 +1,97 @@
+// bus_test.cpp — Shared-bus memory models (Wilhelm et al. [29]: "latencies
+// of bus transfers" under concurrent applications; Table 1 row 7).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "isa/ast.h"
+#include "isa/exec.h"
+#include "isa/workloads.h"
+#include "pipeline/inorder.h"
+#include "pipeline/memory_iface.h"
+
+namespace pred::pipeline {
+namespace {
+
+TEST(SharedBus, FirstAccessAtPhaseZeroIsFast) {
+  SharedBusMemory bus(3, 4, 2);
+  EXPECT_EQ(bus.access(0), 3u + 2u);  // no wait at phase 0
+}
+
+TEST(SharedBus, WorstCaseWithinBound) {
+  SharedBusMemory bus(3, 4, 2);
+  Cycles worst = 0;
+  for (int k = 0; k < 100; ++k) worst = std::max(worst, bus.access(k));
+  EXPECT_LE(worst, bus.latencyBound());
+}
+
+TEST(SharedBus, LatencyIndependentOfAddress) {
+  SharedBusMemory a(3, 4, 2);
+  SharedBusMemory b(3, 4, 2);
+  for (int k = 0; k < 50; ++k) {
+    EXPECT_EQ(a.access(k), b.access(k * 977 + 13));
+  }
+}
+
+TEST(SharedBus, ResetClockRestoresPhase) {
+  SharedBusMemory bus(3, 4, 2);
+  const auto first = bus.access(0);
+  bus.access(1);
+  bus.resetClock();
+  EXPECT_EQ(bus.access(0), first);
+}
+
+TEST(ContendedBus, DelayPatternApplies) {
+  ContendedBusMemory bus(2, {0, 5, 1});
+  EXPECT_EQ(bus.access(0), 2u);
+  EXPECT_EQ(bus.access(0), 7u);
+  EXPECT_EQ(bus.access(0), 3u);
+  EXPECT_EQ(bus.access(0), 2u);  // pattern wraps
+}
+
+TEST(ContendedBus, EmptyPatternIsFixedLatency) {
+  ContendedBusMemory bus(4, {});
+  for (int k = 0; k < 5; ++k) EXPECT_EQ(bus.access(k), 4u);
+}
+
+TEST(BusExperiment, TdmBusTimeContextIndependent) {
+  // Table 1 row 7 shape: program time over a TDM bus is one number; over a
+  // contended bus it varies with the co-runner delay pattern.
+  const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(16));
+  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
+
+  std::set<Cycles> tdmTimes;
+  for (int context = 0; context < 4; ++context) {
+    // Co-runner context CANNOT appear anywhere in the TDM model: same time.
+    SharedBusMemory bus(3, 4, 2);
+    InOrderPipeline pipe(InOrderConfig{}, &bus);
+    tdmTimes.insert(pipe.run(trace));
+  }
+  EXPECT_EQ(tdmTimes.size(), 1u);
+
+  std::set<Cycles> contendedTimes;
+  const std::vector<std::vector<Cycles>> contexts = {
+      {}, {1, 0, 2}, {7, 7}, {0, 0, 0, 12}};
+  for (const auto& pattern : contexts) {
+    ContendedBusMemory bus(2, pattern);
+    InOrderPipeline pipe(InOrderConfig{}, &bus);
+    contendedTimes.insert(pipe.run(trace));
+  }
+  EXPECT_GT(contendedTimes.size(), 1u);
+}
+
+TEST(BusExperiment, TdmBusSlowerButBounded) {
+  const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(16));
+  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
+  SharedBusMemory tdm(3, 4, 2);
+  InOrderPipeline tdmPipe(InOrderConfig{}, &tdm);
+  ContendedBusMemory uncontended(2, {});
+  InOrderPipeline fastPipe(InOrderConfig{}, &uncontended);
+  // TDM costs throughput versus the uncontended ideal — the usual
+  // composability-for-performance trade.
+  EXPECT_GE(tdmPipe.run(trace), fastPipe.run(trace));
+}
+
+}  // namespace
+}  // namespace pred::pipeline

@@ -1,0 +1,184 @@
+// cache_structs_test.cpp — Method cache (Schoeberl [23]), split caches
+// (Schoeberl et al. [24]) and static locking (Puaut & Decotigny [18]).
+
+#include <gtest/gtest.h>
+
+#include "cache/locking.h"
+#include "cache/method_cache.h"
+#include "cache/split_cache.h"
+#include "isa/ast.h"
+#include "isa/exec.h"
+#include "isa/workloads.h"
+
+namespace pred::cache {
+namespace {
+
+TEST(MethodCache, MissLoadsWholeFunction) {
+  MethodCache mc(64, MethodCacheTiming{0, 4, 1});
+  const auto lat = mc.onEnter(0, 16);
+  EXPECT_EQ(lat, 4u + 16u);
+  EXPECT_TRUE(mc.resident(0));
+  EXPECT_EQ(mc.onEnter(0, 16), 0u);  // hit
+  EXPECT_EQ(mc.hits(), 1u);
+  EXPECT_EQ(mc.misses(), 1u);
+}
+
+TEST(MethodCache, FifoEvictionOfVariableBlocks) {
+  MethodCache mc(32, MethodCacheTiming{});
+  mc.onEnter(0, 16);
+  mc.onEnter(1, 16);  // full
+  mc.onEnter(2, 8);   // evicts fn 0 (oldest)
+  EXPECT_FALSE(mc.resident(0));
+  EXPECT_TRUE(mc.resident(1));
+  EXPECT_TRUE(mc.resident(2));
+}
+
+TEST(MethodCache, EvictsMultipleWhenLargeBlockArrives) {
+  MethodCache mc(32, MethodCacheTiming{});
+  mc.onEnter(0, 8);
+  mc.onEnter(1, 8);
+  mc.onEnter(2, 8);
+  mc.onEnter(3, 32);  // needs everything
+  EXPECT_FALSE(mc.resident(0));
+  EXPECT_FALSE(mc.resident(1));
+  EXPECT_FALSE(mc.resident(2));
+  EXPECT_TRUE(mc.resident(3));
+}
+
+TEST(MethodCache, OversizedFunctionThrows) {
+  MethodCache mc(8, MethodCacheTiming{});
+  EXPECT_THROW(mc.onEnter(0, 16), std::runtime_error);
+}
+
+TEST(MethodCache, ResetClearsEverything) {
+  MethodCache mc(32, MethodCacheTiming{});
+  mc.onEnter(0, 8);
+  mc.reset();
+  EXPECT_FALSE(mc.resident(0));
+  EXPECT_EQ(mc.hits() + mc.misses(), 0u);
+}
+
+TEST(SplitCache, RoutesByRegion) {
+  isa::MemoryLayout layout;  // static < 1024, stack < 2048, heap >= 2048
+  SplitCache sc(SplitCacheConfig{}, layout);
+  sc.access(100);    // static
+  sc.access(1500);   // stack
+  sc.access(3000);   // heap
+  EXPECT_EQ(sc.staticCache().misses(), 1u);
+  EXPECT_EQ(sc.stackCache().misses(), 1u);
+  EXPECT_EQ(sc.heapCache().misses(), 1u);
+  EXPECT_EQ(sc.misses(), 3u);
+}
+
+TEST(SplitCache, HeapTrafficCannotEvictStaticData) {
+  isa::MemoryLayout layout;
+  SplitCache sc(SplitCacheConfig{}, layout);
+  sc.access(100);  // static resident
+  for (std::int64_t a = 2048; a < 2048 + 512; a += 4) sc.access(a);
+  EXPECT_TRUE(sc.staticCache().contains(100));
+  EXPECT_TRUE(sc.access(100).hit);
+}
+
+TEST(SplitCache, UnifiedBaselineSuffersHeapEviction) {
+  // Contrast case: same traffic through one unified cache of comparable
+  // total size evicts the static line.
+  SetAssocCache unified(CacheGeometry{4, 8, 2}, Policy::LRU, CacheTiming{});
+  unified.access(100);
+  for (std::int64_t a = 2048; a < 2048 + 512; a += 4) unified.access(a);
+  EXPECT_FALSE(unified.contains(100));
+}
+
+TEST(SplitCache, HeapCacheIsFullyAssociative) {
+  SplitCacheConfig cfg;
+  EXPECT_EQ(cfg.heapGeom.numSets, 1);
+  isa::MemoryLayout layout;
+  SplitCache sc(cfg, layout);
+  // Fill heap cache to its associativity; all lines coexist regardless of
+  // address bits (no set conflicts).
+  const int ways = cfg.heapGeom.ways;
+  for (int k = 0; k < ways; ++k) {
+    sc.access(2048 + k * 64 * cfg.heapGeom.lineWords);
+  }
+  EXPECT_EQ(sc.heapCache().misses(), static_cast<std::uint64_t>(ways));
+  for (int k = 0; k < ways; ++k) {
+    EXPECT_TRUE(sc.heapCache().contains(2048 + k * 64 * cfg.heapGeom.lineWords));
+  }
+}
+
+TEST(SplitCache, ResetAllThree) {
+  isa::MemoryLayout layout;
+  SplitCache sc(SplitCacheConfig{}, layout);
+  sc.access(100);
+  sc.access(3000);
+  sc.reset();
+  EXPECT_EQ(sc.hits() + sc.misses(), 0u);
+  EXPECT_FALSE(sc.staticCache().contains(100));
+}
+
+// ---------------------------------------------------------------------------
+// Static cache locking.
+// ---------------------------------------------------------------------------
+
+TEST(Locking, SelectByProfilePicksHottest) {
+  std::map<std::int64_t, std::uint64_t> freq{{0, 100}, {1, 5}, {2, 50}, {3, 7}};
+  const auto sel = selectByProfile(freq, 2);
+  ASSERT_EQ(sel.lines.size(), 2u);
+  EXPECT_EQ(sel.lines[0], 0);
+  EXPECT_EQ(sel.lines[1], 2);
+}
+
+TEST(Locking, SelectByStaticWeightPrefersLoopLines) {
+  const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(32));
+  isa::Cfg cfg(prog);
+  CacheGeometry geom{4, 8, 2};
+  const auto sel = selectByStaticWeight(cfg, geom, 2);
+  ASSERT_EQ(sel.lines.size(), 2u);
+  // The selected lines must be inside the loop body (weight 32), which
+  // occupies the middle of the program.
+  auto run = isa::FunctionalCore::run(prog, isa::Input{});
+  const auto profile = lineProfile(run.trace, geom);
+  for (const auto line : sel.lines) {
+    EXPECT_GT(profile.at(line), 16u);
+  }
+}
+
+TEST(Locking, LockedLinesAlwaysHit) {
+  LockedICache ic(CacheGeometry{4, 8, 2}, CacheTiming{1, 10},
+                  LockSelection{{0, 1}});
+  EXPECT_TRUE(ic.fetch(0).hit);    // line 0
+  EXPECT_TRUE(ic.fetch(3).hit);    // still line 0
+  EXPECT_TRUE(ic.fetch(4).hit);    // line 1
+  EXPECT_FALSE(ic.fetch(8).hit);   // line 2: unlocked -> memory
+  EXPECT_FALSE(ic.fetch(8).hit);   // stays a miss: nothing is ever loaded
+}
+
+TEST(Locking, GuaranteedHitsMatchMeasuredHits) {
+  // With locking, the static guarantee equals the measurement — that is
+  // the whole point (statically computed bound == actual).
+  const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(16));
+  isa::Cfg cfg(prog);
+  CacheGeometry geom{4, 8, 2};
+  const auto sel = selectByStaticWeight(cfg, geom, 4);
+  auto run = isa::FunctionalCore::run(prog, isa::Input{});
+  const auto guaranteed = guaranteedHits(run.trace, geom, sel);
+  LockedICache ic(geom, CacheTiming{1, 10}, sel);
+  for (const auto& rec : run.trace) ic.fetch(rec.pc);
+  EXPECT_EQ(ic.hits(), guaranteed);
+}
+
+TEST(Locking, ProfileSelectionBeatsNaiveOnItsTrainingTrace) {
+  const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(16));
+  auto run = isa::FunctionalCore::run(prog, isa::Input{});
+  CacheGeometry geom{4, 8, 2};
+  const auto profile = lineProfile(run.trace, geom);
+  const auto good = selectByProfile(profile, 2);
+  // Naive: lock the coldest lines.
+  std::map<std::int64_t, std::uint64_t> inverted;
+  for (const auto& [line, f] : profile) inverted[line] = 1000000 - f;
+  const auto bad = selectByProfile(inverted, 2);
+  EXPECT_GT(guaranteedHits(run.trace, geom, good),
+            guaranteedHits(run.trace, geom, bad));
+}
+
+}  // namespace
+}  // namespace pred::cache

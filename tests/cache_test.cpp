@@ -1,0 +1,194 @@
+// cache_test.cpp — Set-associative cache simulation: per-policy replacement
+// behavior, state signatures, initial-state enumeration.
+
+#include <gtest/gtest.h>
+
+#include "cache/set_assoc.h"
+
+namespace pred::cache {
+namespace {
+
+CacheGeometry tinyGeom(int ways, std::int64_t sets = 1,
+                       std::int64_t lineWords = 1) {
+  return CacheGeometry{lineWords, sets, ways};
+}
+
+SetAssocCache make(Policy p, int ways, std::int64_t sets = 1) {
+  return SetAssocCache(tinyGeom(ways, sets), p, CacheTiming{1, 10});
+}
+
+TEST(SetAssoc, ColdMissThenHit) {
+  auto c = make(Policy::LRU, 2);
+  EXPECT_FALSE(c.access(0).hit);
+  EXPECT_TRUE(c.access(0).hit);
+  EXPECT_EQ(c.hits(), 1u);
+  EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssoc, LatenciesMatchTiming) {
+  auto c = make(Policy::LRU, 2);
+  EXPECT_EQ(c.access(0).latency, 10u);  // miss
+  EXPECT_EQ(c.access(0).latency, 1u);   // hit
+}
+
+TEST(SetAssoc, LruEvictsLeastRecentlyUsed) {
+  auto c = make(Policy::LRU, 2);
+  c.access(0);
+  c.access(1);
+  c.access(0);      // 0 is MRU, 1 is LRU
+  c.access(2);      // evicts 1
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(SetAssoc, FifoIgnoresHits) {
+  auto c = make(Policy::FIFO, 2);
+  c.access(0);
+  c.access(1);
+  c.access(0);  // hit: does NOT refresh 0's position
+  c.access(2);  // evicts 0 (inserted first)
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
+}
+
+TEST(SetAssoc, LruHitRefreshesPosition) {
+  auto c = make(Policy::LRU, 2);
+  c.access(0);
+  c.access(1);
+  c.access(0);  // hit: refreshes 0
+  c.access(2);  // evicts 1 (contrast with the FIFO test)
+  EXPECT_TRUE(c.contains(0));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(SetAssoc, PlruFourWaySequence) {
+  auto c = make(Policy::PLRU, 4);
+  // Fill 0..3; then access 0; victim must not be 0.
+  for (std::int64_t a = 0; a < 4; ++a) c.access(a);
+  c.access(0);
+  c.access(4);
+  EXPECT_TRUE(c.contains(0));
+  int present = 0;
+  for (std::int64_t a = 0; a < 5; ++a) present += c.contains(a) ? 1 : 0;
+  EXPECT_EQ(present, 4);
+}
+
+TEST(SetAssoc, PlruRequiresPowerOfTwo) {
+  EXPECT_THROW(make(Policy::PLRU, 3), std::runtime_error);
+  EXPECT_NO_THROW(make(Policy::PLRU, 4));
+}
+
+TEST(SetAssoc, MruKeepsRecentlyUsed) {
+  auto c = make(Policy::MRU, 4);
+  for (std::int64_t a = 0; a < 4; ++a) c.access(a);
+  // After the 4th touch the MRU bits were reset except the last-touched.
+  c.access(3);
+  c.access(4);  // victim = first way with mru bit 0
+  EXPECT_TRUE(c.contains(3));
+}
+
+TEST(SetAssoc, RandomIsDeterministicPerSeed) {
+  auto a = SetAssocCache(tinyGeom(4), Policy::RANDOM, CacheTiming{}, 99);
+  auto b = SetAssocCache(tinyGeom(4), Policy::RANDOM, CacheTiming{}, 99);
+  for (std::int64_t addr = 0; addr < 32; ++addr) {
+    EXPECT_EQ(a.access(addr).hit, b.access(addr).hit);
+  }
+  EXPECT_EQ(a.stateSignature(), b.stateSignature());
+}
+
+TEST(SetAssoc, SetMappingSeparatesLines) {
+  // 2 sets, line of 2 words: words 0,1 -> set 0; words 2,3 -> set 1.
+  SetAssocCache c(CacheGeometry{2, 2, 1}, Policy::LRU, CacheTiming{});
+  c.access(0);
+  EXPECT_TRUE(c.contains(1));   // same line
+  EXPECT_FALSE(c.contains(2));  // other set
+  c.access(2);
+  EXPECT_TRUE(c.contains(0));   // direct-mapped per set: no conflict
+}
+
+TEST(SetAssoc, ConflictMissesWithinSet) {
+  // 1 set, 1 way: any two distinct lines conflict.
+  SetAssocCache c(CacheGeometry{1, 1, 1}, Policy::LRU, CacheTiming{});
+  c.access(0);
+  c.access(1);
+  EXPECT_FALSE(c.contains(0));
+}
+
+TEST(SetAssoc, ResetRestoresEmpty) {
+  auto c = make(Policy::LRU, 2);
+  c.access(0);
+  c.access(1);
+  const auto sigBefore = c.stateSignature();
+  c.reset();
+  EXPECT_FALSE(c.contains(0));
+  EXPECT_NE(c.stateSignature(), sigBefore);
+  EXPECT_EQ(c.hits() + c.misses(), 0u);
+}
+
+TEST(SetAssoc, WarmUpClearsCounters) {
+  auto c = make(Policy::LRU, 2);
+  c.warmUp({0, 1, 2, 3});
+  EXPECT_EQ(c.hits() + c.misses(), 0u);
+  EXPECT_TRUE(c.contains(2) || c.contains(3));
+}
+
+TEST(SetAssoc, StateSignatureDistinguishesPolicyMetadata) {
+  auto a = make(Policy::LRU, 2);
+  auto b = make(Policy::LRU, 2);
+  a.access(0);
+  a.access(1);
+  b.access(1);
+  b.access(0);
+  // Same contents, different recency order.
+  EXPECT_NE(a.stateSignature(), b.stateSignature());
+}
+
+TEST(SetAssoc, EnumerateInitialStatesDistinct) {
+  const auto states = enumerateInitialStates(CacheGeometry{4, 4, 2},
+                                             Policy::LRU, CacheTiming{}, 5,
+                                             1234, 512);
+  ASSERT_EQ(states.size(), 5u);
+  for (std::size_t a = 0; a < states.size(); ++a) {
+    for (std::size_t b = a + 1; b < states.size(); ++b) {
+      EXPECT_NE(states[a].stateSignature(), states[b].stateSignature());
+    }
+  }
+}
+
+// Parameterized: every policy obeys basic cache axioms.
+class PolicyAxioms : public ::testing::TestWithParam<Policy> {};
+
+TEST_P(PolicyAxioms, AccessedLineIsResident) {
+  auto c = SetAssocCache(tinyGeom(4, 2, 2), GetParam(), CacheTiming{}, 7);
+  for (std::int64_t a = 0; a < 64; a += 3) {
+    c.access(a);
+    EXPECT_TRUE(c.contains(a)) << toString(GetParam()) << " addr " << a;
+  }
+}
+
+TEST_P(PolicyAxioms, OccupancyNeverExceedsWays) {
+  auto c = SetAssocCache(tinyGeom(2, 1, 1), GetParam(), CacheTiming{}, 7);
+  for (std::int64_t a = 0; a < 16; ++a) c.access(a);
+  int resident = 0;
+  for (std::int64_t a = 0; a < 16; ++a) resident += c.contains(a) ? 1 : 0;
+  EXPECT_LE(resident, 2);
+}
+
+TEST_P(PolicyAxioms, RepeatedAccessAlwaysHits) {
+  auto c = SetAssocCache(tinyGeom(2, 2, 1), GetParam(), CacheTiming{}, 7);
+  c.access(5);
+  for (int k = 0; k < 4; ++k) EXPECT_TRUE(c.access(5).hit);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, PolicyAxioms,
+                         ::testing::Values(Policy::LRU, Policy::FIFO,
+                                           Policy::PLRU, Policy::MRU,
+                                           Policy::RANDOM),
+                         [](const ::testing::TestParamInfo<Policy>& info) {
+                           return toString(info.param);
+                         });
+
+}  // namespace
+}  // namespace pred::cache

@@ -1,0 +1,148 @@
+// cfg_test.cpp — Basic blocks, edges, dominators, natural loops.
+
+#include <gtest/gtest.h>
+
+#include "isa/ast.h"
+#include "isa/builder.h"
+#include "isa/cfg.h"
+#include "isa/workloads.h"
+
+namespace pred::isa {
+namespace {
+
+TEST(Cfg, StraightLineIsOneBlock) {
+  ProgramBuilder b;
+  b.li(1, 1).addi(1, 1, 1).halt();
+  Cfg cfg(b.build());
+  EXPECT_EQ(cfg.numBlocks(), 1);
+  EXPECT_TRUE(cfg.block(0).succs.empty());
+}
+
+TEST(Cfg, DiamondHasFourBlocks) {
+  ProgramBuilder b;
+  b.li(1, 1);
+  b.beq(1, 0, "else");
+  b.li(2, 10);
+  b.jmp("end");
+  b.label("else");
+  b.li(2, 20);
+  b.label("end");
+  b.halt();
+  const Program prog = b.build();
+  Cfg cfg(prog);
+  EXPECT_EQ(cfg.numBlocks(), 4);
+  // Entry has two successors.
+  EXPECT_EQ(cfg.block(cfg.entry()).succs.size(), 2u);
+  // Exit block (the join) has two predecessors.
+  const auto exitBlock =
+      cfg.blockOf(static_cast<std::int32_t>(prog.size()) - 1);
+  EXPECT_EQ(cfg.block(exitBlock).preds.size(), 2u);
+}
+
+TEST(Cfg, LoopDetected) {
+  ProgramBuilder b;
+  b.li(1, 0).li(2, 5);
+  b.label("loop");
+  b.addi(1, 1, 1);
+  b.blt(1, 2, "loop").bound(5, 5);
+  b.halt();
+  Cfg cfg(b.build());
+  ASSERT_EQ(cfg.loops().size(), 1u);
+  EXPECT_EQ(cfg.loops()[0].bound, 5);
+  EXPECT_EQ(cfg.loops()[0].minBound, 5);
+}
+
+TEST(Cfg, WhileLoopHasMinBoundZero) {
+  const auto prog = ast::compileBranchy(workloads::linearSearch(8));
+  Cfg cfg(prog);
+  bool sawWhile = false;
+  for (const auto& loop : cfg.loops()) {
+    if (loop.bound == 8 && loop.minBound == 0) sawWhile = true;
+  }
+  EXPECT_TRUE(sawWhile);
+}
+
+TEST(Cfg, NestedLoops) {
+  const auto prog = ast::compileBranchy(workloads::matMul(3));
+  Cfg cfg(prog);
+  EXPECT_EQ(cfg.loops().size(), 3u);  // i, j, k
+  for (const auto& loop : cfg.loops()) EXPECT_EQ(loop.bound, 3);
+}
+
+TEST(Cfg, EntryDominatesEverythingReachable) {
+  const auto prog = ast::compileBranchy(workloads::bubbleSort(4));
+  Cfg cfg(prog);
+  for (const auto& bb : cfg.blocks()) {
+    if (bb.id == cfg.entry()) continue;
+    // Blocks reachable from entry are dominated by it.
+    if (!bb.preds.empty()) {
+      EXPECT_TRUE(cfg.dominates(cfg.entry(), bb.id));
+    }
+  }
+}
+
+TEST(Cfg, DominatorOfBranchTargets) {
+  ProgramBuilder b;
+  b.li(1, 1);
+  b.beq(1, 0, "else");
+  b.li(2, 10);
+  b.jmp("end");
+  b.label("else");
+  b.li(2, 20);
+  b.label("end");
+  b.halt();
+  Cfg cfg(b.build());
+  const auto thenB = cfg.blockOf(2);
+  const auto elseB = cfg.blockOf(4);
+  // Neither arm dominates the join.
+  const auto endB = cfg.blockOf(6);
+  EXPECT_FALSE(cfg.dominates(thenB, endB));
+  EXPECT_FALSE(cfg.dominates(elseB, endB));
+  EXPECT_TRUE(cfg.dominates(cfg.entry(), endB));
+}
+
+TEST(Cfg, BlockOfCoversEveryInstruction) {
+  const auto prog = ast::compileBranchy(workloads::branchTree(3));
+  Cfg cfg(prog);
+  for (std::int32_t pc = 0; pc < static_cast<std::int32_t>(prog.size());
+       ++pc) {
+    const auto bid = cfg.blockOf(pc);
+    ASSERT_GE(bid, 0);
+    const auto& bb = cfg.block(bid);
+    EXPECT_GE(pc, bb.begin);
+    EXPECT_LT(pc, bb.end);
+  }
+}
+
+TEST(Cfg, CallFallThroughEdge) {
+  ProgramBuilder b;
+  b.call("f");
+  b.li(1, 1);
+  b.halt();
+  b.beginFunction("f");
+  b.ret();
+  b.endFunction();
+  Cfg cfg(b.build());
+  const auto callBlock = cfg.blockOf(0);
+  const auto afterBlock = cfg.blockOf(1);
+  const auto& succs = cfg.block(callBlock).succs;
+  EXPECT_NE(std::find(succs.begin(), succs.end(), afterBlock), succs.end());
+}
+
+TEST(Cfg, RpoStartsAtEntry) {
+  const auto prog = ast::compileBranchy(workloads::sumLoop(4));
+  Cfg cfg(prog);
+  ASSERT_FALSE(cfg.rpo().empty());
+  EXPECT_EQ(cfg.rpo().front(), cfg.entry());
+}
+
+TEST(Cfg, DotRendering) {
+  const auto prog = ast::compileBranchy(workloads::sumLoop(2));
+  Cfg cfg(prog);
+  const auto dot = cfg.toDot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pred::isa

@@ -1,0 +1,131 @@
+// domino_test.cpp — Equation 4 of the paper: the PPC755-style domino
+// effect.  T_{p_n}(q1*) = 9n+1, T_{p_n}(q2*) = 12n exactly, the states
+// never converge, and SIPr_{p_n} <= (9n+1)/12n -> 3/4.
+
+#include <gtest/gtest.h>
+
+#include "core/definitions.h"
+#include "core/domino.h"
+#include "isa/exec.h"
+#include "pipeline/domino_program.h"
+#include "pipeline/inorder.h"
+#include "pipeline/memory_iface.h"
+
+namespace pred::pipeline {
+namespace {
+
+TEST(Domino, ExactCycleCountsMatchEquation4) {
+  for (int n : {1, 2, 3, 5, 8, 13, 21, 34, 64}) {
+    EXPECT_EQ(dominoTime(n, dominoStateQ1()),
+              static_cast<Cycles>(9 * n + 1))
+        << "n=" << n;
+    EXPECT_EQ(dominoTime(n, dominoStateQ2()),
+              static_cast<Cycles>(12 * n))
+        << "n=" << n;
+  }
+}
+
+TEST(Domino, EmptyPipelineIsTheSlowerState) {
+  // As in Schneider's observation: the empty pipeline state loses.
+  const auto q2 = dominoStateQ2();
+  EXPECT_EQ(q2.iu0Busy, 0u);
+  EXPECT_EQ(q2.iu1Busy, 0u);
+  EXPECT_EQ(q2.lsuBusy, 0u);
+  EXPECT_GT(dominoTime(8, q2), dominoTime(8, dominoStateQ1()));
+}
+
+TEST(Domino, DifferenceGrowsWithoutBound) {
+  Cycles prevDiff = 0;
+  for (int n = 1; n <= 32; n *= 2) {
+    const Cycles t1 = dominoTime(n, dominoStateQ1());
+    const Cycles t2 = dominoTime(n, dominoStateQ2());
+    const Cycles diff = t2 - t1;
+    EXPECT_GT(diff, prevDiff);
+    prevDiff = diff;
+  }
+}
+
+TEST(Domino, DetectorFlagsTheSeries) {
+  core::DominoSeries s;
+  for (std::uint64_t n = 1; n <= 12; ++n) {
+    s.n.push_back(n);
+    s.timeFromQ1.push_back(dominoTime(static_cast<int>(n), dominoStateQ1()));
+    s.timeFromQ2.push_back(dominoTime(static_cast<int>(n), dominoStateQ2()));
+  }
+  const auto verdict = core::detectDomino(s);
+  EXPECT_TRUE(verdict.dominoEffect);
+  EXPECT_NEAR(verdict.diffSlope, 3.0, 0.05);
+  EXPECT_NEAR(verdict.limitRatio, 0.75, 0.03);
+}
+
+TEST(Domino, SiprBoundApproachesThreeQuarters) {
+  // SIPr_{p_n}(Q, I) <= T(q1*)/T(q2*) = (9n+1)/12n (Equation 4).
+  for (int n : {1, 4, 16, 64}) {
+    const double bound =
+        static_cast<double>(dominoTime(n, dominoStateQ1())) /
+        static_cast<double>(dominoTime(n, dominoStateQ2()));
+    EXPECT_NEAR(bound, (9.0 * n + 1) / (12.0 * n), 1e-12);
+  }
+  const double atInfinity =
+      static_cast<double>(dominoTime(200, dominoStateQ1())) /
+      static_cast<double>(dominoTime(200, dominoStateQ2()));
+  EXPECT_NEAR(atInfinity, 0.75, 0.001);
+}
+
+TEST(Domino, SiprViaDefinitionEvaluator) {
+  // Evaluate Def. 4 over Q = {q1*, q2*} x I = {only input} through the
+  // core evaluator, confirming the witnesses.
+  const int n = 10;
+  auto fn = [&](std::size_t q, std::size_t) -> core::Cycles {
+    return dominoTime(n, q == 0 ? dominoStateQ1() : dominoStateQ2());
+  };
+  const auto m = core::TimingMatrix::compute(fn, 2, 1);
+  const auto sipr = core::stateInducedPredictability(m);
+  EXPECT_NEAR(sipr.value, (9.0 * n + 1) / (12.0 * n), 1e-12);
+}
+
+TEST(Domino, InOrderPipelineHasNoDominoOnSameProgram) {
+  // The compositional baseline (ARM7-class): same program, additive
+  // in-order timing — initial state plays no role at all.
+  core::DominoSeries s;
+  for (std::uint64_t n = 1; n <= 8; ++n) {
+    const auto p = dominoProgram(static_cast<int>(n));
+    auto run = isa::FunctionalCore::run(p, isa::Input{});
+    run.trace.pop_back();
+    FixedLatencyMemory mem(2);
+    InOrderPipeline pipe(InOrderConfig{}, &mem);
+    const auto t = pipe.run(run.trace);
+    s.n.push_back(n);
+    s.timeFromQ1.push_back(t);
+    s.timeFromQ2.push_back(t);  // in-order model has no occupancy state
+  }
+  const auto verdict = core::detectDomino(s);
+  EXPECT_FALSE(verdict.dominoEffect);
+  EXPECT_DOUBLE_EQ(verdict.maxAbsDiff, 0.0);
+}
+
+TEST(Domino, StatesReproduceAcrossRepetitions) {
+  // The defining property of the domino: per-repetition cost is constant
+  // forever (the pipeline state after each repetition is equivalent to the
+  // state before it).
+  for (int n = 2; n <= 20; ++n) {
+    EXPECT_EQ(dominoTime(n, dominoStateQ1()) -
+                  dominoTime(n - 1, dominoStateQ1()),
+              9u);
+    EXPECT_EQ(dominoTime(n, dominoStateQ2()) -
+                  dominoTime(n - 1, dominoStateQ2()),
+              12u);
+  }
+}
+
+TEST(Domino, ProgramIsPureDependentIntegerSequence) {
+  const auto p = dominoProgram(2);
+  for (std::size_t pc = 0; pc + 1 < p.size(); ++pc) {
+    const auto op = p.code[pc].op;
+    EXPECT_TRUE(op == isa::Op::ADD || op == isa::Op::MUL);
+  }
+  EXPECT_EQ(p.code.back().op, isa::Op::HALT);
+}
+
+}  // namespace
+}  // namespace pred::pipeline

@@ -1,0 +1,273 @@
+// dram_test.cpp — DRAM device timing, the three controllers of Table 2
+// row 4, and the refresh schemes of row 5.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/measures.h"
+#include "dram/controllers.h"
+#include "dram/device.h"
+#include "dram/refresh.h"
+
+namespace pred::dram {
+namespace {
+
+DramDevice dev() { return DramDevice(DramGeometry{}, DramTiming{}); }
+
+TEST(Device, OpenPageRowHitVsConflict) {
+  auto d = dev();
+  const auto t = d.timing();
+  // First access: activate + CAS.
+  EXPECT_EQ(d.accessOpenPage(0), t.tRCD + t.tCL);
+  // Same row: CAS only.
+  EXPECT_EQ(d.accessOpenPage(1), t.tCL);
+  // Other row, same bank: precharge + activate + CAS.
+  const std::int64_t rowWords = d.geometry().rowWords;
+  const std::int64_t conflictAddr = rowWords * d.geometry().banks;
+  EXPECT_EQ(d.accessOpenPage(conflictAddr), t.tRP + t.tRCD + t.tCL);
+}
+
+TEST(Device, ClosedPageIsConstant) {
+  auto d = dev();
+  std::set<Cycles> durations;
+  for (std::int64_t a : {0, 1, 64, 999, 12345}) {
+    durations.insert(d.accessClosedPage(a));
+  }
+  EXPECT_EQ(durations.size(), 1u);
+  EXPECT_EQ(*durations.begin(), d.closedPageDuration());
+}
+
+TEST(Device, RefreshClosesRows) {
+  auto d = dev();
+  d.accessOpenPage(0);
+  d.refreshOne();
+  const auto t = d.timing();
+  EXPECT_EQ(d.accessOpenPage(0), t.tRCD + t.tCL);  // row buffer lost
+}
+
+TEST(Device, BankInterleaving) {
+  auto d = dev();
+  const auto t = d.timing();
+  d.accessOpenPage(0);  // bank 0
+  // Next row region maps to bank 1: no conflict with bank 0's open row.
+  EXPECT_EQ(d.accessOpenPage(d.geometry().rowWords), t.tRCD + t.tCL);
+  EXPECT_EQ(d.accessOpenPage(1), t.tCL);  // bank 0 row still open
+}
+
+// ---------------------------------------------------------------------------
+// Controllers.
+// ---------------------------------------------------------------------------
+
+std::vector<Request> interleavedLoad(int clients, int perClient,
+                                     Cycles spacing) {
+  std::vector<Request> reqs;
+  for (int c = 0; c < clients; ++c) {
+    for (int k = 0; k < perClient; ++k) {
+      // Different rows per client: worst-case row conflicts under FCFS.
+      reqs.push_back(Request{c, c * 1024 + k * 256,
+                             static_cast<Cycles>(k) * spacing});
+    }
+  }
+  return reqs;
+}
+
+TEST(Fcfs, ServesInArrivalOrder) {
+  FcfsOpenPageController ctl(dev());
+  auto served = ctl.schedule({{0, 0, 5}, {1, 64, 0}, {0, 128, 10}});
+  ASSERT_EQ(served.size(), 3u);
+  EXPECT_EQ(served[0].request.client, 1);
+  EXPECT_EQ(served[1].request.client, 0);
+  EXPECT_TRUE(served[2].start >= served[1].finish);
+}
+
+TEST(Fcfs, NoLatencyBound) {
+  FcfsOpenPageController ctl(dev());
+  EXPECT_FALSE(ctl.latencyBound(0).has_value());
+}
+
+TEST(Fcfs, InterferenceGrowsWithCoRunnerLoad) {
+  // Worst observed latency of client 0 grows as other clients add load —
+  // the unbounded-interference shape of the baseline.
+  auto worstLatency = [&](int coClients) {
+    FcfsOpenPageController ctl(dev());
+    auto served = ctl.schedule(interleavedLoad(1 + coClients, 16, 2));
+    Cycles worst = 0;
+    for (const auto& s : served) {
+      if (s.request.client == 0) worst = std::max(worst, s.latency());
+    }
+    return worst;
+  };
+  EXPECT_LT(worstLatency(0), worstLatency(3));
+  EXPECT_LT(worstLatency(3), worstLatency(7));
+}
+
+TEST(AmcTdm, BoundHoldsForAllRegulatedClients) {
+  // Regulated clients (one outstanding request each): every request of
+  // every client meets the analytical bound.
+  const int clients = 4;
+  AmcTdmController ctl(dev(), clients);
+  const auto bound = ctl.latencyBound(0);
+  ASSERT_TRUE(bound.has_value());
+  auto served = ctl.schedule(interleavedLoad(clients, 32, *bound + 5));
+  ASSERT_FALSE(served.empty());
+  for (const auto& s : served) {
+    EXPECT_LE(s.latency(), *bound) << "client " << s.request.client;
+  }
+}
+
+TEST(AmcTdm, BoundIndependentOfCoRunnerBehavior) {
+  // Client 0 regulated; co-runners SATURATE the controller.  Client 0's
+  // worst latency stays within the same bound — the AMC claim.
+  const int clients = 4;
+  AmcTdmController light(dev(), clients);
+  AmcTdmController heavy(dev(), clients);
+  const auto bound = *light.latencyBound(0);
+
+  std::vector<Request> reg;
+  for (int k = 0; k < 16; ++k) {
+    reg.push_back(Request{0, k * 256, static_cast<Cycles>(k) * (bound + 5)});
+  }
+  auto servedLight = light.schedule(reg);
+
+  std::vector<Request> mixed = reg;
+  for (int c = 1; c < clients; ++c) {
+    for (int k = 0; k < 64; ++k) {
+      mixed.push_back(Request{c, c * 4096 + k * 256, 0});  // burst at t=0
+    }
+  }
+  auto servedHeavy = heavy.schedule(mixed);
+  for (const auto* served : {&servedLight, &servedHeavy}) {
+    for (const auto& s : *served) {
+      if (s.request.client == 0) {
+        EXPECT_LE(s.latency(), bound);
+      }
+    }
+  }
+}
+
+TEST(AmcTdm, SlotsAreExclusive) {
+  AmcTdmController ctl(dev(), 2);
+  auto served = ctl.schedule({{0, 0, 0}, {1, 64, 0}});
+  ASSERT_EQ(served.size(), 2u);
+  // No overlap of service windows.
+  EXPECT_TRUE(served[0].finish <= served[1].start ||
+              served[1].finish <= served[0].start);
+}
+
+TEST(Predator, BoundHoldsForRegulatedClientUnderSaturation) {
+  PredatorController ctl(dev(), {1, 1, 2});
+  const auto bound = ctl.latencyBound(1);
+  ASSERT_TRUE(bound.has_value());
+  // Client 1 regulated (spacing > bound); clients 0 and 2 saturate.
+  std::vector<Request> reqs;
+  for (int k = 0; k < 16; ++k) {
+    reqs.push_back(Request{1, 8192 + k * 256,
+                           static_cast<Cycles>(k) * (*bound + 9)});
+  }
+  for (int c : {0, 2}) {
+    for (int k = 0; k < 96; ++k) {
+      reqs.push_back(Request{c, c * 4096 + k * 256, 0});
+    }
+  }
+  auto served = ctl.schedule(reqs);
+  for (const auto& s : served) {
+    if (s.request.client == 1) {
+      EXPECT_LE(s.latency(), *bound);
+    }
+  }
+}
+
+TEST(Predator, HighPriorityUnaffectedByLowPriorityLoad) {
+  auto worstOfClient0 = [&](int lowLoad) {
+    PredatorController ctl(dev(), {1, 1, 1, 1});
+    std::vector<Request> reqs;
+    for (int k = 0; k < 16; ++k) {
+      reqs.push_back(Request{0, k * 256, static_cast<Cycles>(k) * 40});
+    }
+    for (int c = 1; c < 4; ++c) {
+      for (int k = 0; k < lowLoad; ++k) {
+        reqs.push_back(Request{c, c * 4096 + k * 256, 0});
+      }
+    }
+    auto served = ctl.schedule(reqs);
+    Cycles worst = 0;
+    for (const auto& s : served) {
+      if (s.request.client == 0) worst = std::max(worst, s.latency());
+    }
+    return worst;
+  };
+  const auto boundHolds = worstOfClient0(64);
+  PredatorController ref(dev(), {1, 1, 1, 1});
+  EXPECT_LE(boundHolds, *ref.latencyBound(0));
+}
+
+TEST(Predator, RejectsZeroBudget) {
+  EXPECT_THROW(PredatorController(dev(), {1, 0}), std::runtime_error);
+}
+
+TEST(Controllers, ClientIdValidated) {
+  AmcTdmController ctl(dev(), 2);
+  EXPECT_THROW(ctl.schedule({{5, 0, 0}}), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Refresh.
+// ---------------------------------------------------------------------------
+
+std::pair<std::vector<Cycles>, std::vector<std::int64_t>> periodicAccesses(
+    int count, Cycles period) {
+  std::vector<Cycles> arrivals;
+  std::vector<std::int64_t> addrs;
+  for (int k = 0; k < count; ++k) {
+    arrivals.push_back(static_cast<Cycles>(k) * period);
+    addrs.push_back(k * 256);
+  }
+  return {arrivals, addrs};
+}
+
+TEST(Refresh, DistributedCausesLatencySpikes) {
+  auto [arrivals, addrs] = periodicAccesses(200, 50);
+  const auto r =
+      runWithRefresh(dev(), RefreshScheme::Distributed, arrivals, addrs);
+  EXPECT_GT(r.refreshesDuringTask, 0u);
+  const auto stats = core::computeStats(r.accessLatencies);
+  EXPECT_GT(stats.range(), 0.0);  // refresh-delayed accesses
+  // The spike magnitude reflects tRFC.
+  EXPECT_GE(stats.maximum,
+            static_cast<double>(dev().closedPageDuration()));
+}
+
+TEST(Refresh, BurstGivesConstantAccessLatency) {
+  auto [arrivals, addrs] = periodicAccesses(200, 50);
+  const auto r = runWithRefresh(dev(), RefreshScheme::Burst, arrivals, addrs);
+  const auto stats = core::computeStats(r.accessLatencies);
+  EXPECT_DOUBLE_EQ(stats.range(), 0.0);  // perfectly flat
+  EXPECT_EQ(r.refreshesDuringTask, 0u);
+  // The cost did not vanish: it moved into the schedulable burst budget.
+  EXPECT_GT(r.burstBudget, 0u);
+  EXPECT_EQ(r.burstBudget,
+            dev().timing().tRFC *
+                static_cast<Cycles>(dev().timing().rowsPerBank));
+}
+
+TEST(Refresh, SchemesServeIdenticalWork) {
+  auto [arrivals, addrs] = periodicAccesses(64, 100);
+  const auto d = runWithRefresh(dev(), RefreshScheme::Distributed, arrivals,
+                                addrs);
+  const auto b = runWithRefresh(dev(), RefreshScheme::Burst, arrivals, addrs);
+  EXPECT_EQ(d.accessLatencies.size(), b.accessLatencies.size());
+  // Burst latencies are a pointwise lower envelope (no refresh collisions).
+  for (std::size_t k = 0; k < b.accessLatencies.size(); ++k) {
+    EXPECT_LE(b.accessLatencies[k], d.accessLatencies[k]);
+  }
+}
+
+TEST(Refresh, MismatchedInputsThrow) {
+  EXPECT_THROW(
+      runWithRefresh(dev(), RefreshScheme::Burst, {0, 1}, {0}),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace pred::dram

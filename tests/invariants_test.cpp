@@ -1,0 +1,228 @@
+// invariants_test.cpp — Cross-cutting invariants, parameterized over
+// configurations: arbiters never starve or double-serve; DRAM controllers
+// conserve work for every timing parameterization; the OoO pipeline is
+// deterministic and monotone in its latencies.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "dram/controllers.h"
+#include "isa/ast.h"
+#include "isa/exec.h"
+#include "isa/workloads.h"
+#include "noc/arbiter.h"
+#include "noc/shared_resource.h"
+#include "pipeline/memory_iface.h"
+#include "pipeline/ooo.h"
+
+namespace pred {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Arbiter invariants.
+// ---------------------------------------------------------------------------
+
+enum class ArbKind { Tdm, Fcfs, RoundRobin, FixedPriority };
+
+std::unique_ptr<noc::Arbiter> makeArbiter(ArbKind k, int clients) {
+  switch (k) {
+    case ArbKind::Tdm: {
+      std::vector<int> table;
+      for (int c = 0; c < clients; ++c) table.push_back(c);
+      return std::make_unique<noc::TdmArbiter>(table);
+    }
+    case ArbKind::Fcfs:
+      return std::make_unique<noc::FcfsArbiter>();
+    case ArbKind::RoundRobin:
+      return std::make_unique<noc::RoundRobinArbiter>();
+    case ArbKind::FixedPriority:
+      return std::make_unique<noc::FixedPriorityArbiter>();
+  }
+  return nullptr;
+}
+
+class ArbiterInvariants : public ::testing::TestWithParam<ArbKind> {};
+
+TEST_P(ArbiterInvariants, EveryRequestServedExactlyOnce) {
+  const int clients = 4;
+  noc::SharedResource res(clients, 3);
+  std::vector<noc::NocRequest> all;
+  for (int c = 0; c < clients; ++c) {
+    auto s = noc::periodicStream(c, static_cast<noc::Cycles>(c * 2), 7, 25);
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  auto arb = makeArbiter(GetParam(), clients);
+  const auto served = res.run(*arb, all);
+  ASSERT_EQ(served.size(), all.size());
+  std::map<std::pair<int, std::uint64_t>, int> seen;
+  for (const auto& s : served) {
+    ++seen[{s.request.client, s.request.id}];
+    EXPECT_GE(s.start, s.request.arrival);  // no time travel
+    EXPECT_EQ(s.finish - s.start, 3u);      // exact service time
+  }
+  for (const auto& [key, count] : seen) EXPECT_EQ(count, 1);
+}
+
+TEST_P(ArbiterInvariants, NoOverlappingService) {
+  const int clients = 3;
+  noc::SharedResource res(clients, 5);
+  std::vector<noc::NocRequest> all;
+  for (int c = 0; c < clients; ++c) {
+    auto s = noc::burstyStream(c, 0, 30, 4, 5);
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  auto arb = makeArbiter(GetParam(), clients);
+  auto served = res.run(*arb, all);
+  std::sort(served.begin(), served.end(),
+            [](const noc::NocServed& a, const noc::NocServed& b) {
+              return a.start < b.start;
+            });
+  for (std::size_t k = 1; k < served.size(); ++k) {
+    EXPECT_GE(served[k].start, served[k - 1].finish);
+  }
+}
+
+TEST_P(ArbiterInvariants, PerClientFifoOrder) {
+  const int clients = 3;
+  noc::SharedResource res(clients, 2);
+  std::vector<noc::NocRequest> all;
+  for (int c = 0; c < clients; ++c) {
+    auto s = noc::periodicStream(c, 0, 3, 20);
+    all.insert(all.end(), s.begin(), s.end());
+  }
+  auto arb = makeArbiter(GetParam(), clients);
+  const auto served = res.run(*arb, all);
+  std::map<int, std::uint64_t> lastId;
+  for (const auto& s : served) {
+    auto it = lastId.find(s.request.client);
+    if (it != lastId.end()) {
+      EXPECT_GT(s.request.id, it->second)
+          << "client " << s.request.client << " served out of order";
+    }
+    lastId[s.request.client] = s.request.id;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArbiters, ArbiterInvariants,
+                         ::testing::Values(ArbKind::Tdm, ArbKind::Fcfs,
+                                           ArbKind::RoundRobin,
+                                           ArbKind::FixedPriority),
+                         [](const ::testing::TestParamInfo<ArbKind>& info) {
+                           switch (info.param) {
+                             case ArbKind::Tdm: return "Tdm";
+                             case ArbKind::Fcfs: return "Fcfs";
+                             case ArbKind::RoundRobin: return "RoundRobin";
+                             case ArbKind::FixedPriority: return "FixedPriority";
+                           }
+                           return "unknown";
+                         });
+
+// ---------------------------------------------------------------------------
+// DRAM controller invariants across timing parameterizations.
+// ---------------------------------------------------------------------------
+
+class DramTimingSweep : public ::testing::TestWithParam<dram::DramTiming> {};
+
+TEST_P(DramTimingSweep, ControllersConserveWork) {
+  const auto timing = GetParam();
+  dram::DramDevice device(dram::DramGeometry{}, timing);
+  std::vector<dram::Request> reqs;
+  for (int c = 0; c < 3; ++c) {
+    for (int k = 0; k < 10; ++k) {
+      reqs.push_back(dram::Request{c, c * 2048 + k * 512,
+                                   static_cast<dram::Cycles>(k * 7)});
+    }
+  }
+  dram::FcfsOpenPageController fcfs(device);
+  dram::AmcTdmController amc(device, 3);
+  dram::PredatorController pred(device, {1, 1, 1});
+  for (auto* ctl : std::initializer_list<dram::DramController*>{
+           &fcfs, &amc, &pred}) {
+    const auto served = ctl->schedule(reqs);
+    EXPECT_EQ(served.size(), reqs.size()) << ctl->name();
+    for (const auto& s : served) {
+      EXPECT_GE(s.start, s.request.arrival) << ctl->name();
+      EXPECT_GT(s.finish, s.start) << ctl->name();
+    }
+  }
+}
+
+TEST_P(DramTimingSweep, TdmBoundScalesWithClosedPageDuration) {
+  const auto timing = GetParam();
+  dram::DramDevice device(dram::DramGeometry{}, timing);
+  dram::AmcTdmController amc(device, 4);
+  EXPECT_EQ(*amc.latencyBound(0),
+            5 * device.closedPageDuration());  // (clients+1) slots
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Timings, DramTimingSweep,
+    ::testing::Values(dram::DramTiming{3, 3, 3, 20, 700, 64},
+                      dram::DramTiming{2, 4, 2, 30, 500, 32},
+                      dram::DramTiming{5, 5, 5, 40, 900, 128}),
+    [](const ::testing::TestParamInfo<dram::DramTiming>& info) {
+      return "tCL" + std::to_string(info.param.tCL) + "tRCD" +
+             std::to_string(info.param.tRCD);
+    });
+
+// ---------------------------------------------------------------------------
+// OoO pipeline invariants.
+// ---------------------------------------------------------------------------
+
+TEST(OooInvariants, DeterministicForSameStateAndTrace) {
+  const auto prog = isa::ast::compileBranchy(isa::workloads::bubbleSort(6));
+  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
+  pipeline::FixedLatencyMemory mem(2);
+  pipeline::OooPipeline pipe(pipeline::OooConfig{}, &mem);
+  const pipeline::OooInitialState q{2, 1, 0};
+  EXPECT_EQ(pipe.run(trace, q), pipe.run(trace, q));
+}
+
+TEST(OooInvariants, MonotoneInMulLatency) {
+  const auto prog = isa::ast::compileBranchy(isa::workloads::matMul(3));
+  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
+  pipeline::FixedLatencyMemory mem(2);
+  pipeline::Cycles prev = 0;
+  for (pipeline::Cycles mulLat : {1, 2, 4, 8}) {
+    pipeline::OooConfig cfg;
+    cfg.mulLatency = mulLat;
+    pipeline::OooPipeline pipe(cfg, &mem);
+    const auto t = pipe.run(trace);
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(OooInvariants, NeverFasterThanCriticalResource) {
+  // Lower bound: total IU0-class work cannot be hidden.
+  const auto prog = isa::ast::compileBranchy(isa::workloads::matMul(3));
+  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
+  pipeline::OooConfig cfg;
+  pipeline::FixedLatencyMemory mem(2);
+  pipeline::OooPipeline pipe(cfg, &mem);
+  pipeline::Cycles mulWork = 0;
+  for (const auto& rec : trace) {
+    if (isa::latencyClass(rec.instr.op) == isa::LatencyClass::Multiply) {
+      mulWork += cfg.mulLatency;
+    }
+  }
+  EXPECT_GE(pipe.run(trace), mulWork);
+}
+
+TEST(OooInvariants, WiderDispatchNeverSlower) {
+  const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(16));
+  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
+  pipeline::FixedLatencyMemory mem(2);
+  pipeline::OooConfig narrow;
+  narrow.dispatchWidth = 1;
+  pipeline::OooConfig wide;
+  wide.dispatchWidth = 2;
+  pipeline::OooPipeline pNarrow(narrow, &mem);
+  pipeline::OooPipeline pWide(wide, &mem);
+  EXPECT_LE(pWide.run(trace), pNarrow.run(trace));
+}
+
+}  // namespace
+}  // namespace pred

@@ -1,0 +1,323 @@
+// isa_test.cpp — Functional semantics of the mini ISA: opcodes, builder,
+// machine state, input handling, traces.
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "isa/exec.h"
+#include "isa/machine.h"
+#include "isa/program.h"
+#include "isa/workloads.h"
+
+namespace pred::isa {
+namespace {
+
+RunResult runProgram(const Program& p, const Input& in = Input{}) {
+  auto r = FunctionalCore::run(p, in);
+  EXPECT_TRUE(r.completed);
+  return r;
+}
+
+TEST(Instr, LatencyClasses) {
+  EXPECT_EQ(latencyClass(Op::ADD), LatencyClass::Single);
+  EXPECT_EQ(latencyClass(Op::MUL), LatencyClass::Multiply);
+  EXPECT_EQ(latencyClass(Op::DIV), LatencyClass::Divide);
+  EXPECT_EQ(latencyClass(Op::LD), LatencyClass::Memory);
+  EXPECT_EQ(latencyClass(Op::ST), LatencyClass::Memory);
+  EXPECT_EQ(latencyClass(Op::BEQ), LatencyClass::Control);
+  EXPECT_EQ(latencyClass(Op::JMP), LatencyClass::Control);
+  EXPECT_EQ(latencyClass(Op::NOP), LatencyClass::None);
+  EXPECT_EQ(latencyClass(Op::DEADLINE), LatencyClass::None);
+}
+
+TEST(Instr, ControlFlowPredicates) {
+  EXPECT_TRUE(isConditionalBranch(Op::BEQ));
+  EXPECT_TRUE(isConditionalBranch(Op::BGE));
+  EXPECT_FALSE(isConditionalBranch(Op::JMP));
+  EXPECT_TRUE(isControlFlow(Op::JMP));
+  EXPECT_TRUE(isControlFlow(Op::CALL));
+  EXPECT_TRUE(isControlFlow(Op::RET));
+  EXPECT_FALSE(isControlFlow(Op::ADD));
+  EXPECT_TRUE(isMemAccess(Op::LD));
+  EXPECT_FALSE(isMemAccess(Op::MUL));
+}
+
+TEST(Instr, Disassembly) {
+  Instr add{Op::ADD, 1, 2, 3, 0};
+  EXPECT_EQ(toString(add), "add r1, r2, r3");
+  Instr li{Op::LI, 5, 0, 0, 42};
+  EXPECT_EQ(toString(li), "li r5, 42");
+  Instr beq{Op::BEQ, 0, 1, 2, 7};
+  EXPECT_EQ(toString(beq), "beq r1, r2, @7");
+}
+
+TEST(Exec, ArithmeticOps) {
+  ProgramBuilder b;
+  b.li(1, 6).li(2, 7);
+  b.add(3, 1, 2);   // 13
+  b.sub(4, 1, 2);   // -1
+  b.mul(5, 1, 2);   // 42
+  b.and_(6, 1, 2);  // 6
+  b.or_(7, 1, 2);   // 7
+  b.xor_(8, 1, 2);  // 1
+  b.slt(9, 1, 2);   // 1
+  b.halt();
+  auto r = runProgram(b.build());
+  EXPECT_EQ(r.finalState.reg(3), 13);
+  EXPECT_EQ(r.finalState.reg(4), -1);
+  EXPECT_EQ(r.finalState.reg(5), 42);
+  EXPECT_EQ(r.finalState.reg(6), 6);
+  EXPECT_EQ(r.finalState.reg(7), 7);
+  EXPECT_EQ(r.finalState.reg(8), 1);
+  EXPECT_EQ(r.finalState.reg(9), 1);
+}
+
+TEST(Exec, ShiftsAndImmediates) {
+  ProgramBuilder b;
+  b.li(1, 3).li(2, 2);
+  b.shl(3, 1, 2);       // 12
+  b.li(4, -16).shr(5, 4, 2);  // -4 (arithmetic)
+  b.addi(6, 1, 10);     // 13
+  b.mov(7, 6);
+  b.halt();
+  auto r = runProgram(b.build());
+  EXPECT_EQ(r.finalState.reg(3), 12);
+  EXPECT_EQ(r.finalState.reg(5), -4);
+  EXPECT_EQ(r.finalState.reg(6), 13);
+  EXPECT_EQ(r.finalState.reg(7), 13);
+}
+
+TEST(Exec, DivSemanticsAndLatency) {
+  ProgramBuilder b;
+  b.li(1, 42).li(2, 5).div(3, 1, 2);
+  b.li(4, 0).div(5, 1, 4);  // div by zero -> 0
+  b.halt();
+  auto r = runProgram(b.build());
+  EXPECT_EQ(r.finalState.reg(3), 8);
+  EXPECT_EQ(r.finalState.reg(5), 0);
+  // Data-dependent latency recorded in the trace.
+  EXPECT_EQ(r.trace[2].extraLatency, divLatency(42));
+  EXPECT_GE(divLatency(1), 3);
+  EXPECT_LE(divLatency(INT64_MAX), maxDivLatency());
+  EXPECT_LT(divLatency(1), divLatency(INT64_MAX));
+}
+
+TEST(Exec, RegisterZeroIsHardwired) {
+  ProgramBuilder b;
+  b.li(0, 99).addi(1, 0, 5).halt();
+  auto r = runProgram(b.build());
+  EXPECT_EQ(r.finalState.reg(0), 0);
+  EXPECT_EQ(r.finalState.reg(1), 5);
+}
+
+TEST(Exec, LoadStore) {
+  ProgramBuilder b;
+  b.li(1, 123).li(2, 10);
+  b.st(1, 2, 5);   // mem[15] = 123
+  b.ld(3, 2, 5);   // r3 = mem[15]
+  b.halt();
+  auto r = runProgram(b.build());
+  EXPECT_EQ(r.finalState.mem[15], 123);
+  EXPECT_EQ(r.finalState.reg(3), 123);
+  EXPECT_EQ(r.trace[2].memWordAddr, 15);
+  EXPECT_EQ(r.trace[3].memWordAddr, 15);
+}
+
+TEST(Exec, AddressWrapping) {
+  ProgramBuilder b;
+  b.li(1, -1).st(1, 1, 0).halt();  // address -1 wraps to memWords-1
+  auto r = runProgram(b.build());
+  EXPECT_EQ(r.finalState.mem.back(), -1);
+}
+
+TEST(Exec, BranchesAllVariants) {
+  // Count down from 3 with BNE.
+  ProgramBuilder b;
+  b.li(1, 3);
+  b.label("loop");
+  b.addi(1, 1, -1);
+  b.bne(1, 0, "loop").bound(3);
+  b.halt();
+  auto r = runProgram(b.build());
+  EXPECT_EQ(r.finalState.reg(1), 0);
+  TraceStats s = computeStats(r.trace);
+  EXPECT_EQ(s.condBranches, 3u);
+  EXPECT_EQ(s.takenBranches, 2u);
+}
+
+TEST(Exec, BltBgeBeq) {
+  ProgramBuilder b;
+  b.li(1, 2).li(2, 5);
+  b.blt(1, 2, "a");
+  b.li(10, 111);  // skipped
+  b.label("a");
+  b.bge(2, 1, "c");
+  b.li(11, 222);  // skipped
+  b.label("c");
+  b.beq(1, 1, "d");
+  b.li(12, 333);  // skipped
+  b.label("d");
+  b.halt();
+  auto r = runProgram(b.build());
+  EXPECT_EQ(r.finalState.reg(10), 0);
+  EXPECT_EQ(r.finalState.reg(11), 0);
+  EXPECT_EQ(r.finalState.reg(12), 0);
+}
+
+TEST(Exec, CallRetNesting) {
+  ProgramBuilder b;
+  b.call("f").call("g").halt();
+  b.beginFunction("f");
+  b.addi(1, 1, 1);
+  b.call("g");
+  b.ret();
+  b.endFunction();
+  b.beginFunction("g");
+  b.addi(2, 2, 10);
+  b.ret();
+  b.endFunction();
+  auto r = runProgram(b.build());
+  EXPECT_EQ(r.finalState.reg(1), 1);
+  EXPECT_EQ(r.finalState.reg(2), 20);  // called twice
+  EXPECT_TRUE(r.finalState.callStack.empty());
+}
+
+TEST(Exec, CmovSemantics) {
+  ProgramBuilder b;
+  b.li(1, 1).li(2, 42).li(3, 7);
+  b.cmov(4, 1, 2);  // cond true: r4 = 42
+  b.cmov(5, 0, 3);  // cond false (r0 == 0): r5 unchanged (0)
+  b.halt();
+  auto r = runProgram(b.build());
+  EXPECT_EQ(r.finalState.reg(4), 42);
+  EXPECT_EQ(r.finalState.reg(5), 0);
+}
+
+TEST(Exec, StepLimitDetectsNonTermination) {
+  ProgramBuilder b;
+  b.label("spin").jmp("spin").halt();
+  auto r = FunctionalCore::run(b.build(), Input{}, 1000);
+  EXPECT_FALSE(r.completed);
+  EXPECT_EQ(r.steps, 1000u);
+}
+
+TEST(Builder, UnboundLabelThrows) {
+  ProgramBuilder b;
+  b.jmp("nowhere").halt();
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(Builder, DuplicateLabelThrows) {
+  ProgramBuilder b;
+  b.label("x");
+  EXPECT_THROW(b.label("x"), std::runtime_error);
+}
+
+TEST(Builder, NestedFunctionThrows) {
+  ProgramBuilder b;
+  b.beginFunction("f");
+  EXPECT_THROW(b.beginFunction("g"), std::runtime_error);
+}
+
+TEST(Builder, CallToNonFunctionFailsValidation) {
+  ProgramBuilder b;
+  b.label("notafunction").nop();
+  b.call("notafunction");
+  b.halt();
+  EXPECT_THROW(b.build(), std::runtime_error);
+}
+
+TEST(Builder, UnknownAddressRequiresMemOp) {
+  ProgramBuilder b;
+  b.nop();
+  EXPECT_THROW(b.unknownAddress(), std::runtime_error);
+  b.ld(1, 2, 0);
+  EXPECT_NO_THROW(b.unknownAddress());
+}
+
+TEST(Program, ValidateCatchesBadTarget) {
+  Program p;
+  p.code = {Instr{Op::JMP, 0, 0, 0, 99}, Instr{Op::HALT, 0, 0, 0, 0}};
+  EXPECT_TRUE(p.validate().has_value());
+}
+
+TEST(Program, DisassembleListsLoopBound) {
+  ProgramBuilder b;
+  b.li(1, 0);
+  b.label("l");
+  b.addi(1, 1, 1);
+  b.li(2, 4);
+  b.blt(1, 2, "l").bound(4);
+  b.halt();
+  const auto text = b.build().disassemble();
+  EXPECT_NE(text.find("loop bound 4"), std::string::npos);
+}
+
+TEST(Machine, InputApplication) {
+  MachineState st(128);
+  Input in;
+  in.regs[3] = 77;
+  in.mem[5] = -9;
+  st.applyInput(in);
+  EXPECT_EQ(st.reg(3), 77);
+  EXPECT_EQ(st.mem[5], -9);
+  EXPECT_EQ(st.reg(0), 0);
+}
+
+TEST(Machine, EnumerateInputsCrossProduct) {
+  ProgramBuilder b;
+  b.var("x", 10).var("y", 11).halt();
+  const auto p = b.build();
+  auto inputs = enumerateInputs(p, {{"x", {1, 2, 3}}, {"y", {4, 5}}});
+  EXPECT_EQ(inputs.size(), 6u);
+  // All distinct.
+  for (std::size_t a = 0; a < inputs.size(); ++a) {
+    for (std::size_t c = a + 1; c < inputs.size(); ++c) {
+      EXPECT_FALSE(inputs[a] == inputs[c]);
+    }
+  }
+}
+
+TEST(Machine, MergeInputsRightWins) {
+  Input a = regInput(1, 10);
+  Input b2 = regInput(1, 20);
+  const Input m = mergeInputs(a, b2);
+  EXPECT_EQ(m.regs.at(1), 20);
+}
+
+TEST(Workloads, StrideWalkAccessCount) {
+  const auto p = workloads::strideWalk(16, 4, 2);
+  auto r = runProgram(p);
+  TraceStats s = computeStats(r.trace);
+  EXPECT_EQ(s.loads, 8u);  // 16/4 per rep x 2 reps
+}
+
+TEST(Workloads, RandomWalkDeterministicPerSeed) {
+  const auto p1 = workloads::randomWalk(64, 10, 5);
+  const auto p2 = workloads::randomWalk(64, 10, 5);
+  const auto p3 = workloads::randomWalk(64, 10, 6);
+  EXPECT_EQ(p1.code.size(), p2.code.size());
+  bool same = true, diff = false;
+  for (std::size_t k = 0; k < p1.code.size(); ++k) {
+    same = same && p1.code[k].imm == p2.code[k].imm;
+    if (k < p3.code.size() && p1.code[k].imm != p3.code[k].imm) diff = true;
+  }
+  EXPECT_TRUE(same);
+  EXPECT_TRUE(diff);
+}
+
+TEST(Workloads, RandomArrayInputsRespectRange) {
+  const auto p = ast::compileBranchy(workloads::sumLoop(8));
+  auto ins = workloads::randomArrayInputs(p, "a", 8, 5, 42, 16);
+  ASSERT_EQ(ins.size(), 5u);
+  for (const auto& in : ins) {
+    EXPECT_EQ(in.mem.size(), 8u);
+    for (const auto& [addr, v] : in.mem) {
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 16);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pred::isa

@@ -1,0 +1,124 @@
+// metrics_test.cpp — The evict/fill inherent predictability metrics of
+// replacement policies (Reineke et al. [20], the paper's Section 4).
+//
+// These metrics are computed by exhaustive exploration of the possible
+// cache-set states (metrics.cpp); the tests pin the closed forms known from
+// the literature for LRU and FIFO and check the qualitative order the paper
+// reports: LRU is the most predictable policy, RANDOM cannot guarantee
+// eviction at all.
+
+#include <gtest/gtest.h>
+
+#include "cache/metrics.h"
+
+namespace pred::cache {
+namespace {
+
+TEST(Metrics, LruEvictAndFillEqualAssociativity) {
+  // Literature closed form: evict(LRU,k) = fill(LRU,k) = k.
+  for (int k : {1, 2, 4, 8}) {
+    const auto r = computeMetrics(Policy::LRU, k);
+    ASSERT_TRUE(r.evictFinite) << "k=" << k;
+    ASSERT_TRUE(r.fillFinite) << "k=" << k;
+    EXPECT_EQ(r.evict, k);
+    EXPECT_EQ(r.fill, k);
+  }
+}
+
+TEST(Metrics, FifoEvictIsTwoKMinusOne) {
+  // Literature closed form: evict(FIFO,k) = 2k-1 (k-1 accesses may alias
+  // cached content and not advance the queue).
+  for (int k : {2, 4, 8}) {
+    const auto r = computeMetrics(Policy::FIFO, k);
+    ASSERT_TRUE(r.evictFinite) << "k=" << k;
+    EXPECT_EQ(r.evict, 2 * k - 1);
+  }
+}
+
+TEST(Metrics, FifoFillFiniteAndAtLeastEvict) {
+  for (int k : {2, 4}) {
+    const auto r = computeMetrics(Policy::FIFO, k);
+    ASSERT_TRUE(r.fillFinite);
+    EXPECT_GE(r.fill, r.evict);
+  }
+}
+
+TEST(Metrics, PlruEvictMatchesClosedForm) {
+  // Literature: evict(PLRU,k) = (k/2) * log2(k) + 1.
+  const auto r4 = computeMetrics(Policy::PLRU, 4);
+  ASSERT_TRUE(r4.evictFinite);
+  EXPECT_EQ(r4.evict, 5);  // 4/2*2 + 1
+  const auto r2 = computeMetrics(Policy::PLRU, 2);
+  ASSERT_TRUE(r2.evictFinite);
+  EXPECT_EQ(r2.evict, 2);  // PLRU(2) == LRU(2)
+}
+
+TEST(Metrics, Plru2EqualsLru2) {
+  const auto plru = computeMetrics(Policy::PLRU, 2);
+  const auto lru = computeMetrics(Policy::LRU, 2);
+  EXPECT_EQ(plru.evict, lru.evict);
+  EXPECT_EQ(plru.fill, lru.fill);
+}
+
+TEST(Metrics, RandomNeverGuaranteesEviction) {
+  const auto r = computeMetrics(Policy::RANDOM, 2, /*cutoff=*/24,
+                                /*stateLimit=*/2'000'000);
+  EXPECT_FALSE(r.evictFinite);
+  EXPECT_FALSE(r.fillFinite);
+}
+
+TEST(Metrics, LruDominatesAllPoliciesInEvict) {
+  // The paper's narrative ([20], [29]): LRU is the most predictable
+  // replacement policy.  evict(LRU) <= evict(P) for all P at equal k.
+  for (int k : {2, 4}) {
+    const auto lru = computeMetrics(Policy::LRU, k);
+    for (Policy p : {Policy::FIFO, Policy::PLRU, Policy::MRU}) {
+      const auto other = computeMetrics(p, k);
+      if (other.evictFinite) {
+        EXPECT_LE(lru.evict, other.evict)
+            << toString(p) << " k=" << k;
+      }
+      if (other.fillFinite) {
+        EXPECT_LE(lru.fill, other.fill) << toString(p) << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(Metrics, EvictNeverExceedsFill) {
+  // Knowing the precise contents implies knowing old content is gone.
+  for (Policy p : {Policy::LRU, Policy::FIFO, Policy::PLRU, Policy::MRU}) {
+    const auto r = computeMetrics(p, 4);
+    if (r.evictFinite && r.fillFinite) {
+      EXPECT_LE(r.evict, r.fill) << toString(p);
+    }
+  }
+}
+
+TEST(Metrics, MonotoneInAssociativity) {
+  // More ways = more uncertainty to eliminate.
+  for (Policy p : {Policy::LRU, Policy::FIFO}) {
+    const auto r2 = computeMetrics(p, 2);
+    const auto r4 = computeMetrics(p, 4);
+    ASSERT_TRUE(r2.evictFinite && r4.evictFinite);
+    EXPECT_LT(r2.evict, r4.evict) << toString(p);
+  }
+}
+
+TEST(Metrics, SummaryRendersInfinity) {
+  const auto r = computeMetrics(Policy::RANDOM, 2, 16);
+  EXPECT_NE(r.summary().find("inf"), std::string::npos);
+}
+
+TEST(Metrics, RejectsNonPositiveWays) {
+  EXPECT_THROW(computeMetrics(Policy::LRU, 0), std::runtime_error);
+}
+
+TEST(Metrics, SingleWayTrivial) {
+  const auto r = computeMetrics(Policy::LRU, 1);
+  EXPECT_EQ(r.evict, 1);
+  EXPECT_EQ(r.fill, 1);
+}
+
+}  // namespace
+}  // namespace pred::cache

@@ -1,0 +1,170 @@
+// noc_test.cpp — Arbiters, the shared resource, and the CoMPSoC
+// composability property (Table 1, row 4): TDM composes, FCFS does not.
+
+#include <gtest/gtest.h>
+
+#include "noc/arbiter.h"
+#include "noc/composability.h"
+#include "noc/shared_resource.h"
+
+namespace pred::noc {
+namespace {
+
+TEST(Arbiters, TdmGrantsOnlySlotOwner) {
+  TdmArbiter tdm({0, 1, 2});
+  std::vector<bool> pending{true, true, true};
+  std::vector<Cycles> arr{0, 0, 0};
+  EXPECT_EQ(tdm.grant(0, pending, arr), 0);
+  EXPECT_EQ(tdm.grant(1, pending, arr), 1);
+  EXPECT_EQ(tdm.grant(2, pending, arr), 2);
+  EXPECT_EQ(tdm.grant(3, pending, arr), 0);
+}
+
+TEST(Arbiters, TdmLeavesUnclaimedSlotIdle) {
+  TdmArbiter tdm({0, 1});
+  std::vector<bool> pending{false, true};
+  std::vector<Cycles> arr{~Cycles{0}, 0};
+  EXPECT_EQ(tdm.grant(0, pending, arr), -1);  // slot 0 idle although 1 waits
+  EXPECT_EQ(tdm.grant(1, pending, arr), 1);
+}
+
+TEST(Arbiters, FcfsPicksOldest) {
+  FcfsArbiter fcfs;
+  std::vector<bool> pending{true, true};
+  std::vector<Cycles> arr{10, 3};
+  EXPECT_EQ(fcfs.grant(0, pending, arr), 1);
+}
+
+TEST(Arbiters, RoundRobinRotates) {
+  RoundRobinArbiter rr;
+  std::vector<bool> pending{true, true, true};
+  std::vector<Cycles> arr{0, 0, 0};
+  EXPECT_EQ(rr.grant(0, pending, arr), 0);
+  EXPECT_EQ(rr.grant(1, pending, arr), 1);
+  EXPECT_EQ(rr.grant(2, pending, arr), 2);
+  EXPECT_EQ(rr.grant(3, pending, arr), 0);
+}
+
+TEST(Arbiters, FixedPriorityStarvesLow) {
+  FixedPriorityArbiter fp;
+  std::vector<bool> pending{true, true};
+  std::vector<Cycles> arr{5, 0};
+  EXPECT_EQ(fp.grant(0, pending, arr), 0);  // regardless of arrival order
+}
+
+TEST(SharedResource, ServesEverythingOnce) {
+  SharedResource res(2, 4);
+  FcfsArbiter fcfs;
+  auto served = res.run(fcfs, periodicStream(0, 0, 8, 5));
+  EXPECT_EQ(served.size(), 5u);
+}
+
+TEST(SharedResource, RejectsBadClient) {
+  SharedResource res(2, 4);
+  FcfsArbiter fcfs;
+  EXPECT_THROW(res.run(fcfs, {{7, 0, 0}}), std::runtime_error);
+}
+
+TEST(SharedResource, ClientLatenciesInArrivalOrder) {
+  SharedResource res(2, 2);
+  FcfsArbiter fcfs;
+  auto reqs = periodicStream(0, 0, 2, 4);
+  auto served = res.run(fcfs, reqs);
+  const auto lat = SharedResource::clientLatencies(served, 0);
+  EXPECT_EQ(lat.size(), 4u);
+}
+
+TEST(Streams, PeriodicAndBursty) {
+  const auto p = periodicStream(1, 5, 10, 3);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p[2].arrival, 25u);
+  const auto b = burstyStream(2, 0, 100, 4, 2);
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b[4].arrival, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Composability (the CoMPSoC claim).
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<NocRequest>> coRunnerScenarios() {
+  return {
+      {},                                     // alone (trivial scenario)
+      periodicStream(1, 0, 7, 30),            // light periodic co-runner
+      burstyStream(1, 0, 40, 8, 6),           // bursty co-runner
+      [] {                                    // saturating co-runners
+        auto v = periodicStream(1, 0, 1, 60);
+        auto w = periodicStream(2, 0, 1, 60);
+        auto x = periodicStream(3, 0, 1, 60);
+        v.insert(v.end(), w.begin(), w.end());
+        v.insert(v.end(), x.begin(), x.end());
+        return v;
+      }(),
+  };
+}
+
+TEST(Composability, TdmIsComposable) {
+  SharedResource res(4, 3);
+  TdmArbiter tdm({0, 1, 2, 3});
+  const auto observed = periodicStream(0, 0, 12, 20);
+  const auto report =
+      checkComposability(res, tdm, 0, observed, coRunnerScenarios());
+  EXPECT_TRUE(report.composable) << report.detail;
+  EXPECT_EQ(report.maxDeviation, 0u);
+}
+
+TEST(Composability, FcfsIsNotComposable) {
+  SharedResource res(4, 3);
+  FcfsArbiter fcfs;
+  const auto observed = periodicStream(0, 0, 12, 20);
+  const auto report =
+      checkComposability(res, fcfs, 0, observed, coRunnerScenarios());
+  EXPECT_FALSE(report.composable) << report.detail;
+  EXPECT_GT(report.maxDeviation, 0u);
+}
+
+TEST(Composability, RoundRobinIsNotComposable) {
+  SharedResource res(4, 3);
+  RoundRobinArbiter rr;
+  // Misaligned phase/period: a stream whose period is a multiple of the
+  // rotation length can accidentally dodge all interference, so use a
+  // co-prime period.
+  const auto observed = periodicStream(0, 5, 13, 20);
+  const auto report =
+      checkComposability(res, rr, 0, observed, coRunnerScenarios());
+  EXPECT_FALSE(report.composable);
+}
+
+TEST(Composability, FixedPriorityComposableForHighestPriorityOnly) {
+  SharedResource res(4, 3);
+  FixedPriorityArbiter fp;
+  const auto observed = periodicStream(0, 0, 12, 20);
+  const auto high =
+      checkComposability(res, fp, 0, observed, coRunnerScenarios());
+  EXPECT_TRUE(high.composable);  // client 0 preempts everyone
+
+  // The observed client as LOWEST priority: co-runners (clients 0..2 in the
+  // scenarios below use lower ids = higher priority) displace it.
+  const auto observedLow = periodicStream(3, 0, 12, 20);
+  std::vector<std::vector<NocRequest>> scenarios = {
+      {},
+      periodicStream(0, 0, 2, 40),
+  };
+  const auto low = checkComposability(res, fp, 3, observedLow, scenarios);
+  EXPECT_FALSE(low.composable);
+}
+
+TEST(Composability, TdmWorstLatencyBoundedByRound) {
+  SharedResource res(4, 3);
+  TdmArbiter tdm({0, 1, 2, 3});
+  const auto observed = periodicStream(0, 1, 13, 25);  // misaligned phase
+  const auto report =
+      checkComposability(res, tdm, 0, observed, coRunnerScenarios());
+  // One TDM round (4 slots x 3 cycles) + one service.
+  for (const auto worst : report.worstLatencyPerScenario) {
+    EXPECT_LE(worst, (4 + 1) * 3u);
+  }
+}
+
+}  // namespace
+}  // namespace pred::noc

@@ -1,0 +1,112 @@
+// related_test.cpp — The related-work predictability notions of the paper's
+// Section 4: Bernardes' dynamical-system predictability, Thiele & Wilhelm's
+// bound-distance measure, Kirner & Puschner's holistic combination.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/related.h"
+
+namespace pred::core {
+namespace {
+
+TEST(Bernardes, ContractingMapIsPredictable) {
+  // f(x) = x/2: perturbations shrink; predicted orbits stay within ~2*delta.
+  DynamicalSystem sys{[](double x) { return x / 2; }};
+  const auto r = bernardesPredictableAt(sys, 1.0, 0.01, 0.05, 50);
+  EXPECT_TRUE(r.predictable);
+  EXPECT_LT(r.worstDeviation, 0.05);
+}
+
+TEST(Bernardes, ChaoticLogisticMapIsUnpredictable) {
+  // Logistic map r = 4 on [0,1]: positive Lyapunov exponent; a 1e-6
+  // perturbation exceeds any reasonable eps within a short horizon.
+  DynamicalSystem sys{[](double x) { return 4.0 * x * (1.0 - x); }};
+  const auto r = bernardesPredictableAt(sys, 0.2, 1e-6, 0.05, 60);
+  EXPECT_FALSE(r.predictable);
+  EXPECT_GT(r.worstDeviation, 0.05);
+}
+
+TEST(Bernardes, IdentityMapAccumulatesLinearly) {
+  // f = id: each step re-perturbs by delta; deviation grows ~ i * delta.
+  DynamicalSystem sys{[](double x) { return x; }};
+  const auto ok = bernardesPredictableAt(sys, 0.0, 0.01, 1.0, 50);
+  EXPECT_TRUE(ok.predictable);  // 50 * 0.01 = 0.5 < 1.0
+  const auto bad = bernardesPredictableAt(sys, 0.0, 0.01, 0.2, 50);
+  EXPECT_FALSE(bad.predictable);
+}
+
+TEST(Bernardes, ExpandingMapUnpredictableEvenWithTinyDelta) {
+  DynamicalSystem sys{[](double x) { return 3.0 * x; }};
+  const auto r = bernardesPredictableAt(sys, 1.0, 1e-9, 0.01, 60);
+  EXPECT_FALSE(r.predictable);
+}
+
+TEST(Bernardes, RejectsDegenerateGrid) {
+  DynamicalSystem sys{[](double x) { return x; }};
+  EXPECT_THROW(bernardesPredictableAt(sys, 0, 0.1, 1, 5, 1),
+               std::runtime_error);
+}
+
+TEST(ThieleWilhelm, GapsFromDecomposition) {
+  BoundsDecomposition d;
+  d.lowerBound = 50;
+  d.bcet = 80;
+  d.wcet = 120;
+  d.upperBound = 150;
+  const auto m = thieleWilhelm(d);
+  EXPECT_EQ(m.wcetGap, 30u);
+  EXPECT_EQ(m.bcetGap, 30u);
+  EXPECT_DOUBLE_EQ(m.worstCasePredictability, 0.8);
+  EXPECT_NE(m.summary().find("30"), std::string::npos);
+}
+
+TEST(ThieleWilhelm, ExactAnalysisGivesPerfectWorstCase) {
+  BoundsDecomposition d;
+  d.lowerBound = 80;
+  d.bcet = 80;
+  d.wcet = 120;
+  d.upperBound = 120;
+  const auto m = thieleWilhelm(d);
+  EXPECT_EQ(m.wcetGap, 0u);
+  EXPECT_EQ(m.bcetGap, 0u);
+  EXPECT_DOUBLE_EQ(m.worstCasePredictability, 1.0);
+}
+
+TEST(ThieleWilhelm, MeasuresAnalysisNotSystem) {
+  // The paper's inherence critique, demonstrated: the SAME system under a
+  // better analysis scores as "more predictable" in this measure — which is
+  // why the paper insists predictability be inherent.
+  BoundsDecomposition coarse{100, 200, 300, 600};
+  BoundsDecomposition tight{180, 200, 300, 320};
+  EXPECT_GT(thieleWilhelm(tight).worstCasePredictability,
+            thieleWilhelm(coarse).worstCasePredictability);
+  // Inherent variance (WCET-BCET) is identical:
+  EXPECT_EQ(coarse.inherentVariance(), tight.inherentVariance());
+}
+
+TEST(Holistic, CombinesInherentAndWorstCase) {
+  TimingMatrix m(2, 2);
+  m.at(0, 0) = 100;
+  m.at(0, 1) = 150;
+  m.at(1, 0) = 120;
+  m.at(1, 1) = 200;
+  BoundsDecomposition d{80, 100, 200, 250};
+  const auto h = kirnerPuschnerHolistic(m, d);
+  EXPECT_DOUBLE_EQ(h.inherent, 0.5);
+  EXPECT_DOUBLE_EQ(h.worstCase, 0.8);
+  EXPECT_DOUBLE_EQ(h.combined(), 0.4);
+}
+
+TEST(Holistic, PerfectSystemAndAnalysisGiveOne) {
+  TimingMatrix m(2, 2);
+  for (std::size_t q = 0; q < 2; ++q) {
+    for (std::size_t i = 0; i < 2; ++i) m.at(q, i) = 42;
+  }
+  BoundsDecomposition d{42, 42, 42, 42};
+  EXPECT_DOUBLE_EQ(kirnerPuschnerHolistic(m, d).combined(), 1.0);
+}
+
+}  // namespace
+}  // namespace pred::core
