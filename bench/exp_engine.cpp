@@ -1,0 +1,155 @@
+// exp_engine.cpp — Experiment-engine performance: naive serial vs memoized
+// serial vs memoized parallel computation of the Q x I timing matrix.
+//
+// The naive path is what the seed's hand-wired benches effectively did: the
+// functional core re-runs for EVERY matrix cell even though the trace
+// depends on the input alone.  The engine removes that redundancy (one
+// trace per input, replayed across all q) and then tiles the cross product
+// over a thread pool.  The header section verifies the acceptance property
+// on a 16 x 16 grid — parallel output bit-identical to serial — before the
+// google-benchmarks time the three paths.
+
+#include "bench_common.h"
+#include "core/definitions.h"
+#include "exp/engine.h"
+#include "exp/platform.h"
+#include "exp/scenario.h"
+#include "isa/ast.h"
+#include "isa/workloads.h"
+
+namespace {
+
+using namespace pred;
+
+constexpr int kGridStates = 16;
+constexpr int kGridInputs = 16;
+
+isa::Program gridProgram() {
+  return isa::ast::compileBranchy(isa::workloads::linearSearch(16));
+}
+
+std::vector<isa::Input> gridInputs(const isa::Program& prog, int howMany) {
+  auto inputs =
+      isa::workloads::randomArrayInputs(prog, "a", 16, howMany, 2024);
+  for (auto& in : inputs) {
+    in = isa::mergeInputs(in, isa::varInput(prog, "key", 7));
+  }
+  return inputs;
+}
+
+exp::PlatformOptions gridOptions() {
+  exp::PlatformOptions opts;
+  opts.numStates = kGridStates;
+  return opts;
+}
+
+/// The pre-engine shape: TimingMatrix::compute over a TimingFunction that
+/// re-runs the functional core per cell.
+core::TimingMatrix naiveSerialMatrix(const exp::TimingModel& model,
+                                     const isa::Program& prog,
+                                     const std::vector<isa::Input>& inputs) {
+  const core::TimingFunction fn = [&](std::size_t q, std::size_t i) {
+    const auto run = isa::FunctionalCore::run(prog, inputs[i]);
+    return model.time(q, run.trace);
+  };
+  return core::TimingMatrix::compute(fn, model.numStates(), inputs.size());
+}
+
+void verifyGrid() {
+  bench::printHeader("Experiment engine",
+                     "serial vs parallel vs memoized matrix computation");
+  const auto prog = gridProgram();
+  const auto inputs = gridInputs(prog, kGridInputs);
+  const auto model =
+      exp::PlatformRegistry::instance().make("inorder-lru", prog,
+                                             gridOptions());
+
+  exp::ExperimentEngine serial(exp::EngineConfig{1});
+  exp::ExperimentEngine parallel(exp::EngineConfig{0});
+  const auto mNaive = naiveSerialMatrix(*model, prog, inputs);
+  const auto mSerial = serial.computeMatrix(*model, prog, inputs);
+  const auto mParallel = parallel.computeMatrix(*model, prog, inputs);
+
+  bench::printKV("grid", std::to_string(kGridStates) + " states x " +
+                             std::to_string(kGridInputs) + " inputs");
+  bench::printKV("worker threads (parallel path)",
+                 std::to_string(parallel.resolvedThreads()));
+  bench::printKV("parallel == serial (bit-identical)",
+                 mSerial == mParallel ? "yes" : "NO (BUG)");
+  bench::printKV("memoized == naive (same matrix)",
+                 mSerial == mNaive ? "yes" : "NO (BUG)");
+  bench::printKV("functional runs, naive path",
+                 std::to_string(kGridStates * kGridInputs));
+  bench::printKV("functional runs, memoized path",
+                 std::to_string(serial.traceStore().misses()));
+}
+
+void BM_NaiveSerial(benchmark::State& state) {
+  const auto prog = gridProgram();
+  const auto inputs = gridInputs(prog, static_cast<int>(state.range(0)));
+  auto opts = gridOptions();
+  opts.numStates = static_cast<int>(state.range(0));
+  const auto model =
+      exp::PlatformRegistry::instance().make("inorder-lru", prog, opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naiveSerialMatrix(*model, prog, inputs).wcet());
+  }
+}
+BENCHMARK(BM_NaiveSerial)->Arg(16)->Arg(32);
+
+void BM_MemoizedSerial(benchmark::State& state) {
+  const auto prog = gridProgram();
+  const auto inputs = gridInputs(prog, static_cast<int>(state.range(0)));
+  auto opts = gridOptions();
+  opts.numStates = static_cast<int>(state.range(0));
+  const auto model =
+      exp::PlatformRegistry::instance().make("inorder-lru", prog, opts);
+  for (auto _ : state) {
+    exp::ExperimentEngine engine(exp::EngineConfig{1});
+    benchmark::DoNotOptimize(
+        engine.computeMatrix(*model, prog, inputs).wcet());
+  }
+}
+BENCHMARK(BM_MemoizedSerial)->Arg(16)->Arg(32);
+
+void BM_MemoizedParallel(benchmark::State& state) {
+  const auto prog = gridProgram();
+  const auto inputs = gridInputs(prog, static_cast<int>(state.range(0)));
+  auto opts = gridOptions();
+  opts.numStates = static_cast<int>(state.range(0));
+  const auto model =
+      exp::PlatformRegistry::instance().make("inorder-lru", prog, opts);
+  for (auto _ : state) {
+    exp::ExperimentEngine engine(exp::EngineConfig{0});
+    benchmark::DoNotOptimize(
+        engine.computeMatrix(*model, prog, inputs).wcet());
+  }
+}
+BENCHMARK(BM_MemoizedParallel)->Arg(16)->Arg(32);
+
+/// Whole-grid view: a scenario sweep re-timing one workload on several
+/// platforms, sharing traces across all of them through one engine.
+void BM_ScenarioSweep(benchmark::State& state) {
+  const auto prog = gridProgram();
+  const auto inputs = gridInputs(prog, 8);
+  for (auto _ : state) {
+    exp::ScenarioSuite suite;
+    suite.addWorkload("linearSearch", prog, inputs);
+    exp::PlatformOptions opts;
+    opts.numStates = 8;
+    suite.addPlatform("inorder-lru", opts);
+    suite.addPlatform("inorder-fifo", opts);
+    suite.addPlatform("ooo-lru", opts);
+    suite.addPlatform("pret", opts);
+    exp::ExperimentEngine engine;
+    benchmark::DoNotOptimize(suite.run(engine).size());
+  }
+}
+BENCHMARK(BM_ScenarioSweep);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  verifyGrid();
+  return pred::bench::runBenchmarks(argc, argv);
+}

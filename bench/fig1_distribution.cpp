@@ -10,12 +10,17 @@
 // structural bound analyses — decomposing the total spread into input- and
 // state-induced variance vs abstraction-induced variance, exactly as the
 // figure annotates.
+//
+// Ported onto the experiment engine: the Figure 1 system is the
+// "inorder-lru-icache" platform preset, and the exhaustive cross product is
+// computed by the parallel ExperimentEngine with memoized traces.
 
-#include "analysis/exhaustive.h"
 #include "analysis/wcet_bounds.h"
 #include "bench_common.h"
 #include "core/definitions.h"
 #include "core/measures.h"
+#include "exp/engine.h"
+#include "exp/platform.h"
 #include "isa/workloads.h"
 
 namespace {
@@ -39,19 +44,28 @@ void runFigure1() {
   bi.instrCacheGeom = cache::CacheGeometry{4, 8, 2};
   bi.instrTiming = cache::CacheTiming{0, 6};
 
-  const auto setup = analysis::exhaustiveInOrderWithICache(
-      prog, inputs, bi.dataCacheGeom, *bi.instrCacheGeom, cache::Policy::LRU,
-      bi.cacheTiming, bi.instrTiming, 16, 99, bi.pipeConfig);
+  exp::PlatformOptions popts;
+  popts.numStates = 16;
+  popts.seed = 99;
+  popts.dataGeom = bi.dataCacheGeom;
+  popts.dataTiming = bi.cacheTiming;
+  popts.instrGeom = *bi.instrCacheGeom;
+  popts.instrTiming = bi.instrTiming;
+  popts.inorder = bi.pipeConfig;
+  const auto model = exp::PlatformRegistry::instance().make(
+      "inorder-lru-icache", prog, popts);
+  exp::ExperimentEngine engine;
+  const auto matrix = engine.computeMatrix(*model, prog, inputs);
 
-  const auto d = analysis::figure1Decomposition(
-      cfg, bi, setup.matrix.bcet(), setup.matrix.wcet());
+  const auto d =
+      analysis::figure1Decomposition(cfg, bi, matrix.bcet(), matrix.wcet());
 
   std::printf("workload: linear search, |Q| = %zu (D-cache x I-cache) "
               "states, |I| = %zu inputs\n\n",
-              setup.matrix.numStates(), setup.matrix.numInputs());
+              matrix.numStates(), matrix.numInputs());
 
   core::Histogram h(d.bcet, d.wcet + 1, 16);
-  h.addAll(setup.matrix.values());
+  h.addAll(matrix.values());
   std::printf("frequency over exec time (the Figure 1 curve):\n%s\n",
               h.render(48).c_str());
 
@@ -68,9 +82,9 @@ void runFigure1() {
   bench::printKV("ordering LB<=BCET<=WCET<=UB holds",
                  d.wellFormed() ? "yes" : "NO (UNSOUND)");
 
-  const auto pr = core::timingPredictability(setup.matrix);
-  const auto si = core::stateInducedPredictability(setup.matrix);
-  const auto ii = core::inputInducedPredictability(setup.matrix);
+  const auto pr = core::timingPredictability(matrix);
+  const auto si = core::stateInducedPredictability(matrix);
+  const auto ii = core::inputInducedPredictability(matrix);
   std::printf("\npredictability of this system (Defs. 3-5):\n");
   bench::printKV("Pr  (Def. 3)", core::fmt(pr.value, 4));
   bench::printKV("SIPr (Def. 4)", core::fmt(si.value, 4));
@@ -82,7 +96,7 @@ void runFigure1() {
   auto naive = bi;
   naive.useCacheClassification = false;
   const auto dNaive = analysis::figure1Decomposition(
-      cfg, naive, setup.matrix.bcet(), setup.matrix.wcet());
+      cfg, naive, matrix.bcet(), matrix.wcet());
   std::printf("\nanalysis-quality ablation (same system, weaker analysis):\n");
   bench::printKV("UB with cache analysis", std::to_string(d.upperBound));
   bench::printKV("UB without cache analysis (all-miss)",
@@ -98,11 +112,17 @@ void BM_ExhaustiveMatrix(benchmark::State& state) {
       isa::workloads::linearSearch(state.range(0)));
   auto inputs = isa::workloads::randomArrayInputs(prog, "a", state.range(0),
                                                   8, 7, 12);
+  exp::PlatformOptions popts;
+  popts.numStates = 8;
+  popts.seed = 3;
   for (auto _ : state) {
-    auto setup = analysis::exhaustiveInOrder(
-        prog, inputs, cache::CacheGeometry{4, 8, 2}, cache::Policy::LRU,
-        cache::CacheTiming{1, 10}, 8, 3, pipeline::InOrderConfig{});
-    benchmark::DoNotOptimize(setup.matrix.wcet());
+    // Fresh model + engine per iteration: the measurement includes state
+    // enumeration and trace computation, like the pre-engine code did.
+    const auto model =
+        exp::PlatformRegistry::instance().make("inorder-lru", prog, popts);
+    exp::ExperimentEngine engine;
+    benchmark::DoNotOptimize(
+        engine.computeMatrix(*model, prog, inputs).wcet());
   }
 }
 BENCHMARK(BM_ExhaustiveMatrix)->Arg(8)->Arg(16);

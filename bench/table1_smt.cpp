@@ -4,14 +4,21 @@
 // al. [16]).  Property: execution time of tasks in the real-time thread.
 // Uncertainty: execution context (the other threads).  Quality measure:
 // variability in execution times — zero under the RT-priority policy.
+//
+// Ported onto the experiment engine: the execution contexts ARE the
+// hardware-state axis Q of the "smt-rr" / "smt-rtprio" platforms, so the
+// row's variability claim is simply the state-induced predictability
+// (Def. 4) of the resulting timing matrix — SIPr = 1 under RT priority,
+// SIPr < 1 under round-robin.
 
 #include "bench_common.h"
+#include "core/definitions.h"
 #include "core/measures.h"
 #include "core/report.h"
+#include "exp/engine.h"
+#include "exp/platform.h"
 #include "isa/ast.h"
-#include "isa/exec.h"
 #include "isa/workloads.h"
-#include "pipeline/smt.h"
 
 namespace {
 
@@ -31,35 +38,26 @@ void runRow() {
   bench::printInstance(inst);
 
   const auto rtProg = isa::ast::compileBranchy(isa::workloads::sumLoop(24));
-  const auto bg1 = isa::ast::compileBranchy(isa::workloads::matMul(4));
-  const auto bg2 = isa::ast::compileBranchy(isa::workloads::bubbleSort(8));
-  const auto bg3 = isa::ast::compileBranchy(isa::workloads::divKernel(12));
-  const auto tRt = isa::FunctionalCore::run(rtProg, isa::Input{}).trace;
-  const auto t1 = isa::FunctionalCore::run(bg1, isa::Input{}).trace;
-  const auto t2 = isa::FunctionalCore::run(bg2, isa::Input{}).trace;
-  const auto t3 = isa::FunctionalCore::run(bg3, isa::Input{}).trace;
+  const std::vector<isa::Input> inputs = {isa::Input{}};
 
-  const std::vector<std::pair<std::string,
-                              std::vector<const isa::Trace*>>> contexts = {
-      {"RT alone", {&tRt}},
-      {"RT + matMul", {&tRt, &t1}},
-      {"RT + 2 threads", {&tRt, &t1, &t2}},
-      {"RT + 3 threads", {&tRt, &t1, &t2, &t3}},
-  };
+  exp::PlatformOptions opts;
+  opts.numStates = 4;  // contexts: RT alone, +1, +2, +3 co-runners
+  const auto& registry = exp::PlatformRegistry::instance();
+  const auto prioModel = registry.make("smt-rtprio", rtProg, opts);
+  const auto rrModel = registry.make("smt-rr", rtProg, opts);
+
+  exp::ExperimentEngine engine;
+  const auto mPrio = engine.computeMatrix(*prioModel, rtProg, inputs);
+  const auto mRr = engine.computeMatrix(*rrModel, rtProg, inputs);
 
   core::TextTable t({"execution context", "RT time (rt-priority)",
                      "RT time (round-robin)"});
   std::vector<Cycles> prio, rr;
-  for (const auto& [name, threads] : contexts) {
-    pipeline::SmtConfig cp;
-    cp.policy = pipeline::SmtPolicy::RtPriority;
-    pipeline::SmtConfig cr;
-    cr.policy = pipeline::SmtPolicy::RoundRobin;
-    const auto dp = pipeline::SmtPipeline(cp).run(threads);
-    const auto dr = pipeline::SmtPipeline(cr).run(threads);
-    prio.push_back(dp[0]);
-    rr.push_back(dr[0]);
-    t.addRow({name, std::to_string(dp[0]), std::to_string(dr[0])});
+  for (std::size_t q = 0; q < mPrio.numStates(); ++q) {
+    prio.push_back(mPrio.at(q, 0));
+    rr.push_back(mRr.at(q, 0));
+    t.addRow({prioModel->stateLabel(q), std::to_string(mPrio.at(q, 0)),
+              std::to_string(mRr.at(q, 0))});
   }
   std::printf("%s", t.render().c_str());
 
@@ -69,25 +67,30 @@ void runRow() {
                  core::fmt(sp.range(), 0) + " cycles");
   bench::printKV("RT-thread variability (round-robin)",
                  core::fmt(sr.range(), 0) + " cycles");
+  bench::printKV("SIPr over contexts (rt-priority)",
+                 core::fmt(core::stateInducedPredictability(mPrio).value, 4));
+  bench::printKV("SIPr over contexts (round-robin)",
+                 core::fmt(core::stateInducedPredictability(mRr).value, 4));
   std::printf(
       "shape reproduced: with the real-time thread prioritized, its\n"
       "execution time is context-independent (zero interference); under\n"
       "fair round-robin it degrades as co-runner threads are added.\n");
 }
 
-void BM_SmtRun(benchmark::State& state) {
+void BM_SmtMatrix(benchmark::State& state) {
   const auto rtProg = isa::ast::compileBranchy(isa::workloads::sumLoop(24));
-  const auto bg = isa::ast::compileBranchy(isa::workloads::matMul(4));
-  const auto tRt = isa::FunctionalCore::run(rtProg, isa::Input{}).trace;
-  const auto tBg = isa::FunctionalCore::run(bg, isa::Input{}).trace;
-  pipeline::SmtConfig cfg;
-  cfg.policy = pipeline::SmtPolicy::RtPriority;
-  pipeline::SmtPipeline smt(cfg);
+  const std::vector<isa::Input> inputs = {isa::Input{}};
+  exp::PlatformOptions opts;
+  opts.numStates = 8;
+  const auto model =
+      exp::PlatformRegistry::instance().make("smt-rtprio", rtProg, opts);
+  exp::ExperimentEngine engine;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(smt.run({&tRt, &tBg, &tBg, &tBg}));
+    benchmark::DoNotOptimize(
+        engine.computeMatrix(*model, rtProg, inputs).wcet());
   }
 }
-BENCHMARK(BM_SmtRun);
+BENCHMARK(BM_SmtMatrix);
 
 }  // namespace
 

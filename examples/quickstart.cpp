@@ -3,19 +3,21 @@
 // 1. Author a small structured program (AST).
 // 2. Compile it to the mini ISA.
 // 3. Define the uncertainty of Definition 2: a set Q of initial hardware
-//    states (cache contents) and a set I of program inputs.
-// 4. Evaluate T_p(q, i) exhaustively on the in-order pipeline.
+//    states (a named Platform preset enumerates them) and a set I of
+//    program inputs.
+// 4. Evaluate T_p(q, i) exhaustively with the parallel ExperimentEngine.
 // 5. Compute the paper's predictability measures (Definitions 3-5) and the
 //    Figure 1 bound decomposition.
 //
-// Build & run:   ./build/examples/quickstart
+// Build & run:   ./build/example_quickstart
 
 #include <cstdio>
 
-#include "analysis/exhaustive.h"
 #include "analysis/wcet_bounds.h"
 #include "core/definitions.h"
 #include "core/measures.h"
+#include "exp/engine.h"
+#include "exp/platform.h"
 #include "isa/ast.h"
 #include "isa/workloads.h"
 
@@ -43,27 +45,34 @@ int main() {
   // --- 3. Uncertainty sets Q and I. ---------------------------------------
   const auto inputs =
       isa::workloads::randomArrayInputs(program, "data", 8, 10, 1, 20);
-  // Q: 8 initial LRU-cache states (state 0 = empty, others warmed).
+  // Q: 8 initial LRU-cache states (state 0 = empty, others warmed),
+  // enumerated by the "inorder-lru" platform preset.
+  exp::PlatformOptions popts;
+  popts.numStates = 8;
+  popts.seed = 7;
+  popts.dataGeom = cache::CacheGeometry{4, 8, 2};
+  popts.dataTiming = cache::CacheTiming{1, 10};
+  const auto model =
+      exp::PlatformRegistry::instance().make("inorder-lru", program, popts);
 
   // --- 4. Exhaustive evaluation of T_p(q, i). -----------------------------
-  analysis::BoundsInputs config;
-  config.dataCacheGeom = cache::CacheGeometry{4, 8, 2};
-  config.cacheTiming = cache::CacheTiming{1, 10};
-  const auto setup = analysis::exhaustiveInOrder(
-      program, inputs, config.dataCacheGeom, cache::Policy::LRU,
-      config.cacheTiming, 8, 7, config.pipeConfig);
+  exp::ExperimentEngine engine;  // thread-pooled; bit-identical to serial
+  const auto matrix = engine.computeMatrix(*model, program, inputs);
 
   // --- 5. Predictability measures. ----------------------------------------
-  const auto pr = core::timingPredictability(setup.matrix);
-  const auto sipr = core::stateInducedPredictability(setup.matrix);
-  const auto iipr = core::inputInducedPredictability(setup.matrix);
+  const auto pr = core::timingPredictability(matrix);
+  const auto sipr = core::stateInducedPredictability(matrix);
+  const auto iipr = core::inputInducedPredictability(matrix);
   std::printf("Pr   (Def. 3) = %.4f   %s\n", pr.value, pr.summary().c_str());
   std::printf("SIPr (Def. 4) = %.4f\n", sipr.value);
   std::printf("IIPr (Def. 5) = %.4f\n", iipr.value);
 
+  analysis::BoundsInputs config;
+  config.dataCacheGeom = popts.dataGeom;
+  config.cacheTiming = popts.dataTiming;
   isa::Cfg cfg(program);
   const auto fig1 = analysis::figure1Decomposition(
-      cfg, config, setup.matrix.bcet(), setup.matrix.wcet());
+      cfg, config, matrix.bcet(), matrix.wcet());
   std::printf("Figure-1 decomposition: %s\n", fig1.summary().c_str());
   return 0;
 }

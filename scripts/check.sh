@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# check.sh — local tier-1 verify: configure, build, test.
+#
+# Usage:  scripts/check.sh [--asan]
+#   --asan   build with Address+UB sanitizers into build-asan/
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=build
+CMAKE_ARGS=""
+if [ "${1:-}" = "--asan" ]; then
+  BUILD_DIR=build-asan
+  CMAKE_ARGS="-DPRED_SANITIZE=ON"
+fi
+
+cmake -B "$BUILD_DIR" -S . $CMAKE_ARGS
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"

@@ -1,9 +1,11 @@
 #include "analysis/exhaustive.h"
 
 #include <algorithm>
+#include <stdexcept>
 
+#include "exp/engine.h"
+#include "exp/platform.h"
 #include "isa/exec.h"
-#include "pipeline/memory_iface.h"
 
 namespace pred::analysis {
 
@@ -11,32 +13,21 @@ core::TimingMatrix timingMatrixInOrder(
     const isa::Program& program, const std::vector<isa::Input>& inputs,
     const std::vector<InOrderHwState>& states,
     const pipeline::InOrderConfig& config) {
-  // Architectural traces depend on the input only.
-  std::vector<isa::Trace> traces;
-  traces.reserve(inputs.size());
-  for (const auto& in : inputs) {
-    auto run = isa::FunctionalCore::run(program, in);
-    if (!run.completed) {
-      throw std::runtime_error("program did not halt for input " + in.name);
-    }
-    traces.push_back(std::move(run.trace));
-  }
-
-  core::TimingMatrix m(states.size(), inputs.size());
+  // Delegates to the experiment engine: one shared per-cell evaluator
+  // (exp::InOrderSnapshotModel) and memoized functional traces, identical
+  // results to the historical hand-rolled loop.
+  std::vector<exp::InOrderSnapshotModel::State> modelStates;
+  modelStates.reserve(states.size());
   for (std::size_t q = 0; q < states.size(); ++q) {
-    for (std::size_t i = 0; i < inputs.size(); ++i) {
-      pipeline::CachedMemory mem(states[q].cache);  // fresh copy of state q
-      std::unique_ptr<branch::Predictor> pred =
-          states[q].predictor ? states[q].predictor->clone() : nullptr;
-      std::unique_ptr<pipeline::CachedMemory> imem;
-      if (states[q].icache) {
-        imem = std::make_unique<pipeline::CachedMemory>(*states[q].icache);
-      }
-      pipeline::InOrderPipeline pipe(config, &mem, pred.get(), imem.get());
-      m.at(q, i) = pipe.run(traces[i]);
-    }
+    modelStates.push_back(exp::InOrderSnapshotModel::State{
+        states[q].cache, states[q].icache,
+        states[q].predictor ? states[q].predictor->clone() : nullptr,
+        "q" + std::to_string(q)});
   }
-  return m;
+  const exp::InOrderSnapshotModel model("exhaustive-inorder", config,
+                                        std::move(modelStates));
+  exp::ExperimentEngine engine;
+  return engine.computeMatrix(model, program, inputs);
 }
 
 ExhaustiveSetup exhaustiveInOrder(const isa::Program& program,

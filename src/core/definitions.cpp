@@ -25,10 +25,12 @@ TimingMatrix TimingMatrix::compute(const TimingFunction& fn,
 }
 
 Cycles TimingMatrix::bcet() const {
+  if (t_.empty()) return 0;
   return *std::min_element(t_.begin(), t_.end());
 }
 
 Cycles TimingMatrix::wcet() const {
+  if (t_.empty()) return 0;
   return *std::max_element(t_.begin(), t_.end());
 }
 

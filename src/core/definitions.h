@@ -59,6 +59,10 @@ class TimingMatrix {
   /// All T values flattened (for histograms).
   const std::vector<Cycles>& values() const { return t_; }
 
+  /// Exact (bit-for-bit) equality of dimensions and every cell — how the
+  /// engine tests state that parallel and serial evaluation agree.
+  bool operator==(const TimingMatrix&) const = default;
+
  private:
   std::size_t nQ_, nI_;
   std::vector<Cycles> t_;

@@ -1,0 +1,100 @@
+#include "exp/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+namespace pred::exp {
+
+namespace {
+
+/// Runs fn(0..numItems-1) on up to maxWorkers threads pulling items from an
+/// atomic cursor.  The first exception is rethrown in the caller after all
+/// workers join.  maxWorkers <= 1 runs inline.
+void parallelFor(std::size_t numItems, int maxWorkers,
+                 const std::function<void(std::size_t)>& fn) {
+  const int workers = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(std::max(maxWorkers, 1)), numItems));
+  if (workers <= 1) {
+    for (std::size_t k = 0; k < numItems; ++k) fn(k);
+    return;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr firstError;
+  std::mutex errorMu;
+  auto worker = [&] {
+    try {
+      for (std::size_t k = cursor.fetch_add(1);
+           k < numItems && !failed.load(std::memory_order_relaxed);
+           k = cursor.fetch_add(1)) {
+        fn(k);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(errorMu);
+      if (!firstError) firstError = std::current_exception();
+      failed.store(true, std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace
+
+ExperimentEngine::ExperimentEngine(EngineConfig config) : config_(config) {
+  if (config_.tileStates == 0) config_.tileStates = 1;
+  if (config_.tileInputs == 0) config_.tileInputs = 1;
+}
+
+int ExperimentEngine::resolvedThreads() const {
+  if (config_.threads > 0) return config_.threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+core::TimingMatrix ExperimentEngine::computeMatrix(
+    const TimingModel& model,
+    const std::vector<const isa::Trace*>& traces) const {
+  const std::size_t nQ = model.numStates();
+  const std::size_t nI = traces.size();
+  core::TimingMatrix m(nQ, nI);
+  if (nQ == 0 || nI == 0) return m;
+
+  const std::size_t tilesQ = (nQ + config_.tileStates - 1) / config_.tileStates;
+  const std::size_t tilesI = (nI + config_.tileInputs - 1) / config_.tileInputs;
+  parallelFor(tilesQ * tilesI, resolvedThreads(), [&](std::size_t tile) {
+    const std::size_t q0 = (tile / tilesI) * config_.tileStates;
+    const std::size_t i0 = (tile % tilesI) * config_.tileInputs;
+    const std::size_t q1 = std::min(nQ, q0 + config_.tileStates);
+    const std::size_t i1 = std::min(nI, i0 + config_.tileInputs);
+    for (std::size_t q = q0; q < q1; ++q) {
+      for (std::size_t i = i0; i < i1; ++i) {
+        m.at(q, i) = model.time(q, *traces[i]);
+      }
+    }
+  });
+  return m;
+}
+
+core::TimingMatrix ExperimentEngine::computeMatrix(
+    const TimingModel& model, const isa::Program& program,
+    const std::vector<isa::Input>& inputs) {
+  // Fill the store on the worker pool too: trace computation is the other
+  // substantial cost, and the store is thread-safe.
+  std::vector<const isa::Trace*> traces(inputs.size(), nullptr);
+  parallelFor(inputs.size(), resolvedThreads(), [&](std::size_t i) {
+    traces[i] = &store_.traceFor(program, inputs[i]);
+  });
+  return computeMatrix(model, traces);
+}
+
+}  // namespace pred::exp

@@ -1,0 +1,64 @@
+#pragma once
+// engine.h — Parallel computation of timing matrices.
+//
+// Definitions 3–5 are minima over the full Q×I cross product of T_p(q, i) —
+// an embarrassingly parallel computation.  The ExperimentEngine evaluates a
+// TimingModel over Q×I on a fixed-size thread pool with deterministic
+// tiling: the matrix cells are partitioned into tiles up front, workers pull
+// tiles from an atomic cursor, and every cell's value and storage slot are
+// fixed before any thread starts.  Because each cell is written exactly once
+// to its own slot by a deterministic evaluator, the parallel result is
+// bit-identical to the serial one for any thread count or tile shape — the
+// property the engine tests assert cell-for-cell.
+//
+// The engine owns a TraceStore (trace_store.h) so the functional trace of
+// each input is computed once and replayed across all hardware states and
+// across every matrix the engine computes — the memoization that removes
+// redundant FunctionalCore::run calls from the inner loop.
+
+#include <cstddef>
+#include <vector>
+
+#include "core/definitions.h"
+#include "exp/platform.h"
+#include "exp/trace_store.h"
+
+namespace pred::exp {
+
+struct EngineConfig {
+  /// Worker threads; 0 = hardware concurrency, 1 = serial (no threads
+  /// spawned).
+  int threads = 0;
+  /// Tile shape (states x inputs per work item).  Purely a scheduling
+  /// granularity knob; never affects results.
+  std::size_t tileStates = 4;
+  std::size_t tileInputs = 8;
+};
+
+class ExperimentEngine {
+ public:
+  explicit ExperimentEngine(EngineConfig config = {});
+
+  /// T over Q x I for pre-computed traces (I given as trace pointers).
+  core::TimingMatrix computeMatrix(
+      const TimingModel& model,
+      const std::vector<const isa::Trace*>& traces) const;
+
+  /// T over Q x I for a program and input set; functional traces come from
+  /// the engine's memoizing TraceStore.
+  core::TimingMatrix computeMatrix(const TimingModel& model,
+                                   const isa::Program& program,
+                                   const std::vector<isa::Input>& inputs);
+
+  /// Threads a computeMatrix call will actually use.
+  int resolvedThreads() const;
+
+  const EngineConfig& config() const { return config_; }
+  TraceStore& traceStore() { return store_; }
+
+ private:
+  EngineConfig config_;
+  TraceStore store_;
+};
+
+}  // namespace pred::exp

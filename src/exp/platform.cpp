@@ -1,0 +1,343 @@
+#include "exp/platform.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "branch/dynamic.h"
+#include "isa/ast.h"
+#include "isa/workloads.h"
+#include "pipeline/memory_iface.h"
+
+namespace pred::exp {
+
+std::string TimingModel::stateLabel(std::size_t q) const {
+  return "q" + std::to_string(q);
+}
+
+Cycles InOrderSnapshotModel::time(std::size_t q,
+                                  const isa::Trace& trace) const {
+  const State& s = states_[q];
+  pipeline::CachedMemory mem(s.cache);  // fresh copy of the snapshot
+  std::unique_ptr<branch::Predictor> predictor =
+      s.predictor ? s.predictor->clone() : nullptr;
+  std::unique_ptr<pipeline::CachedMemory> imem;
+  if (s.icache) imem = std::make_unique<pipeline::CachedMemory>(*s.icache);
+  pipeline::InOrderPipeline pipe(config_, &mem, predictor.get(), imem.get());
+  return pipe.run(trace);
+}
+
+namespace {
+
+std::int64_t dataWarmSpace(const isa::Program& program,
+                           const cache::CacheGeometry& geom,
+                           std::int64_t requested) {
+  if (requested > 0) return requested;
+  return std::min(program.layout.memWords, 8 * geom.capacityWords());
+}
+
+std::int64_t instrWarmSpace(const isa::Program& program,
+                            const cache::CacheGeometry& geom) {
+  return std::max<std::int64_t>(static_cast<std::int64_t>(program.size()),
+                                2 * geom.capacityWords());
+}
+
+// ---------------------------------------------------------------- in-order
+
+std::unique_ptr<TimingModel> makeInOrderCached(const std::string& name,
+                                               cache::Policy policy,
+                                               bool withICache,
+                                               bool withBimodal,
+                                               const isa::Program& program,
+                                               const PlatformOptions& opts) {
+  auto caches = cache::enumerateInitialStates(
+      opts.dataGeom, policy, opts.dataTiming, opts.numStates, opts.seed,
+      dataWarmSpace(program, opts.dataGeom, opts.warmAddrSpace));
+  std::vector<cache::SetAssocCache> icaches;
+  if (withICache) {
+    icaches = cache::enumerateInitialStates(
+        opts.instrGeom, policy, opts.instrTiming, opts.numStates,
+        opts.seed * 31 + 7, instrWarmSpace(program, opts.instrGeom));
+  }
+  std::vector<InOrderSnapshotModel::State> states;
+  states.reserve(caches.size());
+  for (std::size_t k = 0; k < caches.size(); ++k) {
+    InOrderSnapshotModel::State s{std::move(caches[k]), std::nullopt,
+                                  nullptr, "cache#" + std::to_string(k)};
+    if (withICache) {
+      s.icache = std::move(icaches[k]);
+      s.label += "+ic";
+    }
+    if (withBimodal) {
+      // Enumerate the predictor-table part of q: initial counter k mod 4.
+      s.predictor = std::make_shared<branch::BimodalPredictor>(
+          64, static_cast<int>(k % 4));
+      s.label += "+bim" + std::to_string(k % 4);
+    }
+    states.push_back(std::move(s));
+  }
+  return std::make_unique<InOrderSnapshotModel>(name, opts.inorder,
+                                                std::move(states));
+}
+
+/// In-order pipeline over a scratchpad: constant memory latency, no
+/// enumerable hardware state (|Q| = 1) — the state-predictable reference.
+class ScratchpadModel : public TimingModel {
+ public:
+  ScratchpadModel(pipeline::InOrderConfig config, Cycles latency)
+      : config_(config), latency_(latency) {}
+
+  std::string name() const override { return "inorder-scratchpad"; }
+  std::size_t numStates() const override { return 1; }
+  std::string stateLabel(std::size_t) const override { return "scratchpad"; }
+
+  Cycles time(std::size_t, const isa::Trace& trace) const override {
+    pipeline::FixedLatencyMemory mem(latency_);
+    pipeline::InOrderPipeline pipe(config_, &mem);
+    return pipe.run(trace);
+  }
+
+ private:
+  pipeline::InOrderConfig config_;
+  Cycles latency_;
+};
+
+// ------------------------------------------------------------ out-of-order
+
+/// Out-of-order pipeline; q pairs a cache snapshot with an initial
+/// unit-occupancy residue (the domino-effect state of Section 2.2).
+class OooModel : public TimingModel {
+ public:
+  struct State {
+    cache::SetAssocCache cache;
+    pipeline::OooInitialState occupancy;
+    std::string label;
+  };
+
+  OooModel(std::string name, pipeline::OooConfig config,
+           std::vector<State> states)
+      : name_(std::move(name)),
+        config_(config),
+        states_(std::move(states)) {}
+
+  std::string name() const override { return name_; }
+  std::size_t numStates() const override { return states_.size(); }
+  std::string stateLabel(std::size_t q) const override {
+    return states_[q].label;
+  }
+
+  Cycles time(std::size_t q, const isa::Trace& trace) const override {
+    const State& s = states_[q];
+    pipeline::CachedMemory mem(s.cache);
+    pipeline::OooPipeline pipe(config_, &mem);
+    return pipe.run(trace, s.occupancy);
+  }
+
+ private:
+  std::string name_;
+  pipeline::OooConfig config_;
+  std::vector<State> states_;
+};
+
+std::unique_ptr<TimingModel> makeOoo(const std::string& name,
+                                     cache::Policy policy,
+                                     const isa::Program& program,
+                                     const PlatformOptions& opts) {
+  auto caches = cache::enumerateInitialStates(
+      opts.dataGeom, policy, opts.dataTiming, opts.numStates, opts.seed,
+      dataWarmSpace(program, opts.dataGeom, opts.warmAddrSpace));
+  std::vector<OooModel::State> states;
+  states.reserve(caches.size());
+  for (std::size_t k = 0; k < caches.size(); ++k) {
+    // Deterministic occupancy residue per index: cycles until IU0/IU1/LSU
+    // free, the enumerable leftover of previously executing code.
+    pipeline::OooInitialState occ{k % 4, (k / 2) % 3, (k / 3) % 2};
+    states.push_back(OooModel::State{
+        std::move(caches[k]), occ,
+        "cache#" + std::to_string(k) + "+occ" + std::to_string(occ.iu0Busy) +
+            std::to_string(occ.iu1Busy) + std::to_string(occ.lsuBusy)});
+  }
+  return std::make_unique<OooModel>(name, opts.ooo, std::move(states));
+}
+
+// ------------------------------------------------------------------- PRET
+
+/// PRET thread-interleaved pipeline; q = the hardware-thread slot the
+/// program runs in.  Per the PRET guarantee the slot is the ONLY state the
+/// timing can depend on.
+class PretModel : public TimingModel {
+ public:
+  PretModel(pipeline::PretConfig config, std::size_t numSlots)
+      : config_(config), numSlots_(numSlots) {}
+
+  std::string name() const override { return "pret"; }
+  std::size_t numStates() const override { return numSlots_; }
+  std::string stateLabel(std::size_t q) const override {
+    return "slot" + std::to_string(q);
+  }
+
+  Cycles time(std::size_t q, const isa::Trace& trace) const override {
+    return pipeline::PretPipeline(config_).threadTime(trace,
+                                                      static_cast<int>(q));
+  }
+
+ private:
+  pipeline::PretConfig config_;
+  std::size_t numSlots_;
+};
+
+// -------------------------------------------------------------------- SMT
+
+/// SMT pipeline; q = the execution context, i.e. which co-runner traces
+/// occupy the non-real-time threads.  The program under measurement is
+/// always thread 0.
+class SmtModel : public TimingModel {
+ public:
+  SmtModel(std::string name, pipeline::SmtConfig config, int numContexts)
+      : name_(std::move(name)), config_(config) {
+    // Fixed co-runner pool; contexts are the prefixes and singletons of it,
+    // deterministic and independent of the measured program.
+    const std::pair<const char*, isa::ast::AstProgram> pool[] = {
+        {"matMul", isa::workloads::matMul(4)},
+        {"bubbleSort", isa::workloads::bubbleSort(8)},
+        {"divKernel", isa::workloads::divKernel(12)},
+    };
+    for (const auto& [bgName, ast] : pool) {
+      auto run = isa::FunctionalCore::run(isa::ast::compileBranchy(ast),
+                                          isa::Input{});
+      bgTraces_.push_back(std::move(run.trace));
+      bgNames_.emplace_back(bgName);
+    }
+    const std::vector<std::vector<std::size_t>> contextPool = {
+        {}, {0}, {0, 1}, {0, 1, 2}, {1}, {2}, {1, 2}, {0, 2}};
+    const std::size_t n = std::min<std::size_t>(
+        contextPool.size(),
+        static_cast<std::size_t>(std::max(numContexts, 1)));
+    contexts_.assign(contextPool.begin(), contextPool.begin() + n);
+  }
+
+  std::string name() const override { return name_; }
+  std::size_t numStates() const override { return contexts_.size(); }
+  std::string stateLabel(std::size_t q) const override {
+    std::string label = "RT";
+    for (std::size_t b : contexts_[q]) label += "+" + bgNames_[b];
+    return label;
+  }
+
+  Cycles time(std::size_t q, const isa::Trace& trace) const override {
+    std::vector<const isa::Trace*> threads = {&trace};
+    for (std::size_t b : contexts_[q]) threads.push_back(&bgTraces_[b]);
+    return pipeline::SmtPipeline(config_).run(threads)[0];
+  }
+
+ private:
+  std::string name_;
+  pipeline::SmtConfig config_;
+  std::vector<isa::Trace> bgTraces_;
+  std::vector<std::string> bgNames_;
+  std::vector<std::vector<std::size_t>> contexts_;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------- registry
+
+PlatformRegistry::PlatformRegistry() {
+  auto addInOrder = [this](const std::string& name, cache::Policy policy,
+                           bool icache, bool bimodal,
+                           const std::string& description) {
+    add(Platform{name, description,
+                 [name, policy, icache, bimodal](
+                     const isa::Program& p, const PlatformOptions& o) {
+                   return makeInOrderCached(name, policy, icache, bimodal, p,
+                                            o);
+                 }});
+  };
+  addInOrder("inorder-lru", cache::Policy::LRU, false, false,
+             "in-order pipeline, LRU data cache");
+  addInOrder("inorder-fifo", cache::Policy::FIFO, false, false,
+             "in-order pipeline, FIFO data cache");
+  addInOrder("inorder-plru", cache::Policy::PLRU, false, false,
+             "in-order pipeline, PLRU data cache");
+  addInOrder("inorder-random", cache::Policy::RANDOM, false, false,
+             "in-order pipeline, random-replacement data cache");
+  addInOrder("inorder-lru-icache", cache::Policy::LRU, true, false,
+             "in-order pipeline, split LRU D-cache + I-cache (Figure 1)");
+  addInOrder("inorder-lru-bimodal", cache::Policy::LRU, false, true,
+             "in-order pipeline, LRU data cache + bimodal predictor");
+  add(Platform{"inorder-scratchpad",
+               "in-order pipeline over a fixed-latency scratchpad (|Q| = 1)",
+               [](const isa::Program&, const PlatformOptions& o) {
+                 return std::make_unique<ScratchpadModel>(
+                     o.inorder, o.scratchpadLatency);
+               }});
+  add(Platform{"ooo-lru",
+               "out-of-order pipeline, LRU data cache x unit occupancies",
+               [](const isa::Program& p, const PlatformOptions& o) {
+                 return makeOoo("ooo-lru", cache::Policy::LRU, p, o);
+               }});
+  add(Platform{"ooo-fifo",
+               "out-of-order pipeline, FIFO data cache x unit occupancies",
+               [](const isa::Program& p, const PlatformOptions& o) {
+                 return makeOoo("ooo-fifo", cache::Policy::FIFO, p, o);
+               }});
+  add(Platform{"pret",
+               "PRET thread-interleaved pipeline; Q = thread slots",
+               [](const isa::Program&, const PlatformOptions& o) {
+                 const auto slots = static_cast<std::size_t>(std::clamp(
+                     o.numStates, 1, o.pret.numThreads));
+                 return std::make_unique<PretModel>(o.pret, slots);
+               }});
+  auto addSmt = [this](const std::string& name, pipeline::SmtPolicy policy,
+                       const std::string& description) {
+    add(Platform{name, description,
+                 [name, policy](const isa::Program&,
+                                const PlatformOptions& o) {
+                   pipeline::SmtConfig cfg = o.smt;
+                   cfg.policy = policy;
+                   return std::make_unique<SmtModel>(name, cfg,
+                                                     o.numStates);
+                 }});
+  };
+  addSmt("smt-rr", pipeline::SmtPolicy::RoundRobin,
+         "SMT, fair round-robin issue; Q = co-runner contexts");
+  addSmt("smt-rtprio", pipeline::SmtPolicy::RtPriority,
+         "SMT, RT-priority issue; Q = co-runner contexts");
+}
+
+PlatformRegistry& PlatformRegistry::instance() {
+  static PlatformRegistry registry;
+  return registry;
+}
+
+void PlatformRegistry::add(Platform platform) {
+  if (find(platform.name) != nullptr) {
+    throw std::invalid_argument("duplicate platform: " + platform.name);
+  }
+  platforms_.push_back(std::move(platform));
+}
+
+const Platform* PlatformRegistry::find(const std::string& name) const {
+  for (const auto& p : platforms_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::unique_ptr<TimingModel> PlatformRegistry::make(
+    const std::string& name, const isa::Program& program,
+    const PlatformOptions& options) const {
+  const Platform* p = find(name);
+  if (p == nullptr) throw std::invalid_argument("unknown platform: " + name);
+  return p->make(program, options);
+}
+
+std::vector<std::string> PlatformRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(platforms_.size());
+  for (const auto& p : platforms_) out.push_back(p.name);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pred::exp

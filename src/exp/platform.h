@@ -1,0 +1,163 @@
+#pragma once
+// platform.h — Platforms: named hardware compositions behind one timing
+// interface.
+//
+// Definition 2's T_p(q, i) is parameterized by a *system* — a pipeline, a
+// memory hierarchy, a branch predictor, co-runner threads.  The seed benches
+// each hand-wired their own composition; a Platform packages one composition
+// as a factory that, given a program, produces a TimingModel: an enumerated
+// hardware-state set Q plus a thread-safe evaluator of T(q, trace).  The
+// PlatformRegistry names the compositions (presets like "inorder-lru",
+// "ooo-fifo", "pret", "smt-rr") so experiments, scenario grids, and tests
+// select hardware by string — the config-driven "analysis over a platform
+// context" shape of the OTAWA-style drivers.
+//
+// Thread-safety contract: TimingModel::time(q, trace) must be callable
+// concurrently from many threads (the ExperimentEngine does exactly that).
+// Models therefore treat their enumerated states as immutable snapshots and
+// build fresh mutable hardware (cache copies, predictor clones, pipeline
+// objects) per call.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cache/geometry.h"
+#include "cache/policy.h"
+#include "cache/set_assoc.h"
+#include "isa/exec.h"
+#include "isa/program.h"
+#include "pipeline/inorder.h"
+#include "pipeline/ooo.h"
+#include "pipeline/pret.h"
+#include "pipeline/smt.h"
+
+namespace pred::exp {
+
+using Cycles = std::uint64_t;
+
+/// One system instantiated for one program: an enumerated hardware-state
+/// set Q and the timing evaluator over it.
+class TimingModel {
+ public:
+  virtual ~TimingModel() = default;
+
+  virtual std::string name() const = 0;
+
+  /// |Q| — the enumerated initial hardware states.
+  virtual std::size_t numStates() const = 0;
+
+  /// Human-readable label of state q (reports and witnesses).
+  virtual std::string stateLabel(std::size_t q) const;
+
+  /// T(q, trace): cycles to execute the dynamic trace starting from
+  /// hardware state q.  Deterministic and safe to call concurrently.
+  virtual Cycles time(std::size_t q, const isa::Trace& trace) const = 0;
+};
+
+/// In-order pipeline over explicit snapshot states: data cache, optional
+/// I-cache, optional predictor prototype (cloned per evaluation).  The
+/// cached in-order presets build on this, and analysis::timingMatrixInOrder
+/// delegates to it, so the engine and the legacy exhaustive path share one
+/// per-cell evaluator.
+class InOrderSnapshotModel : public TimingModel {
+ public:
+  struct State {
+    cache::SetAssocCache cache;
+    std::optional<cache::SetAssocCache> icache;
+    std::shared_ptr<const branch::Predictor> predictor;
+    std::string label;
+  };
+
+  InOrderSnapshotModel(std::string name, pipeline::InOrderConfig config,
+                       std::vector<State> states)
+      : name_(std::move(name)), config_(config), states_(std::move(states)) {}
+
+  std::string name() const override { return name_; }
+  std::size_t numStates() const override { return states_.size(); }
+  std::string stateLabel(std::size_t q) const override {
+    return states_[q].label;
+  }
+  Cycles time(std::size_t q, const isa::Trace& trace) const override;
+
+ private:
+  std::string name_;
+  pipeline::InOrderConfig config_;
+  std::vector<State> states_;
+};
+
+/// Knobs shared by all platform factories.  Presets interpret the subset
+/// that applies to them and ignore the rest.
+struct PlatformOptions {
+  int numStates = 8;          ///< requested |Q| (stateless platforms clamp)
+  std::uint64_t seed = 1;     ///< warm-up stream seed for cache states
+  std::int64_t warmAddrSpace = 0;  ///< 0 = derive from the program layout
+
+  cache::CacheGeometry dataGeom{4, 8, 2};
+  cache::CacheTiming dataTiming{1, 10};
+  cache::CacheGeometry instrGeom{4, 8, 2};
+  cache::CacheTiming instrTiming{0, 6};
+
+  pipeline::InOrderConfig inorder;
+  pipeline::OooConfig ooo;
+  pipeline::PretConfig pret;
+  pipeline::SmtConfig smt;
+  Cycles scratchpadLatency = 2;
+};
+
+/// A named hardware composition: a factory from (program, options) to a
+/// TimingModel.
+struct Platform {
+  std::string name;
+  std::string description;
+  std::function<std::unique_ptr<TimingModel>(const isa::Program&,
+                                             const PlatformOptions&)>
+      make;
+};
+
+/// Process-wide registry of platforms, pre-populated with the built-in
+/// presets:
+///
+///   inorder-lru / inorder-fifo / inorder-plru / inorder-random
+///       in-order pipeline, data cache with the named replacement policy;
+///       Q = warmed cache snapshots
+///   inorder-lru-icache    adds an instruction cache (the Figure 1 system)
+///   inorder-lru-bimodal   adds a bimodal predictor with enumerated tables
+///   inorder-scratchpad    fixed-latency memory; |Q| = 1 (state-predictable
+///                         reference point)
+///   ooo-lru / ooo-fifo    out-of-order pipeline; Q pairs cache snapshots
+///                         with initial unit-occupancy residues
+///   pret                  thread-interleaved PRET pipeline; Q = thread slot
+///   smt-rr / smt-rtprio   SMT pipeline; Q = execution contexts (co-runner
+///                         thread sets), round-robin vs RT-priority issue
+class PlatformRegistry {
+ public:
+  /// The shared registry instance.
+  static PlatformRegistry& instance();
+
+  /// Registers a platform.  Throws std::invalid_argument on duplicates.
+  void add(Platform platform);
+
+  /// nullptr when unknown.
+  const Platform* find(const std::string& name) const;
+
+  /// Instantiates the named platform for a program.  Throws
+  /// std::invalid_argument on unknown names.
+  std::unique_ptr<TimingModel> make(const std::string& name,
+                                    const isa::Program& program,
+                                    const PlatformOptions& options = {}) const;
+
+  /// All registered names, sorted.
+  std::vector<std::string> names() const;
+
+  /// A fresh registry with only the built-in presets (tests).
+  PlatformRegistry();
+
+ private:
+  std::vector<Platform> platforms_;
+};
+
+}  // namespace pred::exp

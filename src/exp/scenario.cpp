@@ -1,0 +1,133 @@
+#include "exp/scenario.h"
+
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+#include "core/report.h"
+
+namespace pred::exp {
+
+namespace {
+
+/// RFC-4180 quoting: fields containing separators or quotes are wrapped in
+/// double quotes with inner quotes doubled.
+std::string csvField(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string jsonString(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void ScenarioSuite::addWorkload(std::string name, isa::Program program,
+                                std::vector<isa::Input> inputs) {
+  workloads_.push_back(
+      Workload{std::move(name), std::move(program), std::move(inputs)});
+}
+
+void ScenarioSuite::addPlatform(std::string platformName,
+                                PlatformOptions options) {
+  if (registry_->find(platformName) == nullptr) {
+    throw std::invalid_argument("unknown platform: " + platformName);
+  }
+  platforms_.push_back(PlatformRef{std::move(platformName), options});
+}
+
+std::vector<ScenarioResult> ScenarioSuite::run(
+    ExperimentEngine& engine) const {
+  std::vector<ScenarioResult> results;
+  results.reserve(numScenarios());
+  for (const auto& w : workloads_) {
+    for (const auto& p : platforms_) {
+      auto model = registry_->make(p.name, w.program, p.options);
+      ScenarioResult r;
+      r.workload = w.name;
+      r.platform = p.name;
+      r.matrix = engine.computeMatrix(*model, w.program, w.inputs);
+      r.numStates = r.matrix.numStates();
+      r.numInputs = r.matrix.numInputs();
+      r.bcet = r.matrix.bcet();
+      r.wcet = r.matrix.wcet();
+      r.pr = core::timingPredictability(r.matrix);
+      r.sipr = core::stateInducedPredictability(r.matrix);
+      r.iipr = core::inputInducedPredictability(r.matrix);
+      results.push_back(std::move(r));
+    }
+  }
+  return results;
+}
+
+std::string ScenarioSuite::table(const std::vector<ScenarioResult>& results) {
+  core::TextTable t({"workload", "platform", "|Q|", "|I|", "BCET", "WCET",
+                     "Pr", "SIPr", "IIPr"});
+  for (const auto& r : results) {
+    t.addRow({r.workload, r.platform, std::to_string(r.numStates),
+              std::to_string(r.numInputs), std::to_string(r.bcet),
+              std::to_string(r.wcet), core::fmt(r.pr.value, 4),
+              core::fmt(r.sipr.value, 4), core::fmt(r.iipr.value, 4)});
+  }
+  return t.render();
+}
+
+std::string ScenarioSuite::csv(const std::vector<ScenarioResult>& results) {
+  std::string out =
+      "workload,platform,num_states,num_inputs,bcet,wcet,pr,sipr,iipr\n";
+  for (const auto& r : results) {
+    out += csvField(r.workload) + ',' + csvField(r.platform) + ',' +
+           std::to_string(r.numStates) +
+           ',' + std::to_string(r.numInputs) + ',' + std::to_string(r.bcet) +
+           ',' + std::to_string(r.wcet) + ',' + core::fmt(r.pr.value, 6) +
+           ',' + core::fmt(r.sipr.value, 6) + ',' +
+           core::fmt(r.iipr.value, 6) + '\n';
+  }
+  return out;
+}
+
+std::string ScenarioSuite::json(const std::vector<ScenarioResult>& results) {
+  std::string out = "[\n";
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    const auto& r = results[k];
+    out += "  {\"workload\": " + jsonString(r.workload) +
+           ", \"platform\": " + jsonString(r.platform) +
+           ", \"num_states\": " + std::to_string(r.numStates) +
+           ", \"num_inputs\": " + std::to_string(r.numInputs) +
+           ", \"bcet\": " + std::to_string(r.bcet) +
+           ", \"wcet\": " + std::to_string(r.wcet) +
+           ", \"pr\": " + core::fmt(r.pr.value, 6) +
+           ", \"sipr\": " + core::fmt(r.sipr.value, 6) +
+           ", \"iipr\": " + core::fmt(r.iipr.value, 6) + "}";
+    out += (k + 1 < results.size()) ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+}  // namespace pred::exp

@@ -1,0 +1,85 @@
+#pragma once
+// scenario.h — Declarative workload × platform experiment grids.
+//
+// A ScenarioSuite is the outermost layer of the experiment subsystem: it
+// crosses named workloads (program + input set I) with named platforms
+// (hardware-state set Q via the PlatformRegistry), computes the timing
+// matrix of every combination on an ExperimentEngine, evaluates
+// Definitions 3–5 on each, and renders the grid as a text table, CSV, or
+// JSON for downstream tooling.  Because all scenarios share one engine,
+// the functional trace of each workload input is computed once and reused
+// across every platform in the grid (trace_store.h).
+
+#include <string>
+#include <vector>
+
+#include "core/definitions.h"
+#include "exp/engine.h"
+#include "exp/platform.h"
+
+namespace pred::exp {
+
+/// One cell of the scenario grid, fully evaluated.
+struct ScenarioResult {
+  std::string workload;
+  std::string platform;
+  std::size_t numStates = 0;
+  std::size_t numInputs = 0;
+  core::Cycles bcet = 0;
+  core::Cycles wcet = 0;
+  core::PredictabilityValue pr;    ///< Def. 3
+  core::PredictabilityValue sipr;  ///< Def. 4
+  core::PredictabilityValue iipr;  ///< Def. 5
+  core::TimingMatrix matrix{0, 0};
+};
+
+class ScenarioSuite {
+ public:
+  /// Uses the shared PlatformRegistry by default.
+  explicit ScenarioSuite(
+      const PlatformRegistry& registry = PlatformRegistry::instance())
+      : registry_(&registry) {}
+
+  /// Adds a workload: a program plus the input set I quantified over.
+  void addWorkload(std::string name, isa::Program program,
+                   std::vector<isa::Input> inputs);
+
+  /// Adds a platform by registry name.  Throws std::invalid_argument if the
+  /// name is unknown.
+  void addPlatform(std::string platformName, PlatformOptions options = {});
+
+  std::size_t numWorkloads() const { return workloads_.size(); }
+  std::size_t numPlatforms() const { return platforms_.size(); }
+  /// Scenarios run() will evaluate (the full cross product).
+  std::size_t numScenarios() const {
+    return workloads_.size() * platforms_.size();
+  }
+
+  /// Evaluates every workload × platform combination, in declaration order
+  /// (workload-major).
+  std::vector<ScenarioResult> run(ExperimentEngine& engine) const;
+
+  /// Text table of the grid (core::report idiom).
+  static std::string table(const std::vector<ScenarioResult>& results);
+  /// CSV with a header row; one line per scenario.
+  static std::string csv(const std::vector<ScenarioResult>& results);
+  /// JSON array of objects, one per scenario.
+  static std::string json(const std::vector<ScenarioResult>& results);
+
+ private:
+  struct Workload {
+    std::string name;
+    isa::Program program;
+    std::vector<isa::Input> inputs;
+  };
+  struct PlatformRef {
+    std::string name;
+    PlatformOptions options;
+  };
+
+  const PlatformRegistry* registry_;
+  std::vector<Workload> workloads_;
+  std::vector<PlatformRef> platforms_;
+};
+
+}  // namespace pred::exp

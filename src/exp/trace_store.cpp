@@ -1,0 +1,95 @@
+#include "exp/trace_store.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace pred::exp {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnvMix(std::uint64_t& h, std::uint64_t v) {
+  for (int byte = 0; byte < 8; ++byte) {
+    h ^= (v >> (8 * byte)) & 0xffULL;
+    h *= kFnvPrime;
+  }
+}
+
+/// Canonical key of one (program, input) pair.
+std::string keyOf(const isa::Program& program, const isa::Input& input) {
+  std::string key = std::to_string(programFingerprint(program));
+  key += '|';
+  for (const auto& [reg, value] : input.regs) {
+    key += 'r' + std::to_string(reg) + '=' + std::to_string(value) + ';';
+  }
+  for (const auto& [addr, value] : input.mem) {
+    key += 'm' + std::to_string(addr) + '=' + std::to_string(value) + ';';
+  }
+  return key;
+}
+
+}  // namespace
+
+std::uint64_t programFingerprint(const isa::Program& program) {
+  std::uint64_t h = kFnvOffset;
+  for (const auto& ins : program.code) {
+    fnvMix(h, static_cast<std::uint64_t>(ins.op));
+    fnvMix(h, (static_cast<std::uint64_t>(ins.rd) << 16) |
+                  (static_cast<std::uint64_t>(ins.rs1) << 8) |
+                  static_cast<std::uint64_t>(ins.rs2));
+    fnvMix(h, static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(ins.imm)));
+  }
+  fnvMix(h, static_cast<std::uint64_t>(program.layout.memWords));
+  return h;
+}
+
+const isa::Trace& TraceStore::traceFor(const isa::Program& program,
+                                       const isa::Input& input) {
+  const std::string key = keyOf(program, input);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = traces_.find(key);
+    if (it != traces_.end()) {
+      hits_.fetch_add(1);
+      return *it->second;
+    }
+  }
+  // Run outside the lock: functional execution dominates, and concurrent
+  // misses on the same key are harmless (the first insert wins and the
+  // traces are equal anyway).
+  auto run = isa::FunctionalCore::run(program, input);
+  if (!run.completed) {
+    throw std::runtime_error("program did not halt for input " + input.name);
+  }
+  auto trace = std::make_unique<isa::Trace>(std::move(run.trace));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = traces_.try_emplace(key, std::move(trace));
+  // A lost race counts as a hit: the store already had the trace.
+  (inserted ? misses_ : hits_).fetch_add(1);
+  return *it->second;
+}
+
+std::vector<const isa::Trace*> TraceStore::tracesFor(
+    const isa::Program& program, const std::vector<isa::Input>& inputs) {
+  std::vector<const isa::Trace*> out;
+  out.reserve(inputs.size());
+  for (const auto& in : inputs) out.push_back(&traceFor(program, in));
+  return out;
+}
+
+std::size_t TraceStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traces_.size();
+}
+
+void TraceStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  traces_.clear();
+  hits_.store(0);
+  misses_.store(0);
+}
+
+}  // namespace pred::exp

@@ -1,0 +1,60 @@
+#pragma once
+// trace_store.h — Memoized functional traces.
+//
+// Every timing model in this repository is trace-driven (isa/exec.h): the
+// functional trace of a program depends on the input i alone, never on the
+// hardware state q.  The seed benches nevertheless re-ran the functional
+// core once per (q, i) cell or once per bench.  The TraceStore computes the
+// trace for each (program, input) pair exactly once and shares it across
+// every hardware state, platform, and scenario that replays it — the
+// "shared precomputed structure" idea applied to Definition 2's inner loop.
+//
+// Keys are content fingerprints (program code + input bindings), not object
+// addresses, so two structurally identical programs share entries and the
+// store stays valid however long callers keep it around.  All methods are
+// thread-safe; returned trace pointers are stable for the store's lifetime.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "isa/exec.h"
+#include "isa/machine.h"
+#include "isa/program.h"
+
+namespace pred::exp {
+
+/// Content fingerprint of a program (FNV-1a over the instruction stream and
+/// memory layout).  Exposed for tests.
+std::uint64_t programFingerprint(const isa::Program& program);
+
+class TraceStore {
+ public:
+  /// Returns the memoized trace of `program` on `input`, computing it on
+  /// first use.  Throws if the program does not halt on the input.  The
+  /// returned reference stays valid until clear()/destruction.
+  const isa::Trace& traceFor(const isa::Program& program,
+                             const isa::Input& input);
+
+  /// Traces for a whole input set, in order.
+  std::vector<const isa::Trace*> tracesFor(
+      const isa::Program& program, const std::vector<isa::Input>& inputs);
+
+  std::size_t size() const;
+  std::uint64_t hits() const { return hits_.load(); }
+  std::uint64_t misses() const { return misses_.load(); }
+
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  /// unique_ptr for pointer stability across rehashes.
+  std::unordered_map<std::string, std::unique_ptr<isa::Trace>> traces_;
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+};
+
+}  // namespace pred::exp

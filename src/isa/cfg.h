@@ -54,9 +54,10 @@ class Cfg {
     return static_cast<std::int32_t>(blocks_.size());
   }
 
-  /// Block containing the given instruction index.
+  /// Block containing the given instruction index.  Range-checked: an
+  /// out-of-program pc throws instead of reading past the table.
   std::int32_t blockOf(std::int32_t pc) const {
-    return blockOf_[static_cast<std::size_t>(pc)];
+    return blockOf_.at(static_cast<std::size_t>(pc));
   }
 
   /// Entry block id (containing instruction 0).

@@ -94,8 +94,8 @@ TEST(Cfg, DominatorOfBranchTargets) {
   Cfg cfg(b.build());
   const auto thenB = cfg.blockOf(2);
   const auto elseB = cfg.blockOf(4);
-  // Neither arm dominates the join.
-  const auto endB = cfg.blockOf(6);
+  // Neither arm dominates the join (the HALT at index 5).
+  const auto endB = cfg.blockOf(5);
   EXPECT_FALSE(cfg.dominates(thenB, endB));
   EXPECT_FALSE(cfg.dominates(elseB, endB));
   EXPECT_TRUE(cfg.dominates(cfg.entry(), endB));

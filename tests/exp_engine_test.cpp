@@ -1,0 +1,186 @@
+// exp_engine_test.cpp — The parallel experiment engine: bit-identical
+// parallel/serial matrices, trace memoization, and agreement with the
+// legacy exhaustive-analysis path it replaces.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "analysis/exhaustive.h"
+#include "exp/engine.h"
+#include "exp/platform.h"
+#include "exp/trace_store.h"
+#include "isa/ast.h"
+#include "isa/workloads.h"
+
+namespace pred::exp {
+namespace {
+
+isa::Program testProgram() {
+  return isa::ast::compileBranchy(isa::workloads::linearSearch(8));
+}
+
+std::vector<isa::Input> testInputs(const isa::Program& prog, int howMany) {
+  auto inputs = isa::workloads::randomArrayInputs(prog, "a", 8, howMany, 11);
+  for (auto& in : inputs) {
+    in = isa::mergeInputs(in, isa::varInput(prog, "key", 3));
+  }
+  return inputs;
+}
+
+TEST(ExperimentEngine, ParallelEqualsSerialCellForCell) {
+  const auto prog = testProgram();
+  const auto inputs = testInputs(prog, 12);
+  PlatformOptions opts;
+  opts.numStates = 10;
+  const auto model =
+      PlatformRegistry::instance().make("inorder-lru", prog, opts);
+
+  ExperimentEngine serial(EngineConfig{1, 4, 8});
+  ExperimentEngine parallel(EngineConfig{4, 4, 8});
+  const auto ms = serial.computeMatrix(*model, prog, inputs);
+  const auto mp = parallel.computeMatrix(*model, prog, inputs);
+
+  ASSERT_EQ(ms.numStates(), 10u);
+  ASSERT_EQ(ms.numInputs(), 12u);
+  EXPECT_TRUE(ms == mp);
+  for (std::size_t q = 0; q < ms.numStates(); ++q) {
+    for (std::size_t i = 0; i < ms.numInputs(); ++i) {
+      EXPECT_EQ(ms.at(q, i), mp.at(q, i)) << "q=" << q << " i=" << i;
+    }
+  }
+}
+
+TEST(ExperimentEngine, DeterministicAcrossThreadCountsAndTileShapes) {
+  const auto prog = testProgram();
+  const auto inputs = testInputs(prog, 9);
+  PlatformOptions opts;
+  opts.numStates = 7;
+  const auto model =
+      PlatformRegistry::instance().make("inorder-fifo", prog, opts);
+
+  ExperimentEngine reference(EngineConfig{1, 1, 1});
+  const auto expected = reference.computeMatrix(*model, prog, inputs);
+  for (int threads : {1, 2, 3, 8}) {
+    for (auto [tq, ti] : {std::pair<std::size_t, std::size_t>{1, 1},
+                          {3, 5},
+                          {64, 64}}) {
+      ExperimentEngine engine(EngineConfig{threads, tq, ti});
+      EXPECT_TRUE(expected == engine.computeMatrix(*model, prog, inputs))
+          << "threads=" << threads << " tile=" << tq << "x" << ti;
+    }
+  }
+}
+
+TEST(ExperimentEngine, MatchesLegacyExhaustiveAnalysisPath) {
+  // Same Q enumeration parameters as analysis::exhaustiveInOrder — the
+  // engine must reproduce the seed's ground-truth matrix exactly.
+  const auto prog = testProgram();
+  const auto inputs = testInputs(prog, 6);
+  const cache::CacheGeometry geom{4, 8, 2};
+  const cache::CacheTiming timing{1, 10};
+  const auto legacy = analysis::exhaustiveInOrder(
+      prog, inputs, geom, cache::Policy::LRU, timing, 8, 42,
+      pipeline::InOrderConfig{});
+
+  PlatformOptions opts;
+  opts.numStates = 8;
+  opts.seed = 42;
+  opts.dataGeom = geom;
+  opts.dataTiming = timing;
+  const auto model =
+      PlatformRegistry::instance().make("inorder-lru", prog, opts);
+  ExperimentEngine engine(EngineConfig{4});
+  EXPECT_TRUE(legacy.matrix == engine.computeMatrix(*model, prog, inputs));
+}
+
+TEST(TraceStore, MemoizedTracesEqualFreshTraces) {
+  const auto prog = testProgram();
+  const auto inputs = testInputs(prog, 5);
+  TraceStore store;
+  for (const auto& in : inputs) {
+    const auto& memoized = store.traceFor(prog, in);
+    const auto fresh = isa::FunctionalCore::run(prog, in).trace;
+    ASSERT_EQ(memoized.size(), fresh.size());
+    for (std::size_t k = 0; k < fresh.size(); ++k) {
+      EXPECT_EQ(memoized[k].pc, fresh[k].pc);
+      EXPECT_EQ(memoized[k].nextPc, fresh[k].nextPc);
+      EXPECT_EQ(memoized[k].branchTaken, fresh[k].branchTaken);
+      EXPECT_EQ(memoized[k].memWordAddr, fresh[k].memWordAddr);
+      EXPECT_EQ(memoized[k].extraLatency, fresh[k].extraLatency);
+    }
+  }
+}
+
+TEST(TraceStore, ComputesEachInputOnceAndReturnsStablePointers) {
+  const auto prog = testProgram();
+  const auto inputs = testInputs(prog, 6);
+  TraceStore store;
+  const auto first = store.tracesFor(prog, inputs);
+  EXPECT_EQ(store.misses(), 6u);
+  EXPECT_EQ(store.size(), 6u);
+  const auto second = store.tracesFor(prog, inputs);
+  EXPECT_EQ(store.misses(), 6u);  // no recomputation
+  EXPECT_EQ(store.hits(), 6u);
+  EXPECT_EQ(first, second);  // identical pointers
+}
+
+TEST(TraceStore, KeysByContentNotByObjectAddress) {
+  const auto progA = testProgram();
+  const auto progB = testProgram();  // distinct object, same code
+  EXPECT_EQ(programFingerprint(progA), programFingerprint(progB));
+  const auto different =
+      isa::ast::compileBranchy(isa::workloads::sumLoop(8));
+  EXPECT_NE(programFingerprint(progA), programFingerprint(different));
+
+  TraceStore store;
+  store.traceFor(progA, isa::Input{});
+  store.traceFor(progB, isa::Input{});
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.hits(), 1u);
+}
+
+TEST(TraceStore, ThrowsOnNonHaltingProgram) {
+  isa::Program infinite;
+  infinite.code = {isa::Instr{isa::Op::JMP, 0, 0, 0, 0}};
+  TraceStore store;
+  EXPECT_THROW(store.traceFor(infinite, isa::Input{}), std::runtime_error);
+}
+
+class ThrowingModel : public TimingModel {
+ public:
+  std::string name() const override { return "throwing"; }
+  std::size_t numStates() const override { return 4; }
+  Cycles time(std::size_t q, const isa::Trace&) const override {
+    if (q == 2) throw std::runtime_error("boom");
+    return 1;
+  }
+};
+
+TEST(ExperimentEngine, WorkerExceptionsPropagateToCaller) {
+  const auto prog = testProgram();
+  const auto inputs = testInputs(prog, 4);
+  ThrowingModel model;
+  for (int threads : {1, 4}) {
+    ExperimentEngine engine(EngineConfig{threads, 1, 1});
+    EXPECT_THROW(engine.computeMatrix(model, prog, inputs),
+                 std::runtime_error);
+  }
+}
+
+TEST(ExperimentEngine, EmptyAxesYieldEmptyMatrix) {
+  const auto prog = testProgram();
+  PlatformOptions opts;
+  opts.numStates = 3;
+  const auto model =
+      PlatformRegistry::instance().make("inorder-lru", prog, opts);
+  ExperimentEngine engine;
+  const auto m = engine.computeMatrix(*model, prog, {});
+  EXPECT_EQ(m.numStates(), 3u);
+  EXPECT_EQ(m.numInputs(), 0u);
+  EXPECT_EQ(m.bcet(), 0u);  // defined (zero) rather than UB on empty axes
+  EXPECT_EQ(m.wcet(), 0u);
+}
+
+}  // namespace
+}  // namespace pred::exp

@@ -1,0 +1,139 @@
+// platform_test.cpp — The platform registry and its built-in presets: name
+// round-trips, model construction, and the predictability shapes each
+// preset is supposed to exhibit (the paper's claims as registry-level
+// invariants).
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/definitions.h"
+#include "exp/engine.h"
+#include "exp/platform.h"
+#include "isa/ast.h"
+#include "isa/workloads.h"
+#include "pipeline/pret.h"
+
+namespace pred::exp {
+namespace {
+
+isa::Program testProgram() {
+  return isa::ast::compileBranchy(isa::workloads::linearSearch(6));
+}
+
+std::vector<isa::Input> testInputs(const isa::Program& prog) {
+  auto inputs = isa::workloads::randomArrayInputs(prog, "a", 6, 5, 3);
+  for (auto& in : inputs) {
+    in = isa::mergeInputs(in, isa::varInput(prog, "key", 2));
+  }
+  return inputs;
+}
+
+TEST(PlatformRegistry, RoundTripsEveryPresetName) {
+  const auto& registry = PlatformRegistry::instance();
+  const auto names = registry.names();
+  ASSERT_GE(names.size(), 12u);
+  const auto prog = testProgram();
+  for (const auto& name : names) {
+    const Platform* p = registry.find(name);
+    ASSERT_NE(p, nullptr) << name;
+    EXPECT_EQ(p->name, name);
+    EXPECT_FALSE(p->description.empty()) << name;
+    PlatformOptions opts;
+    opts.numStates = 4;
+    const auto model = registry.make(name, prog, opts);
+    ASSERT_NE(model, nullptr) << name;
+    EXPECT_EQ(model->name(), name);
+    EXPECT_GE(model->numStates(), 1u) << name;
+    EXPECT_FALSE(model->stateLabel(0).empty()) << name;
+  }
+}
+
+TEST(PlatformRegistry, ContainsTheDocumentedCorePresets) {
+  const auto& registry = PlatformRegistry::instance();
+  for (const char* name :
+       {"inorder-lru", "ooo-fifo", "pret", "smt-rr", "smt-rtprio",
+        "inorder-scratchpad", "inorder-lru-icache"}) {
+    EXPECT_NE(registry.find(name), nullptr) << name;
+  }
+}
+
+TEST(PlatformRegistry, UnknownNameThrows) {
+  EXPECT_THROW(
+      PlatformRegistry::instance().make("no-such-platform", testProgram()),
+      std::invalid_argument);
+  EXPECT_EQ(PlatformRegistry::instance().find("no-such-platform"), nullptr);
+}
+
+TEST(PlatformRegistry, DuplicateRegistrationThrows) {
+  PlatformRegistry fresh;  // local instance; shared one stays untouched
+  EXPECT_THROW(fresh.add(Platform{"inorder-lru", "dup", nullptr}),
+               std::invalid_argument);
+  fresh.add(Platform{"custom", "a custom platform",
+                     [](const isa::Program& p, const PlatformOptions& o) {
+                       return PlatformRegistry::instance().make(
+                           "inorder-scratchpad", p, o);
+                     }});
+  EXPECT_NE(fresh.find("custom"), nullptr);
+}
+
+TEST(Platforms, ScratchpadIsPerfectlyStatePredictable) {
+  const auto prog = testProgram();
+  const auto model =
+      PlatformRegistry::instance().make("inorder-scratchpad", prog);
+  EXPECT_EQ(model->numStates(), 1u);
+  ExperimentEngine engine;
+  const auto m = engine.computeMatrix(*model, prog, testInputs(prog));
+  EXPECT_DOUBLE_EQ(core::stateInducedPredictability(m).value, 1.0);
+}
+
+TEST(Platforms, SmtRtPriorityShieldsTheRtThreadFromContexts) {
+  // The RT-priority claim of Table 1 row 3: thread 0's time is the same in
+  // every execution context, so SIPr = 1; under round-robin it is not.
+  const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(16));
+  PlatformOptions opts;
+  opts.numStates = 6;
+  ExperimentEngine engine;
+  const std::vector<isa::Input> inputs = {isa::Input{}};
+
+  const auto prioModel =
+      PlatformRegistry::instance().make("smt-rtprio", prog, opts);
+  const auto mPrio = engine.computeMatrix(*prioModel, prog, inputs);
+  ASSERT_GE(mPrio.numStates(), 4u);
+  EXPECT_DOUBLE_EQ(core::stateInducedPredictability(mPrio).value, 1.0);
+
+  const auto rrModel =
+      PlatformRegistry::instance().make("smt-rr", prog, opts);
+  const auto mRr = engine.computeMatrix(*rrModel, prog, inputs);
+  EXPECT_LT(core::stateInducedPredictability(mRr).value, 1.0);
+}
+
+TEST(Platforms, PretSlotTimesMatchThePipelineClosedForm) {
+  const auto prog = testProgram();
+  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
+  PlatformOptions opts;
+  opts.numStates = 4;
+  const auto model = PlatformRegistry::instance().make("pret", prog, opts);
+  const pipeline::PretPipeline pipe(opts.pret);
+  for (std::size_t q = 0; q < model->numStates(); ++q) {
+    EXPECT_EQ(model->time(q, trace),
+              pipe.threadTime(trace, static_cast<int>(q)));
+  }
+}
+
+TEST(Platforms, CachePresetStatesAreDistinctAndDeterministic) {
+  const auto prog = testProgram();
+  PlatformOptions opts;
+  opts.numStates = 6;
+  const auto& registry = PlatformRegistry::instance();
+  const auto inputs = testInputs(prog);
+  ExperimentEngine a, b;
+  const auto modelA = registry.make("inorder-lru", prog, opts);
+  const auto modelB = registry.make("inorder-lru", prog, opts);
+  // Two independent instantiations agree exactly (enumeration is seeded).
+  EXPECT_TRUE(a.computeMatrix(*modelA, prog, inputs) ==
+              b.computeMatrix(*modelB, prog, inputs));
+}
+
+}  // namespace
+}  // namespace pred::exp

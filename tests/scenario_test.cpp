@@ -1,0 +1,151 @@
+// scenario_test.cpp — Scenario grids: cross-product enumeration, agreement
+// with direct engine computation, result sinks, and cross-platform trace
+// sharing through the engine's store.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+#include "exp/scenario.h"
+#include "isa/ast.h"
+#include "isa/workloads.h"
+
+namespace pred::exp {
+namespace {
+
+ScenarioSuite smallSuite() {
+  ScenarioSuite suite;
+  {
+    const auto prog = isa::ast::compileBranchy(isa::workloads::linearSearch(6));
+    auto inputs = isa::workloads::randomArrayInputs(prog, "a", 6, 4, 5);
+    for (auto& in : inputs) {
+      in = isa::mergeInputs(in, isa::varInput(prog, "key", 1));
+    }
+    suite.addWorkload("linearSearch", prog, inputs);
+  }
+  {
+    const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(8));
+    suite.addWorkload("sumLoop", prog, {isa::Input{}});
+  }
+  PlatformOptions opts;
+  opts.numStates = 4;
+  suite.addPlatform("inorder-lru", opts);
+  suite.addPlatform("inorder-scratchpad", opts);
+  suite.addPlatform("pret", opts);
+  return suite;
+}
+
+TEST(ScenarioSuite, RunsTheFullCrossProductInDeclarationOrder) {
+  const auto suite = smallSuite();
+  EXPECT_EQ(suite.numScenarios(), 6u);
+  ExperimentEngine engine;
+  const auto results = suite.run(engine);
+  ASSERT_EQ(results.size(), 6u);
+  EXPECT_EQ(results[0].workload, "linearSearch");
+  EXPECT_EQ(results[0].platform, "inorder-lru");
+  EXPECT_EQ(results[1].platform, "inorder-scratchpad");
+  EXPECT_EQ(results[3].workload, "sumLoop");
+  for (const auto& r : results) {
+    EXPECT_GE(r.numStates, 1u);
+    EXPECT_GE(r.numInputs, 1u);
+    EXPECT_LE(r.bcet, r.wcet);
+    EXPECT_GT(r.pr.value, 0.0);
+    EXPECT_LE(r.pr.value, 1.0);
+    // Def. 3 quantifies over more pairs than Defs. 4/5, so Pr <= both.
+    EXPECT_LE(r.pr.value, r.sipr.value + 1e-12);
+    EXPECT_LE(r.pr.value, r.iipr.value + 1e-12);
+  }
+}
+
+TEST(ScenarioSuite, ResultsMatchDirectEngineComputation) {
+  const auto prog = isa::ast::compileBranchy(isa::workloads::linearSearch(6));
+  auto inputs = isa::workloads::randomArrayInputs(prog, "a", 6, 4, 5);
+  for (auto& in : inputs) {
+    in = isa::mergeInputs(in, isa::varInput(prog, "key", 1));
+  }
+  PlatformOptions opts;
+  opts.numStates = 4;
+
+  ScenarioSuite suite;
+  suite.addWorkload("w", prog, inputs);
+  suite.addPlatform("inorder-fifo", opts);
+  ExperimentEngine engine;
+  const auto results = suite.run(engine);
+  ASSERT_EQ(results.size(), 1u);
+
+  const auto model =
+      PlatformRegistry::instance().make("inorder-fifo", prog, opts);
+  ExperimentEngine direct;
+  EXPECT_TRUE(results[0].matrix ==
+              direct.computeMatrix(*model, prog, inputs));
+}
+
+TEST(ScenarioSuite, UnknownPlatformIsRejectedAtDeclarationTime) {
+  ScenarioSuite suite;
+  EXPECT_THROW(suite.addPlatform("not-a-platform"), std::invalid_argument);
+}
+
+TEST(ScenarioSuite, SharesTracesAcrossPlatforms) {
+  const auto suite = smallSuite();  // 2 workloads x 3 platforms
+  ExperimentEngine engine;
+  suite.run(engine);
+  // 4 + 1 inputs, each traced exactly once despite 3 platforms replaying it.
+  EXPECT_EQ(engine.traceStore().misses(), 5u);
+  EXPECT_EQ(engine.traceStore().hits(), 10u);
+}
+
+TEST(ScenarioSuite, CsvHasHeaderAndOneLinePerScenario) {
+  const auto suite = smallSuite();
+  ExperimentEngine engine;
+  const auto results = suite.run(engine);
+  const auto csv = ScenarioSuite::csv(results);
+  std::istringstream lines(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line,
+            "workload,platform,num_states,num_inputs,bcet,wcet,pr,sipr,iipr");
+  std::size_t rows = 0;
+  while (std::getline(lines, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, results.size());
+}
+
+TEST(ScenarioSuite, SinksEscapeHostileWorkloadNames) {
+  ScenarioSuite suite;
+  const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(4));
+  suite.addWorkload("search, \"warm\"", prog, {isa::Input{}});
+  PlatformOptions opts;
+  opts.numStates = 1;
+  suite.addPlatform("inorder-scratchpad", opts);
+  ExperimentEngine engine;
+  const auto results = suite.run(engine);
+
+  const auto csv = ScenarioSuite::csv(results);
+  EXPECT_NE(csv.find("\"search, \"\"warm\"\"\",inorder-scratchpad"),
+            std::string::npos);
+  const auto json = ScenarioSuite::json(results);
+  EXPECT_NE(json.find("\"workload\": \"search, \\\"warm\\\"\""),
+            std::string::npos);
+}
+
+TEST(ScenarioSuite, JsonAndTableRenderEveryScenario) {
+  const auto suite = smallSuite();
+  ExperimentEngine engine;
+  const auto results = suite.run(engine);
+  const auto json = ScenarioSuite::json(results);
+  EXPECT_EQ(json.front(), '[');
+  for (const auto& r : results) {
+    EXPECT_NE(json.find("\"workload\": \"" + r.workload + "\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"platform\": \"" + r.platform + "\""),
+              std::string::npos);
+  }
+  const auto table = ScenarioSuite::table(results);
+  EXPECT_NE(table.find("linearSearch"), std::string::npos);
+  EXPECT_NE(table.find("pret"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pred::exp
