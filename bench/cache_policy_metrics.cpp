@@ -21,10 +21,10 @@ void runMetrics() {
   core::PredictabilityInstance inst;
   inst.approach = "Timing predictability of cache replacement policies";
   inst.hardwareUnit = "Cache replacement policy";
-  inst.property = core::Property::CacheHits;
-  inst.uncertainties = {core::Uncertainty::InitialCacheState};
-  inst.measure = core::MeasureKind::BoundSize;
   inst.citation = "[20]";
+  inst.spec.property = core::Property::CacheHits;
+  inst.spec.uncertainties = {core::Uncertainty::InitialCacheState};
+  inst.spec.measure = core::MeasureKind::BoundSize;
   bench::printInstance(inst);
 
   core::TextTable t({"policy", "k=2 evict/fill", "k=4 evict/fill",

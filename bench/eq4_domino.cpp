@@ -22,10 +22,10 @@ void runEquation4() {
   core::PredictabilityInstance inst;
   inst.approach = "Domino effect in an out-of-order pipeline";
   inst.hardwareUnit = "Two asymmetric integer units, greedy dispatcher";
-  inst.property = core::Property::ExecutionTime;
-  inst.uncertainties = {core::Uncertainty::InitialPipelineState};
-  inst.measure = core::MeasureKind::Ratio;
   inst.citation = "[22,14]";
+  inst.spec.property = core::Property::ExecutionTime;
+  inst.spec.uncertainties = {core::Uncertainty::InitialPipelineState};
+  inst.spec.measure = core::MeasureKind::Ratio;
   bench::printInstance(inst);
 
   core::TextTable t({"n", "T(q1*) [9n+1]", "T(q2*) [12n]", "diff",

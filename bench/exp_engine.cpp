@@ -13,7 +13,7 @@
 #include "core/definitions.h"
 #include "exp/engine.h"
 #include "exp/platform.h"
-#include "exp/scenario.h"
+#include "study/scenario.h"
 #include "isa/ast.h"
 #include "isa/workloads.h"
 
@@ -133,7 +133,7 @@ void BM_ScenarioSweep(benchmark::State& state) {
   const auto prog = gridProgram();
   const auto inputs = gridInputs(prog, 8);
   for (auto _ : state) {
-    exp::ScenarioSuite suite;
+    study::ScenarioSuite suite;
     suite.addWorkload("linearSearch", prog, inputs);
     exp::PlatformOptions opts;
     opts.numStates = 8;

@@ -4,24 +4,20 @@
 //  execution time (BCET/WCET).  Sound but incomplete analyses can derive
 //  lower and upper bounds (LB, UB)."
 //
-// We run a program exhaustively over Q (initial cache states) x I (inputs)
-// on the in-order pipeline, print the execution-time histogram (the figure's
-// frequency curve), the BCET/WCET endpoints, and the LB/UB computed by the
-// structural bound analyses — decomposing the total spread into input- and
+// One AnalysisBounds-mode query does the whole figure: the exhaustive
+// Q x I cross product on the "inorder-lru-icache" platform (the Figure 1
+// system) yields the execution-time distribution and its BCET/WCET
+// endpoints, and the mode attaches the LB/UB computed by the structural
+// bound analyses — decomposing the total spread into input- and
 // state-induced variance vs abstraction-induced variance, exactly as the
 // figure annotates.
-//
-// Ported onto the experiment engine: the Figure 1 system is the
-// "inorder-lru-icache" platform preset, and the exhaustive cross product is
-// computed by the parallel ExperimentEngine with memoized traces.
 
 #include "analysis/wcet_bounds.h"
 #include "bench_common.h"
-#include "core/definitions.h"
 #include "core/measures.h"
-#include "exp/engine.h"
-#include "exp/platform.h"
-#include "isa/workloads.h"
+#include "core/report.h"
+#include "isa/cfg.h"
+#include "study/query.h"
 
 namespace {
 
@@ -30,42 +26,24 @@ using namespace pred;
 void runFigure1() {
   bench::printHeader("Figure 1", "execution-time distribution with bounds");
 
-  const auto prog = isa::ast::compileBranchy(isa::workloads::linearSearch(12));
-  isa::Cfg cfg(prog);
-
-  auto inputs = isa::workloads::randomArrayInputs(prog, "a", 12, 24, 2024, 12);
-  for (auto& in : inputs) {
-    in = isa::mergeInputs(in, isa::varInput(prog, "key", 5));
-  }
-
-  analysis::BoundsInputs bi;
-  bi.dataCacheGeom = cache::CacheGeometry{4, 8, 2};
-  bi.cacheTiming = cache::CacheTiming{1, 10};
-  bi.instrCacheGeom = cache::CacheGeometry{4, 8, 2};
-  bi.instrTiming = cache::CacheTiming{0, 6};
-
   exp::PlatformOptions popts;
   popts.numStates = 16;
   popts.seed = 99;
-  popts.dataGeom = bi.dataCacheGeom;
-  popts.dataTiming = bi.cacheTiming;
-  popts.instrGeom = *bi.instrCacheGeom;
-  popts.instrTiming = bi.instrTiming;
-  popts.inorder = bi.pipeConfig;
-  const auto model = exp::PlatformRegistry::instance().make(
-      "inorder-lru-icache", prog, popts);
+  const auto query = study::Query()
+                         .workload("linearsearch-12")
+                         .platform("inorder-lru-icache", popts)
+                         .mode(study::AnalysisBounds{})
+                         .keepMatrix();
   exp::ExperimentEngine engine;
-  const auto matrix = engine.computeMatrix(*model, prog, inputs);
-
-  const auto d =
-      analysis::figure1Decomposition(cfg, bi, matrix.bcet(), matrix.wcet());
+  const auto f = query.run(engine);
+  const auto& d = *f.bounds;
 
   std::printf("workload: linear search, |Q| = %zu (D-cache x I-cache) "
               "states, |I| = %zu inputs\n\n",
-              matrix.numStates(), matrix.numInputs());
+              f.numStates, f.numInputs);
 
   core::Histogram h(d.bcet, d.wcet + 1, 16);
-  h.addAll(matrix.values());
+  h.addAll(f.matrix->values());
   std::printf("frequency over exec time (the Figure 1 curve):\n%s\n",
               h.render(48).c_str());
 
@@ -82,21 +60,25 @@ void runFigure1() {
   bench::printKV("ordering LB<=BCET<=WCET<=UB holds",
                  d.wellFormed() ? "yes" : "NO (UNSOUND)");
 
-  const auto pr = core::timingPredictability(matrix);
-  const auto si = core::stateInducedPredictability(matrix);
-  const auto ii = core::inputInducedPredictability(matrix);
   std::printf("\npredictability of this system (Defs. 3-5):\n");
-  bench::printKV("Pr  (Def. 3)", core::fmt(pr.value, 4));
-  bench::printKV("SIPr (Def. 4)", core::fmt(si.value, 4));
-  bench::printKV("IIPr (Def. 5)", core::fmt(ii.value, 4));
+  bench::printKV("Pr  (Def. 3)", core::fmt(f.pr.value, 4));
+  bench::printKV("SIPr (Def. 4)", core::fmt(f.sipr.value, 4));
+  bench::printKV("IIPr (Def. 5)", core::fmt(f.iipr.value, 4));
 
   // Analysis-quality ablation: a weaker (all-miss) analysis inflates only
   // the abstraction-induced part; the inherent part cannot move — the
   // paper's inherence argument in numbers.
-  auto naive = bi;
+  const auto w =
+      study::WorkloadRegistry::instance().make("linearsearch-12");
+  isa::Cfg cfg(w.program);
+  analysis::BoundsInputs naive;
+  naive.dataCacheGeom = popts.dataGeom;
+  naive.cacheTiming = popts.dataTiming;
+  naive.instrCacheGeom = popts.instrGeom;
+  naive.instrTiming = popts.instrTiming;
   naive.useCacheClassification = false;
-  const auto dNaive = analysis::figure1Decomposition(
-      cfg, naive, matrix.bcet(), matrix.wcet());
+  const auto dNaive =
+      analysis::figure1Decomposition(cfg, naive, f.bcet, f.wcet);
   std::printf("\nanalysis-quality ablation (same system, weaker analysis):\n");
   bench::printKV("UB with cache analysis", std::to_string(d.upperBound));
   bench::printKV("UB without cache analysis (all-miss)",
@@ -108,21 +90,17 @@ void runFigure1() {
 }
 
 void BM_ExhaustiveMatrix(benchmark::State& state) {
-  const auto prog = isa::ast::compileBranchy(
-      isa::workloads::linearSearch(state.range(0)));
-  auto inputs = isa::workloads::randomArrayInputs(prog, "a", state.range(0),
-                                                  8, 7, 12);
   exp::PlatformOptions popts;
-  popts.numStates = 8;
+  popts.numStates = static_cast<int>(state.range(0));
   popts.seed = 3;
+  const auto query = study::Query()
+                         .workload("linearsearch-12")
+                         .platform("inorder-lru", popts);
   for (auto _ : state) {
-    // Fresh model + engine per iteration: the measurement includes state
+    // Fresh engine per iteration: the measurement includes state
     // enumeration and trace computation, like the pre-engine code did.
-    const auto model =
-        exp::PlatformRegistry::instance().make("inorder-lru", prog, popts);
     exp::ExperimentEngine engine;
-    benchmark::DoNotOptimize(
-        engine.computeMatrix(*model, prog, inputs).wcet());
+    benchmark::DoNotOptimize(query.run(engine).wcet);
   }
 }
 BENCHMARK(BM_ExhaustiveMatrix)->Arg(8)->Arg(16);

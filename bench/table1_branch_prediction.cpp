@@ -5,43 +5,42 @@
 // initial predictor state (dynamic schemes only) and program input.
 // Quality measure: the statically computed bound, and the variability in
 // misprediction counts.
+//
+// The row's property (misprediction counts) is measured on the branch
+// substrate directly; the catalog row additionally binds the timing view —
+// the same workload queried on "inorder-lru-bimodal" (predictor tables in
+// the Q axis) vs "inorder-lru" (no predictor) shows how predictor state
+// uncertainty surfaces in execution time.
 
 #include <set>
 
 #include "bench_common.h"
 #include "branch/dynamic.h"
 #include "branch/static_schemes.h"
-#include "core/measures.h"
 #include "core/report.h"
-#include "isa/ast.h"
-#include "isa/exec.h"
-#include "isa/workloads.h"
+#include "isa/cfg.h"
+#include "study/catalog.h"
+#include "study/query.h"
 
 namespace {
 
 using namespace pred;
 
-isa::Trace traceOf(const isa::Program& p, const isa::Input& in) {
-  return isa::FunctionalCore::run(p, in).trace;
-}
-
 void runRow() {
   bench::printHeader("Table 1, row 1", "WCET-oriented static branch prediction");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "WCET-oriented static branch prediction";
-  inst.hardwareUnit = "Branch predictor";
-  inst.property = core::Property::BranchMispredictions;
-  inst.uncertainties = {core::Uncertainty::InitialPredictorState,
-                        core::Uncertainty::ProgramInput};
-  inst.measure = core::MeasureKind::BoundSize;
-  inst.citation = "[5,6]";
+  const auto& inst = study::catalog::row("static branch prediction");
   bench::printInstance(inst);
 
-  const auto prog = isa::ast::compileBranchy(isa::workloads::bubbleSort(10));
+  const auto w = study::WorkloadRegistry::instance().make(inst.spec.workload);
+  const auto& prog = w.program;
+  const auto& inputs = w.inputs;
   isa::Cfg cfg(prog);
-  const auto inputs =
-      isa::workloads::randomArrayInputs(prog, "a", 10, 12, 555, 64);
+
+  exp::ExperimentEngine engine;
+  auto traceOf = [&engine, &prog](const isa::Input& in) -> const isa::Trace& {
+    return engine.traceStore().traceFor(prog, in);
+  };
 
   // Static schemes under test.
   auto wcetScheme = branch::wcetOriented(cfg);
@@ -55,7 +54,7 @@ void runRow() {
     std::uint64_t lo = ~0ULL, hi = 0;
     for (const auto& in : inputs) {
       auto s = scheme;
-      const auto m = branch::countMispredictions(traceOf(prog, in), s);
+      const auto m = branch::countMispredictions(traceOf(in), s);
       lo = std::min(lo, m);
       hi = std::max(hi, m);
     }
@@ -73,7 +72,7 @@ void runRow() {
     std::uint64_t lo = ~0ULL, hi = 0;
     std::uint64_t stateSpread = 0;
     for (const auto& in : inputs) {
-      const auto trace = traceOf(prog, in);
+      const auto& trace = traceOf(in);
       std::uint64_t perInputLo = ~0ULL, perInputHi = 0;
       for (int init = 0; init <= 3; ++init) {
         auto p = makePredictor(init);
@@ -99,6 +98,15 @@ void runRow() {
   });
 
   std::printf("%s", t.render().c_str());
+
+  // Timing view via the catalog binding: predictor-state uncertainty in Q.
+  const auto report = study::compile(inst.spec).runAll(engine);
+  bench::printKV("SIPr with bimodal predictor state in Q (" +
+                     report.findings[0].platform + ")",
+                 core::fmt(report.findings[0].sipr.value, 4));
+  bench::printKV("SIPr without predictor (" + report.findings[1].platform +
+                     ")",
+                 core::fmt(report.findings[1].sipr.value, 4));
   std::printf(
       "shape reproduced: static schemes carry a statically computed bound\n"
       "and zero initial-state variability; dynamic schemes have no bound\n"
@@ -106,9 +114,8 @@ void runRow() {
 }
 
 void BM_MispredictionCount(benchmark::State& state) {
-  const auto prog = isa::ast::compileBranchy(isa::workloads::bubbleSort(10));
-  const auto inputs = isa::workloads::randomArrayInputs(prog, "a", 10, 1, 5, 64);
-  const auto trace = traceOf(prog, inputs[0]);
+  const auto w = study::WorkloadRegistry::instance().make("bubblesort-10");
+  const auto trace = isa::FunctionalCore::run(w.program, w.inputs[0]).trace;
   for (auto _ : state) {
     branch::GsharePredictor p(64, 6);
     benchmark::DoNotOptimize(branch::countMispredictions(trace, p));

@@ -3,20 +3,17 @@
 // Memory hierarchies, pipelines and buses for future time-critical
 // architectures (Wilhelm et al. [29]).  The recommendation: compositional
 // architectures (in-order, LRU caches) exhibit no domino effects and little
-// state-induced variation.  We compare, on the same programs:
-//   * in-order + LRU cache (recommended),
-//   * in-order + FIFO/PLRU/RANDOM caches,
-//   * out-of-order (PPC755-class, domino-capable).
+// state-induced variation.  The catalog row queries the same program on
+// the in-order pipeline across the four cache replacement policies; the
+// out-of-order domino effect (Equation 4) is evaluated on the domino
+// program family.
 
-#include "analysis/exhaustive.h"
 #include "bench_common.h"
-#include "core/definitions.h"
 #include "core/domino.h"
 #include "core/report.h"
-#include "isa/workloads.h"
 #include "pipeline/domino_program.h"
-#include "pipeline/memory_iface.h"
-#include "pipeline/ooo.h"
+#include "study/catalog.h"
+#include "study/query.h"
 
 namespace {
 
@@ -26,31 +23,18 @@ void runRow() {
   bench::printHeader("Table 1, row 7",
                      "compositional architectures (Wilhelm et al.)");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "Compositional architecture recommendations";
-  inst.hardwareUnit = "Pipeline, memory hierarchy, buses";
-  inst.property = core::Property::ExecutionTime;
-  inst.uncertainties = {core::Uncertainty::InitialPipelineState,
-                        core::Uncertainty::InitialCacheState,
-                        core::Uncertainty::ExecutionContext};
-  inst.measure = core::MeasureKind::Range;
-  inst.citation = "[29]";
+  const auto& inst = study::catalog::row("Compositional architecture");
   bench::printInstance(inst);
 
   // (a) State-induced predictability of the in-order core per cache policy.
-  const auto prog = isa::ast::compileBranchy(isa::workloads::matMul(4));
-  const std::vector<isa::Input> inputs{isa::Input{}};
+  exp::ExperimentEngine engine;
+  const auto report = study::compile(inst.spec).runAll(engine);
+
   core::TextTable t({"architecture", "SIPr (Def. 4)",
                      "domino effect possible"});
-  for (const auto policy :
-       {cache::Policy::LRU, cache::Policy::FIFO, cache::Policy::PLRU,
-        cache::Policy::RANDOM}) {
-    const auto setup = analysis::exhaustiveInOrder(
-        prog, inputs, cache::CacheGeometry{4, 8, 2}, policy,
-        cache::CacheTiming{1, 12}, 10, 77, pipeline::InOrderConfig{});
-    const auto sipr = core::stateInducedPredictability(setup.matrix);
-    t.addRow({"in-order + " + cache::toString(policy) + " cache",
-              core::fmt(sipr.value, 4), "no (additive timing)"});
+  for (const auto& f : report.findings) {
+    t.addRow({"in-order, " + f.platform + " cache",
+              core::fmt(f.sipr.value, 4), "no (additive timing)"});
   }
 
   // (b) The out-of-order architecture admits a domino effect (Equation 4).
@@ -75,17 +59,17 @@ void runRow() {
 }
 
 void BM_InOrderSim(benchmark::State& state) {
-  const auto prog = isa::ast::compileBranchy(isa::workloads::matMul(4));
-  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
-  cache::SetAssocCache c(cache::CacheGeometry{4, 8, 2}, cache::Policy::LRU,
-                         cache::CacheTiming{1, 12});
-  pipeline::CachedMemory mem(c);
-  pipeline::InOrderPipeline pipe(pipeline::InOrderConfig{}, &mem);
+  exp::PlatformOptions opts;
+  opts.numStates = 1;
+  opts.dataTiming = cache::CacheTiming{1, 12};
+  const auto query = study::Query()
+                         .workload("matmul-4")
+                         .platform("inorder-lru", opts)
+                         .measures({study::Measure::Pr});
+  exp::ExperimentEngine engine;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pipe.run(trace));
+    benchmark::DoNotOptimize(query.run(engine).wcet);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(trace.size()));
 }
 BENCHMARK(BM_InOrderSim);
 

@@ -9,6 +9,7 @@
 #include "bench_common.h"
 #include "core/report.h"
 #include "noc/composability.h"
+#include "study/catalog.h"
 
 namespace {
 
@@ -34,14 +35,10 @@ std::vector<std::vector<noc::NocRequest>> scenarios() {
 void runRow() {
   bench::printHeader("Table 1, row 4", "CoMPSoC: composable MPSoC template");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "CoMPSoC (TDM NoC + SRAM arbitration)";
-  inst.hardwareUnit = "System on chip: NoC, cores, SRAM";
-  inst.property = core::Property::MemoryAccessLatency;
-  inst.uncertainties = {core::Uncertainty::ExecutionContext};
-  inst.measure = core::MeasureKind::Range;
-  inst.citation = "[9]";
-  bench::printInstance(inst);
+  // The row's latency substrate is the NoC, not a Q x I timing matrix — the
+  // catalog row is declarative-only and the quality measure is evaluated on
+  // the shared-resource model directly.
+  bench::printInstance(study::catalog::row("CoMPSoC"));
 
   noc::SharedResource res(4, 3);
   const auto observed = noc::periodicStream(0, 5, 13, 40);

@@ -5,89 +5,64 @@
 // pipeline state at basic-block boundaries.  Quality measure: variability
 // in (block and program) execution times — zero in preschedule mode, at a
 // throughput cost.
-
-#include <set>
+//
+// On the study API the hand-enumerated occupancy sweep is the Q axis of
+// the "ooo-fixedlat" platform, and the drain-at-block-boundary mode is the
+// "ooo-preschedule" platform — the row is one query per workload over the
+// two platforms.
 
 #include "bench_common.h"
-#include "core/measures.h"
 #include "core/report.h"
-#include "isa/ast.h"
-#include "isa/cfg.h"
-#include "isa/exec.h"
-#include "isa/workloads.h"
-#include "pipeline/memory_iface.h"
-#include "pipeline/ooo.h"
+#include "study/catalog.h"
+#include "study/query.h"
 
 namespace {
 
 using namespace pred;
-using pipeline::Cycles;
+using core::Cycles;
+
+/// Max over inputs of the per-input spread over pipeline states (the row's
+/// uncertainty source is the pipeline state, not the input).
+Cycles stateSpread(const core::TimingMatrix& m) {
+  Cycles spread = 0;
+  for (std::size_t i = 0; i < m.numInputs(); ++i) {
+    Cycles lo = ~Cycles{0}, hi = 0;
+    for (std::size_t q = 0; q < m.numStates(); ++q) {
+      lo = std::min(lo, m.at(q, i));
+      hi = std::max(hi, m.at(q, i));
+    }
+    spread = std::max(spread, hi - lo);
+  }
+  return spread;
+}
 
 void runRow() {
   bench::printHeader("Table 1, row 2",
                      "time-predictable execution mode for superscalar pipelines");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "Prescheduled execution mode";
-  inst.hardwareUnit = "Superscalar out-of-order pipeline";
-  inst.property = core::Property::BasicBlockTime;
-  inst.uncertainties = {core::Uncertainty::InitialPipelineState};
-  inst.measure = core::MeasureKind::Range;
-  inst.citation = "[21]";
+  const auto& inst = study::catalog::row("preschedule");
   bench::printInstance(inst);
 
   core::TextTable t({"workload", "OoO time spread over pipeline states",
                      "prescheduled spread", "preschedule slowdown"});
 
-  struct W {
-    std::string name;
-    isa::Program prog;
-  };
-  const W workloads[] = {
-      {"bubbleSort(8)", isa::ast::compileBranchy(isa::workloads::bubbleSort(8))},
-      {"matMul(4)", isa::ast::compileBranchy(isa::workloads::matMul(4))},
-      {"sumLoop(32)", isa::ast::compileBranchy(isa::workloads::sumLoop(32))},
-  };
-
-  for (const auto& w : workloads) {
-    isa::Cfg cfg(w.prog);
-    std::set<std::int32_t> leaders;
-    for (const auto& bb : cfg.blocks()) leaders.insert(bb.begin);
-    auto inputs = std::vector<isa::Input>{isa::Input{}};
-    if (w.prog.variables.count("a")) {
-      inputs = isa::workloads::randomArrayInputs(w.prog, "a", 8, 2, 3, 32);
-    }
-    pipeline::FixedLatencyMemory mem(2);
-    pipeline::OooPipeline pipe(pipeline::OooConfig{}, &mem);
-
-    // State-induced spread per input (the row's uncertainty source is the
-    // pipeline state, not the input), maximized over inputs.
-    Cycles plainSpread = 0, drainSpread = 0;
-    Cycles plainWorst = 0, drainWorst = 0;
-    for (const auto& in : inputs) {
-      const auto trace = isa::FunctionalCore::run(w.prog, in).trace;
-      Cycles plainLo = ~Cycles{0}, plainHi = 0;
-      Cycles drainLo = ~Cycles{0}, drainHi = 0;
-      for (Cycles a = 0; a <= 4; ++a) {
-        for (Cycles b = 0; b <= 4; b += 2) {
-          const pipeline::OooInitialState q{a, b, 0};
-          const auto tp = pipe.run(trace, q, nullptr);
-          const auto td = pipe.run(trace, q, &leaders);
-          plainLo = std::min(plainLo, tp);
-          plainHi = std::max(plainHi, tp);
-          drainLo = std::min(drainLo, td);
-          drainHi = std::max(drainHi, td);
-        }
-      }
-      plainSpread = std::max(plainSpread, plainHi - plainLo);
-      drainSpread = std::max(drainSpread, drainHi - drainLo);
-      plainWorst = std::max(plainWorst, plainHi);
-      drainWorst = std::max(drainWorst, drainHi);
-    }
-    t.addRow({w.name, std::to_string(plainSpread),
-              std::to_string(drainSpread),
-              core::fmt(static_cast<double>(drainWorst) /
-                            static_cast<double>(plainWorst),
+  exp::ExperimentEngine engine;
+  exp::PlatformOptions opts;
+  opts.numStates = 15;  // the full (iu0, iu1) occupancy sweep
+  for (const char* workload : {"bubblesort-8", "matmul-4", "sum-32"}) {
+    const auto report = study::Query()
+                            .workload(workload)
+                            .platform("ooo-fixedlat", opts)
+                            .platform("ooo-preschedule", opts)
+                            .measures({study::Measure::SIPr})
+                            .keepMatrix()
+                            .runAll(engine);
+    const auto& plain = report.findings[0];
+    const auto& drained = report.findings[1];
+    t.addRow({workload, std::to_string(stateSpread(*plain.matrix)),
+              std::to_string(stateSpread(*drained.matrix)),
+              core::fmt(static_cast<double>(drained.wcet) /
+                            static_cast<double>(plain.wcet),
                         3) +
                   "x"});
   }
@@ -99,15 +74,16 @@ void runRow() {
 }
 
 void BM_OooPipeline(benchmark::State& state) {
-  const auto prog = isa::ast::compileBranchy(isa::workloads::matMul(4));
-  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
-  pipeline::FixedLatencyMemory mem(2);
-  pipeline::OooPipeline pipe(pipeline::OooConfig{}, &mem);
+  exp::PlatformOptions opts;
+  opts.numStates = 1;
+  const auto query = study::Query()
+                         .workload("matmul-4")
+                         .platform("ooo-fixedlat", opts)
+                         .measures({study::Measure::Pr});
+  exp::ExperimentEngine engine;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pipe.run(trace));
+    benchmark::DoNotOptimize(query.run(engine).wcet);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(trace.size()));
 }
 BENCHMARK(BM_OooPipeline);
 

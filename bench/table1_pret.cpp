@@ -4,83 +4,71 @@
 // time.  Uncertainty: initial state and execution context.  Quality
 // measure: variability — zero on the thread-interleaved pipeline, compared
 // against the out-of-order pipeline on the SAME program.
+//
+// On the study API: the "pret" platform enumerates the thread slots (the
+// only state PRET timing may depend on) and "ooo-fixedlat" enumerates the
+// occupancy residues co-running code leaves behind — the catalog row runs
+// both platforms on one workload.
 
 #include "bench_common.h"
-#include "core/measures.h"
 #include "core/report.h"
-#include "isa/ast.h"
 #include "isa/builder.h"
-#include "isa/exec.h"
-#include "isa/workloads.h"
-#include "pipeline/memory_iface.h"
-#include "pipeline/ooo.h"
-#include "pipeline/pret.h"
+#include "study/catalog.h"
+#include "study/query.h"
 
 namespace {
 
 using namespace pred;
-using pipeline::Cycles;
 
 void runRow() {
   bench::printHeader("Table 1, row 5", "precision-timed (PRET) architecture");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "PRET thread-interleaved pipeline + scratchpads";
-  inst.hardwareUnit = "Thread-interleaved pipeline, scratchpad memories";
-  inst.property = core::Property::ExecutionTime;
-  inst.uncertainties = {core::Uncertainty::InitialHardwareState,
-                        core::Uncertainty::ExecutionContext};
-  inst.measure = core::MeasureKind::Range;
-  inst.citation = "[13,7]";
+  const auto& inst = study::catalog::row("Precision-Timed");
   bench::printInstance(inst);
 
-  const auto prog = isa::ast::compileBranchy(isa::workloads::matMul(4));
-  const auto bg = isa::ast::compileBranchy(isa::workloads::bubbleSort(8));
-  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
-  const auto tBg = isa::FunctionalCore::run(bg, isa::Input{}).trace;
-
-  // PRET: sweep execution contexts (co-running hardware threads).
-  pipeline::PretPipeline pret(pipeline::PretConfig{4});
-  std::vector<Cycles> pretTimes;
-  pretTimes.push_back(pret.run({&trace, nullptr, nullptr, nullptr})[0]);
-  pretTimes.push_back(pret.run({&trace, &tBg, nullptr, nullptr})[0]);
-  pretTimes.push_back(pret.run({&trace, &tBg, &tBg, &tBg})[0]);
-
-  // OoO: sweep initial pipeline occupancy (contexts leave residue).
-  pipeline::FixedLatencyMemory mem(2);
-  pipeline::OooPipeline ooo(pipeline::OooConfig{}, &mem);
-  std::vector<Cycles> oooTimes;
-  for (Cycles a = 0; a <= 6; ++a) {
-    for (Cycles b = 0; b <= 4; b += 2) oooTimes.push_back(ooo.run(trace, {a, b, 0}));
-  }
-
-  const auto sPret = core::computeStats(pretTimes);
-  const auto sOoo = core::computeStats(oooTimes);
+  exp::ExperimentEngine engine;
+  exp::PlatformOptions opts;
+  opts.numStates = 15;
+  const auto report = study::compile(inst.spec).options(opts).runAll(engine);
+  const auto& pret = report.findings[0];  // pret
+  const auto& ooo = report.findings[1];   // ooo-fixedlat
 
   core::TextTable t({"pipeline", "min time", "max time", "variability",
                      "single-thread slowdown vs OoO best"});
-  t.addRow({"OoO (PPC755-class)", core::fmt(sOoo.minimum, 0),
-            core::fmt(sOoo.maximum, 0), core::fmt(sOoo.range(), 0), "1.0x"});
-  t.addRow({"PRET (4-way interleaved)", core::fmt(sPret.minimum, 0),
-            core::fmt(sPret.maximum, 0), core::fmt(sPret.range(), 0),
-            core::fmt(sPret.minimum / sOoo.minimum, 2) + "x"});
+  t.addRow({"OoO (PPC755-class)", std::to_string(ooo.bcet),
+            std::to_string(ooo.wcet), std::to_string(ooo.wcet - ooo.bcet),
+            "1.0x"});
+  t.addRow({"PRET (4-way interleaved)", std::to_string(pret.bcet),
+            std::to_string(pret.wcet), std::to_string(pret.wcet - pret.bcet),
+            core::fmt(static_cast<double>(pret.bcet) /
+                          static_cast<double>(ooo.bcet),
+                      2) +
+                "x"});
   std::printf("%s", t.render().c_str());
 
-  // DEADLINE instruction: program-level control over timing.
+  // DEADLINE instruction: program-level control over timing.  Two variants
+  // of different lengths complete at the same deadline-padded time.
+  auto deadlineTime = [&engine](const isa::Program& prog,
+                                const std::string& label) {
+    exp::PlatformOptions popts;
+    popts.numStates = 1;  // slot 0
+    return study::Query()
+        .workload(label, prog, {isa::Input{}})
+        .platform("pret", popts)
+        .measures({study::Measure::Pr})
+        .run(engine)
+        .bcet;
+  };
   isa::ProgramBuilder fast;
   fast.li(1, 1).deadline(64).halt();
   isa::ProgramBuilder slow;
   slow.li(1, 1);
   for (int k = 0; k < 10; ++k) slow.addi(1, 1, 1);
   slow.deadline(64).halt();
-  const auto tf =
-      pret.threadTime(isa::FunctionalCore::run(fast.build(), {}).trace, 0);
-  const auto ts =
-      pret.threadTime(isa::FunctionalCore::run(slow.build(), {}).trace, 0);
   bench::printKV("DEADLINE(64): completion of 2-instr variant",
-                 std::to_string(tf));
+                 std::to_string(deadlineTime(fast.build(), "deadline-fast")));
   bench::printKV("DEADLINE(64): completion of 12-instr variant",
-                 std::to_string(ts));
+                 std::to_string(deadlineTime(slow.build(), "deadline-slow")));
   std::printf(
       "shape reproduced: PRET trades single-thread performance for zero\n"
       "variability over initial state AND context; the DEADLINE instruction\n"
@@ -88,11 +76,15 @@ void runRow() {
 }
 
 void BM_PretThread(benchmark::State& state) {
-  const auto prog = isa::ast::compileBranchy(isa::workloads::matMul(4));
-  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
-  pipeline::PretPipeline pret(pipeline::PretConfig{4});
+  exp::PlatformOptions opts;
+  opts.numStates = 1;
+  const auto query = study::Query()
+                         .workload("matmul-4")
+                         .platform("pret", opts)
+                         .measures({study::Measure::Pr});
+  exp::ExperimentEngine engine;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(pret.threadTime(trace, 0));
+    benchmark::DoNotOptimize(query.run(engine).wcet);
   }
 }
 BENCHMARK(BM_PretThread);

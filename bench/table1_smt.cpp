@@ -5,72 +5,56 @@
 // Uncertainty: execution context (the other threads).  Quality measure:
 // variability in execution times — zero under the RT-priority policy.
 //
-// Ported onto the experiment engine: the execution contexts ARE the
-// hardware-state axis Q of the "smt-rr" / "smt-rtprio" platforms, so the
-// row's variability claim is simply the state-induced predictability
-// (Def. 4) of the resulting timing matrix — SIPr = 1 under RT priority,
-// SIPr < 1 under round-robin.
+// On the study API the whole row is one query from the catalog: the
+// execution contexts ARE the hardware-state axis Q of the "smt-rr" /
+// "smt-rtprio" platforms, so the row's variability claim is simply the
+// state-induced predictability (Def. 4) of the resulting timing matrix —
+// SIPr = 1 under RT priority, SIPr < 1 under round-robin.
 
 #include "bench_common.h"
-#include "core/definitions.h"
 #include "core/measures.h"
 #include "core/report.h"
-#include "exp/engine.h"
-#include "exp/platform.h"
-#include "isa/ast.h"
-#include "isa/workloads.h"
+#include "study/catalog.h"
+#include "study/query.h"
 
 namespace {
 
 using namespace pred;
-using pipeline::Cycles;
+using core::Cycles;
 
 void runRow() {
   bench::printHeader("Table 1, row 3", "time-predictable SMT");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "Time-predictable simultaneous multithreading";
-  inst.hardwareUnit = "SMT processor";
-  inst.property = core::Property::ExecutionTime;
-  inst.uncertainties = {core::Uncertainty::ExecutionContext};
-  inst.measure = core::MeasureKind::Range;
-  inst.citation = "[2,16]";
+  const auto& inst = study::catalog::row("simultaneous multithreading");
   bench::printInstance(inst);
 
-  const auto rtProg = isa::ast::compileBranchy(isa::workloads::sumLoop(24));
-  const std::vector<isa::Input> inputs = {isa::Input{}};
-
-  exp::PlatformOptions opts;
-  opts.numStates = 4;  // contexts: RT alone, +1, +2, +3 co-runners
-  const auto& registry = exp::PlatformRegistry::instance();
-  const auto prioModel = registry.make("smt-rtprio", rtProg, opts);
-  const auto rrModel = registry.make("smt-rr", rtProg, opts);
-
   exp::ExperimentEngine engine;
-  const auto mPrio = engine.computeMatrix(*prioModel, rtProg, inputs);
-  const auto mRr = engine.computeMatrix(*rrModel, rtProg, inputs);
+  // contexts: RT alone, +1, +2, +3 co-runners
+  const auto report = study::compile(inst.spec).keepMatrix().runAll(engine);
+  const auto& prio = report.findings[0];  // smt-rtprio
+  const auto& rr = report.findings[1];    // smt-rr
 
   core::TextTable t({"execution context", "RT time (rt-priority)",
                      "RT time (round-robin)"});
-  std::vector<Cycles> prio, rr;
-  for (std::size_t q = 0; q < mPrio.numStates(); ++q) {
-    prio.push_back(mPrio.at(q, 0));
-    rr.push_back(mRr.at(q, 0));
-    t.addRow({prioModel->stateLabel(q), std::to_string(mPrio.at(q, 0)),
-              std::to_string(mRr.at(q, 0))});
+  std::vector<Cycles> prioTimes, rrTimes;
+  for (std::size_t q = 0; q < prio.numStates; ++q) {
+    prioTimes.push_back(prio.matrix->at(q, 0));
+    rrTimes.push_back(rr.matrix->at(q, 0));
+    t.addRow({prio.stateLabels[q], std::to_string(prio.matrix->at(q, 0)),
+              std::to_string(rr.matrix->at(q, 0))});
   }
   std::printf("%s", t.render().c_str());
 
-  const auto sp = core::computeStats(prio);
-  const auto sr = core::computeStats(rr);
+  const auto sp = core::computeStats(prioTimes);
+  const auto sr = core::computeStats(rrTimes);
   bench::printKV("RT-thread variability (rt-priority)",
                  core::fmt(sp.range(), 0) + " cycles");
   bench::printKV("RT-thread variability (round-robin)",
                  core::fmt(sr.range(), 0) + " cycles");
   bench::printKV("SIPr over contexts (rt-priority)",
-                 core::fmt(core::stateInducedPredictability(mPrio).value, 4));
+                 core::fmt(prio.sipr.value, 4));
   bench::printKV("SIPr over contexts (round-robin)",
-                 core::fmt(core::stateInducedPredictability(mRr).value, 4));
+                 core::fmt(rr.sipr.value, 4));
   std::printf(
       "shape reproduced: with the real-time thread prioritized, its\n"
       "execution time is context-independent (zero interference); under\n"
@@ -78,16 +62,15 @@ void runRow() {
 }
 
 void BM_SmtMatrix(benchmark::State& state) {
-  const auto rtProg = isa::ast::compileBranchy(isa::workloads::sumLoop(24));
-  const std::vector<isa::Input> inputs = {isa::Input{}};
   exp::PlatformOptions opts;
   opts.numStates = 8;
-  const auto model =
-      exp::PlatformRegistry::instance().make("smt-rtprio", rtProg, opts);
+  const auto query = study::Query()
+                         .workload("sum-24")
+                         .platform("smt-rtprio", opts)
+                         .measures({study::Measure::SIPr});
   exp::ExperimentEngine engine;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        engine.computeMatrix(*model, rtProg, inputs).wcet());
+    benchmark::DoNotOptimize(query.run(engine).wcet);
   }
 }
 BENCHMARK(BM_SmtMatrix);

@@ -5,76 +5,49 @@
 // cache/predictor state and the input values of variable-latency
 // instructions.  Quality measure: variability — zero within the virtual
 // trace discipline.
+//
+// On the study API: the "divkernel-12-magnitudes" workload fixes one PATH
+// (same trace shape) while sweeping operand magnitudes, and the catalog
+// row compares the "vtrace" platform (constant-duration DIV, scratchpad,
+// reset at trace boundaries) against "ooo-fixedlat" (plain OoO over
+// occupancy states).
 
 #include "bench_common.h"
-#include "core/measures.h"
 #include "core/report.h"
-#include "isa/ast.h"
-#include "isa/cfg.h"
-#include "isa/exec.h"
-#include "isa/workloads.h"
-#include "pipeline/memory_iface.h"
-#include "pipeline/ooo.h"
-#include "pipeline/vtrace.h"
+#include "study/catalog.h"
+#include "study/query.h"
 
 namespace {
 
 using namespace pred;
-using pipeline::Cycles;
 
 void runRow() {
   bench::printHeader("Table 1, row 6",
                      "predictable out-of-order execution using virtual traces");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "Virtual traces";
-  inst.hardwareUnit = "Superscalar OoO pipeline + scratchpads";
-  inst.property = core::Property::PathTime;
-  inst.uncertainties = {core::Uncertainty::InitialHardwareState,
-                        core::Uncertainty::ProgramInput};
-  inst.measure = core::MeasureKind::Range;
-  inst.citation = "[28]";
+  const auto& inst = study::catalog::row("Virtual traces");
   bench::printInstance(inst);
 
-  // divKernel: data-dependent DIV latencies + memory traffic.  Fix one
-  // PATH (same trace shape) while varying operand magnitudes and pipeline
-  // occupancy; compare plain OoO against the virtual-trace discipline.
-  const auto prog = isa::ast::compileBranchy(isa::workloads::divKernel(12));
-  isa::Cfg cfg(prog);
-  const auto base = prog.variables.at("a");
-
-  std::vector<isa::Input> inputs;
-  for (std::int64_t magnitude : {1, 1000, 1000000, 1000000000}) {
-    isa::Input in = isa::varInput(prog, "x", 0);
-    for (int i = 0; i < 12; ++i) in.mem[base + i] = magnitude;
-    in.name = "magnitude=" + std::to_string(magnitude);
-    inputs.push_back(in);
-  }
-
-  pipeline::FixedLatencyMemory mem(2);
-  pipeline::OooPipeline ooo(pipeline::OooConfig{}, &mem);
-  pipeline::VirtualTracePipeline vt(pipeline::VirtualTraceConfig{},
-                                    pipeline::computeTraceBoundaries(cfg, 16));
-
-  std::vector<Cycles> oooTimes, vtTimes;
-  for (const auto& in : inputs) {
-    const auto trace = isa::FunctionalCore::run(prog, in).trace;
-    for (Cycles a = 0; a <= 4; a += 2) {
-      oooTimes.push_back(ooo.run(trace, {a, 0, 0}));
-    }
-    vtTimes.push_back(vt.run(trace));
-  }
-  const auto so = core::computeStats(oooTimes);
-  const auto sv = core::computeStats(vtTimes);
+  exp::ExperimentEngine engine;
+  const auto report = study::compile(inst.spec).runAll(engine);
+  const auto& vt = report.findings[0];   // vtrace
+  const auto& ooo = report.findings[1];  // ooo-fixedlat
 
   core::TextTable t({"discipline", "min", "max", "variability",
                      "slowdown vs OoO best"});
-  t.addRow({"plain OoO (variable DIV, state)", core::fmt(so.minimum, 0),
-            core::fmt(so.maximum, 0), core::fmt(so.range(), 0), "1.0x"});
-  t.addRow({"virtual traces (const DIV, reset)", core::fmt(sv.minimum, 0),
-            core::fmt(sv.maximum, 0), core::fmt(sv.range(), 0),
-            core::fmt(sv.minimum / so.minimum, 2) + "x"});
+  t.addRow({"plain OoO (variable DIV, state)", std::to_string(ooo.bcet),
+            std::to_string(ooo.wcet), std::to_string(ooo.wcet - ooo.bcet),
+            "1.0x"});
+  t.addRow({"virtual traces (const DIV, reset)", std::to_string(vt.bcet),
+            std::to_string(vt.wcet), std::to_string(vt.wcet - vt.bcet),
+            core::fmt(static_cast<double>(vt.bcet) /
+                          static_cast<double>(ooo.bcet),
+                      2) +
+                "x"});
   std::printf("%s", t.render().c_str());
+  bench::printKV("Pr within the virtual-trace discipline",
+                 core::fmt(vt.pr.value, 4));
+  bench::printKV("Pr on the plain OoO pipeline", core::fmt(ooo.pr.value, 4));
   std::printf(
       "shape reproduced: within virtual traces every timing-variable\n"
       "feature is constrained (constant-duration DIV, scratchpad, reset at\n"
@@ -83,13 +56,13 @@ void runRow() {
 }
 
 void BM_VirtualTrace(benchmark::State& state) {
-  const auto prog = isa::ast::compileBranchy(isa::workloads::divKernel(12));
-  isa::Cfg cfg(prog);
-  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
-  pipeline::VirtualTracePipeline vt(pipeline::VirtualTraceConfig{},
-                                    pipeline::computeTraceBoundaries(cfg, 16));
+  const auto query = study::Query()
+                         .workload("divkernel-12-magnitudes")
+                         .platform("vtrace")
+                         .measures({study::Measure::Pr});
+  exp::ExperimentEngine engine;
   for (auto _ : state) {
-    benchmark::DoNotOptimize(vt.run(trace));
+    benchmark::DoNotOptimize(query.run(engine).wcet);
   }
 }
 BENCHMARK(BM_VirtualTrace);

@@ -8,17 +8,16 @@
 // Scenario: a task runs while a preempting task periodically trashes the
 // I-cache.  Unlocked LRU cache: the sound static guarantee under preemption
 // is zero hits, and measured hits vary with the preemption pattern.  Locked
-// cache: guaranteed == measured, for any preemption pattern.
+// cache: guaranteed == measured, for any preemption pattern.  The
+// preemption replay loops live in src/cache/locking.
 
 #include "bench_common.h"
 #include "cache/locking.h"
-#include "cache/set_assoc.h"
 #include "core/measures.h"
 #include "core/report.h"
-#include "isa/ast.h"
 #include "isa/cfg.h"
-#include "isa/exec.h"
-#include "isa/workloads.h"
+#include "study/catalog.h"
+#include "study/query.h"
 
 namespace {
 
@@ -27,20 +26,15 @@ using namespace pred;
 void runRow() {
   bench::printHeader("Table 2, row 3", "static cache locking");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "Static cache locking";
-  inst.hardwareUnit = "Memory hierarchy (I-cache)";
-  inst.property = core::Property::CacheHits;
-  inst.uncertainties = {core::Uncertainty::InitialCacheState,
-                        core::Uncertainty::PreemptingTasks};
-  inst.measure = core::MeasureKind::BoundSize;
-  inst.citation = "[18]";
+  const auto& inst = study::catalog::row("Static cache locking");
   bench::printInstance(inst);
 
-  const auto prog = isa::ast::compileBranchy(isa::workloads::matMul(4));
-  isa::Cfg cfg(prog);
+  const auto w = study::WorkloadRegistry::instance().make(inst.spec.workload);
+  isa::Cfg cfg(w.program);
   const cache::CacheGeometry geom{4, 8, 2};
-  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
+  const cache::CacheTiming timing{1, 8};
+  exp::ExperimentEngine engine;
+  const auto& trace = engine.traceStore().traceFor(w.program, w.inputs[0]);
 
   // The two selection algorithms of the original paper.
   const auto profSel =
@@ -49,35 +43,12 @@ void runRow() {
   const auto staticSel =
       cache::selectByStaticWeight(cfg, geom, geom.totalLines());
 
-  // Unlocked LRU cache under different preemption patterns (the preempting
-  // task trashes the cache every `period` fetches).
-  auto unlockedHits = [&](std::uint64_t period) {
-    cache::SetAssocCache ic(geom, cache::Policy::LRU, cache::CacheTiming{1, 8});
-    std::uint64_t n = 0;
-    for (const auto& rec : trace) {
-      if (period && ++n % period == 0) ic.reset();  // preemption trashes
-      ic.access(rec.pc);
-    }
-    return ic.hits();
-  };
   std::vector<core::Cycles> unlockedMeasured;
   for (std::uint64_t period : {0ull, 4000ull, 1000ull, 250ull, 60ull}) {
-    unlockedMeasured.push_back(unlockedHits(period));
+    unlockedMeasured.push_back(cache::unlockedHitsUnderPreemption(
+        trace, geom, cache::Policy::LRU, timing, period));
   }
   const auto su = core::computeStats(unlockedMeasured);
-
-  auto lockedHits = [&](const cache::LockSelection& sel,
-                        std::uint64_t period) {
-    cache::LockedICache ic(geom, cache::CacheTiming{1, 8}, sel);
-    std::uint64_t n = 0;
-    for (const auto& rec : trace) {
-      if (period && ++n % period == 0) {
-        // Preemption cannot evict locked contents: nothing to do.
-      }
-      ic.fetch(rec.pc);
-    }
-    return ic.hits();
-  };
 
   core::TextTable t({"configuration", "static hit guarantee",
                      "measured min..max under preemption", "variability"});
@@ -90,7 +61,8 @@ void runRow() {
     const auto guaranteed = cache::guaranteedHits(trace, geom, sel);
     std::vector<core::Cycles> measured;
     for (std::uint64_t period : {0ull, 1000ull, 60ull}) {
-      measured.push_back(lockedHits(sel, period));
+      measured.push_back(cache::lockedHitsUnderPreemption(trace, geom, timing,
+                                                          sel, period));
     }
     const auto sm = core::computeStats(measured);
     t.addRow({name, std::to_string(guaranteed),
@@ -105,8 +77,8 @@ void runRow() {
 }
 
 void BM_LockSelection(benchmark::State& state) {
-  const auto prog = isa::ast::compileBranchy(isa::workloads::matMul(4));
-  isa::Cfg cfg(prog);
+  const auto w = study::WorkloadRegistry::instance().make("matmul-4");
+  isa::Cfg cfg(w.program);
   const cache::CacheGeometry geom{4, 8, 2};
   for (auto _ : state) {
     benchmark::DoNotOptimize(

@@ -9,6 +9,7 @@
 #include "core/measures.h"
 #include "core/report.h"
 #include "dram/controllers.h"
+#include "study/catalog.h"
 
 namespace {
 
@@ -50,15 +51,9 @@ void runRow() {
   bench::printHeader("Table 2, row 4",
                      "predictable DRAM controllers (Predator, AMC)");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "Predictable DRAM controllers";
-  inst.hardwareUnit = "DRAM controller in multi-core system";
-  inst.property = core::Property::DramAccessLatency;
-  inst.uncertainties = {core::Uncertainty::ExecutionContext,
-                        core::Uncertainty::DramRefresh};
-  inst.measure = core::MeasureKind::BoundExistence;
-  inst.citation = "[1,17]";
-  bench::printInstance(inst);
+  // The bound-existence measure lives on the DRAM substrate — the catalog
+  // row is declarative-only.
+  bench::printInstance(study::catalog::row("Predictable DRAM controllers"));
 
   const Cycles spacing = 100;  // observed client regulated
   core::TextTable t({"controller", "analytical bound",

@@ -5,70 +5,56 @@
 // simplicity of analysis — the number of program points at which a miss
 // can occur collapses from "every instruction" (conventional I-cache) to
 // "call/return sites".
+//
+// The simulation loops live in src/cache (compareMethodCacheAgainstICache);
+// the catalog row additionally binds the timing view: the same call-heavy
+// workload queried on "inorder-lru-icache" shows the I-cache-state-induced
+// execution-time variability the method cache removes by construction.
 
 #include "bench_common.h"
 #include "cache/method_cache.h"
-#include "cache/set_assoc.h"
 #include "core/report.h"
-#include "isa/ast.h"
-#include "isa/exec.h"
-#include "isa/workloads.h"
+#include "study/catalog.h"
+#include "study/query.h"
 
 namespace {
 
 using namespace pred;
-using cache::Cycles;
 
 void runRow() {
   bench::printHeader("Table 2, row 1", "method cache / function scratchpad");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "Method cache";
-  inst.hardwareUnit = "Memory hierarchy";
-  inst.property = core::Property::MemoryAccessLatency;
-  inst.uncertainties = {core::Uncertainty::InitialCacheState};
-  inst.measure = core::MeasureKind::AnalysisSimplicity;
-  inst.citation = "[23,15]";
+  const auto& inst = study::catalog::row("Method cache");
   bench::printInstance(inst);
 
-  const auto prog =
-      isa::ast::compileBranchy(isa::workloads::callRoundRobin(8, 6, 4));
-  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
+  const auto w = study::WorkloadRegistry::instance().make(inst.spec.workload);
+  exp::ExperimentEngine engine;
+  const auto& trace = engine.traceStore().traceFor(w.program, w.inputs[0]);
 
-  // Method cache run: misses only at call/return.
-  cache::MethodCache mc(96, cache::MethodCacheTiming{0, 4, 1});
-  Cycles mcStall = 0;
-  for (const auto& rec : trace) {
-    if (rec.instr.op == isa::Op::CALL || rec.instr.op == isa::Op::RET) {
-      if (const auto fn = prog.functionAt(rec.nextPc)) {
-        mcStall += mc.onEnter(fn->entry, fn->size());
-      }
-    }
-  }
-
-  // Conventional I-cache run: every fetch goes through the cache.
-  cache::SetAssocCache ic(cache::CacheGeometry{4, 8, 2}, cache::Policy::LRU,
-                          cache::CacheTiming{0, 8});
-  Cycles icStall = 0;
-  for (const auto& rec : trace) icStall += ic.access(rec.pc).latency;
-
-  // Static analysis-simplicity proxy: potential miss points.
-  std::uint64_t callRetSites = 0;
-  for (const auto& ins : prog.code) {
-    if (ins.op == isa::Op::CALL || ins.op == isa::Op::RET) ++callRetSites;
-  }
+  const auto cmp = cache::compareMethodCacheAgainstICache(
+      w.program, trace, /*capacityInstrs=*/96,
+      cache::MethodCacheTiming{0, 4, 1}, cache::CacheGeometry{4, 8, 2},
+      cache::Policy::LRU, cache::CacheTiming{0, 8});
 
   core::TextTable t({"design", "potential miss points (static)",
                      "misses (measured)", "stall cycles"});
-  t.addRow({"method cache", std::to_string(callRetSites),
-            std::to_string(mc.misses()), std::to_string(mcStall)});
-  t.addRow({"conventional I-cache", std::to_string(prog.size()),
-            std::to_string(ic.misses()), std::to_string(icStall)});
+  t.addRow({"method cache", std::to_string(cmp.methodMissPoints),
+            std::to_string(cmp.methodCacheMisses),
+            std::to_string(cmp.methodCacheStallCycles)});
+  t.addRow({"conventional I-cache", std::to_string(cmp.icacheMissPoints),
+            std::to_string(cmp.icacheMisses),
+            std::to_string(cmp.icacheStallCycles)});
   std::printf("%s", t.render().c_str());
   bench::printKV("miss-point reduction",
-                 core::fmt(static_cast<double>(prog.size()) /
-                               static_cast<double>(callRetSites),
+                 core::fmt(static_cast<double>(cmp.icacheMissPoints) /
+                               static_cast<double>(cmp.methodMissPoints),
                            1) + "x fewer program points to analyze");
+
+  // Timing view via the catalog binding: I-cache state in the Q axis.
+  const auto finding = study::compile(inst.spec).run(engine);
+  bench::printKV("SIPr over initial I-cache states (" + finding.platform +
+                     ")",
+                 core::fmt(finding.sipr.value, 4));
   std::printf(
       "shape reproduced: with the method cache an analysis must consider\n"
       "cache behavior only at call/return sites (every other fetch is a\n"
@@ -76,20 +62,14 @@ void runRow() {
 }
 
 void BM_MethodCache(benchmark::State& state) {
-  const auto prog =
-      isa::ast::compileBranchy(isa::workloads::callRoundRobin(8, 6, 4));
-  const auto trace = isa::FunctionalCore::run(prog, isa::Input{}).trace;
+  const auto w =
+      study::WorkloadRegistry::instance().make("callroundrobin-8x6x4");
+  const auto trace = isa::FunctionalCore::run(w.program, w.inputs[0]).trace;
   for (auto _ : state) {
-    cache::MethodCache mc(96, cache::MethodCacheTiming{});
-    Cycles stall = 0;
-    for (const auto& rec : trace) {
-      if (rec.instr.op == isa::Op::CALL || rec.instr.op == isa::Op::RET) {
-        if (const auto fn = prog.functionAt(rec.nextPc)) {
-          stall += mc.onEnter(fn->entry, fn->size());
-        }
-      }
-    }
-    benchmark::DoNotOptimize(stall);
+    benchmark::DoNotOptimize(cache::compareMethodCacheAgainstICache(
+        w.program, trace, 96, cache::MethodCacheTiming{},
+        cache::CacheGeometry{4, 8, 2}, cache::Policy::LRU,
+        cache::CacheTiming{0, 8}));
   }
 }
 BENCHMARK(BM_MethodCache);

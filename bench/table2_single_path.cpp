@@ -4,14 +4,19 @@
 // time.  Uncertainty: program inputs.  Quality measure: variability in
 // execution times — the single-path compilation of the same source has
 // IIPr = 1 (identical trace for every input), at a mean-performance cost.
+//
+// On the study API each comparison is a pair of queries: the branchy
+// workload preset vs its "-sp" single-path sibling (same source, same
+// inputs), on a |Q| = 1 uniform-latency in-order platform that isolates
+// path effects.
 
-#include "analysis/exhaustive.h"
 #include "bench_common.h"
-#include "core/definitions.h"
 #include "core/measures.h"
 #include "core/report.h"
 #include "isa/singlepath.h"
 #include "isa/workloads.h"
+#include "study/catalog.h"
+#include "study/query.h"
 
 namespace {
 
@@ -20,65 +25,34 @@ using namespace pred;
 void runRow() {
   bench::printHeader("Table 2, row 6", "single-path paradigm");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "Single-path code generation";
-  inst.hardwareUnit = "Software-based (compiler)";
-  inst.property = core::Property::ExecutionTime;
-  inst.uncertainties = {core::Uncertainty::ProgramInput};
-  inst.measure = core::MeasureKind::Range;
-  inst.citation = "[19]";
+  const auto& inst = study::catalog::row("Single-path");
   bench::printInstance(inst);
 
-  struct W {
-    std::string name;
-    isa::ast::AstProgram ast;
-    std::string arrayName;
-    std::int64_t len;
-  };
-  const W workloads[] = {
-      {"linearSearch(12)", isa::workloads::linearSearch(12), "a", 12},
-      {"bubbleSort(8)", isa::workloads::bubbleSort(8), "a", 8},
-      {"branchTree(5)", isa::workloads::branchTree(5), "", 0},
-  };
+  // Scratchpad-like uniform memory timing and constant-duration DIV (as
+  // [28] would) to isolate path effects; |Q| = 1.
+  exp::PlatformOptions opts;
+  opts.numStates = 1;
+  opts.dataTiming = cache::CacheTiming{2, 2};
+  opts.inorder.constantDiv = true;
 
+  exp::ExperimentEngine engine;
   core::TextTable t({"workload", "compilation", "BCET", "WCET",
                      "IIPr (Def. 5)", "mean time"});
-  for (const auto& w : workloads) {
+  for (const char* base :
+       {"linearsearch-12", "bubblesort-8", "branchtree-5"}) {
     for (const bool singlePath : {false, true}) {
-      const auto prog = singlePath ? isa::ast::compileSinglePath(w.ast)
-                                   : isa::ast::compileBranchy(w.ast);
-      std::vector<isa::Input> inputs{isa::Input{}};
-      if (!w.arrayName.empty()) {
-        inputs = isa::workloads::randomArrayInputs(prog, w.arrayName, w.len,
-                                                   12, 31, 24);
-        if (prog.variables.count("key")) {
-          for (auto& in : inputs) {
-            in = isa::mergeInputs(in, isa::varInput(prog, "key", 7));
-          }
-        }
-      } else {
-        // branchTree: drive the x0..x4 inputs through corners.
-        for (int mask = 0; mask < 12; ++mask) {
-          isa::Input in;
-          for (int d = 0; d < 5; ++d) {
-            in = isa::mergeInputs(
-                in, isa::varInput(prog, "x" + std::to_string(d),
-                                  (mask >> (d % 4)) & 1 ? 20 : 0));
-          }
-          inputs.push_back(in);
-        }
-      }
-      pipeline::InOrderConfig cfg;
-      cfg.constantDiv = true;  // isolate path effects (as [28] would)
-      const auto setup = analysis::exhaustiveInOrder(
-          prog, inputs, cache::CacheGeometry{4, 8, 2}, cache::Policy::LRU,
-          cache::CacheTiming{2, 2}, 1, 5, cfg);  // scratchpad-like timing
-      const auto ii = core::inputInducedPredictability(setup.matrix);
-      const auto stats = core::computeStats(setup.matrix.values());
-      t.addRow({w.name, singlePath ? "single-path" : "branchy",
-                std::to_string(setup.matrix.bcet()),
-                std::to_string(setup.matrix.wcet()),
-                core::fmt(ii.value, 4), core::fmt(stats.mean, 1)});
+      const std::string workload =
+          singlePath ? std::string(base) + "-sp" : std::string(base);
+      const auto f = study::Query()
+                         .workload(workload)
+                         .platform("inorder-lru", opts)
+                         .measures({study::Measure::IIPr})
+                         .keepMatrix()
+                         .run(engine);
+      const auto stats = core::computeStats(f.matrix->values());
+      t.addRow({base, singlePath ? "single-path" : "branchy",
+                std::to_string(f.bcet), std::to_string(f.wcet),
+                core::fmt(f.iipr.value, 4), core::fmt(stats.mean, 1)});
     }
     t.addRule();
   }

@@ -13,6 +13,7 @@
 #include "isa/cfg.h"
 #include "isa/exec.h"
 #include "isa/workloads.h"
+#include "study/catalog.h"
 
 namespace {
 
@@ -21,14 +22,9 @@ using namespace pred;
 void runRow() {
   bench::printHeader("Table 2, row 2", "split data caches");
 
-  core::PredictabilityInstance inst;
-  inst.approach = "Split caches (static/stack/heap, heap fully assoc.)";
-  inst.hardwareUnit = "Memory hierarchy";
-  inst.property = core::Property::CacheHits;
-  inst.uncertainties = {core::Uncertainty::DataAddresses};
-  inst.measure = core::MeasureKind::StaticallyClassified;
-  inst.citation = "[24]";
-  bench::printInstance(inst);
+  // The quality measure is a static-classification fraction, not a Q x I
+  // timing query — the catalog row is declarative (workload-only).
+  bench::printInstance(study::catalog::row("Split caches"));
 
   core::TextTable t({"workload", "unified: % classified", "split: % classified",
                      "unified: always-hit", "split: always-hit"});

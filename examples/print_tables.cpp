@@ -1,47 +1,50 @@
-// print_tables.cpp — Regenerates Tables 1 and 2 of the paper: the thirteen
-// constructive approaches to predictability, cast as instances of the
-// template (approach | hardware unit | property | source of uncertainty |
-// quality measure).  Every row is backed by an executable model in this
-// repository; bench/ holds the per-row measurements.
+// print_tables.cpp — Regenerates Tables 1 and 2 of the paper from the
+// catalog: the thirteen constructive approaches to predictability, cast as
+// instances of the template (approach | hardware unit | property | source
+// of uncertainty | quality measure).  The rows are QuerySpec literals
+// (src/study/catalog.cpp); where a row binds a workload and platforms, the
+// binding column shows how study::compile() makes it executable — bench/
+// holds the per-row measurements.
 //
-// Usage:   ./build/examples/print_tables
+// Usage:   ./build/example_print_tables
 
 #include <cstdio>
 #include <vector>
 
 #include "core/report.h"
 #include "core/template.h"
+#include "study/catalog.h"
 
-using namespace pred::core;
+using namespace pred;
 
 namespace {
 
-PredictabilityInstance row(std::string approach, std::string unit,
-                           Property prop, std::vector<Uncertainty> unc,
-                           MeasureKind measure, std::string cite) {
-  PredictabilityInstance inst;
-  inst.approach = std::move(approach);
-  inst.hardwareUnit = std::move(unit);
-  inst.property = prop;
-  inst.uncertainties = std::move(unc);
-  inst.measure = measure;
-  inst.citation = std::move(cite);
-  return inst;
-}
-
 void printTable(const char* title,
-                const std::vector<PredictabilityInstance>& rows) {
+                const std::vector<core::PredictabilityInstance>& rows) {
   std::printf("%s\n", title);
-  TextTable t({"Approach", "Hardware unit(s)", "Property",
-               "Source of uncertainty", "Quality measure"});
+  core::TextTable t({"Approach", "Hardware unit(s)", "Property",
+                     "Source of uncertainty", "Quality measure",
+                     "Executable binding"});
   for (const auto& r : rows) {
     std::string unc;
-    for (std::size_t k = 0; k < r.uncertainties.size(); ++k) {
+    for (std::size_t k = 0; k < r.spec.uncertainties.size(); ++k) {
       if (k) unc += "; ";
-      unc += toString(r.uncertainties[k]);
+      unc += core::toString(r.spec.uncertainties[k]);
+    }
+    std::string binding = "(measured on the domain substrate)";
+    if (!r.spec.workload.empty()) {
+      binding = r.spec.workload;
+      if (!r.spec.platforms.empty()) {
+        binding += " on ";
+        for (std::size_t k = 0; k < r.spec.platforms.size(); ++k) {
+          if (k) binding += "/";
+          binding += r.spec.platforms[k];
+        }
+      }
     }
     t.addRow({r.approach + " " + r.citation, r.hardwareUnit,
-              toString(r.property), unc, toString(r.measure)});
+              core::toString(r.spec.property), unc,
+              core::toString(r.spec.measure), binding});
   }
   std::printf("%s\n", t.render().c_str());
 }
@@ -49,60 +52,14 @@ void printTable(const char* title,
 }  // namespace
 
 int main() {
-  const std::vector<PredictabilityInstance> table1 = {
-      row("WCET-oriented static branch prediction", "Branch predictor",
-          Property::BranchMispredictions,
-          {Uncertainty::InitialPredictorState}, MeasureKind::BoundSize,
-          "[5,6]"),
-      row("Time-predictable execution mode", "Superscalar OoO pipeline",
-          Property::BasicBlockTime, {Uncertainty::InitialPipelineState},
-          MeasureKind::Range, "[21]"),
-      row("Time-predictable SMT", "SMT processor", Property::ExecutionTime,
-          {Uncertainty::ExecutionContext}, MeasureKind::Range, "[2,16]"),
-      row("CoMPSoC", "SoC: NoC, VLIW cores, SRAM",
-          Property::MemoryAccessLatency, {Uncertainty::ExecutionContext},
-          MeasureKind::Range, "[9]"),
-      row("Precision-Timed (PRET) architecture",
-          "Thread-interleaved pipeline, scratchpads", Property::ExecutionTime,
-          {Uncertainty::InitialHardwareState, Uncertainty::ExecutionContext},
-          MeasureKind::Range, "[13]"),
-      row("Virtual traces", "Superscalar OoO pipeline, scratchpads",
-          Property::PathTime,
-          {Uncertainty::InitialHardwareState, Uncertainty::ProgramInput},
-          MeasureKind::Range, "[28]"),
-      row("Compositional architectures", "Pipeline, memory hierarchy, buses",
-          Property::ExecutionTime,
-          {Uncertainty::InitialPipelineState, Uncertainty::InitialCacheState,
-           Uncertainty::ExecutionContext},
-          MeasureKind::Range, "[29]"),
-  };
-  const std::vector<PredictabilityInstance> table2 = {
-      row("Method cache", "Memory hierarchy", Property::MemoryAccessLatency,
-          {Uncertainty::InitialCacheState}, MeasureKind::AnalysisSimplicity,
-          "[23,15]"),
-      row("Split caches", "Memory hierarchy", Property::CacheHits,
-          {Uncertainty::DataAddresses}, MeasureKind::StaticallyClassified,
-          "[24]"),
-      row("Static cache locking", "Memory hierarchy", Property::CacheHits,
-          {Uncertainty::InitialCacheState, Uncertainty::PreemptingTasks},
-          MeasureKind::BoundSize, "[18]"),
-      row("Predictable DRAM controllers", "DRAM controller (multi-core)",
-          Property::DramAccessLatency,
-          {Uncertainty::DramRefresh, Uncertainty::ExecutionContext},
-          MeasureKind::BoundExistence, "[1,17]"),
-      row("Predictable DRAM refreshes", "DRAM controller",
-          Property::DramAccessLatency, {Uncertainty::DramRefresh},
-          MeasureKind::Range, "[4]"),
-      row("Single-path paradigm", "Software-based", Property::ExecutionTime,
-          {Uncertainty::ProgramInput}, MeasureKind::Range, "[19]"),
-  };
-
   printTable("Table 1: Part I of constructive approaches to predictability",
-             table1);
+             study::catalog::table1());
   printTable("Table 2: Part II of constructive approaches to predictability",
-             table2);
+             study::catalog::table2());
   std::printf(
-      "Every row is executable: see bench/table1_* and bench/table2_* for\n"
-      "the measured quality-measure comparisons against each baseline.\n");
+      "Every row is a core::QuerySpec literal (src/study/catalog.cpp);\n"
+      "rows with an executable binding compile to a study::Query.  See\n"
+      "bench/table1_* and bench/table2_* for the measured quality-measure\n"
+      "comparisons against each baseline.\n");
   return 0;
 }

@@ -1,25 +1,22 @@
 // quickstart.cpp — The 5-minute tour of the library.
 //
-// 1. Author a small structured program (AST).
-// 2. Compile it to the mini ISA.
-// 3. Define the uncertainty of Definition 2: a set Q of initial hardware
-//    states (a named Platform preset enumerates them) and a set I of
-//    program inputs.
-// 4. Evaluate T_p(q, i) exhaustively with the parallel ExperimentEngine.
-// 5. Compute the paper's predictability measures (Definitions 3-5) and the
-//    Figure 1 bound decomposition.
+// 1. Author a small structured program (AST) and compile it to the mini ISA.
+// 2. Declare the uncertainty of Definition 2 with a study::Query: a named
+//    Platform preset enumerates the hardware-state set Q, the inputs are
+//    the set I.
+// 3. Run the query on the parallel ExperimentEngine — exhaustive mode is
+//    the inherent view, AnalysisBounds mode adds the Figure 1 LB/UB
+//    decomposition.
+// 4. Read the unified Finding: the paper's measures (Definitions 3-5) with
+//    witnesses, BCET/WCET, provenance, and bounds.
 //
 // Build & run:   ./build/example_quickstart
 
 #include <cstdio>
 
-#include "analysis/wcet_bounds.h"
-#include "core/definitions.h"
-#include "core/measures.h"
-#include "exp/engine.h"
-#include "exp/platform.h"
 #include "isa/ast.h"
 #include "isa/workloads.h"
+#include "study/query.h"
 
 using namespace pred;
 using namespace pred::isa::ast;
@@ -37,42 +34,36 @@ int main() {
                      assign("acc", add(var("acc"),
                                        arrayRef("data", var("i")))))),
   });
-
-  // --- 2. Compile. -------------------------------------------------------
   const isa::Program program = compileBranchy(source);
   std::printf("compiled %zu instructions\n", program.size());
 
-  // --- 3. Uncertainty sets Q and I. ---------------------------------------
-  const auto inputs =
-      isa::workloads::randomArrayInputs(program, "data", 8, 10, 1, 20);
+  // --- 2. The query: workload x platform x measures x mode. --------------
   // Q: 8 initial LRU-cache states (state 0 = empty, others warmed),
-  // enumerated by the "inorder-lru" platform preset.
+  // enumerated by the "inorder-lru" platform preset.  I: 10 random arrays.
   exp::PlatformOptions popts;
   popts.numStates = 8;
   popts.seed = 7;
-  popts.dataGeom = cache::CacheGeometry{4, 8, 2};
-  popts.dataTiming = cache::CacheTiming{1, 10};
-  const auto model =
-      exp::PlatformRegistry::instance().make("inorder-lru", program, popts);
+  const auto query =
+      study::Query()
+          .workload("clamp-accumulate", program,
+                    isa::workloads::randomArrayInputs(program, "data", 8, 10,
+                                                      1, 20))
+          .platform("inorder-lru", popts)
+          .measures({study::Measure::Pr, study::Measure::SIPr,
+                     study::Measure::IIPr})
+          .mode(study::AnalysisBounds{});  // exhaustive + Figure 1 LB/UB
 
-  // --- 4. Exhaustive evaluation of T_p(q, i). -----------------------------
-  exp::ExperimentEngine engine;  // thread-pooled; bit-identical to serial
-  const auto matrix = engine.computeMatrix(*model, program, inputs);
+  // --- 3. Run it (thread-pooled; bit-identical to serial). ---------------
+  exp::ExperimentEngine engine;
+  const auto finding = query.run(engine);
 
-  // --- 5. Predictability measures. ----------------------------------------
-  const auto pr = core::timingPredictability(matrix);
-  const auto sipr = core::stateInducedPredictability(matrix);
-  const auto iipr = core::inputInducedPredictability(matrix);
-  std::printf("Pr   (Def. 3) = %.4f   %s\n", pr.value, pr.summary().c_str());
-  std::printf("SIPr (Def. 4) = %.4f\n", sipr.value);
-  std::printf("IIPr (Def. 5) = %.4f\n", iipr.value);
-
-  analysis::BoundsInputs config;
-  config.dataCacheGeom = popts.dataGeom;
-  config.cacheTiming = popts.dataTiming;
-  isa::Cfg cfg(program);
-  const auto fig1 = analysis::figure1Decomposition(
-      cfg, config, matrix.bcet(), matrix.wcet());
-  std::printf("Figure-1 decomposition: %s\n", fig1.summary().c_str());
+  // --- 4. The unified result. --------------------------------------------
+  std::printf("%s\n", finding.summary().c_str());
+  std::printf("Pr   (Def. 3) = %.4f   %s\n", finding.pr.value,
+              finding.pr.summary().c_str());
+  std::printf("SIPr (Def. 4) = %.4f\n", finding.sipr.value);
+  std::printf("IIPr (Def. 5) = %.4f\n", finding.iipr.value);
+  std::printf("Figure-1 decomposition: %s\n",
+              finding.bounds->summary().c_str());
   return 0;
 }

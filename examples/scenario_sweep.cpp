@@ -1,47 +1,32 @@
 // scenario_sweep.cpp — A declarative workload x platform predictability
 // sweep.
 //
-// The ScenarioSuite crosses every added workload (program + input set I)
-// with every added platform (hardware-state set Q) and evaluates
-// Definitions 3-5 on each resulting timing matrix.  One ExperimentEngine
-// serves the whole grid, so each input's functional trace is computed once
-// and replayed on every platform.  Results render as a text table and as
-// CSV/JSON for downstream tooling.
+// The ScenarioSuite is a thin convenience over batched study::Queries: it
+// crosses every added workload (here: named WorkloadRegistry presets) with
+// every added platform (PlatformRegistry preset) and evaluates Definitions
+// 3-5 on each resulting timing matrix.  One ExperimentEngine serves the
+// whole grid, so each input's functional trace is computed once and
+// replayed on every platform.  Results render through the StudyReport
+// sinks as a text table and as CSV/JSON for downstream tooling.
 //
 // Build & run:   ./build/example_scenario_sweep [--csv | --json]
 
 #include <cstdio>
 #include <cstring>
 
-#include "exp/scenario.h"
-#include "isa/ast.h"
-#include "isa/workloads.h"
+#include "study/scenario.h"
 
 using namespace pred;
 
 int main(int argc, char** argv) {
-  exp::ScenarioSuite suite;
+  study::ScenarioSuite suite;
 
-  // Workloads: input-dependent search, a pure counted loop, and a
-  // division-heavy kernel — three distinct input-induced variability shapes.
-  {
-    const auto prog =
-        isa::ast::compileBranchy(isa::workloads::linearSearch(12));
-    auto inputs = isa::workloads::randomArrayInputs(prog, "a", 12, 8, 2024);
-    for (auto& in : inputs) {
-      in = isa::mergeInputs(in, isa::varInput(prog, "key", 5));
-    }
-    suite.addWorkload("linearSearch", prog, inputs);
-  }
-  {
-    const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(16));
-    suite.addWorkload("sumLoop", prog, {isa::Input{}});
-  }
-  {
-    const auto prog = isa::ast::compileBranchy(isa::workloads::divKernel(8));
-    auto inputs = isa::workloads::randomArrayInputs(prog, "a", 8, 6, 77);
-    suite.addWorkload("divKernel", prog, inputs);
-  }
+  // Workloads by registry name: input-dependent search, a pure counted
+  // loop, and a division-heavy kernel — three distinct input-induced
+  // variability shapes.
+  suite.addWorkload("linearsearch-12");
+  suite.addWorkload("sum-16");
+  suite.addWorkload("divkernel-8");
 
   // Platforms: conventional cached pipelines vs the predictable designs the
   // paper's Tables 1/2 survey.
@@ -57,9 +42,9 @@ int main(int argc, char** argv) {
   const auto results = suite.run(engine);
 
   if (argc > 1 && std::strcmp(argv[1], "--csv") == 0) {
-    std::printf("%s", exp::ScenarioSuite::csv(results).c_str());
+    std::printf("%s", study::ScenarioSuite::csv(results).c_str());
   } else if (argc > 1 && std::strcmp(argv[1], "--json") == 0) {
-    std::printf("%s", exp::ScenarioSuite::json(results).c_str());
+    std::printf("%s", study::ScenarioSuite::json(results).c_str());
   } else {
     std::printf("%zu scenarios on %d engine threads; traces computed %llu, "
                 "replayed %llu times\n\n",
@@ -67,7 +52,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     engine.traceStore().misses()),
                 static_cast<unsigned long long>(engine.traceStore().hits()));
-    std::printf("%s", exp::ScenarioSuite::table(results).c_str());
+    std::printf("%s", study::ScenarioSuite::table(results).c_str());
     std::printf(
         "\nreading the grid: scratchpad/PRET/SMT-rtprio rows show SIPr = 1\n"
         "(no state-induced variability); cached and round-robin platforms\n"

@@ -1,38 +1,42 @@
 // single_path_transform.cpp — Shows the single-path paradigm (Puschner &
 // Burns; Table 2, row 6) end to end: the same source AST compiled
 // conventionally and in single-path form, their disassemblies, and their
-// execution-time behavior over inputs.
+// execution-time behavior over inputs, measured through study::Query.
 //
-// Usage:   ./build/examples/single_path_transform
+// Usage:   ./build/example_single_path_transform
 
 #include <cstdio>
 
-#include "analysis/exhaustive.h"
-#include "core/definitions.h"
 #include "isa/ast.h"
 #include "isa/singlepath.h"
 #include "isa/workloads.h"
+#include "study/query.h"
 
 using namespace pred;
 using namespace pred::isa;
 
 namespace {
 
-void timingReport(const char* label, const Program& prog) {
+void timingReport(const char* label, const Program& prog,
+                  exp::ExperimentEngine& engine) {
   auto inputs = workloads::randomArrayInputs(prog, "a", 8, 8, 3, 16);
   for (auto& in : inputs) {
     in = mergeInputs(in, varInput(prog, "key", 5));
   }
-  pipeline::InOrderConfig cfg;
-  cfg.constantDiv = true;
-  const auto setup = analysis::exhaustiveInOrder(
-      prog, inputs, cache::CacheGeometry{4, 8, 2}, cache::Policy::LRU,
-      cache::CacheTiming{2, 2}, 1, 7, cfg);
-  const auto ii = core::inputInducedPredictability(setup.matrix);
+  // Scratchpad-like uniform memory timing, |Q| = 1: isolate path effects.
+  exp::PlatformOptions opts;
+  opts.numStates = 1;
+  opts.dataTiming = cache::CacheTiming{2, 2};
+  opts.inorder.constantDiv = true;
+  const auto finding = study::Query()
+                           .workload(label, prog, std::move(inputs))
+                           .platform("inorder-lru", opts)
+                           .measures({study::Measure::IIPr})
+                           .run(engine);
   std::printf("%-12s BCET=%llu WCET=%llu IIPr=%.4f (over %zu inputs)\n",
-              label, static_cast<unsigned long long>(setup.matrix.bcet()),
-              static_cast<unsigned long long>(setup.matrix.wcet()), ii.value,
-              setup.matrix.numInputs());
+              label, static_cast<unsigned long long>(finding.bcet),
+              static_cast<unsigned long long>(finding.wcet),
+              finding.iipr.value, finding.numInputs);
 }
 
 }  // namespace
@@ -51,8 +55,9 @@ int main() {
   std::printf("%s\n", single.disassemble().c_str());
 
   std::printf("=== timing over random inputs (uniform-latency memory) ===\n");
-  timingReport("branchy", branchy);
-  timingReport("single-path", single);
+  exp::ExperimentEngine engine;
+  timingReport("branchy", branchy, engine);
+  timingReport("single-path", single, engine);
   std::printf(
       "\nThe single-path version executes the same instruction sequence for\n"
       "every input (IIPr = 1): input-dependent branches became predicated\n"

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# bench_smoke.sh — smoke-run every bench binary in the given build dir:
+# each must start, print its table, and complete a minimal benchmark pass,
+# so ported benches can't silently rot.
+#
+# Usage:  scripts/bench_smoke.sh [build-dir]   (default: build)
+set -u
+
+BUILD_DIR="${1:-build}"
+status=0
+for b in "$BUILD_DIR"/bench_*; do
+  echo "== $b"
+  if ! "$b" --benchmark_min_time=0.01 > /dev/null; then
+    echo "FAILED: $b"
+    status=1
+  fi
+done
+exit "$status"

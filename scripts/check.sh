@@ -1,19 +1,37 @@
 #!/usr/bin/env sh
 # check.sh — local tier-1 verify: configure, build, test.
 #
-# Usage:  scripts/check.sh [--asan]
-#   --asan   build with Address+UB sanitizers into build-asan/
+# Usage:  scripts/check.sh [--asan] [--smoke]
+#   --asan    build with Address+UB sanitizers into build-asan/
+#   --smoke   additionally smoke-run every bench binary (the CI bench-smoke
+#             job, locally): each must complete a minimal benchmark pass
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 CMAKE_ARGS=""
-if [ "${1:-}" = "--asan" ]; then
-  BUILD_DIR=build-asan
-  CMAKE_ARGS="-DPRED_SANITIZE=ON"
-fi
+SMOKE=0
+for arg in "$@"; do
+  case "$arg" in
+    --asan)
+      BUILD_DIR=build-asan
+      CMAKE_ARGS="-DPRED_SANITIZE=ON"
+      ;;
+    --smoke)
+      SMOKE=1
+      ;;
+    *)
+      echo "unknown argument: $arg" >&2
+      exit 2
+      ;;
+  esac
+done
 
 cmake -B "$BUILD_DIR" -S . $CMAKE_ARGS
 cmake --build "$BUILD_DIR" -j "$(nproc)"
-cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)"
+(cd "$BUILD_DIR" && ctest --output-on-failure -j "$(nproc)")
+
+if [ "$SMOKE" = 1 ]; then
+  scripts/bench_smoke.sh "$BUILD_DIR"
+fi

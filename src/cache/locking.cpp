@@ -78,4 +78,32 @@ std::uint64_t guaranteedHits(const isa::Trace& trace,
   return hits;
 }
 
+std::uint64_t unlockedHitsUnderPreemption(const isa::Trace& trace,
+                                          const CacheGeometry& geom,
+                                          Policy policy,
+                                          const CacheTiming& timing,
+                                          std::uint64_t preemptionPeriod) {
+  SetAssocCache ic(geom, policy, timing);
+  std::uint64_t n = 0;
+  for (const auto& rec : trace) {
+    if (preemptionPeriod && ++n % preemptionPeriod == 0) ic.reset();
+    ic.access(rec.pc);
+  }
+  return ic.hits();
+}
+
+std::uint64_t lockedHitsUnderPreemption(const isa::Trace& trace,
+                                        const CacheGeometry& geom,
+                                        const CacheTiming& timing,
+                                        const LockSelection& locked,
+                                        std::uint64_t preemptionPeriod) {
+  // Preemption cannot evict locked contents, so the period never influences
+  // the replay; the parameter exists so callers can sweep patterns and
+  // measure exactly that invariance.
+  (void)preemptionPeriod;
+  LockedICache ic(geom, timing, locked);
+  for (const auto& rec : trace) ic.fetch(rec.pc);
+  return ic.hits();
+}
+
 }  // namespace pred::cache

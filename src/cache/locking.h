@@ -73,4 +73,22 @@ class LockedICache {
 std::uint64_t guaranteedHits(const isa::Trace& trace, const CacheGeometry& geom,
                              const LockSelection& locked);
 
+/// Measured hits of an UNLOCKED cache replaying `trace` while a preempting
+/// task trashes the whole cache every `preemptionPeriod` fetches
+/// (0 = no preemption).
+std::uint64_t unlockedHitsUnderPreemption(const isa::Trace& trace,
+                                          const CacheGeometry& geom,
+                                          Policy policy,
+                                          const CacheTiming& timing,
+                                          std::uint64_t preemptionPeriod);
+
+/// Measured hits of a LOCKED cache under the same preemption pattern.
+/// Preemption cannot evict locked contents, so the period never matters —
+/// kept as a parameter to make that invariance measurable.
+std::uint64_t lockedHitsUnderPreemption(const isa::Trace& trace,
+                                        const CacheGeometry& geom,
+                                        const CacheTiming& timing,
+                                        const LockSelection& locked,
+                                        std::uint64_t preemptionPeriod);
+
 }  // namespace pred::cache

@@ -42,4 +42,36 @@ void MethodCache::reset() {
   misses_ = 0;
 }
 
+MethodCacheComparison compareMethodCacheAgainstICache(
+    const isa::Program& program, const isa::Trace& trace,
+    std::int64_t capacityInstrs, MethodCacheTiming mcTiming,
+    const CacheGeometry& icacheGeom, Policy icachePolicy,
+    const CacheTiming& icacheTiming) {
+  MethodCacheComparison cmp;
+
+  MethodCache mc(capacityInstrs, mcTiming);
+  for (const auto& rec : trace) {
+    if (rec.instr.op == isa::Op::CALL || rec.instr.op == isa::Op::RET) {
+      if (const auto fn = program.functionAt(rec.nextPc)) {
+        cmp.methodCacheStallCycles += mc.onEnter(fn->entry, fn->size());
+      }
+    }
+  }
+  cmp.methodCacheMisses = mc.misses();
+
+  SetAssocCache ic(icacheGeom, icachePolicy, icacheTiming);
+  for (const auto& rec : trace) {
+    cmp.icacheStallCycles += ic.access(rec.pc).latency;
+  }
+  cmp.icacheMisses = ic.misses();
+
+  for (const auto& ins : program.code) {
+    if (ins.op == isa::Op::CALL || ins.op == isa::Op::RET) {
+      ++cmp.methodMissPoints;
+    }
+  }
+  cmp.icacheMissPoints = program.size();
+  return cmp;
+}
+
 }  // namespace pred::cache

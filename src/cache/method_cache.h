@@ -17,6 +17,8 @@
 #include <deque>
 #include <vector>
 
+#include "cache/set_assoc.h"
+#include "isa/exec.h"
 #include "isa/program.h"
 
 namespace pred::cache {
@@ -70,5 +72,15 @@ struct MethodCacheComparison {
   Cycles icacheStallCycles = 0;
   std::uint64_t icacheMissPoints = 0;  ///< static instrs that can miss
 };
+
+/// Replays `trace` once through a method cache of the given capacity and
+/// once through a conventional set-associative I-cache, and counts the
+/// static miss points of both designs — the whole Table 2 row 1 comparison
+/// with no cache construction on the caller's side.
+MethodCacheComparison compareMethodCacheAgainstICache(
+    const isa::Program& program, const isa::Trace& trace,
+    std::int64_t capacityInstrs, MethodCacheTiming mcTiming,
+    const CacheGeometry& icacheGeom, Policy icachePolicy,
+    const CacheTiming& icacheTiming);
 
 }  // namespace pred::cache

@@ -157,6 +157,78 @@ PredictabilityValue timingPredictability(const TimingMatrix& m,
   return r;
 }
 
+PredictabilityValue stateInducedPredictability(
+    const TimingMatrix& m, const std::vector<std::size_t>& qSub,
+    const std::vector<std::size_t>& iSub) {
+  if (qSub.empty() || iSub.empty()) {
+    throw std::runtime_error("empty uncertainty subset");
+  }
+  PredictabilityValue best;
+  best.value = 2.0;
+  for (const auto i : iSub) {
+    Cycles lo = ~Cycles{0}, hi = 0;
+    std::size_t qlo = 0, qhi = 0;
+    for (const auto q : qSub) {
+      const Cycles t = m.at(q, i);
+      if (t < lo) {
+        lo = t;
+        qlo = q;
+      }
+      if (t > hi) {
+        hi = t;
+        qhi = q;
+      }
+    }
+    const double v = static_cast<double>(lo) / static_cast<double>(hi);
+    if (v < best.value) {
+      best.value = v;
+      best.minTime = lo;
+      best.maxTime = hi;
+      best.q1 = qlo;
+      best.q2 = qhi;
+      best.i1 = best.i2 = i;
+    }
+  }
+  best.provenance = Inherence::Exhaustive;
+  return best;
+}
+
+PredictabilityValue inputInducedPredictability(
+    const TimingMatrix& m, const std::vector<std::size_t>& qSub,
+    const std::vector<std::size_t>& iSub) {
+  if (qSub.empty() || iSub.empty()) {
+    throw std::runtime_error("empty uncertainty subset");
+  }
+  PredictabilityValue best;
+  best.value = 2.0;
+  for (const auto q : qSub) {
+    Cycles lo = ~Cycles{0}, hi = 0;
+    std::size_t ilo = 0, ihi = 0;
+    for (const auto i : iSub) {
+      const Cycles t = m.at(q, i);
+      if (t < lo) {
+        lo = t;
+        ilo = i;
+      }
+      if (t > hi) {
+        hi = t;
+        ihi = i;
+      }
+    }
+    const double v = static_cast<double>(lo) / static_cast<double>(hi);
+    if (v < best.value) {
+      best.value = v;
+      best.minTime = lo;
+      best.maxTime = hi;
+      best.i1 = ilo;
+      best.i2 = ihi;
+      best.q1 = best.q2 = q;
+    }
+  }
+  best.provenance = Inherence::Exhaustive;
+  return best;
+}
+
 PredictabilityValue sampledTimingPredictability(const TimingFunction& fn,
                                                 std::size_t numStates,
                                                 std::size_t numInputs,

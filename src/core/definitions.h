@@ -98,6 +98,16 @@ PredictabilityValue timingPredictability(const TimingMatrix& m,
                                          const std::vector<std::size_t>& qSub,
                                          const std::vector<std::size_t>& iSub);
 
+/// Defs. 4 and 5 restricted to subsets Q' and I'.  Witness indices refer to
+/// the original matrix.  On the full index sets these agree bit-for-bit
+/// with the unrestricted evaluators (asserted by tests).
+PredictabilityValue stateInducedPredictability(
+    const TimingMatrix& m, const std::vector<std::size_t>& qSub,
+    const std::vector<std::size_t>& iSub);
+PredictabilityValue inputInducedPredictability(
+    const TimingMatrix& m, const std::vector<std::size_t>& qSub,
+    const std::vector<std::size_t>& iSub);
+
 /// Monte-Carlo estimate of Def. 3: evaluates fn on `samples` random (q, i)
 /// pairs.  The result is flagged Inherence::Sampled; it over-estimates the
 /// inherent Pr (min over a subset ≥ min over the full set).

@@ -33,4 +33,12 @@ std::string fmt(double v, int precision = 4);
 /// Formats "x (factor f vs baseline b)".
 std::string fmtVsBaseline(double value, double baseline, int precision = 2);
 
+/// RFC-4180 CSV field quoting: fields containing separators, quotes, or
+/// newlines are wrapped in double quotes with inner quotes doubled.
+std::string csvField(const std::string& s);
+
+/// JSON string literal (including the surrounding quotes): escapes quotes,
+/// backslashes, and control characters.
+std::string jsonString(const std::string& s);
+
 }  // namespace pred::core

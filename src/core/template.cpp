@@ -56,15 +56,32 @@ std::string toString(Inherence i) {
   return "?";
 }
 
+std::string toString(EvalMode m) {
+  switch (m) {
+    case EvalMode::Exhaustive: return "exhaustive";
+    case EvalMode::Sampled: return "sampled";
+    case EvalMode::AnalysisBounds: return "analysis-bounds";
+  }
+  return "?";
+}
+
 std::string tableRow(const PredictabilityInstance& inst) {
   std::ostringstream os;
   os << inst.approach << " " << inst.citation << " | " << inst.hardwareUnit
-     << " | " << toString(inst.property) << " | ";
-  for (std::size_t k = 0; k < inst.uncertainties.size(); ++k) {
+     << " | " << toString(inst.spec.property) << " | ";
+  for (std::size_t k = 0; k < inst.spec.uncertainties.size(); ++k) {
     if (k) os << "; ";
-    os << toString(inst.uncertainties[k]);
+    os << toString(inst.spec.uncertainties[k]);
   }
-  os << " | " << toString(inst.measure);
+  os << " | " << toString(inst.spec.measure);
+  if (!inst.spec.workload.empty()) {
+    os << " | " << inst.spec.workload << " on ";
+    for (std::size_t k = 0; k < inst.spec.platforms.size(); ++k) {
+      if (k) os << "/";
+      os << inst.spec.platforms[k];
+    }
+    os << " (" << toString(inst.spec.mode) << ")";
+  }
   return os.str();
 }
 

@@ -11,14 +11,14 @@
 // This header makes the template a first-class value: a
 // PredictabilityInstance names the property, the uncertainty sources, and
 // the quality measure of one "approach" — exactly the columns of the
-// paper's Tables 1 and 2 — and carries an evaluator that *measures* the
-// quality measure on our executable substrates.  The fourth key aspect,
-// inherence, is represented by recording whether a measurement derives from
-// exhaustive enumeration of the uncertainty (inherent, analysis-independent)
-// or from a particular (possibly suboptimal) analysis.
+// paper's Tables 1 and 2 — as a declarative QuerySpec that the study layer
+// (src/study/query.h) compiles into an executable query over our
+// substrates.  The fourth key aspect, inherence, is represented by
+// recording whether a result derives from exhaustive enumeration of the
+// uncertainty (inherent, analysis-independent), from a sampled subset, or
+// from a particular (possibly suboptimal) analysis.
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
@@ -91,23 +91,59 @@ struct Measurement {
   std::string detail;  ///< free-form, e.g. "min=12 max=48 over |Q|=16,|I|=8"
 };
 
-/// A predictability instance: one row of Table 1/2, made executable.
-struct PredictabilityInstance {
-  std::string approach;       ///< e.g. "WCET-oriented static branch prediction"
-  std::string hardwareUnit;   ///< e.g. "Branch predictor"
+/// How a query evaluates Definition 2's uncertainty space.
+enum class EvalMode : std::uint8_t {
+  Exhaustive,      ///< full Q x I cross product (inherent)
+  Sampled,         ///< Monte-Carlo subset (over-estimates predictability)
+  AnalysisBounds,  ///< exhaustive + static LB/UB (Figure 1 decomposition)
+};
+
+std::string toString(EvalMode m);
+
+/// A declarative query: the paper's template row as *data*.  The property,
+/// uncertainty sources, and quality measure name the template aspects; the
+/// workload and platform names select executable substrates from the
+/// WorkloadRegistry / PlatformRegistry; the mode selects how the
+/// uncertainty space is evaluated.  The study layer compiles a QuerySpec
+/// into a runnable study::Query — there is no opaque evaluator closure
+/// anywhere, so Tables 1 and 2 are literal data (src/study/catalog.h).
+struct QuerySpec {
   Property property = Property::ExecutionTime;
   std::vector<Uncertainty> uncertainties;
   MeasureKind measure = MeasureKind::Ratio;
-  std::string citation;       ///< paper reference tag, e.g. "[5,6]"
 
-  /// Measures the quality measure on the executable substrate, typically
-  /// once for a baseline system and once for the predictable variant.
-  std::function<std::vector<Measurement>()> evaluate;
+  /// WorkloadRegistry name; empty when the row's quality measure is not a
+  /// Q x I timing query (e.g. NoC composability, DRAM latency bounds) — the
+  /// row is then declarative-only and its bench measures it directly.
+  std::string workload;
+  /// PlatformRegistry names the row quantifies over (may be empty, above).
+  std::vector<std::string> platforms;
+
+  EvalMode mode = EvalMode::Exhaustive;
+  std::size_t samples = 0;   ///< Sampled mode: number of (q, i) draws
+  std::uint64_t seed = 1;    ///< Sampled mode: RNG seed
+  int numStates = 8;         ///< requested |Q| per platform
+
+  /// Extent-of-uncertainty restriction (Section 2): quantify over these
+  /// state/input indices only.  Empty = the whole enumerated set.
+  std::vector<std::size_t> stateSubset;
+  std::vector<std::size_t> inputSubset;
+};
+
+/// A predictability instance: one row of Table 1/2.  The template aspects
+/// and the executable substrate live in the declarative `spec`; this struct
+/// adds the survey metadata of the row.
+struct PredictabilityInstance {
+  std::string approach;       ///< e.g. "WCET-oriented static branch prediction"
+  std::string hardwareUnit;   ///< e.g. "Branch predictor"
+  std::string citation;       ///< paper reference tag, e.g. "[5,6]"
+  QuerySpec spec;             ///< property x uncertainty x measure, as data
 };
 
 /// Renders the instance as a row matching the columns of Tables 1 and 2
 /// (Approach | Hardware unit | Property | Source of uncertainty | Quality
-/// measure).
+/// measure), with the executable workload/platform binding appended when
+/// the spec names one.
 std::string tableRow(const PredictabilityInstance& inst);
 
 }  // namespace pred::core

@@ -6,8 +6,10 @@
 
 #include "branch/dynamic.h"
 #include "isa/ast.h"
+#include "isa/cfg.h"
 #include "isa/workloads.h"
 #include "pipeline/memory_iface.h"
+#include "pipeline/vtrace.h"
 
 namespace pred::exp {
 
@@ -137,6 +139,91 @@ class OooModel : public TimingModel {
   std::string name_;
   pipeline::OooConfig config_;
   std::vector<State> states_;
+};
+
+/// Out-of-order pipeline over a fixed-latency scratchpad; Q = the
+/// enumerated unit-occupancy residues alone.  Optionally drains at
+/// basic-block leaders (the preschedule execution mode of Table 1, row 2),
+/// which removes the occupancy's influence entirely.
+class OooFixedLatModel : public TimingModel {
+ public:
+  OooFixedLatModel(std::string name, pipeline::OooConfig config,
+                   Cycles memLatency, std::vector<pipeline::OooInitialState>
+                       states,
+                   std::set<std::int32_t> drainBefore)
+      : name_(std::move(name)),
+        config_(config),
+        memLatency_(memLatency),
+        states_(std::move(states)),
+        drainBefore_(std::move(drainBefore)) {}
+
+  std::string name() const override { return name_; }
+  std::size_t numStates() const override { return states_.size(); }
+  std::string stateLabel(std::size_t q) const override {
+    const auto& s = states_[q];
+    return "occ" + std::to_string(s.iu0Busy) + std::to_string(s.iu1Busy) +
+           std::to_string(s.lsuBusy);
+  }
+
+  Cycles time(std::size_t q, const isa::Trace& trace) const override {
+    pipeline::FixedLatencyMemory mem(memLatency_);
+    pipeline::OooPipeline pipe(config_, &mem);
+    return pipe.run(trace, states_[q],
+                    drainBefore_.empty() ? nullptr : &drainBefore_);
+  }
+
+ private:
+  std::string name_;
+  pipeline::OooConfig config_;
+  Cycles memLatency_;
+  std::vector<pipeline::OooInitialState> states_;
+  std::set<std::int32_t> drainBefore_;
+};
+
+std::unique_ptr<TimingModel> makeOooFixedLat(const std::string& name,
+                                             bool preschedule,
+                                             const isa::Program& program,
+                                             const PlatformOptions& opts) {
+  // Deterministic occupancy residues: the same (iu0, iu1, lsu) sweep the
+  // pre-engine preschedule bench enumerated by hand.
+  std::vector<pipeline::OooInitialState> states;
+  for (Cycles a = 0; a <= 4; ++a) {
+    for (Cycles b = 0; b <= 4; b += 2) {
+      states.push_back(pipeline::OooInitialState{a, b, 0});
+    }
+  }
+  const auto wanted =
+      static_cast<std::size_t>(std::max(opts.numStates, 1));
+  if (states.size() > wanted) states.resize(wanted);
+  std::set<std::int32_t> drain;
+  if (preschedule) {
+    isa::Cfg cfg(program);
+    for (const auto& bb : cfg.blocks()) drain.insert(bb.begin);
+  }
+  return std::make_unique<OooFixedLatModel>(name, opts.ooo,
+                                            opts.scratchpadLatency,
+                                            std::move(states),
+                                            std::move(drain));
+}
+
+/// Virtual-trace discipline: the per-boundary pipeline reset makes the
+/// execution time a pure function of the path — |Q| = 1 by construction.
+class VirtualTraceModel : public TimingModel {
+ public:
+  VirtualTraceModel(pipeline::VirtualTraceConfig config,
+                    std::set<std::int32_t> boundaries)
+      : pipe_(config, std::move(boundaries)) {}
+
+  std::string name() const override { return "vtrace"; }
+  std::size_t numStates() const override { return 1; }
+  std::string stateLabel(std::size_t) const override { return "reset"; }
+
+  Cycles time(std::size_t, const isa::Trace& trace) const override {
+    return pipe_.run(trace);
+  }
+
+ private:
+  pipeline::VirtualTracePipeline pipe_;
 };
 
 std::unique_ptr<TimingModel> makeOoo(const std::string& name,
@@ -281,6 +368,29 @@ PlatformRegistry::PlatformRegistry() {
                [](const isa::Program& p, const PlatformOptions& o) {
                  return makeOoo("ooo-fifo", cache::Policy::FIFO, p, o);
                }});
+  add(Platform{"ooo-fixedlat",
+               "out-of-order pipeline, fixed-latency memory; Q = unit "
+               "occupancies",
+               [](const isa::Program& p, const PlatformOptions& o) {
+                 return makeOooFixedLat("ooo-fixedlat", false, p, o);
+               }});
+  add(Platform{"ooo-preschedule",
+               "out-of-order pipeline draining at basic-block boundaries "
+               "(Rochange & Sainrat); Q = unit occupancies",
+               [](const isa::Program& p, const PlatformOptions& o) {
+                 return makeOooFixedLat("ooo-preschedule", true, p, o);
+               }});
+  add(Platform{"vtrace",
+               "virtual-trace discipline (Whitham & Audsley): constant-"
+               "duration ops, scratchpad, reset at trace boundaries; |Q| = 1",
+               [](const isa::Program& p, const PlatformOptions& o) {
+                 pipeline::VirtualTraceConfig cfg;
+                 cfg.memLatency = o.scratchpadLatency;
+                 isa::Cfg cfgGraph(p);
+                 return std::make_unique<VirtualTraceModel>(
+                     cfg, pipeline::computeTraceBoundaries(
+                              cfgGraph, cfg.maxTraceLen));
+               }});
   add(Platform{"pret",
                "PRET thread-interleaved pipeline; Q = thread slots",
                [](const isa::Program&, const PlatformOptions& o) {
@@ -311,17 +421,18 @@ PlatformRegistry& PlatformRegistry::instance() {
 }
 
 void PlatformRegistry::add(Platform platform) {
-  if (find(platform.name) != nullptr) {
-    throw std::invalid_argument("duplicate platform: " + platform.name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto name = platform.name;
+  if (!platforms_.emplace(name, std::move(platform)).second) {
+    throw std::invalid_argument("duplicate platform: " + name);
   }
-  platforms_.push_back(std::move(platform));
 }
 
 const Platform* PlatformRegistry::find(const std::string& name) const {
-  for (const auto& p : platforms_) {
-    if (p.name == name) return &p;
-  }
-  return nullptr;
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Map nodes are stable and never erased, so the pointer outlives the lock.
+  const auto it = platforms_.find(name);
+  return it == platforms_.end() ? nullptr : &it->second;
 }
 
 std::unique_ptr<TimingModel> PlatformRegistry::make(
@@ -333,11 +444,11 @@ std::unique_ptr<TimingModel> PlatformRegistry::make(
 }
 
 std::vector<std::string> PlatformRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<std::string> out;
   out.reserve(platforms_.size());
-  for (const auto& p : platforms_) out.push_back(p.name);
-  std::sort(out.begin(), out.end());
-  return out;
+  for (const auto& [name, p] : platforms_) out.push_back(name);
+  return out;  // map iteration order is already sorted
 }
 
 }  // namespace pred::exp

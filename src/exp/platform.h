@@ -20,7 +20,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +30,7 @@
 #include "cache/geometry.h"
 #include "cache/policy.h"
 #include "cache/set_assoc.h"
+#include "core/template.h"
 #include "isa/exec.h"
 #include "isa/program.h"
 #include "pipeline/inorder.h"
@@ -37,7 +40,7 @@
 
 namespace pred::exp {
 
-using Cycles = std::uint64_t;
+using core::Cycles;  // one shared cycle type, no shadow definition
 
 /// One system instantiated for one program: an enumerated hardware-state
 /// set Q and the timing evaluator over it.
@@ -130,9 +133,19 @@ struct Platform {
 ///                         reference point)
 ///   ooo-lru / ooo-fifo    out-of-order pipeline; Q pairs cache snapshots
 ///                         with initial unit-occupancy residues
+///   ooo-fixedlat          out-of-order pipeline over a fixed-latency
+///                         scratchpad; Q = unit-occupancy residues only
+///   ooo-preschedule       as ooo-fixedlat, draining at basic-block
+///                         boundaries (Rochange & Sainrat's predictable
+///                         execution mode, Table 1 row 2)
+///   vtrace                virtual-trace discipline (Whitham & Audsley,
+///                         Table 1 row 6); |Q| = 1 by construction
 ///   pret                  thread-interleaved PRET pipeline; Q = thread slot
 ///   smt-rr / smt-rtprio   SMT pipeline; Q = execution contexts (co-runner
 ///                         thread sets), round-robin vs RT-priority issue
+///
+/// All methods are thread-safe; registered platforms are never removed, so
+/// pointers returned by find() stay valid for the registry's lifetime.
 class PlatformRegistry {
  public:
   /// The shared registry instance.
@@ -157,7 +170,8 @@ class PlatformRegistry {
   PlatformRegistry();
 
  private:
-  std::vector<Platform> platforms_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Platform> platforms_;  // sorted; O(log n) find
 };
 
 }  // namespace pred::exp

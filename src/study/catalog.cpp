@@ -1,0 +1,155 @@
+#include "study/catalog.h"
+
+#include <stdexcept>
+
+namespace pred::study::catalog {
+
+namespace {
+
+// Rows are QuerySpec literals; unnamed fields take their in-class defaults.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+
+using core::EvalMode;
+using core::MeasureKind;
+using core::PredictabilityInstance;
+using core::Property;
+using core::QuerySpec;
+using core::Uncertainty;
+
+std::vector<PredictabilityInstance> makeTable1() {
+  return {
+      PredictabilityInstance{
+          "WCET-oriented static branch prediction", "Branch predictor",
+          "[5,6]",
+          QuerySpec{.property = Property::BranchMispredictions,
+                    .uncertainties = {Uncertainty::InitialPredictorState,
+                                      Uncertainty::ProgramInput},
+                    .measure = MeasureKind::BoundSize,
+                    .workload = "bubblesort-10",
+                    .platforms = {"inorder-lru-bimodal", "inorder-lru"}}},
+      PredictabilityInstance{
+          "Time-predictable execution mode (preschedule)",
+          "Superscalar OoO pipeline", "[21]",
+          QuerySpec{.property = Property::BasicBlockTime,
+                    .uncertainties = {Uncertainty::InitialPipelineState},
+                    .measure = MeasureKind::Range,
+                    .workload = "bubblesort-8",
+                    .platforms = {"ooo-fixedlat", "ooo-preschedule"}}},
+      PredictabilityInstance{
+          "Time-predictable simultaneous multithreading", "SMT processor",
+          "[2,16]",
+          QuerySpec{.property = Property::ExecutionTime,
+                    .uncertainties = {Uncertainty::ExecutionContext},
+                    .measure = MeasureKind::Range,
+                    .workload = "sum-24",
+                    .platforms = {"smt-rtprio", "smt-rr"},
+                    .numStates = 4}},
+      PredictabilityInstance{
+          "CoMPSoC (TDM NoC + SRAM arbitration)",
+          "System on chip: NoC, cores, SRAM", "[9]",
+          QuerySpec{.property = Property::MemoryAccessLatency,
+                    .uncertainties = {Uncertainty::ExecutionContext},
+                    .measure = MeasureKind::Range}},
+      PredictabilityInstance{
+          "Precision-Timed (PRET) architecture",
+          "Thread-interleaved pipeline, scratchpads", "[13,7]",
+          QuerySpec{.property = Property::ExecutionTime,
+                    .uncertainties = {Uncertainty::InitialHardwareState,
+                                      Uncertainty::ExecutionContext},
+                    .measure = MeasureKind::Range,
+                    .workload = "matmul-4",
+                    .platforms = {"pret", "ooo-fixedlat"}}},
+      PredictabilityInstance{
+          "Virtual traces", "Superscalar OoO pipeline + scratchpads", "[28]",
+          QuerySpec{.property = Property::PathTime,
+                    .uncertainties = {Uncertainty::InitialHardwareState,
+                                      Uncertainty::ProgramInput},
+                    .measure = MeasureKind::Range,
+                    .workload = "divkernel-12-magnitudes",
+                    .platforms = {"vtrace", "ooo-fixedlat"}}},
+      PredictabilityInstance{
+          "Compositional architecture recommendations",
+          "Pipeline, memory hierarchy, buses", "[29]",
+          QuerySpec{.property = Property::ExecutionTime,
+                    .uncertainties = {Uncertainty::InitialPipelineState,
+                                      Uncertainty::InitialCacheState,
+                                      Uncertainty::ExecutionContext},
+                    .measure = MeasureKind::Range,
+                    .workload = "matmul-4",
+                    .platforms = {"inorder-lru", "inorder-fifo",
+                                  "inorder-plru", "inorder-random"},
+                    .numStates = 10}},
+  };
+}
+
+std::vector<PredictabilityInstance> makeTable2() {
+  return {
+      PredictabilityInstance{
+          "Method cache", "Memory hierarchy", "[23,15]",
+          QuerySpec{.property = Property::MemoryAccessLatency,
+                    .uncertainties = {Uncertainty::InitialCacheState},
+                    .measure = MeasureKind::AnalysisSimplicity,
+                    .workload = "callroundrobin-8x6x4",
+                    .platforms = {"inorder-lru-icache"}}},
+      PredictabilityInstance{
+          "Split caches (static/stack/heap, heap fully assoc.)",
+          "Memory hierarchy", "[24]",
+          QuerySpec{.property = Property::CacheHits,
+                    .uncertainties = {Uncertainty::DataAddresses},
+                    .measure = MeasureKind::StaticallyClassified,
+                    .workload = "heapmix-8"}},
+      PredictabilityInstance{
+          "Static cache locking", "Memory hierarchy (I-cache)", "[18]",
+          QuerySpec{.property = Property::CacheHits,
+                    .uncertainties = {Uncertainty::InitialCacheState,
+                                      Uncertainty::PreemptingTasks},
+                    .measure = MeasureKind::BoundSize,
+                    .workload = "matmul-4"}},
+      PredictabilityInstance{
+          "Predictable DRAM controllers",
+          "DRAM controller in multi-core system", "[1,17]",
+          QuerySpec{.property = Property::DramAccessLatency,
+                    .uncertainties = {Uncertainty::ExecutionContext,
+                                      Uncertainty::DramRefresh},
+                    .measure = MeasureKind::BoundExistence}},
+      PredictabilityInstance{
+          "Burst DRAM refresh", "DRAM controller", "[4]",
+          QuerySpec{.property = Property::DramAccessLatency,
+                    .uncertainties = {Uncertainty::DramRefresh},
+                    .measure = MeasureKind::Range}},
+      PredictabilityInstance{
+          "Single-path code generation", "Software-based (compiler)", "[19]",
+          QuerySpec{.property = Property::ExecutionTime,
+                    .uncertainties = {Uncertainty::ProgramInput},
+                    .measure = MeasureKind::Range,
+                    .workload = "linearsearch-12",
+                    .platforms = {"inorder-lru"},
+                    .numStates = 1}},
+  };
+}
+
+#pragma GCC diagnostic pop
+
+}  // namespace
+
+const std::vector<core::PredictabilityInstance>& table1() {
+  static const std::vector<PredictabilityInstance> rows = makeTable1();
+  return rows;
+}
+
+const std::vector<core::PredictabilityInstance>& table2() {
+  static const std::vector<PredictabilityInstance> rows = makeTable2();
+  return rows;
+}
+
+const core::PredictabilityInstance& row(const std::string& needle) {
+  for (const auto* table : {&table1(), &table2()}) {
+    for (const auto& inst : *table) {
+      if (inst.approach.find(needle) != std::string::npos) return inst;
+    }
+  }
+  throw std::invalid_argument("no catalog row matches: " + needle);
+}
+
+}  // namespace pred::study::catalog

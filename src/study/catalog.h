@@ -1,0 +1,31 @@
+#pragma once
+// catalog.h — Tables 1 and 2 of the paper as literal data.
+//
+// Every surveyed approach is one core::PredictabilityInstance whose
+// QuerySpec names the template aspects (property, uncertainty sources,
+// quality measure) and — where the quality measure is a Q x I timing
+// query — the workload and platform presets that make the row executable
+// via study::compile().  Rows whose measure lives outside the timing-matrix
+// world (NoC composability, DRAM latency bounds, static classification)
+// carry an empty platform list; their benches measure the quality measure
+// directly on the domain substrate, but the row itself is still pure data
+// rendered by core::tableRow.
+
+#include <string>
+#include <vector>
+
+#include "core/template.h"
+
+namespace pred::study::catalog {
+
+/// Table 1: Part I of constructive approaches to predictability.
+const std::vector<core::PredictabilityInstance>& table1();
+
+/// Table 2: Part II of constructive approaches to predictability.
+const std::vector<core::PredictabilityInstance>& table2();
+
+/// The row (from either table) whose approach contains `needle`.
+/// Throws std::invalid_argument when no row matches.
+const core::PredictabilityInstance& row(const std::string& needle);
+
+}  // namespace pred::study::catalog

@@ -1,0 +1,125 @@
+#include "study/finding.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "core/report.h"
+
+namespace pred::study {
+
+std::string toString(Measure m) {
+  switch (m) {
+    case Measure::Pr: return "Pr";
+    case Measure::SIPr: return "SIPr";
+    case Measure::IIPr: return "IIPr";
+  }
+  return "?";
+}
+
+bool Finding::has(Measure m) const {
+  return std::find(requested.begin(), requested.end(), m) != requested.end();
+}
+
+const core::PredictabilityValue& Finding::value(Measure m) const {
+  if (!has(m)) {
+    throw std::logic_error("measure " + toString(m) +
+                           " was not requested by the query");
+  }
+  switch (m) {
+    case Measure::Pr: return pr;
+    case Measure::SIPr: return sipr;
+    case Measure::IIPr: return iipr;
+  }
+  throw std::logic_error("unreachable");
+}
+
+std::string Finding::summary() const {
+  std::ostringstream os;
+  os << workload << " on " << platform << " (|Q|=" << numStates
+     << ", |I|=" << numInputs << ", " << core::toString(provenance) << "):";
+  for (const auto m : requested) {
+    os << " " << toString(m) << "=" << core::fmt(value(m).value, 4);
+  }
+  os << " BCET=" << bcet << " WCET=" << wcet;
+  if (bounds) {
+    os << " LB=" << bounds->lowerBound << " UB=" << bounds->upperBound;
+  }
+  return os.str();
+}
+
+namespace {
+
+std::string measureCell(const Finding& f, Measure m, int precision) {
+  return f.has(m) ? core::fmt(f.value(m).value, precision) : std::string();
+}
+
+}  // namespace
+
+std::string StudyReport::table(const std::vector<Finding>& findings) {
+  core::TextTable t({"workload", "platform", "|Q|", "|I|", "BCET", "WCET",
+                     "Pr", "SIPr", "IIPr", "mode"});
+  for (const auto& f : findings) {
+    t.addRow({f.workload, f.platform, std::to_string(f.numStates),
+              std::to_string(f.numInputs), std::to_string(f.bcet),
+              std::to_string(f.wcet), measureCell(f, Measure::Pr, 4),
+              measureCell(f, Measure::SIPr, 4),
+              measureCell(f, Measure::IIPr, 4), core::toString(f.mode)});
+  }
+  return t.render();
+}
+
+std::string StudyReport::csv(const std::vector<Finding>& findings) {
+  std::string out =
+      "workload,platform,num_states,num_inputs,bcet,wcet,pr,sipr,iipr,mode,"
+      "lb,ub\n";
+  for (const auto& f : findings) {
+    out += core::csvField(f.workload) + ',' + core::csvField(f.platform) +
+           ',' + std::to_string(f.numStates) + ',' +
+           std::to_string(f.numInputs) + ',' + std::to_string(f.bcet) + ',' +
+           std::to_string(f.wcet) + ',' + measureCell(f, Measure::Pr, 6) +
+           ',' + measureCell(f, Measure::SIPr, 6) + ',' +
+           measureCell(f, Measure::IIPr, 6) + ',' + core::toString(f.mode) +
+           ',';
+    out += f.bounds ? std::to_string(f.bounds->lowerBound) : std::string();
+    out += ',';
+    out += f.bounds ? std::to_string(f.bounds->upperBound) : std::string();
+    out += '\n';
+  }
+  return out;
+}
+
+std::string StudyReport::json(const std::vector<Finding>& findings) {
+  std::string out = "[\n";
+  for (std::size_t k = 0; k < findings.size(); ++k) {
+    const auto& f = findings[k];
+    out += "  {\"workload\": " + core::jsonString(f.workload) +
+           ", \"platform\": " + core::jsonString(f.platform) +
+           ", \"num_states\": " + std::to_string(f.numStates) +
+           ", \"num_inputs\": " + std::to_string(f.numInputs) +
+           ", \"bcet\": " + std::to_string(f.bcet) +
+           ", \"wcet\": " + std::to_string(f.wcet);
+    for (const auto m : {Measure::Pr, Measure::SIPr, Measure::IIPr}) {
+      if (!f.has(m)) continue;
+      std::string key = toString(m);
+      std::transform(key.begin(), key.end(), key.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      out += ", \"" + key + "\": " + core::fmt(f.value(m).value, 6);
+    }
+    out += ", \"mode\": " + core::jsonString(core::toString(f.mode));
+    if (f.bounds) {
+      out += ", \"lb\": " + std::to_string(f.bounds->lowerBound) +
+             ", \"ub\": " + std::to_string(f.bounds->upperBound);
+    }
+    out += "}";
+    out += (k + 1 < findings.size()) ? ",\n" : "\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+std::string StudyReport::table() const { return table(findings); }
+std::string StudyReport::csv() const { return csv(findings); }
+std::string StudyReport::json() const { return json(findings); }
+
+}  // namespace pred::study

@@ -1,0 +1,342 @@
+#include "study/query.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "analysis/wcet_bounds.h"
+#include "isa/cfg.h"
+
+namespace pred::study {
+
+namespace {
+
+/// 0..n-1 when `sub` is empty; otherwise `sub` validated against n.
+std::vector<std::size_t> effectiveSubset(const std::vector<std::size_t>& sub,
+                                         std::size_t n, const char* axis) {
+  if (sub.empty()) {
+    std::vector<std::size_t> all(n);
+    for (std::size_t k = 0; k < n; ++k) all[k] = k;
+    return all;
+  }
+  for (const auto k : sub) {
+    if (k >= n) {
+      throw std::invalid_argument(std::string("uncertainty subset index ") +
+                                  std::to_string(k) + " out of range for " +
+                                  axis + " axis of size " +
+                                  std::to_string(n));
+    }
+  }
+  return sub;
+}
+
+}  // namespace
+
+Query::Query(const WorkloadRegistry& workloads,
+             const exp::PlatformRegistry& platforms)
+    : workloads_(&workloads), platforms_(&platforms) {}
+
+Query& Query::workload(std::string name) {
+  if (workloads_->find(name) == nullptr) {
+    throw std::invalid_argument("unknown workload: " + name);
+  }
+  spec_.workload = std::move(name);
+  inlineWorkload_.reset();
+  return *this;
+}
+
+Query& Query::workload(std::string label, isa::Program program,
+                       std::vector<isa::Input> inputs) {
+  if (inputs.empty()) {
+    throw std::invalid_argument("inline workload needs at least one input");
+  }
+  spec_.workload = std::move(label);
+  inlineWorkload_ = WorkloadInstance{std::move(program), std::move(inputs)};
+  return *this;
+}
+
+Query& Query::platform(std::string name) {
+  if (platforms_->find(name) == nullptr) {
+    throw std::invalid_argument("unknown platform: " + name);
+  }
+  spec_.platforms.push_back(std::move(name));
+  platformOptions_.emplace_back();
+  return *this;
+}
+
+Query& Query::platform(std::string name, exp::PlatformOptions options) {
+  platform(std::move(name));
+  platformOptions_.back() = options;
+  spec_.numStates = options.numStates;  // keep the declarative form in step
+  return *this;
+}
+
+Query& Query::options(exp::PlatformOptions options) {
+  defaultOptions_ = options;
+  spec_.numStates = options.numStates;
+  return *this;
+}
+
+Query& Query::measures(std::vector<Measure> ms) {
+  if (ms.empty()) {
+    throw std::invalid_argument("a query needs at least one measure");
+  }
+  measures_ = std::move(ms);
+  measuresExplicit_ = true;
+  return *this;
+}
+
+Query& Query::uncertainty(std::vector<std::size_t> stateSubset,
+                          std::vector<std::size_t> inputSubset) {
+  spec_.stateSubset = std::move(stateSubset);
+  spec_.inputSubset = std::move(inputSubset);
+  return *this;
+}
+
+Query& Query::mode(Exhaustive) {
+  spec_.mode = core::EvalMode::Exhaustive;
+  return *this;
+}
+
+Query& Query::mode(Sampled s) {
+  if (s.samples == 0) {
+    throw std::invalid_argument("Sampled mode requires samples > 0");
+  }
+  spec_.mode = core::EvalMode::Sampled;
+  spec_.samples = s.samples;
+  spec_.seed = s.seed;
+  return *this;
+}
+
+Query& Query::mode(AnalysisBounds) {
+  spec_.mode = core::EvalMode::AnalysisBounds;
+  return *this;
+}
+
+Query& Query::property(core::Property p) {
+  spec_.property = p;
+  return *this;
+}
+
+Query& Query::sources(std::vector<core::Uncertainty> us) {
+  spec_.uncertainties = std::move(us);
+  return *this;
+}
+
+Query& Query::measureKind(core::MeasureKind m) {
+  spec_.measure = m;
+  return *this;
+}
+
+Query& Query::keepMatrix(bool keep) {
+  keepMatrix_ = keep;
+  return *this;
+}
+
+exp::PlatformOptions Query::optionsFor(std::size_t platformIndex) const {
+  if (platformIndex < platformOptions_.size() &&
+      platformOptions_[platformIndex]) {
+    return *platformOptions_[platformIndex];
+  }
+  if (defaultOptions_) return *defaultOptions_;
+  exp::PlatformOptions o;
+  o.numStates = spec_.numStates;
+  return o;
+}
+
+const WorkloadInstance& Query::resolveWorkload(
+    std::optional<WorkloadInstance>& storage) const {
+  if (inlineWorkload_) return *inlineWorkload_;
+  if (spec_.workload.empty()) {
+    throw std::invalid_argument("query has no workload bound");
+  }
+  storage = workloads_->make(spec_.workload);
+  return *storage;
+}
+
+Finding Query::runOne(exp::ExperimentEngine& engine,
+                      const WorkloadInstance& w,
+                      const std::string& platformName,
+                      const exp::PlatformOptions& options) const {
+  const auto model = platforms_->make(platformName, w.program, options);
+
+  Finding f;
+  f.workload = spec_.workload;
+  f.platform = platformName;
+  f.numStates = model->numStates();
+  f.numInputs = w.inputs.size();
+  f.mode = spec_.mode;
+  f.stateLabels.reserve(model->numStates());
+  for (std::size_t q = 0; q < model->numStates(); ++q) {
+    f.stateLabels.push_back(model->stateLabel(q));
+  }
+
+  if (spec_.mode == core::EvalMode::Sampled) {
+    if (!spec_.stateSubset.empty() || !spec_.inputSubset.empty()) {
+      throw std::invalid_argument(
+          "uncertainty subsets apply to exhaustive modes only");
+    }
+    if (measuresExplicit_ &&
+        measures_ != std::vector<Measure>{Measure::Pr}) {
+      throw std::invalid_argument(
+          "Sampled mode evaluates Pr only (Def. 3); SIPr/IIPr need the "
+          "exhaustive matrix");
+    }
+    if (keepMatrix_) {
+      throw std::invalid_argument(
+          "Sampled mode never materializes the matrix; drop keepMatrix or "
+          "use an exhaustive mode");
+    }
+    // Traces are memoized once; sampling then draws (q, i) cells lazily
+    // without materializing the full matrix.
+    std::vector<const isa::Trace*> traces;
+    traces.reserve(w.inputs.size());
+    for (const auto& in : w.inputs) {
+      traces.push_back(&engine.traceStore().traceFor(w.program, in));
+    }
+    const auto fn = [&](std::size_t q, std::size_t i) {
+      return model->time(q, *traces[i]);
+    };
+    f.pr = core::sampledTimingPredictability(fn, model->numStates(),
+                                             w.inputs.size(), spec_.samples,
+                                             spec_.seed);
+    f.provenance = core::Inherence::Sampled;
+    f.requested = {Measure::Pr};
+    f.bcet = f.pr.minTime;
+    f.wcet = f.pr.maxTime;
+    return f;
+  }
+
+  auto matrix = engine.computeMatrix(*model, w.program, w.inputs);
+  const bool restricted =
+      !spec_.stateSubset.empty() || !spec_.inputSubset.empty();
+
+  if (restricted) {
+    const auto qs =
+        effectiveSubset(spec_.stateSubset, matrix.numStates(), "state");
+    const auto is =
+        effectiveSubset(spec_.inputSubset, matrix.numInputs(), "input");
+    f.bcet = ~core::Cycles{0};
+    f.wcet = 0;
+    for (const auto q : qs) {
+      for (const auto i : is) {
+        const auto t = matrix.at(q, i);
+        f.bcet = std::min(f.bcet, t);
+        f.wcet = std::max(f.wcet, t);
+      }
+    }
+    for (const auto m : measures_) {
+      switch (m) {
+        case Measure::Pr:
+          f.pr = core::timingPredictability(matrix, qs, is);
+          break;
+        case Measure::SIPr:
+          f.sipr = core::stateInducedPredictability(matrix, qs, is);
+          break;
+        case Measure::IIPr:
+          f.iipr = core::inputInducedPredictability(matrix, qs, is);
+          break;
+      }
+    }
+  } else {
+    f.bcet = matrix.bcet();
+    f.wcet = matrix.wcet();
+    for (const auto m : measures_) {
+      switch (m) {
+        case Measure::Pr:
+          f.pr = core::timingPredictability(matrix);
+          break;
+        case Measure::SIPr:
+          f.sipr = core::stateInducedPredictability(matrix);
+          break;
+        case Measure::IIPr:
+          f.iipr = core::inputInducedPredictability(matrix);
+          break;
+      }
+    }
+  }
+  f.requested = measures_;
+  f.provenance = core::Inherence::Exhaustive;
+
+  if (spec_.mode == core::EvalMode::AnalysisBounds) {
+    // The static bound analyses model the cached in-order pipeline with LRU
+    // must/may classification; other platforms have no sound bounds here.
+    if (platformName != "inorder-lru" && platformName != "inorder-lru-icache") {
+      throw std::invalid_argument(
+          "AnalysisBounds mode models the inorder-lru / inorder-lru-icache "
+          "platforms only, not " + platformName);
+    }
+    analysis::BoundsInputs bi;
+    bi.pipeConfig = options.inorder;
+    bi.dataCacheGeom = options.dataGeom;
+    bi.cacheTiming = options.dataTiming;
+    if (platformName == "inorder-lru-icache") {
+      bi.instrCacheGeom = options.instrGeom;
+      bi.instrTiming = options.instrTiming;
+    }
+    isa::Cfg cfg(w.program);
+    f.bounds = analysis::figure1Decomposition(cfg, bi, f.bcet, f.wcet);
+  }
+
+  if (keepMatrix_) f.matrix = std::move(matrix);
+  return f;
+}
+
+Finding Query::run(exp::ExperimentEngine& engine) const {
+  if (spec_.platforms.size() != 1) {
+    throw std::invalid_argument(
+        "Query::run needs exactly one platform (got " +
+        std::to_string(spec_.platforms.size()) + "); use runAll for grids");
+  }
+  std::optional<WorkloadInstance> storage;
+  const auto& w = resolveWorkload(storage);
+  return runOne(engine, w, spec_.platforms[0], optionsFor(0));
+}
+
+StudyReport Query::runAll(exp::ExperimentEngine& engine) const {
+  if (spec_.platforms.empty()) {
+    throw std::invalid_argument("query has no platform bound");
+  }
+  // The workload is materialized once and shared across every platform.
+  std::optional<WorkloadInstance> storage;
+  const auto& w = resolveWorkload(storage);
+  StudyReport report;
+  report.findings.reserve(spec_.platforms.size());
+  for (std::size_t k = 0; k < spec_.platforms.size(); ++k) {
+    report.findings.push_back(
+        runOne(engine, w, spec_.platforms[k], optionsFor(k)));
+  }
+  return report;
+}
+
+Query compile(const core::QuerySpec& spec, const WorkloadRegistry& workloads,
+              const exp::PlatformRegistry& platforms) {
+  if (spec.workload.empty() || spec.platforms.empty()) {
+    throw std::invalid_argument(
+        "QuerySpec is declarative-only (no workload/platform binding)");
+  }
+  Query q(workloads, platforms);
+  q.workload(spec.workload);
+  for (const auto& p : spec.platforms) q.platform(p);
+  q.property(spec.property);
+  q.sources(spec.uncertainties);
+  q.measureKind(spec.measure);
+  switch (spec.mode) {
+    case core::EvalMode::Exhaustive:
+      q.mode(Exhaustive{});
+      break;
+    case core::EvalMode::Sampled:
+      q.mode(Sampled{spec.samples, spec.seed});
+      break;
+    case core::EvalMode::AnalysisBounds:
+      q.mode(AnalysisBounds{});
+      break;
+  }
+  q.uncertainty(spec.stateSubset, spec.inputSubset);
+  exp::PlatformOptions o;
+  o.numStates = spec.numStates;
+  q.options(o);
+  return q;
+}
+
+}  // namespace pred::study

@@ -1,0 +1,132 @@
+#pragma once
+// query.h — The library's front door: declarative predictability queries.
+//
+// The paper's contribution is a template — property x uncertainty x quality
+// measure.  A Query is that template made runnable in one expression:
+//
+//   study::Query()
+//       .workload("bubblesort-8")            // I (WorkloadRegistry)
+//       .platform("ooo-fifo")                // Q (PlatformRegistry)
+//       .measures({Measure::Pr, Measure::SIPr, Measure::IIPr})
+//       .mode(Sampled{256, 7})               // or Exhaustive / AnalysisBounds
+//       .run(engine);                        // -> Finding
+//
+// A Query is a thin fluent shell over core::QuerySpec — the same data a
+// Table 1/2 row carries (study/catalog.h) — so every row of the paper's
+// survey compiles to a query and every query renders back into a table row.
+// Exhaustive-mode results are bit-identical to the legacy core:: evaluators
+// on the same matrices (asserted by tests): the study layer adds naming,
+// batching, and provenance, never different arithmetic.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/template.h"
+#include "exp/engine.h"
+#include "exp/platform.h"
+#include "study/finding.h"
+#include "study/workloads.h"
+
+namespace pred::study {
+
+/// Evaluation modes (QuerySpec::mode), as fluent-API tags.
+struct Exhaustive {};
+struct Sampled {
+  std::size_t samples = 256;
+  std::uint64_t seed = 1;
+};
+struct AnalysisBounds {};
+
+class Query {
+ public:
+  /// Uses the shared registries by default.
+  explicit Query(
+      const WorkloadRegistry& workloads = WorkloadRegistry::instance(),
+      const exp::PlatformRegistry& platforms =
+          exp::PlatformRegistry::instance());
+
+  /// Selects a registered workload by name.
+  Query& workload(std::string name);
+  /// Binds an inline workload (program + inputs) under the given label.
+  Query& workload(std::string label, isa::Program program,
+                  std::vector<isa::Input> inputs);
+
+  /// Selects the platform (repeatable; run() requires exactly one, while
+  /// runAll() crosses all of them).
+  Query& platform(std::string name);
+  Query& platform(std::string name, exp::PlatformOptions options);
+
+  /// Platform options applied to every platform of this query that was
+  /// added without explicit options.  Also syncs spec().numStates.
+  Query& options(exp::PlatformOptions options);
+
+  /// The measures to evaluate; default all of Pr, SIPr, IIPr.  Sampled
+  /// mode supports Pr only and rejects any other explicit request.
+  Query& measures(std::vector<Measure> ms);
+
+  /// Extent-of-uncertainty restriction: quantify over these state/input
+  /// indices only (Section 2's partial-knowledge refinement).  An empty
+  /// vector means the full enumerated set on that axis.
+  Query& uncertainty(std::vector<std::size_t> stateSubset,
+                     std::vector<std::size_t> inputSubset);
+
+  Query& mode(Exhaustive);
+  Query& mode(Sampled s);
+  Query& mode(AnalysisBounds);
+
+  /// Declarative template aspects (rendered by tableRow; no effect on the
+  /// computation).
+  Query& property(core::Property p);
+  Query& sources(std::vector<core::Uncertainty> us);
+  Query& measureKind(core::MeasureKind m);
+
+  /// Keep the raw timing matrix in the Finding (off by default: a grid of
+  /// findings should not hold |Q| x |I| cells per cell).
+  Query& keepMatrix(bool keep = true);
+
+  /// The declarative form of this query (a Table 1/2 row's worth of data).
+  const core::QuerySpec& spec() const { return spec_; }
+
+  /// Runs the query on one workload x platform pair.  Throws
+  /// std::invalid_argument if no workload is bound or the query names more
+  /// or fewer than one platform.
+  Finding run(exp::ExperimentEngine& engine) const;
+
+  /// Runs the workload against every platform of the query, in declaration
+  /// order.
+  StudyReport runAll(exp::ExperimentEngine& engine) const;
+
+ private:
+  Finding runOne(exp::ExperimentEngine& engine, const WorkloadInstance& w,
+                 const std::string& platform,
+                 const exp::PlatformOptions& options) const;
+  exp::PlatformOptions optionsFor(std::size_t platformIndex) const;
+  /// The bound workload: the inline instance directly, or the registry
+  /// workload materialized once into `storage`.
+  const WorkloadInstance& resolveWorkload(
+      std::optional<WorkloadInstance>& storage) const;
+
+  const WorkloadRegistry* workloads_;
+  const exp::PlatformRegistry* platforms_;
+  core::QuerySpec spec_;
+  std::optional<WorkloadInstance> inlineWorkload_;
+  std::vector<std::optional<exp::PlatformOptions>> platformOptions_;
+  std::optional<exp::PlatformOptions> defaultOptions_;
+  std::vector<Measure> measures_ = {Measure::Pr, Measure::SIPr,
+                                    Measure::IIPr};
+  bool measuresExplicit_ = false;
+  bool keepMatrix_ = false;
+};
+
+/// Compiles a declarative QuerySpec (e.g. a catalog row) into a runnable
+/// query: resolves the workload and platform names against the registries
+/// and forwards mode, subsets, and |Q|.  Throws std::invalid_argument when
+/// the spec is declarative-only (empty workload/platform) or names unknown
+/// entries.
+Query compile(const core::QuerySpec& spec,
+              const WorkloadRegistry& workloads = WorkloadRegistry::instance(),
+              const exp::PlatformRegistry& platforms =
+                  exp::PlatformRegistry::instance());
+
+}  // namespace pred::study

@@ -1,0 +1,63 @@
+#include "study/scenario.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pred::study {
+
+void ScenarioSuite::addWorkload(std::string name, isa::Program program,
+                                std::vector<isa::Input> inputs) {
+  workloads_decl_.push_back(WorkloadDecl{std::move(name), false,
+                                         std::move(program),
+                                         std::move(inputs)});
+}
+
+void ScenarioSuite::addWorkload(const std::string& registryName) {
+  if (workloads_->find(registryName) == nullptr) {
+    throw std::invalid_argument("unknown workload: " + registryName);
+  }
+  workloads_decl_.push_back(WorkloadDecl{registryName, true, {}, {}});
+}
+
+void ScenarioSuite::addPlatform(std::string platformName,
+                                exp::PlatformOptions options) {
+  if (platforms_->find(platformName) == nullptr) {
+    throw std::invalid_argument("unknown platform: " + platformName);
+  }
+  platforms_decl_.push_back(PlatformDecl{std::move(platformName), options});
+}
+
+std::vector<ScenarioResult> ScenarioSuite::run(
+    exp::ExperimentEngine& engine) const {
+  std::vector<ScenarioResult> results;
+  results.reserve(numScenarios());
+  for (const auto& w : workloads_decl_) {
+    // One query per workload: runAll materializes the workload once and
+    // shares it across every platform of the row.
+    Query q(*workloads_, *platforms_);
+    if (w.fromRegistry) {
+      q.workload(w.name);
+    } else {
+      q.workload(w.name, w.program, w.inputs);
+    }
+    for (const auto& p : platforms_decl_) q.platform(p.name, p.options);
+    q.keepMatrix(keepMatrices_);
+    auto row = q.runAll(engine);
+    for (auto& f : row.findings) results.push_back(std::move(f));
+  }
+  return results;
+}
+
+std::string ScenarioSuite::table(const std::vector<ScenarioResult>& results) {
+  return StudyReport::table(results);
+}
+
+std::string ScenarioSuite::csv(const std::vector<ScenarioResult>& results) {
+  return StudyReport::csv(results);
+}
+
+std::string ScenarioSuite::json(const std::vector<ScenarioResult>& results) {
+  return StudyReport::json(results);
+}
+
+}  // namespace pred::study

@@ -1,0 +1,84 @@
+#pragma once
+// scenario.h — Declarative workload × platform experiment grids.
+//
+// A ScenarioSuite is a thin convenience over batched queries: it crosses
+// named workloads (inline or from the WorkloadRegistry) with named
+// platforms (PlatformRegistry), runs one study::Query per cell on a shared
+// ExperimentEngine — so the functional trace of each workload input is
+// computed once and reused across every platform in the grid — and returns
+// the unified Finding per cell.  The sinks are the StudyReport sinks.
+//
+// Large sweeps: by default the per-cell timing matrices are NOT retained
+// (a |Q|x|I| matrix per cell adds up fast on big grids); opt in with
+// keepMatrices(true) when the caller needs the raw cells.
+
+#include <string>
+#include <vector>
+
+#include "study/query.h"
+
+namespace pred::study {
+
+/// One cell of the scenario grid, fully evaluated.
+using ScenarioResult = Finding;
+
+class ScenarioSuite {
+ public:
+  /// Uses the shared registries by default.
+  explicit ScenarioSuite(
+      const WorkloadRegistry& workloads = WorkloadRegistry::instance(),
+      const exp::PlatformRegistry& platforms =
+          exp::PlatformRegistry::instance())
+      : workloads_(&workloads), platforms_(&platforms) {}
+
+  /// Adds an inline workload: a program plus the input set I.
+  void addWorkload(std::string name, isa::Program program,
+                   std::vector<isa::Input> inputs);
+
+  /// Adds a workload by registry name.  Throws std::invalid_argument if
+  /// unknown.
+  void addWorkload(const std::string& registryName);
+
+  /// Adds a platform by registry name.  Throws std::invalid_argument if the
+  /// name is unknown.
+  void addPlatform(std::string platformName, exp::PlatformOptions options = {});
+
+  /// Retain each cell's timing matrix in its Finding (default off).
+  void keepMatrices(bool keep) { keepMatrices_ = keep; }
+
+  std::size_t numWorkloads() const { return workloads_decl_.size(); }
+  std::size_t numPlatforms() const { return platforms_decl_.size(); }
+  /// Scenarios run() will evaluate (the full cross product).
+  std::size_t numScenarios() const {
+    return workloads_decl_.size() * platforms_decl_.size();
+  }
+
+  /// Evaluates every workload × platform combination, in declaration order
+  /// (workload-major).
+  std::vector<ScenarioResult> run(exp::ExperimentEngine& engine) const;
+
+  /// StudyReport sinks over the grid.
+  static std::string table(const std::vector<ScenarioResult>& results);
+  static std::string csv(const std::vector<ScenarioResult>& results);
+  static std::string json(const std::vector<ScenarioResult>& results);
+
+ private:
+  struct WorkloadDecl {
+    std::string name;
+    bool fromRegistry = false;
+    isa::Program program;           // inline only
+    std::vector<isa::Input> inputs; // inline only
+  };
+  struct PlatformDecl {
+    std::string name;
+    exp::PlatformOptions options;
+  };
+
+  const WorkloadRegistry* workloads_;
+  const exp::PlatformRegistry* platforms_;
+  std::vector<WorkloadDecl> workloads_decl_;
+  std::vector<PlatformDecl> platforms_decl_;
+  bool keepMatrices_ = false;
+};
+
+}  // namespace pred::study

@@ -1,0 +1,185 @@
+#include "study/workloads.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "isa/ast.h"
+#include "isa/singlepath.h"
+#include "isa/workloads.h"
+
+namespace pred::study {
+
+namespace {
+
+using isa::workloads::randomArrayInputs;
+
+std::vector<isa::Input> singleInput() { return {isa::Input{}}; }
+
+/// Array inputs plus a fixed search key (workloads reading "a" and "key").
+std::vector<isa::Input> keyedArrayInputs(const isa::Program& prog,
+                                         std::int64_t n, int howMany,
+                                         std::uint64_t seed,
+                                         std::int64_t range,
+                                         std::int64_t key) {
+  auto inputs = randomArrayInputs(prog, "a", n, howMany, seed, range);
+  for (auto& in : inputs) {
+    in = isa::mergeInputs(in, isa::varInput(prog, "key", key));
+  }
+  return inputs;
+}
+
+/// branchtree: drive the x0..x{depth-1} inputs through corner patterns.
+std::vector<isa::Input> cornerInputs(const isa::Program& prog, int depth,
+                                     int howMany) {
+  std::vector<isa::Input> inputs{isa::Input{}};
+  for (int mask = 0; mask < howMany; ++mask) {
+    isa::Input in;
+    for (int d = 0; d < depth; ++d) {
+      in = isa::mergeInputs(
+          in, isa::varInput(prog, "x" + std::to_string(d),
+                            (mask >> (d % 4)) & 1 ? 20 : 0));
+    }
+    inputs.push_back(in);
+  }
+  return inputs;
+}
+
+/// divKernel with a fixed path and operand magnitudes swept — the virtual-
+/// trace row's subject (variable DIV latency without control variability).
+std::vector<isa::Input> magnitudeInputs(const isa::Program& prog,
+                                        std::int64_t n) {
+  const auto base = prog.variables.at("a");
+  std::vector<isa::Input> inputs;
+  for (std::int64_t magnitude : {std::int64_t{1}, std::int64_t{1000},
+                                 std::int64_t{1000000},
+                                 std::int64_t{1000000000}}) {
+    isa::Input in = isa::varInput(prog, "x", 0);
+    for (std::int64_t i = 0; i < n; ++i) in.mem[base + i] = magnitude;
+    in.name = "magnitude=" + std::to_string(magnitude);
+    inputs.push_back(std::move(in));
+  }
+  return inputs;
+}
+
+}  // namespace
+
+WorkloadRegistry::WorkloadRegistry() {
+  auto preset = [this](std::string name, std::string description,
+                       std::function<WorkloadInstance()> make) {
+    add(Workload{std::move(name), std::move(description), std::move(make)});
+  };
+
+  for (const std::int64_t n : {16, 24, 32}) {
+    preset("sum-" + std::to_string(n),
+           "array sum, counted loop, input-independent path", [n] {
+             return WorkloadInstance{
+                 isa::ast::compileBranchy(isa::workloads::sumLoop(n)),
+                 singleInput()};
+           });
+  }
+  preset("linearsearch-12",
+         "linear search over 12 words, 16 random arrays, key=5", [] {
+           auto prog =
+               isa::ast::compileBranchy(isa::workloads::linearSearch(12));
+           auto inputs = keyedArrayInputs(prog, 12, 16, 2024, 12, 5);
+           return WorkloadInstance{std::move(prog), std::move(inputs)};
+         });
+  preset("linearsearch-12-sp",
+         "single-path compilation of linearsearch-12 (same inputs)", [] {
+           auto prog =
+               isa::ast::compileSinglePath(isa::workloads::linearSearch(12));
+           auto inputs = keyedArrayInputs(prog, 12, 16, 2024, 12, 5);
+           return WorkloadInstance{std::move(prog), std::move(inputs)};
+         });
+  preset("bubblesort-8", "bubble sort of 8 words, 12 random arrays", [] {
+    auto prog = isa::ast::compileBranchy(isa::workloads::bubbleSort(8));
+    auto inputs = randomArrayInputs(prog, "a", 8, 12, 31, 24);
+    return WorkloadInstance{std::move(prog), std::move(inputs)};
+  });
+  preset("bubblesort-8-sp",
+         "single-path compilation of bubblesort-8 (same inputs)", [] {
+           auto prog =
+               isa::ast::compileSinglePath(isa::workloads::bubbleSort(8));
+           auto inputs = randomArrayInputs(prog, "a", 8, 12, 31, 24);
+           return WorkloadInstance{std::move(prog), std::move(inputs)};
+         });
+  preset("bubblesort-10", "bubble sort of 10 words, 12 random arrays", [] {
+    auto prog = isa::ast::compileBranchy(isa::workloads::bubbleSort(10));
+    auto inputs = randomArrayInputs(prog, "a", 10, 12, 555, 64);
+    return WorkloadInstance{std::move(prog), std::move(inputs)};
+  });
+  preset("branchtree-5", "depth-5 if-tree classifier, 13 corner inputs", [] {
+    auto prog = isa::ast::compileBranchy(isa::workloads::branchTree(5));
+    auto inputs = cornerInputs(prog, 5, 12);
+    return WorkloadInstance{std::move(prog), std::move(inputs)};
+  });
+  preset("branchtree-5-sp",
+         "single-path compilation of branchtree-5 (same inputs)", [] {
+           auto prog =
+               isa::ast::compileSinglePath(isa::workloads::branchTree(5));
+           auto inputs = cornerInputs(prog, 5, 12);
+           return WorkloadInstance{std::move(prog), std::move(inputs)};
+         });
+  preset("matmul-4", "4x4 matrix multiply, single input", [] {
+    return WorkloadInstance{
+        isa::ast::compileBranchy(isa::workloads::matMul(4)), singleInput()};
+  });
+  preset("divkernel-8", "division kernel over 8 words, 6 random inputs", [] {
+    auto prog = isa::ast::compileBranchy(isa::workloads::divKernel(8));
+    auto inputs = randomArrayInputs(prog, "a", 8, 6, 77);
+    return WorkloadInstance{std::move(prog), std::move(inputs)};
+  });
+  preset("divkernel-12-magnitudes",
+         "division kernel, fixed path, operand magnitudes 1..1e9", [] {
+           auto prog =
+               isa::ast::compileBranchy(isa::workloads::divKernel(12));
+           auto inputs = magnitudeInputs(prog, 12);
+           return WorkloadInstance{std::move(prog), std::move(inputs)};
+         });
+  preset("heapmix-8", "heap-pointer mix over 8 words, single input", [] {
+    return WorkloadInstance{
+        isa::ast::compileBranchy(isa::workloads::heapMix(8)), singleInput()};
+  });
+  preset("callroundrobin-8x6x4",
+         "8 functions x 6-statement bodies x 4 rounds (method cache)", [] {
+           return WorkloadInstance{
+               isa::ast::compileBranchy(
+                   isa::workloads::callRoundRobin(8, 6, 4)),
+               singleInput()};
+         });
+}
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry registry;
+  return registry;
+}
+
+void WorkloadRegistry::add(Workload workload) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto name = workload.name;
+  if (!workloads_.emplace(name, std::move(workload)).second) {
+    throw std::invalid_argument("duplicate workload: " + name);
+  }
+}
+
+const Workload* WorkloadRegistry::find(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = workloads_.find(name);
+  return it == workloads_.end() ? nullptr : &it->second;
+}
+
+WorkloadInstance WorkloadRegistry::make(const std::string& name) const {
+  const Workload* w = find(name);
+  if (w == nullptr) throw std::invalid_argument("unknown workload: " + name);
+  return w->make();
+}
+
+std::vector<std::string> WorkloadRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(workloads_.size());
+  for (const auto& [name, w] : workloads_) out.push_back(name);
+  return out;
+}
+
+}  // namespace pred::study

@@ -210,15 +210,28 @@ TEST(Template, TableRowRendersAllAspects) {
   PredictabilityInstance inst;
   inst.approach = "Method Cache";
   inst.hardwareUnit = "Memory hierarchy";
-  inst.property = Property::MemoryAccessLatency;
-  inst.uncertainties = {Uncertainty::InitialCacheState};
-  inst.measure = MeasureKind::AnalysisSimplicity;
   inst.citation = "[23,15]";
+  inst.spec.property = Property::MemoryAccessLatency;
+  inst.spec.uncertainties = {Uncertainty::InitialCacheState};
+  inst.spec.measure = MeasureKind::AnalysisSimplicity;
   const auto row = tableRow(inst);
   EXPECT_NE(row.find("Method Cache"), std::string::npos);
   EXPECT_NE(row.find("memory access latency"), std::string::npos);
   EXPECT_NE(row.find("initial cache state"), std::string::npos);
   EXPECT_NE(row.find("analysis simplicity"), std::string::npos);
+}
+
+TEST(Template, TableRowRendersExecutableBinding) {
+  PredictabilityInstance inst;
+  inst.approach = "Approach";
+  inst.hardwareUnit = "Unit";
+  inst.citation = "[1]";
+  inst.spec.workload = "bubblesort-8";
+  inst.spec.platforms = {"ooo-fifo", "inorder-lru"};
+  const auto row = tableRow(inst);
+  EXPECT_NE(row.find("bubblesort-8 on ooo-fifo/inorder-lru"),
+            std::string::npos);
+  EXPECT_NE(row.find("(exhaustive)"), std::string::npos);
 }
 
 TEST(Template, EnumPrintersTotal) {

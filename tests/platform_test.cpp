@@ -121,6 +121,39 @@ TEST(Platforms, PretSlotTimesMatchThePipelineClosedForm) {
   }
 }
 
+TEST(Platforms, PreschedulePresetRemovesOccupancySpread) {
+  // Table 1 row 2 as a registry-level invariant: the plain fixed-latency
+  // OoO preset varies with the occupancy residue; the preschedule preset
+  // (drain at basic-block boundaries) does not.
+  const auto prog = testProgram();
+  PlatformOptions opts;
+  opts.numStates = 15;
+  ExperimentEngine engine;
+  const auto inputs = testInputs(prog);
+
+  const auto plain =
+      PlatformRegistry::instance().make("ooo-fixedlat", prog, opts);
+  EXPECT_EQ(plain->numStates(), 15u);
+  const auto mPlain = engine.computeMatrix(*plain, prog, inputs);
+  EXPECT_LT(core::stateInducedPredictability(mPlain).value, 1.0);
+
+  const auto drained =
+      PlatformRegistry::instance().make("ooo-preschedule", prog, opts);
+  const auto mDrained = engine.computeMatrix(*drained, prog, inputs);
+  EXPECT_DOUBLE_EQ(core::stateInducedPredictability(mDrained).value, 1.0);
+  // The predictability is paid for in throughput.
+  EXPECT_GE(mDrained.wcet(), mPlain.wcet());
+}
+
+TEST(Platforms, VirtualTracePresetHasSingleResetState) {
+  const auto prog = testProgram();
+  const auto model = PlatformRegistry::instance().make("vtrace", prog);
+  EXPECT_EQ(model->numStates(), 1u);
+  ExperimentEngine engine;
+  const auto m = engine.computeMatrix(*model, prog, testInputs(prog));
+  EXPECT_DOUBLE_EQ(core::stateInducedPredictability(m).value, 1.0);
+}
+
 TEST(Platforms, CachePresetStatesAreDistinctAndDeterministic) {
   const auto prog = testProgram();
   PlatformOptions opts;

@@ -7,11 +7,11 @@
 #include <sstream>
 #include <stdexcept>
 
-#include "exp/scenario.h"
+#include "study/scenario.h"
 #include "isa/ast.h"
 #include "isa/workloads.h"
 
-namespace pred::exp {
+namespace pred::study {
 namespace {
 
 ScenarioSuite smallSuite() {
@@ -28,7 +28,7 @@ ScenarioSuite smallSuite() {
     const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(8));
     suite.addWorkload("sumLoop", prog, {isa::Input{}});
   }
-  PlatformOptions opts;
+  exp::PlatformOptions opts;
   opts.numStates = 4;
   suite.addPlatform("inorder-lru", opts);
   suite.addPlatform("inorder-scratchpad", opts);
@@ -39,7 +39,7 @@ ScenarioSuite smallSuite() {
 TEST(ScenarioSuite, RunsTheFullCrossProductInDeclarationOrder) {
   const auto suite = smallSuite();
   EXPECT_EQ(suite.numScenarios(), 6u);
-  ExperimentEngine engine;
+  exp::ExperimentEngine engine;
   const auto results = suite.run(engine);
   ASSERT_EQ(results.size(), 6u);
   EXPECT_EQ(results[0].workload, "linearSearch");
@@ -64,21 +64,50 @@ TEST(ScenarioSuite, ResultsMatchDirectEngineComputation) {
   for (auto& in : inputs) {
     in = isa::mergeInputs(in, isa::varInput(prog, "key", 1));
   }
-  PlatformOptions opts;
+  exp::PlatformOptions opts;
   opts.numStates = 4;
 
   ScenarioSuite suite;
   suite.addWorkload("w", prog, inputs);
   suite.addPlatform("inorder-fifo", opts);
-  ExperimentEngine engine;
+  suite.keepMatrices(true);
+  exp::ExperimentEngine engine;
   const auto results = suite.run(engine);
   ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].matrix.has_value());
 
   const auto model =
-      PlatformRegistry::instance().make("inorder-fifo", prog, opts);
-  ExperimentEngine direct;
-  EXPECT_TRUE(results[0].matrix ==
+      exp::PlatformRegistry::instance().make("inorder-fifo", prog, opts);
+  exp::ExperimentEngine direct;
+  EXPECT_TRUE(*results[0].matrix ==
               direct.computeMatrix(*model, prog, inputs));
+}
+
+TEST(ScenarioSuite, MatricesAreDroppedByDefault) {
+  const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(4));
+  ScenarioSuite suite;
+  suite.addWorkload("w", prog, {isa::Input{}});
+  exp::PlatformOptions opts;
+  opts.numStates = 2;
+  suite.addPlatform("inorder-lru", opts);
+  exp::ExperimentEngine engine;
+  const auto results = suite.run(engine);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_FALSE(results[0].matrix.has_value());
+}
+
+TEST(ScenarioSuite, RegistryWorkloadsRunByName) {
+  ScenarioSuite suite;
+  suite.addWorkload("sum-16");
+  EXPECT_THROW(suite.addWorkload("not-a-workload"), std::invalid_argument);
+  exp::PlatformOptions opts;
+  opts.numStates = 2;
+  suite.addPlatform("inorder-scratchpad", opts);
+  exp::ExperimentEngine engine;
+  const auto results = suite.run(engine);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].workload, "sum-16");
+  EXPECT_EQ(results[0].sipr.value, 1.0);  // scratchpad: |Q| = 1
 }
 
 TEST(ScenarioSuite, UnknownPlatformIsRejectedAtDeclarationTime) {
@@ -88,7 +117,7 @@ TEST(ScenarioSuite, UnknownPlatformIsRejectedAtDeclarationTime) {
 
 TEST(ScenarioSuite, SharesTracesAcrossPlatforms) {
   const auto suite = smallSuite();  // 2 workloads x 3 platforms
-  ExperimentEngine engine;
+  exp::ExperimentEngine engine;
   suite.run(engine);
   // 4 + 1 inputs, each traced exactly once despite 3 platforms replaying it.
   EXPECT_EQ(engine.traceStore().misses(), 5u);
@@ -97,14 +126,15 @@ TEST(ScenarioSuite, SharesTracesAcrossPlatforms) {
 
 TEST(ScenarioSuite, CsvHasHeaderAndOneLinePerScenario) {
   const auto suite = smallSuite();
-  ExperimentEngine engine;
+  exp::ExperimentEngine engine;
   const auto results = suite.run(engine);
   const auto csv = ScenarioSuite::csv(results);
   std::istringstream lines(csv);
   std::string line;
   ASSERT_TRUE(std::getline(lines, line));
   EXPECT_EQ(line,
-            "workload,platform,num_states,num_inputs,bcet,wcet,pr,sipr,iipr");
+            "workload,platform,num_states,num_inputs,bcet,wcet,pr,sipr,iipr,"
+            "mode,lb,ub");
   std::size_t rows = 0;
   while (std::getline(lines, line)) {
     if (!line.empty()) ++rows;
@@ -116,10 +146,10 @@ TEST(ScenarioSuite, SinksEscapeHostileWorkloadNames) {
   ScenarioSuite suite;
   const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(4));
   suite.addWorkload("search, \"warm\"", prog, {isa::Input{}});
-  PlatformOptions opts;
+  exp::PlatformOptions opts;
   opts.numStates = 1;
   suite.addPlatform("inorder-scratchpad", opts);
-  ExperimentEngine engine;
+  exp::ExperimentEngine engine;
   const auto results = suite.run(engine);
 
   const auto csv = ScenarioSuite::csv(results);
@@ -132,7 +162,7 @@ TEST(ScenarioSuite, SinksEscapeHostileWorkloadNames) {
 
 TEST(ScenarioSuite, JsonAndTableRenderEveryScenario) {
   const auto suite = smallSuite();
-  ExperimentEngine engine;
+  exp::ExperimentEngine engine;
   const auto results = suite.run(engine);
   const auto json = ScenarioSuite::json(results);
   EXPECT_EQ(json.front(), '[');
@@ -148,4 +178,4 @@ TEST(ScenarioSuite, JsonAndTableRenderEveryScenario) {
 }
 
 }  // namespace
-}  // namespace pred::exp
+}  // namespace pred::study
