@@ -10,7 +10,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "core/report.h"
@@ -29,6 +32,51 @@ inline void printInstance(const core::PredictabilityInstance& inst) {
 
 inline void printKV(const std::string& key, const std::string& value) {
   std::printf("  %-46s %s\n", (key + ":").c_str(), value.c_str());
+}
+
+/// Minimal flat JSON object builder for the machine-readable bench
+/// artifacts (BENCH_*.json): numbers, strings, and raw nested values, in
+/// insertion order.  Numbers print with enough precision to round-trip.
+class JsonObject {
+ public:
+  JsonObject& field(const std::string& key, double v) {
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return rawField(key, os.str());
+  }
+  JsonObject& field(const std::string& key, std::uint64_t v) {
+    return rawField(key, std::to_string(v));
+  }
+  JsonObject& field(const std::string& key, int v) {
+    return rawField(key, std::to_string(v));
+  }
+  JsonObject& field(const std::string& key, const std::string& v) {
+    return rawField(key, "\"" + v + "\"");  // callers pass quote-free text
+  }
+  /// Nested object/array, already serialized.
+  JsonObject& rawField(const std::string& key, const std::string& json) {
+    if (!body_.empty()) body_ += ", ";
+    body_ += "\"" + key + "\": " + json;
+    return *this;
+  }
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  std::string body_;
+};
+
+/// Writes `contents` to `path`; returns false (and warns on stderr) on I/O
+/// failure so benches degrade gracefully in read-only sandboxes.
+inline bool writeTextFile(const std::string& path,
+                          const std::string& contents) {
+  std::ofstream out(path);
+  out << contents << "\n";
+  if (!out) {
+    std::fprintf(stderr, "warning: could not write %s\n", path.c_str());
+    return false;
+  }
+  return true;
 }
 
 /// Standard tail: run any registered google-benchmarks.

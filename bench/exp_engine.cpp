@@ -1,13 +1,21 @@
 // exp_engine.cpp — Experiment-engine performance: naive serial vs memoized
-// serial vs memoized parallel computation of the Q x I timing matrix.
+// (interpreted) vs packed-replay computation of the Q x I timing matrix.
 //
 // The naive path is what the seed's hand-wired benches effectively did: the
 // functional core re-runs for EVERY matrix cell even though the trace
 // depends on the input alone.  The engine removes that redundancy (one
-// trace per input, replayed across all q) and then tiles the cross product
-// over a thread pool.  The header section verifies the acceptance property
-// on a 16 x 16 grid — parallel output bit-identical to serial — before the
-// google-benchmarks time the three paths.
+// trace per input, replayed across all q), tiles the cross product over the
+// shared worker pool, and — since the replay-kernel layer — lowers each
+// trace into a flat ReplayProgram replayed against packed cache snapshots,
+// making the per-cell loop allocation-free.  The header section verifies
+// the acceptance properties (parallel == serial, packed == interpreted,
+// bit-identical) and times a 64 x 64 exhaustive grid through all three
+// paths, emitting the machine-readable BENCH_exhaustive.json artifact
+// ($BENCH_JSON overrides the output path) that scripts/bench_run.sh and the
+// CI perf-smoke job consume.
+
+#include <chrono>
+#include <cstdlib>
 
 #include "bench_common.h"
 #include "core/definitions.h"
@@ -53,6 +61,114 @@ core::TimingMatrix naiveSerialMatrix(const exp::TimingModel& model,
     return model.time(q, run.trace);
   };
   return core::TimingMatrix::compute(fn, model.numStates(), inputs.size());
+}
+
+/// Best-of-`reps` wall nanoseconds of fn() — the one timing protocol every
+/// path of the perf grid is measured with, so the recorded ratios compare
+/// like with like.
+template <typename Fn>
+double bestOfNs(int reps, const Fn& fn) {
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double ns = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count());
+    if (r == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+/// Best-of-`reps` wall time of one exhaustive matrix computation, in
+/// nanoseconds per cell.  Traces are pre-warmed into the engine's store so
+/// the measurement isolates the replay loop (the quantity the replay-kernel
+/// layer optimizes).
+double nsPerCell(exp::ExperimentEngine& engine, const exp::TimingModel& model,
+                 const isa::Program& prog,
+                 const std::vector<isa::Input>& inputs, int reps) {
+  engine.computeMatrix(model, prog, inputs);  // warm traces + compiled forms
+  const double best = bestOfNs(reps, [&] {
+    benchmark::DoNotOptimize(engine.computeMatrix(model, prog, inputs).wcet());
+  });
+  return best / static_cast<double>(model.numStates() * inputs.size());
+}
+
+/// The acceptance grid of this layer: a 64 x 64 exhaustive in-order matrix
+/// through the naive, interpreted-replay, and packed-replay paths —
+/// asserted cell-for-cell identical, timed, and recorded as JSON.
+void perfGrid() {
+  constexpr int kStates = 64;
+  constexpr int kInputs = 64;
+  bench::printHeader("Replay kernels",
+                     "64 x 64 exhaustive grid: naive vs interpreted vs packed");
+  const auto prog = gridProgram();
+  const auto inputs = gridInputs(prog, kInputs);
+  exp::PlatformOptions opts;
+  opts.numStates = kStates;
+  const auto model =
+      exp::PlatformRegistry::instance().make("inorder-lru", prog, opts);
+
+  exp::EngineConfig interpCfg;
+  interpCfg.usePackedReplay = false;
+  exp::EngineConfig packedCfg;
+  exp::ExperimentEngine interp(interpCfg);
+  exp::ExperimentEngine packed(packedCfg);
+
+  const auto mNaive = naiveSerialMatrix(*model, prog, inputs);
+  const auto mInterp = interp.computeMatrix(*model, prog, inputs);
+  const auto mPacked = packed.computeMatrix(*model, prog, inputs);
+  const bool identical = mNaive == mInterp && mInterp == mPacked;
+  bench::printKV("packed == interpreted == naive (bit-identical)",
+                 identical ? "yes" : "NO (BUG)");
+
+  const int reps = 5;
+  const double naiveNs =
+      bestOfNs(reps,
+               [&] {
+                 benchmark::DoNotOptimize(
+                     naiveSerialMatrix(*model, prog, inputs).wcet());
+               }) /
+      (kStates * kInputs);
+  const double interpNs = nsPerCell(interp, *model, prog, inputs, reps);
+  const double packedNs = nsPerCell(packed, *model, prog, inputs, reps);
+
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", naiveNs);
+  bench::printKV("naive serial ns/cell", buf);
+  std::snprintf(buf, sizeof buf, "%.1f", interpNs);
+  bench::printKV("memoized interpreted ns/cell (pre-kernel path)", buf);
+  std::snprintf(buf, sizeof buf, "%.1f", packedNs);
+  bench::printKV("packed replay ns/cell", buf);
+  std::snprintf(buf, sizeof buf, "%.2fx", interpNs / packedNs);
+  bench::printKV("speedup packed vs interpreted", buf);
+  std::snprintf(buf, sizeof buf, "%.2fx", naiveNs / packedNs);
+  bench::printKV("speedup packed vs naive", buf);
+
+  const char* envPath = std::getenv("BENCH_JSON");
+  const std::string path = envPath ? envPath : "BENCH_exhaustive.json";
+  bench::JsonObject grid;
+  grid.field("states", kStates).field("inputs", kInputs);
+  bench::JsonObject cells;
+  cells.field("naive", naiveNs)
+      .field("interpreted", interpNs)
+      .field("packed", packedNs);
+  bench::JsonObject speedup;
+  speedup.field("packed_vs_interpreted", interpNs / packedNs)
+      .field("packed_vs_naive", naiveNs / packedNs);
+  bench::JsonObject root;
+  root.field("bench", std::string("exhaustive"))
+      .field("workload", std::string("linearSearch-16"))
+      .field("platform", std::string("inorder-lru"))
+      .rawField("grid", grid.str())
+      .field("threads", packed.resolvedThreads())
+      .rawField("bit_identical", identical ? "true" : "false")
+      .rawField("ns_per_cell", cells.str())
+      .rawField("speedup", speedup.str());
+  if (bench::writeTextFile(path, root.str())) {
+    bench::printKV("json artifact", path);
+  }
 }
 
 void verifyGrid() {
@@ -151,5 +267,6 @@ BENCHMARK(BM_ScenarioSweep);
 
 int main(int argc, char** argv) {
   verifyGrid();
+  perfGrid();
   return pred::bench::runBenchmarks(argc, argv);
 }

@@ -1,0 +1,65 @@
+#!/usr/bin/env sh
+# bench_run.sh — run the replay-kernel perf bench and collect the
+# machine-readable BENCH_exhaustive.json artifact (grid size, ns/cell per
+# path, speedups), so the perf trajectory of the exhaustive hot loop is
+# recorded run over run.
+#
+# Usage:  scripts/bench_run.sh [--smoke] [build-dir]   (default: build)
+#   --smoke   regression gate (the CI perf-smoke job): fail when
+#             * the bench reports non-bit-identical matrices, or
+#             * packed ns/cell exceeds PERF_SMOKE_FACTOR (default 2.0) x
+#               the checked-in bench/perf_baseline.json, or
+#             * the packed-vs-interpreted speedup falls below
+#               PERF_MIN_SPEEDUP (default 3.0).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+BUILD_DIR=build
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE=1 ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+JSON_OUT="$BUILD_DIR/BENCH_exhaustive.json"
+BENCH_JSON="$JSON_OUT" "./$BUILD_DIR/bench_exp_engine" --benchmark_filter=NONE
+echo
+echo "== $JSON_OUT"
+cat "$JSON_OUT"
+
+if [ "$SMOKE" = 1 ]; then
+  python3 - "$JSON_OUT" bench/perf_baseline.json \
+      "${PERF_SMOKE_FACTOR:-2.0}" "${PERF_MIN_SPEEDUP:-3.0}" <<'PY'
+import json, sys
+
+measured = json.load(open(sys.argv[1]))
+baseline = json.load(open(sys.argv[2]))
+factor = float(sys.argv[3])
+min_speedup = float(sys.argv[4])
+failed = False
+
+if not measured.get("bit_identical", False):
+    print("FAIL: packed/interpreted/naive matrices are not bit-identical")
+    failed = True
+
+packed = measured["ns_per_cell"]["packed"]
+limit = baseline["packed_ns_per_cell"] * factor
+print(f"packed ns/cell: {packed:.1f} (limit {limit:.1f} = "
+      f"{baseline['packed_ns_per_cell']} baseline x {factor})")
+if packed > limit:
+    print("FAIL: packed ns/cell regressed past the baseline limit")
+    failed = True
+
+speedup = measured["speedup"]["packed_vs_interpreted"]
+print(f"speedup packed vs interpreted: {speedup:.2f}x (min {min_speedup}x)")
+if speedup < min_speedup:
+    print("FAIL: packed replay no longer meaningfully beats the "
+          "interpreted path")
+    failed = True
+
+sys.exit(1 if failed else 0)
+PY
+fi

@@ -1,9 +1,22 @@
 #pragma once
-// geometry.h — Address mapping shared by all cache models.
+// geometry.h — Address mapping and access timing shared by all cache models.
 
 #include <cstdint>
 
 namespace pred::cache {
+
+using Cycles = std::uint64_t;
+
+/// Latency parameters of a cache level backed by a flat memory.
+struct CacheTiming {
+  Cycles hitLatency = 1;
+  Cycles missLatency = 10;  ///< full line fill from backing memory
+};
+
+struct AccessResult {
+  bool hit = false;
+  Cycles latency = 0;
+};
 
 /// Geometry of a set-associative cache over the word-addressed memory of the
 /// mini ISA.  A "line" groups lineWords consecutive words; lines map to sets

@@ -1,6 +1,9 @@
 #include "cache/locking.h"
 
 #include <algorithm>
+#include <vector>
+
+#include "cache/packed.h"
 
 namespace pred::cache {
 
@@ -70,10 +73,17 @@ AccessResult LockedICache::fetch(std::int32_t pc) {
 std::uint64_t guaranteedHits(const isa::Trace& trace,
                              const CacheGeometry& geom,
                              const LockSelection& locked) {
-  std::set<std::int64_t> lockedSet(locked.lines.begin(), locked.lines.end());
+  // Sorted flat lookup instead of a node-based set: the replay touches it
+  // once per dynamic instruction.
+  std::vector<std::int64_t> lockedLines(locked.lines.begin(),
+                                        locked.lines.end());
+  std::sort(lockedLines.begin(), lockedLines.end());
   std::uint64_t hits = 0;
   for (const auto& rec : trace) {
-    if (lockedSet.count(geom.lineOf(rec.pc))) ++hits;
+    if (std::binary_search(lockedLines.begin(), lockedLines.end(),
+                           geom.lineOf(rec.pc))) {
+      ++hits;
+    }
   }
   return hits;
 }
@@ -83,13 +93,32 @@ std::uint64_t unlockedHitsUnderPreemption(const isa::Trace& trace,
                                           Policy policy,
                                           const CacheTiming& timing,
                                           std::uint64_t preemptionPeriod) {
-  SetAssocCache ic(geom, policy, timing);
+  const SetAssocCache proto(geom, policy, timing);
+  if (!packable(geom)) {
+    // Replay over the nested representation (wide associativity only).
+    SetAssocCache ic = proto;
+    std::uint64_t n = 0;
+    for (const auto& rec : trace) {
+      if (preemptionPeriod && ++n % preemptionPeriod == 0) ic.reset();
+      ic.access(rec.pc);
+    }
+    return ic.hits();
+  }
+  // Packed replay: a preemption that trashes the cache is a reset to the
+  // cold snapshot's contents (which, like reset(), also clears the hit
+  // counters — the measured value is hits since the last preemption — and
+  // keeps the RANDOM replacement stream advancing rather than reseeding).
+  const PackedCacheState cold = proto.pack();
+  PackedCacheSim sim;
+  sim.load(cold);
   std::uint64_t n = 0;
   for (const auto& rec : trace) {
-    if (preemptionPeriod && ++n % preemptionPeriod == 0) ic.reset();
-    ic.access(rec.pc);
+    if (preemptionPeriod && ++n % preemptionPeriod == 0) {
+      sim.resetContents(cold);
+    }
+    sim.access(rec.pc);
   }
-  return ic.hits();
+  return sim.hits();
 }
 
 std::uint64_t lockedHitsUnderPreemption(const isa::Trace& trace,
@@ -101,9 +130,8 @@ std::uint64_t lockedHitsUnderPreemption(const isa::Trace& trace,
   // the replay; the parameter exists so callers can sweep patterns and
   // measure exactly that invariance.
   (void)preemptionPeriod;
-  LockedICache ic(geom, timing, locked);
-  for (const auto& rec : trace) ic.fetch(rec.pc);
-  return ic.hits();
+  (void)timing;
+  return guaranteedHits(trace, geom, locked);
 }
 
 }  // namespace pred::cache

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "cache/packed.h"
+
 namespace pred::cache {
 
 MethodCache::MethodCache(std::int64_t capacityInstrs, MethodCacheTiming timing)
@@ -59,11 +61,22 @@ MethodCacheComparison compareMethodCacheAgainstICache(
   }
   cmp.methodCacheMisses = mc.misses();
 
-  SetAssocCache ic(icacheGeom, icachePolicy, icacheTiming);
-  for (const auto& rec : trace) {
-    cmp.icacheStallCycles += ic.access(rec.pc).latency;
+  if (packable(icacheGeom)) {
+    // Packed replay of the conventional I-cache baseline (bit-identical to
+    // the nested SetAssocCache walk; asserted in tests).
+    PackedCacheSim ic;
+    ic.load(SetAssocCache(icacheGeom, icachePolicy, icacheTiming).pack());
+    for (const auto& rec : trace) {
+      cmp.icacheStallCycles += ic.access(rec.pc).latency;
+    }
+    cmp.icacheMisses = ic.misses();
+  } else {
+    SetAssocCache ic(icacheGeom, icachePolicy, icacheTiming);
+    for (const auto& rec : trace) {
+      cmp.icacheStallCycles += ic.access(rec.pc).latency;
+    }
+    cmp.icacheMisses = ic.misses();
   }
-  cmp.icacheMisses = ic.misses();
 
   for (const auto& ins : program.code) {
     if (ins.op == isa::Op::CALL || ins.op == isa::Op::RET) {

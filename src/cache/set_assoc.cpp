@@ -4,18 +4,15 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "cache/packed.h"
+
 namespace pred::cache {
 
-namespace {
-bool isPow2(int x) { return x > 0 && (x & (x - 1)) == 0; }
-
-std::uint64_t xorshift(std::uint64_t& s) {
-  s ^= s << 13;
-  s ^= s >> 7;
-  s ^= s << 17;
-  return s;
-}
-}  // namespace
+// One xorshift implementation (detail::xorshift64, packed.h) serves both
+// representations: RANDOM-policy bit-identity between SetAssocCache and
+// PackedCacheSim depends on the victim streams being byte-identical.
+using detail::isPow2;
+using detail::xorshift64;
 
 SetAssocCache::SetAssocCache(CacheGeometry geometry, Policy policy,
                              CacheTiming timing, std::uint64_t randomSeed)
@@ -125,7 +122,7 @@ int SetAssocCache::chooseVictim(Set& set) {
       return 0;  // unreachable by MRU invariant
     }
     case Policy::RANDOM:
-      return static_cast<int>(xorshift(rng_) %
+      return static_cast<int>(xorshift64(rng_) %
                               static_cast<std::uint64_t>(geometry_.ways));
   }
   return 0;
@@ -187,6 +184,103 @@ std::string SetAssocCache::stateSignature() const {
   return os.str();
 }
 
+PackedCacheState SetAssocCache::pack() const {
+  if (!packable(geometry_)) {
+    throw std::invalid_argument(
+        "cache not packable: ways = " + std::to_string(geometry_.ways) +
+        " exceeds kMaxPackedWays");
+  }
+  PackedCacheState p;
+  p.geometry = geometry_;
+  p.policy = policy_;
+  p.timing = timing_;
+  p.rng = rng_;
+  const auto numSets = sets_.size();
+  const auto ways = static_cast<std::size_t>(geometry_.ways);
+  p.tags.assign(numSets * ways, -1);
+  p.valid.assign(numSets, 0);
+  p.meta.assign(numSets, 0);
+  for (std::size_t s = 0; s < numSets; ++s) {
+    const Set& set = sets_[s];
+    for (std::size_t w = 0; w < ways; ++w) {
+      p.tags[s * ways + w] = set.ways[w].tag;
+      if (set.ways[w].valid) p.valid[s] |= std::uint64_t{1} << w;
+    }
+    switch (policy_) {
+      case Policy::LRU: {
+        std::uint64_t word = 0;
+        for (std::size_t k = 0; k < set.order.size(); ++k) {
+          word |= static_cast<std::uint64_t>(set.order[k]) << (4 * k);
+        }
+        p.meta[s] = word;
+        break;
+      }
+      case Policy::FIFO:
+        p.meta[s] = static_cast<std::uint64_t>(set.fifoPtr);
+        break;
+      case Policy::PLRU: {
+        std::uint64_t bits = 0;
+        for (std::size_t k = 0; k < set.treeBits.size(); ++k) {
+          if (set.treeBits[k]) bits |= std::uint64_t{1} << k;
+        }
+        p.meta[s] = bits;
+        break;
+      }
+      case Policy::MRU: {
+        std::uint64_t bits = 0;
+        for (std::size_t w = 0; w < set.mruBits.size(); ++w) {
+          if (set.mruBits[w]) bits |= std::uint64_t{1} << w;
+        }
+        p.meta[s] = bits;
+        break;
+      }
+      case Policy::RANDOM:
+        break;
+    }
+  }
+  return p;
+}
+
+SetAssocCache SetAssocCache::unpack(const PackedCacheState& packed) {
+  // reset() leaves the inactive policies' metadata at its canonical initial
+  // value, which is exactly what pack() elided — only the active policy's
+  // word needs decoding.
+  SetAssocCache c(packed.geometry, packed.policy, packed.timing);
+  c.rng_ = packed.rng;
+  const auto ways = static_cast<std::size_t>(packed.geometry.ways);
+  for (std::size_t s = 0; s < c.sets_.size(); ++s) {
+    Set& set = c.sets_[s];
+    for (std::size_t w = 0; w < ways; ++w) {
+      set.ways[w].tag = packed.tags[s * ways + w];
+      set.ways[w].valid = (packed.valid[s] >> w) & 1;
+    }
+    const std::uint64_t word = packed.meta[s];
+    switch (packed.policy) {
+      case Policy::LRU:
+        for (std::size_t k = 0; k < ways; ++k) {
+          set.order[k] = static_cast<int>((word >> (4 * k)) & 0xF);
+        }
+        break;
+      case Policy::FIFO:
+        set.fifoPtr = static_cast<int>(word);
+        break;
+      case Policy::PLRU:
+        for (std::size_t k = 0; k < set.treeBits.size(); ++k) {
+          set.treeBits[k] = (word >> k) & 1;
+        }
+        break;
+      case Policy::MRU:
+        for (std::size_t w = 0; w < ways; ++w) {
+          set.mruBits[w] = (word >> w) & 1;
+        }
+        break;
+      case Policy::RANDOM:
+        break;
+    }
+  }
+  return c;
+}
+
 std::vector<SetAssocCache> enumerateInitialStates(
     const CacheGeometry& g, Policy policy, const CacheTiming& t, int count,
     std::uint64_t seed, std::int64_t addrSpaceWords) {
@@ -207,7 +301,7 @@ std::vector<SetAssocCache> enumerateInitialStates(
       stream.reserve(len + static_cast<std::size_t>(k));
       for (std::size_t j = 0; j < len; ++j) {
         stream.push_back(static_cast<std::int64_t>(
-            xorshift(s) % static_cast<std::uint64_t>(addrSpaceWords)));
+            xorshift64(s) % static_cast<std::uint64_t>(addrSpaceWords)));
       }
       const auto lines = g.totalLines();
       for (std::int64_t j = 0; j < std::min<std::int64_t>(k, lines); ++j) {

@@ -19,18 +19,7 @@
 
 namespace pred::cache {
 
-using Cycles = std::uint64_t;
-
-/// Latency parameters of a cache level backed by a flat memory.
-struct CacheTiming {
-  Cycles hitLatency = 1;
-  Cycles missLatency = 10;  ///< full line fill from backing memory
-};
-
-struct AccessResult {
-  bool hit = false;
-  Cycles latency = 0;
-};
+struct PackedCacheState;  // packed.h — the flat snapshot form
 
 /// One set-associative cache.  Deterministic for all policies (RANDOM uses a
 /// seeded xorshift: "random" in the replacement-decision sense, yet
@@ -72,6 +61,15 @@ class SetAssocCache {
   /// policy metadata) — lets tests compare states for equality and lets the
   /// composability checker assert trace-equivalence.
   std::string stateSignature() const;
+
+  /// Lossless flat snapshot of the full state (packed.h) — the form the
+  /// replay kernels copy per matrix cell.  Throws std::invalid_argument
+  /// when the geometry is not packable (ways > kMaxPackedWays).
+  PackedCacheState pack() const;
+
+  /// Reconstructs a cache from a packed snapshot; unpack(pack()) preserves
+  /// stateSignature() and all future access behavior (tests assert both).
+  static SetAssocCache unpack(const PackedCacheState& packed);
 
  private:
   struct Way {

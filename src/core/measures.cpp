@@ -37,6 +37,146 @@ std::string BoundsDecomposition::summary() const {
   return os.str();
 }
 
+StreamingMeasures::StreamingMeasures(std::size_t numStates,
+                                     std::size_t numInputs)
+    : nQ_(numStates),
+      nI_(numInputs),
+      inMin_(numInputs, ~Cycles{0}),
+      inMax_(numInputs, 0),
+      inMinQ_(numInputs, 0),
+      inMaxQ_(numInputs, 0),
+      stMin_(numStates, ~Cycles{0}),
+      stMax_(numStates, 0),
+      stMinI_(numStates, 0),
+      stMaxI_(numStates, 0) {}
+
+void StreamingMeasures::add(std::size_t q, std::size_t i, Cycles t) {
+  if (t < inMin_[i] || (t == inMin_[i] && q < inMinQ_[i])) {
+    inMin_[i] = t;
+    inMinQ_[i] = q;
+  }
+  if (t > inMax_[i] || (t == inMax_[i] && q < inMaxQ_[i])) {
+    inMax_[i] = t;
+    inMaxQ_[i] = q;
+  }
+  if (t < stMin_[q] || (t == stMin_[q] && i < stMinI_[q])) {
+    stMin_[q] = t;
+    stMinI_[q] = i;
+  }
+  if (t > stMax_[q] || (t == stMax_[q] && i < stMaxI_[q])) {
+    stMax_[q] = t;
+    stMaxI_[q] = i;
+  }
+  ++cells_;
+}
+
+void StreamingMeasures::merge(const StreamingMeasures& other) {
+  if (other.nQ_ != nQ_ || other.nI_ != nI_) {
+    throw std::invalid_argument("merging StreamingMeasures of unequal shape");
+  }
+  for (std::size_t i = 0; i < nI_; ++i) {
+    if (other.inMin_[i] < inMin_[i] ||
+        (other.inMin_[i] == inMin_[i] && other.inMinQ_[i] < inMinQ_[i])) {
+      inMin_[i] = other.inMin_[i];
+      inMinQ_[i] = other.inMinQ_[i];
+    }
+    if (other.inMax_[i] > inMax_[i] ||
+        (other.inMax_[i] == inMax_[i] && other.inMaxQ_[i] < inMaxQ_[i])) {
+      inMax_[i] = other.inMax_[i];
+      inMaxQ_[i] = other.inMaxQ_[i];
+    }
+  }
+  for (std::size_t q = 0; q < nQ_; ++q) {
+    if (other.stMin_[q] < stMin_[q] ||
+        (other.stMin_[q] == stMin_[q] && other.stMinI_[q] < stMinI_[q])) {
+      stMin_[q] = other.stMin_[q];
+      stMinI_[q] = other.stMinI_[q];
+    }
+    if (other.stMax_[q] > stMax_[q] ||
+        (other.stMax_[q] == stMax_[q] && other.stMaxI_[q] < stMaxI_[q])) {
+      stMax_[q] = other.stMax_[q];
+      stMaxI_[q] = other.stMaxI_[q];
+    }
+  }
+  cells_ += other.cells_;
+}
+
+Cycles StreamingMeasures::bcet() const {
+  if (nQ_ == 0 || nI_ == 0) return 0;
+  Cycles lo = ~Cycles{0};
+  for (const Cycles t : stMin_) lo = std::min(lo, t);
+  return lo;
+}
+
+Cycles StreamingMeasures::wcet() const {
+  if (nQ_ == 0 || nI_ == 0) return 0;
+  Cycles hi = 0;
+  for (const Cycles t : stMax_) hi = std::max(hi, t);
+  return hi;
+}
+
+PredictabilityValue StreamingMeasures::pr() const {
+  // The q-major matrix scan keeps the first (q, i) attaining each extreme;
+  // the per-state entries hold the smallest attaining i, so a strict
+  // ascending scan over q reproduces exactly that witness pair.
+  PredictabilityValue r;
+  r.minTime = ~Cycles{0};
+  r.maxTime = 0;
+  for (std::size_t q = 0; q < nQ_; ++q) {
+    if (stMin_[q] < r.minTime) {
+      r.minTime = stMin_[q];
+      r.q1 = q;
+      r.i1 = stMinI_[q];
+    }
+    if (stMax_[q] > r.maxTime) {
+      r.maxTime = stMax_[q];
+      r.q2 = q;
+      r.i2 = stMaxI_[q];
+    }
+  }
+  r.value = static_cast<double>(r.minTime) / static_cast<double>(r.maxTime);
+  r.provenance = Inherence::Exhaustive;
+  return r;
+}
+
+PredictabilityValue StreamingMeasures::sipr() const {
+  PredictabilityValue best;
+  best.value = 2.0;  // above any real quotient
+  for (std::size_t i = 0; i < nI_; ++i) {
+    const double v = static_cast<double>(inMin_[i]) /
+                     static_cast<double>(inMax_[i]);
+    if (v < best.value) {
+      best.value = v;
+      best.minTime = inMin_[i];
+      best.maxTime = inMax_[i];
+      best.q1 = inMinQ_[i];
+      best.q2 = inMaxQ_[i];
+      best.i1 = best.i2 = i;
+    }
+  }
+  best.provenance = Inherence::Exhaustive;
+  return best;
+}
+
+PredictabilityValue StreamingMeasures::iipr() const {
+  PredictabilityValue best;
+  best.value = 2.0;
+  for (std::size_t q = 0; q < nQ_; ++q) {
+    const double v = static_cast<double>(stMin_[q]) /
+                     static_cast<double>(stMax_[q]);
+    if (v < best.value) {
+      best.value = v;
+      best.minTime = stMin_[q];
+      best.maxTime = stMax_[q];
+      best.i1 = stMinI_[q];
+      best.i2 = stMaxI_[q];
+      best.q1 = best.q2 = q;
+    }
+  }
+  best.provenance = Inherence::Exhaustive;
+  return best;
+}
+
 Histogram::Histogram(Cycles lo, Cycles hi, std::size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {
   if (hi <= lo || buckets == 0) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "core/definitions.h"
 #include "core/template.h"
 
 namespace pred::core {
@@ -60,6 +61,54 @@ struct BoundsDecomposition {
   }
 
   std::string summary() const;
+};
+
+/// Online, single-pass evaluator of Definitions 3–5 and BCET/WCET over a
+/// stream of timing-matrix cells — the reduction form of the exhaustive
+/// loop that never materializes the |Q|×|I| matrix.  Memory is O(|Q|+|I|):
+/// per-state and per-input running min/max with their witness indices.
+///
+/// Feed every cell (q, i) exactly once, in ANY order, into any number of
+/// accumulators, then merge().  Ties on equal times break toward the
+/// smallest index, which makes add/merge commutative and associative (the
+/// parallel fold is deterministic for any tiling) AND reproduces the exact
+/// witnesses of the q-major matrix evaluators in definitions.h, whose
+/// strict ascending scans also keep the lexicographically smallest
+/// attaining index — asserted value- and witness-identical in tests.
+class StreamingMeasures {
+ public:
+  StreamingMeasures(std::size_t numStates, std::size_t numInputs);
+
+  /// Folds one cell T(q, i) = t.
+  void add(std::size_t q, std::size_t i, Cycles t);
+
+  /// Folds another accumulator over the same |Q|×|I| shape (disjoint cells).
+  void merge(const StreamingMeasures& other);
+
+  std::size_t numStates() const { return nQ_; }
+  std::size_t numInputs() const { return nI_; }
+  std::uint64_t cells() const { return cells_; }
+
+  /// Figure 1 endpoints over all cells seen (0 on an empty domain, matching
+  /// TimingMatrix::bcet/wcet).
+  Cycles bcet() const;
+  Cycles wcet() const;
+
+  /// Defs. 3–5 with witnesses, bit-identical to the matrix evaluators on
+  /// the same cells.  Meaningful once every cell was fed.
+  PredictabilityValue pr() const;
+  PredictabilityValue sipr() const;
+  PredictabilityValue iipr() const;
+
+ private:
+  std::size_t nQ_, nI_;
+  std::uint64_t cells_ = 0;
+  // Per input i: min/max over states, with the smallest attaining q.
+  std::vector<Cycles> inMin_, inMax_;
+  std::vector<std::size_t> inMinQ_, inMaxQ_;
+  // Per state q: min/max over inputs, with the smallest attaining i.
+  std::vector<Cycles> stMin_, stMax_;
+  std::vector<std::size_t> stMinI_, stMaxI_;
 };
 
 /// Fixed-width histogram over cycle counts (the frequency axis of Fig. 1).

@@ -1,54 +1,11 @@
 #include "exp/engine.h"
 
 #include <algorithm>
-#include <atomic>
-#include <exception>
-#include <functional>
-#include <mutex>
 #include <thread>
 
+#include "exp/worker_pool.h"
+
 namespace pred::exp {
-
-namespace {
-
-/// Runs fn(0..numItems-1) on up to maxWorkers threads pulling items from an
-/// atomic cursor.  The first exception is rethrown in the caller after all
-/// workers join.  maxWorkers <= 1 runs inline.
-void parallelFor(std::size_t numItems, int maxWorkers,
-                 const std::function<void(std::size_t)>& fn) {
-  const int workers = static_cast<int>(std::min<std::size_t>(
-      static_cast<std::size_t>(std::max(maxWorkers, 1)), numItems));
-  if (workers <= 1) {
-    for (std::size_t k = 0; k < numItems; ++k) fn(k);
-    return;
-  }
-
-  std::atomic<std::size_t> cursor{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr firstError;
-  std::mutex errorMu;
-  auto worker = [&] {
-    try {
-      for (std::size_t k = cursor.fetch_add(1);
-           k < numItems && !failed.load(std::memory_order_relaxed);
-           k = cursor.fetch_add(1)) {
-        fn(k);
-      }
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(errorMu);
-      if (!firstError) firstError = std::current_exception();
-      failed.store(true, std::memory_order_relaxed);
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
-  for (auto& t : pool) t.join();
-  if (firstError) std::rethrow_exception(firstError);
-}
-
-}  // namespace
 
 ExperimentEngine::ExperimentEngine(EngineConfig config) : config_(config) {
   if (config_.tileStates == 0) config_.tileStates = 1;
@@ -61,40 +18,142 @@ int ExperimentEngine::resolvedThreads() const {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
+bool ExperimentEngine::packedPath(const TimingModel& model) const {
+  return config_.usePackedReplay && model.supportsPackedReplay();
+}
+
+std::vector<ReplayProgram> ExperimentEngine::compileLocal(
+    const std::vector<const isa::Trace*>& traces) const {
+  std::vector<ReplayProgram> compiled(traces.size());
+  WorkerPool::shared().run(traces.size(), resolvedThreads(),
+                           [&](std::size_t i, int) {
+                             compiled[i] = compileTrace(*traces[i]);
+                           });
+  return compiled;
+}
+
+void ExperimentEngine::runGrid(
+    std::size_t numStates, std::size_t numInputs,
+    const std::function<void(std::size_t, std::size_t, int)>& cell) const {
+  if (numStates == 0 || numInputs == 0) return;
+  const std::size_t tilesQ =
+      (numStates + config_.tileStates - 1) / config_.tileStates;
+  const std::size_t tilesI =
+      (numInputs + config_.tileInputs - 1) / config_.tileInputs;
+  WorkerPool::shared().run(
+      tilesQ * tilesI, resolvedThreads(), [&](std::size_t tile, int worker) {
+        const std::size_t q0 = (tile / tilesI) * config_.tileStates;
+        const std::size_t i0 = (tile % tilesI) * config_.tileInputs;
+        const std::size_t q1 = std::min(numStates, q0 + config_.tileStates);
+        const std::size_t i1 = std::min(numInputs, i0 + config_.tileInputs);
+        for (std::size_t q = q0; q < q1; ++q) {
+          for (std::size_t i = i0; i < i1; ++i) {
+            cell(q, i, worker);
+          }
+        }
+      });
+}
+
+core::TimingMatrix ExperimentEngine::matrixImpl(
+    const TimingModel& model, const std::vector<const isa::Trace*>& traces,
+    const std::vector<const ReplayProgram*>& compiled) const {
+  matrixBuilds_.fetch_add(1);
+  core::TimingMatrix m(model.numStates(), traces.size());
+  const bool packed = !compiled.empty();
+  runGrid(m.numStates(), m.numInputs(),
+          [&](std::size_t q, std::size_t i, int) {
+            m.at(q, i) = packed ? model.timePacked(q, *compiled[i])
+                                : model.time(q, *traces[i]);
+          });
+  return m;
+}
+
+core::StreamingMeasures ExperimentEngine::reduceImpl(
+    const TimingModel& model, const std::vector<const isa::Trace*>& traces,
+    const std::vector<const ReplayProgram*>& compiled) const {
+  const std::size_t nQ = model.numStates();
+  const std::size_t nI = traces.size();
+  const bool packed = !compiled.empty();
+  // One accumulator per worker slot, merged in slot order afterwards; the
+  // smallest-index tie-break makes the merged result independent of which
+  // worker saw which tile.
+  const int workers = std::max(resolvedThreads(), 1);
+  std::vector<core::StreamingMeasures> accs(
+      static_cast<std::size_t>(workers), core::StreamingMeasures(nQ, nI));
+  runGrid(nQ, nI, [&](std::size_t q, std::size_t i, int worker) {
+    const core::Cycles t = packed ? model.timePacked(q, *compiled[i])
+                                  : model.time(q, *traces[i]);
+    accs[static_cast<std::size_t>(worker)].add(q, i, t);
+  });
+  core::StreamingMeasures total = std::move(accs.front());
+  for (std::size_t w = 1; w < accs.size(); ++w) total.merge(accs[w]);
+  return total;
+}
+
 core::TimingMatrix ExperimentEngine::computeMatrix(
     const TimingModel& model,
     const std::vector<const isa::Trace*>& traces) const {
-  const std::size_t nQ = model.numStates();
-  const std::size_t nI = traces.size();
-  core::TimingMatrix m(nQ, nI);
-  if (nQ == 0 || nI == 0) return m;
-
-  const std::size_t tilesQ = (nQ + config_.tileStates - 1) / config_.tileStates;
-  const std::size_t tilesI = (nI + config_.tileInputs - 1) / config_.tileInputs;
-  parallelFor(tilesQ * tilesI, resolvedThreads(), [&](std::size_t tile) {
-    const std::size_t q0 = (tile / tilesI) * config_.tileStates;
-    const std::size_t i0 = (tile % tilesI) * config_.tileInputs;
-    const std::size_t q1 = std::min(nQ, q0 + config_.tileStates);
-    const std::size_t i1 = std::min(nI, i0 + config_.tileInputs);
-    for (std::size_t q = q0; q < q1; ++q) {
-      for (std::size_t i = i0; i < i1; ++i) {
-        m.at(q, i) = model.time(q, *traces[i]);
-      }
-    }
-  });
-  return m;
+  if (packedPath(model) && !traces.empty() && model.numStates() > 0) {
+    const auto local = compileLocal(traces);
+    std::vector<const ReplayProgram*> compiled(local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) compiled[i] = &local[i];
+    return matrixImpl(model, traces, compiled);
+  }
+  return matrixImpl(model, traces, {});
 }
 
 core::TimingMatrix ExperimentEngine::computeMatrix(
     const TimingModel& model, const isa::Program& program,
     const std::vector<isa::Input>& inputs) {
   // Fill the store on the worker pool too: trace computation is the other
-  // substantial cost, and the store is thread-safe.
+  // substantial cost, and the store's buckets are independently locked.
+  const bool packed = packedPath(model);
   std::vector<const isa::Trace*> traces(inputs.size(), nullptr);
-  parallelFor(inputs.size(), resolvedThreads(), [&](std::size_t i) {
-    traces[i] = &store_.traceFor(program, inputs[i]);
-  });
-  return computeMatrix(model, traces);
+  std::vector<const ReplayProgram*> compiled(packed ? inputs.size() : 0,
+                                             nullptr);
+  WorkerPool::shared().run(
+      inputs.size(), resolvedThreads(), [&](std::size_t i, int) {
+        if (packed) {
+          const auto ref = store_.entryRefFor(program, inputs[i]);
+          traces[i] = ref.trace;
+          compiled[i] = ref.compiled;
+        } else {
+          traces[i] = &store_.traceFor(program, inputs[i]);
+        }
+      });
+  return matrixImpl(model, traces, compiled);
+}
+
+core::StreamingMeasures ExperimentEngine::reduceCells(
+    const TimingModel& model,
+    const std::vector<const isa::Trace*>& traces) const {
+  if (packedPath(model) && !traces.empty() && model.numStates() > 0) {
+    const auto local = compileLocal(traces);
+    std::vector<const ReplayProgram*> compiled(local.size());
+    for (std::size_t i = 0; i < local.size(); ++i) compiled[i] = &local[i];
+    return reduceImpl(model, traces, compiled);
+  }
+  return reduceImpl(model, traces, {});
+}
+
+core::StreamingMeasures ExperimentEngine::reduceCells(
+    const TimingModel& model, const isa::Program& program,
+    const std::vector<isa::Input>& inputs) {
+  const bool packed = packedPath(model);
+  std::vector<const isa::Trace*> traces(inputs.size(), nullptr);
+  std::vector<const ReplayProgram*> compiled(packed ? inputs.size() : 0,
+                                             nullptr);
+  WorkerPool::shared().run(
+      inputs.size(), resolvedThreads(), [&](std::size_t i, int) {
+        if (packed) {
+          const auto ref = store_.entryRefFor(program, inputs[i]);
+          traces[i] = ref.trace;
+          compiled[i] = ref.compiled;
+        } else {
+          traces[i] = &store_.traceFor(program, inputs[i]);
+        }
+      });
+  return reduceImpl(model, traces, compiled);
 }
 
 }  // namespace pred::exp

@@ -1,38 +1,56 @@
 #pragma once
-// engine.h — Parallel computation of timing matrices.
+// engine.h — Parallel computation and reduction of timing matrices.
 //
 // Definitions 3–5 are minima over the full Q×I cross product of T_p(q, i) —
 // an embarrassingly parallel computation.  The ExperimentEngine evaluates a
-// TimingModel over Q×I on a fixed-size thread pool with deterministic
-// tiling: the matrix cells are partitioned into tiles up front, workers pull
-// tiles from an atomic cursor, and every cell's value and storage slot are
-// fixed before any thread starts.  Because each cell is written exactly once
-// to its own slot by a deterministic evaluator, the parallel result is
-// bit-identical to the serial one for any thread count or tile shape — the
-// property the engine tests assert cell-for-cell.
+// TimingModel over Q×I on the shared persistent WorkerPool with
+// deterministic tiling: the matrix cells are partitioned into tiles up
+// front, workers pull tiles from an atomic cursor, and every cell's value
+// and storage slot are fixed before any thread starts.  Because each cell
+// is written exactly once to its own slot by a deterministic evaluator, the
+// parallel result is bit-identical to the serial one for any thread count
+// or tile shape — the property the engine tests assert cell-for-cell.
+//
+// Two output shapes share that loop:
+//   computeMatrix  materializes the dense |Q|×|I| TimingMatrix;
+//   reduceCells    folds each cell straight into StreamingMeasures
+//                  (per-tile, merged deterministically), so exhaustive
+//                  queries that don't keep matrices never allocate |Q|×|I|.
+//
+// The per-cell evaluator routes through the model's packed replay fast path
+// (compiled traces + flat cache snapshots, exp/replay.h) whenever the model
+// supports it; EngineConfig::usePackedReplay forces the legacy interpreted
+// path, which benches use to measure the speedup.  Both paths are
+// bit-identical (asserted in tests).
 //
 // The engine owns a TraceStore (trace_store.h) so the functional trace of
-// each input is computed once and replayed across all hardware states and
-// across every matrix the engine computes — the memoization that removes
-// redundant FunctionalCore::run calls from the inner loop.
+// each input — and its compiled replay form — is computed once and replayed
+// across all hardware states and across every matrix the engine computes.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/definitions.h"
+#include "core/measures.h"
 #include "exp/platform.h"
 #include "exp/trace_store.h"
 
 namespace pred::exp {
 
 struct EngineConfig {
-  /// Worker threads; 0 = hardware concurrency, 1 = serial (no threads
-  /// spawned).
+  /// Worker threads; 0 = hardware concurrency, 1 = serial (no pool use).
   int threads = 0;
   /// Tile shape (states x inputs per work item).  Purely a scheduling
   /// granularity knob; never affects results.
   std::size_t tileStates = 4;
   std::size_t tileInputs = 8;
+  /// Evaluate through the model's packed replay fast path when available.
+  /// Never affects results (bit-identity is asserted in tests); off forces
+  /// the legacy time(q, trace) evaluator, the benches' baseline.
+  bool usePackedReplay = true;
 };
 
 class ExperimentEngine {
@@ -44,21 +62,60 @@ class ExperimentEngine {
       const TimingModel& model,
       const std::vector<const isa::Trace*>& traces) const;
 
-  /// T over Q x I for a program and input set; functional traces come from
-  /// the engine's memoizing TraceStore.
+  /// T over Q x I for a program and input set; functional traces (and their
+  /// compiled replay forms) come from the engine's memoizing TraceStore.
   core::TimingMatrix computeMatrix(const TimingModel& model,
                                    const isa::Program& program,
                                    const std::vector<isa::Input>& inputs);
 
+  /// Folds every cell of Q x I into streaming min/max/Pr/SIPr/IIPr
+  /// accumulators without materializing the matrix.  Same tiling, same
+  /// evaluator, deterministic for any thread count; results (values AND
+  /// witnesses) are bit-identical to running the core:: evaluators over
+  /// computeMatrix's output.
+  core::StreamingMeasures reduceCells(
+      const TimingModel& model,
+      const std::vector<const isa::Trace*>& traces) const;
+  core::StreamingMeasures reduceCells(const TimingModel& model,
+                                      const isa::Program& program,
+                                      const std::vector<isa::Input>& inputs);
+
   /// Threads a computeMatrix call will actually use.
   int resolvedThreads() const;
+
+  /// Dense |Q|×|I| matrices materialized by this engine so far — the
+  /// streaming-path tests assert this stays 0 for keepMatrices=false
+  /// queries.
+  std::uint64_t matrixBuilds() const { return matrixBuilds_.load(); }
 
   const EngineConfig& config() const { return config_; }
   TraceStore& traceStore() { return store_; }
 
  private:
+  /// Tiled parallel walk over the grid; cell(q, i, worker) is invoked
+  /// exactly once per cell, worker ids are dense in [0, resolvedThreads()).
+  void runGrid(std::size_t numStates, std::size_t numInputs,
+               const std::function<void(std::size_t, std::size_t, int)>& cell)
+      const;
+
+  core::TimingMatrix matrixImpl(const TimingModel& model,
+                                const std::vector<const isa::Trace*>& traces,
+                                const std::vector<const ReplayProgram*>&
+                                    compiled) const;
+  core::StreamingMeasures reduceImpl(
+      const TimingModel& model, const std::vector<const isa::Trace*>& traces,
+      const std::vector<const ReplayProgram*>& compiled) const;
+
+  /// Compiles traces locally for the trace-pointer entry points (the
+  /// program/inputs entry points reuse the store's cached compiled forms).
+  std::vector<ReplayProgram> compileLocal(
+      const std::vector<const isa::Trace*>& traces) const;
+
+  bool packedPath(const TimingModel& model) const;
+
   EngineConfig config_;
   TraceStore store_;
+  mutable std::atomic<std::uint64_t> matrixBuilds_{0};
 };
 
 }  // namespace pred::exp

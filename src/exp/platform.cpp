@@ -17,6 +17,36 @@ std::string TimingModel::stateLabel(std::size_t q) const {
   return "q" + std::to_string(q);
 }
 
+Cycles TimingModel::timePacked(std::size_t, const ReplayProgram&) const {
+  throw std::logic_error("model '" + name() +
+                         "' does not support packed replay");
+}
+
+InOrderSnapshotModel::InOrderSnapshotModel(std::string name,
+                                           pipeline::InOrderConfig config,
+                                           std::vector<State> states)
+    : name_(std::move(name)), config_(config), states_(std::move(states)) {
+  packedOk_ = !states_.empty();
+  for (const State& s : states_) {
+    if (!cache::packable(s.cache.geometry()) ||
+        (s.icache && !cache::packable(s.icache->geometry()))) {
+      packedOk_ = false;
+      break;
+    }
+  }
+  if (!packedOk_) return;
+  packed_.reserve(states_.size());
+  for (const State& s : states_) {
+    PackedState p;
+    p.data = s.cache.pack();
+    if (s.icache) {
+      p.icache = s.icache->pack();
+      p.hasICache = true;
+    }
+    packed_.push_back(std::move(p));
+  }
+}
+
 Cycles InOrderSnapshotModel::time(std::size_t q,
                                   const isa::Trace& trace) const {
   const State& s = states_[q];
@@ -27,6 +57,46 @@ Cycles InOrderSnapshotModel::time(std::size_t q,
   if (s.icache) imem = std::make_unique<pipeline::CachedMemory>(*s.icache);
   pipeline::InOrderPipeline pipe(config_, &mem, predictor.get(), imem.get());
   return pipe.run(trace);
+}
+
+Cycles InOrderSnapshotModel::timePacked(std::size_t q,
+                                        const ReplayProgram& rp) const {
+  const State& s = states_[q];
+  const PackedState& p = packed_[q];
+  const bool withPredictor = s.predictor != nullptr;
+  Cycles total = replayBaseCycles(rp, config_, withPredictor);
+
+  // The D-cache, I-cache, and predictor are independent state machines and
+  // every contribution is additive, so the interleaved legacy walk and
+  // these three flat streams produce the same total, cycle for cycle.
+  thread_local cache::PackedCacheSim dataSim;
+  dataSim.load(p.data);
+  for (const std::int64_t addr : rp.dataAddr) {
+    total += dataSim.access(addr).latency;
+  }
+
+  if (p.hasICache) {
+    thread_local cache::PackedCacheSim instrSim;
+    instrSim.load(p.icache);
+    for (const std::int32_t pc : rp.fetchPc) {
+      total += instrSim.access(pc).latency;
+    }
+  }
+
+  if (withPredictor) {
+    const auto predictor = s.predictor->clone();
+    for (std::size_t k = 0; k < rp.condBranchPc.size(); ++k) {
+      const std::int32_t pc = rp.condBranchPc[k];
+      const bool taken = rp.condBranchTaken[k] != 0;
+      if (predictor->predictTaken(pc) != taken) {
+        total += config_.mispredictPenalty;
+      } else if (taken) {
+        total += config_.takenPenalty;
+      }
+      predictor->update(pc, taken);
+    }
+  }
+  return total;
 }
 
 namespace {

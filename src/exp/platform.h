@@ -28,9 +28,11 @@
 #include <vector>
 
 #include "cache/geometry.h"
+#include "cache/packed.h"
 #include "cache/policy.h"
 #include "cache/set_assoc.h"
 #include "core/template.h"
+#include "exp/replay.h"
 #include "isa/exec.h"
 #include "isa/program.h"
 #include "pipeline/inorder.h"
@@ -59,6 +61,18 @@ class TimingModel {
   /// T(q, trace): cycles to execute the dynamic trace starting from
   /// hardware state q.  Deterministic and safe to call concurrently.
   virtual Cycles time(std::size_t q, const isa::Trace& trace) const = 0;
+
+  /// Packed fast path: when true, timePacked(q, compileTrace(trace)) is a
+  /// valid, bit-identical replacement for time(q, trace) whose cache-state
+  /// setup is a flat copy into reusable buffers instead of a per-cell deep
+  /// copy (states with a predictor still clone that one small object per
+  /// cell).  The ExperimentEngine compiles each trace once and routes
+  /// cells through it (EngineConfig::usePackedReplay).
+  virtual bool supportsPackedReplay() const { return false; }
+
+  /// T(q, rp) over the compiled replay form.  Only meaningful when
+  /// supportsPackedReplay(); the default throws std::logic_error.
+  virtual Cycles timePacked(std::size_t q, const ReplayProgram& rp) const;
 };
 
 /// In-order pipeline over explicit snapshot states: data cache, optional
@@ -75,9 +89,10 @@ class InOrderSnapshotModel : public TimingModel {
     std::string label;
   };
 
+  /// Packs every state's cache(s) into flat snapshots up front (when the
+  /// geometry permits), enabling the allocation-free replay fast path.
   InOrderSnapshotModel(std::string name, pipeline::InOrderConfig config,
-                       std::vector<State> states)
-      : name_(std::move(name)), config_(config), states_(std::move(states)) {}
+                       std::vector<State> states);
 
   std::string name() const override { return name_; }
   std::size_t numStates() const override { return states_.size(); }
@@ -86,10 +101,22 @@ class InOrderSnapshotModel : public TimingModel {
   }
   Cycles time(std::size_t q, const isa::Trace& trace) const override;
 
+  bool supportsPackedReplay() const override { return packedOk_; }
+  Cycles timePacked(std::size_t q, const ReplayProgram& rp) const override;
+
  private:
+  /// Flat snapshot pair for one state; icache holds no sets when absent.
+  struct PackedState {
+    cache::PackedCacheState data;
+    cache::PackedCacheState icache;
+    bool hasICache = false;
+  };
+
   std::string name_;
   pipeline::InOrderConfig config_;
   std::vector<State> states_;
+  std::vector<PackedState> packed_;  ///< parallel to states_ when packedOk_
+  bool packedOk_ = false;
 };
 
 /// Knobs shared by all platform factories.  Presets interpret the subset

@@ -1,0 +1,66 @@
+#include "exp/replay.h"
+
+#include "isa/instr.h"
+
+namespace pred::exp {
+
+ReplayProgram compileTrace(const isa::Trace& trace) {
+  ReplayProgram rp;
+  rp.fetchPc.reserve(trace.size());
+  for (const auto& rec : trace) {
+    rp.fetchPc.push_back(rec.pc);
+    switch (isa::latencyClass(rec.instr.op)) {
+      case isa::LatencyClass::Single:
+        ++rp.numSingle;
+        break;
+      case isa::LatencyClass::Multiply:
+        ++rp.numMultiply;
+        break;
+      case isa::LatencyClass::Divide:
+        ++rp.numDivide;
+        // Matches the per-record cast of the interpreted replay modulo
+        // 2^64, so the uint64 totals stay bit-identical.
+        rp.sumDivLatency += static_cast<core::Cycles>(rec.extraLatency);
+        break;
+      case isa::LatencyClass::Memory:
+        rp.dataAddr.push_back(rec.memWordAddr);
+        break;
+      case isa::LatencyClass::Control:
+        ++rp.numControl;
+        if (rec.branchTaken) ++rp.numTakenControl;
+        if (isa::isConditionalBranch(rec.instr.op)) {
+          rp.condBranchPc.push_back(rec.pc);
+          rp.condBranchTaken.push_back(rec.branchTaken ? 1 : 0);
+          if (rec.branchTaken) ++rp.numTakenCond;
+        }
+        break;
+      case isa::LatencyClass::None:
+        ++rp.numNone;
+        break;
+    }
+  }
+  return rp;
+}
+
+core::Cycles replayBaseCycles(const ReplayProgram& rp,
+                              const pipeline::InOrderConfig& config,
+                              bool withPredictor) {
+  core::Cycles total = rp.numSingle * config.aluLatency +
+                       rp.numMultiply * config.mulLatency +
+                       rp.numControl * config.controlLatency +
+                       rp.numNone * 1 +
+                       rp.dataAddr.size() * config.aluLatency;
+  total += config.constantDiv
+               ? rp.numDivide * static_cast<core::Cycles>(isa::maxDivLatency())
+               : rp.sumDivLatency;
+  // Without a predictor every taken control transfer pays the fetch bubble;
+  // with one, conditional branches resolve per branch in the caller's
+  // predictor walk and only the unconditional transfers pay it here.
+  const core::Cycles takenHere =
+      withPredictor ? rp.numTakenControl - rp.numTakenCond
+                    : rp.numTakenControl;
+  total += takenHere * config.takenPenalty;
+  return total;
+}
+
+}  // namespace pred::exp

@@ -1,0 +1,71 @@
+#pragma once
+// replay.h — Compiled traces: the flat replay form of a functional trace.
+//
+// Every matrix cell T(q, i) replays the same dynamic trace i against a
+// different hardware state q.  The legacy evaluators walk the
+// vector<ExecRecord> per cell, re-decoding Instr operands and re-deriving
+// latency classes |Q| times per input.  A ReplayProgram lowers the trace
+// ONCE into the few contiguous arrays the replay kernels actually consume —
+// instruction-fetch addresses, data-access addresses, the conditional-
+// branch outcome stream — plus the per-class counts that fold every
+// hardware-independent latency contribution into one closed-form sum
+// (replayBaseCycles).  Per-cell work then reduces to: base sum + packed
+// data-cache replay over dataAddr (+ packed I-cache replay over fetchPc and
+// a predictor walk over the branch stream when the platform has those
+// components).  The same currying move the flat ground-term encodings of
+// the rewriting literature use: compile the structure once, run a dumb fast
+// loop over it.
+//
+// Lowering is exact, not approximate: for every InOrderConfig, predictor,
+// and cache snapshot, the compiled replay is bit-identical to
+// InOrderPipeline::run over the original trace (asserted cell-for-cell in
+// tests/replay_test.cpp).  TraceStore caches the compiled form next to the
+// memoized trace, so each input is lowered once per process.
+
+#include <cstdint>
+#include <vector>
+
+#include "core/template.h"
+#include "isa/exec.h"
+#include "pipeline/inorder.h"
+
+namespace pred::exp {
+
+/// POD replay form of one dynamic trace (flat arrays + class counts).
+struct ReplayProgram {
+  /// pc of every dynamic instruction, in order (the I-cache fetch stream).
+  std::vector<std::int32_t> fetchPc;
+  /// Effective word address of every LD/ST, in order (the D-cache stream).
+  std::vector<std::int64_t> dataAddr;
+  /// pc and outcome of every conditional branch, in order (the predictor
+  /// stream).
+  std::vector<std::int32_t> condBranchPc;
+  std::vector<std::uint8_t> condBranchTaken;
+
+  // Per-latency-class dynamic counts: everything the in-order pipeline adds
+  // independently of hardware state.
+  std::uint64_t numSingle = 0;
+  std::uint64_t numMultiply = 0;
+  std::uint64_t numDivide = 0;
+  std::uint64_t sumDivLatency = 0;  ///< data-dependent DIV cycles, summed
+  std::uint64_t numControl = 0;
+  std::uint64_t numTakenControl = 0;  ///< control records with branchTaken
+  std::uint64_t numTakenCond = 0;     ///< taken CONDITIONAL branches only
+  std::uint64_t numNone = 0;          ///< NOP/HALT/DEADLINE slots
+
+  std::size_t length() const { return fetchPc.size(); }
+};
+
+/// Lowers one trace; O(|trace|), done once per (program, input).
+ReplayProgram compileTrace(const isa::Trace& trace);
+
+/// The hardware-state-independent cycle total of an in-order replay: class
+/// latencies, DIV cycles, the per-memory-op issue cost, and the taken
+/// penalties the pipeline pays regardless of q.  With a predictor attached,
+/// conditional-branch penalties are resolved per branch by the caller, so
+/// only the unconditional control transfers contribute here.
+core::Cycles replayBaseCycles(const ReplayProgram& rp,
+                              const pipeline::InOrderConfig& config,
+                              bool withPredictor);
+
+}  // namespace pred::exp

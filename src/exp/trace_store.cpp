@@ -1,7 +1,8 @@
 #include "exp/trace_store.h"
 
+#include <functional>
 #include <stdexcept>
-#include <string>
+#include <utility>
 
 namespace pred::exp {
 
@@ -46,13 +47,18 @@ std::uint64_t programFingerprint(const isa::Program& program) {
   return h;
 }
 
-const isa::Trace& TraceStore::traceFor(const isa::Program& program,
-                                       const isa::Input& input) {
-  const std::string key = keyOf(program, input);
+TraceStore::Bucket& TraceStore::bucketFor(const std::string& key) {
+  return buckets_[std::hash<std::string>{}(key) & (kNumBuckets - 1)];
+}
+
+TraceStore::Entry& TraceStore::entryFor(const isa::Program& program,
+                                        const isa::Input& input,
+                                        const std::string& key) {
+  Bucket& bucket = bucketFor(key);
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = traces_.find(key);
-    if (it != traces_.end()) {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    auto it = bucket.entries.find(key);
+    if (it != bucket.entries.end()) {
       hits_.fetch_add(1);
       return *it->second;
     }
@@ -64,12 +70,68 @@ const isa::Trace& TraceStore::traceFor(const isa::Program& program,
   if (!run.completed) {
     throw std::runtime_error("program did not halt for input " + input.name);
   }
-  auto trace = std::make_unique<isa::Trace>(std::move(run.trace));
-  std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = traces_.try_emplace(key, std::move(trace));
+  auto entry = std::make_unique<Entry>();
+  entry->trace = std::move(run.trace);
+  std::lock_guard<std::mutex> lock(bucket.mu);
+  auto [it, inserted] = bucket.entries.try_emplace(key, std::move(entry));
   // A lost race counts as a hit: the store already had the trace.
   (inserted ? misses_ : hits_).fetch_add(1);
   return *it->second;
+}
+
+const isa::Trace& TraceStore::traceFor(const isa::Program& program,
+                                       const isa::Input& input) {
+  return entryFor(program, input, keyOf(program, input)).trace;
+}
+
+TraceStore::EntryRef TraceStore::entryRefFor(const isa::Program& program,
+                                             const isa::Input& input) {
+  const std::string key = keyOf(program, input);
+  Bucket& bucket = bucketFor(key);
+  Entry* entry = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    auto it = bucket.entries.find(key);
+    if (it != bucket.entries.end()) {
+      hits_.fetch_add(1);
+      entry = it->second.get();
+      if (entry->compiled) {
+        // The steady-state path: one hash, one lock, both forms.
+        return EntryRef{&entry->trace, entry->compiled.get()};
+      }
+    }
+  }
+  if (entry == nullptr) {
+    // Trace and lowering both happen outside the lock; concurrent misses on
+    // the same key are harmless (the first insert wins, the forms are
+    // equal).
+    auto run = isa::FunctionalCore::run(program, input);
+    if (!run.completed) {
+      throw std::runtime_error("program did not halt for input " + input.name);
+    }
+    auto fresh = std::make_unique<Entry>();
+    fresh->trace = std::move(run.trace);
+    fresh->compiled =
+        std::make_unique<ReplayProgram>(compileTrace(fresh->trace));
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    auto [it, inserted] = bucket.entries.try_emplace(key, std::move(fresh));
+    (inserted ? misses_ : hits_).fetch_add(1);
+    entry = it->second.get();
+    if (entry->compiled) {
+      return EntryRef{&entry->trace, entry->compiled.get()};
+    }
+    // Lost the race against a traceFor() insert that carries no compiled
+    // form yet — lower the winner's trace below.
+  }
+  auto compiled = std::make_unique<ReplayProgram>(compileTrace(entry->trace));
+  std::lock_guard<std::mutex> lock(bucket.mu);
+  if (!entry->compiled) entry->compiled = std::move(compiled);
+  return EntryRef{&entry->trace, entry->compiled.get()};
+}
+
+const ReplayProgram& TraceStore::compiledFor(const isa::Program& program,
+                                             const isa::Input& input) {
+  return *entryRefFor(program, input).compiled;
 }
 
 std::vector<const isa::Trace*> TraceStore::tracesFor(
@@ -81,13 +143,19 @@ std::vector<const isa::Trace*> TraceStore::tracesFor(
 }
 
 std::size_t TraceStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return traces_.size();
+  std::size_t n = 0;
+  for (const auto& bucket : buckets_) {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    n += bucket.entries.size();
+  }
+  return n;
 }
 
 void TraceStore::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  traces_.clear();
+  for (auto& bucket : buckets_) {
+    std::lock_guard<std::mutex> lock(bucket.mu);
+    bucket.entries.clear();
+  }
   hits_.store(0);
   misses_.store(0);
 }

@@ -1,5 +1,5 @@
 #pragma once
-// trace_store.h — Memoized functional traces.
+// trace_store.h — Memoized functional traces and their compiled replay form.
 //
 // Every timing model in this repository is trace-driven (isa/exec.h): the
 // functional trace of a program depends on the input i alone, never on the
@@ -8,19 +8,27 @@
 // trace for each (program, input) pair exactly once and shares it across
 // every hardware state, platform, and scenario that replays it — the
 // "shared precomputed structure" idea applied to Definition 2's inner loop.
+// The compiled ReplayProgram (exp/replay.h) of each trace is cached next to
+// it, lazily, so the packed replay kernels also lower each input once.
 //
 // Keys are content fingerprints (program code + input bindings), not object
 // addresses, so two structurally identical programs share entries and the
 // store stays valid however long callers keep it around.  All methods are
-// thread-safe; returned trace pointers are stable for the store's lifetime.
+// thread-safe; returned trace/compiled pointers are stable for the store's
+// lifetime.  Internally the map is sharded into kNumBuckets independently
+// locked buckets keyed by the fingerprint hash, so a wide worker pool
+// filling the store does not serialize on one mutex.
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "exp/replay.h"
 #include "isa/exec.h"
 #include "isa/machine.h"
 #include "isa/program.h"
@@ -33,11 +41,27 @@ std::uint64_t programFingerprint(const isa::Program& program);
 
 class TraceStore {
  public:
+  /// Lock shards; a power of two so the hash maps onto buckets by mask.
+  static constexpr std::size_t kNumBuckets = 16;
+
   /// Returns the memoized trace of `program` on `input`, computing it on
   /// first use.  Throws if the program does not halt on the input.  The
   /// returned reference stays valid until clear()/destruction.
   const isa::Trace& traceFor(const isa::Program& program,
                              const isa::Input& input);
+
+  /// The compiled replay form of the same trace, lowered on first use and
+  /// cached next to it (computes the trace too when missing).
+  const ReplayProgram& compiledFor(const isa::Program& program,
+                                   const isa::Input& input);
+
+  /// Both forms with a single lookup (and a single hit/miss count) — what
+  /// the engine's packed path uses per input.
+  struct EntryRef {
+    const isa::Trace* trace;
+    const ReplayProgram* compiled;
+  };
+  EntryRef entryRefFor(const isa::Program& program, const isa::Input& input);
 
   /// Traces for a whole input set, in order.
   std::vector<const isa::Trace*> tracesFor(
@@ -50,9 +74,23 @@ class TraceStore {
   void clear();
 
  private:
-  mutable std::mutex mu_;
-  /// unique_ptr for pointer stability across rehashes.
-  std::unordered_map<std::string, std::unique_ptr<isa::Trace>> traces_;
+  struct Entry {
+    isa::Trace trace;
+    /// Lazily lowered; unique_ptr for pointer stability once published.
+    std::unique_ptr<ReplayProgram> compiled;
+  };
+  struct Bucket {
+    mutable std::mutex mu;
+    /// unique_ptr for pointer stability across rehashes.
+    std::unordered_map<std::string, std::unique_ptr<Entry>> entries;
+  };
+
+  Bucket& bucketFor(const std::string& key);
+  /// The memoized entry, created (trace computed) on first use.
+  Entry& entryFor(const isa::Program& program, const isa::Input& input,
+                  const std::string& key);
+
+  std::array<Bucket, kNumBuckets> buckets_;
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
 };

@@ -1,0 +1,145 @@
+#include "exp/worker_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace pred::exp {
+
+struct WorkerPool::Job {
+  std::size_t numItems = 0;
+  const Task* task = nullptr;
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;
+  std::mutex errorMu;
+  // Guarded by the pool mutex:
+  int slots = 0;         ///< pool workers still allowed to join
+  int nextWorkerId = 1;  ///< dense worker ids handed to joining threads
+  int inFlight = 0;      ///< pool workers currently executing this job
+};
+
+struct WorkerPool::Impl {
+  std::mutex mu;
+  std::condition_variable workCv;  ///< pool threads wait here for jobs
+  std::condition_variable doneCv;  ///< run() callers wait here for drain
+  std::vector<Job*> jobs;          // guarded by mu
+  bool stop = false;               // guarded by mu
+  std::vector<std::thread> threads;
+
+  Job* joinableJob() {
+    for (Job* j : this->jobs) {
+      if (j->slots > 0 && !j->failed.load(std::memory_order_relaxed) &&
+          j->cursor.load(std::memory_order_relaxed) < j->numItems) {
+        return j;
+      }
+    }
+    return nullptr;
+  }
+};
+
+namespace {
+
+/// Pulls items off the job's cursor until it drains or a worker failed.
+void participateImpl(WorkerPool::Job& job, int worker,
+                     const WorkerPool::Task& task) {
+  for (std::size_t k = job.cursor.fetch_add(1);
+       k < job.numItems && !job.failed.load(std::memory_order_relaxed);
+       k = job.cursor.fetch_add(1)) {
+    try {
+      task(k, worker);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job.errorMu);
+      if (!job.error) job.error = std::current_exception();
+      job.failed.store(true, std::memory_order_relaxed);
+    }
+  }
+}
+
+}  // namespace
+
+WorkerPool::WorkerPool(int backgroundThreads) : impl_(new Impl) {
+  const int n = std::max(backgroundThreads, 0);
+  impl_->threads.reserve(static_cast<std::size_t>(n));
+  for (int t = 0; t < n; ++t) {
+    impl_->threads.emplace_back([this] {
+      std::unique_lock<std::mutex> lock(impl_->mu);
+      for (;;) {
+        impl_->workCv.wait(lock, [this] {
+          return impl_->stop || impl_->joinableJob() != nullptr;
+        });
+        if (impl_->stop) return;
+        Job* job = impl_->joinableJob();
+        if (job == nullptr) continue;
+        --job->slots;
+        const int worker = job->nextWorkerId++;
+        ++job->inFlight;
+        lock.unlock();
+        participateImpl(*job, worker, *job->task);
+        lock.lock();
+        --job->inFlight;
+        impl_->doneCv.notify_all();
+      }
+    });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->workCv.notify_all();
+  for (auto& t : impl_->threads) t.join();
+  delete impl_;
+}
+
+int WorkerPool::backgroundThreads() const {
+  return static_cast<int>(impl_->threads.size());
+}
+
+WorkerPool& WorkerPool::shared() {
+  static WorkerPool pool([] {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 1 ? static_cast<int>(hw) - 1 : 0;
+  }());
+  return pool;
+}
+
+void WorkerPool::run(std::size_t numItems, int maxWorkers, const Task& task) {
+  if (numItems == 0) return;
+  const int extra = std::min(maxWorkers - 1, backgroundThreads());
+  if (extra <= 0 || numItems == 1) {
+    for (std::size_t k = 0; k < numItems; ++k) task(k, 0);
+    return;
+  }
+
+  Job job;
+  job.numItems = numItems;
+  job.task = &task;
+  // The caller drains items too, so at most numItems-1 helpers are useful.
+  job.slots = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(extra), numItems - 1));
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->jobs.push_back(&job);
+  }
+  impl_->workCv.notify_all();
+
+  participateImpl(job, 0, task);  // the caller is worker 0
+
+  {
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    // Unlist first so no further worker joins, then wait out the ones that
+    // already hold the job.
+    impl_->jobs.erase(std::find(impl_->jobs.begin(), impl_->jobs.end(), &job));
+    impl_->doneCv.wait(lock, [&job] { return job.inFlight == 0; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+}  // namespace pred::exp

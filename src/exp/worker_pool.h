@@ -1,0 +1,56 @@
+#pragma once
+// worker_pool.h — Lazily created, process-wide persistent worker pool.
+//
+// The engine's original parallelFor spawned and joined fresh std::threads
+// per matrix — fine for one grid, but a ScenarioSuite of hundreds of
+// queries pays thread startup and teardown per grid.  The WorkerPool keeps
+// hardware_concurrency-1 background threads parked on a condition variable
+// for the process lifetime; run() publishes a job (an atomic item cursor
+// plus a task), the caller participates as worker 0, and idle pool threads
+// join as workers 1..maxWorkers-1 until the cursor drains.  Scheduling
+// stays exactly as before — workers pull items from one atomic cursor — so
+// everything the engine promises about determinism is untouched (results
+// never depend on which worker ran which item; engine tests assert
+// bit-identity cell-for-cell).
+//
+// Concurrent run() calls from different threads are supported (jobs queue
+// up and share the pool); nested run() from inside a task degrades to the
+// caller participating inline, which is safe but wastes no threads.
+
+#include <cstddef>
+#include <functional>
+
+namespace pred::exp {
+
+class WorkerPool {
+ public:
+  /// task(item, worker): worker is a dense id in [0, maxWorkers) — 0 is
+  /// always the calling thread — usable to index per-worker accumulators.
+  using Task = std::function<void(std::size_t item, int worker)>;
+
+  /// The shared process-wide pool, created on first use with
+  /// hardware_concurrency-1 background threads.
+  static WorkerPool& shared();
+
+  explicit WorkerPool(int backgroundThreads);
+  ~WorkerPool();
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int backgroundThreads() const;
+
+  /// Runs task(k, worker) once for every k in [0, numItems), on the calling
+  /// thread plus up to maxWorkers-1 pool threads.  Blocks until every
+  /// started item finished; the first exception thrown by any worker is
+  /// rethrown here (remaining items are skipped, as with the per-call
+  /// thread spawn this replaces).  maxWorkers <= 1 runs inline.
+  void run(std::size_t numItems, int maxWorkers, const Task& task);
+
+  struct Job;  // implementation detail (opaque; defined in worker_pool.cpp)
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+}  // namespace pred::exp

@@ -207,9 +207,36 @@ Finding Query::runOne(exp::ExperimentEngine& engine,
     return f;
   }
 
-  auto matrix = engine.computeMatrix(*model, w.program, w.inputs);
   const bool restricted =
       !spec_.stateSubset.empty() || !spec_.inputSubset.empty();
+
+  if (!restricted && !keepMatrix_) {
+    // Streaming path: the engine folds cells into online accumulators and
+    // never materializes the |Q| x |I| matrix (bit-identical to the matrix
+    // evaluators, witnesses included — asserted in tests).
+    const auto acc = engine.reduceCells(*model, w.program, w.inputs);
+    f.bcet = acc.bcet();
+    f.wcet = acc.wcet();
+    for (const auto m : measures_) {
+      switch (m) {
+        case Measure::Pr:
+          f.pr = acc.pr();
+          break;
+        case Measure::SIPr:
+          f.sipr = acc.sipr();
+          break;
+        case Measure::IIPr:
+          f.iipr = acc.iipr();
+          break;
+      }
+    }
+    f.requested = measures_;
+    f.provenance = core::Inherence::Exhaustive;
+    attachBounds(f, w, platformName, options);
+    return f;
+  }
+
+  auto matrix = engine.computeMatrix(*model, w.program, w.inputs);
 
   if (restricted) {
     const auto qs =
@@ -257,29 +284,33 @@ Finding Query::runOne(exp::ExperimentEngine& engine,
   }
   f.requested = measures_;
   f.provenance = core::Inherence::Exhaustive;
-
-  if (spec_.mode == core::EvalMode::AnalysisBounds) {
-    // The static bound analyses model the cached in-order pipeline with LRU
-    // must/may classification; other platforms have no sound bounds here.
-    if (platformName != "inorder-lru" && platformName != "inorder-lru-icache") {
-      throw std::invalid_argument(
-          "AnalysisBounds mode models the inorder-lru / inorder-lru-icache "
-          "platforms only, not " + platformName);
-    }
-    analysis::BoundsInputs bi;
-    bi.pipeConfig = options.inorder;
-    bi.dataCacheGeom = options.dataGeom;
-    bi.cacheTiming = options.dataTiming;
-    if (platformName == "inorder-lru-icache") {
-      bi.instrCacheGeom = options.instrGeom;
-      bi.instrTiming = options.instrTiming;
-    }
-    isa::Cfg cfg(w.program);
-    f.bounds = analysis::figure1Decomposition(cfg, bi, f.bcet, f.wcet);
-  }
+  attachBounds(f, w, platformName, options);
 
   if (keepMatrix_) f.matrix = std::move(matrix);
   return f;
+}
+
+void Query::attachBounds(Finding& f, const WorkloadInstance& w,
+                         const std::string& platformName,
+                         const exp::PlatformOptions& options) const {
+  if (spec_.mode != core::EvalMode::AnalysisBounds) return;
+  // The static bound analyses model the cached in-order pipeline with LRU
+  // must/may classification; other platforms have no sound bounds here.
+  if (platformName != "inorder-lru" && platformName != "inorder-lru-icache") {
+    throw std::invalid_argument(
+        "AnalysisBounds mode models the inorder-lru / inorder-lru-icache "
+        "platforms only, not " + platformName);
+  }
+  analysis::BoundsInputs bi;
+  bi.pipeConfig = options.inorder;
+  bi.dataCacheGeom = options.dataGeom;
+  bi.cacheTiming = options.dataTiming;
+  if (platformName == "inorder-lru-icache") {
+    bi.instrCacheGeom = options.instrGeom;
+    bi.instrTiming = options.instrTiming;
+  }
+  isa::Cfg cfg(w.program);
+  f.bounds = analysis::figure1Decomposition(cfg, bi, f.bcet, f.wcet);
 }
 
 Finding Query::run(exp::ExperimentEngine& engine) const {

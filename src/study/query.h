@@ -101,6 +101,11 @@ class Query {
   Finding runOne(exp::ExperimentEngine& engine, const WorkloadInstance& w,
                  const std::string& platform,
                  const exp::PlatformOptions& options) const;
+  /// AnalysisBounds tail shared by the streaming and matrix paths: attaches
+  /// the Figure-1 decomposition computed from the finding's BCET/WCET.
+  void attachBounds(Finding& f, const WorkloadInstance& w,
+                    const std::string& platform,
+                    const exp::PlatformOptions& options) const;
   exp::PlatformOptions optionsFor(std::size_t platformIndex) const;
   /// The bound workload: the inline instance directly, or the registry
   /// workload materialized once into `storage`.
