@@ -95,20 +95,28 @@ double nsPerCell(exp::ExperimentEngine& engine, const exp::TimingModel& model,
   return best / static_cast<double>(model.numStates() * inputs.size());
 }
 
-/// The acceptance grid of this layer: a 64 x 64 exhaustive in-order matrix
-/// through the naive, interpreted-replay, and packed-replay paths —
-/// asserted cell-for-cell identical, timed, and recorded as JSON.
-void perfGrid() {
+/// One perf grid's worth of JSON (the value under "grids": {...}).
+struct GridReport {
+  bool identical = false;
+  std::string json;
+};
+
+/// Times a 64 x 64 exhaustive matrix on one platform through the naive,
+/// interpreted-replay, and packed-replay paths — asserted cell-for-cell
+/// identical, timed, and rendered as one JSON grid object.
+GridReport perfGridFor(const std::string& platform,
+                       const cache::CacheGeometry& dataGeom, int reps) {
   constexpr int kStates = 64;
   constexpr int kInputs = 64;
-  bench::printHeader("Replay kernels",
+  bench::printHeader("Replay kernels: " + platform,
                      "64 x 64 exhaustive grid: naive vs interpreted vs packed");
   const auto prog = gridProgram();
   const auto inputs = gridInputs(prog, kInputs);
   exp::PlatformOptions opts;
   opts.numStates = kStates;
-  const auto model =
-      exp::PlatformRegistry::instance().make("inorder-lru", prog, opts);
+  opts.dataGeom = dataGeom;
+  const auto model = exp::PlatformRegistry::instance().make(platform, prog,
+                                                            opts);
 
   exp::EngineConfig interpCfg;
   interpCfg.usePackedReplay = false;
@@ -116,6 +124,8 @@ void perfGrid() {
   exp::ExperimentEngine interp(interpCfg);
   exp::ExperimentEngine packed(packedCfg);
 
+  bench::printKV("supports packed replay",
+                 model->supportsPackedReplay() ? "yes" : "NO (BUG)");
   const auto mNaive = naiveSerialMatrix(*model, prog, inputs);
   const auto mInterp = interp.computeMatrix(*model, prog, inputs);
   const auto mPacked = packed.computeMatrix(*model, prog, inputs);
@@ -123,7 +133,6 @@ void perfGrid() {
   bench::printKV("packed == interpreted == naive (bit-identical)",
                  identical ? "yes" : "NO (BUG)");
 
-  const int reps = 5;
   const double naiveNs =
       bestOfNs(reps,
                [&] {
@@ -146,10 +155,12 @@ void perfGrid() {
   std::snprintf(buf, sizeof buf, "%.2fx", naiveNs / packedNs);
   bench::printKV("speedup packed vs naive", buf);
 
-  const char* envPath = std::getenv("BENCH_JSON");
-  const std::string path = envPath ? envPath : "BENCH_exhaustive.json";
   bench::JsonObject grid;
   grid.field("states", kStates).field("inputs", kInputs);
+  bench::JsonObject geom;
+  geom.field("line_words", static_cast<int>(dataGeom.lineWords))
+      .field("sets", static_cast<int>(dataGeom.numSets))
+      .field("ways", dataGeom.ways);
   bench::JsonObject cells;
   cells.field("naive", naiveNs)
       .field("interpreted", interpNs)
@@ -157,15 +168,42 @@ void perfGrid() {
   bench::JsonObject speedup;
   speedup.field("packed_vs_interpreted", interpNs / packedNs)
       .field("packed_vs_naive", naiveNs / packedNs);
-  bench::JsonObject root;
-  root.field("bench", std::string("exhaustive"))
-      .field("workload", std::string("linearSearch-16"))
-      .field("platform", std::string("inorder-lru"))
+  bench::JsonObject obj;
+  obj.field("workload", std::string("linearSearch-16"))
       .rawField("grid", grid.str())
-      .field("threads", packed.resolvedThreads())
+      .rawField("data_geom", geom.str())
       .rawField("bit_identical", identical ? "true" : "false")
       .rawField("ns_per_cell", cells.str())
       .rawField("speedup", speedup.str());
+  return GridReport{identical, obj.str()};
+}
+
+/// The acceptance grids of the replay-kernel layer — the additive in-order
+/// fast path AND the cycle-accurate OOO kernel path — recorded in one
+/// BENCH_exhaustive.json that scripts/bench_run.sh gates per grid.
+///
+/// The in-order grid keeps the PR-3 configuration (default tiny cache) so
+/// its ns/cell stays comparable with the recorded baselines.  The OOO grid
+/// uses a realistic 64-set x 4-way data cache: the OOO models' legacy path
+/// deep-copies the cache per cell, so the tiny default geometry would
+/// understate exactly the cost the packed snapshot replay removes.
+void perfGrid() {
+  const int reps = 5;
+  const auto inorder =
+      perfGridFor("inorder-lru", exp::PlatformOptions{}.dataGeom, reps);
+  const auto ooo =
+      perfGridFor("ooo-fifo", cache::CacheGeometry{4, 64, 4}, reps);
+
+  const char* envPath = std::getenv("BENCH_JSON");
+  const std::string path = envPath ? envPath : "BENCH_exhaustive.json";
+  bench::JsonObject grids;
+  grids.rawField("inorder-lru", inorder.json).rawField("ooo-fifo", ooo.json);
+  bench::JsonObject root;
+  root.field("bench", std::string("exhaustive"))
+      .field("threads", exp::ExperimentEngine().resolvedThreads())
+      .rawField("bit_identical",
+                inorder.identical && ooo.identical ? "true" : "false")
+      .rawField("grids", grids.str());
   if (bench::writeTextFile(path, root.str())) {
     bench::printKV("json artifact", path);
   }

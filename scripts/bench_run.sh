@@ -5,11 +5,13 @@
 # recorded run over run.
 #
 # Usage:  scripts/bench_run.sh [--smoke] [build-dir]   (default: build)
-#   --smoke   regression gate (the CI perf-smoke job): fail when
+#   --smoke   regression gate (the CI perf-smoke job), applied to EVERY
+#             grid recorded in the JSON (inorder-lru and ooo-fifo): fail
+#             when
 #             * the bench reports non-bit-identical matrices, or
-#             * packed ns/cell exceeds PERF_SMOKE_FACTOR (default 2.0) x
-#               the checked-in bench/perf_baseline.json, or
-#             * the packed-vs-interpreted speedup falls below
+#             * a grid's packed ns/cell exceeds PERF_SMOKE_FACTOR (default
+#               2.0) x that grid's entry in bench/perf_baseline.json, or
+#             * a grid's packed-vs-interpreted speedup falls below
 #               PERF_MIN_SPEEDUP (default 3.0).
 set -eu
 
@@ -45,20 +47,32 @@ if not measured.get("bit_identical", False):
     print("FAIL: packed/interpreted/naive matrices are not bit-identical")
     failed = True
 
-packed = measured["ns_per_cell"]["packed"]
-limit = baseline["packed_ns_per_cell"] * factor
-print(f"packed ns/cell: {packed:.1f} (limit {limit:.1f} = "
-      f"{baseline['packed_ns_per_cell']} baseline x {factor})")
-if packed > limit:
-    print("FAIL: packed ns/cell regressed past the baseline limit")
-    failed = True
+for name, base in baseline["grids"].items():
+    grid = measured["grids"].get(name)
+    if grid is None:
+        print(f"FAIL: grid '{name}' missing from the bench JSON")
+        failed = True
+        continue
+    if not grid.get("bit_identical", False):
+        print(f"FAIL: {name}: matrices are not bit-identical")
+        failed = True
 
-speedup = measured["speedup"]["packed_vs_interpreted"]
-print(f"speedup packed vs interpreted: {speedup:.2f}x (min {min_speedup}x)")
-if speedup < min_speedup:
-    print("FAIL: packed replay no longer meaningfully beats the "
-          "interpreted path")
-    failed = True
+    packed = grid["ns_per_cell"]["packed"]
+    limit = base["packed_ns_per_cell"] * factor
+    print(f"{name}: packed ns/cell: {packed:.1f} (limit {limit:.1f} = "
+          f"{base['packed_ns_per_cell']} baseline x {factor})")
+    if packed > limit:
+        print(f"FAIL: {name}: packed ns/cell regressed past the baseline "
+              "limit")
+        failed = True
+
+    speedup = grid["speedup"]["packed_vs_interpreted"]
+    print(f"{name}: speedup packed vs interpreted: {speedup:.2f}x "
+          f"(min {min_speedup}x)")
+    if speedup < min_speedup:
+        print(f"FAIL: {name}: packed replay no longer meaningfully beats "
+              "the interpreted path")
+        failed = True
 
 sys.exit(1 if failed else 0)
 PY

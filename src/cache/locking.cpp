@@ -106,8 +106,13 @@ std::uint64_t unlockedHitsUnderPreemption(const isa::Trace& trace,
   }
   // Packed replay: a preemption that trashes the cache is a reset to the
   // cold snapshot's contents (which, like reset(), also clears the hit
-  // counters — the measured value is hits since the last preemption — and
-  // keeps the RANDOM replacement stream advancing rather than reseeding).
+  // counters — the measured value is hits since the LAST preemption, the
+  // tail window, not the trace total — and keeps the RANDOM replacement
+  // stream advancing rather than reseeding).  That window semantics is
+  // inherited from the seed and deliberately preserved bit-for-bit; see
+  // the ROADMAP "Semantics audit of unlockedHitsUnderPreemption" open item
+  // and the characterization test in tests/cache_structs_test.cpp that
+  // pins it until the planned behavior-change PR re-decides it.
   const PackedCacheState cold = proto.pack();
   PackedCacheSim sim;
   sim.load(cold);

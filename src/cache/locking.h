@@ -75,7 +75,10 @@ std::uint64_t guaranteedHits(const isa::Trace& trace, const CacheGeometry& geom,
 
 /// Measured hits of an UNLOCKED cache replaying `trace` while a preempting
 /// task trashes the whole cache every `preemptionPeriod` fetches
-/// (0 = no preemption).
+/// (0 = no preemption).  Inherited window semantics, pinned by a
+/// characterization test pending the ROADMAP audit item: each preemption
+/// also clears the hit counters, so this returns hits since the LAST
+/// preemption, not the trace total.
 std::uint64_t unlockedHitsUnderPreemption(const isa::Trace& trace,
                                           const CacheGeometry& geom,
                                           Policy policy,

@@ -36,6 +36,7 @@ void ExperimentEngine::runGrid(
     std::size_t numStates, std::size_t numInputs,
     const std::function<void(std::size_t, std::size_t, int)>& cell) const {
   if (numStates == 0 || numInputs == 0) return;
+  gridWalks_.fetch_add(1);
   const std::size_t tilesQ =
       (numStates + config_.tileStates - 1) / config_.tileStates;
   const std::size_t tilesI =
@@ -134,6 +135,112 @@ core::StreamingMeasures ExperimentEngine::reduceCells(
     return reduceImpl(model, traces, compiled);
   }
   return reduceImpl(model, traces, {});
+}
+
+std::vector<core::StreamingMeasures> ExperimentEngine::reduceCellsBatch(
+    const std::vector<GridSpec>& grids) {
+  const std::size_t nGrids = grids.size();
+
+  /// Per-grid evaluation context, resolved up front so the cell pass is a
+  /// pure walk.
+  struct Prepared {
+    bool packed = false;
+    std::size_t nQ = 0, nI = 0;
+    std::size_t tilesI = 0;
+    std::vector<const isa::Trace*> traces;
+    std::vector<const ReplayProgram*> compiled;
+  };
+  std::vector<Prepared> prep(nGrids);
+  // Prefix offsets flatten the per-grid item lists into single global work
+  // lists; the owning grid of item k is recovered by binary search.
+  std::vector<std::size_t> inputOffset(nGrids + 1, 0);
+  for (std::size_t g = 0; g < nGrids; ++g) {
+    Prepared& p = prep[g];
+    p.packed = packedPath(*grids[g].model);
+    p.nQ = grids[g].model->numStates();
+    p.nI = grids[g].inputs->size();
+    p.traces.assign(p.nI, nullptr);
+    if (p.packed) p.compiled.assign(p.nI, nullptr);
+    inputOffset[g + 1] = inputOffset[g] + p.nI;
+  }
+  const auto gridOf = [](const std::vector<std::size_t>& offsets,
+                         std::size_t k) {
+    return static_cast<std::size_t>(
+        std::upper_bound(offsets.begin(), offsets.end(), k) -
+        offsets.begin() - 1);
+  };
+
+  // Pass 1: resolve (and memoize) every grid's traces and compiled forms —
+  // all (grid, input) pairs as one pool work list.
+  WorkerPool::shared().run(
+      inputOffset.back(), resolvedThreads(), [&](std::size_t k, int) {
+        const std::size_t g = gridOf(inputOffset, k);
+        const std::size_t i = k - inputOffset[g];
+        const auto& input = (*grids[g].inputs)[i];
+        if (prep[g].packed) {
+          const auto ref = store_.entryRefFor(*grids[g].program, input);
+          prep[g].traces[i] = ref.trace;
+          prep[g].compiled[i] = ref.compiled;
+        } else {
+          prep[g].traces[i] = &store_.traceFor(*grids[g].program, input);
+        }
+      });
+
+  // Pass 2: ONE tiled walk over the union of every grid's cells.  Workers
+  // fold into per-(worker, grid) accumulators; the smallest-index tie-break
+  // makes the merge below independent of which worker saw which tile, so
+  // values and witnesses equal the grid-by-grid reduceCells results.
+  std::vector<std::size_t> tileOffset(nGrids + 1, 0);
+  for (std::size_t g = 0; g < nGrids; ++g) {
+    const std::size_t tilesQ =
+        (prep[g].nQ + config_.tileStates - 1) / config_.tileStates;
+    prep[g].tilesI =
+        (prep[g].nI + config_.tileInputs - 1) / config_.tileInputs;
+    tileOffset[g + 1] = tileOffset[g] + tilesQ * prep[g].tilesI;
+  }
+  const int workers = std::max(resolvedThreads(), 1);
+  std::vector<std::vector<core::StreamingMeasures>> accs;
+  accs.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    std::vector<core::StreamingMeasures> mine;
+    mine.reserve(nGrids);
+    for (std::size_t g = 0; g < nGrids; ++g) {
+      mine.emplace_back(prep[g].nQ, prep[g].nI);
+    }
+    accs.push_back(std::move(mine));
+  }
+  if (tileOffset.back() > 0) gridWalks_.fetch_add(1);
+  WorkerPool::shared().run(
+      tileOffset.back(), workers, [&](std::size_t tile, int worker) {
+        const std::size_t g = gridOf(tileOffset, tile);
+        const Prepared& p = prep[g];
+        const std::size_t local = tile - tileOffset[g];
+        const std::size_t q0 = (local / p.tilesI) * config_.tileStates;
+        const std::size_t i0 = (local % p.tilesI) * config_.tileInputs;
+        const std::size_t q1 = std::min(p.nQ, q0 + config_.tileStates);
+        const std::size_t i1 = std::min(p.nI, i0 + config_.tileInputs);
+        const TimingModel& model = *grids[g].model;
+        auto& acc = accs[static_cast<std::size_t>(worker)][g];
+        for (std::size_t q = q0; q < q1; ++q) {
+          for (std::size_t i = i0; i < i1; ++i) {
+            const core::Cycles t = p.packed
+                                       ? model.timePacked(q, *p.compiled[i])
+                                       : model.time(q, *p.traces[i]);
+            acc.add(q, i, t);
+          }
+        }
+      });
+
+  std::vector<core::StreamingMeasures> out;
+  out.reserve(nGrids);
+  for (std::size_t g = 0; g < nGrids; ++g) {
+    core::StreamingMeasures total = std::move(accs[0][g]);
+    for (int w = 1; w < workers; ++w) {
+      total.merge(accs[static_cast<std::size_t>(w)][g]);
+    }
+    out.push_back(std::move(total));
+  }
+  return out;
 }
 
 core::StreamingMeasures ExperimentEngine::reduceCells(

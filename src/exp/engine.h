@@ -11,11 +11,14 @@
 // parallel result is bit-identical to the serial one for any thread count
 // or tile shape — the property the engine tests assert cell-for-cell.
 //
-// Two output shapes share that loop:
-//   computeMatrix  materializes the dense |Q|×|I| TimingMatrix;
-//   reduceCells    folds each cell straight into StreamingMeasures
-//                  (per-tile, merged deterministically), so exhaustive
-//                  queries that don't keep matrices never allocate |Q|×|I|.
+// Three output shapes share that loop:
+//   computeMatrix    materializes the dense |Q|×|I| TimingMatrix;
+//   reduceCells      folds each cell straight into StreamingMeasures
+//                    (per-tile, merged deterministically), so exhaustive
+//                    queries that don't keep matrices never allocate |Q|×|I|;
+//   reduceCellsBatch folds MANY grids in one walk — the tiles of every
+//                    grid form a single work list, so a scenario sweep of
+//                    small grids stops paying a pool barrier per query.
 //
 // The per-cell evaluator routes through the model's packed replay fast path
 // (compiled traces + flat cache snapshots, exp/replay.h) whenever the model
@@ -80,6 +83,25 @@ class ExperimentEngine {
                                       const isa::Program& program,
                                       const std::vector<isa::Input>& inputs);
 
+  /// One grid of a batched reduction: a model plus its workload.  The
+  /// pointed-to objects must outlive the reduceCellsBatch call.
+  struct GridSpec {
+    const TimingModel* model;
+    const isa::Program* program;
+    const std::vector<isa::Input>* inputs;
+  };
+
+  /// reduceCells over MANY grids with a single tiled walk: all cells of all
+  /// grids are enqueued as one work list on the worker pool (one grid walk,
+  /// preceded by one pool pass that resolves every grid's traces), so small
+  /// grids no longer serialize on per-grid barriers.  Results are the same
+  /// StreamingMeasures reduceCells would produce grid by grid — values AND
+  /// witnesses, for any thread count or tile shape, because per-worker
+  /// accumulators merge with the smallest-index tie-break.  This is the
+  /// single-pass substrate of ScenarioSuite::run.
+  std::vector<core::StreamingMeasures> reduceCellsBatch(
+      const std::vector<GridSpec>& grids);
+
   /// Threads a computeMatrix call will actually use.
   int resolvedThreads() const;
 
@@ -87,6 +109,12 @@ class ExperimentEngine {
   /// streaming-path tests assert this stays 0 for keepMatrices=false
   /// queries.
   std::uint64_t matrixBuilds() const { return matrixBuilds_.load(); }
+
+  /// Tiled grid walks issued by this engine so far (one per matrix or
+  /// streaming reduction; ONE for a whole reduceCellsBatch, however many
+  /// grids it spans) — the batching tests assert a batched ScenarioSuite
+  /// run issues exactly one instead of one per query.
+  std::uint64_t gridWalks() const { return gridWalks_.load(); }
 
   const EngineConfig& config() const { return config_; }
   TraceStore& traceStore() { return store_; }
@@ -116,6 +144,7 @@ class ExperimentEngine {
   EngineConfig config_;
   TraceStore store_;
   mutable std::atomic<std::uint64_t> matrixBuilds_{0};
+  mutable std::atomic<std::uint64_t> gridWalks_{0};
 };
 
 }  // namespace pred::exp

@@ -9,6 +9,7 @@
 #include "isa/cfg.h"
 #include "isa/workloads.h"
 #include "pipeline/memory_iface.h"
+#include "pipeline/ooo_kernel.h"
 #include "pipeline/vtrace.h"
 
 namespace pred::exp {
@@ -177,7 +178,11 @@ class ScratchpadModel : public TimingModel {
 // ------------------------------------------------------------ out-of-order
 
 /// Out-of-order pipeline; q pairs a cache snapshot with an initial
-/// unit-occupancy residue (the domino-effect state of Section 2.2).
+/// unit-occupancy residue (the domino-effect state of Section 2.2).  The
+/// occupancy is already a few flat words, so the packed form of a state is
+/// just PackedCacheState next to it: timePacked loads the snapshot into a
+/// reusable PackedCacheSim and runs the SAME dispatch loop (ooo_kernel.h)
+/// the interpreted walk runs, over the pre-lowered op stream.
 class OooModel : public TimingModel {
  public:
   struct State {
@@ -190,7 +195,18 @@ class OooModel : public TimingModel {
            std::vector<State> states)
       : name_(std::move(name)),
         config_(config),
-        states_(std::move(states)) {}
+        states_(std::move(states)) {
+    packedOk_ = !states_.empty();
+    for (const State& s : states_) {
+      if (!cache::packable(s.cache.geometry())) {
+        packedOk_ = false;
+        break;
+      }
+    }
+    if (!packedOk_) return;
+    packed_.reserve(states_.size());
+    for (const State& s : states_) packed_.push_back(s.cache.pack());
+  }
 
   std::string name() const override { return name_; }
   std::size_t numStates() const override { return states_.size(); }
@@ -205,10 +221,25 @@ class OooModel : public TimingModel {
     return pipe.run(trace, s.occupancy);
   }
 
+  bool supportsPackedReplay() const override { return packedOk_; }
+
+  Cycles timePacked(std::size_t q, const ReplayProgram& rp) const override {
+    thread_local cache::PackedCacheSim sim;
+    sim.load(packed_[q]);
+    // SkipStallCycles is sound here: PackedCacheSim retries are idempotent
+    // (see ooo_kernel.h).
+    return pipeline::runOooKernel</*SkipStallCycles=*/true>(
+        config_, rp.oooOps(),
+        [](std::int64_t wordAddr) { return sim.access(wordAddr).latency; },
+        states_[q].occupancy, nullptr);
+  }
+
  private:
   std::string name_;
   pipeline::OooConfig config_;
   std::vector<State> states_;
+  std::vector<cache::PackedCacheState> packed_;  ///< parallel when packedOk_
+  bool packedOk_ = false;
 };
 
 /// Out-of-order pipeline over a fixed-latency scratchpad; Q = the
@@ -240,6 +271,18 @@ class OooFixedLatModel : public TimingModel {
     pipeline::OooPipeline pipe(config_, &mem);
     return pipe.run(trace, states_[q],
                     drainBefore_.empty() ? nullptr : &drainBefore_);
+  }
+
+  /// No cache to snapshot at all: the packed replay is the shared kernel
+  /// over the flat op stream with a constant memory latency — covering the
+  /// drainBefore_ preschedule mode too, which is kernel-internal.
+  bool supportsPackedReplay() const override { return !states_.empty(); }
+
+  Cycles timePacked(std::size_t q, const ReplayProgram& rp) const override {
+    return pipeline::runOooKernel</*SkipStallCycles=*/true>(
+        config_, rp.oooOps(),
+        [lat = memLatency_](std::int64_t) { return lat; }, states_[q],
+        drainBefore_.empty() ? nullptr : &drainBefore_);
   }
 
  private:

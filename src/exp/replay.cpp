@@ -1,14 +1,35 @@
 #include "exp/replay.h"
 
 #include "isa/instr.h"
+#include "pipeline/ooo_kernel.h"
 
 namespace pred::exp {
 
 ReplayProgram compileTrace(const isa::Trace& trace) {
   ReplayProgram rp;
   rp.fetchPc.reserve(trace.size());
+  rp.ops.reserve(trace.size());
   for (const auto& rec : trace) {
     rp.fetchPc.push_back(rec.pc);
+
+    ReplayOp op;
+    op.memAddr = rec.memWordAddr;
+    op.pc = rec.pc;
+    op.extraLatency = rec.extraLatency;
+    op.cls = static_cast<std::uint8_t>(isa::latencyClass(rec.instr.op));
+    if (rec.branchTaken) op.flags |= kReplayOpTaken;
+    if (pipeline::detail::writesRd(rec.instr)) {
+      op.flags |= kReplayOpWritesRd;
+      op.rd = rec.instr.rd;
+    }
+    int reads[3];
+    int numReads = 0;
+    pipeline::detail::readRegisters(rec.instr, reads, numReads);
+    op.numReads = static_cast<std::uint8_t>(numReads);
+    for (int j = 0; j < numReads; ++j) {
+      op.reads[j] = static_cast<std::uint8_t>(reads[j]);
+    }
+    rp.ops.push_back(op);
     switch (isa::latencyClass(rec.instr.op)) {
       case isa::LatencyClass::Single:
         ++rp.numSingle;

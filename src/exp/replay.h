@@ -16,6 +16,13 @@
 // the rewriting literature use: compile the structure once, run a dumb fast
 // loop over it.
 //
+// The out-of-order pipelines are not additive — their cost is a function of
+// dispatch pairing and register dependencies — so for them the lowering
+// keeps a cycle-accurate stream instead: `ops`, one pre-decoded ReplayOp
+// per dynamic instruction (latency class, register reads/writes, branch
+// outcome, memory address), which pipeline::runOooKernel replays against
+// packed cache snapshots with zero per-cell decoding.
+//
 // Lowering is exact, not approximate: for every InOrderConfig, predictor,
 // and cache snapshot, the compiled replay is bit-identical to
 // InOrderPipeline::run over the original trace (asserted cell-for-cell in
@@ -31,6 +38,53 @@
 
 namespace pred::exp {
 
+/// One dynamic instruction of the cycle-accurate replay stream: every fact
+/// the out-of-order dispatch loop (pipeline/ooo_kernel.h) asks of a trace
+/// record, pre-decoded at lowering time.  24 bytes, flat in memory — the
+/// OOO kernel walks these instead of re-decoding ExecRecord/Instr per cell.
+struct ReplayOp {
+  std::int64_t memAddr = -1;      ///< LD/ST effective word address
+  std::int32_t pc = 0;            ///< static instruction index (drain points)
+  std::int32_t extraLatency = 0;  ///< data-dependent DIV cycles
+  std::uint8_t cls = 0;           ///< isa::LatencyClass
+  std::uint8_t flags = 0;         ///< kReplayOpTaken | kReplayOpWritesRd
+  std::uint8_t numReads = 0;      ///< register reads used of reads[]
+  std::uint8_t rd = 0;            ///< destination register when writesRd
+  std::uint8_t reads[3] = {0, 0, 0};
+};
+
+inline constexpr std::uint8_t kReplayOpTaken = 1;     ///< control, taken
+inline constexpr std::uint8_t kReplayOpWritesRd = 2;  ///< writes register rd
+
+/// Ops adapter (the pipeline::runOooKernel contract) over the pre-lowered
+/// flat stream — the packed-path twin of pipeline::TraceOps.
+struct ReplayOps {
+  const ReplayOp* ops;
+  std::size_t n;
+
+  std::size_t size() const { return n; }
+  std::int32_t pc(std::size_t k) const { return ops[k].pc; }
+  isa::LatencyClass cls(std::size_t k) const {
+    return static_cast<isa::LatencyClass>(ops[k].cls);
+  }
+  std::int32_t extraLatency(std::size_t k) const {
+    return ops[k].extraLatency;
+  }
+  std::int64_t memAddr(std::size_t k) const { return ops[k].memAddr; }
+  bool branchTaken(std::size_t k) const {
+    return (ops[k].flags & kReplayOpTaken) != 0;
+  }
+  void reads(std::size_t k, int out[3], int& numReads) const {
+    const ReplayOp& op = ops[k];
+    numReads = op.numReads;
+    for (int j = 0; j < op.numReads; ++j) out[j] = op.reads[j];
+  }
+  bool writesRd(std::size_t k) const {
+    return (ops[k].flags & kReplayOpWritesRd) != 0;
+  }
+  int rd(std::size_t k) const { return ops[k].rd; }
+};
+
 /// POD replay form of one dynamic trace (flat arrays + class counts).
 struct ReplayProgram {
   /// pc of every dynamic instruction, in order (the I-cache fetch stream).
@@ -41,6 +95,20 @@ struct ReplayProgram {
   /// stream).
   std::vector<std::int32_t> condBranchPc;
   std::vector<std::uint8_t> condBranchTaken;
+
+  /// The cycle-accurate stream: one pre-decoded op per dynamic instruction,
+  /// parallel to fetchPc.  Consumed by the OOO packed replay, whose
+  /// dispatch loop needs register dependencies and per-op facts the
+  /// additive in-order streams above fold away.  Lowered eagerly even for
+  /// traces only in-order models end up replaying: 24 B/instruction is
+  /// well under the memoized isa::Trace the store already keeps alongside,
+  /// and the alternative — lazy lowering inside TraceStore — would put a
+  /// synchronization point back into the per-cell hot path that the
+  /// compile-once contract exists to avoid.
+  std::vector<ReplayOp> ops;
+
+  /// The ops view in the pipeline::runOooKernel Ops contract.
+  ReplayOps oooOps() const { return ReplayOps{ops.data(), ops.size()}; }
 
   // Per-latency-class dynamic counts: everything the in-order pipeline adds
   // independently of hardware state.

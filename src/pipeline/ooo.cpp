@@ -1,188 +1,21 @@
 #include "pipeline/ooo.h"
 
-#include <algorithm>
+#include "pipeline/ooo_kernel.h"
 
 namespace pred::pipeline {
-
-namespace {
-
-/// Registers an instruction reads (by mini-ISA convention, ST's value lives
-/// in rd and CMOV reads its own destination).
-void readRegisters(const isa::Instr& ins, int out[3], int& n) {
-  n = 0;
-  using isa::Op;
-  switch (ins.op) {
-    case Op::ADD: case Op::SUB: case Op::AND: case Op::OR: case Op::XOR:
-    case Op::SHL: case Op::SHR: case Op::SLT: case Op::MUL: case Op::DIV:
-      out[n++] = ins.rs1;
-      out[n++] = ins.rs2;
-      break;
-    case Op::ADDI: case Op::MOV:
-      out[n++] = ins.rs1;
-      break;
-    case Op::LD:
-      out[n++] = ins.rs1;
-      break;
-    case Op::ST:
-      out[n++] = ins.rs1;
-      out[n++] = ins.rd;  // value operand
-      break;
-    case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
-      out[n++] = ins.rs1;
-      out[n++] = ins.rs2;
-      break;
-    case Op::CMOV:
-      out[n++] = ins.rs1;
-      out[n++] = ins.rs2;
-      out[n++] = ins.rd;  // merge with the old value
-      break;
-    default:
-      break;
-  }
-}
-
-bool writesRd(const isa::Instr& ins) {
-  using isa::Op;
-  switch (ins.op) {
-    case Op::ST: case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
-    case Op::JMP: case Op::CALL: case Op::RET: case Op::NOP: case Op::HALT:
-    case Op::DEADLINE:
-      return false;
-    default:
-      return ins.rd != 0;
-  }
-}
-
-}  // namespace
 
 OooPipeline::OooPipeline(OooConfig config, MemorySystem* memory)
     : config_(config), memory_(memory) {}
 
 Cycles OooPipeline::run(const isa::Trace& trace, const OooInitialState& init,
                         const std::set<std::int32_t>* drainBefore) {
-  // unit 0: complex IU, unit 1: simple IU + branches, unit 2: LSU.
-  //
-  // Cycle-accurate loop.  The dispatcher is the PPC755-style greedy one: up
-  // to dispatchWidth instructions per cycle, strictly in order, each taking
-  // the lowest-numbered capable unit whose (blocking) reservation station is
-  // free in this cycle; if the head instruction cannot dispatch, dispatch
-  // stops for the cycle.  Which instructions end up paired in one cycle is a
-  // persistent discrete state — the seed of the domino effect.
-  Cycles unitFree[3] = {init.iu0Busy, init.iu1Busy, init.lsuBusy};
-  Cycles regReady[isa::kNumRegs] = {};
-  Cycles lastDone = 0;
-  Cycles redirectUntil = 0;  // no dispatch before this (taken-branch bubble)
-
-  // Preschedule mode with a drain point at the very first instruction: the
-  // program's execution begins only once the pipeline has emptied, so the
-  // initial occupancy contributes a pure startup wait that is not part of
-  // the program's execution time (and would otherwise re-introduce exactly
-  // the state dependence the mode exists to remove).
-  Cycles startOffset = 0;
-  if (drainBefore != nullptr && !trace.empty() &&
-      drainBefore->count(trace.front().pc)) {
-    startOffset = std::max({unitFree[0], unitFree[1], unitFree[2]});
-  }
-
-  std::size_t next = 0;
-  Cycles t = 0;
-  const Cycles safety =
-      1000000ULL + 64ULL * static_cast<Cycles>(trace.size() + 1) *
-                        (config_.mulLatency + 16);
-  while (next < trace.size()) {
-    if (t > safety) break;  // defensive: malformed configuration
-    if (t < redirectUntil) {
-      t = redirectUntil;
-      continue;
-    }
-    int slots = config_.dispatchWidth;
-    bool redirected = false;
-    while (slots > 0 && next < trace.size() && !redirected) {
-      const auto& rec = trace[next];
-      const auto cls = isa::latencyClass(rec.instr.op);
-
-      if (drainBefore != nullptr && drainBefore->count(rec.pc)) {
-        // Preschedule mode [21]: regulate instruction flow at block entry —
-        // wait for the pipeline to empty so no timing state crosses the
-        // boundary.
-        const Cycles drained =
-            std::max({unitFree[0], unitFree[1], unitFree[2], lastDone});
-        if (t < drained) break;
-      }
-
-      if (cls == isa::LatencyClass::None) {
-        // NOP/HALT/DEADLINE consume a dispatch slot only.
-        lastDone = std::max(lastDone, t + 1);
-        ++next;
-        --slots;
-        continue;
-      }
-
-      // Capable units in greedy preference order.
-      int capable[2];
-      int numCapable = 0;
-      Cycles latency = 0;
-      switch (cls) {
-        case isa::LatencyClass::Single:
-          capable[numCapable++] = 0;  // greedy: IU0 grabbed first if free
-          capable[numCapable++] = 1;
-          latency = config_.aluLatency;
-          break;
-        case isa::LatencyClass::Multiply:
-          capable[numCapable++] = 0;
-          latency = config_.mulLatency;
-          break;
-        case isa::LatencyClass::Divide:
-          capable[numCapable++] = 0;
-          latency = config_.constantDiv
-                        ? static_cast<Cycles>(isa::maxDivLatency())
-                        : static_cast<Cycles>(rec.extraLatency);
-          break;
-        case isa::LatencyClass::Memory:
-          capable[numCapable++] = 2;
-          latency = memory_->access(rec.memWordAddr);
-          break;
-        case isa::LatencyClass::Control:
-          capable[numCapable++] = 1;
-          latency = config_.controlLatency;
-          break;
-        case isa::LatencyClass::None:
-          break;  // handled above
-      }
-
-      int unit = -1;
-      for (int k = 0; k < numCapable; ++k) {
-        if (unitFree[capable[k]] <= t) {
-          unit = capable[k];
-          break;
-        }
-      }
-      if (unit < 0) break;  // head blocked: in-order dispatch stalls
-
-      int reads[3];
-      int numReads = 0;
-      readRegisters(rec.instr, reads, numReads);
-      Cycles operands = 0;
-      for (int k = 0; k < numReads; ++k) {
-        operands = std::max(operands, regReady[reads[k]]);
-      }
-
-      const Cycles start = std::max(t, operands);
-      const Cycles done = start + latency;
-      unitFree[unit] = done;  // blocking reservation station
-      if (writesRd(rec.instr)) regReady[rec.instr.rd] = done;
-      lastDone = std::max(lastDone, done);
-
-      if (cls == isa::LatencyClass::Control && rec.branchTaken) {
-        redirectUntil = done + config_.takenRedirect;
-        redirected = true;
-      }
-      ++next;
-      --slots;
-    }
-    ++t;
-  }
-  return lastDone > startOffset ? lastDone - startOffset : 0;
+  // The dispatch loop lives in ooo_kernel.h, shared with the packed replay
+  // fast path of the OOO platforms (exp/platform.cpp): both instantiate the
+  // same template, so they cannot diverge.
+  return runOooKernel(
+      config_, TraceOps{&trace},
+      [this](std::int64_t wordAddr) { return memory_->access(wordAddr); },
+      init, drainBefore);
 }
 
 }  // namespace pred::pipeline

@@ -23,6 +23,11 @@
 // (`drainBefore`): that is Rochange & Sainrat's time-predictable execution
 // mode [21] — flushing at basic-block boundaries removes all inter-block
 // timing dependencies (Table 1, row 2).
+//
+// The cycle-accurate dispatch loop itself lives in ooo_kernel.h as a
+// template shared with the packed replay fast path (exp/platform.cpp), so
+// the interpreted walk and the replay of pre-lowered flat op streams run
+// the same statements in the same order — bit-identity by construction.
 
 #include <cstdint>
 #include <set>

@@ -1,0 +1,276 @@
+#pragma once
+// ooo_kernel.h — The out-of-order dispatch loop as a shared kernel template.
+//
+// OooPipeline::run (ooo.cpp) and the packed replay fast path of the OOO
+// platforms (exp/platform.cpp) must produce bit-identical cycle counts: the
+// fast path exists only because it cannot diverge from the interpreted walk
+// (tests/differential_test.cpp gates exactly that).  Rather than maintaining
+// two copies of a cycle-accurate loop whose every quirk is load-bearing —
+// the greedy unit grab, the blocking reservation stations, and notably the
+// RE-ACCESS of the data cache each cycle a memory op retries dispatch while
+// the LSU is busy — the loop lives here ONCE, templated over
+//
+//   * Ops  — how per-instruction facts are obtained: decoded on the fly
+//            from an isa::Trace (TraceOps below, the interpreted path) or
+//            read from the pre-lowered flat stream of a ReplayProgram
+//            (exp/replay.h, the packed path);
+//   * MemFn — where a data access gets its latency: a MemorySystem* (which
+//            may deep-copy a cache per cell) or a PackedCacheSim replaying
+//            a flat snapshot in reusable buffers.
+//
+// Both instantiations therefore execute the same statements in the same
+// order; only the representation of the operands differs.  The preschedule
+// drain mode (`drainBefore`) is part of the kernel, so the fast path covers
+// ooo-preschedule too.
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+
+#include "isa/exec.h"
+#include "pipeline/ooo.h"
+
+namespace pred::pipeline {
+
+namespace detail {
+
+/// Registers an instruction reads (by mini-ISA convention, ST's value lives
+/// in rd and CMOV reads its own destination).
+inline void readRegisters(const isa::Instr& ins, int out[3], int& n) {
+  n = 0;
+  using isa::Op;
+  switch (ins.op) {
+    case Op::ADD: case Op::SUB: case Op::AND: case Op::OR: case Op::XOR:
+    case Op::SHL: case Op::SHR: case Op::SLT: case Op::MUL: case Op::DIV:
+      out[n++] = ins.rs1;
+      out[n++] = ins.rs2;
+      break;
+    case Op::ADDI: case Op::MOV:
+      out[n++] = ins.rs1;
+      break;
+    case Op::LD:
+      out[n++] = ins.rs1;
+      break;
+    case Op::ST:
+      out[n++] = ins.rs1;
+      out[n++] = ins.rd;  // value operand
+      break;
+    case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+      out[n++] = ins.rs1;
+      out[n++] = ins.rs2;
+      break;
+    case Op::CMOV:
+      out[n++] = ins.rs1;
+      out[n++] = ins.rs2;
+      out[n++] = ins.rd;  // merge with the old value
+      break;
+    default:
+      break;
+  }
+}
+
+inline bool writesRd(const isa::Instr& ins) {
+  using isa::Op;
+  switch (ins.op) {
+    case Op::ST: case Op::BEQ: case Op::BNE: case Op::BLT: case Op::BGE:
+    case Op::JMP: case Op::CALL: case Op::RET: case Op::NOP: case Op::HALT:
+    case Op::DEADLINE:
+      return false;
+    default:
+      return ins.rd != 0;
+  }
+}
+
+}  // namespace detail
+
+/// Ops adapter over a dynamic trace: every per-instruction fact is decoded
+/// on use, exactly as the pre-kernel loop did (the interpreted baseline).
+struct TraceOps {
+  const isa::Trace* trace;
+
+  std::size_t size() const { return trace->size(); }
+  std::int32_t pc(std::size_t k) const { return (*trace)[k].pc; }
+  isa::LatencyClass cls(std::size_t k) const {
+    return isa::latencyClass((*trace)[k].instr.op);
+  }
+  std::int32_t extraLatency(std::size_t k) const {
+    return (*trace)[k].extraLatency;
+  }
+  std::int64_t memAddr(std::size_t k) const { return (*trace)[k].memWordAddr; }
+  bool branchTaken(std::size_t k) const { return (*trace)[k].branchTaken; }
+  void reads(std::size_t k, int out[3], int& n) const {
+    detail::readRegisters((*trace)[k].instr, out, n);
+  }
+  bool writesRd(std::size_t k) const {
+    return detail::writesRd((*trace)[k].instr);
+  }
+  int rd(std::size_t k) const { return (*trace)[k].instr.rd; }
+};
+
+/// The dual-unit greedy dispatch loop of ooo.h, shared verbatim between the
+/// interpreted and packed paths.  `memAccess(wordAddr) -> Cycles` is invoked
+/// at the exact point the pre-kernel loop called MemorySystem::access —
+/// including on dispatch attempts that then stall on a busy LSU, which is
+/// observable cache-state behavior the replay must reproduce.
+///
+/// SkipStallCycles fast-forwards the clock over cycles in which the head
+/// instruction provably cannot dispatch (its capable units stay busy until
+/// a known time, or a drain point is still draining) instead of burning one
+/// loop iteration per stall cycle.  The dispatch cycle is unchanged — it is
+/// the min over the capable units' free times either way, and dispatch is
+/// strictly in order, so nothing else can happen in the skipped window.
+/// The ONLY observable difference is that a stalled memory op touches the
+/// memory once when first blocked and once at dispatch, rather than once
+/// per stall cycle.  For the memories the packed path composes with —
+/// PackedCacheSim and fixed latency — the elided re-accesses hit the line
+/// the first attempt just filled and their policy touch is idempotent, so
+/// both the returned latencies and the final cache metadata are identical;
+/// a clocked memory whose latency advances per access (e.g. the shared TDM
+/// bus) would NOT be, which is why the interpreted OooPipeline::run keeps
+/// the exact per-cycle walk and the flag defaults to off.  Cell-for-cell
+/// timing identity of the two modes is what tests/differential_test.cpp
+/// asserts across every OOO preset.
+template <bool SkipStallCycles = false, typename Ops, typename MemFn>
+Cycles runOooKernel(const OooConfig& config, const Ops& ops, MemFn&& memAccess,
+                    const OooInitialState& init,
+                    const std::set<std::int32_t>* drainBefore) {
+  // unit 0: complex IU, unit 1: simple IU + branches, unit 2: LSU.
+  //
+  // Cycle-accurate loop.  The dispatcher is the PPC755-style greedy one: up
+  // to dispatchWidth instructions per cycle, strictly in order, each taking
+  // the lowest-numbered capable unit whose (blocking) reservation station is
+  // free in this cycle; if the head instruction cannot dispatch, dispatch
+  // stops for the cycle.  Which instructions end up paired in one cycle is a
+  // persistent discrete state — the seed of the domino effect.
+  Cycles unitFree[3] = {init.iu0Busy, init.iu1Busy, init.lsuBusy};
+  Cycles regReady[isa::kNumRegs] = {};
+  Cycles lastDone = 0;
+  Cycles redirectUntil = 0;  // no dispatch before this (taken-branch bubble)
+
+  const std::size_t numOps = ops.size();
+
+  // Capable units in greedy preference order, per latency class (indexed by
+  // LatencyClass: Single, Multiply, Divide, Memory, Control, None) — the
+  // table form of the original per-op switch.  Single ops grab IU0 first if
+  // free (greedy), falling back to IU1; -1 = no second choice / no unit.
+  constexpr std::int8_t kUnitA[6] = {0, 0, 0, 2, 1, -1};
+  constexpr std::int8_t kUnitB[6] = {1, -1, -1, -1, -1, -1};
+  // Class latency for the classes whose cost is a config constant; Divide
+  // and Memory are resolved per op below.
+  const Cycles clsLatency[6] = {config.aluLatency, config.mulLatency, 0, 0,
+                                config.controlLatency, 0};
+
+  // Preschedule mode with a drain point at the very first instruction: the
+  // program's execution begins only once the pipeline has emptied, so the
+  // initial occupancy contributes a pure startup wait that is not part of
+  // the program's execution time (and would otherwise re-introduce exactly
+  // the state dependence the mode exists to remove).
+  Cycles startOffset = 0;
+  if (drainBefore != nullptr && numOps != 0 && drainBefore->count(ops.pc(0))) {
+    startOffset = std::max({unitFree[0], unitFree[1], unitFree[2]});
+  }
+
+  std::size_t next = 0;
+  Cycles t = 0;
+  // Earliest cycle the blocked head could dispatch; the skip target when
+  // SkipStallCycles.
+  [[maybe_unused]] Cycles headReadyAt = 0;
+  const Cycles safety =
+      1000000ULL + 64ULL * static_cast<Cycles>(numOps + 1) *
+                       (config.mulLatency + 16);
+  while (next < numOps) {
+    if (t > safety) break;  // defensive: malformed configuration
+    if (t < redirectUntil) {
+      t = redirectUntil;
+      continue;
+    }
+    int slots = config.dispatchWidth;
+    bool redirected = false;
+    [[maybe_unused]] bool headBlocked = false;
+    while (slots > 0 && next < numOps && !redirected) {
+      const auto cls = ops.cls(next);
+
+      if (drainBefore != nullptr && drainBefore->count(ops.pc(next))) {
+        // Preschedule mode [21]: regulate instruction flow at block entry —
+        // wait for the pipeline to empty so no timing state crosses the
+        // boundary.
+        const Cycles drained =
+            std::max({unitFree[0], unitFree[1], unitFree[2], lastDone});
+        if (t < drained) {
+          headBlocked = true;
+          headReadyAt = drained;
+          break;
+        }
+      }
+
+      const auto clsIdx = static_cast<std::size_t>(cls);
+      const int unitA = kUnitA[clsIdx];
+      if (unitA < 0) {
+        // NOP/HALT/DEADLINE consume a dispatch slot only.
+        lastDone = std::max(lastDone, t + 1);
+        ++next;
+        --slots;
+        continue;
+      }
+      const int unitB = kUnitB[clsIdx];
+
+      Cycles latency;
+      if (cls == isa::LatencyClass::Memory) {
+        latency = memAccess(ops.memAddr(next));
+      } else if (cls == isa::LatencyClass::Divide) {
+        latency = config.constantDiv
+                      ? static_cast<Cycles>(isa::maxDivLatency())
+                      : static_cast<Cycles>(ops.extraLatency(next));
+      } else {
+        latency = clsLatency[clsIdx];
+      }
+
+      // Greedy unit grab: lowest-numbered capable unit free right now.
+      int unit;
+      if (unitFree[unitA] <= t) {
+        unit = unitA;
+      } else if (unitB >= 0 && unitFree[unitB] <= t) {
+        unit = unitB;
+      } else {  // head blocked: in-order dispatch stalls
+        headBlocked = true;
+        headReadyAt = unitB >= 0
+                          ? std::min(unitFree[unitA], unitFree[unitB])
+                          : unitFree[unitA];
+        break;
+      }
+
+      int reads[3];
+      int numReads = 0;
+      ops.reads(next, reads, numReads);
+      Cycles operands = 0;
+      for (int k = 0; k < numReads; ++k) {
+        operands = std::max(operands, regReady[reads[k]]);
+      }
+
+      const Cycles start = std::max(t, operands);
+      const Cycles done = start + latency;
+      unitFree[unit] = done;  // blocking reservation station
+      if (ops.writesRd(next)) regReady[ops.rd(next)] = done;
+      lastDone = std::max(lastDone, done);
+
+      if (cls == isa::LatencyClass::Control && ops.branchTaken(next)) {
+        redirectUntil = done + config.takenRedirect;
+        redirected = true;
+      }
+      ++next;
+      --slots;
+    }
+    if constexpr (SkipStallCycles) {
+      // Jump straight to the cycle the blocked head becomes dispatchable
+      // (never backwards; redirects are handled at the loop top).
+      if (headBlocked && headReadyAt > t + 1) {
+        t = headReadyAt;
+        continue;
+      }
+    }
+    ++t;
+  }
+  return lastDone > startOffset ? lastDone - startOffset : 0;
+}
+
+}  // namespace pred::pipeline

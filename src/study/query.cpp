@@ -32,6 +32,54 @@ std::vector<std::size_t> effectiveSubset(const std::vector<std::size_t>& sub,
 
 }  // namespace
 
+namespace detail {
+
+Finding findingHeader(const std::string& workload,
+                      const std::string& platform,
+                      const exp::TimingModel& model, std::size_t numInputs,
+                      core::EvalMode mode) {
+  Finding f;
+  f.workload = workload;
+  f.platform = platform;
+  f.numStates = model.numStates();
+  f.numInputs = numInputs;
+  f.mode = mode;
+  f.stateLabels.reserve(model.numStates());
+  for (std::size_t q = 0; q < model.numStates(); ++q) {
+    f.stateLabels.push_back(model.stateLabel(q));
+  }
+  return f;
+}
+
+Finding streamingFinding(const std::string& workload,
+                         const std::string& platform,
+                         const exp::TimingModel& model,
+                         std::size_t numInputs, core::EvalMode mode,
+                         const std::vector<Measure>& measures,
+                         const core::StreamingMeasures& acc) {
+  Finding f = findingHeader(workload, platform, model, numInputs, mode);
+  f.bcet = acc.bcet();
+  f.wcet = acc.wcet();
+  for (const auto m : measures) {
+    switch (m) {
+      case Measure::Pr:
+        f.pr = acc.pr();
+        break;
+      case Measure::SIPr:
+        f.sipr = acc.sipr();
+        break;
+      case Measure::IIPr:
+        f.iipr = acc.iipr();
+        break;
+    }
+  }
+  f.requested = measures;
+  f.provenance = core::Inherence::Exhaustive;
+  return f;
+}
+
+}  // namespace detail
+
 Query::Query(const WorkloadRegistry& workloads,
              const exp::PlatformRegistry& platforms)
     : workloads_(&workloads), platforms_(&platforms) {}
@@ -160,18 +208,9 @@ Finding Query::runOne(exp::ExperimentEngine& engine,
                       const exp::PlatformOptions& options) const {
   const auto model = platforms_->make(platformName, w.program, options);
 
-  Finding f;
-  f.workload = spec_.workload;
-  f.platform = platformName;
-  f.numStates = model->numStates();
-  f.numInputs = w.inputs.size();
-  f.mode = spec_.mode;
-  f.stateLabels.reserve(model->numStates());
-  for (std::size_t q = 0; q < model->numStates(); ++q) {
-    f.stateLabels.push_back(model->stateLabel(q));
-  }
-
   if (spec_.mode == core::EvalMode::Sampled) {
+    Finding f = detail::findingHeader(spec_.workload, platformName, *model,
+                                      w.inputs.size(), spec_.mode);
     if (!spec_.stateSubset.empty() || !spec_.inputSubset.empty()) {
       throw std::invalid_argument(
           "uncertainty subsets apply to exhaustive modes only");
@@ -215,27 +254,15 @@ Finding Query::runOne(exp::ExperimentEngine& engine,
     // never materializes the |Q| x |I| matrix (bit-identical to the matrix
     // evaluators, witnesses included — asserted in tests).
     const auto acc = engine.reduceCells(*model, w.program, w.inputs);
-    f.bcet = acc.bcet();
-    f.wcet = acc.wcet();
-    for (const auto m : measures_) {
-      switch (m) {
-        case Measure::Pr:
-          f.pr = acc.pr();
-          break;
-        case Measure::SIPr:
-          f.sipr = acc.sipr();
-          break;
-        case Measure::IIPr:
-          f.iipr = acc.iipr();
-          break;
-      }
-    }
-    f.requested = measures_;
-    f.provenance = core::Inherence::Exhaustive;
+    Finding f =
+        detail::streamingFinding(spec_.workload, platformName, *model,
+                                 w.inputs.size(), spec_.mode, measures_, acc);
     attachBounds(f, w, platformName, options);
     return f;
   }
 
+  Finding f = detail::findingHeader(spec_.workload, platformName, *model,
+                                    w.inputs.size(), spec_.mode);
   auto matrix = engine.computeMatrix(*model, w.program, w.inputs);
 
   if (restricted) {

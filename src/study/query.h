@@ -124,6 +124,28 @@ class Query {
   bool keepMatrix_ = false;
 };
 
+namespace detail {
+
+/// The fields every evaluation path of one workload × platform cell fills
+/// identically (names, shape, mode, state labels).
+Finding findingHeader(const std::string& workload,
+                      const std::string& platform,
+                      const exp::TimingModel& model, std::size_t numInputs,
+                      core::EvalMode mode);
+
+/// Assembles the streaming-path Finding from a fully-fed accumulator.  One
+/// implementation shared by Query::run and the batched ScenarioSuite pass,
+/// so a batched cell is identical to its sequential query by construction
+/// (and asserted field-for-field in tests/scenario_test.cpp).
+Finding streamingFinding(const std::string& workload,
+                         const std::string& platform,
+                         const exp::TimingModel& model,
+                         std::size_t numInputs, core::EvalMode mode,
+                         const std::vector<Measure>& measures,
+                         const core::StreamingMeasures& acc);
+
+}  // namespace detail
+
 /// Compiles a declarative QuerySpec (e.g. a catalog row) into a runnable
 /// query: resolves the workload and platform names against the registries
 /// and forwards mode, subsets, and |Q|.  Throws std::invalid_argument when

@@ -29,6 +29,55 @@ void ScenarioSuite::addPlatform(std::string platformName,
 
 std::vector<ScenarioResult> ScenarioSuite::run(
     exp::ExperimentEngine& engine) const {
+  // Dense matrices are per-query by design; keep that on the query path.
+  if (keepMatrices_) return runSequential(engine);
+
+  // Materialize every workload once (registry ones included), then build
+  // the workload-major cell list: one (model, program, inputs) grid per
+  // scenario, every platform instantiated against its row's program.
+  std::vector<WorkloadInstance> instances;
+  instances.reserve(workloads_decl_.size());
+  for (const auto& w : workloads_decl_) {
+    instances.push_back(w.fromRegistry
+                            ? workloads_->make(w.name)
+                            : WorkloadInstance{w.program, w.inputs});
+  }
+  std::vector<std::unique_ptr<exp::TimingModel>> models;
+  std::vector<exp::ExperimentEngine::GridSpec> grids;
+  models.reserve(numScenarios());
+  grids.reserve(numScenarios());
+  for (const auto& inst : instances) {
+    for (const auto& p : platforms_decl_) {
+      models.push_back(platforms_->make(p.name, inst.program, p.options));
+      grids.push_back(exp::ExperimentEngine::GridSpec{
+          models.back().get(), &inst.program, &inst.inputs});
+    }
+  }
+
+  // ONE pool pass over the union of all grids' cells, then assemble each
+  // cell's Finding exactly as the sequential query path would (shared
+  // detail::streamingFinding; scenario queries are always exhaustive,
+  // full-domain, default-measure — the streaming shape).
+  const auto accs = engine.reduceCellsBatch(grids);
+  const std::vector<Measure> measures = {Measure::Pr, Measure::SIPr,
+                                         Measure::IIPr};
+  std::vector<ScenarioResult> results;
+  results.reserve(numScenarios());
+  std::size_t cell = 0;
+  for (std::size_t wi = 0; wi < workloads_decl_.size(); ++wi) {
+    for (const auto& p : platforms_decl_) {
+      results.push_back(detail::streamingFinding(
+          workloads_decl_[wi].name, p.name, *grids[cell].model,
+          instances[wi].inputs.size(), core::EvalMode::Exhaustive, measures,
+          accs[cell]));
+      ++cell;
+    }
+  }
+  return results;
+}
+
+std::vector<ScenarioResult> ScenarioSuite::runSequential(
+    exp::ExperimentEngine& engine) const {
   std::vector<ScenarioResult> results;
   results.reserve(numScenarios());
   for (const auto& w : workloads_decl_) {

@@ -1,16 +1,28 @@
 #pragma once
 // scenario.h — Declarative workload × platform experiment grids.
 //
-// A ScenarioSuite is a thin convenience over batched queries: it crosses
-// named workloads (inline or from the WorkloadRegistry) with named
-// platforms (PlatformRegistry), runs one study::Query per cell on a shared
-// ExperimentEngine — so the functional trace of each workload input is
-// computed once and reused across every platform in the grid — and returns
-// the unified Finding per cell.  The sinks are the StudyReport sinks.
+// A ScenarioSuite crosses named workloads (inline or from the
+// WorkloadRegistry) with named platforms (PlatformRegistry) and evaluates
+// every cell on a shared ExperimentEngine — so the functional trace of each
+// workload input is computed once and reused across every platform in the
+// grid — returning the unified Finding per cell.  The sinks are the
+// StudyReport sinks.
+//
+// run() de-serializes the grid: the cells of ALL workload × platform
+// queries are enqueued as one work list on the persistent worker pool
+// (ExperimentEngine::reduceCellsBatch), so a sweep of many small grids no
+// longer pays a pool barrier per query — with 8 workers and 4-state grids,
+// the per-query path leaves most of the pool idle at every query boundary.
+// Each cell folds into its own StreamingMeasures accumulator (merged with
+// the smallest-index tie-break), which keeps every value AND witness
+// identical to the sequential per-query path, asserted finding-for-finding
+// in tests/scenario_test.cpp against runSequential().
 //
 // Large sweeps: by default the per-cell timing matrices are NOT retained
 // (a |Q|x|I| matrix per cell adds up fast on big grids); opt in with
-// keepMatrices(true) when the caller needs the raw cells.
+// keepMatrices(true) when the caller needs the raw cells — which also
+// reverts run() to the per-query path, since dense matrices are exactly
+// what the batched streaming pass exists to avoid.
 
 #include <string>
 #include <vector>
@@ -54,8 +66,15 @@ class ScenarioSuite {
   }
 
   /// Evaluates every workload × platform combination, in declaration order
-  /// (workload-major).
+  /// (workload-major), batching all cells of all queries through one worker-
+  /// pool pass (falls back to runSequential when keepMatrices is on).
   std::vector<ScenarioResult> run(exp::ExperimentEngine& engine) const;
+
+  /// The per-query reference path: one study::Query per workload row, run
+  /// one after the other.  Same findings as run() — kept public as the
+  /// differential baseline the batching tests compare against.
+  std::vector<ScenarioResult> runSequential(exp::ExperimentEngine& engine)
+      const;
 
   /// StudyReport sinks over the grid.
   static std::string table(const std::vector<ScenarioResult>& results);

@@ -166,6 +166,48 @@ TEST(Locking, GuaranteedHitsMatchMeasuredHits) {
   EXPECT_EQ(ic.hits(), guaranteed);
 }
 
+TEST(Locking, UnlockedHitsUnderPreemptionCountSinceLastPreemptionOnly) {
+  // CHARACTERIZATION, not endorsement: this pins the semantics inherited
+  // from the seed (see the ROADMAP "Semantics audit of
+  // unlockedHitsUnderPreemption" open item).  Each preemption calls
+  // reset(), and reset() clears the hit counters too, so the function
+  // returns hits since the LAST preemption — the tail window — not the
+  // trace total across preemptions.  The planned behavior-change PR gets
+  // its baseline to diff against from this test: if the quantity is ever
+  // redefined to the trace total, the expectations below flip from 2 to 7.
+  const CacheGeometry geom{4, 8, 2};
+  const CacheTiming timing{1, 10};
+  isa::Trace trace;
+  for (int k = 0; k < 10; ++k) {
+    isa::ExecRecord rec;
+    rec.pc = 0;  // every fetch maps to the same line
+    trace.push_back(rec);
+  }
+
+  // period 4 with reset-BEFORE-access on the 4th and 8th fetches:
+  //   n:  1     2    3    4            5    6    7    8            9   10
+  //       miss  hit  hit  reset+miss   hit  hit  hit  reset+miss   hit hit
+  // counters cleared at n=4 and n=8, so only n=9 and n=10 are counted.
+  EXPECT_EQ(unlockedHitsUnderPreemption(trace, geom, Policy::LRU, timing, 4),
+            2u);
+  // The trace-total quantity (hits across all windows) would be 7; the
+  // inherited semantics deliberately is NOT that.
+  EXPECT_NE(unlockedHitsUnderPreemption(trace, geom, Policy::LRU, timing, 4),
+            7u);
+  // Without preemption the window is the whole trace: 9 of 10 fetches hit.
+  EXPECT_EQ(unlockedHitsUnderPreemption(trace, geom, Policy::LRU, timing, 0),
+            9u);
+  // A period longer than the trace never fires: same as no preemption.
+  EXPECT_EQ(unlockedHitsUnderPreemption(trace, geom, Policy::LRU, timing, 64),
+            9u);
+  // The window semantics is policy-independent (single-line stream).
+  for (const auto policy :
+       {Policy::FIFO, Policy::PLRU, Policy::MRU, Policy::RANDOM}) {
+    EXPECT_EQ(unlockedHitsUnderPreemption(trace, geom, policy, timing, 4), 2u)
+        << toString(policy);
+  }
+}
+
 TEST(Locking, ProfileSelectionBeatsNaiveOnItsTrainingTrace) {
   const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(16));
   auto run = isa::FunctionalCore::run(prog, isa::Input{});

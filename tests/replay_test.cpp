@@ -26,6 +26,7 @@
 #include "isa/ast.h"
 #include "isa/workloads.h"
 #include "study/query.h"
+#include "witness_expect.h"
 
 namespace pred {
 namespace {
@@ -265,14 +266,7 @@ TEST(PackedReplay, ModelFallsBackWhenUnpackable) {
 
 void expectSameValue(const core::PredictabilityValue& a,
                      const core::PredictabilityValue& b) {
-  EXPECT_EQ(a.value, b.value);
-  EXPECT_EQ(a.minTime, b.minTime);
-  EXPECT_EQ(a.maxTime, b.maxTime);
-  EXPECT_EQ(a.q1, b.q1);
-  EXPECT_EQ(a.i1, b.i1);
-  EXPECT_EQ(a.q2, b.q2);
-  EXPECT_EQ(a.i2, b.i2);
-  EXPECT_EQ(a.provenance, b.provenance);
+  expectSamePredictabilityValue(a, b);
 }
 
 TEST(StreamingMeasures, MatchesMatrixEvaluatorsOnRandomGrids) {

@@ -8,6 +8,7 @@
 #include <stdexcept>
 
 #include "study/scenario.h"
+#include "witness_expect.h"
 #include "isa/ast.h"
 #include "isa/workloads.h"
 
@@ -158,6 +159,114 @@ TEST(ScenarioSuite, SinksEscapeHostileWorkloadNames) {
   const auto json = ScenarioSuite::json(results);
   EXPECT_NE(json.find("\"workload\": \"search, \\\"warm\\\"\""),
             std::string::npos);
+}
+
+// ------------------------------------------------- batched single-pass run
+
+/// Field-for-field identity of a batched finding with its sequential twin:
+/// values, witnesses, AND provenance (names, labels, mode, requested set).
+void expectSameFinding(const ScenarioResult& b, const ScenarioResult& s) {
+  const std::string label = s.workload + "/" + s.platform;
+  EXPECT_EQ(b.workload, s.workload) << label;
+  EXPECT_EQ(b.platform, s.platform) << label;
+  EXPECT_EQ(b.numStates, s.numStates) << label;
+  EXPECT_EQ(b.numInputs, s.numInputs) << label;
+  EXPECT_EQ(b.bcet, s.bcet) << label;
+  EXPECT_EQ(b.wcet, s.wcet) << label;
+  EXPECT_EQ(b.mode, s.mode) << label;
+  EXPECT_EQ(b.provenance, s.provenance) << label;
+  EXPECT_EQ(b.requested, s.requested) << label;
+  EXPECT_EQ(b.stateLabels, s.stateLabels) << label;
+  expectSamePredictabilityValue(b.pr, s.pr, label + "/Pr");
+  expectSamePredictabilityValue(b.sipr, s.sipr, label + "/SIPr");
+  expectSamePredictabilityValue(b.iipr, s.iipr, label + "/IIPr");
+  EXPECT_EQ(b.matrix.has_value(), s.matrix.has_value()) << label;
+  EXPECT_EQ(b.bounds.has_value(), s.bounds.has_value()) << label;
+}
+
+/// A grid engineered for witness ties: duplicated inputs guarantee equal
+/// times across the input axis of every cell, and the |Q|=1 and stateless
+/// platforms guarantee ties across states — if the batched merge broke the
+/// smallest-index tie-break anywhere, these witnesses would move.
+ScenarioSuite tiedSuite() {
+  ScenarioSuite suite;
+  {
+    const auto prog = isa::ast::compileBranchy(isa::workloads::linearSearch(6));
+    auto inputs = isa::workloads::randomArrayInputs(prog, "a", 6, 3, 5);
+    for (auto& in : inputs) {
+      in = isa::mergeInputs(in, isa::varInput(prog, "key", 1));
+    }
+    inputs.push_back(inputs[0]);  // duplicate input: ties on the i axis
+    inputs.push_back(inputs[1]);
+    suite.addWorkload("tiedSearch", prog, inputs);
+  }
+  {
+    const auto prog = isa::ast::compileBranchy(isa::workloads::sumLoop(8));
+    suite.addWorkload("sumLoop", prog,
+                      {isa::Input{}, isa::Input{}});  // identical inputs
+  }
+  exp::PlatformOptions opts;
+  opts.numStates = 4;
+  suite.addPlatform("inorder-lru", opts);
+  suite.addPlatform("inorder-scratchpad", opts);  // |Q| = 1: state ties
+  suite.addPlatform("ooo-fifo", opts);            // packed OOO path
+  suite.addPlatform("ooo-preschedule", opts);     // drain mode in the batch
+  suite.addPlatform("pret", opts);
+  return suite;
+}
+
+TEST(ScenarioSuite, BatchedRunMatchesSequentialOnTiedGrids) {
+  const auto suite = tiedSuite();
+  for (const int threads : {1, 2, 4, 8}) {
+    exp::EngineConfig cfg{threads, 2, 3};
+    exp::ExperimentEngine batched(cfg);
+    exp::ExperimentEngine sequential(cfg);
+    const auto rb = suite.run(batched);
+    const auto rs = suite.runSequential(sequential);
+    ASSERT_EQ(rb.size(), rs.size()) << "threads=" << threads;
+    for (std::size_t k = 0; k < rb.size(); ++k) {
+      expectSameFinding(rb[k], rs[k]);
+    }
+  }
+}
+
+TEST(ScenarioSuite, BatchedRunIssuesASingleGridWalk) {
+  const auto suite = tiedSuite();
+
+  exp::ExperimentEngine batched;
+  suite.run(batched);
+  // All 10 queries' cells went through ONE tiled pool pass — the per-query
+  // barrier is gone.
+  EXPECT_EQ(batched.gridWalks(), 1u);
+  EXPECT_EQ(batched.matrixBuilds(), 0u);  // still streaming, no |Q|x|I|
+
+  exp::ExperimentEngine sequential;
+  suite.runSequential(sequential);
+  EXPECT_EQ(sequential.gridWalks(), suite.numScenarios());
+}
+
+TEST(ScenarioSuite, BatchedRunSharesTracesLikeTheSequentialPath) {
+  const auto suite = smallSuite();  // 2 workloads (4+1 inputs) x 3 platforms
+  exp::ExperimentEngine engine;
+  suite.run(engine);
+  EXPECT_EQ(engine.traceStore().misses(), 5u);
+  EXPECT_EQ(engine.traceStore().hits(), 10u);
+}
+
+TEST(ScenarioSuite, KeepMatricesTakesThePerQueryPathWithSameResults) {
+  auto suite = tiedSuite();
+  suite.keepMatrices(true);
+  exp::ExperimentEngine a;
+  exp::ExperimentEngine b;
+  const auto ra = suite.run(a);
+  const auto rb = suite.runSequential(b);
+  EXPECT_EQ(a.gridWalks(), suite.numScenarios());  // fell back per query
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t k = 0; k < ra.size(); ++k) {
+    ASSERT_TRUE(ra[k].matrix.has_value());
+    EXPECT_TRUE(*ra[k].matrix == *rb[k].matrix);
+    expectSameFinding(ra[k], rb[k]);
+  }
 }
 
 TEST(ScenarioSuite, JsonAndTableRenderEveryScenario) {

@@ -1,0 +1,32 @@
+#pragma once
+// witness_expect.h — Shared field-for-field comparator for
+// core::PredictabilityValue, used by every suite that asserts two
+// evaluation paths agree value- AND witness-for-witness (replay, scenario
+// batching, and the differential harness).  One definition so a new
+// witness field added to PredictabilityValue tightens every bit-identity
+// guarantee at once.
+//
+// Not a test binary: CMake only globs tests/*.cpp.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/definitions.h"
+
+namespace pred {
+
+inline void expectSamePredictabilityValue(const core::PredictabilityValue& a,
+                                          const core::PredictabilityValue& b,
+                                          const std::string& label = "") {
+  EXPECT_EQ(a.value, b.value) << label;
+  EXPECT_EQ(a.minTime, b.minTime) << label;
+  EXPECT_EQ(a.maxTime, b.maxTime) << label;
+  EXPECT_EQ(a.q1, b.q1) << label;
+  EXPECT_EQ(a.i1, b.i1) << label;
+  EXPECT_EQ(a.q2, b.q2) << label;
+  EXPECT_EQ(a.i2, b.i2) << label;
+  EXPECT_EQ(a.provenance, b.provenance) << label;
+}
+
+}  // namespace pred
