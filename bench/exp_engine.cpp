@@ -187,15 +187,28 @@ GridReport perfGridFor(const std::string& platform,
 /// uses a realistic 64-set x 4-way data cache: the OOO models' legacy path
 /// deep-copies the cache per cell, so the tiny default geometry would
 /// understate exactly the cost the packed snapshot replay removes.
-void perfGrid() {
+void perfGrid(const char* argv0) {
   const int reps = 5;
   const auto inorder =
       perfGridFor("inorder-lru", exp::PlatformOptions{}.dataGeom, reps);
   const auto ooo =
       perfGridFor("ooo-fifo", cache::CacheGeometry{4, 64, 4}, reps);
 
+  // Default the artifact NEXT TO THE BINARY (the build directory), not the
+  // cwd: smoke runs launched from the repo root used to litter it with
+  // BENCH_*.json, and a stale root-level JSON can mask a perf regression.
+  // $BENCH_JSON still overrides (scripts/bench_run.sh and CI pin it).
   const char* envPath = std::getenv("BENCH_JSON");
-  const std::string path = envPath ? envPath : "BENCH_exhaustive.json";
+  std::string path = "BENCH_exhaustive.json";
+  if (envPath != nullptr) {
+    path = envPath;
+  } else {
+    const std::string self = argv0 ? argv0 : "";
+    const auto slash = self.find_last_of('/');
+    if (slash != std::string::npos) {
+      path = self.substr(0, slash + 1) + path;
+    }
+  }
   bench::JsonObject grids;
   grids.rawField("inorder-lru", inorder.json).rawField("ooo-fifo", ooo.json);
   bench::JsonObject root;
@@ -305,6 +318,6 @@ BENCHMARK(BM_ScenarioSweep);
 
 int main(int argc, char** argv) {
   verifyGrid();
-  perfGrid();
+  perfGrid(argc > 0 ? argv[0] : nullptr);
   return pred::bench::runBenchmarks(argc, argv);
 }

@@ -10,6 +10,13 @@
 // is zero hits, and measured hits vary with the preemption pattern.  Locked
 // cache: guaranteed == measured, for any preemption pattern.  The
 // preemption replay loops live in src/cache/locking.
+//
+// Measured hits are TRACE TOTALS — hits summed across every preemption
+// window — so the variability row compares like with like against the
+// whole-trace locked guarantee.  (Re-baselined when the accounting fix
+// landed: the seed counted only the tail window since the last preemption,
+// which understated the unlocked cache's measured hits for short periods
+// and overstated the variability.)
 
 #include "bench_common.h"
 #include "cache/locking.h"
@@ -73,7 +80,8 @@ void runRow() {
   std::printf(
       "shape reproduced: locking converts the hit count into a statically\n"
       "guaranteed quantity invariant under preemption; the unlocked cache\n"
-      "achieves more hits in the best case but guarantees none.\n");
+      "achieves more hits in the best case but guarantees none.  (unlocked\n"
+      "hits are trace totals across all preemption windows.)\n");
 }
 
 void BM_LockSelection(benchmark::State& state) {

@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""bench_trend.py — render the per-commit BENCH-<sha> artifacts into a
+ns/cell trend table (the ROADMAP "perf trajectory" item).
+
+CI uploads every perf-smoke run's BENCH_exhaustive.json as an artifact
+named BENCH-<sha>.  Download a set of them (e.g. with `gh run download`)
+into one directory — either as BENCH-<sha>/BENCH_exhaustive.json
+subdirectories or flattened to BENCH-<sha>.json files — and point this
+script at it:
+
+    scripts/bench_trend.py path/to/artifacts [--grid inorder-lru] [--csv]
+
+Rows are emitted in input order: explicit file arguments keep their
+command-line order (pass them oldest-first to pin the trajectory
+exactly), directory scans list entries alphabetically.  `--mtime` sorts
+by file modification time instead — useful when artifacts were
+downloaded one at a time, useless after a batch download stamps them all
+alike.  Only the Python standard library is used.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def find_artifacts(paths):
+    """Yields (label, json_path) for every BENCH json under the given
+    paths: explicit .json files, BENCH-<sha>*.json files, or BENCH-<sha>
+    directories holding BENCH_*.json."""
+    for path in paths:
+        if os.path.isfile(path):
+            yield label_for(path), path
+            continue
+        if not os.path.isdir(path):
+            print(f"warning: {path} does not exist, skipping",
+                  file=sys.stderr)
+            continue
+        for entry in sorted(os.listdir(path)):
+            sub = os.path.join(path, entry)
+            if os.path.isfile(sub) and entry.endswith(".json"):
+                yield label_for(sub), sub
+            elif os.path.isdir(sub):
+                for inner in sorted(os.listdir(sub)):
+                    if inner.startswith("BENCH") and inner.endswith(".json"):
+                        yield label_for(sub), os.path.join(sub, inner)
+
+
+def label_for(path):
+    """BENCH-<sha>/... or BENCH-<sha>.json -> short sha; else basename.
+    For a json inside a BENCH-<sha> artifact directory, the directory
+    carries the sha."""
+    base = os.path.basename(path.rstrip("/"))
+    if base.endswith(".json"):
+        base = base[: -len(".json")]
+    if not base.startswith("BENCH-"):
+        parent = os.path.basename(os.path.dirname(os.path.abspath(path)))
+        if parent.startswith("BENCH-"):
+            base = parent
+    if base.startswith("BENCH-"):
+        return base[len("BENCH-"):][:12]
+    return base
+
+
+def load_rows(artifacts, grid_filter, mtime_order):
+    rows = []
+    for seq, (label, path) in enumerate(artifacts):
+        try:
+            with open(path) as f:
+                data = json.load(f)
+        except (OSError, json.JSONDecodeError) as e:
+            print(f"warning: cannot read {path}: {e}", file=sys.stderr)
+            continue
+        grids = data.get("grids")
+        if not isinstance(grids, dict):
+            print(f"warning: {path} has no 'grids' object, skipping",
+                  file=sys.stderr)
+            continue
+        for grid_name, grid in sorted(grids.items()):
+            if grid_filter and grid_name != grid_filter:
+                continue
+            cells = grid.get("ns_per_cell", {})
+            speedup = grid.get("speedup", {})
+            rows.append({
+                "seq": seq,
+                "mtime": os.path.getmtime(path),
+                "commit": label,
+                "grid": grid_name,
+                "packed": cells.get("packed"),
+                "interpreted": cells.get("interpreted"),
+                "naive": cells.get("naive"),
+                "speedup": speedup.get("packed_vs_interpreted"),
+                "bit_identical": grid.get("bit_identical"),
+            })
+    if mtime_order:
+        rows.sort(key=lambda r: (r["mtime"], r["seq"], r["grid"]))
+    else:
+        rows.sort(key=lambda r: (r["seq"], r["grid"]))
+    return rows
+
+
+def fmt(value, spec):
+    return format(value, spec) if isinstance(value, (int, float)) else "-"
+
+
+def render_table(rows):
+    headers = ["commit", "grid", "packed ns/cell", "interp ns/cell",
+               "naive ns/cell", "packed vs interp", "bit-identical"]
+    cells = [[r["commit"], r["grid"], fmt(r["packed"], ".1f"),
+              fmt(r["interpreted"], ".1f"), fmt(r["naive"], ".1f"),
+              fmt(r["speedup"], ".2f") + "x" if r["speedup"] else "-",
+              {True: "yes", False: "NO"}.get(r["bit_identical"], "-")]
+             for r in rows]
+    widths = [max(len(h), *(len(row[c]) for row in cells)) if cells
+              else len(h) for c, h in enumerate(headers)]
+    def line(parts):
+        return "  ".join(p.ljust(w) for p, w in zip(parts, widths)).rstrip()
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in cells)
+    return "\n".join(out)
+
+
+def render_csv(rows):
+    out = ["commit,grid,packed_ns_per_cell,interpreted_ns_per_cell,"
+           "naive_ns_per_cell,packed_vs_interpreted,bit_identical"]
+    for r in rows:
+        out.append(",".join([
+            r["commit"], r["grid"], fmt(r["packed"], "g"),
+            fmt(r["interpreted"], "g"), fmt(r["naive"], "g"),
+            fmt(r["speedup"], "g"), str(r["bit_identical"]).lower()]))
+    return "\n".join(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Render BENCH-<sha> artifacts into a ns/cell trend "
+                    "table")
+    ap.add_argument("paths", nargs="+",
+                    help="artifact directories or BENCH json files")
+    ap.add_argument("--grid", default=None,
+                    help="restrict to one grid (e.g. inorder-lru)")
+    ap.add_argument("--csv", action="store_true",
+                    help="emit CSV instead of the aligned table")
+    ap.add_argument("--mtime", action="store_true",
+                    help="order rows by file modification time instead of "
+                         "input order")
+    args = ap.parse_args()
+
+    rows = load_rows(find_artifacts(args.paths), args.grid, args.mtime)
+    if not rows:
+        print("no BENCH artifacts found", file=sys.stderr)
+        return 1
+    try:
+        print(render_csv(rows) if args.csv else render_table(rows))
+    except BrokenPipeError:
+        pass  # e.g. piped into head
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

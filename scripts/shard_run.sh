@@ -1,0 +1,88 @@
+#!/usr/bin/env sh
+# shard_run.sh — fan a Q x I grid out across real worker PROCESSES and fold
+# the shard accumulators back together (the subprocess demo of exp/shard.h).
+#
+# Pipeline: pred-shard-worker plan -> one `run` subprocess per shard (all
+# concurrent) -> `merge`.  With --smoke it additionally computes the same
+# grid with one in-process `single` run and diffs the two outputs
+# BYTE-FOR-BYTE: the smallest-index tie-break makes the merge
+# order-independent, so distribution must not change a single value or
+# witness.  This is the CI shard-smoke job and the ctest subprocess smoke.
+#
+# Usage:  scripts/shard_run.sh [--smoke] [-k shards] [-p platform]
+#                              [-w workload] [-s states] [build-dir]
+# Defaults: 4-way shard of the inorder-lru 64 x 64 grid
+# (states=64, workload=linearsearch-16x64), build-dir=build.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SMOKE=0
+SHARDS=4
+PLATFORM=inorder-lru
+WORKLOAD=linearsearch-16x64
+STATES=64
+BUILD_DIR=build
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --smoke) SMOKE=1 ;;
+    -k) SHARDS="$2"; shift ;;
+    -p) PLATFORM="$2"; shift ;;
+    -w) WORKLOAD="$2"; shift ;;
+    -s) STATES="$2"; shift ;;
+    *) BUILD_DIR="$1" ;;
+  esac
+  shift
+done
+
+WORKER="$BUILD_DIR/pred-shard-worker"
+if [ ! -x "$WORKER" ]; then
+  echo "error: $WORKER not built (cmake --build $BUILD_DIR --target pred-shard-worker)" >&2
+  exit 2
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Split the machine's cores across the K concurrent workers instead of
+# letting each default to full hardware concurrency (K-fold
+# oversubscription); the per-worker thread count travels in the spec.
+NPROC="$( (nproc || getconf _NPROCESSORS_ONLN || echo 1) 2>/dev/null | head -n1 )"
+THREADS=$(( (NPROC + SHARDS - 1) / SHARDS ))
+
+echo "== plan: $PLATFORM x $WORKLOAD, states=$STATES, $SHARDS shards, $THREADS thread(s)/worker" >&2
+"$WORKER" plan --platform "$PLATFORM" --workload "$WORKLOAD" \
+    --states "$STATES" --shards "$SHARDS" --threads "$THREADS" \
+    --out-dir "$TMP" > "$TMP/specs.txt"
+
+echo "== run: one worker process per shard" >&2
+PIDS=""
+while IFS= read -r spec; do
+  "$WORKER" run "$spec" --out "$spec.out" &
+  PIDS="$PIDS $!"
+done < "$TMP/specs.txt"
+FAILED=0
+for pid in $PIDS; do
+  wait "$pid" || FAILED=1
+done
+if [ "$FAILED" = 1 ]; then
+  echo "error: a shard worker process failed" >&2
+  exit 1
+fi
+
+echo "== merge" >&2
+# shellcheck disable=SC2046  # spec paths are mktemp-controlled, no spaces
+"$WORKER" merge $(sed 's/$/.out/' "$TMP/specs.txt") > "$TMP/merged.txt"
+
+if [ "$SMOKE" = 1 ]; then
+  echo "== smoke: diff merged shards vs single-process reference" >&2
+  "$WORKER" single --platform "$PLATFORM" --workload "$WORKLOAD" \
+      --states "$STATES" > "$TMP/single.txt"
+  if ! cmp "$TMP/merged.txt" "$TMP/single.txt"; then
+    echo "FAIL: $SHARDS-way sharded result differs from the single-process run" >&2
+    exit 1
+  fi
+  echo "OK: $SHARDS-way sharded accumulator is byte-for-byte identical to the single-process run" >&2
+fi
+
+cat "$TMP/merged.txt"

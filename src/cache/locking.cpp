@@ -93,37 +93,45 @@ std::uint64_t unlockedHitsUnderPreemption(const isa::Trace& trace,
                                           Policy policy,
                                           const CacheTiming& timing,
                                           std::uint64_t preemptionPeriod) {
+  // Trace-total accounting: reset()/resetContents() clear the hit counters
+  // along with the contents, so every preemption banks the current window's
+  // hits into `total` first.  The returned quantity is hits across the WHOLE
+  // trace — the value Table 2 row 3's cache-locking comparison quantifies —
+  // not hits since the last preemption (the tail window the seed measured;
+  // that defect is what the ROADMAP "Semantics audit" item tracked, and the
+  // trace-total semantics is asserted in tests/cache_structs_test.cpp for
+  // both replay paths below, which stay bit-identical.
   const SetAssocCache proto(geom, policy, timing);
   if (!packable(geom)) {
     // Replay over the nested representation (wide associativity only).
     SetAssocCache ic = proto;
+    std::uint64_t total = 0;
     std::uint64_t n = 0;
     for (const auto& rec : trace) {
-      if (preemptionPeriod && ++n % preemptionPeriod == 0) ic.reset();
+      if (preemptionPeriod && ++n % preemptionPeriod == 0) {
+        total += ic.hits();
+        ic.reset();
+      }
       ic.access(rec.pc);
     }
-    return ic.hits();
+    return total + ic.hits();
   }
   // Packed replay: a preemption that trashes the cache is a reset to the
-  // cold snapshot's contents (which, like reset(), also clears the hit
-  // counters — the measured value is hits since the LAST preemption, the
-  // tail window, not the trace total — and keeps the RANDOM replacement
-  // stream advancing rather than reseeding).  That window semantics is
-  // inherited from the seed and deliberately preserved bit-for-bit; see
-  // the ROADMAP "Semantics audit of unlockedHitsUnderPreemption" open item
-  // and the characterization test in tests/cache_structs_test.cpp that
-  // pins it until the planned behavior-change PR re-decides it.
+  // cold snapshot's contents (resetContents keeps the RANDOM replacement
+  // stream advancing rather than reseeding, mirroring reset()).
   const PackedCacheState cold = proto.pack();
   PackedCacheSim sim;
   sim.load(cold);
+  std::uint64_t total = 0;
   std::uint64_t n = 0;
   for (const auto& rec : trace) {
     if (preemptionPeriod && ++n % preemptionPeriod == 0) {
+      total += sim.hits();
       sim.resetContents(cold);
     }
     sim.access(rec.pc);
   }
-  return sim.hits();
+  return total + sim.hits();
 }
 
 std::uint64_t lockedHitsUnderPreemption(const isa::Trace& trace,

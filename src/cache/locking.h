@@ -75,10 +75,11 @@ std::uint64_t guaranteedHits(const isa::Trace& trace, const CacheGeometry& geom,
 
 /// Measured hits of an UNLOCKED cache replaying `trace` while a preempting
 /// task trashes the whole cache every `preemptionPeriod` fetches
-/// (0 = no preemption).  Inherited window semantics, pinned by a
-/// characterization test pending the ROADMAP audit item: each preemption
-/// also clears the hit counters, so this returns hits since the LAST
-/// preemption, not the trace total.
+/// (0 = no preemption).  Returns the TRACE-TOTAL hit count — hits summed
+/// across every preemption window — the quantity the Table 2 row 3
+/// variability comparison against locking calls for.  (The seed counted
+/// hits since the last preemption only; the ROADMAP "Semantics audit" item
+/// tracked and this revision fixed that.)
 std::uint64_t unlockedHitsUnderPreemption(const isa::Trace& trace,
                                           const CacheGeometry& geom,
                                           Policy policy,

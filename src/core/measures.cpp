@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/wire.h"
+
 namespace pred::core {
 
 Stats computeStats(const std::vector<double>& xs) {
@@ -175,6 +177,95 @@ PredictabilityValue StreamingMeasures::iipr() const {
   }
   best.provenance = Inherence::Exhaustive;
   return best;
+}
+
+std::string StreamingMeasures::serialize() const {
+  std::ostringstream os;
+  os << "streaming-measures v1\n";
+  os << "shape " << nQ_ << " " << nI_ << "\n";
+  os << "cells " << cells_ << "\n";
+  for (std::size_t i = 0; i < nI_; ++i) {
+    os << "i " << inMin_[i] << " " << inMinQ_[i] << " " << inMax_[i] << " "
+       << inMaxQ_[i] << "\n";
+  }
+  for (std::size_t q = 0; q < nQ_; ++q) {
+    os << "q " << stMin_[q] << " " << stMinI_[q] << " " << stMax_[q] << " "
+       << stMaxI_[q] << "\n";
+  }
+  os << "end\n";
+  return os.str();
+}
+
+namespace {
+
+constexpr const char* kWireContext = "StreamingMeasures::deserialize";
+
+[[noreturn]] void badMeasures(const std::string& what) {
+  wire::fail(kWireContext, what);
+}
+
+std::string nextToken(std::istream& in, const char* expecting) {
+  return wire::nextToken(in, kWireContext, expecting);
+}
+
+template <typename T>
+T nextNumber(std::istream& in, const char* field) {
+  return wire::nextNumber<T>(in, kWireContext, field);
+}
+
+void expectKeyword(std::istream& in, const char* keyword) {
+  if (nextToken(in, keyword) != keyword) {
+    badMeasures(std::string("expected keyword '") + keyword + "'");
+  }
+}
+
+}  // namespace
+
+StreamingMeasures StreamingMeasures::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  expectKeyword(in, "streaming-measures");
+  expectKeyword(in, "v1");
+  expectKeyword(in, "shape");
+  const auto nQ = nextNumber<std::size_t>(in, "shape nQ");
+  const auto nI = nextNumber<std::size_t>(in, "shape nI");
+  // Guard the allocation below against corrupt shapes: a real accumulator's
+  // axes are bounded by enumerated hardware states and input sets.
+  constexpr std::size_t kMaxAxis = std::size_t{1} << 26;
+  if (nQ > kMaxAxis || nI > kMaxAxis) {
+    badMeasures("implausible shape " + std::to_string(nQ) + " x " +
+                std::to_string(nI));
+  }
+  StreamingMeasures m(nQ, nI);
+  expectKeyword(in, "cells");
+  m.cells_ = nextNumber<std::uint64_t>(in, "cells");
+  for (std::size_t i = 0; i < nI; ++i) {
+    expectKeyword(in, "i");
+    m.inMin_[i] = nextNumber<Cycles>(in, "input min");
+    m.inMinQ_[i] = nextNumber<std::size_t>(in, "input min witness");
+    m.inMax_[i] = nextNumber<Cycles>(in, "input max");
+    m.inMaxQ_[i] = nextNumber<std::size_t>(in, "input max witness");
+  }
+  for (std::size_t q = 0; q < nQ; ++q) {
+    expectKeyword(in, "q");
+    m.stMin_[q] = nextNumber<Cycles>(in, "state min");
+    m.stMinI_[q] = nextNumber<std::size_t>(in, "state min witness");
+    m.stMax_[q] = nextNumber<Cycles>(in, "state max");
+    m.stMaxI_[q] = nextNumber<std::size_t>(in, "state max witness");
+  }
+  expectKeyword(in, "end");
+  std::string trailing;
+  if (in >> trailing) {
+    badMeasures("trailing content after 'end': '" + trailing + "'");
+  }
+  return m;
+}
+
+bool StreamingMeasures::identicalTo(const StreamingMeasures& other) const {
+  return nQ_ == other.nQ_ && nI_ == other.nI_ && cells_ == other.cells_ &&
+         inMin_ == other.inMin_ && inMax_ == other.inMax_ &&
+         inMinQ_ == other.inMinQ_ && inMaxQ_ == other.inMaxQ_ &&
+         stMin_ == other.stMin_ && stMax_ == other.stMax_ &&
+         stMinI_ == other.stMinI_ && stMaxI_ == other.stMaxI_;
 }
 
 Histogram::Histogram(Cycles lo, Cycles hi, std::size_t buckets)

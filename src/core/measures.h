@@ -100,6 +100,22 @@ class StreamingMeasures {
   PredictabilityValue sipr() const;
   PredictabilityValue iipr() const;
 
+  /// Lossless line-oriented text serialization — the accumulator half of
+  /// the shard wire format (exp/shard.h).  Everything round-trips exactly:
+  /// shape, cell count, and every per-axis min/max with its witness index,
+  /// including the untouched-entry sentinels — so a deserialized
+  /// accumulator merges and reports bit-identically to the original
+  /// (asserted in tests/shard_test.cpp).
+  std::string serialize() const;
+  /// Inverse of serialize().  Throws std::invalid_argument with a
+  /// field-specific message on malformed input; never exhibits UB.
+  static StreamingMeasures deserialize(const std::string& text);
+
+  /// Bit-for-bit equality of the complete accumulator state (not just the
+  /// derived measures) — the relation the round-trip and sharding tests
+  /// assert.
+  bool identicalTo(const StreamingMeasures& other) const;
+
  private:
   std::size_t nQ_, nI_;
   std::uint64_t cells_ = 0;

@@ -1,0 +1,51 @@
+#pragma once
+// wire.h — strict token/number parsing shared by the line-oriented wire
+// formats (StreamingMeasures accumulators in core/measures.cpp, ShardSpecs
+// in exp/shard.cpp).  One implementation so the formats cannot drift in
+// how they reject malformed input: every failure is a std::invalid_argument
+// with the caller's context and the offending field — never UB.
+
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+
+namespace pred::core::wire {
+
+[[noreturn]] inline void fail(const std::string& context,
+                              const std::string& what) {
+  throw std::invalid_argument(context + ": " + what);
+}
+
+/// One whitespace-separated token, failing with a labeled error.
+inline std::string nextToken(std::istream& in, const std::string& context,
+                             const std::string& expecting) {
+  std::string tok;
+  if (!(in >> tok)) {
+    fail(context, "unexpected end of input, expecting " + expecting);
+  }
+  return tok;
+}
+
+/// One whitespace-separated number, fully consumed; junk, overflow (via
+/// the stream extraction of T), and a leading '-' on unsigned targets all
+/// fail with the field name.
+template <typename T>
+T nextNumber(std::istream& in, const std::string& context,
+             const std::string& field) {
+  const std::string tok = nextToken(in, context, field);
+  T value{};
+  std::istringstream num(tok);
+  if (!(num >> value) || !(num >> std::ws).eof()) {
+    fail(context, "malformed " + field + ": '" + tok + "'");
+  }
+  if constexpr (!std::is_signed_v<T>) {
+    if (tok.front() == '-') {
+      fail(context, "malformed " + field + ": '" + tok + "'");
+    }
+  }
+  return value;
+}
+
+}  // namespace pred::core::wire

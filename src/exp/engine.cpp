@@ -1,6 +1,8 @@
 #include "exp/engine.h"
 
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 #include <thread>
 
 #include "exp/worker_pool.h"
@@ -71,21 +73,28 @@ core::TimingMatrix ExperimentEngine::matrixImpl(
 
 core::StreamingMeasures ExperimentEngine::reduceImpl(
     const TimingModel& model, const std::vector<const isa::Trace*>& traces,
-    const std::vector<const ReplayProgram*>& compiled) const {
+    const std::vector<const ReplayProgram*>& compiled, std::size_t qBegin,
+    std::size_t qEnd, std::size_t iBegin, std::size_t iEnd) const {
   const std::size_t nQ = model.numStates();
   const std::size_t nI = traces.size();
   const bool packed = !compiled.empty();
   // One accumulator per worker slot, merged in slot order afterwards; the
   // smallest-index tie-break makes the merged result independent of which
-  // worker saw which tile.
+  // worker saw which tile.  Accumulators carry the FULL shape even when
+  // walking a shard's sub-rectangle, so shard merges reproduce the
+  // single-process witnesses.
   const int workers = std::max(resolvedThreads(), 1);
   std::vector<core::StreamingMeasures> accs(
       static_cast<std::size_t>(workers), core::StreamingMeasures(nQ, nI));
-  runGrid(nQ, nI, [&](std::size_t q, std::size_t i, int worker) {
-    const core::Cycles t = packed ? model.timePacked(q, *compiled[i])
-                                  : model.time(q, *traces[i]);
-    accs[static_cast<std::size_t>(worker)].add(q, i, t);
-  });
+  runGrid(qEnd - qBegin, iEnd - iBegin,
+          [&](std::size_t dq, std::size_t di, int worker) {
+            const std::size_t q = qBegin + dq;
+            const std::size_t i = iBegin + di;
+            const core::Cycles t = packed
+                                       ? model.timePacked(q, *compiled[i])
+                                       : model.time(q, *traces[i]);
+            accs[static_cast<std::size_t>(worker)].add(q, i, t);
+          });
   core::StreamingMeasures total = std::move(accs.front());
   for (std::size_t w = 1; w < accs.size(); ++w) total.merge(accs[w]);
   return total;
@@ -108,33 +117,25 @@ core::TimingMatrix ExperimentEngine::computeMatrix(
     const std::vector<isa::Input>& inputs) {
   // Fill the store on the worker pool too: trace computation is the other
   // substantial cost, and the store's buckets are independently locked.
-  const bool packed = packedPath(model);
-  std::vector<const isa::Trace*> traces(inputs.size(), nullptr);
-  std::vector<const ReplayProgram*> compiled(packed ? inputs.size() : 0,
-                                             nullptr);
-  WorkerPool::shared().run(
-      inputs.size(), resolvedThreads(), [&](std::size_t i, int) {
-        if (packed) {
-          const auto ref = store_.entryRefFor(program, inputs[i]);
-          traces[i] = ref.trace;
-          compiled[i] = ref.compiled;
-        } else {
-          traces[i] = &store_.traceFor(program, inputs[i]);
-        }
-      });
+  std::vector<const isa::Trace*> traces;
+  std::vector<const ReplayProgram*> compiled;
+  resolveTraces(program, inputs, 0, inputs.size(), packedPath(model), traces,
+                compiled);
   return matrixImpl(model, traces, compiled);
 }
 
 core::StreamingMeasures ExperimentEngine::reduceCells(
     const TimingModel& model,
     const std::vector<const isa::Trace*>& traces) const {
-  if (packedPath(model) && !traces.empty() && model.numStates() > 0) {
+  const std::size_t nQ = model.numStates();
+  const std::size_t nI = traces.size();
+  if (packedPath(model) && nI > 0 && nQ > 0) {
     const auto local = compileLocal(traces);
     std::vector<const ReplayProgram*> compiled(local.size());
     for (std::size_t i = 0; i < local.size(); ++i) compiled[i] = &local[i];
-    return reduceImpl(model, traces, compiled);
+    return reduceImpl(model, traces, compiled, 0, nQ, 0, nI);
   }
-  return reduceImpl(model, traces, {});
+  return reduceImpl(model, traces, {}, 0, nQ, 0, nI);
 }
 
 std::vector<core::StreamingMeasures> ExperimentEngine::reduceCellsBatch(
@@ -243,15 +244,16 @@ std::vector<core::StreamingMeasures> ExperimentEngine::reduceCellsBatch(
   return out;
 }
 
-core::StreamingMeasures ExperimentEngine::reduceCells(
-    const TimingModel& model, const isa::Program& program,
-    const std::vector<isa::Input>& inputs) {
-  const bool packed = packedPath(model);
-  std::vector<const isa::Trace*> traces(inputs.size(), nullptr);
-  std::vector<const ReplayProgram*> compiled(packed ? inputs.size() : 0,
-                                             nullptr);
+void ExperimentEngine::resolveTraces(
+    const isa::Program& program, const std::vector<isa::Input>& inputs,
+    std::size_t iBegin, std::size_t iEnd, bool packed,
+    std::vector<const isa::Trace*>& traces,
+    std::vector<const ReplayProgram*>& compiled) {
+  traces.assign(inputs.size(), nullptr);
+  compiled.assign(packed ? inputs.size() : 0, nullptr);
   WorkerPool::shared().run(
-      inputs.size(), resolvedThreads(), [&](std::size_t i, int) {
+      iEnd - iBegin, resolvedThreads(), [&](std::size_t k, int) {
+        const std::size_t i = iBegin + k;
         if (packed) {
           const auto ref = store_.entryRefFor(program, inputs[i]);
           traces[i] = ref.trace;
@@ -260,7 +262,53 @@ core::StreamingMeasures ExperimentEngine::reduceCells(
           traces[i] = &store_.traceFor(program, inputs[i]);
         }
       });
-  return reduceImpl(model, traces, compiled);
+}
+
+core::StreamingMeasures ExperimentEngine::reduceCellsRange(
+    const TimingModel& model, const isa::Program& program,
+    const std::vector<isa::Input>& inputs, std::size_t qBegin,
+    std::size_t qEnd, std::size_t iBegin, std::size_t iEnd) {
+  const std::size_t nQ = model.numStates();
+  const std::size_t nI = inputs.size();
+  if (qBegin >= qEnd || qEnd > nQ) {
+    throw std::invalid_argument(
+        "reduceCellsRange: bad state range [" + std::to_string(qBegin) +
+        ", " + std::to_string(qEnd) + ") for |Q| = " + std::to_string(nQ));
+  }
+  if (iBegin >= iEnd || iEnd > nI) {
+    throw std::invalid_argument(
+        "reduceCellsRange: bad input range [" + std::to_string(iBegin) +
+        ", " + std::to_string(iEnd) + ") for |I| = " + std::to_string(nI));
+  }
+  // Traces resolve for the shard's input range only; the walk itself is
+  // the same reduceImpl body the single-process reduceCells runs, offset
+  // into the sub-rectangle.
+  const bool packed = packedPath(model);
+  std::vector<const isa::Trace*> traces;
+  std::vector<const ReplayProgram*> compiled;
+  resolveTraces(program, inputs, iBegin, iEnd, packed, traces, compiled);
+  return reduceImpl(model, traces, compiled, qBegin, qEnd, iBegin, iEnd);
+}
+
+core::StreamingMeasures ExperimentEngine::mergeShards(
+    std::vector<core::StreamingMeasures> shards) {
+  if (shards.empty()) {
+    throw std::invalid_argument("mergeShards: no shard accumulators given");
+  }
+  core::StreamingMeasures total = std::move(shards.front());
+  for (std::size_t s = 1; s < shards.size(); ++s) total.merge(shards[s]);
+  return total;
+}
+
+core::StreamingMeasures ExperimentEngine::reduceCells(
+    const TimingModel& model, const isa::Program& program,
+    const std::vector<isa::Input>& inputs) {
+  const bool packed = packedPath(model);
+  std::vector<const isa::Trace*> traces;
+  std::vector<const ReplayProgram*> compiled;
+  resolveTraces(program, inputs, 0, inputs.size(), packed, traces, compiled);
+  return reduceImpl(model, traces, compiled, 0, model.numStates(), 0,
+                    inputs.size());
 }
 
 }  // namespace pred::exp

@@ -91,6 +91,34 @@ class ExperimentEngine {
     const std::vector<isa::Input>* inputs;
   };
 
+  /// reduceCells restricted to the half-open sub-rectangle
+  /// [qBegin, qEnd) × [iBegin, iEnd) of the FULL grid — the per-shard
+  /// evaluation of the process-sharded substrate (exp/shard.h).  The
+  /// returned accumulator keeps the full |Q|×|I| shape and global indices,
+  /// with only the sub-rectangle's cells fed, so shard accumulators merge
+  /// into exactly the single-process reduceCells result (values AND
+  /// witnesses, for any partition — the smallest-index tie-break makes the
+  /// merge order-independent; asserted in tests/shard_test.cpp).  Traces
+  /// are resolved (and memoized) for the input range only.  Throws
+  /// std::invalid_argument on ranges outside the grid or empty ranges.
+  core::StreamingMeasures reduceCellsRange(const TimingModel& model,
+                                           const isa::Program& program,
+                                           const std::vector<isa::Input>&
+                                               inputs,
+                                           std::size_t qBegin,
+                                           std::size_t qEnd,
+                                           std::size_t iBegin,
+                                           std::size_t iEnd);
+
+  /// Folds shard accumulators (all of the full grid shape, disjoint cells)
+  /// into one.  Callers pass shards smallest-index-first by convention
+  /// (planShards emits them that way), but the result is the same for ANY
+  /// order: merge's smallest-index tie-break is commutative and
+  /// associative.  Throws std::invalid_argument on empty input or shape
+  /// mismatch.
+  static core::StreamingMeasures mergeShards(
+      std::vector<core::StreamingMeasures> shards);
+
   /// reduceCells over MANY grids with a single tiled walk: all cells of all
   /// grids are enqueued as one work list on the worker pool (one grid walk,
   /// preceded by one pool pass that resolves every grid's traces), so small
@@ -130,9 +158,24 @@ class ExperimentEngine {
                                 const std::vector<const isa::Trace*>& traces,
                                 const std::vector<const ReplayProgram*>&
                                     compiled) const;
+  /// The one streaming walk both reduceCells (full ranges) and
+  /// reduceCellsRange (a shard's sub-rectangle) delegate to, so the
+  /// shard-vs-single bit-identity contract rests on a single body.  The
+  /// accumulator always has the full (numStates x traces.size()) shape.
   core::StreamingMeasures reduceImpl(
       const TimingModel& model, const std::vector<const isa::Trace*>& traces,
-      const std::vector<const ReplayProgram*>& compiled) const;
+      const std::vector<const ReplayProgram*>& compiled, std::size_t qBegin,
+      std::size_t qEnd, std::size_t iBegin, std::size_t iEnd) const;
+
+  /// Resolves (and memoizes) traces — and compiled forms when `packed` —
+  /// for inputs [iBegin, iEnd) on the worker pool.  Vectors are globally
+  /// indexed (size inputs.size(); entries outside the range stay null).
+  void resolveTraces(const isa::Program& program,
+                     const std::vector<isa::Input>& inputs, std::size_t
+                         iBegin,
+                     std::size_t iEnd, bool packed,
+                     std::vector<const isa::Trace*>& traces,
+                     std::vector<const ReplayProgram*>& compiled);
 
   /// Compiles traces locally for the trace-pointer entry points (the
   /// program/inputs entry points reuse the store's cached compiled forms).

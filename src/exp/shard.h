@@ -1,0 +1,81 @@
+#pragma once
+// shard.h — Process-level sharding of the Q×I grid.
+//
+// reduceCells already folds tiles into mergeable StreamingMeasures whose
+// smallest-index tie-break makes the merge order-independent — so the grid
+// can leave the process: a ShardSpec names everything a worker needs to
+// evaluate one rectangular sub-grid (platform preset + options, workload
+// preset, half-open q/i ranges, engine config) in a line-oriented text wire
+// format, and the worker ships back its accumulator through
+// StreamingMeasures::serialize().  Because every shard accumulator keeps
+// the FULL grid shape with global indices, merging K shards — in any
+// order, for any partition — reproduces the single-process reduceCells
+// result value-for-value and witness-for-witness: distribution cannot
+// change a witness.  tests/shard_test.cpp asserts exactly that; the
+// pred-shard-worker binary (tools/shard_worker.cpp) and
+// scripts/shard_run.sh are the real-subprocess fan-out.
+//
+// Layering: this header stays below the study layer — specs carry the
+// WORKLOAD NAME only, and evaluateShard takes the already-resolved program
+// and inputs.  Name resolution against WorkloadRegistry lives in the
+// caller (study::Query::runSharded, the worker binary).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/measures.h"
+#include "exp/engine.h"
+#include "exp/platform.h"
+#include "isa/program.h"
+
+namespace pred::exp {
+
+/// Everything a worker process needs to evaluate one rectangular shard of
+/// a Q×I grid: WHAT to run (platform preset + full options, workload preset
+/// name), WHICH cells ([qBegin, qEnd) × [iBegin, iEnd), global indices),
+/// and HOW (the worker-side engine config).  Serializable, so a spec can
+/// cross a process or host boundary as text.
+struct ShardSpec {
+  std::string platform;     ///< PlatformRegistry preset name
+  std::string workload;     ///< WorkloadRegistry preset name
+  PlatformOptions options;  ///< platform knobs (geometries, |Q|, seeds, ...)
+  std::size_t qBegin = 0, qEnd = 0;  ///< half-open state range
+  std::size_t iBegin = 0, iEnd = 0;  ///< half-open input range
+  EngineConfig engine;      ///< threads / tiling / packed-replay toggle
+};
+
+/// Renders a spec in the line-oriented wire format ("pred-shard v1", one
+/// "key value..." line per field, "end").  Throws std::invalid_argument on
+/// unserializable names (empty or containing whitespace — registry presets
+/// never do).
+std::string serializeShardSpec(const ShardSpec& spec);
+
+/// Inverse of serializeShardSpec.  Strict: unknown keys, missing required
+/// fields, malformed numbers, q/i ranges with begin >= end, and trailing
+/// content all throw std::invalid_argument with a field-specific message —
+/// never UB.  (Unknown PRESET names parse fine and are rejected with the
+/// registries' own clear errors at evaluate time.)
+ShardSpec parseShardSpec(const std::string& text);
+
+/// Partitions `whole`'s rectangle into `count` disjoint rectangular shards
+/// covering it exactly, emitted smallest-index-first (ascending qBegin,
+/// then iBegin).  `count` is clamped to [1, cells]; whenever count <= |q
+/// range| the split is along q alone (contiguous state bands), otherwise
+/// single-state rows are further split along i.  Every returned spec
+/// copies platform/workload/options/engine from `whole`.  Throws
+/// std::invalid_argument if `whole` has an empty range.
+std::vector<ShardSpec> planShards(const ShardSpec& whole, std::size_t count);
+
+/// Evaluates one shard against the already-resolved workload: instantiates
+/// spec.platform for `program` via `platforms`, builds an ExperimentEngine
+/// from spec.engine, and folds exactly the spec's cells into a full-shape
+/// accumulator (ExperimentEngine::reduceCellsRange).  Throws
+/// std::invalid_argument on unknown platform names or ranges outside the
+/// instantiated model's grid.
+core::StreamingMeasures evaluateShard(
+    const ShardSpec& spec, const isa::Program& program,
+    const std::vector<isa::Input>& inputs,
+    const PlatformRegistry& platforms = PlatformRegistry::instance());
+
+}  // namespace pred::exp

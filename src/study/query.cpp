@@ -367,6 +367,88 @@ StudyReport Query::runAll(exp::ExperimentEngine& engine) const {
   return report;
 }
 
+void Query::requireShardable() const {
+  if (inlineWorkload_) {
+    throw std::invalid_argument(
+        "sharding needs a registry workload: an inline program cannot be "
+        "resolved by name in a worker process");
+  }
+  if (spec_.workload.empty()) {
+    throw std::invalid_argument("query has no workload bound");
+  }
+  if (spec_.platforms.size() != 1) {
+    throw std::invalid_argument(
+        "sharding needs exactly one platform (got " +
+        std::to_string(spec_.platforms.size()) + ")");
+  }
+  if (spec_.mode != core::EvalMode::Exhaustive) {
+    throw std::invalid_argument(
+        "sharding applies to Exhaustive mode only (the accumulators being "
+        "merged are the exhaustive streaming reduction)");
+  }
+  if (!spec_.stateSubset.empty() || !spec_.inputSubset.empty()) {
+    throw std::invalid_argument(
+        "sharding quantifies over the full enumerated axes; drop the "
+        "uncertainty subsets");
+  }
+}
+
+exp::ShardSpec Query::wholeGridSpec(const WorkloadInstance& w,
+                                    const exp::TimingModel& model,
+                                    const exp::PlatformOptions& options,
+                                    exp::EngineConfig workerEngine) const {
+  // The grid shape comes from the instantiated axes: |Q| from the model
+  // (presets may clamp the requested numStates), |I| from the workload.
+  exp::ShardSpec whole;
+  whole.platform = spec_.platforms[0];
+  whole.workload = spec_.workload;
+  whole.options = options;
+  whole.qEnd = model.numStates();
+  whole.iEnd = w.inputs.size();
+  whole.engine = workerEngine;
+  return whole;
+}
+
+std::vector<exp::ShardSpec> Query::shardPlan(
+    std::size_t shards, exp::EngineConfig workerEngine) const {
+  requireShardable();
+  const auto w = workloads_->make(spec_.workload);
+  const auto options = optionsFor(0);
+  const auto model = platforms_->make(spec_.platforms[0], w.program, options);
+  return exp::planShards(wholeGridSpec(w, *model, options, workerEngine),
+                         shards);
+}
+
+Finding Query::runSharded(exp::ExperimentEngine& engine,
+                          std::size_t shards) const {
+  if (keepMatrix_) {
+    throw std::invalid_argument(
+        "sharded runs are streaming-only; drop keepMatrix");
+  }
+  requireShardable();
+  // Workload, options, and model are instantiated ONCE and shared by the
+  // plan and every shard evaluation.
+  const auto w = workloads_->make(spec_.workload);
+  const auto options = optionsFor(0);
+  const auto model = platforms_->make(spec_.platforms[0], w.program, options);
+  const auto plan = exp::planShards(
+      wholeGridSpec(w, *model, options, engine.config()), shards);
+  // In-process fan-out through the caller's engine, so every shard shares
+  // the memoized trace store; the worker binary evaluates the same specs
+  // with evaluateShard in separate processes.
+  std::vector<core::StreamingMeasures> parts;
+  parts.reserve(plan.size());
+  for (const auto& s : plan) {
+    parts.push_back(engine.reduceCellsRange(*model, w.program, w.inputs,
+                                            s.qBegin, s.qEnd, s.iBegin,
+                                            s.iEnd));
+  }
+  const auto acc = exp::ExperimentEngine::mergeShards(std::move(parts));
+  return detail::streamingFinding(spec_.workload, spec_.platforms[0], *model,
+                                  w.inputs.size(), spec_.mode, measures_,
+                                  acc);
+}
+
 Query compile(const core::QuerySpec& spec, const WorkloadRegistry& workloads,
               const exp::PlatformRegistry& platforms) {
   if (spec.workload.empty() || spec.platforms.empty()) {

@@ -25,6 +25,7 @@
 #include "core/template.h"
 #include "exp/engine.h"
 #include "exp/platform.h"
+#include "exp/shard.h"
 #include "study/finding.h"
 #include "study/workloads.h"
 
@@ -97,10 +98,38 @@ class Query {
   /// order.
   StudyReport runAll(exp::ExperimentEngine& engine) const;
 
+  /// The process-sharding plan of this query's Q×I grid: `shards` disjoint
+  /// rectangular ShardSpecs covering it, smallest-index-first, each
+  /// carrying the platform preset + options, the workload name, and
+  /// `workerEngine` as the worker-side engine config — serializable and
+  /// shippable to pred-shard-worker processes.  Requires a REGISTRY
+  /// workload (an inline program cannot cross a process boundary by name),
+  /// exactly one platform, Exhaustive mode, and no uncertainty subsets;
+  /// throws std::invalid_argument otherwise.
+  std::vector<exp::ShardSpec> shardPlan(
+      std::size_t shards, exp::EngineConfig workerEngine = {}) const;
+
+  /// Sharded evaluation: partitions the grid via shardPlan, evaluates each
+  /// shard through `engine` (in-process fan-out; the subprocess fan-out is
+  /// scripts/shard_run.sh over the same specs), and merges the accumulators
+  /// smallest-index-first.  The Finding is identical to run()'s —
+  /// value-for-value and witness-for-witness, for any shard count, because
+  /// the merge is order-independent (asserted in tests/shard_test.cpp).
+  Finding runSharded(exp::ExperimentEngine& engine, std::size_t shards) const;
+
  private:
   Finding runOne(exp::ExperimentEngine& engine, const WorkloadInstance& w,
                  const std::string& platform,
                  const exp::PlatformOptions& options) const;
+  /// Throws std::invalid_argument unless this query can shard: registry
+  /// workload, exactly one platform, Exhaustive mode, no subsets.
+  void requireShardable() const;
+  /// The whole-grid ShardSpec of this query over the already-instantiated
+  /// axes (|Q| from the model, |I| from the workload).
+  exp::ShardSpec wholeGridSpec(const WorkloadInstance& w,
+                               const exp::TimingModel& model,
+                               const exp::PlatformOptions& options,
+                               exp::EngineConfig workerEngine) const;
   /// AnalysisBounds tail shared by the streaming and matrix paths: attaches
   /// the Figure-1 decomposition computed from the finding's BCET/WCET.
   void attachBounds(Finding& f, const WorkloadInstance& w,

@@ -91,6 +91,15 @@ WorkloadRegistry::WorkloadRegistry() {
            auto inputs = keyedArrayInputs(prog, 12, 16, 2024, 12, 5);
            return WorkloadInstance{std::move(prog), std::move(inputs)};
          });
+  preset("linearsearch-16x64",
+         "linear search over 16 words, 64 random arrays, key=7 (the "
+         "64-input perf/shard grid workload)",
+         [] {
+           auto prog =
+               isa::ast::compileBranchy(isa::workloads::linearSearch(16));
+           auto inputs = keyedArrayInputs(prog, 16, 64, 2024, 64, 7);
+           return WorkloadInstance{std::move(prog), std::move(inputs)};
+         });
   preset("bubblesort-8", "bubble sort of 8 words, 12 random arrays", [] {
     auto prog = isa::ast::compileBranchy(isa::workloads::bubbleSort(8));
     auto inputs = randomArrayInputs(prog, "a", 8, 12, 31, 24);

@@ -43,6 +43,8 @@ struct Workload {
 ///
 ///   sum-16 / sum-24 / sum-32      counted loop, input-independent path
 ///   linearsearch-12[-sp]          input-dependent iteration count
+///   linearsearch-16x64            64 random inputs — the wide grid the
+///                                 perf bench and shard smoke sweep
 ///   bubblesort-8[-sp]             data-dependent swaps in counted loops
 ///   bubblesort-10                 the branch-prediction row's subject
 ///   branchtree-5[-sp]             nested if-tree classifier, corner inputs

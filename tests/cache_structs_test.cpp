@@ -166,15 +166,14 @@ TEST(Locking, GuaranteedHitsMatchMeasuredHits) {
   EXPECT_EQ(ic.hits(), guaranteed);
 }
 
-TEST(Locking, UnlockedHitsUnderPreemptionCountSinceLastPreemptionOnly) {
-  // CHARACTERIZATION, not endorsement: this pins the semantics inherited
-  // from the seed (see the ROADMAP "Semantics audit of
-  // unlockedHitsUnderPreemption" open item).  Each preemption calls
-  // reset(), and reset() clears the hit counters too, so the function
-  // returns hits since the LAST preemption — the tail window — not the
-  // trace total across preemptions.  The planned behavior-change PR gets
-  // its baseline to diff against from this test: if the quantity is ever
-  // redefined to the trace total, the expectations below flip from 2 to 7.
+TEST(Locking, UnlockedHitsUnderPreemptionCountsTheWholeTrace) {
+  // Trace-total semantics (the behavior change the ROADMAP "Semantics audit
+  // of unlockedHitsUnderPreemption" item called for, replacing the seed's
+  // hits-since-last-preemption tail window): preemptions trash the cache
+  // but never the accounting, so hits from EVERY window count.  The
+  // period-4 case below is exactly the one where the two semantics visibly
+  // differ: the tail window holds 2 hits, the trace total 7 — a value the
+  // old accounting could not produce for this trace and period.
   const CacheGeometry geom{4, 8, 2};
   const CacheTiming timing{1, 10};
   isa::Trace trace;
@@ -187,24 +186,53 @@ TEST(Locking, UnlockedHitsUnderPreemptionCountSinceLastPreemptionOnly) {
   // period 4 with reset-BEFORE-access on the 4th and 8th fetches:
   //   n:  1     2    3    4            5    6    7    8            9   10
   //       miss  hit  hit  reset+miss   hit  hit  hit  reset+miss   hit hit
-  // counters cleared at n=4 and n=8, so only n=9 and n=10 are counted.
+  // windows hold 2 + 3 + 2 hits; the trace total is 7.
   EXPECT_EQ(unlockedHitsUnderPreemption(trace, geom, Policy::LRU, timing, 4),
-            2u);
-  // The trace-total quantity (hits across all windows) would be 7; the
-  // inherited semantics deliberately is NOT that.
-  EXPECT_NE(unlockedHitsUnderPreemption(trace, geom, Policy::LRU, timing, 4),
             7u);
-  // Without preemption the window is the whole trace: 9 of 10 fetches hit.
+  // ... and visibly NOT the tail window's 2.
+  EXPECT_NE(unlockedHitsUnderPreemption(trace, geom, Policy::LRU, timing, 4),
+            2u);
+  // Without preemption the single window is the whole trace: 9 of 10 hit.
   EXPECT_EQ(unlockedHitsUnderPreemption(trace, geom, Policy::LRU, timing, 0),
             9u);
   // A period longer than the trace never fires: same as no preemption.
   EXPECT_EQ(unlockedHitsUnderPreemption(trace, geom, Policy::LRU, timing, 64),
             9u);
-  // The window semantics is policy-independent (single-line stream).
+  // Trace-total accounting is policy-independent on a single-line stream.
   for (const auto policy :
        {Policy::FIFO, Policy::PLRU, Policy::MRU, Policy::RANDOM}) {
-    EXPECT_EQ(unlockedHitsUnderPreemption(trace, geom, policy, timing, 4), 2u)
+    EXPECT_EQ(unlockedHitsUnderPreemption(trace, geom, policy, timing, 4), 7u)
         << toString(policy);
+  }
+  // The nested (non-packable, ways > kMaxPackedWays) replay path shares the
+  // accounting fix: same stream, same periods, same totals.
+  const CacheGeometry wide{4, 1, 32};
+  EXPECT_EQ(unlockedHitsUnderPreemption(trace, wide, Policy::LRU, timing, 4),
+            7u);
+  EXPECT_EQ(unlockedHitsUnderPreemption(trace, wide, Policy::LRU, timing, 0),
+            9u);
+}
+
+TEST(Locking, LockedHitsUnderPreemptionWereAlwaysTraceTotal) {
+  // lockedHitsUnderPreemption delegates to guaranteedHits, which scans the
+  // whole trace — it never shared the tail-window defect.  Pin that: the
+  // locked count is period-invariant AND equals the full-trace guarantee.
+  const CacheGeometry geom{4, 8, 2};
+  const CacheTiming timing{1, 10};
+  isa::Trace trace;
+  for (int k = 0; k < 10; ++k) {
+    isa::ExecRecord rec;
+    rec.pc = 0;
+    trace.push_back(rec);
+  }
+  LockSelection sel;
+  sel.lines.push_back(geom.lineOf(0));
+  const auto guaranteed = guaranteedHits(trace, geom, sel);
+  EXPECT_EQ(guaranteed, 10u);
+  for (const std::uint64_t period : {0ull, 1ull, 4ull, 64ull}) {
+    EXPECT_EQ(lockedHitsUnderPreemption(trace, geom, timing, sel, period),
+              guaranteed)
+        << "period=" << period;
   }
 }
 

@@ -147,16 +147,21 @@ TEST(PackedCache, PreemptionReplayMatchesLegacyResetForRandomPolicy) {
   }
   for (const auto policy : kAllPolicies) {
     for (const std::uint64_t period : {0ull, 7ull, 64ull}) {
-      // The pre-packed reference loop, verbatim.
+      // The nested reference loop with the same trace-total accounting as
+      // locking.cpp: every window's hits are banked before the reset.
       cache::SetAssocCache ic(geom, policy, timing);
+      std::uint64_t total = 0;
       std::uint64_t n = 0;
       for (const auto& rec : trace) {
-        if (period && ++n % period == 0) ic.reset();
+        if (period && ++n % period == 0) {
+          total += ic.hits();
+          ic.reset();
+        }
         ic.access(rec.pc);
       }
       EXPECT_EQ(cache::unlockedHitsUnderPreemption(trace, geom, policy,
                                                    timing, period),
-                ic.hits())
+                total + ic.hits())
           << toString(policy) << " period=" << period;
     }
   }

@@ -213,6 +213,7 @@ TEST(WorkloadRegistry, PresetsAreValidAndSorted) {
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
   for (const char* name :
        {"sum-16", "sum-24", "sum-32", "linearsearch-12", "linearsearch-12-sp",
+        "linearsearch-16x64",
         "bubblesort-8", "bubblesort-8-sp", "bubblesort-10", "branchtree-5",
         "branchtree-5-sp", "matmul-4", "divkernel-8",
         "divkernel-12-magnitudes", "heapmix-8", "callroundrobin-8x6x4"}) {
