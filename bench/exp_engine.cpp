@@ -21,6 +21,7 @@
 #include "core/definitions.h"
 #include "exp/engine.h"
 #include "exp/platform.h"
+#include "obs/span.h"
 #include "study/scenario.h"
 #include "isa/ast.h"
 #include "isa/workloads.h"
@@ -141,7 +142,11 @@ GridReport perfGridFor(const std::string& platform,
                }) /
       (kStates * kInputs);
   const double interpNs = nsPerCell(interp, *model, prog, inputs, reps);
+  // Per-phase breakdown of exactly the timed packed reps: the engine's
+  // cumulative report delta over the measurement window.
+  const auto packedBefore = packed.report();
   const double packedNs = nsPerCell(packed, *model, prog, inputs, reps);
+  const auto packedPhases = packed.report().deltaSince(packedBefore).phases;
 
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.1f", naiveNs);
@@ -168,13 +173,25 @@ GridReport perfGridFor(const std::string& platform,
   bench::JsonObject speedup;
   speedup.field("packed_vs_interpreted", interpNs / packedNs)
       .field("packed_vs_naive", naiveNs / packedNs);
+  // Phase totals over the packed measurement window (warm-up + timed
+  // reps), from the obs layer: where the wall time of this grid actually
+  // went.  Span counts let trend tooling normalize per rep.
+  bench::JsonObject phases;
+  for (const auto& [name, st] : packedPhases) {
+    bench::JsonObject p;
+    p.field("spans", st.count)
+        .field("total_ns", st.totalNs)
+        .field("max_ns", st.maxNs);
+    phases.rawField(name, p.str());
+  }
   bench::JsonObject obj;
   obj.field("workload", std::string("linearSearch-16"))
       .rawField("grid", grid.str())
       .rawField("data_geom", geom.str())
       .rawField("bit_identical", identical ? "true" : "false")
       .rawField("ns_per_cell", cells.str())
-      .rawField("speedup", speedup.str());
+      .rawField("speedup", speedup.str())
+      .rawField("phases", phases.str());
   return GridReport{identical, obj.str()};
 }
 
@@ -214,6 +231,7 @@ void perfGrid(const char* argv0) {
   bench::JsonObject root;
   root.field("bench", std::string("exhaustive"))
       .field("threads", exp::ExperimentEngine().resolvedThreads())
+      .rawField("metrics_enabled", obs::compiledIn() ? "true" : "false")
       .rawField("bit_identical",
                 inorder.identical && ooo.identical ? "true" : "false")
       .rawField("grids", grids.str());

@@ -8,6 +8,9 @@
 #   --smoke   regression gate (the CI perf-smoke job), applied to EVERY
 #             grid recorded in the JSON (inorder-lru and ooo-fifo): fail
 #             when
+#             * the bench was built with PRED_OBS_DISABLED (the gate's
+#               whole point is that ns/cell holds WITH the observability
+#               layer recording; a metrics-off number proves nothing), or
 #             * the bench reports non-bit-identical matrices, or
 #             * a grid's packed ns/cell exceeds PERF_SMOKE_FACTOR (default
 #               2.0) x that grid's entry in bench/perf_baseline.json, or
@@ -42,6 +45,13 @@ baseline = json.load(open(sys.argv[2]))
 factor = float(sys.argv[3])
 min_speedup = float(sys.argv[4])
 failed = False
+
+if not measured.get("metrics_enabled", False):
+    print("FAIL: bench was built with PRED_OBS_DISABLED; the perf gate "
+          "must measure the instrumented hot path")
+    failed = True
+else:
+    print("metrics enabled: yes (gate measures the instrumented hot path)")
 
 if not measured.get("bit_identical", False):
     print("FAIL: packed/interpreted/naive matrices are not bit-identical")

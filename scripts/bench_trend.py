@@ -91,6 +91,7 @@ def load_rows(artifacts, grid_filter, mtime_order):
                 "naive": cells.get("naive"),
                 "speedup": speedup.get("packed_vs_interpreted"),
                 "bit_identical": grid.get("bit_identical"),
+                "phases": grid.get("phases") or {},
             })
     if mtime_order:
         rows.sort(key=lambda r: (r["mtime"], r["seq"], r["grid"]))
@@ -103,13 +104,27 @@ def fmt(value, spec):
     return format(value, spec) if isinstance(value, (int, float)) else "-"
 
 
-def render_table(rows):
+def phase_summary(phases):
+    """Compact 'name:ms' breakdown of a grid's per-phase totals (newer
+    artifacts only; older BENCH json has no 'phases' object)."""
+    parts = []
+    for name, st in sorted(phases.items()):
+        total = st.get("total_ns") if isinstance(st, dict) else None
+        if isinstance(total, (int, float)) and total > 0:
+            parts.append(f"{name}:{total / 1e6:.1f}ms")
+    return " ".join(parts) if parts else "-"
+
+
+def render_table(rows, with_phases=False):
     headers = ["commit", "grid", "packed ns/cell", "interp ns/cell",
                "naive ns/cell", "packed vs interp", "bit-identical"]
+    if with_phases:
+        headers.append("phase totals (packed window)")
     cells = [[r["commit"], r["grid"], fmt(r["packed"], ".1f"),
               fmt(r["interpreted"], ".1f"), fmt(r["naive"], ".1f"),
               fmt(r["speedup"], ".2f") + "x" if r["speedup"] else "-",
               {True: "yes", False: "NO"}.get(r["bit_identical"], "-")]
+             + ([phase_summary(r["phases"])] if with_phases else [])
              for r in rows]
     widths = [max(len(h), *(len(row[c]) for row in cells)) if cells
               else len(h) for c, h in enumerate(headers)]
@@ -141,6 +156,9 @@ def main():
                     help="restrict to one grid (e.g. inorder-lru)")
     ap.add_argument("--csv", action="store_true",
                     help="emit CSV instead of the aligned table")
+    ap.add_argument("--phases", action="store_true",
+                    help="add a per-phase total column (table mode; needs "
+                         "artifacts new enough to carry 'phases')")
     ap.add_argument("--mtime", action="store_true",
                     help="order rows by file modification time instead of "
                          "input order")
@@ -151,7 +169,8 @@ def main():
         print("no BENCH artifacts found", file=sys.stderr)
         return 1
     try:
-        print(render_csv(rows) if args.csv else render_table(rows))
+        print(render_csv(rows) if args.csv
+              else render_table(rows, with_phases=args.phases))
     except BrokenPipeError:
         pass  # e.g. piped into head
     return 0

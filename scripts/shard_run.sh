@@ -3,11 +3,14 @@
 # the shard accumulators back together (the subprocess demo of exp/shard.h).
 #
 # Pipeline: pred-shard-worker plan -> one `run` subprocess per shard (all
-# concurrent) -> `merge`.  With --smoke it additionally computes the same
-# grid with one in-process `single` run and diffs the two outputs
-# BYTE-FOR-BYTE: the smallest-index tie-break makes the merge
-# order-independent, so distribution must not change a single value or
-# witness.  This is the CI shard-smoke job and the ctest subprocess smoke.
+# concurrent, each emitting its RunReport telemetry) -> `merge`, plus a
+# `report` fold that prints the fleet telemetry view (per-shard wall time,
+# trace-cache hit rates, slowest shard, wall skew) on stderr.  With --smoke
+# it additionally computes the same grid with one in-process `single` run
+# and diffs the two outputs BYTE-FOR-BYTE: the smallest-index tie-break
+# makes the merge order-independent, so distribution must not change a
+# single value or witness.  This is the CI shard-smoke job and the ctest
+# subprocess smoke.
 #
 # Usage:  scripts/shard_run.sh [--smoke] [-k shards] [-p platform]
 #                              [-w workload] [-s states] [build-dir]
@@ -56,23 +59,43 @@ echo "== plan: $PLATFORM x $WORKLOAD, states=$STATES, $SHARDS shards, $THREADS t
     --out-dir "$TMP" > "$TMP/specs.txt"
 
 echo "== run: one worker process per shard" >&2
-PIDS=""
+# Each worker gets its own stderr capture, and pids.txt maps pid -> spec
+# (mktemp paths carry no spaces), so a failure names the exact shard and
+# replays that worker's stderr instead of a generic "something failed".
+: > "$TMP/pids.txt"
 while IFS= read -r spec; do
-  "$WORKER" run "$spec" --out "$spec.out" &
-  PIDS="$PIDS $!"
+  "$WORKER" run "$spec" --out "$spec.out" --report "$spec.report" \
+      2> "$spec.stderr" &
+  echo "$! $spec" >> "$TMP/pids.txt"
 done < "$TMP/specs.txt"
 FAILED=0
-for pid in $PIDS; do
-  wait "$pid" || FAILED=1
-done
+while read -r pid spec; do
+  if ! wait "$pid"; then
+    FAILED=1
+    echo "error: shard worker for $(basename "$spec") failed (spec: $spec)" >&2
+    if [ -s "$spec.stderr" ]; then
+      echo "---- $(basename "$spec") worker stderr ----" >&2
+      cat "$spec.stderr" >&2
+      echo "---- end worker stderr ----" >&2
+    else
+      echo "(worker produced no stderr output)" >&2
+    fi
+  fi
+done < "$TMP/pids.txt"
 if [ "$FAILED" = 1 ]; then
-  echo "error: a shard worker process failed" >&2
   exit 1
 fi
 
 echo "== merge" >&2
 # shellcheck disable=SC2046  # spec paths are mktemp-controlled, no spaces
 "$WORKER" merge $(sed 's/$/.out/' "$TMP/specs.txt") > "$TMP/merged.txt"
+
+echo "== fleet report" >&2
+# Fold each worker's RunReport into the fleet telemetry view (per-shard
+# wall time, trace-cache hit rates, slowest shard, skew); stderr, so the
+# merged accumulator on stdout stays byte-identical to `single`.
+# shellcheck disable=SC2046
+"$WORKER" report $(sed 's/$/.report/' "$TMP/specs.txt") >&2
 
 if [ "$SMOKE" = 1 ]; then
   echo "== smoke: diff merged shards vs single-process reference" >&2

@@ -6,12 +6,37 @@
 #include <thread>
 
 #include "exp/worker_pool.h"
+#include "obs/span.h"
 
 namespace pred::exp {
 
 ExperimentEngine::ExperimentEngine(EngineConfig config) : config_(config) {
   if (config_.tileStates == 0) config_.tileStates = 1;
   if (config_.tileInputs == 0) config_.tileInputs = 1;
+  // Resolve every hot-path metric once; the registry hands out stable
+  // addresses, so the walks below never touch its lock again.
+  cMatrixBuilds_ = &metrics_.counter("engine.matrix_builds");
+  cGridWalks_ = &metrics_.counter("engine.grid_walks");
+  cTiles_ = &metrics_.counter("engine.tiles");
+  cCells_ = &metrics_.counter("engine.cells");
+  pResolve_ = &metrics_.phase("resolve");
+  pReplayPacked_ = &metrics_.phase("replay.packed");
+  pReplayInterp_ = &metrics_.phase("replay.interpreted");
+  pReplayBatched_ = &metrics_.phase("replay.batched");
+  pMerge_ = &metrics_.phase("reduce.merge");
+  util_ = obs::WorkerUtil(std::max(resolvedThreads(), 1));
+}
+
+obs::RunReport ExperimentEngine::report() const {
+  obs::RunReport r = obs::snapshotReport(metrics_, util_);
+  // The trace store keeps its own counters (it predates the registry and
+  // has store-local reset semantics); export them under the same namespace
+  // scheme so one report covers the whole engine.
+  r.counters["trace_store.hits"] = store_.hits();
+  r.counters["trace_store.misses"] = store_.misses();
+  r.counters["trace_store.entries"] =
+      static_cast<std::uint64_t>(store_.size());
+  return r;
 }
 
 int ExperimentEngine::resolvedThreads() const {
@@ -27,24 +52,27 @@ bool ExperimentEngine::packedPath(const TimingModel& model) const {
 std::vector<ReplayProgram> ExperimentEngine::compileLocal(
     const std::vector<const isa::Trace*>& traces) const {
   std::vector<ReplayProgram> compiled(traces.size());
-  WorkerPool::shared().run(traces.size(), resolvedThreads(),
-                           [&](std::size_t i, int) {
-                             compiled[i] = compileTrace(*traces[i]);
-                           });
+  obs::Span span(pResolve_);
+  WorkerPool::shared().run(
+      traces.size(), resolvedThreads(),
+      [&](std::size_t i, int) { compiled[i] = compileTrace(*traces[i]); },
+      &util_);
   return compiled;
 }
 
 void ExperimentEngine::runGrid(
-    std::size_t numStates, std::size_t numInputs,
+    std::size_t numStates, std::size_t numInputs, obs::PhaseAccum* phase,
     const std::function<void(std::size_t, std::size_t, int)>& cell) const {
   if (numStates == 0 || numInputs == 0) return;
-  gridWalks_.fetch_add(1);
+  cGridWalks_->add();
   const std::size_t tilesQ =
       (numStates + config_.tileStates - 1) / config_.tileStates;
   const std::size_t tilesI =
       (numInputs + config_.tileInputs - 1) / config_.tileInputs;
+  obs::Span span(phase);
   WorkerPool::shared().run(
-      tilesQ * tilesI, resolvedThreads(), [&](std::size_t tile, int worker) {
+      tilesQ * tilesI, resolvedThreads(),
+      [&](std::size_t tile, int worker) {
         const std::size_t q0 = (tile / tilesI) * config_.tileStates;
         const std::size_t i0 = (tile % tilesI) * config_.tileInputs;
         const std::size_t q1 = std::min(numStates, q0 + config_.tileStates);
@@ -54,16 +82,21 @@ void ExperimentEngine::runGrid(
             cell(q, i, worker);
           }
         }
-      });
+        // One relaxed add per tile keeps the cell loop untouched.
+        cTiles_->add();
+        cCells_->add((q1 - q0) * (i1 - i0));
+      },
+      &util_);
 }
 
 core::TimingMatrix ExperimentEngine::matrixImpl(
     const TimingModel& model, const std::vector<const isa::Trace*>& traces,
     const std::vector<const ReplayProgram*>& compiled) const {
-  matrixBuilds_.fetch_add(1);
+  cMatrixBuilds_->add();
   core::TimingMatrix m(model.numStates(), traces.size());
   const bool packed = !compiled.empty();
   runGrid(m.numStates(), m.numInputs(),
+          packed ? pReplayPacked_ : pReplayInterp_,
           [&](std::size_t q, std::size_t i, int) {
             m.at(q, i) = packed ? model.timePacked(q, *compiled[i])
                                 : model.time(q, *traces[i]);
@@ -87,6 +120,7 @@ core::StreamingMeasures ExperimentEngine::reduceImpl(
   std::vector<core::StreamingMeasures> accs(
       static_cast<std::size_t>(workers), core::StreamingMeasures(nQ, nI));
   runGrid(qEnd - qBegin, iEnd - iBegin,
+          packed ? pReplayPacked_ : pReplayInterp_,
           [&](std::size_t dq, std::size_t di, int worker) {
             const std::size_t q = qBegin + dq;
             const std::size_t i = iBegin + di;
@@ -95,6 +129,7 @@ core::StreamingMeasures ExperimentEngine::reduceImpl(
                                        : model.time(q, *traces[i]);
             accs[static_cast<std::size_t>(worker)].add(q, i, t);
           });
+  obs::Span mergeSpan(pMerge_);
   core::StreamingMeasures total = std::move(accs.front());
   for (std::size_t w = 1; w < accs.size(); ++w) total.merge(accs[w]);
   return total;
@@ -173,19 +208,24 @@ std::vector<core::StreamingMeasures> ExperimentEngine::reduceCellsBatch(
 
   // Pass 1: resolve (and memoize) every grid's traces and compiled forms —
   // all (grid, input) pairs as one pool work list.
-  WorkerPool::shared().run(
-      inputOffset.back(), resolvedThreads(), [&](std::size_t k, int) {
-        const std::size_t g = gridOf(inputOffset, k);
-        const std::size_t i = k - inputOffset[g];
-        const auto& input = (*grids[g].inputs)[i];
-        if (prep[g].packed) {
-          const auto ref = store_.entryRefFor(*grids[g].program, input);
-          prep[g].traces[i] = ref.trace;
-          prep[g].compiled[i] = ref.compiled;
-        } else {
-          prep[g].traces[i] = &store_.traceFor(*grids[g].program, input);
-        }
-      });
+  {
+    obs::Span span(pResolve_);
+    WorkerPool::shared().run(
+        inputOffset.back(), resolvedThreads(),
+        [&](std::size_t k, int) {
+          const std::size_t g = gridOf(inputOffset, k);
+          const std::size_t i = k - inputOffset[g];
+          const auto& input = (*grids[g].inputs)[i];
+          if (prep[g].packed) {
+            const auto ref = store_.entryRefFor(*grids[g].program, input);
+            prep[g].traces[i] = ref.trace;
+            prep[g].compiled[i] = ref.compiled;
+          } else {
+            prep[g].traces[i] = &store_.traceFor(*grids[g].program, input);
+          }
+        },
+        &util_);
+  }
 
   // Pass 2: ONE tiled walk over the union of every grid's cells.  Workers
   // fold into per-(worker, grid) accumulators; the smallest-index tie-break
@@ -210,28 +250,36 @@ std::vector<core::StreamingMeasures> ExperimentEngine::reduceCellsBatch(
     }
     accs.push_back(std::move(mine));
   }
-  if (tileOffset.back() > 0) gridWalks_.fetch_add(1);
-  WorkerPool::shared().run(
-      tileOffset.back(), workers, [&](std::size_t tile, int worker) {
-        const std::size_t g = gridOf(tileOffset, tile);
-        const Prepared& p = prep[g];
-        const std::size_t local = tile - tileOffset[g];
-        const std::size_t q0 = (local / p.tilesI) * config_.tileStates;
-        const std::size_t i0 = (local % p.tilesI) * config_.tileInputs;
-        const std::size_t q1 = std::min(p.nQ, q0 + config_.tileStates);
-        const std::size_t i1 = std::min(p.nI, i0 + config_.tileInputs);
-        const TimingModel& model = *grids[g].model;
-        auto& acc = accs[static_cast<std::size_t>(worker)][g];
-        for (std::size_t q = q0; q < q1; ++q) {
-          for (std::size_t i = i0; i < i1; ++i) {
-            const core::Cycles t = p.packed
-                                       ? model.timePacked(q, *p.compiled[i])
-                                       : model.time(q, *p.traces[i]);
-            acc.add(q, i, t);
+  if (tileOffset.back() > 0) cGridWalks_->add();
+  {
+    obs::Span span(tileOffset.back() > 0 ? pReplayBatched_ : nullptr);
+    WorkerPool::shared().run(
+        tileOffset.back(), workers,
+        [&](std::size_t tile, int worker) {
+          const std::size_t g = gridOf(tileOffset, tile);
+          const Prepared& p = prep[g];
+          const std::size_t local = tile - tileOffset[g];
+          const std::size_t q0 = (local / p.tilesI) * config_.tileStates;
+          const std::size_t i0 = (local % p.tilesI) * config_.tileInputs;
+          const std::size_t q1 = std::min(p.nQ, q0 + config_.tileStates);
+          const std::size_t i1 = std::min(p.nI, i0 + config_.tileInputs);
+          const TimingModel& model = *grids[g].model;
+          auto& acc = accs[static_cast<std::size_t>(worker)][g];
+          for (std::size_t q = q0; q < q1; ++q) {
+            for (std::size_t i = i0; i < i1; ++i) {
+              const core::Cycles t = p.packed
+                                         ? model.timePacked(q, *p.compiled[i])
+                                         : model.time(q, *p.traces[i]);
+              acc.add(q, i, t);
+            }
           }
-        }
-      });
+          cTiles_->add();
+          cCells_->add((q1 - q0) * (i1 - i0));
+        },
+        &util_);
+  }
 
+  obs::Span mergeSpan(pMerge_);
   std::vector<core::StreamingMeasures> out;
   out.reserve(nGrids);
   for (std::size_t g = 0; g < nGrids; ++g) {
@@ -251,8 +299,10 @@ void ExperimentEngine::resolveTraces(
     std::vector<const ReplayProgram*>& compiled) {
   traces.assign(inputs.size(), nullptr);
   compiled.assign(packed ? inputs.size() : 0, nullptr);
+  obs::Span span(pResolve_);
   WorkerPool::shared().run(
-      iEnd - iBegin, resolvedThreads(), [&](std::size_t k, int) {
+      iEnd - iBegin, resolvedThreads(),
+      [&](std::size_t k, int) {
         const std::size_t i = iBegin + k;
         if (packed) {
           const auto ref = store_.entryRefFor(program, inputs[i]);
@@ -261,7 +311,8 @@ void ExperimentEngine::resolveTraces(
         } else {
           traces[i] = &store_.traceFor(program, inputs[i]);
         }
-      });
+      },
+      &util_);
 }
 
 core::StreamingMeasures ExperimentEngine::reduceCellsRange(

@@ -30,7 +30,6 @@
 // each input — and its compiled replay form — is computed once and replayed
 // across all hardware states and across every matrix the engine computes.
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -40,6 +39,8 @@
 #include "core/measures.h"
 #include "exp/platform.h"
 #include "exp/trace_store.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
 
 namespace pred::exp {
 
@@ -135,22 +136,39 @@ class ExperimentEngine {
 
   /// Dense |Q|×|I| matrices materialized by this engine so far — the
   /// streaming-path tests assert this stays 0 for keepMatrices=false
-  /// queries.
-  std::uint64_t matrixBuilds() const { return matrixBuilds_.load(); }
+  /// queries.  (Thin shim over the "engine.matrix_builds" registry counter;
+  /// kept so existing callers and tests are untouched by the obs layer.)
+  std::uint64_t matrixBuilds() const { return cMatrixBuilds_->value(); }
 
   /// Tiled grid walks issued by this engine so far (one per matrix or
   /// streaming reduction; ONE for a whole reduceCellsBatch, however many
   /// grids it spans) — the batching tests assert a batched ScenarioSuite
-  /// run issues exactly one instead of one per query.
-  std::uint64_t gridWalks() const { return gridWalks_.load(); }
+  /// run issues exactly one instead of one per query.  (Shim over the
+  /// "engine.grid_walks" registry counter.)
+  std::uint64_t gridWalks() const { return cGridWalks_->value(); }
 
   const EngineConfig& config() const { return config_; }
   TraceStore& traceStore() { return store_; }
 
+  /// The engine's metrics registry — every counter and phase accumulator
+  /// this engine records into.  Counters are cumulative over the engine's
+  /// lifetime; per-run views come from report() snapshots + deltaSince.
+  obs::MetricsRegistry& metrics() const { return metrics_; }
+  /// Per-worker pool utilization collected by this engine's grid walks.
+  const obs::WorkerUtil& workerUtil() const { return util_; }
+  /// Cumulative snapshot of everything observed so far: registry counters
+  /// and phases, worker utilization, and the trace store's hit/miss/entry
+  /// counts (exported as "trace_store.{hits,misses,entries}" counters).
+  obs::RunReport report() const;
+
  private:
   /// Tiled parallel walk over the grid; cell(q, i, worker) is invoked
   /// exactly once per cell, worker ids are dense in [0, resolvedThreads()).
+  /// The walk's wall time is recorded into `phase` (pass nullptr to skip);
+  /// tiles/cells counters tick once per TILE, never per cell, so the
+  /// accounting stays off the per-cell hot path.
   void runGrid(std::size_t numStates, std::size_t numInputs,
+               obs::PhaseAccum* phase,
                const std::function<void(std::size_t, std::size_t, int)>& cell)
       const;
 
@@ -186,8 +204,23 @@ class ExperimentEngine {
 
   EngineConfig config_;
   TraceStore store_;
-  mutable std::atomic<std::uint64_t> matrixBuilds_{0};
-  mutable std::atomic<std::uint64_t> gridWalks_{0};
+
+  // Observability.  One registry per engine; the hot paths never touch the
+  // registry map — the counters and phase accumulators they hit are
+  // resolved once here (get-or-create returns stable addresses) and cached
+  // as plain pointers.  mutable: recording statistics does not make a
+  // const computation less const.
+  mutable obs::MetricsRegistry metrics_;
+  mutable obs::WorkerUtil util_;
+  obs::Counter* cMatrixBuilds_;
+  obs::Counter* cGridWalks_;
+  obs::Counter* cTiles_;
+  obs::Counter* cCells_;
+  obs::PhaseAccum* pResolve_;
+  obs::PhaseAccum* pReplayPacked_;
+  obs::PhaseAccum* pReplayInterp_;
+  obs::PhaseAccum* pReplayBatched_;
+  obs::PhaseAccum* pMerge_;
 };
 
 }  // namespace pred::exp

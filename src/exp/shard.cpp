@@ -1,6 +1,7 @@
 #include "exp/shard.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <sstream>
 #include <stdexcept>
@@ -253,14 +254,39 @@ std::vector<ShardSpec> planShards(const ShardSpec& whole, std::size_t count) {
   return out;
 }
 
+std::string shardLabel(const ShardSpec& spec) {
+  return "q[" + std::to_string(spec.qBegin) + "," +
+         std::to_string(spec.qEnd) + ")xi[" + std::to_string(spec.iBegin) +
+         "," + std::to_string(spec.iEnd) + ")";
+}
+
 core::StreamingMeasures evaluateShard(const ShardSpec& spec,
                                       const isa::Program& program,
                                       const std::vector<isa::Input>& inputs,
-                                      const PlatformRegistry& platforms) {
+                                      const PlatformRegistry& platforms,
+                                      obs::RunReport* report) {
   const auto model = platforms.make(spec.platform, program, spec.options);
   ExperimentEngine engine(spec.engine);
-  return engine.reduceCellsRange(*model, program, inputs, spec.qBegin,
-                                 spec.qEnd, spec.iBegin, spec.iEnd);
+  const auto start = std::chrono::steady_clock::now();
+  auto acc = engine.reduceCellsRange(*model, program, inputs, spec.qBegin,
+                                     spec.qEnd, spec.iBegin, spec.iEnd);
+  if (report != nullptr) {
+    const auto wall = std::chrono::steady_clock::now() - start;
+    // The engine is fresh, so its cumulative snapshot IS this shard's run.
+    *report = engine.report();
+    report->platform = spec.platform;
+    report->workload = spec.workload;
+    report->wallNs = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(wall).count());
+    obs::ShardStat self;
+    self.label = shardLabel(spec);
+    self.wallNs = report->wallNs;
+    self.cells = (spec.qEnd - spec.qBegin) * (spec.iEnd - spec.iBegin);
+    self.traceHits = engine.traceStore().hits();
+    self.traceMisses = engine.traceStore().misses();
+    report->shards.assign(1, std::move(self));
+  }
+  return acc;
 }
 
 }  // namespace pred::exp

@@ -28,6 +28,7 @@
 #include "exp/engine.h"
 #include "exp/platform.h"
 #include "isa/program.h"
+#include "obs/run_report.h"
 
 namespace pred::exp {
 
@@ -67,15 +68,27 @@ ShardSpec parseShardSpec(const std::string& text);
 /// std::invalid_argument if `whole` has an empty range.
 std::vector<ShardSpec> planShards(const ShardSpec& whole, std::size_t count);
 
+/// Compact single-token label of a spec's rectangle, e.g. "q[0,16)xi[0,64)"
+/// — the shard identity RunReports and fleet summaries carry.
+std::string shardLabel(const ShardSpec& spec);
+
 /// Evaluates one shard against the already-resolved workload: instantiates
 /// spec.platform for `program` via `platforms`, builds an ExperimentEngine
 /// from spec.engine, and folds exactly the spec's cells into a full-shape
 /// accumulator (ExperimentEngine::reduceCellsRange).  Throws
 /// std::invalid_argument on unknown platform names or ranges outside the
 /// instantiated model's grid.
+///
+/// When `report` is non-null it is overwritten with this shard's telemetry:
+/// the fresh engine's counters/phases/worker utilization, platform/workload
+/// context, the shard's wall time, and one self ShardStat (shardLabel,
+/// cells, trace-cache hits/misses) — the unit mergeFleet folds.  Filling it
+/// costs two clock reads plus a snapshot; the accumulator is bit-identical
+/// either way.
 core::StreamingMeasures evaluateShard(
     const ShardSpec& spec, const isa::Program& program,
     const std::vector<isa::Input>& inputs,
-    const PlatformRegistry& platforms = PlatformRegistry::instance());
+    const PlatformRegistry& platforms = PlatformRegistry::instance(),
+    obs::RunReport* report = nullptr);
 
 }  // namespace pred::exp

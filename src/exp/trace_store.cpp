@@ -59,7 +59,7 @@ TraceStore::Entry& TraceStore::entryFor(const isa::Program& program,
     std::lock_guard<std::mutex> lock(bucket.mu);
     auto it = bucket.entries.find(key);
     if (it != bucket.entries.end()) {
-      hits_.fetch_add(1);
+      hits_.add();
       return *it->second;
     }
   }
@@ -75,7 +75,7 @@ TraceStore::Entry& TraceStore::entryFor(const isa::Program& program,
   std::lock_guard<std::mutex> lock(bucket.mu);
   auto [it, inserted] = bucket.entries.try_emplace(key, std::move(entry));
   // A lost race counts as a hit: the store already had the trace.
-  (inserted ? misses_ : hits_).fetch_add(1);
+  (inserted ? misses_ : hits_).add();
   return *it->second;
 }
 
@@ -93,7 +93,7 @@ TraceStore::EntryRef TraceStore::entryRefFor(const isa::Program& program,
     std::lock_guard<std::mutex> lock(bucket.mu);
     auto it = bucket.entries.find(key);
     if (it != bucket.entries.end()) {
-      hits_.fetch_add(1);
+      hits_.add();
       entry = it->second.get();
       if (entry->compiled) {
         // The steady-state path: one hash, one lock, both forms.
@@ -115,7 +115,7 @@ TraceStore::EntryRef TraceStore::entryRefFor(const isa::Program& program,
         std::make_unique<ReplayProgram>(compileTrace(fresh->trace));
     std::lock_guard<std::mutex> lock(bucket.mu);
     auto [it, inserted] = bucket.entries.try_emplace(key, std::move(fresh));
-    (inserted ? misses_ : hits_).fetch_add(1);
+    (inserted ? misses_ : hits_).add();
     entry = it->second.get();
     if (entry->compiled) {
       return EntryRef{&entry->trace, entry->compiled.get()};
@@ -156,8 +156,8 @@ void TraceStore::clear() {
     std::lock_guard<std::mutex> lock(bucket.mu);
     bucket.entries.clear();
   }
-  hits_.store(0);
-  misses_.store(0);
+  hits_.reset();
+  misses_.reset();
 }
 
 }  // namespace pred::exp

@@ -20,7 +20,6 @@
 // filling the store does not serialize on one mutex.
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -29,6 +28,7 @@
 #include <vector>
 
 #include "exp/replay.h"
+#include "obs/metrics.h"
 #include "isa/exec.h"
 #include "isa/machine.h"
 #include "isa/program.h"
@@ -68,9 +68,18 @@ class TraceStore {
       const isa::Program& program, const std::vector<isa::Input>& inputs);
 
   std::size_t size() const;
-  std::uint64_t hits() const { return hits_.load(); }
-  std::uint64_t misses() const { return misses_.load(); }
+  /// Lookup statistics, exact once concurrent fillers are joined (the
+  /// counters are relaxed obs::Counters — see the memory-order contract in
+  /// obs/metrics.h; hit/miss attribution is per LOOKUP, so entryRefFor's
+  /// single combined lookup counts once however the entry path resolves).
+  /// Note the split is deterministic only for serial filling: when two
+  /// workers race to miss on the same key, the loser's lookup counts as a
+  /// hit (the store already had the trace by the time it inserted).
+  std::uint64_t hits() const { return hits_.value(); }
+  std::uint64_t misses() const { return misses_.value(); }
 
+  /// Drops every entry AND resets the hit/miss counters — a cleared store
+  /// reports like a fresh one.
   void clear();
 
  private:
@@ -91,8 +100,8 @@ class TraceStore {
                   const std::string& key);
 
   std::array<Bucket, kNumBuckets> buckets_;
-  std::atomic<std::uint64_t> hits_{0};
-  std::atomic<std::uint64_t> misses_{0};
+  obs::Counter hits_;
+  obs::Counter misses_;
 };
 
 }  // namespace pred::exp

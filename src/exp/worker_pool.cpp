@@ -1,6 +1,8 @@
 #include "exp/worker_pool.h"
 
 #include <algorithm>
+
+#include "obs/span.h"
 #include <atomic>
 #include <condition_variable>
 #include <exception>
@@ -13,6 +15,7 @@ namespace pred::exp {
 struct WorkerPool::Job {
   std::size_t numItems = 0;
   const Task* task = nullptr;
+  obs::WorkerUtil* util = nullptr;  ///< optional per-worker utilization sink
   std::atomic<std::size_t> cursor{0};
   std::atomic<bool> failed{false};
   std::exception_ptr error;
@@ -47,11 +50,13 @@ namespace {
 /// Pulls items off the job's cursor until it drains or a worker failed.
 void participateImpl(WorkerPool::Job& job, int worker,
                      const WorkerPool::Task& task) {
+  obs::WorkerTimer timer(job.util, worker);
   for (std::size_t k = job.cursor.fetch_add(1);
        k < job.numItems && !job.failed.load(std::memory_order_relaxed);
        k = job.cursor.fetch_add(1)) {
     try {
       task(k, worker);
+      timer.addItem();
     } catch (...) {
       std::lock_guard<std::mutex> lock(job.errorMu);
       if (!job.error) job.error = std::current_exception();
@@ -110,17 +115,23 @@ WorkerPool& WorkerPool::shared() {
   return pool;
 }
 
-void WorkerPool::run(std::size_t numItems, int maxWorkers, const Task& task) {
+void WorkerPool::run(std::size_t numItems, int maxWorkers, const Task& task,
+                     obs::WorkerUtil* util) {
   if (numItems == 0) return;
   const int extra = std::min(maxWorkers - 1, backgroundThreads());
   if (extra <= 0 || numItems == 1) {
-    for (std::size_t k = 0; k < numItems; ++k) task(k, 0);
+    obs::WorkerTimer timer(util, 0);
+    for (std::size_t k = 0; k < numItems; ++k) {
+      task(k, 0);
+      timer.addItem();
+    }
     return;
   }
 
   Job job;
   job.numItems = numItems;
   job.task = &task;
+  job.util = util;
   // The caller drains items too, so at most numItems-1 helpers are useful.
   job.slots = static_cast<int>(std::min<std::size_t>(
       static_cast<std::size_t>(extra), numItems - 1));

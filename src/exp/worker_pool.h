@@ -20,6 +20,8 @@
 #include <cstddef>
 #include <functional>
 
+#include "obs/metrics.h"
+
 namespace pred::exp {
 
 class WorkerPool {
@@ -44,7 +46,15 @@ class WorkerPool {
   /// started item finished; the first exception thrown by any worker is
   /// rethrown here (remaining items are skipped, as with the per-call
   /// thread spawn this replaces).  maxWorkers <= 1 runs inline.
-  void run(std::size_t numItems, int maxWorkers, const Task& task);
+  ///
+  /// When `util` is given, each worker's participation (busy wall time and
+  /// items drained, by dense worker id) is recorded into it — the
+  /// per-worker utilization the engine's RunReport carries.  The recording
+  /// is a scoped timer per participation, not per item, so it costs two
+  /// clock reads per joining worker; under PRED_OBS_DISABLED it compiles
+  /// away entirely.  Scheduling and results are unaffected.
+  void run(std::size_t numItems, int maxWorkers, const Task& task,
+           obs::WorkerUtil* util = nullptr);
 
   struct Job;  // implementation detail (opaque; defined in worker_pool.cpp)
 

@@ -1,0 +1,63 @@
+#include "obs/metrics.h"
+
+#include <stdexcept>
+
+namespace pred::obs {
+
+namespace {
+
+void checkMetricName(const std::string& name) {
+  if (name.empty()) {
+    throw std::invalid_argument("metric name must not be empty");
+  }
+  for (const char c : name) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+      throw std::invalid_argument("metric name '" + name +
+                                  "' contains whitespace and cannot be "
+                                  "serialized");
+    }
+  }
+}
+
+}  // namespace
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  checkMetricName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+PhaseAccum& MetricsRegistry::phase(const std::string& name) {
+  checkMetricName(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = phases_[name];
+  if (!slot) slot = std::make_unique<PhaseAccum>();
+  return *slot;
+}
+
+std::map<std::string, std::uint64_t> MetricsRegistry::counterValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, std::uint64_t> out;
+  for (const auto& [name, c] : counters_) out[name] = c->value();
+  return out;
+}
+
+std::map<std::string, MetricsRegistry::PhaseValue>
+MetricsRegistry::phaseValues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, PhaseValue> out;
+  for (const auto& [name, p] : phases_) {
+    out[name] = PhaseValue{p->count(), p->totalNs(), p->maxNs()};
+  }
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, p] : phases_) p->reset();
+}
+
+}  // namespace pred::obs

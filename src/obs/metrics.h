@@ -1,0 +1,178 @@
+#pragma once
+// metrics.h — Named, lock-free run metrics for the experiment engine.
+//
+// PRs 1–5 grew ad-hoc atomic counters wherever a question came up
+// (ExperimentEngine::matrixBuilds_/gridWalks_, TraceStore::hits_/misses_):
+// each with its own accessor, its own memory-order choice, and no way to
+// enumerate or serialize them.  The MetricsRegistry replaces that pattern
+// with one substrate: named Counters and PhaseAccums created once (under a
+// mutex) and then updated lock-free with relaxed atomics on the hot path.
+// A snapshot of the whole registry becomes a RunReport (obs/run_report.h),
+// so every run can explain its own cost.
+//
+// Memory-order contract: all updates are std::memory_order_relaxed.  The
+// counters are statistics, not synchronization — every reader that needs
+// exact totals (engine accessors, report snapshots) runs after the worker
+// pool's run() barrier, whose internal mutex/condvar already publishes the
+// workers' writes.  Relaxed increments keep the hot path to a single
+// uncontended RMW, the cheapest thing an always-on counter can be; the
+// previous ad-hoc counters paid seq_cst for no added guarantee.
+//
+// What compiles out under PRED_OBS_DISABLED is the TIMING instrumentation
+// (obs/span.h: Span/PhaseTimer/WorkerTimer — the clock reads).  Counters
+// stay functional in every build: they are load-bearing engine statistics
+// (tests assert matrixBuilds()==0 on the streaming path, trace-store
+// hit/miss totals, one grid walk per batch) and a relaxed add is too cheap
+// to be worth a second build mode.
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pred::obs {
+
+/// A monotonically increasing named statistic.  add() is wait-free; value()
+/// is exact once the writers have been joined (see the header contract).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Aggregated scoped-timer observations of one engine phase: how many
+/// spans closed, their total wall nanoseconds, and the slowest one.  The
+/// histogram-shaped questions the bench trend asks ("where did the ns/cell
+/// go?") are shares of totalNs across phases.
+class PhaseAccum {
+ public:
+  void record(std::uint64_t ns) {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    totalNs_.fetch_add(ns, std::memory_order_relaxed);
+    std::uint64_t prev = maxNs_.load(std::memory_order_relaxed);
+    while (prev < ns && !maxNs_.compare_exchange_weak(
+                            prev, ns, std::memory_order_relaxed,
+                            std::memory_order_relaxed)) {
+    }
+  }
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t totalNs() const {
+    return totalNs_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t maxNs() const {
+    return maxNs_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    count_.store(0, std::memory_order_relaxed);
+    totalNs_.store(0, std::memory_order_relaxed);
+    maxNs_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> totalNs_{0};
+  std::atomic<std::uint64_t> maxNs_{0};
+};
+
+/// Per-worker utilization of one engine's pool passes: busy wall time,
+/// items drained, and participations, indexed by the dense worker ids the
+/// WorkerPool hands out.  Fixed-size after construction so recording is
+/// lock-free; moveable so the engine can size it once its thread count is
+/// resolved.
+class WorkerUtil {
+ public:
+  WorkerUtil() = default;
+  explicit WorkerUtil(int workers)
+      : n_(workers > 0 ? static_cast<std::size_t>(workers) : 0),
+        slots_(n_ ? std::make_unique<Slot[]>(n_) : nullptr) {}
+  WorkerUtil(WorkerUtil&&) = default;
+  WorkerUtil& operator=(WorkerUtil&&) = default;
+
+  std::size_t workers() const { return n_; }
+
+  /// One participation of `worker`: it stayed busy for `busyNs` and drained
+  /// `items` work items.  Out-of-range ids are dropped (a caller-side pool
+  /// may be wider than the engine sized for; losing a sample beats UB).
+  void record(int worker, std::uint64_t busyNs, std::uint64_t items) {
+    if (worker < 0 || static_cast<std::size_t>(worker) >= n_) return;
+    Slot& s = slots_[static_cast<std::size_t>(worker)];
+    s.busyNs.add(busyNs);
+    s.items.add(items);
+    s.participations.add(1);
+  }
+
+  std::uint64_t busyNs(std::size_t worker) const {
+    return slots_[worker].busyNs.value();
+  }
+  std::uint64_t items(std::size_t worker) const {
+    return slots_[worker].items.value();
+  }
+  std::uint64_t participations(std::size_t worker) const {
+    return slots_[worker].participations.value();
+  }
+
+  void reset() {
+    for (std::size_t w = 0; w < n_; ++w) {
+      slots_[w].busyNs.reset();
+      slots_[w].items.reset();
+      slots_[w].participations.reset();
+    }
+  }
+
+ private:
+  struct Slot {
+    Counter busyNs;
+    Counter items;
+    Counter participations;
+  };
+  std::size_t n_ = 0;
+  std::unique_ptr<Slot[]> slots_;
+};
+
+/// Named counters and phase accumulators with stable addresses.  Lookup
+/// (counter()/phase()) takes a mutex and is meant for setup paths; hot
+/// paths cache the returned reference and update it lock-free.  Names are
+/// dotted identifiers without whitespace ("engine.cells") — the RunReport
+/// wire format serializes them as single tokens.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Get-or-create; the returned reference stays valid for the registry's
+  /// lifetime.  Throws std::invalid_argument on names with whitespace.
+  Counter& counter(const std::string& name);
+  PhaseAccum& phase(const std::string& name);
+
+  /// Stable-order (name-sorted) snapshots for report assembly.
+  std::map<std::string, std::uint64_t> counterValues() const;
+  struct PhaseValue {
+    std::uint64_t count;
+    std::uint64_t totalNs;
+    std::uint64_t maxNs;
+  };
+  std::map<std::string, PhaseValue> phaseValues() const;
+
+  /// Zeroes every registered metric (entries stay registered).
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<PhaseAccum>> phases_;
+};
+
+}  // namespace pred::obs

@@ -1,0 +1,125 @@
+#pragma once
+// span.h — Scoped timers: the compile-out-able half of the observability
+// layer.
+//
+// A Span times one phase execution (construction to destruction) into a
+// PhaseAccum; a PhaseTimer is the by-name convenience over a registry; a
+// WorkerTimer times one worker-pool participation into a WorkerUtil.  All
+// three read std::chrono::steady_clock — the only per-use cost the
+// instrumentation adds — so all three compile away under PRED_OBS_DISABLED:
+// the disabled variants are empty, member-free types whose constructors
+// take (and ignore) the same arguments, and every use site optimizes to
+// nothing.  tests/obs_disabled_test.cpp builds against the disabled
+// variants and statically asserts they stay empty.
+//
+// The enabled and disabled variants live in DIFFERENT inline namespaces
+// (obs_on / obs_off), so a translation unit compiled with
+// PRED_OBS_DISABLED (the zero-overhead test) links cleanly next to the
+// normally-built library: the two Span types are distinct entities, not an
+// ODR violation.
+//
+// Counters (obs/metrics.h) deliberately do NOT compile out — see the
+// contract in metrics.h.
+
+#include <chrono>
+#include <cstdint>
+#include <type_traits>
+
+#include "obs/metrics.h"
+
+namespace pred::obs {
+
+#ifdef PRED_OBS_DISABLED
+
+inline namespace obs_off {
+
+/// Whether the timing instrumentation is compiled in for this TU.
+constexpr bool compiledIn() { return false; }
+
+struct Span {
+  explicit Span(PhaseAccum*) {}
+};
+
+struct PhaseTimer {
+  PhaseTimer(MetricsRegistry&, const std::string&) {}
+};
+
+struct WorkerTimer {
+  WorkerTimer(WorkerUtil*, int) {}
+  void addItem() {}
+};
+
+}  // namespace obs_off
+
+#else
+
+inline namespace obs_on {
+
+/// Whether the timing instrumentation is compiled in for this TU.
+constexpr bool compiledIn() { return true; }
+
+/// Times its own lifetime into `accum` (nullptr = disarmed no-op).
+class Span {
+ public:
+  explicit Span(PhaseAccum* accum)
+      : accum_(accum),
+        start_(accum ? std::chrono::steady_clock::now()
+                     : std::chrono::steady_clock::time_point{}) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (accum_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    accum_->record(static_cast<std::uint64_t>(ns));
+  }
+
+ private:
+  PhaseAccum* accum_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Span looked up by phase name — the cold-path convenience (the lookup
+/// takes the registry mutex; hot paths cache the PhaseAccum and use Span).
+class PhaseTimer {
+ public:
+  PhaseTimer(MetricsRegistry& registry, const std::string& name)
+      : span_(&registry.phase(name)) {}
+
+ private:
+  Span span_;
+};
+
+/// Times one worker-pool participation: busy wall time plus the items the
+/// worker drained, recorded into `util` (nullptr = disarmed).
+class WorkerTimer {
+ public:
+  WorkerTimer(WorkerUtil* util, int worker)
+      : util_(util),
+        worker_(worker),
+        start_(util ? std::chrono::steady_clock::now()
+                    : std::chrono::steady_clock::time_point{}) {}
+  WorkerTimer(const WorkerTimer&) = delete;
+  WorkerTimer& operator=(const WorkerTimer&) = delete;
+  void addItem() { ++items_; }
+  ~WorkerTimer() {
+    if (util_ == nullptr) return;
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now() - start_)
+                        .count();
+    util_->record(worker_, static_cast<std::uint64_t>(ns), items_);
+  }
+
+ private:
+  WorkerUtil* util_;
+  int worker_;
+  std::uint64_t items_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs_on
+
+#endif  // PRED_OBS_DISABLED
+
+}  // namespace pred::obs

@@ -20,6 +20,7 @@
 #include "core/definitions.h"
 #include "core/measures.h"
 #include "core/template.h"
+#include "obs/run_report.h"
 
 namespace pred::study {
 
@@ -59,6 +60,13 @@ struct Finding {
   /// The raw |Q| x |I| matrix; present only when the query asked to keep it
   /// (large sweeps drop it so grids don't hold |Q|x|I| cells per finding).
   std::optional<core::TimingMatrix> matrix;
+
+  /// Per-run observability: the engine's counter/phase/worker deltas over
+  /// exactly this evaluation (obs/run_report.h), attached by the query
+  /// layer; sharded runs carry one ShardStat per shard.  Deliberately NOT
+  /// rendered by StudyReport::table/csv/json — those formats are
+  /// golden-file-stable; use report->text() / report->json() directly.
+  std::optional<obs::RunReport> report;
 
   bool has(Measure m) const;
   /// The evaluated measure; throws std::logic_error if it was not requested.

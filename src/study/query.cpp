@@ -1,11 +1,14 @@
 #include "study/query.h"
 
 #include <algorithm>
+#include <cctype>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 #include "analysis/wcet_bounds.h"
 #include "isa/cfg.h"
+#include "obs/span.h"
 
 namespace pred::study {
 
@@ -28,6 +31,24 @@ std::vector<std::size_t> effectiveSubset(const std::vector<std::size_t>& sub,
     }
   }
   return sub;
+}
+
+/// RunReport labels are single wire tokens; registry names already are, but
+/// inline workload labels are free-form — map whitespace to '_'.
+std::string reportLabel(const std::string& s) {
+  if (s.empty()) return "-";
+  std::string out = s;
+  for (char& c : out) {
+    if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+  }
+  return out;
+}
+
+std::uint64_t elapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
 }
 
 }  // namespace
@@ -206,6 +227,23 @@ Finding Query::runOne(exp::ExperimentEngine& engine,
                       const WorkloadInstance& w,
                       const std::string& platformName,
                       const exp::PlatformOptions& options) const {
+  // Snapshot-delta: the engine's metrics are cumulative across its
+  // lifetime, so the per-run view is (after - before).
+  const obs::RunReport before = engine.report();
+  const auto start = std::chrono::steady_clock::now();
+  Finding f = evalOne(engine, w, platformName, options);
+  obs::RunReport delta = engine.report().deltaSince(before);
+  delta.wallNs = elapsedNs(start);
+  delta.platform = reportLabel(platformName);
+  delta.workload = reportLabel(spec_.workload);
+  f.report = std::move(delta);
+  return f;
+}
+
+Finding Query::evalOne(exp::ExperimentEngine& engine,
+                       const WorkloadInstance& w,
+                       const std::string& platformName,
+                       const exp::PlatformOptions& options) const {
   const auto model = platforms_->make(platformName, w.program, options);
 
   if (spec_.mode == core::EvalMode::Sampled) {
@@ -436,17 +474,43 @@ Finding Query::runSharded(exp::ExperimentEngine& engine,
   // In-process fan-out through the caller's engine, so every shard shares
   // the memoized trace store; the worker binary evaluates the same specs
   // with evaluateShard in separate processes.
+  const obs::RunReport before = engine.report();
+  const auto runStart = std::chrono::steady_clock::now();
   std::vector<core::StreamingMeasures> parts;
+  std::vector<obs::ShardStat> stats;
   parts.reserve(plan.size());
+  stats.reserve(plan.size());
   for (const auto& s : plan) {
+    // Per-shard attribution via store-counter deltas: shards sharing one
+    // store means later shards mostly hit what earlier ones computed.
+    const std::uint64_t h0 = engine.traceStore().hits();
+    const std::uint64_t m0 = engine.traceStore().misses();
+    const auto t0 = std::chrono::steady_clock::now();
     parts.push_back(engine.reduceCellsRange(*model, w.program, w.inputs,
                                             s.qBegin, s.qEnd, s.iBegin,
                                             s.iEnd));
+    obs::ShardStat st;
+    st.label = exp::shardLabel(s);
+    st.wallNs = elapsedNs(t0);
+    st.cells = (s.qEnd - s.qBegin) * (s.iEnd - s.iBegin);
+    st.traceHits = engine.traceStore().hits() - h0;
+    st.traceMisses = engine.traceStore().misses() - m0;
+    stats.push_back(std::move(st));
   }
-  const auto acc = exp::ExperimentEngine::mergeShards(std::move(parts));
-  return detail::streamingFinding(spec_.workload, spec_.platforms[0], *model,
-                                  w.inputs.size(), spec_.mode, measures_,
-                                  acc);
+  const auto acc = [&] {
+    obs::Span span(&engine.metrics().phase("shard.merge"));
+    return exp::ExperimentEngine::mergeShards(std::move(parts));
+  }();
+  Finding f = detail::streamingFinding(spec_.workload, spec_.platforms[0],
+                                       *model, w.inputs.size(), spec_.mode,
+                                       measures_, acc);
+  obs::RunReport delta = engine.report().deltaSince(before);
+  delta.wallNs = elapsedNs(runStart);
+  delta.platform = reportLabel(spec_.platforms[0]);
+  delta.workload = reportLabel(spec_.workload);
+  delta.shards = std::move(stats);
+  f.report = std::move(delta);
+  return f;
 }
 
 Query compile(const core::QuerySpec& spec, const WorkloadRegistry& workloads,

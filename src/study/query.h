@@ -118,6 +118,12 @@ class Query {
   Finding runSharded(exp::ExperimentEngine& engine, std::size_t shards) const;
 
  private:
+  /// evalOne computes the Finding; runOne wraps it with the observability
+  /// snapshot (engine.report() before/after, attached as a per-run delta in
+  /// Finding::report alongside the measured wall time).
+  Finding evalOne(exp::ExperimentEngine& engine, const WorkloadInstance& w,
+                  const std::string& platform,
+                  const exp::PlatformOptions& options) const;
   Finding runOne(exp::ExperimentEngine& engine, const WorkloadInstance& w,
                  const std::string& platform,
                  const exp::PlatformOptions& options) const;

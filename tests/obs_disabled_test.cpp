@@ -1,0 +1,64 @@
+// obs_disabled_test.cpp — the PRED_OBS_DISABLED contract.  This translation
+// unit is compiled with the macro defined (see CMakeLists.txt), selecting
+// the obs_off inline namespace: Span/PhaseTimer/WorkerTimer become empty
+// no-op types with zero state and no clock reads, while counters and the
+// registry stay fully functional (tests and the engine's accessor shims
+// depend on counter VALUES, only the timing instrumentation compiles out).
+#ifndef PRED_OBS_DISABLED
+#error "this test must be built with PRED_OBS_DISABLED (see CMakeLists.txt)"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "obs/span.h"
+
+namespace pred {
+namespace {
+
+// The zero-overhead claim, enforced at compile time: disabled timers carry
+// no members, so the optimizer erases them entirely.
+static_assert(!obs::compiledIn());
+static_assert(std::is_empty_v<obs::Span>);
+static_assert(std::is_empty_v<obs::PhaseTimer>);
+static_assert(std::is_empty_v<obs::WorkerTimer>);
+
+TEST(ObsDisabled, TimersAreInertAgainstLiveMetrics) {
+  obs::MetricsRegistry reg;
+  obs::PhaseAccum& p = reg.phase("resolve");
+  obs::WorkerUtil util(2);
+  {
+    obs::Span span(&p);
+    obs::Span disarmed(nullptr);
+    obs::PhaseTimer timer(reg, "resolve");
+    obs::WorkerTimer wt(&util, 0);
+    wt.addItem();
+    wt.addItem();
+  }
+  // Nothing recorded: no spans, no busy time, no items.
+  EXPECT_EQ(p.count(), 0u);
+  EXPECT_EQ(p.totalNs(), 0u);
+  EXPECT_EQ(util.busyNs(0), 0u);
+  EXPECT_EQ(util.items(0), 0u);
+  EXPECT_EQ(util.participations(0), 0u);
+}
+
+TEST(ObsDisabled, CountersAndReportsStayFunctional) {
+  obs::MetricsRegistry reg;
+  reg.counter("engine.cells").add(4096);
+  reg.phase("resolve");  // present but never timed
+  obs::WorkerUtil util(1);
+
+  const obs::RunReport r = obs::snapshotReport(reg, util);
+  EXPECT_EQ(r.counter("engine.cells"), 4096u);
+  // Idle phases are dropped by a delta but kept by a raw snapshot; either
+  // way the wire format round-trips unchanged.
+  EXPECT_EQ(obs::RunReport::deserialize(r.serialize()).serialize(),
+            r.serialize());
+}
+
+}  // namespace
+}  // namespace pred

@@ -1,15 +1,17 @@
 // shard_worker.cpp — pred-shard-worker: the process-level grid shard
 // executor (exp/shard.h made invocable).
 //
-// One binary, four subcommands, composing into the distribution pipeline
+// One binary, five subcommands, composing into the distribution pipeline
 // that scripts/shard_run.sh drives end to end:
 //
 //   plan    instantiate a (platform, workload) grid, partition it into K
 //           rectangular shards, write one ShardSpec file per shard
 //   run     evaluate ONE spec (file or stdin) and emit the shard's
-//           StreamingMeasures accumulator as text on stdout (or --out)
+//           StreamingMeasures accumulator as text on stdout (or --out);
+//           --report writes the shard's RunReport telemetry alongside
 //   merge   fold shard accumulators back into one (order-independent;
 //           smallest-index tie-breaks) and emit the merged accumulator
+//   report  fold per-shard RunReports into the fleet telemetry view
 //   single  the reference: the same grid through one in-process
 //           reduceCells, emitted in the same format
 //
@@ -31,6 +33,7 @@
 #include "exp/engine.h"
 #include "exp/platform.h"
 #include "exp/shard.h"
+#include "obs/run_report.h"
 #include "study/workloads.h"
 
 namespace {
@@ -48,12 +51,20 @@ int usage() {
       "      partition the full P x W grid into K shard spec files\n"
       "      (DIR/shard-<k>.spec); prints one file path per line\n"
       "\n"
-      "  pred-shard-worker run SPECFILE|- [--out FILE]\n"
+      "  pred-shard-worker run SPECFILE|- [--out FILE] [--report FILE]\n"
       "      evaluate one shard spec ('-' reads the spec from stdin) and\n"
-      "      emit its StreamingMeasures accumulator\n"
+      "      emit its StreamingMeasures accumulator; --report additionally\n"
+      "      writes the shard's RunReport telemetry (wall time, counters,\n"
+      "      phase timings, trace-cache stats) next to it — the accumulator\n"
+      "      output is byte-identical either way\n"
       "\n"
       "  pred-shard-worker merge FILE...\n"
       "      merge shard accumulators (any order) into one\n"
+      "\n"
+      "  pred-shard-worker report FILE... [--json]\n"
+      "      fold per-shard RunReports (from run --report) into the fleet\n"
+      "      view — per-shard wall/cells/hit-rate rows, slowest shard, wall\n"
+      "      skew — as human text (default) or JSON\n"
       "\n"
       "  pred-shard-worker single --platform P --workload W [--states N]\n"
       "                           [--threads T] [--interpreted]\n"
@@ -186,6 +197,7 @@ int cmdPlan(const std::vector<std::string>& args) {
 int cmdRun(const std::vector<std::string>& args) {
   if (args.empty()) throw std::invalid_argument("run needs a spec file");
   std::string outPath;
+  std::string reportPath;
   const std::string& specPath = args[0];
   for (std::size_t k = 1; k < args.size(); ++k) {
     if (args[k] == "--out") {
@@ -193,14 +205,50 @@ int cmdRun(const std::vector<std::string>& args) {
         throw std::invalid_argument("--out needs a value");
       }
       outPath = args[++k];
+    } else if (args[k] == "--report") {
+      if (k + 1 >= args.size()) {
+        throw std::invalid_argument("--report needs a value");
+      }
+      reportPath = args[++k];
     } else {
       throw std::invalid_argument("unknown flag: " + args[k]);
     }
   }
   const auto spec = exp::parseShardSpec(readSpecInput(specPath));
   const auto w = study::WorkloadRegistry::instance().make(spec.workload);
-  const auto acc = exp::evaluateShard(spec, w.program, w.inputs);
+  obs::RunReport report;
+  const auto acc = exp::evaluateShard(
+      spec, w.program, w.inputs, exp::PlatformRegistry::instance(),
+      reportPath.empty() ? nullptr : &report);
+  // Accumulator first: the smoke's byte-identity diff must not depend on
+  // whether telemetry was requested.
   writeOutput(outPath, acc.serialize());
+  if (!reportPath.empty()) {
+    std::ofstream f(reportPath);
+    if (!(f << report.serialize()) || !(f.flush())) {
+      throw std::runtime_error("cannot write report file: " + reportPath);
+    }
+  }
+  return 0;
+}
+
+int cmdReport(const std::vector<std::string>& args) {
+  bool json = false;
+  std::vector<obs::RunReport> parts;
+  for (const auto& a : args) {
+    if (a == "--json") {
+      json = true;
+      continue;
+    }
+    std::ifstream f(a);
+    if (!f) throw std::invalid_argument("cannot open report file: " + a);
+    parts.push_back(obs::RunReport::deserialize(readWholeStream(f)));
+  }
+  if (parts.empty()) {
+    throw std::invalid_argument("report needs at least one report file");
+  }
+  const auto fleet = obs::mergeFleet(parts);
+  std::fputs((json ? fleet.json() + "\n" : fleet.text()).c_str(), stdout);
   return 0;
 }
 
@@ -248,6 +296,7 @@ int main(int argc, char** argv) {
     if (cmd == "plan") return cmdPlan(args);
     if (cmd == "run") return cmdRun(args);
     if (cmd == "merge") return cmdMerge(args);
+    if (cmd == "report") return cmdReport(args);
     if (cmd == "single") return cmdSingle(args);
     return usage();
   } catch (const std::exception& e) {
