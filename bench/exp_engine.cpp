@@ -21,8 +21,12 @@
 #include "core/definitions.h"
 #include "exp/engine.h"
 #include "exp/platform.h"
+#include "exp/shard.h"
+#include "grid/scheduler.h"
 #include "obs/span.h"
+#include "study/distributed.h"
 #include "study/scenario.h"
+#include "study/workloads.h"
 #include "isa/ast.h"
 #include "isa/workloads.h"
 
@@ -195,6 +199,78 @@ GridReport perfGridFor(const std::string& platform,
   return GridReport{identical, obj.str()};
 }
 
+/// Sharded-throughput grid: the work-stealing scheduler (src/grid/) runs
+/// an 8-shard 64 x 64 grid at K ∈ {1, 2, 4, 8} stealing workers through
+/// the registry-resolving evaluator — the same fan-out an in-process
+/// pred-grid-server performs per job.  Reported as cells/sec so the JSON
+/// trend records scheduler + per-shard-engine overhead (every shard
+/// resolves its own traces, the honest distributed cost); each K's merged
+/// bytes are asserted identical to a single-process reduceCells.  On a
+/// 1-core container the K curve is flat — the gate is a throughput FLOOR,
+/// not a scaling claim.
+std::string shardedThroughputGrid(bool* identical) {
+  constexpr int kStates = 64;
+  constexpr std::size_t kShards = 8;
+  const std::string platform = "inorder-lru";
+  const std::string workload = "linearsearch-16x64";
+  bench::printHeader("Grid scheduler: sharded throughput",
+                     "8-shard 64 x 64 grid at K work-stealing workers");
+
+  const auto w = study::WorkloadRegistry::instance().make(workload);
+  exp::ShardSpec whole;
+  whole.platform = platform;
+  whole.workload = workload;
+  whole.options.numStates = kStates;
+  // One thread per shard engine: the scheduler's workers are the
+  // parallelism axis here; nesting pools would just oversubscribe.
+  whole.engine.threads = 1;
+  const auto model =
+      exp::PlatformRegistry::instance().make(platform, w.program,
+                                             whole.options);
+  whole.qEnd = model->numStates();
+  whole.iEnd = w.inputs.size();
+  const double cells =
+      static_cast<double>(whole.qEnd) * static_cast<double>(whole.iEnd);
+
+  exp::ExperimentEngine ref(exp::EngineConfig{1});
+  const std::string refBytes =
+      ref.reduceCells(*model, w.program, w.inputs).serialize();
+
+  const auto eval = study::gridShardEvaluator();
+  const auto plan = exp::planShards(whole, kShards);
+  bool allIdentical = true;
+  bench::JsonObject perK;
+  char buf[64];
+  for (const int k : {1, 2, 4, 8}) {
+    grid::SchedulerConfig cfg;
+    cfg.workers = k;
+    grid::WorkStealingScheduler sched(cfg);
+    std::string merged;
+    const double ns =
+        bestOfNs(2, [&] { merged = sched.run(plan, eval).merged.serialize(); });
+    allIdentical = allIdentical && merged == refBytes;
+    const double cellsPerSec = cells * 1e9 / ns;
+    std::snprintf(buf, sizeof buf, "%.0f", cellsPerSec);
+    bench::printKV("K=" + std::to_string(k) + " workers, cells/sec", buf);
+    perK.field("k" + std::to_string(k), cellsPerSec);
+  }
+  bench::printKV("merged == single-process (bit-identical, all K)",
+                 allIdentical ? "yes" : "NO (BUG)");
+
+  bench::JsonObject obj;
+  bench::JsonObject gridShape;
+  gridShape.field("states", kStates)
+      .field("inputs", static_cast<int>(whole.iEnd))
+      .field("shards", static_cast<int>(kShards));
+  obj.field("workload", workload)
+      .field("platform", platform)
+      .rawField("grid", gridShape.str())
+      .rawField("bit_identical", allIdentical ? "true" : "false")
+      .rawField("cells_per_sec", perK.str());
+  *identical = allIdentical;
+  return obj.str();
+}
+
 /// The acceptance grids of the replay-kernel layer — the additive in-order
 /// fast path AND the cycle-accurate OOO kernel path — recorded in one
 /// BENCH_exhaustive.json that scripts/bench_run.sh gates per grid.
@@ -210,6 +286,8 @@ void perfGrid(const char* argv0) {
       perfGridFor("inorder-lru", exp::PlatformOptions{}.dataGeom, reps);
   const auto ooo =
       perfGridFor("ooo-fifo", cache::CacheGeometry{4, 64, 4}, reps);
+  bool shardedIdentical = false;
+  const std::string sharded = shardedThroughputGrid(&shardedIdentical);
 
   // Default the artifact NEXT TO THE BINARY (the build directory), not the
   // cwd: smoke runs launched from the repo root used to litter it with
@@ -233,8 +311,11 @@ void perfGrid(const char* argv0) {
       .field("threads", exp::ExperimentEngine().resolvedThreads())
       .rawField("metrics_enabled", obs::compiledIn() ? "true" : "false")
       .rawField("bit_identical",
-                inorder.identical && ooo.identical ? "true" : "false")
-      .rawField("grids", grids.str());
+                inorder.identical && ooo.identical && shardedIdentical
+                    ? "true"
+                    : "false")
+      .rawField("grids", grids.str())
+      .rawField("sharded", sharded);
   if (bench::writeTextFile(path, root.str())) {
     bench::printKV("json artifact", path);
   }

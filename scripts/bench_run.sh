@@ -15,7 +15,12 @@
 #             * a grid's packed ns/cell exceeds PERF_SMOKE_FACTOR (default
 #               2.0) x that grid's entry in bench/perf_baseline.json, or
 #             * a grid's packed-vs-interpreted speedup falls below
-#               PERF_MIN_SPEEDUP (default 3.0).
+#               PERF_MIN_SPEEDUP (default 3.0), or
+#             * the sharded-throughput grid (the grid scheduler at
+#               K in {1,2,4,8} stealing workers) is missing, not
+#               bit-identical to the single-process run, or any K's
+#               cells/sec falls below sharded.min_cells_per_sec /
+#               PERF_SMOKE_FACTOR.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -83,6 +88,25 @@ for name, base in baseline["grids"].items():
         print(f"FAIL: {name}: packed replay no longer meaningfully beats "
               "the interpreted path")
         failed = True
+
+sharded = measured.get("sharded")
+if sharded is None:
+    print("FAIL: sharded-throughput grid missing from the bench JSON")
+    failed = True
+else:
+    if not sharded.get("bit_identical", False):
+        print("FAIL: sharded: merged accumulator differs from the "
+              "single-process run")
+        failed = True
+    floor = baseline["sharded"]["min_cells_per_sec"] / factor
+    for k, cps in sorted(sharded["cells_per_sec"].items()):
+        print(f"sharded {k}: {cps:.0f} cells/sec (floor {floor:.0f} = "
+              f"{baseline['sharded']['min_cells_per_sec']} baseline / "
+              f"{factor})")
+        if cps < floor:
+            print(f"FAIL: sharded {k}: scheduler throughput fell below "
+                  "the baseline floor")
+            failed = True
 
 sys.exit(1 if failed else 0)
 PY

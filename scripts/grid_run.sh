@@ -1,0 +1,156 @@
+#!/usr/bin/env sh
+# grid_run.sh — end-to-end smoke of the grid service: pred-grid-server +
+# subprocess workers + pred-grid-client, under fault injection.
+#
+# What it proves (the CI grid-smoke job and the grid_subprocess_smoke
+# ctest):
+#   1. a job submitted through the daemon comes back BYTE-FOR-BYTE
+#      identical to the single-process `pred-shard-worker single` run —
+#      while worker slot 0 deterministically dies mid-run
+#      (--fault-first-worker-exit-after 1) and is retried/respawned;
+#   2. a second, uncached submission survives a `kill -9` of a live
+#      worker process and is still byte-identical;
+#   3. a third submission is served from the content-addressed result
+#      cache (cache-hit 1; grid.cache.hits >= 1 in server stats) with
+#      identical bytes.
+#
+# Usage:  scripts/grid_run.sh [--smoke] [-k shards] [-p platform]
+#                             [-w workload] [-s states] [-n workers]
+#                             [build-dir]
+# Defaults: 8-way shards of the inorder-lru 64 x 64 grid on 4 workers,
+# build-dir=build.  (--smoke is accepted for symmetry with shard_run.sh;
+# the checks always run.)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+SHARDS=8
+PLATFORM=inorder-lru
+WORKLOAD=linearsearch-16x64
+STATES=64
+WORKERS=4
+BUILD_DIR=build
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --smoke) ;;
+    -k) SHARDS="$2"; shift ;;
+    -p) PLATFORM="$2"; shift ;;
+    -w) WORKLOAD="$2"; shift ;;
+    -s) STATES="$2"; shift ;;
+    -n) WORKERS="$2"; shift ;;
+    *) BUILD_DIR="$1" ;;
+  esac
+  shift
+done
+
+SERVER="$BUILD_DIR/pred-grid-server"
+CLIENT="$BUILD_DIR/pred-grid-client"
+WORKER="$BUILD_DIR/pred-shard-worker"
+for bin in "$SERVER" "$CLIENT" "$WORKER"; do
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (cmake --build $BUILD_DIR)" >&2
+    exit 2
+  fi
+done
+
+TMP="$(mktemp -d)"
+SERVER_PID=
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+SOCK="$TMP/grid.sock"
+
+echo "== start: $WORKERS-worker grid server (slot 0 armed to die after 1 shard)" >&2
+"$SERVER" --listen "unix:$SOCK" --workers "$WORKERS" \
+    --worker-cmd "$WORKER" --fault-first-worker-exit-after 1 \
+    > "$TMP/server.out" 2> "$TMP/server.err" &
+SERVER_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ] || ! kill -0 "$SERVER_PID" 2>/dev/null; then
+    echo "error: server did not come up" >&2
+    cat "$TMP/server.err" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "== reference: single-process reduceCells" >&2
+"$WORKER" single --platform "$PLATFORM" --workload "$WORKLOAD" \
+    --states "$STATES" > "$TMP/single.txt"
+
+echo "== job 1: $SHARDS shards, deterministic worker death mid-run" >&2
+"$CLIENT" submit --connect "unix:$SOCK" --platform "$PLATFORM" \
+    --workload "$WORKLOAD" --states "$STATES" --shards "$SHARDS" \
+    > "$TMP/job1.txt" 2> "$TMP/job1.meta"
+if ! cmp "$TMP/job1.txt" "$TMP/single.txt"; then
+  echo "FAIL: distributed result differs from the single-process run" >&2
+  exit 1
+fi
+echo "OK: distributed result is byte-identical under deterministic worker death" >&2
+
+echo "== job 2: uncached rerun with a kill -9'd worker" >&2
+# A background killer nukes the first live `serve` worker it sees — the
+# scheduler must detect the death (EOF/EPIPE), requeue the orphaned shard,
+# respawn the slot, and still produce identical bytes.
+(
+  j=0
+  while [ "$j" -lt 250 ]; do
+    WPID="$(pgrep -P "$SERVER_PID" -f serve 2>/dev/null | head -n1 || true)"
+    if [ -n "$WPID" ]; then
+      kill -9 "$WPID" 2>/dev/null || true
+      echo "killed worker pid $WPID" >&2
+      exit 0
+    fi
+    j=$((j + 1))
+    sleep 0.02
+  done
+) &
+KILLER_PID=$!
+"$CLIENT" submit --connect "unix:$SOCK" --platform "$PLATFORM" \
+    --workload "$WORKLOAD" --states "$STATES" --shards "$SHARDS" \
+    --no-cache > "$TMP/job2.txt" 2> "$TMP/job2.meta"
+wait "$KILLER_PID" || true
+if ! cmp "$TMP/job2.txt" "$TMP/single.txt"; then
+  echo "FAIL: result differs after kill -9 fault injection" >&2
+  exit 1
+fi
+echo "OK: distributed result is byte-identical under kill -9" >&2
+
+echo "== job 3: cache hit" >&2
+"$CLIENT" submit --connect "unix:$SOCK" --platform "$PLATFORM" \
+    --workload "$WORKLOAD" --states "$STATES" --shards "$SHARDS" \
+    > "$TMP/job3.txt" 2> "$TMP/job3.meta"
+if ! grep -q '^cache-hit 1$' "$TMP/job3.meta"; then
+  echo "FAIL: third submission was not served from the result cache" >&2
+  cat "$TMP/job3.meta" >&2
+  exit 1
+fi
+if ! cmp "$TMP/job3.txt" "$TMP/single.txt"; then
+  echo "FAIL: cached result differs from the single-process run" >&2
+  exit 1
+fi
+echo "OK: repeat submission served from the result cache, bytes identical" >&2
+
+echo "== server stats" >&2
+"$CLIENT" stats --connect "unix:$SOCK" > "$TMP/stats.txt"
+cat "$TMP/stats.txt" >&2
+if ! grep -Eq 'grid\.cache\.hits *\| *[1-9]' "$TMP/stats.txt"; then
+  echo "FAIL: grid.cache.hits counter did not advance" >&2
+  exit 1
+fi
+if ! grep -Eq 'grid\.worker\.deaths *\| *[1-9]' "$TMP/stats.txt"; then
+  echo "FAIL: grid.worker.deaths counter did not advance" >&2
+  exit 1
+fi
+
+"$CLIENT" shutdown --connect "unix:$SOCK"
+wait "$SERVER_PID"
+SERVER_PID=
+echo "OK: grid service smoke passed" >&2
+cat "$TMP/job1.txt"

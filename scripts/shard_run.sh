@@ -71,14 +71,30 @@ done < "$TMP/specs.txt"
 FAILED=0
 while read -r pid spec; do
   if ! wait "$pid"; then
-    FAILED=1
-    echo "error: shard worker for $(basename "$spec") failed (spec: $spec)" >&2
+    # Fault tolerance: retry the failed shard ONCE, synchronously, before
+    # giving up — a transient failure (OOM kill, spurious signal) should
+    # cost one re-run, not the whole fan-out.  Shard evaluation is
+    # deterministic, so a retried shard's accumulator is byte-identical to
+    # what the first attempt would have produced.
+    echo "warn: shard worker for $(basename "$spec") failed; retrying once" >&2
     if [ -s "$spec.stderr" ]; then
-      echo "---- $(basename "$spec") worker stderr ----" >&2
+      echo "---- $(basename "$spec") first-attempt stderr ----" >&2
       cat "$spec.stderr" >&2
-      echo "---- end worker stderr ----" >&2
+      echo "---- end first-attempt stderr ----" >&2
+    fi
+    if "$WORKER" run "$spec" --out "$spec.out" --report "$spec.report" \
+        2> "$spec.stderr"; then
+      echo "ok: $(basename "$spec") succeeded on retry" >&2
     else
-      echo "(worker produced no stderr output)" >&2
+      FAILED=1
+      echo "error: shard worker for $(basename "$spec") failed twice (spec: $spec)" >&2
+      if [ -s "$spec.stderr" ]; then
+        echo "---- $(basename "$spec") retry stderr ----" >&2
+        cat "$spec.stderr" >&2
+        echo "---- end retry stderr ----" >&2
+      else
+        echo "(retry produced no stderr output)" >&2
+      fi
     fi
   fi
 done < "$TMP/pids.txt"

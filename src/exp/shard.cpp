@@ -254,6 +254,12 @@ std::vector<ShardSpec> planShards(const ShardSpec& whole, std::size_t count) {
   return out;
 }
 
+std::string canonicalResultIdentity(const ShardSpec& spec) {
+  ShardSpec canonical = spec;
+  canonical.engine = EngineConfig{};  // scheduling knobs never change bytes
+  return serializeShardSpec(canonical);
+}
+
 std::string shardLabel(const ShardSpec& spec) {
   return "q[" + std::to_string(spec.qBegin) + "," +
          std::to_string(spec.qEnd) + ")xi[" + std::to_string(spec.iBegin) +

@@ -72,6 +72,17 @@ std::vector<ShardSpec> planShards(const ShardSpec& whole, std::size_t count);
 /// — the shard identity RunReports and fleet summaries carry.
 std::string shardLabel(const ShardSpec& spec);
 
+/// The RESULT identity of a spec: its serialized wire form with every
+/// scheduling-only knob (engine threads, tile shape, packed-replay toggle)
+/// normalized to the EngineConfig defaults.  Those knobs never change the
+/// accumulator bytes — bit-identity across thread counts, tile shapes, and
+/// packed-vs-interpreted is asserted throughout the test suite — so two
+/// specs with equal canonical text produce byte-identical results.  This
+/// is the text the grid result cache fingerprints (grid/fingerprint.h): a
+/// query resubmitted at a different worker or thread count is still the
+/// same cache entry.
+std::string canonicalResultIdentity(const ShardSpec& spec);
+
 /// Evaluates one shard against the already-resolved workload: instantiates
 /// spec.platform for `program` via `platforms`, builds an ExperimentEngine
 /// from spec.engine, and folds exactly the spec's cells into a full-shape

@@ -1,0 +1,59 @@
+#include "grid/cache.h"
+
+#include <utility>
+
+namespace pred::grid {
+
+ResultCache::ResultCache(std::size_t maxEntries) : maxEntries_(maxEntries) {}
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++misses_;
+    return std::nullopt;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second.recency);
+  return it->second.bytes;
+}
+
+void ResultCache::insert(const std::string& key, std::string bytes) {
+  if (maxEntries_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.bytes = std::move(bytes);
+    lru_.splice(lru_.begin(), lru_, it->second.recency);
+    return;
+  }
+  if (entries_.size() >= maxEntries_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(key);
+  entries_.emplace(key, Entry{std::move(bytes), lru_.begin()});
+}
+
+std::size_t ResultCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+std::uint64_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+std::uint64_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+}  // namespace pred::grid

@@ -1,0 +1,64 @@
+#pragma once
+// cache.h — The content-addressed result cache in front of the scheduler.
+//
+// Keys are job fingerprints (grid/fingerprint.h); values are the EXACT
+// serialized bytes of the merged StreamingMeasures accumulator.  Because
+// the whole pipeline is deterministic and the fingerprint covers
+// everything result-affecting, a hit returns bytes that are bit-identical
+// to recomputation — the millions-of-users story: the second (and every
+// later) submission of a query is one map lookup instead of a grid
+// evaluation.
+//
+// Bounded LRU: `maxEntries` caps memory; lookup() refreshes recency,
+// insert() evicts the least-recently-used entry when full.  Thread-safe —
+// one mutex over a map + intrusive recency list; the critical section is
+// a few pointer moves, nothing near the cost of the evaluations it
+// replaces.  Hit/miss totals are exposed for tests; the server mirrors
+// them into its MetricsRegistry as grid.cache.{hits,misses}.
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace pred::grid {
+
+class ResultCache {
+ public:
+  /// `maxEntries` == 0 disables caching (every lookup misses, inserts are
+  /// dropped) — useful for benchmarking the uncached path.
+  explicit ResultCache(std::size_t maxEntries = 1024);
+
+  /// The cached bytes for `key`, refreshing its recency; std::nullopt on
+  /// miss.
+  std::optional<std::string> lookup(const std::string& key);
+
+  /// Stores `bytes` under `key` (replacing any previous value), evicting
+  /// the least-recently-used entry if the cache is full.
+  void insert(const std::string& key, std::string bytes);
+
+  std::size_t size() const;
+  std::size_t maxEntries() const { return maxEntries_; }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+
+ private:
+  struct Entry {
+    std::string bytes;
+    std::list<std::string>::iterator recency;  // position in lru_
+  };
+
+  const std::size_t maxEntries_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::list<std::string> lru_;  // front = most recent, back = eviction next
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace pred::grid

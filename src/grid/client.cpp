@@ -1,0 +1,57 @@
+#include "grid/client.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "grid/protocol.h"
+
+namespace pred::grid {
+
+namespace {
+
+/// One request/reply exchange; unwraps Error frames into exceptions.
+Frame roundTrip(int fd, const Frame& request, FrameType expectedReply) {
+  writeFrame(fd, request);
+  Frame reply;
+  if (!readFrame(fd, reply))
+    throw std::runtime_error(
+        "grid client: server closed the connection mid-conversation");
+  if (reply.type == FrameType::Error)
+    throw std::runtime_error("grid server error: " + reply.payload);
+  if (reply.type != expectedReply)
+    throw std::runtime_error("grid client: unexpected reply frame type");
+  return reply;
+}
+
+}  // namespace
+
+GridClient::GridClient(const std::string& endpoint)
+    : fd_(net::connectTo(net::parseEndpoint(endpoint))) {}
+
+JobResult GridClient::submit(const exp::ShardSpec& wholeGrid,
+                             std::size_t shards, bool useCache) {
+  const Frame reply =
+      roundTrip(fd_.get(),
+                Frame{FrameType::Submit,
+                      encodeJobRequest(JobRequest{wholeGrid, shards,
+                                                  useCache})},
+                FrameType::Result);
+  JobResultMsg msg = parseJobResultMsg(reply.payload);
+  core::StreamingMeasures measures =
+      core::StreamingMeasures::deserialize(msg.accumulatorText);
+  return JobResult{msg.cacheHit, std::move(msg.fingerprint),
+                   std::move(msg.accumulatorText), std::move(measures)};
+}
+
+obs::RunReport GridClient::stats() {
+  const Frame reply = roundTrip(fd_.get(), Frame{FrameType::StatsRequest, ""},
+                                FrameType::StatsReply);
+  return obs::RunReport::deserialize(reply.payload);
+}
+
+void GridClient::shutdownServer() {
+  roundTrip(fd_.get(), Frame{FrameType::Shutdown, ""},
+            FrameType::ShutdownAck);
+}
+
+}  // namespace pred::grid

@@ -1,0 +1,58 @@
+#pragma once
+// client.h — The thin grid client: one connection, blocking conversations.
+//
+// A GridClient dials a pred-grid-server endpoint and wraps the frame
+// protocol in typed calls: submit() sends a whole-grid job and returns the
+// merged accumulator (already deserialized — byte-provenance callers can
+// use the raw text in JobResult), stats() fetches the server's RunReport,
+// shutdownServer() performs the Shutdown/ShutdownAck handshake.  The
+// connection is reused across calls — submitting the same query twice on
+// one client is exactly the cache-hit round trip the acceptance criteria
+// measure.  Server-side failures arrive as Error frames and re-throw here
+// as std::runtime_error carrying the server's message.
+//
+// study::Query::runDistributed sits on top of this; tools/grid_client.cpp
+// is its argv shell.
+
+#include <cstddef>
+#include <string>
+
+#include "core/measures.h"
+#include "exp/shard.h"
+#include "grid/net.h"
+#include "obs/run_report.h"
+
+namespace pred::grid {
+
+/// One answered job.
+struct JobResult {
+  bool cacheHit = false;
+  std::string fingerprint;      ///< content address the server computed
+  std::string accumulatorText;  ///< exact bytes the server returned
+  core::StreamingMeasures measures;  ///< accumulatorText, deserialized
+};
+
+class GridClient {
+ public:
+  /// Connects to "unix:PATH" / "tcp:HOST:PORT".  Throws on failure.
+  explicit GridClient(const std::string& endpoint);
+
+  /// Evaluates `wholeGrid` split `shards` ways on the server; blocks until
+  /// the merged result arrives.  `useCache` false forces recomputation
+  /// (the lookup is skipped server-side; the store still happens).
+  /// Throws std::runtime_error on server-reported errors or a dead
+  /// connection.
+  JobResult submit(const exp::ShardSpec& wholeGrid, std::size_t shards,
+                   bool useCache = true);
+
+  /// The server's telemetry report (grid.* counters + last fleet view).
+  obs::RunReport stats();
+
+  /// Asks the server to stop its accept loop; returns after ShutdownAck.
+  void shutdownServer();
+
+ private:
+  net::Fd fd_;
+};
+
+}  // namespace pred::grid

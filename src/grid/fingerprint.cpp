@@ -1,0 +1,29 @@
+#include "grid/fingerprint.h"
+
+namespace pred::grid {
+
+std::uint64_t fnv1a64(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+std::string fingerprintHex(std::uint64_t hash) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int k = 15; k >= 0; --k) {
+    out[static_cast<std::size_t>(k)] = kDigits[hash & 0xf];
+    hash >>= 4;
+  }
+  return out;
+}
+
+std::string jobFingerprint(const exp::ShardSpec& spec) {
+  const std::uint64_t salted = fnv1a64(kCodeVersionSalt);
+  return fingerprintHex(fnv1a64(exp::canonicalResultIdentity(spec), salted));
+}
+
+}  // namespace pred::grid

@@ -1,0 +1,44 @@
+#pragma once
+// fingerprint.h — Content addresses for grid jobs.
+//
+// The result cache (grid/cache.h) is keyed by a fingerprint of everything
+// that determines the merged accumulator's BYTES: the canonical result
+// identity of the whole-grid ShardSpec (exp::canonicalResultIdentity —
+// platform preset + full options + workload name + grid rectangle, with
+// scheduling-only engine knobs normalized away) plus a code-version salt.
+// The salt exists because the cache stores result BYTES: if a future PR
+// changes replay semantics or the accumulator wire format, bumping the
+// salt retires every stale address at once instead of serving bytes the
+// current code could no longer reproduce.
+//
+// The hash is FNV-1a 64 — tiny, dependency-free, stable across platforms
+// and runs (no seed randomization), and collision-safe at the scale of a
+// result cache (a cache holds thousands of entries, not 2^32).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "exp/shard.h"
+
+namespace pred::grid {
+
+/// Bumped whenever evaluation semantics or the accumulator wire format
+/// change in a way that alters result bytes for the same spec.
+inline constexpr std::string_view kCodeVersionSalt = "pred-grid-salt-1";
+
+/// FNV-1a 64-bit over `bytes`, continuing from `seed` (chainable).
+std::uint64_t fnv1a64(std::string_view bytes,
+                      std::uint64_t seed = 0xcbf29ce484222325ull);
+
+/// 16-hex-digit, zero-padded, lowercase rendering of a 64-bit hash — the
+/// single-token form fingerprints take on the wire and in logs.
+std::string fingerprintHex(std::uint64_t hash);
+
+/// The content address of a job: fnv1a64(salt then canonical spec text),
+/// rendered as hex.  Equal addresses guarantee byte-identical results;
+/// scheduling knobs (threads, tiles, packed toggle, shard count) do not
+/// perturb it.
+std::string jobFingerprint(const exp::ShardSpec& spec);
+
+}  // namespace pred::grid

@@ -1,0 +1,201 @@
+#include "grid/net.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <stdexcept>
+
+namespace pred::grid::net {
+
+namespace {
+
+[[noreturn]] void sysFail(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+/// A peer that dies mid-conversation must surface as an EPIPE error from
+/// writeAll, not a SIGPIPE process kill — done once, before the first
+/// socket any grid component opens.
+void ignoreSigpipe() {
+  static const bool done = [] {
+    std::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)done;
+}
+
+sockaddr_un unixAddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::invalid_argument("unix socket path too long (" +
+                                std::to_string(path.size()) + " >= " +
+                                std::to_string(sizeof(addr.sun_path)) +
+                                "): " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+sockaddr_in tcpAddr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(ep.port));
+  const std::string host = ep.host == "localhost" ? "127.0.0.1" : ep.host;
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::invalid_argument(
+        "tcp endpoint host must be a numeric IPv4 address or 'localhost', "
+        "got: " + ep.host);
+  }
+  return addr;
+}
+
+}  // namespace
+
+Endpoint parseEndpoint(const std::string& text) {
+  Endpoint ep;
+  if (text.rfind("unix:", 0) == 0) {
+    ep.isUnix = true;
+    ep.path = text.substr(5);
+    if (ep.path.empty()) {
+      throw std::invalid_argument("empty unix socket path in endpoint: " +
+                                  text);
+    }
+    return ep;
+  }
+  if (text.rfind("tcp:", 0) == 0) {
+    const std::string rest = text.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == rest.size()) {
+      throw std::invalid_argument("tcp endpoint must be tcp:HOST:PORT, got: " +
+                                  text);
+    }
+    ep.host = rest.substr(0, colon);
+    const std::string portText = rest.substr(colon + 1);
+    int port = 0;
+    for (const char c : portText) {
+      if (c < '0' || c > '9' || port > 65535) {
+        throw std::invalid_argument("malformed tcp port in endpoint: " + text);
+      }
+      port = port * 10 + (c - '0');
+    }
+    if (port > 65535) {
+      throw std::invalid_argument("tcp port out of range in endpoint: " +
+                                  text);
+    }
+    ep.port = port;
+    return ep;
+  }
+  throw std::invalid_argument(
+      "endpoint must start with 'unix:' or 'tcp:', got: " + text);
+}
+
+std::string endpointText(const Endpoint& ep) {
+  if (ep.isUnix) return "unix:" + ep.path;
+  return "tcp:" + ep.host + ":" + std::to_string(ep.port);
+}
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Fd listenOn(const Endpoint& ep, int backlog, int* boundPort) {
+  ignoreSigpipe();
+  Fd fd(::socket(ep.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) sysFail("socket");
+  if (ep.isUnix) {
+    ::unlink(ep.path.c_str());  // a stale socket file must not block restart
+    const auto addr = unixAddr(ep.path);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      sysFail("bind " + endpointText(ep));
+    }
+  } else {
+    const int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    const auto addr = tcpAddr(ep);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      sysFail("bind " + endpointText(ep));
+    }
+  }
+  if (::listen(fd.get(), backlog) != 0) sysFail("listen " + endpointText(ep));
+  if (boundPort != nullptr) {
+    *boundPort = ep.port;
+    if (!ep.isUnix) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound),
+                        &len) != 0) {
+        sysFail("getsockname");
+      }
+      *boundPort = ntohs(bound.sin_port);
+    }
+  }
+  return fd;
+}
+
+Fd connectTo(const Endpoint& ep) {
+  ignoreSigpipe();
+  Fd fd(::socket(ep.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) sysFail("socket");
+  int rc;
+  if (ep.isUnix) {
+    const auto addr = unixAddr(ep.path);
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+  } else {
+    const auto addr = tcpAddr(ep);
+    do {
+      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr));
+    } while (rc != 0 && errno == EINTR);
+  }
+  if (rc != 0) sysFail("connect " + endpointText(ep));
+  return fd;
+}
+
+void writeAll(int fd, const void* data, std::size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      sysFail("write");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+bool readExact(int fd, void* data, std::size_t n) {
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::read(fd, p + got, n - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      sysFail("read");
+    }
+    if (r == 0) {
+      if (got == 0) return false;  // clean EOF at a message boundary
+      throw std::runtime_error("connection closed mid-message (got " +
+                               std::to_string(got) + " of " +
+                               std::to_string(n) + " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace pred::grid::net

@@ -1,0 +1,87 @@
+#pragma once
+// net.h — The grid service's socket substrate: endpoints, RAII fds, and
+// exact-read/exact-write helpers.
+//
+// Everything above this header (protocol framing, server, client,
+// scheduler pipes) talks in terms of plain file descriptors, so one
+// implementation owns the POSIX error handling: every syscall failure
+// becomes a std::runtime_error carrying errno text, EINTR is retried, and
+// SIGPIPE is globally ignored the first time a grid socket is opened (a
+// peer death must surface as an EPIPE error on the write path, never a
+// process kill).
+//
+// Endpoints are strings so they can ride in flags and configs:
+//   "unix:/path/to.sock"      Unix-domain stream socket
+//   "tcp:127.0.0.1:7411"      TCP over a numeric IPv4 address (or
+//                             "localhost"); port 0 binds an ephemeral
+//                             port, resolved by Fd-returning listenOn.
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace pred::grid::net {
+
+/// A parsed endpoint: exactly one of the two transports.
+struct Endpoint {
+  bool isUnix = false;
+  std::string path;  ///< unix: socket path
+  std::string host;  ///< tcp: numeric IPv4 or "localhost"
+  int port = 0;      ///< tcp: 0 = ephemeral
+};
+
+/// Parses "unix:PATH" / "tcp:HOST:PORT".  Throws std::invalid_argument on
+/// any other shape (unknown scheme, empty path, malformed port).
+Endpoint parseEndpoint(const std::string& text);
+
+/// Renders an endpoint back into the flag form parseEndpoint accepts.
+std::string endpointText(const Endpoint& ep);
+
+/// Owning file descriptor (closes on destruction, moveable).
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+  Fd(Fd&& other) noexcept : fd_(other.release()) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() { return std::exchange(fd_, -1); }
+  /// Closes the held fd (if any) and takes ownership of `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds + listens on `ep`.  Unix paths are unlinked first (a daemon
+/// restart must not fail on its own stale socket file).  For tcp port 0
+/// the kernel-chosen port is written back into `*boundPort` (pass nullptr
+/// to ignore).  Throws std::runtime_error on failure.
+Fd listenOn(const Endpoint& ep, int backlog, int* boundPort);
+
+/// Connects a stream socket to `ep`.  Throws std::runtime_error on
+/// failure (unreachable, refused, missing socket file).
+Fd connectTo(const Endpoint& ep);
+
+/// Writes all `n` bytes (retrying short writes and EINTR).  Throws
+/// std::runtime_error on error — EPIPE included, which is how a dead peer
+/// is detected on the write path.
+void writeAll(int fd, const void* data, std::size_t n);
+
+/// Reads exactly `n` bytes.  Returns false on EOF before the FIRST byte
+/// (a clean close at a message boundary); EOF after at least one byte is
+/// a truncation and throws std::runtime_error, as do read errors.
+bool readExact(int fd, void* data, std::size_t n);
+
+}  // namespace pred::grid::net

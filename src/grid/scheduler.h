@@ -1,0 +1,131 @@
+#pragma once
+// scheduler.h — Work-stealing shard scheduler with fault-tolerant retry.
+//
+// The scheduler turns a planShards partition into a completed job: shards
+// sit in one shared queue, idle workers STEAL the costliest eligible
+// shard (longest-processing-time-first self-scheduling — the classic 2x
+// bound on makespan skew), and every completed shard's RunReport feeds an
+// EWMA ns/cell cost model back into the queue ordering, so the estimate
+// the next steal is ranked by comes from the fleet's own telemetry
+// rather than a static guess.
+//
+// Two execution modes share the queue and the retry policy:
+//
+//   run(shards, eval)   — in-process: config.workers threads steal shards
+//                         and evaluate them through a caller-supplied
+//                         ShardEvalFn.  This is the mode the in-process
+//                         server, the tests, and the example use; a
+//                         throwing eval is a failed attempt.
+//
+//   runSubprocess(...)  — each worker slot is a persistent child process
+//                         (config.workerCommand + "serve") speaking the
+//                         framed protocol over stdin/stdout pipes.  A
+//                         poll() event loop dispatches shards, decodes
+//                         results incrementally, and detects death by
+//                         EOF / POLLHUP / write-EPIPE / optional timeout.
+//
+// Fault tolerance is the same story in both modes: a failed attempt
+// requeues the shard with exponential backoff until maxAttempts, at which
+// point the job fails loudly.  In subprocess mode a dead worker's slot is
+// respawned (bounded by maxSpawnsPerSlot); the orphaned shard simply goes
+// back in the queue, and because shard accumulators merge order-
+// independently, a retried shard's contribution is byte-identical to a
+// first-try one — fault injection cannot perturb results, only wall time.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/measures.h"
+#include "exp/shard.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+
+namespace pred::grid {
+
+struct SchedulerConfig {
+  /// Worker slots (threads in run(), child processes in runSubprocess()).
+  /// Clamped to >= 1.
+  int workers = 2;
+  /// Attempts per shard before the job fails (>= 1).
+  int maxAttempts = 3;
+  /// Spawns per subprocess slot (initial spawn + respawns) before the slot
+  /// is retired (>= 1).
+  int maxSpawnsPerSlot = 4;
+  /// Base retry backoff; attempt k waits retryBackoffMs * 2^(k-1).
+  std::uint64_t retryBackoffMs = 25;
+  /// Per-shard wall-time budget in subprocess mode; a worker that exceeds
+  /// it is killed and its shard retried.  0 disables the timeout.
+  std::uint64_t shardTimeoutMs = 0;
+  /// Subprocess mode: argv prefix of the worker binary; the scheduler
+  /// appends "serve".  E.g. {"./pred-shard-worker"}.
+  std::vector<std::string> workerCommand;
+  /// Fault injection: extra argv appended to slot 0's FIRST spawn only
+  /// (respawns come up clean), e.g. {"--exit-after", "1"} to make one
+  /// worker die mid-run deterministically.
+  std::vector<std::string> firstWorkerExtraArgs;
+  /// When set, the scheduler ticks grid.shards.dispatched / .retried and
+  /// grid.worker.spawns / .deaths counters here.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// One evaluated shard: the full-shape accumulator plus the telemetry the
+/// cost model calibrates from.
+struct ShardOutput {
+  core::StreamingMeasures accumulator;
+  obs::RunReport report;
+};
+
+/// In-process shard evaluator.  Throwing (std::exception) marks the
+/// attempt failed; the shard is retried per the scheduler's policy.
+using ShardEvalFn = std::function<ShardOutput(const exp::ShardSpec&)>;
+
+/// A completed job: the merged accumulator (byte-identical to single-
+/// process reduceCells over the whole grid), the merged fleet report, and
+/// the fault-tolerance tallies.
+struct JobOutcome {
+  core::StreamingMeasures merged;
+  obs::RunReport fleet;
+  std::uint64_t shardCount = 0;
+  std::uint64_t retries = 0;       ///< re-queued attempts (all causes)
+  std::uint64_t workerDeaths = 0;  ///< subprocess deaths observed
+};
+
+class WorkStealingScheduler {
+ public:
+  explicit WorkStealingScheduler(SchedulerConfig config);
+
+  /// Evaluates `shards` on config.workers threads via `eval`.  Throws
+  /// std::invalid_argument on an empty shard list and std::runtime_error
+  /// when a shard exhausts maxAttempts.
+  JobOutcome run(const std::vector<exp::ShardSpec>& shards,
+                 const ShardEvalFn& eval);
+
+  /// Evaluates `shards` across persistent config.workerCommand child
+  /// processes (see file comment).  Throws std::runtime_error when a shard
+  /// exhausts maxAttempts or every worker slot is retired with work left.
+  /// All children are reaped before any throw propagates.
+  JobOutcome runSubprocess(const std::vector<exp::ShardSpec>& shards);
+
+  /// The cost model's current estimate (EWMA over completed shards'
+  /// report wall time / cells); 0 before any shard completes.  Persists
+  /// across run() calls, so a server's later jobs start calibrated.
+  double estimatedNsPerCell() const;
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  struct RunState;
+  void noteShardDone(RunState& st, std::size_t index, ShardOutput out);
+  /// Requeues attempt `attempt`+1 of shard `index` (or records a fatal
+  /// error once attempts are exhausted).  Returns false on fatal.
+  bool noteShardFailed(RunState& st, std::size_t index,
+                       const std::string& why);
+  JobOutcome finish(RunState& st);
+
+  SchedulerConfig config_;
+  double ewmaNsPerCell_ = 0.0;  // guarded by the per-run state mutex
+};
+
+}  // namespace pred::grid

@@ -1,0 +1,142 @@
+#include "grid/server.h"
+
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/shard.h"
+#include "grid/fingerprint.h"
+
+namespace pred::grid {
+
+GridServer::GridServer(ServerConfig config)
+    : config_(std::move(config)),
+      endpoint_(net::parseEndpoint(config_.endpoint)),
+      cache_(config_.cacheEntries),
+      scheduler_([&] {
+        SchedulerConfig sc = config_.scheduler;
+        sc.metrics = &metrics_;  // all grid.* tallies land in one registry
+        return sc;
+      }()) {
+  if (!config_.eval && config_.scheduler.workerCommand.empty())
+    throw std::invalid_argument(
+        "grid server: need an in-process evaluator or a worker command");
+  listenFd_ = net::listenOn(endpoint_, /*backlog=*/16, &boundPort_);
+  // Touch every counter the server can tick so statsReport() enumerates
+  // them (as zeros) even before the first job.
+  for (const char* name :
+       {"grid.jobs", "grid.cache.hits", "grid.cache.misses",
+        "grid.shards.dispatched", "grid.shards.retried", "grid.worker.spawns",
+        "grid.worker.deaths", "grid.connections", "grid.bad_frames"})
+    metrics_.counter(name);
+}
+
+std::string GridServer::boundEndpointText() const {
+  net::Endpoint ep = endpoint_;
+  if (!ep.isUnix) ep.port = boundPort_;
+  return net::endpointText(ep);
+}
+
+void GridServer::serveForever() {
+  while (acceptOnce()) {
+  }
+}
+
+bool GridServer::acceptOnce() {
+  int fd = -1;
+  for (;;) {
+    fd = ::accept(listenFd_.get(), nullptr, nullptr);
+    if (fd >= 0) break;
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("grid server: accept: ") +
+                             std::strerror(errno));
+  }
+  net::Fd conn(fd);
+  metrics_.counter("grid.connections").add();
+  return handleConnection(conn.get());
+}
+
+bool GridServer::handleConnection(int fd) {
+  for (;;) {
+    Frame frame;
+    try {
+      if (!readFrame(fd, frame)) return true;  // clean EOF: peer done
+    } catch (const std::exception& e) {
+      // Garbage on the wire: this connection is unrecoverable (framing is
+      // lost), but the server is not — tell the peer if it still listens,
+      // drop the connection, keep accepting.
+      metrics_.counter("grid.bad_frames").add();
+      try {
+        writeFrame(fd, Frame{FrameType::Error,
+                             std::string("malformed frame: ") + e.what()});
+      } catch (...) {
+      }
+      return true;
+    }
+
+    switch (frame.type) {
+      case FrameType::Submit: {
+        Frame reply;
+        try {
+          const JobRequest req = parseJobRequest(frame.payload);
+          reply = Frame{FrameType::Result,
+                        encodeJobResultMsg(handleJob(req))};
+        } catch (const std::exception& e) {
+          reply = Frame{FrameType::Error, e.what()};
+        }
+        writeFrame(fd, reply);
+        break;
+      }
+      case FrameType::StatsRequest:
+        writeFrame(fd,
+                   Frame{FrameType::StatsReply, statsReport().serialize()});
+        break;
+      case FrameType::Shutdown:
+        try {
+          writeFrame(fd, Frame{FrameType::ShutdownAck, ""});
+        } catch (...) {
+        }
+        return false;
+      default:
+        writeFrame(fd, Frame{FrameType::Error,
+                             "unexpected frame type for a grid server"});
+        break;
+    }
+  }
+}
+
+JobResultMsg GridServer::handleJob(const JobRequest& req) {
+  const std::string fp = jobFingerprint(req.spec);
+  if (req.useCache) {
+    if (std::optional<std::string> bytes = cache_.lookup(fp)) {
+      metrics_.counter("grid.cache.hits").add();
+      return JobResultMsg{true, fp, std::move(*bytes)};
+    }
+    metrics_.counter("grid.cache.misses").add();
+  }
+
+  const std::vector<exp::ShardSpec> plan =
+      exp::planShards(req.spec, req.shards == 0 ? 1 : req.shards);
+  JobOutcome outcome = config_.eval ? scheduler_.run(plan, config_.eval)
+                                    : scheduler_.runSubprocess(plan);
+  std::string bytes = outcome.merged.serialize();
+  cache_.insert(fp, bytes);
+  lastFleet_ = std::move(outcome.fleet);
+  metrics_.counter("grid.jobs").add();
+  return JobResultMsg{false, fp, std::move(bytes)};
+}
+
+obs::RunReport GridServer::statsReport() const {
+  // Start from the last job's fleet view (phases, shards, context labels)
+  // and overlay the server-lifetime grid.* counters on top of the fleet's
+  // engine counters.
+  obs::RunReport report = lastFleet_;
+  for (const auto& [name, value] : metrics_.counterValues())
+    report.counters[name] = value;
+  return report;
+}
+
+}  // namespace pred::grid

@@ -1,0 +1,97 @@
+#pragma once
+// server.h — The pred-grid-server daemon core.
+//
+// A GridServer owns the listening socket, the result cache, the
+// work-stealing scheduler, and the grid.* metrics; tools/grid_server.cpp
+// is a thin argv shell around it, and tests drive the same class
+// in-process.  One accept loop handles connections sequentially and each
+// connection is a frame conversation (grid/protocol.h): Submit frames
+// carry jobs, StatsRequest reads the server's own RunReport, Shutdown
+// stops the loop.  Sequential is the honest choice for this engine: jobs
+// saturate the worker fleet anyway, so connection concurrency would add
+// locking without adding throughput.
+//
+// A job runs in one of two modes, chosen at construction:
+//   - in-process  (config.eval set): the scheduler's stealing threads call
+//     the evaluator directly — no fork, used by tests, the example, and
+//     `pred-grid-server --in-process`;
+//   - subprocess  (config.eval empty): persistent worker children from
+//     config.scheduler.workerCommand — the deployment shape, where worker
+//     death is survivable (scheduler.h).
+//
+// Result caching: the job's fingerprint (grid/fingerprint.h) is looked up
+// first — a hit answers in O(1) with the EXACT bytes computed before,
+// ticking grid.cache.hits; a miss evaluates, stores, and ticks
+// grid.cache.misses.  A JobRequest with useCache=false skips the lookup
+// (never the insert) so fault-injection smokes can force recomputation.
+// Malformed frames on a connection get a best-effort Error reply and the
+// connection is dropped — the accept loop itself never dies on client
+// garbage.
+
+#include <cstdint>
+#include <string>
+
+#include "grid/cache.h"
+#include "grid/net.h"
+#include "grid/protocol.h"
+#include "grid/scheduler.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+
+namespace pred::grid {
+
+struct ServerConfig {
+  /// Listen endpoint, "unix:PATH" or "tcp:HOST:PORT" (port 0 = ephemeral;
+  /// read the resolved one from boundPort()).
+  std::string endpoint = "unix:/tmp/pred-grid.sock";
+  SchedulerConfig scheduler;
+  std::size_t cacheEntries = 1024;
+  /// In-process evaluator; leave empty to run subprocess workers from
+  /// scheduler.workerCommand.
+  ShardEvalFn eval;
+};
+
+class GridServer {
+ public:
+  /// Validates the config and binds + listens on the endpoint (throws on
+  /// failure — a server that can't listen should fail at construction,
+  /// not first accept).
+  explicit GridServer(ServerConfig config);
+
+  /// Accepts and serves connections until a Shutdown frame arrives.
+  void serveForever();
+
+  /// Accepts and fully serves ONE connection; false when that connection
+  /// requested shutdown.  serveForever is `while (acceptOnce()) {}`.
+  bool acceptOnce();
+
+  /// Resolved TCP port (the configured one for unix endpoints' 0).
+  int boundPort() const { return boundPort_; }
+  /// Endpoint text with the resolved port — what clients should dial.
+  std::string boundEndpointText() const;
+
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const ResultCache& cache() const { return cache_; }
+  WorkStealingScheduler& scheduler() { return scheduler_; }
+
+  /// The server's own telemetry: every grid.* counter plus the last job's
+  /// fleet phases/shards — what StatsRequest frames return.
+  obs::RunReport statsReport() const;
+
+ private:
+  /// Serves one established connection until EOF/shutdown; returns false
+  /// when the peer requested server shutdown.
+  bool handleConnection(int fd);
+  JobResultMsg handleJob(const JobRequest& req);
+
+  ServerConfig config_;
+  net::Endpoint endpoint_;
+  obs::MetricsRegistry metrics_;
+  ResultCache cache_;
+  WorkStealingScheduler scheduler_;
+  net::Fd listenFd_;
+  int boundPort_ = 0;
+  obs::RunReport lastFleet_;
+};
+
+}  // namespace pred::grid

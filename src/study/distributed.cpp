@@ -1,0 +1,79 @@
+#include "study/distributed.h"
+
+#include <cctype>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/shard.h"
+#include "grid/client.h"
+#include "study/query.h"
+
+namespace pred::study {
+
+namespace {
+
+// Same label/clock conventions as query.cpp's runOne (file-local there).
+std::string distLabel(const std::string& s) {
+  if (s.empty()) return "-";
+  std::string out = s;
+  for (char& c : out)
+    if (std::isspace(static_cast<unsigned char>(c))) c = '_';
+  return out;
+}
+
+std::uint64_t distElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+grid::ShardEvalFn gridShardEvaluator(const WorkloadRegistry& workloads,
+                                     const exp::PlatformRegistry& platforms) {
+  return [&workloads, &platforms](const exp::ShardSpec& spec) {
+    const WorkloadInstance w = workloads.make(spec.workload);
+    obs::RunReport report;
+    core::StreamingMeasures acc =
+        exp::evaluateShard(spec, w.program, w.inputs, platforms, &report);
+    return grid::ShardOutput{std::move(acc), std::move(report)};
+  };
+}
+
+Finding Query::runDistributed(grid::GridClient& client, std::size_t shards,
+                              bool useCache) const {
+  if (keepMatrix_) {
+    throw std::invalid_argument(
+        "distributed runs are streaming-only; drop keepMatrix");
+  }
+  requireShardable();
+  // The local instantiation exists to shape the Finding (|Q|, state
+  // labels) and the whole-grid spec; the evaluation happens server-side.
+  const auto w = workloads_->make(spec_.workload);
+  const auto options = optionsFor(0);
+  const auto model = platforms_->make(spec_.platforms[0], w.program, options);
+  const auto start = std::chrono::steady_clock::now();
+  grid::JobResult result = client.submit(
+      wholeGridSpec(w, *model, options, exp::EngineConfig{}), shards,
+      useCache);
+  Finding f = detail::streamingFinding(spec_.workload, spec_.platforms[0],
+                                       *model, w.inputs.size(), spec_.mode,
+                                       measures_, result.measures);
+  obs::RunReport report;
+  report.platform = distLabel(spec_.platforms[0]);
+  report.workload = distLabel(spec_.workload);
+  report.wallNs = distElapsedNs(start);
+  report.counters["grid.cache.hit"] = result.cacheHit ? 1 : 0;
+  f.report = std::move(report);
+  return f;
+}
+
+Finding Query::runDistributed(const std::string& endpoint,
+                              std::size_t shards, bool useCache) const {
+  grid::GridClient client(endpoint);
+  return runDistributed(client, shards, useCache);
+}
+
+}  // namespace pred::study

@@ -1,0 +1,29 @@
+#pragma once
+// distributed.h — Study-layer glue for the grid service.
+//
+// The grid layer (src/grid/) deliberately sits below the study layer:
+// ShardSpecs carry workload NAMES, and the scheduler/server never touch
+// the WorkloadRegistry.  This header is where the names get resolved —
+// gridShardEvaluator() packages registry lookup + exp::evaluateShard into
+// the ShardEvalFn an in-process GridServer (or a bare scheduler) runs,
+// and Query::runDistributed (declared in query.h, implemented here) is
+// the client-side entry point.
+
+#include "exp/platform.h"
+#include "grid/scheduler.h"
+#include "study/workloads.h"
+
+namespace pred::study {
+
+/// An in-process shard evaluator over the registries: resolves
+/// spec.workload by name, instantiates spec.platform, and evaluates the
+/// shard's cells with full telemetry (exp::evaluateShard).  Thread-safe —
+/// every call materializes its own workload instance and engine — and
+/// therefore safe under the scheduler's stealing threads.  The registries
+/// must outlive the returned function (the shared instances always do).
+grid::ShardEvalFn gridShardEvaluator(
+    const WorkloadRegistry& workloads = WorkloadRegistry::instance(),
+    const exp::PlatformRegistry& platforms =
+        exp::PlatformRegistry::instance());
+
+}  // namespace pred::study

@@ -29,6 +29,10 @@
 #include "study/finding.h"
 #include "study/workloads.h"
 
+namespace pred::grid {
+class GridClient;  // study/distributed.h glue; avoids a heavy include here
+}
+
 namespace pred::study {
 
 /// Evaluation modes (QuerySpec::mode), as fluent-API tags.
@@ -116,6 +120,22 @@ class Query {
   /// value-for-value and witness-for-witness, for any shard count, because
   /// the merge is order-independent (asserted in tests/shard_test.cpp).
   Finding runSharded(exp::ExperimentEngine& engine, std::size_t shards) const;
+
+  /// Distributed evaluation: ships the whole-grid ShardSpec to a
+  /// pred-grid-server through `client`, which schedules it across its
+  /// worker fleet (split `shards` ways) and streams back the merged
+  /// accumulator.  The Finding is identical to run()'s — the server-side
+  /// merge is the same order-independent mergeShards — and a repeated
+  /// query is answered from the server's content-addressed result cache
+  /// (Finding::report carries a "grid.cache.hit" counter; `useCache`
+  /// false forces recomputation).  Same preconditions as runSharded.
+  /// Implemented in study/distributed.cpp.
+  Finding runDistributed(grid::GridClient& client, std::size_t shards,
+                         bool useCache = true) const;
+  /// Convenience overload: dials `endpoint` ("unix:PATH"/"tcp:HOST:PORT")
+  /// for a single-query connection.
+  Finding runDistributed(const std::string& endpoint, std::size_t shards,
+                         bool useCache = true) const;
 
  private:
   /// evalOne computes the Finding; runOne wraps it with the observability

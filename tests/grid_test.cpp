@@ -1,0 +1,686 @@
+// grid_test.cpp — The gate for the grid service (src/grid/): the framed
+// wire protocol must be strict under fuzzing (truncated length prefixes
+// are "need more bytes", oversize and garbage headers throw BEFORE any
+// payload allocation, nothing hangs); job fingerprints must be invariant
+// under scheduling knobs and sensitive to everything result-affecting;
+// the LRU result cache must count hits/misses/evictions exactly; the
+// work-stealing scheduler must reproduce single-process reduceCells bytes
+// at every worker count, under injected eval failures, and fail loudly
+// once attempts are exhausted; and a full in-process server/client round
+// trip must serve the second submission from the cache with identical
+// bytes while surviving garbage connections — the subprocess flavor of
+// the same story is scripts/grid_run.sh (ctest grid_subprocess_smoke).
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/measures.h"
+#include "exp/engine.h"
+#include "exp/platform.h"
+#include "exp/shard.h"
+#include "grid/cache.h"
+#include "grid/client.h"
+#include "grid/fingerprint.h"
+#include "grid/net.h"
+#include "grid/protocol.h"
+#include "grid/scheduler.h"
+#include "grid/server.h"
+#include "study/distributed.h"
+#include "study/query.h"
+#include "study/workloads.h"
+#include "witness_expect.h"
+
+namespace pred {
+namespace {
+
+using core::StreamingMeasures;
+using exp::ShardSpec;
+
+// ------------------------------------------------------------ test helpers
+
+/// A fresh, collision-free unix socket path under /tmp (unix socket paths
+/// must stay short, so no mkdtemp nesting).
+std::string uniqueSocketPath() {
+  static std::atomic<int> counter{0};
+  return "/tmp/pred-grid-test-" + std::to_string(::getpid()) + "-" +
+         std::to_string(counter.fetch_add(1)) + ".sock";
+}
+
+/// The small grid every scheduler/server test evaluates: 8 states of
+/// inorder-lru over bubblesort-8 (fast, and the same shape shard_test.cpp
+/// gates merge identity on).
+struct TestGrid {
+  ShardSpec whole;
+  std::string singleBytes;  ///< single-process reduceCells, serialized
+};
+
+TestGrid makeTestGrid() {
+  exp::PlatformOptions options;
+  options.numStates = 8;
+  const auto w = study::WorkloadRegistry::instance().make("bubblesort-8");
+  const auto model = exp::PlatformRegistry::instance().make(
+      "inorder-lru", w.program, options);
+  exp::ExperimentEngine engine;
+
+  TestGrid g;
+  g.whole.platform = "inorder-lru";
+  g.whole.workload = "bubblesort-8";
+  g.whole.options = options;
+  g.whole.qEnd = model->numStates();
+  g.whole.iEnd = w.inputs.size();
+  g.singleBytes = engine.reduceCells(*model, w.program, w.inputs).serialize();
+  return g;
+}
+
+/// An in-process GridServer on its own unix socket with serveForever on a
+/// background thread; stop() (or the destructor) performs the shutdown
+/// handshake exactly once.
+class InProcessServer {
+ public:
+  explicit InProcessServer(int workers = 2, std::size_t cacheEntries = 64) {
+    path_ = uniqueSocketPath();
+    endpointText_ = "unix:" + path_;
+    grid::ServerConfig cfg;
+    cfg.endpoint = endpointText_;
+    cfg.scheduler.workers = workers;
+    cfg.scheduler.retryBackoffMs = 1;
+    cfg.cacheEntries = cacheEntries;
+    cfg.eval = study::gridShardEvaluator();
+    server_.emplace(std::move(cfg));
+    thread_ = std::thread([this] { server_->serveForever(); });
+  }
+
+  ~InProcessServer() {
+    stop();
+    ::unlink(path_.c_str());
+  }
+
+  const std::string& endpoint() const { return endpointText_; }
+  grid::GridServer& server() { return *server_; }
+
+  /// Shutdown handshake + join.  The server handles connections
+  /// SEQUENTIALLY, so every test-owned GridClient must be destroyed (its
+  /// connection closed) before this runs — declare clients after the
+  /// fixture and let scope order do it.
+  void stop() {
+    if (!thread_.joinable()) return;
+    grid::GridClient(endpointText_).shutdownServer();
+    thread_.join();
+  }
+
+ private:
+  std::string path_;
+  std::string endpointText_;
+  std::optional<grid::GridServer> server_;
+  std::thread thread_;
+};
+
+// --------------------------------------------------------------- framing
+
+grid::Frame frameOf(grid::FrameType type, std::string payload) {
+  grid::Frame f;
+  f.type = type;
+  f.payload = std::move(payload);
+  return f;
+}
+
+TEST(GridFrame, RoundTripsEveryTypeAndDecodesSequentially) {
+  const std::vector<grid::FrameType> types = {
+      grid::FrameType::Submit,       grid::FrameType::Result,
+      grid::FrameType::Error,        grid::FrameType::StatsRequest,
+      grid::FrameType::StatsReply,   grid::FrameType::Shutdown,
+      grid::FrameType::ShutdownAck,  grid::FrameType::Shard,
+      grid::FrameType::ShardResult,
+  };
+  // All frames concatenated into one stream: the incremental decoder must
+  // walk them in order, advancing the offset past each.
+  std::string stream;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    stream += grid::encodeFrame(
+        frameOf(types[i], "payload-" + std::to_string(i)));
+  }
+  std::size_t offset = 0;
+  for (std::size_t i = 0; i < types.size(); ++i) {
+    const auto f = grid::decodeFrame(stream, offset);
+    ASSERT_TRUE(f.has_value()) << i;
+    EXPECT_EQ(f->type, types[i]) << i;
+    EXPECT_EQ(f->payload, "payload-" + std::to_string(i)) << i;
+  }
+  EXPECT_EQ(offset, stream.size());
+  EXPECT_FALSE(grid::decodeFrame(stream, offset).has_value());
+
+  // Empty payloads round-trip too (Stats/Shutdown are header-only).
+  std::size_t o = 0;
+  const auto empty = grid::decodeFrame(
+      grid::encodeFrame(frameOf(grid::FrameType::Shutdown, "")), o);
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_EQ(empty->payload, "");
+}
+
+TEST(GridFrame, EveryTruncatedPrefixIsNeedMoreBytesNotAnError) {
+  const std::string whole =
+      grid::encodeFrame(frameOf(grid::FrameType::Submit, "some payload"));
+  // A truncated prefix of a valid frame — cut at EVERY byte boundary,
+  // inside the header and inside the payload — must read as "incomplete",
+  // never as malformed, and must not advance the offset.
+  for (std::size_t cut = 0; cut < whole.size(); ++cut) {
+    std::size_t offset = 0;
+    const auto f = grid::decodeFrame(
+        std::string_view(whole).substr(0, cut), offset);
+    EXPECT_FALSE(f.has_value()) << "cut=" << cut;
+    EXPECT_EQ(offset, 0u) << "cut=" << cut;
+  }
+}
+
+TEST(GridFrame, MalformedHeadersThrowBeforeAnyPayloadArrives) {
+  const auto decodes = [](std::string bytes) {
+    std::size_t offset = 0;
+    return grid::decodeFrame(bytes, offset);
+  };
+  const std::string good =
+      grid::encodeFrame(frameOf(grid::FrameType::Error, "x"));
+
+  // Bad magic.
+  std::string badMagic = good;
+  badMagic[0] = 'X';
+  EXPECT_THROW(decodes(badMagic), std::invalid_argument);
+
+  // Unknown protocol version.
+  std::string badVersion = good;
+  badVersion[2] = static_cast<char>(grid::kProtocolVersion + 1);
+  EXPECT_THROW(decodes(badVersion), std::invalid_argument);
+
+  // Unknown frame types on both sides of the valid range.
+  std::string badType = good;
+  badType[3] = 0;
+  EXPECT_THROW(decodes(badType), std::invalid_argument);
+  badType[3] = 42;
+  EXPECT_THROW(decodes(badType), std::invalid_argument);
+
+  // An adversarial length (kMaxFramePayload + 1, and the full 4 GiB)
+  // must throw from the bare 8-byte header — the payload NEVER follows,
+  // so a decoder that tried to allocate or wait for it would hang/balloon.
+  const auto headerWithLength = [](std::uint32_t n) {
+    std::string h = "PG";
+    h.push_back(static_cast<char>(grid::kProtocolVersion));
+    h.push_back(static_cast<char>(grid::FrameType::Submit));
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      h.push_back(static_cast<char>((n >> shift) & 0xff));
+    }
+    return h;
+  };
+  EXPECT_THROW(
+      decodes(headerWithLength(
+          static_cast<std::uint32_t>(grid::kMaxFramePayload) + 1)),
+      std::invalid_argument);
+  EXPECT_THROW(decodes(headerWithLength(0xffffffffu)),
+               std::invalid_argument);
+  // The cap itself is legal as a LENGTH — header-only, so: incomplete.
+  std::size_t offset = 0;
+  EXPECT_FALSE(
+      grid::decodeFrame(
+          headerWithLength(static_cast<std::uint32_t>(grid::kMaxFramePayload)),
+          offset)
+          .has_value());
+}
+
+TEST(GridFrame, RandomGarbageEitherThrowsOrWantsMoreNeverHangs) {
+  // Deterministic fuzz: random byte strings must hit exactly one of two
+  // outcomes — std::invalid_argument, or "need more bytes" — and when a
+  // frame IS (astronomically unlikely) valid, the offset must advance.
+  std::mt19937 rng(20110314);  // DATE'11
+  std::uniform_int_distribution<int> byte(0, 255);
+  std::uniform_int_distribution<std::size_t> len(0, 64);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes(len(rng), '\0');
+    for (auto& c : bytes) c = static_cast<char>(byte(rng));
+    std::size_t offset = 0;
+    try {
+      const auto f = grid::decodeFrame(bytes, offset);
+      if (f.has_value()) {
+        EXPECT_GT(offset, 0u);
+        EXPECT_LE(offset, bytes.size());
+      } else {
+        EXPECT_EQ(offset, 0u);
+      }
+    } catch (const std::invalid_argument&) {
+      // strict rejection: fine.
+    }
+  }
+}
+
+TEST(GridFrame, FdReaderHandlesCleanEofAndThrowsOnTruncation) {
+  const auto pipeWith = [](const std::string& bytes) {
+    int fds[2];
+    EXPECT_EQ(::pipe(fds), 0);
+    grid::net::writeAll(fds[1], bytes.data(), bytes.size());
+    ::close(fds[1]);  // EOF after `bytes`
+    return grid::net::Fd(fds[0]);
+  };
+
+  // A whole frame, then clean EOF: one successful read, then false.
+  const std::string whole =
+      grid::encodeFrame(frameOf(grid::FrameType::Shard, "spec"));
+  {
+    const auto fd = pipeWith(whole);
+    grid::Frame f;
+    ASSERT_TRUE(grid::readFrame(fd.get(), f));
+    EXPECT_EQ(f.payload, "spec");
+    EXPECT_FALSE(grid::readFrame(fd.get(), f));
+  }
+  // EOF inside the header: truncation, not clean EOF.
+  {
+    const auto fd = pipeWith(whole.substr(0, 5));
+    grid::Frame f;
+    EXPECT_THROW(grid::readFrame(fd.get(), f), std::runtime_error);
+  }
+  // A header promising payload bytes that never arrive: truncation.
+  {
+    const auto fd = pipeWith(whole.substr(0, grid::kFrameHeaderBytes + 1));
+    grid::Frame f;
+    EXPECT_THROW(grid::readFrame(fd.get(), f), std::runtime_error);
+  }
+}
+
+// -------------------------------------------------------- payload codecs
+
+TEST(GridPayloads, JobRequestRoundTripsAndRejectsGarbage) {
+  grid::JobRequest req;
+  req.spec.platform = "ooo-fifo";
+  req.spec.workload = "bubblesort-8";
+  req.spec.options.numStates = 6;
+  req.spec.qBegin = 1;
+  req.spec.qEnd = 5;
+  req.spec.iBegin = 2;
+  req.spec.iEnd = 9;
+  req.spec.engine.threads = 3;
+  req.shards = 7;
+  req.useCache = false;
+
+  const auto back = grid::parseJobRequest(grid::encodeJobRequest(req));
+  EXPECT_EQ(exp::serializeShardSpec(back.spec),
+            exp::serializeShardSpec(req.spec));
+  EXPECT_EQ(back.shards, 7u);
+  EXPECT_FALSE(back.useCache);
+
+  for (const char* bad :
+       {"", "not a job", "pred-job v1\n", "shards 4\nuse-cache 1\n"}) {
+    EXPECT_THROW(grid::parseJobRequest(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(GridPayloads, JobResultMsgRoundTripsAndRejectsGarbage) {
+  grid::JobResultMsg msg;
+  msg.cacheHit = true;
+  msg.fingerprint = "00deadbeef001234";
+  msg.accumulatorText = "line one\nline two\n";
+
+  const auto back = grid::parseJobResultMsg(grid::encodeJobResultMsg(msg));
+  EXPECT_TRUE(back.cacheHit);
+  EXPECT_EQ(back.fingerprint, msg.fingerprint);
+  EXPECT_EQ(back.accumulatorText, msg.accumulatorText);
+
+  for (const char* bad : {"", "garbage", "cache-hit maybe\n"}) {
+    EXPECT_THROW(grid::parseJobResultMsg(bad), std::invalid_argument) << bad;
+  }
+}
+
+TEST(GridPayloads, ShardResultMsgRoundTripsAndRejectsGarbage) {
+  grid::ShardResultMsg msg;
+  msg.accumulatorText = "acc bytes\nwith newlines\n";
+  msg.reportText = "report bytes\n";
+
+  const auto back =
+      grid::parseShardResultMsg(grid::encodeShardResultMsg(msg));
+  EXPECT_EQ(back.accumulatorText, msg.accumulatorText);
+  EXPECT_EQ(back.reportText, msg.reportText);
+
+  for (const char* bad : {"", "nonsense", "acc 3\nxyz"}) {
+    EXPECT_THROW(grid::parseShardResultMsg(bad), std::invalid_argument)
+        << bad;
+  }
+}
+
+// ----------------------------------------------------------- fingerprint
+
+TEST(GridFingerprint, Fnv1a64MatchesPublishedVectors) {
+  // Published FNV-1a 64 test vectors — the hash must be THE fnv1a, not a
+  // lookalike, so fingerprints stay stable across builds and machines.
+  EXPECT_EQ(grid::fnv1a64(""), 0xcbf29ce484222325ull);
+  EXPECT_EQ(grid::fnv1a64("a"), 0xaf63dc4c8601ec8cull);
+  EXPECT_EQ(grid::fnv1a64("foobar"), 0x85944171f73967e8ull);
+  // Chaining: hashing "ab" equals hashing "b" seeded with hash("a").
+  EXPECT_EQ(grid::fnv1a64("b", grid::fnv1a64("a")), grid::fnv1a64("ab"));
+
+  EXPECT_EQ(grid::fingerprintHex(0), "0000000000000000");
+  EXPECT_EQ(grid::fingerprintHex(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(grid::fingerprintHex(0xffffffffffffffffull),
+            "ffffffffffffffff");
+}
+
+TEST(GridFingerprint, SchedulingKnobsDoNotPerturbTheAddress) {
+  ShardSpec base;
+  base.platform = "inorder-lru";
+  base.workload = "bubblesort-8";
+  base.options.numStates = 8;
+  base.qEnd = 8;
+  base.iEnd = 40;
+  const std::string fp = grid::jobFingerprint(base);
+  ASSERT_EQ(fp.size(), 16u);
+  for (const char c : fp) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) << fp;
+  }
+
+  // Scheduling-only engine knobs must map to the SAME address — they pick
+  // how the grid is computed, never what the bytes are.
+  ShardSpec knobs = base;
+  knobs.engine.threads = 7;
+  knobs.engine.tileStates = 16;
+  knobs.engine.tileInputs = 2;
+  knobs.engine.usePackedReplay = !knobs.engine.usePackedReplay;
+  EXPECT_EQ(grid::jobFingerprint(knobs), fp);
+
+  // Everything result-affecting must move it.
+  ShardSpec other = base;
+  other.platform = "ooo-fifo";
+  EXPECT_NE(grid::jobFingerprint(other), fp);
+  other = base;
+  other.workload = "linearsearch-12";
+  EXPECT_NE(grid::jobFingerprint(other), fp);
+  other = base;
+  other.qEnd = 7;
+  EXPECT_NE(grid::jobFingerprint(other), fp);
+  other = base;
+  other.iBegin = 1;
+  EXPECT_NE(grid::jobFingerprint(other), fp);
+  other = base;
+  other.options.numStates = 6;
+  EXPECT_NE(grid::jobFingerprint(other), fp);
+}
+
+// ----------------------------------------------------------- result cache
+
+TEST(GridCache, CountsHitsMissesAndEvictsLeastRecentlyUsed) {
+  grid::ResultCache cache(2);
+  EXPECT_EQ(cache.maxEntries(), 2u);
+  EXPECT_FALSE(cache.lookup("a").has_value());
+  EXPECT_EQ(cache.misses(), 1u);
+
+  cache.insert("a", "bytes-a");
+  cache.insert("b", "bytes-b");
+  EXPECT_EQ(cache.size(), 2u);
+
+  // Touch "a" so "b" becomes the LRU entry; inserting "c" must evict "b".
+  EXPECT_EQ(cache.lookup("a").value(), "bytes-a");
+  cache.insert("c", "bytes-c");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_FALSE(cache.lookup("b").has_value());
+  EXPECT_EQ(cache.lookup("a").value(), "bytes-a");
+  EXPECT_EQ(cache.lookup("c").value(), "bytes-c");
+  EXPECT_EQ(cache.hits(), 3u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Re-inserting an existing key replaces bytes without growing the cache.
+  cache.insert("a", "bytes-a2");
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.lookup("a").value(), "bytes-a2");
+}
+
+TEST(GridCache, ZeroEntriesDisablesCachingEntirely) {
+  grid::ResultCache cache(0);
+  cache.insert("k", "v");
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.lookup("k").has_value());
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+// -------------------------------------------------------------- scheduler
+
+TEST(GridScheduler, MatchesSingleProcessBytesAtEveryWorkerCount) {
+  const auto g = makeTestGrid();
+  const auto eval = study::gridShardEvaluator();
+  // 7 shards of an 8 x |I| grid: a non-divisible split, stolen by 1, 2,
+  // and 4 workers — every combination must merge to the single-process
+  // bytes exactly.
+  const auto plan = exp::planShards(g.whole, 7);
+  for (const int workers : {1, 2, 4}) {
+    grid::SchedulerConfig cfg;
+    cfg.workers = workers;
+    cfg.retryBackoffMs = 1;
+    grid::WorkStealingScheduler sched(cfg);
+    EXPECT_EQ(sched.estimatedNsPerCell(), 0.0);
+    const auto outcome = sched.run(plan, eval);
+    const std::string label = "workers=" + std::to_string(workers);
+    EXPECT_EQ(outcome.merged.serialize(), g.singleBytes) << label;
+    EXPECT_EQ(outcome.shardCount, plan.size()) << label;
+    EXPECT_EQ(outcome.retries, 0u) << label;
+    // The cost model calibrated itself from the shards' own reports.
+    EXPECT_GT(sched.estimatedNsPerCell(), 0.0) << label;
+  }
+
+  grid::WorkStealingScheduler sched(grid::SchedulerConfig{});
+  EXPECT_THROW(sched.run({}, eval), std::invalid_argument);
+}
+
+TEST(GridScheduler, RetriesInjectedFailuresAndStaysByteIdentical) {
+  const auto g = makeTestGrid();
+  const auto real = study::gridShardEvaluator();
+
+  // Every shard's FIRST attempt throws; retries succeed.  The outcome
+  // must be byte-identical anyway — a retried shard's contribution is
+  // indistinguishable from a first-try one.
+  std::mutex mu;
+  std::set<std::pair<std::size_t, std::size_t>> failed;
+  const grid::ShardEvalFn flaky =
+      [&](const ShardSpec& spec) -> grid::ShardOutput {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (failed.insert({spec.qBegin, spec.iBegin}).second) {
+        throw std::runtime_error("injected first-attempt failure");
+      }
+    }
+    return real(spec);
+  };
+
+  obs::MetricsRegistry metrics;
+  grid::SchedulerConfig cfg;
+  cfg.workers = 3;
+  cfg.maxAttempts = 3;
+  cfg.retryBackoffMs = 1;
+  cfg.metrics = &metrics;
+  grid::WorkStealingScheduler sched(cfg);
+
+  const auto plan = exp::planShards(g.whole, 5);
+  const auto outcome = sched.run(plan, flaky);
+  EXPECT_EQ(outcome.merged.serialize(), g.singleBytes);
+  EXPECT_EQ(outcome.retries, plan.size());
+  EXPECT_EQ(metrics.counterValues().at("grid.shards.retried"), plan.size());
+  // Every shard was dispatched twice: the failed attempt plus the retry.
+  EXPECT_EQ(metrics.counterValues().at("grid.shards.dispatched"),
+            2 * plan.size());
+}
+
+TEST(GridScheduler, FailsLoudlyOnceAttemptsAreExhausted) {
+  const auto g = makeTestGrid();
+  grid::SchedulerConfig cfg;
+  cfg.workers = 2;
+  cfg.maxAttempts = 2;
+  cfg.retryBackoffMs = 1;
+  grid::WorkStealingScheduler sched(cfg);
+
+  const grid::ShardEvalFn alwaysFails =
+      [](const ShardSpec&) -> grid::ShardOutput {
+    throw std::runtime_error("this shard never succeeds");
+  };
+  try {
+    sched.run(exp::planShards(g.whole, 4), alwaysFails);
+    FAIL() << "expected the job to fail after maxAttempts";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 attempt"), std::string::npos) << what;
+    EXPECT_NE(what.find("never succeeds"), std::string::npos) << what;
+  }
+}
+
+// -------------------------------------------- server + client end to end
+
+TEST(GridServer, ServesSecondSubmissionFromTheCacheWithIdenticalBytes) {
+  const auto g = makeTestGrid();
+  InProcessServer fixture(/*workers=*/2);
+  grid::GridClient client(fixture.endpoint());
+
+  // First submission: computed, cached, byte-identical to reduceCells.
+  const auto first = client.submit(g.whole, 4);
+  EXPECT_FALSE(first.cacheHit);
+  EXPECT_EQ(first.accumulatorText, g.singleBytes);
+  EXPECT_EQ(first.fingerprint, grid::jobFingerprint(g.whole));
+  EXPECT_TRUE(first.measures.identicalTo(
+      StreamingMeasures::deserialize(g.singleBytes)));
+
+  // Second submission: the acceptance criterion — a cache hit with the
+  // EXACT same bytes.
+  const auto second = client.submit(g.whole, 4);
+  EXPECT_TRUE(second.cacheHit);
+  EXPECT_EQ(second.accumulatorText, g.singleBytes);
+  EXPECT_EQ(second.fingerprint, first.fingerprint);
+
+  // A different shard split of the same grid is the same content address:
+  // still a hit, still the same bytes.
+  const auto resharded = client.submit(g.whole, 7);
+  EXPECT_TRUE(resharded.cacheHit);
+  EXPECT_EQ(resharded.accumulatorText, g.singleBytes);
+
+  // useCache=false bypasses the lookup (recomputes) but not the insert.
+  const auto forced = client.submit(g.whole, 4, /*useCache=*/false);
+  EXPECT_FALSE(forced.cacheHit);
+  EXPECT_EQ(forced.accumulatorText, g.singleBytes);
+
+  // The server's own telemetry agrees.
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.counters.at("grid.cache.hits"), 2u);
+  EXPECT_EQ(stats.counters.at("grid.cache.misses"), 1u);
+  // grid.jobs counts EVALUATED jobs: the first submission plus the forced
+  // recomputation; the two cache hits never reached the scheduler.
+  EXPECT_EQ(stats.counters.at("grid.jobs"), 2u);
+  EXPECT_EQ(fixture.server().cache().hits(), 2u);
+  EXPECT_EQ(fixture.server().cache().size(), 1u);
+  // `client` disconnects first (scope order), then the fixture's
+  // destructor runs the Shutdown/ShutdownAck handshake.
+}
+
+TEST(GridServer, SurvivesGarbageConnectionsAndKeepsServing) {
+  const auto g = makeTestGrid();
+  InProcessServer fixture(/*workers=*/2);
+
+  // A hostile peer: 16 bytes of garbage, then write-close.  The server
+  // must reply best-effort Error (or just drop us), close the
+  // connection, and keep its accept loop alive.
+  {
+    const auto ep = grid::net::parseEndpoint(fixture.endpoint());
+    const auto fd = grid::net::connectTo(ep);
+    const std::string garbage(16, 'X');
+    grid::net::writeAll(fd.get(), garbage.data(), garbage.size());
+    ::shutdown(fd.get(), SHUT_WR);
+    grid::Frame reply;
+    try {
+      if (grid::readFrame(fd.get(), reply)) {
+        EXPECT_EQ(reply.type, grid::FrameType::Error);
+      }
+    } catch (const std::exception&) {
+      // The server may also close before the reply lands; either way the
+      // point is the NEXT connection, below.
+    }
+  }
+
+  // A well-formed client right after the garbage one: served normally.
+  grid::GridClient client(fixture.endpoint());
+  const auto result = client.submit(g.whole, 3);
+  EXPECT_EQ(result.accumulatorText, g.singleBytes);
+  const auto stats = client.stats();
+  EXPECT_GE(stats.counters.at("grid.bad_frames"), 1u);
+}
+
+TEST(GridServer, RejectsJobsForUnknownNamesWithoutDying) {
+  InProcessServer fixture(/*workers=*/2);
+  grid::GridClient client(fixture.endpoint());
+
+  ShardSpec bogus;
+  bogus.platform = "no-such-platform";
+  bogus.workload = "bubblesort-8";
+  bogus.qEnd = 4;
+  bogus.iEnd = 4;
+  // The server answers with an Error frame (re-thrown here), and the
+  // SAME connection keeps working afterwards.
+  EXPECT_THROW(client.submit(bogus, 2), std::runtime_error);
+
+  const auto g = makeTestGrid();
+  EXPECT_EQ(client.submit(g.whole, 2).accumulatorText, g.singleBytes);
+}
+
+// -------------------------------------------------- study-layer entry
+
+TEST(GridQuery, RunDistributedMatchesRunAndReportsTheCacheHit) {
+  InProcessServer fixture(/*workers=*/2);
+
+  exp::ExperimentEngine engine;
+  const auto query = study::Query()
+                         .workload("bubblesort-8")
+                         .platform("ooo-fifo")
+                         .mode(study::Exhaustive{});
+  const auto reference = query.run(engine);
+
+  // The server handles connections sequentially, so close this client's
+  // connection (scope exit) before the endpoint-overload call below dials
+  // its own.
+  {
+    grid::GridClient client(fixture.endpoint());
+    for (const std::size_t shards : {1u, 3u}) {
+      const auto finding = query.runDistributed(client, shards);
+      const std::string label = "shards=" + std::to_string(shards);
+      EXPECT_EQ(finding.workload, reference.workload) << label;
+      EXPECT_EQ(finding.platform, reference.platform) << label;
+      EXPECT_EQ(finding.numStates, reference.numStates) << label;
+      EXPECT_EQ(finding.numInputs, reference.numInputs) << label;
+      EXPECT_EQ(finding.bcet, reference.bcet) << label;
+      EXPECT_EQ(finding.wcet, reference.wcet) << label;
+      EXPECT_EQ(finding.stateLabels, reference.stateLabels) << label;
+      expectSamePredictabilityValue(finding.pr, reference.pr, label);
+      expectSamePredictabilityValue(finding.sipr, reference.sipr, label);
+      expectSamePredictabilityValue(finding.iipr, reference.iipr, label);
+
+      // First submission computes, later ones hit the cache (the shard
+      // count is a scheduling knob, so shards=3 shares shards=1's
+      // address); the Finding's report carries the flag either way.
+      ASSERT_TRUE(finding.report.has_value()) << label;
+      EXPECT_EQ(finding.report->counters.at("grid.cache.hit"),
+                shards == 1 ? 0u : 1u)
+          << label;
+    }
+  }
+
+  // The endpoint-string overload dials its own connection.
+  const auto viaEndpoint = query.runDistributed(fixture.endpoint(), 2);
+  ASSERT_TRUE(viaEndpoint.report.has_value());
+  EXPECT_EQ(viaEndpoint.report->counters.at("grid.cache.hit"), 1u);
+  EXPECT_EQ(viaEndpoint.bcet, reference.bcet);
+  EXPECT_EQ(viaEndpoint.wcet, reference.wcet);
+}
+
+}  // namespace
+}  // namespace pred

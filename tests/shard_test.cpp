@@ -187,6 +187,77 @@ TEST(ShardPlan, CoversTheGridDisjointlySmallestIndexFirst) {
   EXPECT_THROW(exp::planShards(empty, 4), std::invalid_argument);
 }
 
+TEST(ShardPlan, EdgeCountsClampWithoutLosingExactCover) {
+  ShardSpec whole;
+  whole.platform = "inorder-lru";
+  whole.workload = "bubblesort-8";
+  whole.qEnd = 7;
+  whole.iEnd = 5;
+
+  // count == 0 clamps up to one shard: the whole grid, untouched.
+  const auto zero = exp::planShards(whole, 0);
+  ASSERT_EQ(zero.size(), 1u);
+  EXPECT_EQ(zero[0].qBegin, 0u);
+  EXPECT_EQ(zero[0].qEnd, 7u);
+  EXPECT_EQ(zero[0].iBegin, 0u);
+  EXPECT_EQ(zero[0].iEnd, 5u);
+
+  // count > |Q| switches to per-state input splits — every shard is a
+  // single-state band, and a non-divisible count (11 over 7 states, 17
+  // over 7) still covers each cell exactly once.
+  for (const std::size_t k : {11u, 17u}) {
+    const auto plan = exp::planShards(whole, k);
+    EXPECT_EQ(plan.size(), k);
+    std::vector<int> covered(7 * 5, 0);
+    for (const auto& s : plan) {
+      EXPECT_EQ(s.qEnd - s.qBegin, 1u) << k;  // one state per shard
+      for (std::size_t q = s.qBegin; q < s.qEnd; ++q) {
+        for (std::size_t i = s.iBegin; i < s.iEnd; ++i) {
+          ++covered[q * 5 + i];
+        }
+      }
+    }
+    for (const int c : covered) EXPECT_EQ(c, 1) << k;
+  }
+
+  // count == cells: 35 single-cell shards, still an exact disjoint cover.
+  const auto cells = exp::planShards(whole, 35);
+  EXPECT_EQ(cells.size(), 35u);
+  std::vector<int> covered(7 * 5, 0);
+  for (const auto& s : cells) {
+    EXPECT_EQ((s.qEnd - s.qBegin) * (s.iEnd - s.iBegin), 1u);
+    ++covered[s.qBegin * 5 + s.iBegin];
+  }
+  for (const int c : covered) EXPECT_EQ(c, 1);
+
+  // A sub-rectangle (non-zero begins) splits within its own bounds.
+  ShardSpec sub = whole;
+  sub.qBegin = 2;
+  sub.qEnd = 6;
+  sub.iBegin = 1;
+  sub.iEnd = 4;
+  const auto subPlan = exp::planShards(sub, 3);
+  ASSERT_EQ(subPlan.size(), 3u);
+  std::vector<int> subCovered(7 * 5, 0);
+  for (const auto& s : subPlan) {
+    ASSERT_GE(s.qBegin, 2u);
+    ASSERT_LE(s.qEnd, 6u);
+    ASSERT_GE(s.iBegin, 1u);
+    ASSERT_LE(s.iEnd, 4u);
+    for (std::size_t q = s.qBegin; q < s.qEnd; ++q) {
+      for (std::size_t i = s.iBegin; i < s.iEnd; ++i) {
+        ++subCovered[q * 5 + i];
+      }
+    }
+  }
+  for (std::size_t q = 0; q < 7; ++q) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      const bool inside = q >= 2 && q < 6 && i >= 1 && i < 4;
+      EXPECT_EQ(subCovered[q * 5 + i], inside ? 1 : 0) << q << "," << i;
+    }
+  }
+}
+
 TEST(ShardSpecWire, RoundTripsEveryField) {
   ShardSpec spec;
   spec.platform = "ooo-preschedule";

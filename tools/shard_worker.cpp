@@ -1,7 +1,7 @@
 // shard_worker.cpp — pred-shard-worker: the process-level grid shard
 // executor (exp/shard.h made invocable).
 //
-// One binary, five subcommands, composing into the distribution pipeline
+// One binary, six subcommands, composing into the distribution pipeline
 // that scripts/shard_run.sh drives end to end:
 //
 //   plan    instantiate a (platform, workload) grid, partition it into K
@@ -14,6 +14,11 @@
 //   report  fold per-shard RunReports into the fleet telemetry view
 //   single  the reference: the same grid through one in-process
 //           reduceCells, emitted in the same format
+//   serve   persistent worker mode for the grid scheduler: speak the
+//           framed protocol (grid/protocol.h) over stdin/stdout — Shard
+//           frames in, ShardResult (or Error) frames out — until EOF or
+//           a Shutdown frame; --exit-after N injects a deterministic
+//           mid-run death for fault-tolerance smokes
 //
 // Determinism contract: merge(run(shard_1), ..., run(shard_K)) is
 // byte-for-byte identical to single, for any K and any shard shape —
@@ -28,11 +33,14 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "core/measures.h"
 #include "core/wire.h"
 #include "exp/engine.h"
 #include "exp/platform.h"
 #include "exp/shard.h"
+#include "grid/protocol.h"
 #include "obs/run_report.h"
 #include "study/workloads.h"
 
@@ -68,7 +76,12 @@ int usage() {
       "\n"
       "  pred-shard-worker single --platform P --workload W [--states N]\n"
       "                           [--threads T] [--interpreted]\n"
-      "      the single-process reference for the same grid\n");
+      "      the single-process reference for the same grid\n"
+      "\n"
+      "  pred-shard-worker serve [--exit-after N]\n"
+      "      persistent worker for pred-grid-server: framed Shard requests\n"
+      "      on stdin, ShardResult replies on stdout, until EOF/Shutdown;\n"
+      "      --exit-after N dies on receiving shard N+1 (fault injection)\n");
   return 2;
 }
 
@@ -286,6 +299,54 @@ int cmdSingle(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmdServe(const std::vector<std::string>& args) {
+  bool haveExitAfter = false;
+  std::size_t exitAfter = 0;
+  for (std::size_t k = 0; k < args.size(); ++k) {
+    if (args[k] == "--exit-after") {
+      exitAfter = flagNumber<std::size_t>(args[k], flagValue(args, k));
+      haveExitAfter = true;
+    } else {
+      throw std::invalid_argument("unknown flag: " + args[k]);
+    }
+  }
+  std::size_t served = 0;
+  grid::Frame frame;
+  for (;;) {
+    if (!grid::readFrame(STDIN_FILENO, frame)) return 0;  // scheduler EOF
+    if (frame.type == grid::FrameType::Shutdown) return 0;
+    if (frame.type != grid::FrameType::Shard) {
+      grid::writeFrame(STDOUT_FILENO,
+                       grid::Frame{grid::FrameType::Error,
+                                   "serve expects Shard frames"});
+      continue;
+    }
+    // Fault injection: die on RECEIPT of shard exitAfter+1 — after the
+    // scheduler committed the dispatch, before any reply — the orphaned-
+    // shard shape the retry path must survive.
+    if (haveExitAfter && served >= exitAfter) ::_exit(3);
+    try {
+      const auto spec = exp::parseShardSpec(frame.payload);
+      const auto w = study::WorkloadRegistry::instance().make(spec.workload);
+      obs::RunReport report;
+      const auto acc = exp::evaluateShard(
+          spec, w.program, w.inputs, exp::PlatformRegistry::instance(),
+          &report);
+      grid::ShardResultMsg msg{acc.serialize(), report.serialize()};
+      grid::writeFrame(
+          STDOUT_FILENO,
+          grid::Frame{grid::FrameType::ShardResult,
+                      grid::encodeShardResultMsg(msg)});
+      ++served;
+    } catch (const std::exception& e) {
+      // Evaluation/parse failure: this worker is still healthy — report
+      // the attempt failed and keep serving.
+      grid::writeFrame(STDOUT_FILENO,
+                       grid::Frame{grid::FrameType::Error, e.what()});
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,6 +359,7 @@ int main(int argc, char** argv) {
     if (cmd == "merge") return cmdMerge(args);
     if (cmd == "report") return cmdReport(args);
     if (cmd == "single") return cmdSingle(args);
+    if (cmd == "serve") return cmdServe(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pred-shard-worker %s: error: %s\n", cmd.c_str(),
