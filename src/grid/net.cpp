@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -112,7 +113,19 @@ Fd listenOn(const Endpoint& ep, int backlog, int* boundPort) {
   Fd fd(::socket(ep.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) sysFail("socket");
   if (ep.isUnix) {
-    ::unlink(ep.path.c_str());  // a stale socket file must not block restart
+    // A stale socket file must not block restart, but a mistyped --listen
+    // pointing at a regular file must not get that file deleted: only
+    // unlink what is actually a socket.
+    struct stat sb {};
+    if (::lstat(ep.path.c_str(), &sb) == 0) {
+      if (!S_ISSOCK(sb.st_mode)) {
+        throw std::runtime_error("refusing to replace non-socket file at " +
+                                 endpointText(ep));
+      }
+      ::unlink(ep.path.c_str());
+    } else if (errno != ENOENT) {
+      sysFail("stat " + endpointText(ep));
+    }
     const auto addr = unixAddr(ep.path);
     if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                sizeof(addr)) != 0) {

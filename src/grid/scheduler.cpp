@@ -55,9 +55,22 @@ struct WorkStealingScheduler::RunState {
   std::uint64_t deaths = 0;
   std::string fatal;  ///< non-empty aborts the run
 
+  /// Cost-model scalar the ranking multiplies cell counts by; refreshed
+  /// from the scheduler's EWMA each time a shard completes.  1.0 until the
+  /// first shard calibrates it.
+  double nsPerCell = 1.0;
+
+  /// Estimated wall cost of shard `index`.  The telemetry feedback enters
+  /// the ranking here; with a single global ns/cell scalar the ordering
+  /// equals LPT by cells, and a per-shard estimate (e.g. keyed by
+  /// platform) would slot in at this seam without touching pick().
+  double costOf(std::size_t index) const {
+    return static_cast<double>(cellsOf((*shards)[index])) * nsPerCell;
+  }
+
   /// Index into `pending` of the best eligible shard at `now` — retried
-  /// shards first (they gate job completion), then costliest (LPT) — or
-  /// npos when none is eligible yet.
+  /// shards first (they gate job completion), then costliest by the
+  /// calibrated estimate (LPT) — or npos when none is eligible yet.
   std::size_t pick(Clock::time_point now) const {
     std::size_t best = static_cast<std::size_t>(-1);
     for (std::size_t k = 0; k < pending.size(); ++k) {
@@ -68,8 +81,7 @@ struct WorkStealingScheduler::RunState {
       }
       const std::size_t bi = pending[best].index, ki = pending[k].index;
       const int ab = attempts[bi], ak = attempts[ki];
-      if (ak != ab ? ak > ab : cellsOf((*shards)[ki]) > cellsOf((*shards)[bi]))
-        best = k;
+      if (ak != ab ? ak > ab : costOf(ki) > costOf(bi)) best = k;
     }
     return best;
   }
@@ -103,6 +115,7 @@ void WorkStealingScheduler::noteShardDone(RunState& st, std::size_t index,
     ewmaNsPerCell_ = ewmaNsPerCell_ == 0.0
                          ? sample
                          : 0.7 * ewmaNsPerCell_ + 0.3 * sample;
+    st.nsPerCell = ewmaNsPerCell_;
   }
   st.results[index].emplace(std::move(out));
   ++st.completed;
@@ -117,8 +130,14 @@ bool WorkStealingScheduler::noteShardFailed(RunState& st, std::size_t index,
                " attempt(s): " + why;
     return false;
   }
-  const std::uint64_t backoffMs = config_.retryBackoffMs
-                                  << (made > 0 ? made - 1 : 0);
+  // maxAttempts is an unbounded user flag, so the exponent must be clamped
+  // (a shift count >= 64 is UB) and the wait capped at a sane ceiling.
+  constexpr std::uint64_t kMaxBackoffMs = 60'000;
+  const int shift = std::min(made > 0 ? made - 1 : 0, 20);
+  const std::uint64_t backoffMs =
+      config_.retryBackoffMs > (kMaxBackoffMs >> shift)
+          ? kMaxBackoffMs
+          : config_.retryBackoffMs << shift;
   st.pending.push_back(
       {index, Clock::now() + std::chrono::milliseconds(backoffMs)});
   ++st.retries;
@@ -153,6 +172,7 @@ JobOutcome WorkStealingScheduler::run(const std::vector<exp::ShardSpec>&
 
   RunState st;
   st.shards = &shards;
+  if (ewmaNsPerCell_ > 0.0) st.nsPerCell = ewmaNsPerCell_;
   st.attempts.assign(shards.size(), 0);
   st.results.resize(shards.size());
   st.pending.reserve(shards.size());
@@ -335,6 +355,7 @@ JobOutcome WorkStealingScheduler::runSubprocess(
 
   RunState st;
   st.shards = &shards;
+  if (ewmaNsPerCell_ > 0.0) st.nsPerCell = ewmaNsPerCell_;
   st.attempts.assign(shards.size(), 0);
   st.results.resize(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i)

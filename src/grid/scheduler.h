@@ -5,9 +5,11 @@
 // sit in one shared queue, idle workers STEAL the costliest eligible
 // shard (longest-processing-time-first self-scheduling — the classic 2x
 // bound on makespan skew), and every completed shard's RunReport feeds an
-// EWMA ns/cell cost model back into the queue ordering, so the estimate
-// the next steal is ranked by comes from the fleet's own telemetry
-// rather than a static guess.
+// EWMA ns/cell cost model whose estimate (cells x ns/cell) is what the
+// next steal is ranked by.  Today the model is one global scalar, so the
+// ordering coincides with LPT by cell count; the value of routing the
+// ranking through it is the seam — a per-shard estimate (say, keyed by
+// platform) drops into RunState::costOf without touching the queue.
 //
 // Two execution modes share the queue and the retry policy:
 //
@@ -53,7 +55,9 @@ struct SchedulerConfig {
   /// Spawns per subprocess slot (initial spawn + respawns) before the slot
   /// is retired (>= 1).
   int maxSpawnsPerSlot = 4;
-  /// Base retry backoff; attempt k waits retryBackoffMs * 2^(k-1).
+  /// Base retry backoff; attempt k waits retryBackoffMs * 2^(k-1), capped
+  /// at 60 s (the exponent is also clamped, so an arbitrarily large
+  /// maxAttempts cannot overflow the shift).
   std::uint64_t retryBackoffMs = 25;
   /// Per-shard wall-time budget in subprocess mode; a worker that exceeds
   /// it is killed and its shard retried.  0 disables the timeout.

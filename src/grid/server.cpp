@@ -12,6 +12,23 @@
 
 namespace pred::grid {
 
+namespace {
+
+/// Best-effort reply.  A peer that vanishes before reading its reply
+/// (timeout, Ctrl-C, crash after Submit) makes writeFrame throw EPIPE;
+/// that is a dead connection, not a dead server, so the failure must not
+/// escape into the accept loop.  Returns false when the peer is gone.
+bool tryWriteFrame(int fd, const Frame& frame) {
+  try {
+    writeFrame(fd, frame);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
 GridServer::GridServer(ServerConfig config)
     : config_(std::move(config)),
       endpoint_(net::parseEndpoint(config_.endpoint)),
@@ -69,11 +86,8 @@ bool GridServer::handleConnection(int fd) {
       // lost), but the server is not — tell the peer if it still listens,
       // drop the connection, keep accepting.
       metrics_.counter("grid.bad_frames").add();
-      try {
-        writeFrame(fd, Frame{FrameType::Error,
-                             std::string("malformed frame: ") + e.what()});
-      } catch (...) {
-      }
+      tryWriteFrame(fd, Frame{FrameType::Error,
+                              std::string("malformed frame: ") + e.what()});
       return true;
     }
 
@@ -87,22 +101,22 @@ bool GridServer::handleConnection(int fd) {
         } catch (const std::exception& e) {
           reply = Frame{FrameType::Error, e.what()};
         }
-        writeFrame(fd, reply);
+        if (!tryWriteFrame(fd, reply)) return true;
         break;
       }
       case FrameType::StatsRequest:
-        writeFrame(fd,
-                   Frame{FrameType::StatsReply, statsReport().serialize()});
+        if (!tryWriteFrame(
+                fd, Frame{FrameType::StatsReply, statsReport().serialize()}))
+          return true;
         break;
       case FrameType::Shutdown:
-        try {
-          writeFrame(fd, Frame{FrameType::ShutdownAck, ""});
-        } catch (...) {
-        }
+        tryWriteFrame(fd, Frame{FrameType::ShutdownAck, ""});
         return false;
       default:
-        writeFrame(fd, Frame{FrameType::Error,
-                             "unexpected frame type for a grid server"});
+        if (!tryWriteFrame(fd,
+                           Frame{FrameType::Error,
+                                 "unexpected frame type for a grid server"}))
+          return true;
         break;
     }
   }

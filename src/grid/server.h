@@ -25,8 +25,9 @@
 // grid.cache.misses.  A JobRequest with useCache=false skips the lookup
 // (never the insert) so fault-injection smokes can force recomputation.
 // Malformed frames on a connection get a best-effort Error reply and the
-// connection is dropped — the accept loop itself never dies on client
-// garbage.
+// connection is dropped; a peer that vanishes before reading its reply
+// (EPIPE on the write) is dropped the same way — the accept loop itself
+// never dies on client behavior.
 
 #include <cstdint>
 #include <string>

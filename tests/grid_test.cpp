@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <fstream>
 #include <mutex>
 #include <optional>
 #include <random>
@@ -614,6 +615,49 @@ TEST(GridServer, SurvivesGarbageConnectionsAndKeepsServing) {
   EXPECT_EQ(result.accumulatorText, g.singleBytes);
   const auto stats = client.stats();
   EXPECT_GE(stats.counters.at("grid.bad_frames"), 1u);
+}
+
+TEST(GridServer, SurvivesAPeerThatVanishesBeforeReadingItsReply) {
+  const auto g = makeTestGrid();
+  InProcessServer fixture(/*workers=*/2);
+
+  // A flaky peer: a well-formed Submit, then gone (timeout / Ctrl-C /
+  // crash) before reading the Result frame.  The server's reply write
+  // hits EPIPE; that must kill the connection, never the daemon.
+  {
+    const auto ep = grid::net::parseEndpoint(fixture.endpoint());
+    const auto fd = grid::net::connectTo(ep);
+    grid::writeFrame(fd.get(),
+                     grid::Frame{grid::FrameType::Submit,
+                                 grid::encodeJobRequest(
+                                     grid::JobRequest{g.whole, 2, true})});
+    // Scope exit closes the socket while the server is still evaluating.
+  }
+
+  // The accept loop (and the result cache it fronts) must still be alive:
+  // the vanished peer's job was computed and cached, so this is a hit.
+  grid::GridClient client(fixture.endpoint());
+  const auto result = client.submit(g.whole, 2);
+  EXPECT_EQ(result.accumulatorText, g.singleBytes);
+}
+
+TEST(GridNet, ListenRefusesToReplaceANonSocketFile) {
+  const std::string path = uniqueSocketPath();
+  {
+    std::ofstream out(path);
+    out << "precious operator data\n";
+  }
+  grid::net::Endpoint ep;
+  ep.isUnix = true;
+  ep.path = path;
+  EXPECT_THROW(grid::net::listenOn(ep, /*backlog=*/4, nullptr),
+               std::runtime_error);
+  // The mistyped target survives untouched.
+  std::ifstream in(path);
+  std::string line;
+  EXPECT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "precious operator data");
+  ::unlink(path.c_str());
 }
 
 TEST(GridServer, RejectsJobsForUnknownNamesWithoutDying) {
