@@ -12,6 +12,10 @@
 //    content-addressed result cache (same fingerprint -> same bytes)
 //    without touching the scheduler.
 // 4. Read the server's own telemetry (grid.* counters) over the wire.
+// 5. Tear the server down and build a NEW one on the same cacheDir: the
+//    result cache journals every insert to disk, so the restarted server
+//    answers the third submission from the recovered journal — same
+//    fingerprint, same bytes, zero shards dispatched.
 //
 // The deployment shape — a standalone daemon with subprocess workers that
 // survive kill -9, driven from the shell — is:
@@ -23,8 +27,10 @@
 // Build & run:   ./build/example_grid_quickstart
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "grid/client.h"
@@ -34,25 +40,41 @@
 
 using namespace pred;
 
-int main() {
-  // --- 1. A grid server on a local socket, 2 stealing workers. -----------
-  const std::string socketPath =
-      "/tmp/pred-grid-quickstart-" + std::to_string(::getpid()) + ".sock";
+namespace {
+
+grid::ServerConfig makeConfig(const std::string& socketPath,
+                              const std::string& cacheDir) {
   grid::ServerConfig config;
   config.endpoint = "unix:" + socketPath;
   config.scheduler.workers = 2;
   config.eval = study::gridShardEvaluator();  // in-process evaluation
-  grid::GridServer server(std::move(config));
-  std::thread serverThread([&server] { server.serveForever(); });
-  std::printf("server listening on %s\n", server.boundEndpointText().c_str());
+  config.cacheDir = cacheDir;  // journal every result to disk
+  return config;
+}
 
+}  // namespace
+
+int main() {
+  // --- 1. A grid server on a local socket, 2 stealing workers. -----------
+  // cacheDir makes the result cache crash-safe: every insert is journaled,
+  // and a server built later on the same dir recovers it (step 5).
+  const std::string suffix = std::to_string(::getpid());
+  const std::string socketPath = "/tmp/pred-grid-quickstart-" + suffix + ".sock";
+  const std::string cacheDir = "/tmp/pred-grid-quickstart-cache-" + suffix;
+  ::mkdir(cacheDir.c_str(), 0700);
+  auto server = std::make_unique<grid::GridServer>(
+      makeConfig(socketPath, cacheDir));
+  std::thread serverThread([&server] { server->serveForever(); });
+  std::printf("server listening on %s\n", server->boundEndpointText().c_str());
+
+  const auto query = study::Query()
+                         .workload("bubblesort-8")
+                         .platform("ooo-fifo")
+                         .mode(study::Exhaustive{});
+  double firstPr = 0.0;
   {
     // --- 2. A Table-1 row, evaluated remotely in 4 shards. ---------------
-    const auto query = study::Query()
-                           .workload("bubblesort-8")
-                           .platform("ooo-fifo")
-                           .mode(study::Exhaustive{});
-    grid::GridClient client(server.boundEndpointText());
+    grid::GridClient client(server->boundEndpointText());
     const auto finding = query.runDistributed(client, /*shards=*/4);
     std::printf("%s\n", finding.summary().c_str());
     std::printf("Pr   (Def. 3) = %.4f   %s\n", finding.pr.value,
@@ -62,6 +84,7 @@ int main() {
     std::printf("first run : cache hit = %llu\n",
                 static_cast<unsigned long long>(
                     finding.report->counters.at("grid.cache.hit")));
+    firstPr = finding.pr.value;
 
     // --- 3. The same row again: served from the result cache. ------------
     // The fingerprint covers platform + options + workload + grid
@@ -71,7 +94,7 @@ int main() {
     std::printf("second run: cache hit = %llu  (same measures: %s)\n",
                 static_cast<unsigned long long>(
                     again.report->counters.at("grid.cache.hit")),
-                again.pr.value == finding.pr.value ? "yes" : "NO");
+                again.pr.value == firstPr ? "yes" : "NO");
 
     // --- 4. The server's telemetry, over the wire. ------------------------
     const auto stats = client.stats();
@@ -83,8 +106,36 @@ int main() {
     }
   }  // closes the client connection before the shutdown handshake below
 
-  grid::GridClient(server.boundEndpointText()).shutdownServer();
+  // --- 5. Restart on the same cacheDir: the hit survives the server. -----
+  // Tear the whole server down (in production: kill -9 and a new daemon
+  // with the same --cache-dir) and build a fresh one.  Its cache replays
+  // the journal on construction, so the third submission is a hit served
+  // from disk — byte-identical, no shards dispatched.
+  grid::GridClient(server->boundEndpointText()).shutdownServer();
+  serverThread.join();
+  server.reset();
+  ::unlink(socketPath.c_str());
+
+  server = std::make_unique<grid::GridServer>(makeConfig(socketPath, cacheDir));
+  serverThread = std::thread([&server] { server->serveForever(); });
+  {
+    grid::GridClient client(server->boundEndpointText());
+    const auto revived = query.runDistributed(client, /*shards=*/4);
+    const auto stats = client.stats();
+    std::printf(
+        "after restart: cache hit = %llu, recovered from journal = %llu  "
+        "(same measures: %s)\n",
+        static_cast<unsigned long long>(
+            revived.report->counters.at("grid.cache.hit")),
+        static_cast<unsigned long long>(
+            stats.counters.at("grid.cache.recovered")),
+        revived.pr.value == firstPr ? "yes" : "NO");
+  }
+
+  grid::GridClient(server->boundEndpointText()).shutdownServer();
   serverThread.join();
   ::unlink(socketPath.c_str());
+  ::unlink((cacheDir + "/results.journal").c_str());
+  ::rmdir(cacheDir.c_str());
   return 0;
 }

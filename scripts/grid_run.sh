@@ -6,17 +6,32 @@
 # ctest):
 #   1. a job submitted through the daemon comes back BYTE-FOR-BYTE
 #      identical to the single-process `pred-shard-worker single` run —
-#      while worker slot 0 deterministically dies mid-run
-#      (--fault-first-worker-exit-after 1) and is retried/respawned;
+#      while worker slot 0 deterministically dies on RECEIVING its first
+#      shard (--fault-first-worker-exit-after 0, so the death happens at
+#      every shard count) and is retried/respawned;
 #   2. a second, uncached submission survives a `kill -9` of a live
 #      worker process and is still byte-identical;
 #   3. a third submission is served from the content-addressed result
 #      cache (cache-hit 1; grid.cache.hits >= 1 in server stats) with
-#      identical bytes.
+#      identical bytes;
+#   4. after a `kill -9` of the SERVER itself, a restart with the same
+#      --cache-dir serves the job from the recovered journal — still a
+#      cache hit, still identical bytes.
 #
-# Usage:  scripts/grid_run.sh [--smoke] [-k shards] [-p platform]
-#                             [-w workload] [-s states] [-n workers]
-#                             [build-dir]
+# Chaos mode (the CI chaos-smoke job and the grid_chaos_smoke ctest):
+#
+#   scripts/grid_run.sh --chaos SEED [build-dir]
+#
+# derives a deterministic schedule of fault plans (grid/faultpoint.h
+# grammar) from SEED with an LCG, restarts the server under each plan,
+# and tolerates injected submit failures — but any SUCCESSFUL submit
+# whose bytes differ from the single-process reference FAILS LOUDLY,
+# naming the seed and the armed fault point.  Every round must end with
+# the daemon alive and a correct result.
+#
+# Usage:  scripts/grid_run.sh [--smoke] [--chaos SEED] [-k shards]
+#                             [-p platform] [-w workload] [-s states]
+#                             [-n workers] [build-dir]
 # Defaults: 8-way shards of the inorder-lru 64 x 64 grid on 4 workers,
 # build-dir=build.  (--smoke is accepted for symmetry with shard_run.sh;
 # the checks always run.)
@@ -30,9 +45,11 @@ WORKLOAD=linearsearch-16x64
 STATES=64
 WORKERS=4
 BUILD_DIR=build
+CHAOS_SEED=
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --smoke) ;;
+    --chaos) CHAOS_SEED="$2"; shift ;;
     -k) SHARDS="$2"; shift ;;
     -p) PLATFORM="$2"; shift ;;
     -w) WORKLOAD="$2"; shift ;;
@@ -62,27 +79,147 @@ cleanup() {
 trap cleanup EXIT
 
 SOCK="$TMP/grid.sock"
+CACHE_DIR="$TMP/cache"
 
-echo "== start: $WORKERS-worker grid server (slot 0 armed to die after 1 shard)" >&2
-"$SERVER" --listen "unix:$SOCK" --workers "$WORKERS" \
-    --worker-cmd "$WORKER" --fault-first-worker-exit-after 1 \
-    > "$TMP/server.out" 2> "$TMP/server.err" &
-SERVER_PID=$!
+# start_server [extra server flags...] — spawns the daemon on $SOCK with
+# the shared cache dir and waits for the socket.
+start_server() {
+  "$SERVER" --listen "unix:$SOCK" --workers "$WORKERS" \
+      --worker-cmd "$WORKER" --cache-dir "$CACHE_DIR" "$@" \
+      > "$TMP/server.out" 2> "$TMP/server.err" &
+  SERVER_PID=$!
+  i=0
+  while [ ! -S "$SOCK" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ] || ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "error: server did not come up" >&2
+      cat "$TMP/server.err" >&2
+      exit 1
+    fi
+    sleep 0.1
+  done
+}
 
-i=0
-while [ ! -S "$SOCK" ]; do
-  i=$((i + 1))
-  if [ "$i" -gt 100 ] || ! kill -0 "$SERVER_PID" 2>/dev/null; then
-    echo "error: server did not come up" >&2
-    cat "$TMP/server.err" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
+stop_server_hard() {
+  [ -n "$SERVER_PID" ] || return 0
+  kill -9 "$SERVER_PID" 2>/dev/null || true
+  wait "$SERVER_PID" 2>/dev/null || true
+  SERVER_PID=
+  rm -f "$SOCK"
+}
 
 echo "== reference: single-process reduceCells" >&2
 "$WORKER" single --platform "$PLATFORM" --workload "$WORKLOAD" \
     --states "$STATES" > "$TMP/single.txt"
+
+# ---------------------------------------------------------------- chaos mode
+if [ -n "$CHAOS_SEED" ]; then
+  LCG="$CHAOS_SEED"
+  next_lcg() {
+    LCG=$(( (LCG * 1103515245 + 12345) % 2147483648 ))
+  }
+  ROUNDS=6
+  r=0
+  while [ "$r" -lt "$ROUNDS" ]; do
+    r=$((r + 1))
+    next_lcg; IDX=$((LCG % 6))
+    next_lcg; AFTER=$((LCG % 4))
+    case "$IDX" in
+      0) PLAN="net.write:after=$AFTER:epipe" ;;
+      1) PLAN="net.read:after=$AFTER:error" ;;
+      2) PLAN="proto.decode:after=$AFTER:error" ;;
+      3) PLAN="cache.journal:torn" ;;
+      4) PLAN="cache.store:error" ;;
+      5) PLAN="sched.dispatch:after=$AFTER:error" ;;
+    esac
+    POINT="${PLAN%%:*}"
+    echo "== chaos round $r/$ROUNDS (seed $CHAOS_SEED): --fault-plan '$PLAN'" >&2
+    start_server --fault-plan "$PLAN" --conn-timeout-ms 10000
+
+    # The armed fault may kill this submit (server drops the connection,
+    # injected scheduler/cache errors, ...) — exit 1 and 3 are tolerated.
+    # What is NEVER tolerated: a submit that claims success with bytes
+    # that differ from the single-process reference.
+    ok=0
+    attempt=0
+    while [ "$attempt" -lt 5 ]; do
+      attempt=$((attempt + 1))
+      rc=0
+      "$CLIENT" submit --connect "unix:$SOCK" --platform "$PLATFORM" \
+          --workload "$WORKLOAD" --states "$STATES" --shards "$SHARDS" \
+          --timeout 60 > "$TMP/chaos.txt" 2> "$TMP/chaos.meta" || rc=$?
+      if [ "$rc" -eq 0 ]; then
+        if ! cmp -s "$TMP/chaos.txt" "$TMP/single.txt"; then
+          echo "FAIL: chaos seed $CHAOS_SEED round $r: fault point" \
+               "'$POINT' (plan '$PLAN') yielded NON-IDENTICAL bytes" >&2
+          exit 1
+        fi
+        ok=1
+        break
+      elif [ "$rc" -ne 1 ] && [ "$rc" -ne 3 ]; then
+        echo "FAIL: chaos seed $CHAOS_SEED round $r: client exited $rc" \
+             "(plan '$PLAN'); expected 0, 1, or 3" >&2
+        exit 1
+      fi
+      if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+        echo "FAIL: chaos seed $CHAOS_SEED round $r: the DAEMON died under" \
+             "fault point '$POINT' (plan '$PLAN')" >&2
+        cat "$TMP/server.err" >&2
+        exit 1
+      fi
+    done
+    if [ "$ok" -ne 1 ]; then
+      echo "FAIL: chaos seed $CHAOS_SEED round $r: no successful submit in" \
+           "$attempt attempts under plan '$PLAN'" >&2
+      exit 1
+    fi
+    if ! kill -0 "$SERVER_PID" 2>/dev/null; then
+      echo "FAIL: chaos seed $CHAOS_SEED round $r: the DAEMON died under" \
+           "fault point '$POINT' (plan '$PLAN')" >&2
+      cat "$TMP/server.err" >&2
+      exit 1
+    fi
+    echo "OK: round $r survived '$PLAN' (attempt $attempt identical)" >&2
+    stop_server_hard
+  done
+
+  # Epilogue: a clean server over whatever journal the chaos left behind
+  # must recover (possibly to a cache hit) and serve identical bytes —
+  # twice, so the second submit proves the cache is consistent too.
+  echo "== chaos epilogue: clean restart over the surviving journal" >&2
+  start_server --conn-timeout-ms 10000
+  "$CLIENT" submit --connect "unix:$SOCK" --platform "$PLATFORM" \
+      --workload "$WORKLOAD" --states "$STATES" --shards "$SHARDS" \
+      --timeout 120 > "$TMP/final1.txt" 2> "$TMP/final1.meta"
+  if ! cmp -s "$TMP/final1.txt" "$TMP/single.txt"; then
+    echo "FAIL: chaos seed $CHAOS_SEED: post-chaos recovery yielded" \
+         "NON-IDENTICAL bytes" >&2
+    exit 1
+  fi
+  "$CLIENT" submit --connect "unix:$SOCK" --platform "$PLATFORM" \
+      --workload "$WORKLOAD" --states "$STATES" --shards "$SHARDS" \
+      --timeout 120 > "$TMP/final2.txt" 2> "$TMP/final2.meta"
+  if ! grep -q '^cache-hit 1$' "$TMP/final2.meta"; then
+    echo "FAIL: chaos seed $CHAOS_SEED: post-chaos repeat submission was" \
+         "not a cache hit" >&2
+    cat "$TMP/final2.meta" >&2
+    exit 1
+  fi
+  if ! cmp -s "$TMP/final2.txt" "$TMP/single.txt"; then
+    echo "FAIL: chaos seed $CHAOS_SEED: post-chaos cache hit yielded" \
+         "NON-IDENTICAL bytes" >&2
+    exit 1
+  fi
+  "$CLIENT" shutdown --connect "unix:$SOCK" --timeout 60
+  wait "$SERVER_PID"
+  SERVER_PID=
+  echo "OK: grid chaos smoke passed (seed $CHAOS_SEED, $ROUNDS rounds)" >&2
+  exit 0
+fi
+
+# ---------------------------------------------------------------- smoke mode
+echo "== start: $WORKERS-worker grid server (slot 0 armed to die on its first shard)" >&2
+start_server --fault-first-worker-exit-after 0
 
 echo "== job 1: $SHARDS shards, deterministic worker death mid-run" >&2
 "$CLIENT" submit --connect "unix:$SOCK" --platform "$PLATFORM" \
@@ -148,6 +285,26 @@ if ! grep -Eq 'grid\.worker\.deaths *\| *[1-9]' "$TMP/stats.txt"; then
   echo "FAIL: grid.worker.deaths counter did not advance" >&2
   exit 1
 fi
+
+echo "== job 4: kill -9 the SERVER, restart on the same --cache-dir" >&2
+# The crash-safety claim, end to end: no orderly shutdown, no fsync
+# ceremony — the journal alone must bring the cache back, and the
+# restarted daemon must answer from it byte-identically, as a HIT.
+stop_server_hard
+start_server
+"$CLIENT" submit --connect "unix:$SOCK" --platform "$PLATFORM" \
+    --workload "$WORKLOAD" --states "$STATES" --shards "$SHARDS" \
+    > "$TMP/job4.txt" 2> "$TMP/job4.meta"
+if ! grep -q '^cache-hit 1$' "$TMP/job4.meta"; then
+  echo "FAIL: post-restart submission was not served from the recovered cache" >&2
+  cat "$TMP/job4.meta" >&2
+  exit 1
+fi
+if ! cmp "$TMP/job4.txt" "$TMP/single.txt"; then
+  echo "FAIL: recovered cache served NON-IDENTICAL bytes after server kill -9" >&2
+  exit 1
+fi
+echo "OK: kill -9'd server restarted on its journal; cache hit, bytes identical" >&2
 
 "$CLIENT" shutdown --connect "unix:$SOCK"
 wait "$SERVER_PID"

@@ -1,10 +1,34 @@
 #include "grid/cache.h"
 
 #include <utility>
+#include <vector>
 
 namespace pred::grid {
 
-ResultCache::ResultCache(std::size_t maxEntries) : maxEntries_(maxEntries) {}
+ResultCache::ResultCache(std::size_t maxEntries, const std::string& cacheDir)
+    : maxEntries_(maxEntries) {
+  if (cacheDir.empty() || maxEntries_ == 0) return;
+  // Persistence setup is best-effort end to end: a store that cannot open
+  // or recover leaves a working in-memory cache behind, never a dead
+  // server.
+  try {
+    store_ = std::make_unique<CacheStore>(CacheStore::Config{cacheDir, 16});
+    recovery_ = store_->recover([this](std::string key, std::string bytes) {
+      insertLocked(key, std::move(bytes), /*persist=*/false);
+    });
+    recoveredEntries_ = entries_.size();
+    // Recovery replays MORE records than fit when the journal outgrew the
+    // bound (duplicate keys, or entries beyond capacity); the surplus is
+    // dead weight the journal still carries.
+    if (recovery_.recovered > recoveredEntries_) {
+      store_->noteDead(recovery_.recovered - recoveredEntries_);
+      compactIfWorthwhileLocked();
+    }
+  } catch (const std::exception&) {
+    ++persistFailures_;
+    store_.reset();
+  }
+}
 
 std::optional<std::string> ResultCache::lookup(const std::string& key) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -21,19 +45,56 @@ std::optional<std::string> ResultCache::lookup(const std::string& key) {
 void ResultCache::insert(const std::string& key, std::string bytes) {
   if (maxEntries_ == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
+  insertLocked(key, std::move(bytes), /*persist=*/true);
+}
+
+void ResultCache::insertLocked(const std::string& key, std::string bytes,
+                               bool persist) {
   const auto it = entries_.find(key);
+  std::size_t newlyDead = 0;
   if (it != entries_.end()) {
-    it->second.bytes = std::move(bytes);
+    it->second.bytes = bytes;
     lru_.splice(lru_.begin(), lru_, it->second.recency);
-    return;
+    newlyDead = 1;  // the old record for this key is now stale on disk
+  } else {
+    if (entries_.size() >= maxEntries_) {
+      entries_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+      ++newlyDead;
+    }
+    lru_.push_front(key);
+    entries_.emplace(key, Entry{bytes, lru_.begin()});
   }
-  if (entries_.size() >= maxEntries_) {
-    entries_.erase(lru_.back());
-    lru_.pop_back();
-    ++evictions_;
+
+  // While replaying the journal (persist=false) the store must not be
+  // touched: the records are already on disk, and a compaction fired
+  // mid-replay would rewrite the journal from a half-loaded map.
+  if (!store_ || !persist) return;
+  try {
+    store_->append(key, bytes);
+    store_->noteDead(newlyDead);
+    compactIfWorthwhileLocked();
+  } catch (const std::exception&) {
+    dropStoreLocked();
   }
-  lru_.push_front(key);
-  entries_.emplace(key, Entry{std::move(bytes), lru_.begin()});
+}
+
+void ResultCache::compactIfWorthwhileLocked() {
+  if (!store_->wantsCompaction(entries_.size())) return;
+  // Snapshot oldest-first so a recovery replay reproduces today's recency
+  // order.
+  std::vector<std::pair<std::string, std::string>> live;
+  live.reserve(entries_.size());
+  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+    live.emplace_back(*rit, entries_.at(*rit).bytes);
+  }
+  store_->compact(live);
+}
+
+void ResultCache::dropStoreLocked() {
+  ++persistFailures_;
+  store_.reset();
 }
 
 std::size_t ResultCache::size() const {
@@ -54,6 +115,21 @@ std::uint64_t ResultCache::misses() const {
 std::uint64_t ResultCache::evictions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return evictions_;
+}
+
+bool ResultCache::persistent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return store_ != nullptr;
+}
+
+std::uint64_t ResultCache::persistFailures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return persistFailures_;
+}
+
+std::size_t ResultCache::recoveredEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recoveredEntries_;
 }
 
 }  // namespace pred::grid

@@ -15,22 +15,41 @@
 // a few pointer moves, nothing near the cost of the evaluations it
 // replaces.  Hit/miss totals are exposed for tests; the server mirrors
 // them into its MetricsRegistry as grid.cache.{hits,misses}.
+//
+// Persistence (optional): construct with a cache directory and the cache
+// journals every insert through a CacheStore (grid/cache_store.h) and
+// replays the journal at construction — a warm restart serves the same
+// exact bytes a hit served before the crash.  Entries recovered beyond
+// `maxEntries` are evicted in journal order (oldest first), so the
+// reloaded cache obeys the same bound as a live one.  Persistence is
+// best-effort BY DESIGN: any store failure (disk full, torn-write fault
+// injection, ...) disables persistence for this process — counted in
+// persistFailures() and mirrored as grid.cache.persist_errors — and the
+// in-memory cache keeps serving.  A persistence failure must never fail
+// a job.
 
 #include <cstddef>
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+
+#include "grid/cache_store.h"
 
 namespace pred::grid {
 
 class ResultCache {
  public:
   /// `maxEntries` == 0 disables caching (every lookup misses, inserts are
-  /// dropped) — useful for benchmarking the uncached path.
-  explicit ResultCache(std::size_t maxEntries = 1024);
+  /// dropped) — useful for benchmarking the uncached path.  A non-empty
+  /// `cacheDir` enables crash-safe persistence: the journal under it is
+  /// recovered here (never throwing — an unreadable store only disables
+  /// persistence) and every later insert is journaled.
+  explicit ResultCache(std::size_t maxEntries = 1024,
+                       const std::string& cacheDir = std::string());
 
   /// The cached bytes for `key`, refreshing its recency; std::nullopt on
   /// miss.
@@ -46,11 +65,30 @@ class ResultCache {
   std::uint64_t misses() const;
   std::uint64_t evictions() const;
 
+  /// True while inserts are being journaled to the cache dir.
+  bool persistent() const;
+  /// Store failures observed (after the first, persistence is off).
+  std::uint64_t persistFailures() const;
+  /// Entries replayed from the journal at construction (already bounded
+  /// by maxEntries), plus what the recovery scan saw.
+  std::size_t recoveredEntries() const;
+  const RecoveryStats& recoveryStats() const { return recovery_; }
+
  private:
   struct Entry {
     std::string bytes;
     std::list<std::string>::iterator recency;  // position in lru_
   };
+
+  /// insert() body; `persist` false while replaying the journal into the
+  /// map (those records are already on disk).  Caller holds mu_.
+  void insertLocked(const std::string& key, std::string bytes,
+                    bool persist);
+  /// Compacts the journal when the dead-record account warrants it.
+  /// Caller holds mu_ and has checked store_ is live; may throw.
+  void compactIfWorthwhileLocked();
+  /// Disables the store after a failure.  Caller holds mu_.
+  void dropStoreLocked();
 
   const std::size_t maxEntries_;
   mutable std::mutex mu_;
@@ -59,6 +97,11 @@ class ResultCache {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
+
+  std::unique_ptr<CacheStore> store_;  // null = not persistent
+  std::uint64_t persistFailures_ = 0;
+  std::size_t recoveredEntries_ = 0;
+  RecoveryStats recovery_;
 };
 
 }  // namespace pred::grid

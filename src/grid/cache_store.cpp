@@ -1,0 +1,285 @@
+#include "grid/cache_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "grid/faultpoint.h"
+#include "grid/fingerprint.h"
+#include "grid/protocol.h"
+
+namespace pred::grid {
+
+namespace {
+
+constexpr char kRecordMagic[4] = {'P', 'G', 'J', '1'};
+constexpr std::size_t kRecordHeaderBytes = 4 + 2 + 2 + 4 + 8;
+constexpr std::size_t kMaxNameBytes = 1024;  // fingerprint / salt sanity cap
+
+[[noreturn]] void ioFail(const std::string& what) {
+  throw std::runtime_error("grid cache store: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void putBe(std::string& out, std::uint64_t v, int bytes) {
+  for (int shift = (bytes - 1) * 8; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+std::uint64_t getBe(const std::string& bytes, std::size_t pos, int n) {
+  std::uint64_t v = 0;
+  for (int k = 0; k < n; ++k) {
+    v = (v << 8) | static_cast<unsigned char>(bytes[pos + k]);
+  }
+  return v;
+}
+
+std::uint64_t recordChecksum(const std::string& fingerprint,
+                             const std::string& salt,
+                             const std::string& payload) {
+  return fnv1a64(payload, fnv1a64(salt, fnv1a64(fingerprint)));
+}
+
+/// Reads a whole file into a string (the journal is bounded by the cache
+/// capacity x payload sizes, all of which already fit in memory as the
+/// live cache).
+std::string slurp(const std::string& path) {
+  net::Fd fd(::open(path.c_str(), O_RDONLY | O_CLOEXEC));
+  if (!fd.valid()) {
+    if (errno == ENOENT) return {};
+    ioFail("open " + path);
+  }
+  std::string out;
+  char chunk[65536];
+  for (;;) {
+    const ssize_t r = ::read(fd.get(), chunk, sizeof chunk);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ioFail("read " + path);
+    }
+    if (r == 0) return out;
+    out.append(chunk, static_cast<std::size_t>(r));
+  }
+}
+
+/// Parses the record starting at `pos`.  Returns false when the bytes at
+/// `pos` are not a complete, checksum-valid record (without advancing);
+/// `torn` distinguishes "ran off the end of the file" from "corrupt".
+struct ParsedRecord {
+  std::string fingerprint;
+  std::string salt;
+  std::string payload;
+  std::size_t end = 0;  ///< offset just past the record
+};
+
+bool parseRecord(const std::string& bytes, std::size_t pos,
+                 ParsedRecord& out, bool& torn) {
+  torn = false;
+  if (bytes.size() - pos < kRecordHeaderBytes) {
+    torn = true;
+    return false;
+  }
+  if (std::memcmp(bytes.data() + pos, kRecordMagic, 4) != 0) return false;
+  const auto fpLen = static_cast<std::size_t>(getBe(bytes, pos + 4, 2));
+  const auto saltLen = static_cast<std::size_t>(getBe(bytes, pos + 6, 2));
+  const auto payloadLen =
+      static_cast<std::size_t>(getBe(bytes, pos + 8, 4));
+  const std::uint64_t checksum = getBe(bytes, pos + 12, 8);
+  if (fpLen == 0 || fpLen > kMaxNameBytes || saltLen > kMaxNameBytes ||
+      payloadLen > kMaxFramePayload) {
+    return false;
+  }
+  const std::size_t body = fpLen + saltLen + payloadLen;
+  if (bytes.size() - pos - kRecordHeaderBytes < body) {
+    torn = true;
+    return false;
+  }
+  std::size_t p = pos + kRecordHeaderBytes;
+  out.fingerprint = bytes.substr(p, fpLen);
+  p += fpLen;
+  out.salt = bytes.substr(p, saltLen);
+  p += saltLen;
+  out.payload = bytes.substr(p, payloadLen);
+  p += payloadLen;
+  if (recordChecksum(out.fingerprint, out.salt, out.payload) != checksum) {
+    return false;
+  }
+  out.end = p;
+  return true;
+}
+
+/// The next offset >= `from` where a record magic starts (npos if none) —
+/// the resync scan after a corrupt record.
+std::size_t findMagic(const std::string& bytes, std::size_t from) {
+  while (from + 4 <= bytes.size()) {
+    const std::size_t hit = bytes.find(kRecordMagic[0], from);
+    if (hit == std::string::npos || hit + 4 > bytes.size()) {
+      return std::string::npos;
+    }
+    if (std::memcmp(bytes.data() + hit, kRecordMagic, 4) == 0) return hit;
+    from = hit + 1;
+  }
+  return std::string::npos;
+}
+
+/// Writes `bytes` to `path` atomically: temp file in the same directory,
+/// then rename(2) over the target.
+void writeFileAtomically(const std::string& path, const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  {
+    net::Fd fd(::open(tmp.c_str(),
+                      O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+    if (!fd.valid()) ioFail("open " + tmp);
+    net::writeAll(fd.get(), bytes.data(), bytes.size());
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    ioFail("rename " + tmp + " -> " + path);
+  }
+}
+
+}  // namespace
+
+std::string CacheStore::encodeRecord(const std::string& fingerprint,
+                                     const std::string& salt,
+                                     const std::string& payload) {
+  if (fingerprint.empty() || fingerprint.size() > kMaxNameBytes ||
+      salt.size() > kMaxNameBytes || payload.size() > kMaxFramePayload) {
+    throw std::invalid_argument(
+        "grid cache store: record field out of bounds");
+  }
+  std::string out;
+  out.reserve(kRecordHeaderBytes + fingerprint.size() + salt.size() +
+              payload.size());
+  out.append(kRecordMagic, 4);
+  putBe(out, fingerprint.size(), 2);
+  putBe(out, salt.size(), 2);
+  putBe(out, payload.size(), 4);
+  putBe(out, recordChecksum(fingerprint, salt, payload), 8);
+  out += fingerprint;
+  out += salt;
+  out += payload;
+  return out;
+}
+
+CacheStore::CacheStore(Config config)
+    : dir_(std::move(config.dir)),
+      journalPath_(dir_ + "/results.journal"),
+      compactMinDead_(config.compactMinDead) {
+  if (dir_.empty()) {
+    throw std::invalid_argument("grid cache store: empty cache dir");
+  }
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    ioFail("mkdir " + dir_);
+  }
+  struct stat sb {};
+  if (::stat(dir_.c_str(), &sb) != 0) ioFail("stat " + dir_);
+  if (!S_ISDIR(sb.st_mode)) {
+    throw std::runtime_error("grid cache store: " + dir_ +
+                             " is not a directory");
+  }
+  openJournalForAppend();
+}
+
+void CacheStore::openJournalForAppend() {
+  fd_.reset(::open(journalPath_.c_str(),
+                   O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644));
+  if (!fd_.valid()) ioFail("open " + journalPath_);
+}
+
+RecoveryStats CacheStore::recover(
+    const std::function<void(std::string, std::string)>& sink) {
+  fault::check("cache.load");
+  RecoveryStats stats;
+  const std::string bytes = slurp(journalPath_);
+  std::vector<std::pair<std::string, std::string>> live;
+  std::size_t pos = 0;
+  bool damaged = false;
+  while (pos < bytes.size()) {
+    ParsedRecord rec;
+    bool torn = false;
+    if (parseRecord(bytes, pos, rec, torn)) {
+      if (rec.salt == kCodeVersionSalt) {
+        live.emplace_back(std::move(rec.fingerprint),
+                          std::move(rec.payload));
+        ++stats.recovered;
+      } else {
+        ++stats.staleSalt;
+        damaged = true;  // stale records are dropped by the rewrite below
+      }
+      pos = rec.end;
+      continue;
+    }
+    if (torn) {
+      // The tail of the file is an incomplete record — the classic crash
+      // mid-append.  Drop it; everything before it is intact.
+      stats.tornBytes += bytes.size() - pos;
+      damaged = true;
+      break;
+    }
+    // Corrupt mid-file (bad magic, insane lengths, or a failed checksum):
+    // skip forward to the next record magic and keep going — one bad
+    // record must not cost the rest of the journal.
+    const std::size_t next = findMagic(bytes, pos + 1);
+    ++stats.corruptSkipped;
+    damaged = true;
+    if (next == std::string::npos) {
+      stats.tornBytes += bytes.size() - pos;
+      break;
+    }
+    pos = next;
+  }
+  if (damaged) {
+    // Rewrite the journal from what survived, so the damage is paid for
+    // exactly once instead of being re-scanned (and re-grown) forever.
+    compact(live);
+    stats.rewritten = true;
+  }
+  for (auto& [fp, payload] : live) {
+    sink(std::move(fp), std::move(payload));
+  }
+  return stats;
+}
+
+void CacheStore::append(const std::string& fingerprint,
+                        const std::string& payload) {
+  fault::check("cache.store");
+  const std::string record =
+      encodeRecord(fingerprint, std::string(kCodeVersionSalt), payload);
+  if (const auto torn = fault::tornLimit("cache.journal", record.size())) {
+    // A crash mid-append, minus the crash: persist only a prefix, then
+    // fail the operation the way a real torn write would surface.
+    net::writeAll(fd_.get(), record.data(), *torn);
+    throw fault::Injected("cache.journal",
+                          "torn journal write (" + std::to_string(*torn) +
+                              " of " + std::to_string(record.size()) +
+                              " bytes)");
+  }
+  net::writeAll(fd_.get(), record.data(), record.size());
+}
+
+bool CacheStore::wantsCompaction(std::size_t liveEntries) const {
+  return deadRecords_ >= compactMinDead_ && deadRecords_ > liveEntries;
+}
+
+void CacheStore::compact(
+    const std::vector<std::pair<std::string, std::string>>& live) {
+  std::string bytes;
+  for (const auto& [fp, payload] : live) {
+    bytes += encodeRecord(fp, std::string(kCodeVersionSalt), payload);
+  }
+  // Close the append fd BEFORE the rename so no write can land on the
+  // doomed inode, then reopen on the fresh file.
+  fd_.reset();
+  writeFileAtomically(journalPath_, bytes);
+  openJournalForAppend();
+  deadRecords_ = 0;
+}
+
+}  // namespace pred::grid

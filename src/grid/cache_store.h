@@ -1,0 +1,121 @@
+#pragma once
+// cache_store.h — Crash-safe persistence for the grid result cache.
+//
+// The in-memory ResultCache (grid/cache.h) dies with the daemon; this
+// store makes its contents survive a restart — including a kill -9 —
+// behind the server's `--cache-dir` flag.  The design is the boring,
+// provably-recoverable one:
+//
+//   append-only journal    every insert appends one self-describing
+//                          record: magic "PGJ1", fingerprint length, salt
+//                          length, payload length, an FNV-1a 64 checksum
+//                          over (fingerprint + salt + payload), then the
+//                          three byte strings.  Appends are single
+//                          write(2) calls on an O_APPEND fd, so a crash
+//                          can tear at most the LAST record.
+//
+//   recovery by scan       startup walks the journal record by record.
+//                          A record torn at EOF is dropped (the longest
+//                          valid prefix wins); a record that fails its
+//                          checksum or length sanity MID-file is skipped
+//                          by scanning forward for the next record magic
+//                          — one flipped bit costs one record, not the
+//                          whole cache.  Records carrying an old
+//                          code-version salt are counted stale and NOT
+//                          replayed (their bytes may no longer be
+//                          reproducible by the current code).  Recovery
+//                          never refuses to start: the worst journal in
+//                          the world recovers to the empty cache.  If the
+//                          scan dropped or skipped anything, the journal
+//                          is immediately rewritten from the recovered
+//                          set (atomically), so damage never compounds.
+//
+//   atomic compaction      overwrites and evictions leave dead records
+//                          behind; when they outnumber the live set (and
+//                          a minimum floor), the caller rewrites the
+//                          journal to the live entries via temp file +
+//                          rename(2) — readers of the path never observe
+//                          a half-written file.
+//
+// The store knows nothing about LRU policy or thread safety — ResultCache
+// owns both and calls the store under its own mutex.  Tests drive the
+// store directly for the truncation/bit-flip fuzz.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "grid/net.h"
+
+namespace pred::grid {
+
+/// What a recovery scan found (exposed through ResultCache for telemetry
+/// and tests).
+struct RecoveryStats {
+  std::size_t recovered = 0;      ///< live records handed to the sink
+  std::size_t staleSalt = 0;      ///< valid records with an old salt
+  std::size_t corruptSkipped = 0; ///< mid-file records failing validation
+  std::size_t tornBytes = 0;      ///< bytes dropped at the torn tail
+  bool rewritten = false;         ///< journal was rewritten after the scan
+};
+
+class CacheStore {
+ public:
+  struct Config {
+    std::string dir;  ///< created (one level) if missing
+    /// Compact when deadRecords() exceeds BOTH the live count and this
+    /// floor (the floor keeps tiny caches from compacting every insert).
+    std::size_t compactMinDead = 16;
+  };
+
+  /// Opens (creating if needed) `dir` and its journal file.  Throws
+  /// std::runtime_error when the directory cannot be created or the
+  /// journal cannot be opened.
+  explicit CacheStore(Config config);
+
+  /// Scans the journal and calls `sink(fingerprint, payload)` for every
+  /// live (current-salt) record in append order; see the file comment for
+  /// the damage semantics.  Call once, before any append.
+  RecoveryStats recover(
+      const std::function<void(std::string, std::string)>& sink);
+
+  /// Appends one record.  Throws std::runtime_error on I/O failure — the
+  /// caller (ResultCache) treats that as "persistence lost", never as a
+  /// failed job.
+  void append(const std::string& fingerprint, const std::string& payload);
+
+  /// Tells the store `n` previously appended records are now dead
+  /// (overwritten or evicted) — feeds the compaction trigger.
+  void noteDead(std::size_t n = 1) { deadRecords_ += n; }
+
+  /// True when enough dead records accumulated to be worth a rewrite.
+  bool wantsCompaction(std::size_t liveEntries) const;
+
+  /// Atomically rewrites the journal to exactly `live` (given oldest-
+  /// first, so recovery reproduces the caller's recency order).  Resets
+  /// the dead-record account.  Throws std::runtime_error on I/O failure.
+  void compact(
+      const std::vector<std::pair<std::string, std::string>>& live);
+
+  const std::string& journalPath() const { return journalPath_; }
+  std::size_t deadRecords() const { return deadRecords_; }
+
+  /// The serialized record form — exposed so tests can build journals
+  /// (and corrupt them) byte by byte.
+  static std::string encodeRecord(const std::string& fingerprint,
+                                  const std::string& salt,
+                                  const std::string& payload);
+
+ private:
+  void openJournalForAppend();
+
+  std::string dir_;
+  std::string journalPath_;
+  std::size_t compactMinDead_;
+  std::size_t deadRecords_ = 0;
+  net::Fd fd_;  ///< O_APPEND journal fd
+};
+
+}  // namespace pred::grid

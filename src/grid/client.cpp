@@ -10,10 +10,13 @@ namespace pred::grid {
 namespace {
 
 /// One request/reply exchange; unwraps Error frames into exceptions.
-Frame roundTrip(int fd, const Frame& request, FrameType expectedReply) {
-  writeFrame(fd, request);
+/// net::TimeoutError (deadline) passes through untouched so callers can
+/// exit/report differently from a server-side error.
+Frame roundTrip(int fd, const Frame& request, FrameType expectedReply,
+                int ioTimeoutMs) {
+  writeFrame(fd, request, ioTimeoutMs);
   Frame reply;
-  if (!readFrame(fd, reply))
+  if (!readFrame(fd, reply, ioTimeoutMs))
     throw std::runtime_error(
         "grid client: server closed the connection mid-conversation");
   if (reply.type == FrameType::Error)
@@ -25,8 +28,10 @@ Frame roundTrip(int fd, const Frame& request, FrameType expectedReply) {
 
 }  // namespace
 
-GridClient::GridClient(const std::string& endpoint)
-    : fd_(net::connectTo(net::parseEndpoint(endpoint))) {}
+GridClient::GridClient(const std::string& endpoint, ClientOptions options)
+    : fd_(net::connectTo(net::parseEndpoint(endpoint),
+                         options.connectTimeoutMs)),
+      options_(options) {}
 
 JobResult GridClient::submit(const exp::ShardSpec& wholeGrid,
                              std::size_t shards, bool useCache) {
@@ -35,7 +40,7 @@ JobResult GridClient::submit(const exp::ShardSpec& wholeGrid,
                 Frame{FrameType::Submit,
                       encodeJobRequest(JobRequest{wholeGrid, shards,
                                                   useCache})},
-                FrameType::Result);
+                FrameType::Result, options_.ioTimeoutMs);
   JobResultMsg msg = parseJobResultMsg(reply.payload);
   core::StreamingMeasures measures =
       core::StreamingMeasures::deserialize(msg.accumulatorText);
@@ -45,13 +50,13 @@ JobResult GridClient::submit(const exp::ShardSpec& wholeGrid,
 
 obs::RunReport GridClient::stats() {
   const Frame reply = roundTrip(fd_.get(), Frame{FrameType::StatsRequest, ""},
-                                FrameType::StatsReply);
+                                FrameType::StatsReply, options_.ioTimeoutMs);
   return obs::RunReport::deserialize(reply.payload);
 }
 
 void GridClient::shutdownServer() {
   roundTrip(fd_.get(), Frame{FrameType::Shutdown, ""},
-            FrameType::ShutdownAck);
+            FrameType::ShutdownAck, options_.ioTimeoutMs);
 }
 
 }  // namespace pred::grid

@@ -32,10 +32,21 @@ struct JobResult {
   core::StreamingMeasures measures;  ///< accumulatorText, deserialized
 };
 
+/// Client-side deadlines, all in ms; negative = block forever.
+/// `ioTimeoutMs` bounds each frame read/write, so a server that accepts
+/// and then hangs (wedged scheduler, fault injection, kill -STOP) raises
+/// net::TimeoutError here instead of hanging the caller.
+struct ClientOptions {
+  int connectTimeoutMs = net::kNoDeadline;
+  int ioTimeoutMs = net::kNoDeadline;
+};
+
 class GridClient {
  public:
-  /// Connects to "unix:PATH" / "tcp:HOST:PORT".  Throws on failure.
-  explicit GridClient(const std::string& endpoint);
+  /// Connects to "unix:PATH" / "tcp:HOST:PORT".  Throws on failure;
+  /// net::TimeoutError when options.connectTimeoutMs expires first.
+  explicit GridClient(const std::string& endpoint,
+                      ClientOptions options = {});
 
   /// Evaluates `wholeGrid` split `shards` ways on the server; blocks until
   /// the merged result arrives.  `useCache` false forces recomputation
@@ -53,6 +64,7 @@ class GridClient {
 
  private:
   net::Fd fd_;
+  ClientOptions options_;
 };
 
 }  // namespace pred::grid

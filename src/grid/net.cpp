@@ -1,24 +1,80 @@
 #include "grid/net.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <stdexcept>
+
+#include "grid/faultpoint.h"
 
 namespace pred::grid::net {
 
 namespace {
 
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds left until `deadline`, clamped to >= 0 for poll().
+int remainingMs(Clock::time_point deadline) {
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - Clock::now())
+                      .count();
+  return ms < 0 ? 0 : (ms > 3'600'000 ? 3'600'000 : static_cast<int>(ms));
+}
+
+/// Blocks until `fd` is ready for `events` or the deadline passes.
+/// Throws TimeoutError on deadline, std::runtime_error on poll failure.
+void waitReady(int fd, short events, Clock::time_point deadline,
+               const char* what) {
+  for (;;) {
+    pollfd pfd{fd, events, 0};
+    const int rc = ::poll(&pfd, 1, remainingMs(deadline));
+    if (rc > 0) return;  // ready (or error/hup — the syscall will say)
+    if (rc == 0) {
+      throw TimeoutError(std::string(what) + " deadline exceeded");
+    }
+    if (errno != EINTR) {
+      throw std::runtime_error(std::string("poll (") + what +
+                               "): " + std::strerror(errno));
+    }
+  }
+}
+
 [[noreturn]] void sysFail(const std::string& what) {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
+
+/// Puts `fd` in non-blocking mode for the scope of a deadline-bounded
+/// loop, restoring the original flags on exit.  A blocking write(2) of a
+/// large buffer parks INSIDE the kernel until the peer drains it — no
+/// poll-based deadline can fire there — so bounded operations must make
+/// every syscall non-blocking and let poll() do all the waiting.
+class NonBlockScope {
+ public:
+  explicit NonBlockScope(int fd) : fd_(fd), flags_(::fcntl(fd, F_GETFL)) {
+    if (flags_ < 0 || ::fcntl(fd_, F_SETFL, flags_ | O_NONBLOCK) < 0) {
+      sysFail("fcntl");
+    }
+  }
+  ~NonBlockScope() {
+    if ((flags_ & O_NONBLOCK) == 0) ::fcntl(fd_, F_SETFL, flags_);
+  }
+  NonBlockScope(const NonBlockScope&) = delete;
+  NonBlockScope& operator=(const NonBlockScope&) = delete;
+
+ private:
+  int fd_;
+  int flags_;
+};
 
 /// A peer that dies mid-conversation must surface as an EPIPE error from
 /// writeAll, not a SIGPIPE process kill — done once, before the first
@@ -156,30 +212,98 @@ Fd listenOn(const Endpoint& ep, int backlog, int* boundPort) {
   return fd;
 }
 
-Fd connectTo(const Endpoint& ep) {
+Fd connectTo(const Endpoint& ep, int timeoutMs) {
   ignoreSigpipe();
   Fd fd(::socket(ep.isUnix ? AF_UNIX : AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) sysFail("socket");
-  int rc;
+
+  sockaddr_un ua{};
+  sockaddr_in ta{};
+  const sockaddr* addr;
+  socklen_t addrLen;
   if (ep.isUnix) {
-    const auto addr = unixAddr(ep.path);
-    do {
-      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                     sizeof(addr));
-    } while (rc != 0 && errno == EINTR);
+    ua = unixAddr(ep.path);
+    addr = reinterpret_cast<const sockaddr*>(&ua);
+    addrLen = sizeof(ua);
   } else {
-    const auto addr = tcpAddr(ep);
-    do {
-      rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
-                     sizeof(addr));
-    } while (rc != 0 && errno == EINTR);
+    ta = tcpAddr(ep);
+    addr = reinterpret_cast<const sockaddr*>(&ta);
+    addrLen = sizeof(ta);
   }
-  if (rc != 0) sysFail("connect " + endpointText(ep));
+
+  if (timeoutMs < 0) {
+    int rc;
+    do {
+      rc = ::connect(fd.get(), addr, addrLen);
+    } while (rc != 0 && errno == EINTR);
+    if (rc != 0) sysFail("connect " + endpointText(ep));
+    return fd;
+  }
+
+  // Bounded connect: non-blocking connect, poll for writability, then
+  // read the final verdict out of SO_ERROR.
+  const int flags = ::fcntl(fd.get(), F_GETFL);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    sysFail("fcntl");
+  }
+  int rc;
+  do {
+    rc = ::connect(fd.get(), addr, addrLen);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) {
+      sysFail("connect " + endpointText(ep));
+    }
+    const auto deadline = Clock::now() + std::chrono::milliseconds(timeoutMs);
+    try {
+      waitReady(fd.get(), POLLOUT, deadline, "connect");
+    } catch (const TimeoutError&) {
+      throw TimeoutError("connect " + endpointText(ep) +
+                         ": deadline exceeded (" +
+                         std::to_string(timeoutMs) + " ms)");
+    }
+    int soError = 0;
+    socklen_t len = sizeof(soError);
+    if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &soError, &len) != 0) {
+      sysFail("getsockopt");
+    }
+    if (soError != 0) {
+      throw std::runtime_error("connect " + endpointText(ep) + ": " +
+                               std::strerror(soError));
+    }
+  }
+  if (::fcntl(fd.get(), F_SETFL, flags) < 0) sysFail("fcntl");
   return fd;
 }
 
-void writeAll(int fd, const void* data, std::size_t n) {
+namespace {
+
+void writeAllBounded(int fd, const char* p, std::size_t n, int timeoutMs) {
+  NonBlockScope nb(fd);
+  const auto deadline = Clock::now() + std::chrono::milliseconds(timeoutMs);
+  while (n > 0) {
+    waitReady(fd, POLLOUT, deadline, "write");
+    const ssize_t w = ::write(fd, p, n);
+    if (w < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+        continue;  // poll raced the buffer state; wait again
+      }
+      sysFail("write");
+    }
+    p += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+}  // namespace
+
+void writeAll(int fd, const void* data, std::size_t n, int timeoutMs) {
+  fault::check("net.write");
   const char* p = static_cast<const char*>(data);
+  if (timeoutMs >= 0) {
+    writeAllBounded(fd, p, n, timeoutMs);
+    return;
+  }
   while (n > 0) {
     const ssize_t w = ::write(fd, p, n);
     if (w < 0) {
@@ -191,13 +315,21 @@ void writeAll(int fd, const void* data, std::size_t n) {
   }
 }
 
-bool readExact(int fd, void* data, std::size_t n) {
+bool readExact(int fd, void* data, std::size_t n, int timeoutMs) {
+  fault::check("net.read");
+  const bool bounded = timeoutMs >= 0;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(bounded ? timeoutMs : 0);
   char* p = static_cast<char*>(data);
   std::size_t got = 0;
   while (got < n) {
+    // A blocking read(2) returns as soon as ANY bytes exist, so poll()
+    // gating each call is deadline-safe without toggling O_NONBLOCK.
+    if (bounded) waitReady(fd, POLLIN, deadline, "read");
     const ssize_t r = ::read(fd, p + got, n - got);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) continue;
       sysFail("read");
     }
     if (r == 0) {

@@ -17,10 +17,23 @@
 //                             port, resolved by Fd-returning listenOn.
 
 #include <cstddef>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
 namespace pred::grid::net {
+
+/// A read/write/connect that ran past its deadline.  A distinct type so
+/// callers (server accept loop, client CLI) can count and report
+/// timeouts differently from peer errors — a stalled peer is dropped and
+/// tallied, a garbage peer is dropped and logged.
+class TimeoutError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// No deadline: block forever (the pre-deadline behavior).
+inline constexpr int kNoDeadline = -1;
 
 /// A parsed endpoint: exactly one of the two transports.
 struct Endpoint {
@@ -71,17 +84,27 @@ class Fd {
 Fd listenOn(const Endpoint& ep, int backlog, int* boundPort);
 
 /// Connects a stream socket to `ep`.  Throws std::runtime_error on
-/// failure (unreachable, refused, missing socket file).
-Fd connectTo(const Endpoint& ep);
+/// failure (unreachable, refused, missing socket file) and TimeoutError
+/// when `timeoutMs` >= 0 and the connect does not complete in time — the
+/// non-blocking connect + poll dance, so a black-holed host cannot hang
+/// the caller for the kernel's minutes-long default.
+Fd connectTo(const Endpoint& ep, int timeoutMs = kNoDeadline);
 
 /// Writes all `n` bytes (retrying short writes and EINTR).  Throws
 /// std::runtime_error on error — EPIPE included, which is how a dead peer
-/// is detected on the write path.
-void writeAll(int fd, const void* data, std::size_t n);
+/// is detected on the write path.  `timeoutMs` >= 0 bounds the WHOLE
+/// write with a poll()-based deadline: a peer that stops draining its
+/// socket raises TimeoutError instead of wedging the writer forever.
+void writeAll(int fd, const void* data, std::size_t n,
+              int timeoutMs = kNoDeadline);
 
 /// Reads exactly `n` bytes.  Returns false on EOF before the FIRST byte
 /// (a clean close at a message boundary); EOF after at least one byte is
 /// a truncation and throws std::runtime_error, as do read errors.
-bool readExact(int fd, void* data, std::size_t n);
+/// `timeoutMs` >= 0 bounds the WHOLE read: a peer that connects and goes
+/// silent (stalled, half-open after a crash or a yanked cable) raises
+/// TimeoutError instead of blocking the caller forever.
+bool readExact(int fd, void* data, std::size_t n,
+               int timeoutMs = kNoDeadline);
 
 }  // namespace pred::grid::net

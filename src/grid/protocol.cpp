@@ -3,7 +3,10 @@
 #include <sstream>
 #include <stdexcept>
 
+#include <chrono>
+
 #include "core/wire.h"
+#include "grid/faultpoint.h"
 #include "grid/net.h"
 
 namespace pred::grid {
@@ -24,6 +27,7 @@ bool knownType(std::uint8_t t) {
 
 /// Validates a complete 8-byte header; returns {type, payload length}.
 std::pair<FrameType, std::size_t> parseHeader(const unsigned char* h) {
+  fault::check("proto.decode");
   if (h[0] != static_cast<unsigned char>(kMagic0) ||
       h[1] != static_cast<unsigned char>(kMagic1)) {
     badFrame("bad magic (not a grid frame)");
@@ -141,22 +145,45 @@ std::optional<Frame> decodeFrame(std::string_view bytes, std::size_t& offset) {
   return f;
 }
 
-bool readFrame(int fd, Frame& out) {
+namespace {
+
+/// Milliseconds left until `deadline`, clamped to >= 0 — a frame gets ONE
+/// deadline across header and payload, so a peer cannot reset the clock
+/// by dribbling the header out slowly.
+int remainingTimeout(std::chrono::steady_clock::time_point deadline) {
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      deadline - std::chrono::steady_clock::now())
+                      .count();
+  return ms < 0 ? 0 : (ms > 3'600'000 ? 3'600'000 : static_cast<int>(ms));
+}
+
+}  // namespace
+
+bool readFrame(int fd, Frame& out, int timeoutMs) {
+  const bool bounded = timeoutMs >= 0;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(bounded ? timeoutMs : 0);
   unsigned char header[kFrameHeaderBytes];
-  if (!net::readExact(fd, header, sizeof(header))) return false;
+  if (!net::readExact(fd, header, sizeof(header),
+                      bounded ? timeoutMs : net::kNoDeadline)) {
+    return false;
+  }
   const auto [type, len] = parseHeader(header);
   out.type = type;
   out.payload.resize(len);
-  if (len > 0 && !net::readExact(fd, out.payload.data(), len)) {
+  if (len > 0 &&
+      !net::readExact(fd, out.payload.data(), len,
+                      bounded ? remainingTimeout(deadline)
+                              : net::kNoDeadline)) {
     throw std::runtime_error("connection closed between frame header and "
                              "payload");
   }
   return true;
 }
 
-void writeFrame(int fd, const Frame& frame) {
+void writeFrame(int fd, const Frame& frame, int timeoutMs) {
   const std::string bytes = encodeFrame(frame);
-  net::writeAll(fd, bytes.data(), bytes.size());
+  net::writeAll(fd, bytes.data(), bytes.size(), timeoutMs);
 }
 
 // --------------------------------------------------------------- payloads

@@ -82,11 +82,14 @@ std::optional<Frame> decodeFrame(std::string_view bytes, std::size_t& offset);
 /// Blocking frame read from a socket/pipe fd.  Returns false on clean EOF
 /// at a frame boundary (the peer is done).  Throws std::invalid_argument
 /// on malformed bytes and std::runtime_error on truncation or read errors.
-bool readFrame(int fd, Frame& out);
+/// `timeoutMs` >= 0 bounds the WHOLE frame (header + payload) with one
+/// deadline; a stalled peer raises net::TimeoutError.
+bool readFrame(int fd, Frame& out, int timeoutMs = -1);
 
 /// Blocking frame write.  Throws on encode or I/O failure (EPIPE when the
 /// peer died — callers treat that as peer death, not a crash).
-void writeFrame(int fd, const Frame& frame);
+/// `timeoutMs` >= 0 bounds the write; net::TimeoutError on deadline.
+void writeFrame(int fd, const Frame& frame, int timeoutMs = -1);
 
 // --------------------------------------------------------------- payloads
 

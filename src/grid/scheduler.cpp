@@ -18,6 +18,7 @@
 #include <utility>
 
 #include "exp/engine.h"
+#include "grid/faultpoint.h"
 #include "grid/net.h"
 #include "grid/protocol.h"
 
@@ -209,6 +210,7 @@ JobOutcome WorkStealingScheduler::run(const std::vector<exp::ShardSpec>&
       std::optional<ShardOutput> out;
       std::string why;
       try {
+        fault::check("sched.dispatch");
         out.emplace(eval(shards[index]));
       } catch (const std::exception& e) {
         why = e.what();
@@ -455,6 +457,7 @@ JobOutcome WorkStealingScheduler::runSubprocess(
         if (config_.metrics)
           config_.metrics->counter("grid.shards.dispatched").add();
         try {
+          fault::check("sched.dispatch");
           writeFrame(slot.in.get(),
                      Frame{FrameType::Shard,
                            exp::serializeShardSpec(shards[index])});

@@ -15,15 +15,20 @@ namespace pred::grid {
 namespace {
 
 /// Best-effort reply.  A peer that vanishes before reading its reply
-/// (timeout, Ctrl-C, crash after Submit) makes writeFrame throw EPIPE;
-/// that is a dead connection, not a dead server, so the failure must not
-/// escape into the accept loop.  Returns false when the peer is gone.
-bool tryWriteFrame(int fd, const Frame& frame) {
+/// (timeout, Ctrl-C, crash after Submit) makes writeFrame throw EPIPE,
+/// and one that stops draining its socket trips the deadline; either is a
+/// dead connection, not a dead server, so the failure must not escape
+/// into the accept loop — but the two are tallied differently.
+enum class WriteStatus { Ok, PeerGone, TimedOut };
+
+WriteStatus tryWriteFrame(int fd, const Frame& frame, int timeoutMs) {
   try {
-    writeFrame(fd, frame);
-    return true;
+    writeFrame(fd, frame, timeoutMs);
+    return WriteStatus::Ok;
+  } catch (const net::TimeoutError&) {
+    return WriteStatus::TimedOut;
   } catch (const std::exception&) {
-    return false;
+    return WriteStatus::PeerGone;
   }
 }
 
@@ -32,7 +37,7 @@ bool tryWriteFrame(int fd, const Frame& frame) {
 GridServer::GridServer(ServerConfig config)
     : config_(std::move(config)),
       endpoint_(net::parseEndpoint(config_.endpoint)),
-      cache_(config_.cacheEntries),
+      cache_(config_.cacheEntries, config_.cacheDir),
       scheduler_([&] {
         SchedulerConfig sc = config_.scheduler;
         sc.metrics = &metrics_;  // all grid.* tallies land in one registry
@@ -47,8 +52,11 @@ GridServer::GridServer(ServerConfig config)
   for (const char* name :
        {"grid.jobs", "grid.cache.hits", "grid.cache.misses",
         "grid.shards.dispatched", "grid.shards.retried", "grid.worker.spawns",
-        "grid.worker.deaths", "grid.connections", "grid.bad_frames"})
+        "grid.worker.deaths", "grid.connections", "grid.bad_frames",
+        "grid.conn.dropped", "grid.conn.timeout", "grid.cache.recovered",
+        "grid.cache.persist_errors"})
     metrics_.counter(name);
+  metrics_.counter("grid.cache.recovered").add(cache_.recoveredEntries());
 }
 
 std::string GridServer::boundEndpointText() const {
@@ -77,17 +85,34 @@ bool GridServer::acceptOnce() {
 }
 
 bool GridServer::handleConnection(int fd) {
+  const int timeout = config_.connTimeoutMs == 0
+                          ? net::kNoDeadline
+                          : static_cast<int>(config_.connTimeoutMs);
+  // A failed reply write means the connection is being dropped with work
+  // unacknowledged; tally it (and the deadline flavor) before moving on.
+  const auto noteDrop = [this](WriteStatus ws) {
+    if (ws == WriteStatus::TimedOut)
+      metrics_.counter("grid.conn.timeout").add();
+    metrics_.counter("grid.conn.dropped").add();
+  };
   for (;;) {
     Frame frame;
     try {
-      if (!readFrame(fd, frame)) return true;  // clean EOF: peer done
+      if (!readFrame(fd, frame, timeout)) return true;  // clean EOF
+    } catch (const net::TimeoutError&) {
+      // The peer connected and went silent (stalled client, half-open
+      // socket after a crash).  Drop it; the daemon must keep serving.
+      noteDrop(WriteStatus::TimedOut);
+      return true;
     } catch (const std::exception& e) {
       // Garbage on the wire: this connection is unrecoverable (framing is
       // lost), but the server is not — tell the peer if it still listens,
       // drop the connection, keep accepting.
       metrics_.counter("grid.bad_frames").add();
+      metrics_.counter("grid.conn.dropped").add();
       tryWriteFrame(fd, Frame{FrameType::Error,
-                              std::string("malformed frame: ") + e.what()});
+                              std::string("malformed frame: ") + e.what()},
+                    timeout);
       return true;
     }
 
@@ -101,22 +126,35 @@ bool GridServer::handleConnection(int fd) {
         } catch (const std::exception& e) {
           reply = Frame{FrameType::Error, e.what()};
         }
-        if (!tryWriteFrame(fd, reply)) return true;
+        if (const auto ws = tryWriteFrame(fd, reply, timeout);
+            ws != WriteStatus::Ok) {
+          noteDrop(ws);
+          return true;
+        }
         break;
       }
       case FrameType::StatsRequest:
-        if (!tryWriteFrame(
-                fd, Frame{FrameType::StatsReply, statsReport().serialize()}))
+        if (const auto ws = tryWriteFrame(
+                fd, Frame{FrameType::StatsReply, statsReport().serialize()},
+                timeout);
+            ws != WriteStatus::Ok) {
+          noteDrop(ws);
           return true;
+        }
         break;
       case FrameType::Shutdown:
-        tryWriteFrame(fd, Frame{FrameType::ShutdownAck, ""});
+        tryWriteFrame(fd, Frame{FrameType::ShutdownAck, ""}, timeout);
         return false;
       default:
-        if (!tryWriteFrame(fd,
-                           Frame{FrameType::Error,
-                                 "unexpected frame type for a grid server"}))
+        if (const auto ws = tryWriteFrame(
+                fd,
+                Frame{FrameType::Error,
+                      "unexpected frame type for a grid server"},
+                timeout);
+            ws != WriteStatus::Ok) {
+          noteDrop(ws);
           return true;
+        }
         break;
     }
   }
@@ -150,6 +188,9 @@ obs::RunReport GridServer::statsReport() const {
   obs::RunReport report = lastFleet_;
   for (const auto& [name, value] : metrics_.counterValues())
     report.counters[name] = value;
+  // Persistence failures live in the cache, not the registry; surface the
+  // current truth (the pre-registered zero is overwritten on damage).
+  report.counters["grid.cache.persist_errors"] = cache_.persistFailures();
   return report;
 }
 

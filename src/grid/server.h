@@ -47,6 +47,14 @@ struct ServerConfig {
   std::string endpoint = "unix:/tmp/pred-grid.sock";
   SchedulerConfig scheduler;
   std::size_t cacheEntries = 1024;
+  /// Non-empty enables crash-safe cache persistence: the result cache
+  /// journals inserts under this directory and replays the journal at
+  /// startup, so a restarted server serves the same byte-identical hits.
+  std::string cacheDir;
+  /// Per-connection I/O deadline in ms; a peer that stalls mid-frame (or
+  /// never drains its reply) is dropped and counted, not waited on
+  /// forever.  0 = no deadline (the pre-deadline behavior).
+  std::uint64_t connTimeoutMs = 30'000;
   /// In-process evaluator; leave empty to run subprocess workers from
   /// scheduler.workerCommand.
   ShardEvalFn eval;

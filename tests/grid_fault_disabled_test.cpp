@@ -1,0 +1,39 @@
+// grid_fault_disabled_test.cpp — pins the PRED_FAULTS_DISABLED contract.
+//
+// This TU is compiled with PRED_FAULTS_DISABLED (see CMakeLists.txt), so
+// grid/faultpoint.h selects the faults_off inline namespace here while the
+// pred library it links against keeps the instrumented faults_on one —
+// distinct namespaces, ODR-clean.  What must hold in a faults-off TU:
+//
+//   - check()/tornLimit() are inert no-ops,
+//   - nothing ever reads as armed,
+//   - armPlan() THROWS, so a daemon started with --fault-plan on a
+//     faults-off build fails loudly instead of silently not injecting.
+
+#include <gtest/gtest.h>
+
+#include "grid/faultpoint.h"
+
+#ifndef PRED_FAULTS_DISABLED
+#error "grid_fault_disabled_test must be compiled with PRED_FAULTS_DISABLED"
+#endif
+
+namespace fault = pred::grid::fault;
+
+TEST(FaultsDisabled, CheckAndTornLimitAreInert) {
+  EXPECT_NO_THROW(fault::check("net.read"));
+  EXPECT_NO_THROW(fault::check("cache.journal"));
+  EXPECT_NO_THROW(fault::check("not-even-a-point"));
+  EXPECT_EQ(fault::tornLimit("cache.journal", 128), std::nullopt);
+}
+
+TEST(FaultsDisabled, NothingIsEverArmed) {
+  EXPECT_FALSE(fault::anyArmed());
+  EXPECT_EQ(fault::hitCount("net.read"), 0u);
+  EXPECT_EQ(fault::planText(), "");
+  EXPECT_NO_THROW(fault::disarm());
+}
+
+TEST(FaultsDisabled, ArmPlanFailsLoudly) {
+  EXPECT_THROW(fault::armPlan("net.read:error"), std::runtime_error);
+}

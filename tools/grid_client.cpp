@@ -11,9 +11,17 @@
 //   stats     fetch and print the server's RunReport (text or --json)
 //   shutdown  stop the server's accept loop
 //
-// Exit code 0 on success, 1 on any error (connection, server-side Error
-// frame, malformed reply).
+// All subcommands take --timeout SECS (default 300, 0 = wait forever)
+// bounding the connect and every frame read/write, so a wedged or
+// black-holed server cannot hang a pipeline.
+//
+// Exit codes: 0 success; 1 any server/connection error (server-side
+// Error frame, refused connect, malformed reply); 2 usage; 3 deadline
+// exceeded — scripts can tell "the server said no" from "the server
+// never answered".
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -39,17 +47,20 @@ int usage() {
       "  pred-grid-client submit --connect EP --platform P --workload W\n"
       "                          [--states N] [--shards K] [--threads T]\n"
       "                          [--interpreted] [--no-cache] [--out FILE]\n"
+      "                          [--timeout SECS]\n"
       "      evaluate the whole P x W grid on the server, split K ways\n"
       "      (default 1); accumulator bytes on stdout/--out, fingerprint\n"
       "      and cache-hit provenance on stderr\n"
       "\n"
-      "  pred-grid-client stats --connect EP [--json]\n"
+      "  pred-grid-client stats --connect EP [--json] [--timeout SECS]\n"
       "      the server's telemetry report (grid.* counters, last fleet)\n"
       "\n"
-      "  pred-grid-client shutdown --connect EP\n"
+      "  pred-grid-client shutdown --connect EP [--timeout SECS]\n"
       "      stop the server\n"
       "\n"
-      "EP is unix:PATH or tcp:HOST:PORT.\n");
+      "EP is unix:PATH or tcp:HOST:PORT.  --timeout SECS (default 300,\n"
+      "0 = wait forever) bounds the connect and each frame exchange; a\n"
+      "deadline exceeded exits 3 (1 = server/connection error, 2 = usage).\n");
   return 2;
 }
 
@@ -71,6 +82,21 @@ T flagNumber(const std::string& flag, const std::string& value) {
   return v;
 }
 
+/// Default deadline: generous enough for a real grid evaluation, finite
+/// enough that a wedged server can't hang a pipeline forever.
+constexpr std::uint64_t kDefaultTimeoutSecs = 300;
+
+grid::ClientOptions clientOptions(std::uint64_t timeoutSecs) {
+  grid::ClientOptions opts;
+  if (timeoutSecs > 0) {
+    const std::uint64_t capped = std::min<std::uint64_t>(
+        timeoutSecs, 86'400);  // a day: beyond that, just say 0
+    opts.connectTimeoutMs = static_cast<int>(capped * 1000);
+    opts.ioTimeoutMs = static_cast<int>(capped * 1000);
+  }
+  return opts;
+}
+
 int cmdSubmit(const std::vector<std::string>& args) {
   std::string connect, platform, workload, outPath;
   int states = exp::PlatformOptions{}.numStates;
@@ -78,6 +104,7 @@ int cmdSubmit(const std::vector<std::string>& args) {
   bool interpreted = false;
   std::size_t shards = 1;
   bool useCache = true;
+  std::uint64_t timeoutSecs = kDefaultTimeoutSecs;
   for (std::size_t k = 0; k < args.size(); ++k) {
     const std::string& a = args[k];
     if (a == "--connect") {
@@ -98,6 +125,8 @@ int cmdSubmit(const std::vector<std::string>& args) {
       useCache = false;
     } else if (a == "--out") {
       outPath = flagValue(args, k);
+    } else if (a == "--timeout") {
+      timeoutSecs = flagNumber<std::uint64_t>(a, flagValue(args, k));
     } else {
       throw std::invalid_argument("unknown flag: " + a);
     }
@@ -121,7 +150,7 @@ int cmdSubmit(const std::vector<std::string>& args) {
   whole.qEnd = model->numStates();
   whole.iEnd = w.inputs.size();
 
-  grid::GridClient client(connect);
+  grid::GridClient client(connect, clientOptions(timeoutSecs));
   const grid::JobResult result = client.submit(whole, shards, useCache);
   std::fprintf(stderr, "fingerprint %s\ncache-hit %d\n",
                result.fingerprint.c_str(), result.cacheHit ? 1 : 0);
@@ -138,17 +167,20 @@ int cmdSubmit(const std::vector<std::string>& args) {
 int cmdStats(const std::vector<std::string>& args) {
   std::string connect;
   bool json = false;
+  std::uint64_t timeoutSecs = kDefaultTimeoutSecs;
   for (std::size_t k = 0; k < args.size(); ++k) {
     if (args[k] == "--connect") {
       connect = flagValue(args, k);
     } else if (args[k] == "--json") {
       json = true;
+    } else if (args[k] == "--timeout") {
+      timeoutSecs = flagNumber<std::uint64_t>(args[k], flagValue(args, k));
     } else {
       throw std::invalid_argument("unknown flag: " + args[k]);
     }
   }
   if (connect.empty()) throw std::invalid_argument("--connect is required");
-  grid::GridClient client(connect);
+  grid::GridClient client(connect, clientOptions(timeoutSecs));
   const obs::RunReport report = client.stats();
   std::fputs((json ? report.json() + "\n" : report.text()).c_str(), stdout);
   return 0;
@@ -156,15 +188,18 @@ int cmdStats(const std::vector<std::string>& args) {
 
 int cmdShutdown(const std::vector<std::string>& args) {
   std::string connect;
+  std::uint64_t timeoutSecs = kDefaultTimeoutSecs;
   for (std::size_t k = 0; k < args.size(); ++k) {
     if (args[k] == "--connect") {
       connect = flagValue(args, k);
+    } else if (args[k] == "--timeout") {
+      timeoutSecs = flagNumber<std::uint64_t>(args[k], flagValue(args, k));
     } else {
       throw std::invalid_argument("unknown flag: " + args[k]);
     }
   }
   if (connect.empty()) throw std::invalid_argument("--connect is required");
-  grid::GridClient client(connect);
+  grid::GridClient client(connect, clientOptions(timeoutSecs));
   client.shutdownServer();
   return 0;
 }
@@ -180,6 +215,12 @@ int main(int argc, char** argv) {
     if (cmd == "stats") return cmdStats(args);
     if (cmd == "shutdown") return cmdShutdown(args);
     return usage();
+  } catch (const pred::grid::net::TimeoutError& e) {
+    // A distinct exit code for "the server never answered in time" so
+    // scripts can retry/escalate differently from a hard error.
+    std::fprintf(stderr, "pred-grid-client %s: timeout: %s\n", cmd.c_str(),
+                 e.what());
+    return 3;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pred-grid-client %s: error: %s\n", cmd.c_str(),
                  e.what());

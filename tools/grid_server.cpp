@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "core/wire.h"
+#include "grid/faultpoint.h"
 #include "grid/server.h"
 #include "study/distributed.h"
 
@@ -41,11 +42,20 @@ int usage() {
       "                                            this binary)\n"
       "                   [--in-process]           threads, not subprocesses\n"
       "                   [--cache-entries N]      result cache size\n"
+      "                   [--cache-dir PATH]       crash-safe cache journal;\n"
+      "                                            a restart with the same\n"
+      "                                            dir serves the same hits\n"
+      "                   [--conn-timeout-ms N]    drop connections stalled\n"
+      "                                            this long (default 30000,\n"
+      "                                            0 = never)\n"
       "                   [--max-attempts N]       per-shard retry budget\n"
       "                   [--retry-backoff-ms N]   base retry backoff\n"
       "                   [--shard-timeout-ms N]   per-shard kill timeout\n"
       "                   [--fault-first-worker-exit-after N]\n"
       "                                            arm fault injection\n"
+      "                   [--fault-plan PLAN]      arm named fault points,\n"
+      "                                            e.g. \"net.write:after=3:\n"
+      "                                            epipe;cache.journal:torn\"\n"
       "\n"
       "Prints 'listening on <endpoint>' once ready; stops on a client\n"
       "Shutdown frame (pred-grid-client shutdown).\n");
@@ -83,6 +93,7 @@ int main(int argc, char** argv) {
   config.scheduler.workers = 2;
   std::size_t faultExitAfter = 0;
   bool haveFault = false;
+  std::string faultPlan;
 
   const std::vector<std::string> args(argv + 1, argv + argc);
   if (args.empty()) return usage();
@@ -104,6 +115,12 @@ int main(int argc, char** argv) {
         inProcess = true;
       } else if (a == "--cache-entries") {
         config.cacheEntries = flagNumber<std::size_t>(a, value(k));
+      } else if (a == "--cache-dir") {
+        config.cacheDir = value(k);
+      } else if (a == "--conn-timeout-ms") {
+        config.connTimeoutMs = flagNumber<std::uint64_t>(a, value(k));
+      } else if (a == "--fault-plan") {
+        faultPlan = value(k);
       } else if (a == "--max-attempts") {
         config.scheduler.maxAttempts = flagNumber<int>(a, value(k));
       } else if (a == "--retry-backoff-ms") {
@@ -135,6 +152,10 @@ int main(int argc, char** argv) {
         config.scheduler.firstWorkerExtraArgs = {
             "--exit-after", std::to_string(faultExitAfter)};
     }
+
+    // Arm the fault plan before the server exists so construction-time
+    // paths (cache.load on journal recovery) are already covered.
+    if (!faultPlan.empty()) grid::fault::armPlan(faultPlan);
 
     grid::GridServer server(std::move(config));
     std::printf("listening on %s\n", server.boundEndpointText().c_str());
