@@ -195,8 +195,92 @@ GridReport perfGridFor(const std::string& platform,
       .rawField("bit_identical", identical ? "true" : "false")
       .rawField("ns_per_cell", cells.str())
       .rawField("speedup", speedup.str())
+      // Trace-equivalence stats: classes among this grid's 64 inputs (the
+      // store assigns class ids as it fills, collapse on or off), and how
+      // many cell evaluations the engine actually skipped here (zero on
+      // the matrix path — computeMatrix never collapses; the streaming
+      // "collapse" grid below is where this is non-zero).
+      .field("trace_classes",
+             static_cast<std::uint64_t>(packed.traceStore().classCount()))
+      .field("cells_collapsed",
+             packed.metrics().counter("engine.cells_collapsed").value())
       .rawField("phases", phases.str());
   return GridReport{identical, obj.str()};
+}
+
+/// Trace-class collapse on the duplicate-heavy grid: the registry's
+/// linearsearch-16x64-dup preset (16 base arrays x 4 trace-equal variants
+/// = 64 inputs, <= 16 trace classes) streamed through reduceCells with
+/// collapseTraceClasses off vs on.  Collapse times each class once per
+/// state and fans the result out to every member, so ns/cell drops by
+/// roughly inputs/classes while the accumulator stays bit-identical —
+/// asserted here and gated again (witness-for-witness) by the
+/// differential and shard tests.
+std::string collapseGrid(bool* identical, int reps) {
+  constexpr int kStates = 64;
+  const std::string platform = "inorder-lru";
+  const std::string workload = "linearsearch-16x64-dup";
+  bench::printHeader("Trace-class collapse",
+                     "64 x 64 duplicate-heavy grid: collapse off vs on");
+  const auto w = study::WorkloadRegistry::instance().make(workload);
+  exp::PlatformOptions opts;
+  opts.numStates = kStates;
+  const auto model =
+      exp::PlatformRegistry::instance().make(platform, w.program, opts);
+
+  exp::EngineConfig offCfg;
+  offCfg.collapseTraceClasses = false;
+  exp::ExperimentEngine off(offCfg);
+  exp::ExperimentEngine on;  // defaults: packed replay + collapse, both on
+
+  const auto accOff = off.reduceCells(*model, w.program, w.inputs);
+  const auto before = on.metrics().counter("engine.cells_collapsed").value();
+  const auto accOn = on.reduceCells(*model, w.program, w.inputs);
+  const auto collapsedPerSweep =
+      on.metrics().counter("engine.cells_collapsed").value() - before;
+  const bool same = accOn.identicalTo(accOff);
+  *identical = same;
+  const auto classes = on.traceStore().classCount();
+  bench::printKV("collapsed == uncollapsed (bit-identical)",
+                 same ? "yes" : "NO (BUG)");
+  bench::printKV("trace classes among 64 inputs", std::to_string(classes));
+
+  const double cells =
+      static_cast<double>(kStates) * static_cast<double>(w.inputs.size());
+  const auto reduceNs = [&](exp::ExperimentEngine& e) {
+    return bestOfNs(reps, [&] {
+             benchmark::DoNotOptimize(
+                 e.reduceCells(*model, w.program, w.inputs).wcet());
+           }) /
+           cells;
+  };
+  const double offNs = reduceNs(off);
+  const double onNs = reduceNs(on);
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", offNs);
+  bench::printKV("uncollapsed ns/cell", buf);
+  std::snprintf(buf, sizeof buf, "%.1f", onNs);
+  bench::printKV("collapsed ns/cell", buf);
+  std::snprintf(buf, sizeof buf, "%.2fx", offNs / onNs);
+  bench::printKV("speedup collapsed vs uncollapsed", buf);
+
+  bench::JsonObject gridShape;
+  gridShape.field("states", kStates)
+      .field("inputs", static_cast<int>(w.inputs.size()));
+  bench::JsonObject cellsNs;
+  cellsNs.field("uncollapsed", offNs).field("collapsed", onNs);
+  bench::JsonObject speedup;
+  speedup.field("collapsed_vs_uncollapsed", offNs / onNs);
+  bench::JsonObject obj;
+  obj.field("workload", workload)
+      .field("platform", platform)
+      .rawField("grid", gridShape.str())
+      .field("trace_classes", static_cast<std::uint64_t>(classes))
+      .field("cells_collapsed_per_sweep", collapsedPerSweep)
+      .rawField("bit_identical", same ? "true" : "false")
+      .rawField("ns_per_cell", cellsNs.str())
+      .rawField("speedup", speedup.str());
+  return obj.str();
 }
 
 /// Sharded-throughput grid: the work-stealing scheduler (src/grid/) runs
@@ -288,6 +372,8 @@ void perfGrid(const char* argv0) {
       perfGridFor("ooo-fifo", cache::CacheGeometry{4, 64, 4}, reps);
   bool shardedIdentical = false;
   const std::string sharded = shardedThroughputGrid(&shardedIdentical);
+  bool collapseIdentical = false;
+  const std::string collapse = collapseGrid(&collapseIdentical, reps);
 
   // Default the artifact NEXT TO THE BINARY (the build directory), not the
   // cwd: smoke runs launched from the repo root used to litter it with
@@ -311,11 +397,13 @@ void perfGrid(const char* argv0) {
       .field("threads", exp::ExperimentEngine().resolvedThreads())
       .rawField("metrics_enabled", obs::compiledIn() ? "true" : "false")
       .rawField("bit_identical",
-                inorder.identical && ooo.identical && shardedIdentical
+                inorder.identical && ooo.identical && shardedIdentical &&
+                        collapseIdentical
                     ? "true"
                     : "false")
       .rawField("grids", grids.str())
-      .rawField("sharded", sharded);
+      .rawField("sharded", sharded)
+      .rawField("collapse", collapse);
   if (bench::writeTextFile(path, root.str())) {
     bench::printKV("json artifact", path);
   }

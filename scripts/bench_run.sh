@@ -20,7 +20,14 @@
 #               K in {1,2,4,8} stealing workers) is missing, not
 #               bit-identical to the single-process run, or any K's
 #               cells/sec falls below sharded.min_cells_per_sec /
-#               PERF_SMOKE_FACTOR.
+#               PERF_SMOKE_FACTOR, or
+#             * the trace-class collapse grid (the duplicate-heavy
+#               linearsearch-16x64-dup preset) is missing, not
+#               bit-identical to the uncollapsed run, reports as many
+#               trace classes as inputs (collapse enabled but inert),
+#               beats the uncollapsed path by less than
+#               collapse.min_speedup, or exceeds PERF_SMOKE_FACTOR x
+#               collapse.collapsed_ns_per_cell.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -107,6 +114,37 @@ else:
             print(f"FAIL: sharded {k}: scheduler throughput fell below "
                   "the baseline floor")
             failed = True
+
+collapse = measured.get("collapse")
+if collapse is None:
+    print("FAIL: trace-class collapse grid missing from the bench JSON")
+    failed = True
+else:
+    if not collapse.get("bit_identical", False):
+        print("FAIL: collapse: collapsed accumulator differs from the "
+              "uncollapsed run")
+        failed = True
+    classes = collapse["trace_classes"]
+    inputs = collapse["grid"]["inputs"]
+    print(f"collapse: {classes} trace classes over {inputs} inputs")
+    if classes >= inputs:
+        print("FAIL: collapse is enabled but found no duplicate classes on "
+              "the duplicate-heavy grid — the dedup is inert")
+        failed = True
+    speedup = collapse["speedup"]["collapsed_vs_uncollapsed"]
+    min_collapse = baseline["collapse"]["min_speedup"]
+    print(f"collapse: speedup collapsed vs uncollapsed: {speedup:.2f}x "
+          f"(min {min_collapse}x)")
+    if speedup < min_collapse:
+        print("FAIL: collapse no longer meaningfully beats the "
+              "uncollapsed streaming path")
+        failed = True
+    ns = collapse["ns_per_cell"]["collapsed"]
+    limit = baseline["collapse"]["collapsed_ns_per_cell"] * factor
+    print(f"collapse: collapsed ns/cell: {ns:.1f} (limit {limit:.1f})")
+    if ns > limit:
+        print("FAIL: collapsed ns/cell regressed past the baseline limit")
+        failed = True
 
 sys.exit(1 if failed else 0)
 PY

@@ -41,7 +41,7 @@ cd "$(dirname "$0")/.."
 
 SHARDS=8
 PLATFORM=inorder-lru
-WORKLOAD=linearsearch-16x64
+WORKLOAD=linearsearch-16x64-dup
 STATES=64
 WORKERS=4
 BUILD_DIR=build

@@ -15,7 +15,7 @@
 # Usage:  scripts/shard_run.sh [--smoke] [-k shards] [-p platform]
 #                              [-w workload] [-s states] [build-dir]
 # Defaults: 4-way shard of the inorder-lru 64 x 64 grid
-# (states=64, workload=linearsearch-16x64), build-dir=build.
+# (states=64, workload=linearsearch-16x64-dup), build-dir=build.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -23,7 +23,7 @@ cd "$(dirname "$0")/.."
 SMOKE=0
 SHARDS=4
 PLATFORM=inorder-lru
-WORKLOAD=linearsearch-16x64
+WORKLOAD=linearsearch-16x64-dup
 STATES=64
 BUILD_DIR=build
 while [ "$#" -gt 0 ]; do

@@ -72,6 +72,35 @@ void StreamingMeasures::add(std::size_t q, std::size_t i, Cycles t) {
   ++cells_;
 }
 
+void StreamingMeasures::addEqual(std::size_t q, const std::size_t* members,
+                                 std::size_t count, Cycles t) {
+  if (count == 0) return;
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t i = members[k];
+    if (t < inMin_[i] || (t == inMin_[i] && q < inMinQ_[i])) {
+      inMin_[i] = t;
+      inMinQ_[i] = q;
+    }
+    if (t > inMax_[i] || (t == inMax_[i] && q < inMaxQ_[i])) {
+      inMax_[i] = t;
+      inMaxQ_[i] = q;
+    }
+  }
+  // One per-state update with the smallest member: in the sequential fold
+  // members[0] either improves the extreme or wins the smallest-i tie, and
+  // every later member loses both comparisons against it.
+  const std::size_t i0 = members[0];
+  if (t < stMin_[q] || (t == stMin_[q] && i0 < stMinI_[q])) {
+    stMin_[q] = t;
+    stMinI_[q] = i0;
+  }
+  if (t > stMax_[q] || (t == stMax_[q] && i0 < stMaxI_[q])) {
+    stMax_[q] = t;
+    stMaxI_[q] = i0;
+  }
+  cells_ += count;
+}
+
 void StreamingMeasures::merge(const StreamingMeasures& other) {
   if (other.nQ_ != nQ_ || other.nI_ != nI_) {
     throw std::invalid_argument("merging StreamingMeasures of unequal shape");

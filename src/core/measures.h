@@ -82,6 +82,18 @@ class StreamingMeasures {
   /// Folds one cell T(q, i) = t.
   void add(std::size_t q, std::size_t i, Cycles t);
 
+  /// Folds a whole timing-equivalence class in one call: exactly equivalent
+  /// to add(q, members[k], t) for k = 0..count-1, provided `members` is
+  /// sorted ascending.  This is the fan-out half of trace-class collapse
+  /// (exp::EngineConfig::collapseTraceClasses): the engine times the class
+  /// representative once and distributes the result to every member input.
+  /// The per-state extremes are updated once with members[0] as the
+  /// attaining input — identical to the sequential fold, where the first
+  /// (smallest) member wins the tie against every later one — so values AND
+  /// witnesses stay bit-identical to the uncollapsed walk.
+  void addEqual(std::size_t q, const std::size_t* members, std::size_t count,
+                Cycles t);
+
   /// Folds another accumulator over the same |Q|×|I| shape (disjoint cells).
   void merge(const StreamingMeasures& other);
 

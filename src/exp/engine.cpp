@@ -4,11 +4,72 @@
 #include <stdexcept>
 #include <string>
 #include <thread>
+#include <unordered_map>
+#include <utility>
 
 #include "exp/worker_pool.h"
 #include "obs/span.h"
 
 namespace pred::exp {
+
+namespace {
+
+/// Groups the inputs of [iBegin, iEnd) by trace-equivalence class id.
+/// Groups are ordered by first appearance and hold GLOBAL input indices in
+/// ascending order — exactly what StreamingMeasures::addEqual needs for
+/// witness-identical fan-out.
+std::vector<std::vector<std::size_t>> groupByClass(
+    const std::vector<std::uint32_t>& classIds, std::size_t iBegin,
+    std::size_t iEnd) {
+  std::vector<std::vector<std::size_t>> groups;
+  std::unordered_map<std::uint32_t, std::size_t> slotOf;
+  for (std::size_t i = iBegin; i < iEnd; ++i) {
+    const auto [it, fresh] = slotOf.try_emplace(classIds[i], groups.size());
+    if (fresh) groups.emplace_back();
+    groups[it->second].push_back(i);
+  }
+  return groups;
+}
+
+/// Class ids for externally supplied traces (the trace-pointer entry
+/// points, which bypass the store): pointer-equal traces short-circuit,
+/// distinct pointers group by content fingerprint CONFIRMED by exact
+/// record-for-record comparison — same collision discipline as the store.
+std::vector<std::uint32_t> localClassIds(
+    const std::vector<const isa::Trace*>& traces) {
+  std::vector<std::uint32_t> ids(traces.size(), 0);
+  std::unordered_map<const isa::Trace*, std::uint32_t> byPtr;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<std::uint32_t, const isa::Trace*>>>
+      byFp;
+  std::uint32_t next = 0;
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    const isa::Trace* t = traces[i];
+    if (const auto pit = byPtr.find(t); pit != byPtr.end()) {
+      ids[i] = pit->second;
+      continue;
+    }
+    auto& classes = byFp[traceFingerprint(*t)];
+    std::uint32_t id = next;
+    bool found = false;
+    for (const auto& [cid, rep] : classes) {
+      if (tracesIdentical(*rep, *t)) {
+        id = cid;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      ++next;
+      classes.emplace_back(id, t);
+    }
+    byPtr.emplace(t, id);
+    ids[i] = id;
+  }
+  return ids;
+}
+
+}  // namespace
 
 ExperimentEngine::ExperimentEngine(EngineConfig config) : config_(config) {
   if (config_.tileStates == 0) config_.tileStates = 1;
@@ -19,6 +80,8 @@ ExperimentEngine::ExperimentEngine(EngineConfig config) : config_(config) {
   cGridWalks_ = &metrics_.counter("engine.grid_walks");
   cTiles_ = &metrics_.counter("engine.tiles");
   cCells_ = &metrics_.counter("engine.cells");
+  cTraceClasses_ = &metrics_.counter("engine.trace_classes");
+  cCellsCollapsed_ = &metrics_.counter("engine.cells_collapsed");
   pResolve_ = &metrics_.phase("resolve");
   pReplayPacked_ = &metrics_.phase("replay.packed");
   pReplayInterp_ = &metrics_.phase("replay.interpreted");
@@ -36,6 +99,8 @@ obs::RunReport ExperimentEngine::report() const {
   r.counters["trace_store.misses"] = store_.misses();
   r.counters["trace_store.entries"] =
       static_cast<std::uint64_t>(store_.size());
+  r.counters["trace_store.classes"] =
+      static_cast<std::uint64_t>(store_.classCount());
   return r;
 }
 
@@ -106,7 +171,8 @@ core::TimingMatrix ExperimentEngine::matrixImpl(
 
 core::StreamingMeasures ExperimentEngine::reduceImpl(
     const TimingModel& model, const std::vector<const isa::Trace*>& traces,
-    const std::vector<const ReplayProgram*>& compiled, std::size_t qBegin,
+    const std::vector<const ReplayProgram*>& compiled,
+    const std::vector<std::uint32_t>* classIds, std::size_t qBegin,
     std::size_t qEnd, std::size_t iBegin, std::size_t iEnd) const {
   const std::size_t nQ = model.numStates();
   const std::size_t nI = traces.size();
@@ -119,16 +185,41 @@ core::StreamingMeasures ExperimentEngine::reduceImpl(
   const int workers = std::max(resolvedThreads(), 1);
   std::vector<core::StreamingMeasures> accs(
       static_cast<std::size_t>(workers), core::StreamingMeasures(nQ, nI));
-  runGrid(qEnd - qBegin, iEnd - iBegin,
-          packed ? pReplayPacked_ : pReplayInterp_,
-          [&](std::size_t dq, std::size_t di, int worker) {
-            const std::size_t q = qBegin + dq;
-            const std::size_t i = iBegin + di;
-            const core::Cycles t = packed
-                                       ? model.timePacked(q, *compiled[i])
-                                       : model.time(q, *traces[i]);
-            accs[static_cast<std::size_t>(worker)].add(q, i, t);
-          });
+  if (classIds != nullptr) {
+    // Collapsed walk: one column per trace-equivalence class in the input
+    // range.  The representative (smallest member) is timed; addEqual fans
+    // the result out to every member with the same value/witness outcome the
+    // per-member walk would have produced.  Equal traces replay to equal
+    // times on every deterministic model — also for shard ranges that pick
+    // a different in-range representative of the same global class.
+    const auto groups = groupByClass(*classIds, iBegin, iEnd);
+    cTraceClasses_->add(groups.size());
+    cCellsCollapsed_->add((qEnd - qBegin) *
+                          ((iEnd - iBegin) - groups.size()));
+    runGrid(qEnd - qBegin, groups.size(),
+            packed ? pReplayPacked_ : pReplayInterp_,
+            [&](std::size_t dq, std::size_t c, int worker) {
+              const std::size_t q = qBegin + dq;
+              const auto& members = groups[c];
+              const std::size_t rep = members.front();
+              const core::Cycles t = packed
+                                         ? model.timePacked(q, *compiled[rep])
+                                         : model.time(q, *traces[rep]);
+              accs[static_cast<std::size_t>(worker)].addEqual(
+                  q, members.data(), members.size(), t);
+            });
+  } else {
+    runGrid(qEnd - qBegin, iEnd - iBegin,
+            packed ? pReplayPacked_ : pReplayInterp_,
+            [&](std::size_t dq, std::size_t di, int worker) {
+              const std::size_t q = qBegin + dq;
+              const std::size_t i = iBegin + di;
+              const core::Cycles t = packed
+                                         ? model.timePacked(q, *compiled[i])
+                                         : model.time(q, *traces[i]);
+              accs[static_cast<std::size_t>(worker)].add(q, i, t);
+            });
+  }
   obs::Span mergeSpan(pMerge_);
   core::StreamingMeasures total = std::move(accs.front());
   for (std::size_t w = 1; w < accs.size(); ++w) total.merge(accs[w]);
@@ -164,27 +255,42 @@ core::StreamingMeasures ExperimentEngine::reduceCells(
     const std::vector<const isa::Trace*>& traces) const {
   const std::size_t nQ = model.numStates();
   const std::size_t nI = traces.size();
+  // Externally supplied traces never went through the store, so their class
+  // ids are derived locally (pointer/content grouping).
+  std::vector<std::uint32_t> classIds;
+  const std::vector<std::uint32_t>* ids = nullptr;
+  if (config_.collapseTraceClasses && nI > 0) {
+    classIds = localClassIds(traces);
+    ids = &classIds;
+  }
   if (packedPath(model) && nI > 0 && nQ > 0) {
     const auto local = compileLocal(traces);
     std::vector<const ReplayProgram*> compiled(local.size());
     for (std::size_t i = 0; i < local.size(); ++i) compiled[i] = &local[i];
-    return reduceImpl(model, traces, compiled, 0, nQ, 0, nI);
+    return reduceImpl(model, traces, compiled, ids, 0, nQ, 0, nI);
   }
-  return reduceImpl(model, traces, {}, 0, nQ, 0, nI);
+  return reduceImpl(model, traces, {}, ids, 0, nQ, 0, nI);
 }
 
 std::vector<core::StreamingMeasures> ExperimentEngine::reduceCellsBatch(
     const std::vector<GridSpec>& grids) {
   const std::size_t nGrids = grids.size();
 
+  const bool collapse = config_.collapseTraceClasses;
+
   /// Per-grid evaluation context, resolved up front so the cell pass is a
   /// pure walk.
   struct Prepared {
     bool packed = false;
     std::size_t nQ = 0, nI = 0;
+    /// Walked input-axis columns: trace classes when collapsing, inputs
+    /// otherwise.
+    std::size_t nCols = 0;
     std::size_t tilesI = 0;
     std::vector<const isa::Trace*> traces;
     std::vector<const ReplayProgram*> compiled;
+    std::vector<std::uint32_t> classIds;
+    std::vector<std::vector<std::size_t>> groups;
   };
   std::vector<Prepared> prep(nGrids);
   // Prefix offsets flatten the per-grid item lists into single global work
@@ -197,6 +303,7 @@ std::vector<core::StreamingMeasures> ExperimentEngine::reduceCellsBatch(
     p.nI = grids[g].inputs->size();
     p.traces.assign(p.nI, nullptr);
     if (p.packed) p.compiled.assign(p.nI, nullptr);
+    if (collapse) p.classIds.assign(p.nI, 0);
     inputOffset[g + 1] = inputOffset[g] + p.nI;
   }
   const auto gridOf = [](const std::vector<std::size_t>& offsets,
@@ -220,6 +327,11 @@ std::vector<core::StreamingMeasures> ExperimentEngine::reduceCellsBatch(
             const auto ref = store_.entryRefFor(*grids[g].program, input);
             prep[g].traces[i] = ref.trace;
             prep[g].compiled[i] = ref.compiled;
+            if (collapse) prep[g].classIds[i] = ref.classId;
+          } else if (collapse) {
+            const auto ref = store_.traceRefFor(*grids[g].program, input);
+            prep[g].traces[i] = ref.trace;
+            prep[g].classIds[i] = ref.classId;
           } else {
             prep[g].traces[i] = &store_.traceFor(*grids[g].program, input);
           }
@@ -233,11 +345,19 @@ std::vector<core::StreamingMeasures> ExperimentEngine::reduceCellsBatch(
   // values and witnesses equal the grid-by-grid reduceCells results.
   std::vector<std::size_t> tileOffset(nGrids + 1, 0);
   for (std::size_t g = 0; g < nGrids; ++g) {
+    Prepared& p = prep[g];
+    if (collapse) {
+      p.groups = groupByClass(p.classIds, 0, p.nI);
+      p.nCols = p.groups.size();
+      cTraceClasses_->add(p.nCols);
+      cCellsCollapsed_->add(p.nQ * (p.nI - p.nCols));
+    } else {
+      p.nCols = p.nI;
+    }
     const std::size_t tilesQ =
-        (prep[g].nQ + config_.tileStates - 1) / config_.tileStates;
-    prep[g].tilesI =
-        (prep[g].nI + config_.tileInputs - 1) / config_.tileInputs;
-    tileOffset[g + 1] = tileOffset[g] + tilesQ * prep[g].tilesI;
+        (p.nQ + config_.tileStates - 1) / config_.tileStates;
+    p.tilesI = (p.nCols + config_.tileInputs - 1) / config_.tileInputs;
+    tileOffset[g + 1] = tileOffset[g] + tilesQ * p.tilesI;
   }
   const int workers = std::max(resolvedThreads(), 1);
   std::vector<std::vector<core::StreamingMeasures>> accs;
@@ -262,15 +382,26 @@ std::vector<core::StreamingMeasures> ExperimentEngine::reduceCellsBatch(
           const std::size_t q0 = (local / p.tilesI) * config_.tileStates;
           const std::size_t i0 = (local % p.tilesI) * config_.tileInputs;
           const std::size_t q1 = std::min(p.nQ, q0 + config_.tileStates);
-          const std::size_t i1 = std::min(p.nI, i0 + config_.tileInputs);
+          const std::size_t i1 = std::min(p.nCols, i0 + config_.tileInputs);
           const TimingModel& model = *grids[g].model;
           auto& acc = accs[static_cast<std::size_t>(worker)][g];
           for (std::size_t q = q0; q < q1; ++q) {
             for (std::size_t i = i0; i < i1; ++i) {
-              const core::Cycles t = p.packed
-                                         ? model.timePacked(q, *p.compiled[i])
-                                         : model.time(q, *p.traces[i]);
-              acc.add(q, i, t);
+              if (collapse) {
+                // Column i is a trace class: time its representative once
+                // and fan out to every member input.
+                const auto& members = p.groups[i];
+                const std::size_t rep = members.front();
+                const core::Cycles t =
+                    p.packed ? model.timePacked(q, *p.compiled[rep])
+                             : model.time(q, *p.traces[rep]);
+                acc.addEqual(q, members.data(), members.size(), t);
+              } else {
+                const core::Cycles t =
+                    p.packed ? model.timePacked(q, *p.compiled[i])
+                             : model.time(q, *p.traces[i]);
+                acc.add(q, i, t);
+              }
             }
           }
           cTiles_->add();
@@ -296,9 +427,11 @@ void ExperimentEngine::resolveTraces(
     const isa::Program& program, const std::vector<isa::Input>& inputs,
     std::size_t iBegin, std::size_t iEnd, bool packed,
     std::vector<const isa::Trace*>& traces,
-    std::vector<const ReplayProgram*>& compiled) {
+    std::vector<const ReplayProgram*>& compiled,
+    std::vector<std::uint32_t>* classIds) {
   traces.assign(inputs.size(), nullptr);
   compiled.assign(packed ? inputs.size() : 0, nullptr);
+  if (classIds != nullptr) classIds->assign(inputs.size(), 0);
   obs::Span span(pResolve_);
   WorkerPool::shared().run(
       iEnd - iBegin, resolvedThreads(),
@@ -308,6 +441,11 @@ void ExperimentEngine::resolveTraces(
           const auto ref = store_.entryRefFor(program, inputs[i]);
           traces[i] = ref.trace;
           compiled[i] = ref.compiled;
+          if (classIds != nullptr) (*classIds)[i] = ref.classId;
+        } else if (classIds != nullptr) {
+          const auto ref = store_.traceRefFor(program, inputs[i]);
+          traces[i] = ref.trace;
+          (*classIds)[i] = ref.classId;
         } else {
           traces[i] = &store_.traceFor(program, inputs[i]);
         }
@@ -333,12 +471,18 @@ core::StreamingMeasures ExperimentEngine::reduceCellsRange(
   }
   // Traces resolve for the shard's input range only; the walk itself is
   // the same reduceImpl body the single-process reduceCells runs, offset
-  // into the sub-rectangle.
+  // into the sub-rectangle.  Collapse groups within the range but keeps
+  // GLOBAL input indices, so merged shard accumulators still carry the
+  // single-process witnesses byte-for-byte.
   const bool packed = packedPath(model);
+  const bool collapse = config_.collapseTraceClasses;
   std::vector<const isa::Trace*> traces;
   std::vector<const ReplayProgram*> compiled;
-  resolveTraces(program, inputs, iBegin, iEnd, packed, traces, compiled);
-  return reduceImpl(model, traces, compiled, qBegin, qEnd, iBegin, iEnd);
+  std::vector<std::uint32_t> classIds;
+  resolveTraces(program, inputs, iBegin, iEnd, packed, traces, compiled,
+                collapse ? &classIds : nullptr);
+  return reduceImpl(model, traces, compiled, collapse ? &classIds : nullptr,
+                    qBegin, qEnd, iBegin, iEnd);
 }
 
 core::StreamingMeasures ExperimentEngine::mergeShards(
@@ -355,11 +499,14 @@ core::StreamingMeasures ExperimentEngine::reduceCells(
     const TimingModel& model, const isa::Program& program,
     const std::vector<isa::Input>& inputs) {
   const bool packed = packedPath(model);
+  const bool collapse = config_.collapseTraceClasses;
   std::vector<const isa::Trace*> traces;
   std::vector<const ReplayProgram*> compiled;
-  resolveTraces(program, inputs, 0, inputs.size(), packed, traces, compiled);
-  return reduceImpl(model, traces, compiled, 0, model.numStates(), 0,
-                    inputs.size());
+  std::vector<std::uint32_t> classIds;
+  resolveTraces(program, inputs, 0, inputs.size(), packed, traces, compiled,
+                collapse ? &classIds : nullptr);
+  return reduceImpl(model, traces, compiled, collapse ? &classIds : nullptr,
+                    0, model.numStates(), 0, inputs.size());
 }
 
 }  // namespace pred::exp

@@ -26,6 +26,15 @@
 // path, which benches use to measure the speedup.  Both paths are
 // bit-identical (asserted in tests).
 //
+// Orthogonally, the streaming reductions collapse the INPUT axis before
+// walking it (EngineConfig::collapseTraceClasses): inputs whose functional
+// traces are record-for-record identical — the TraceStore's
+// trace-equivalence classes — are timed once per state, and the class
+// result fans out to every member through StreamingMeasures::addEqual.
+// Duplicate-heavy grids evaluate |Q| x |classes| cells instead of
+// |Q| x |I|, with values and witnesses bit-identical to the uncollapsed
+// walk by construction.
+//
 // The engine owns a TraceStore (trace_store.h) so the functional trace of
 // each input — and its compiled replay form — is computed once and replayed
 // across all hardware states and across every matrix the engine computes.
@@ -55,6 +64,18 @@ struct EngineConfig {
   /// Never affects results (bit-identity is asserted in tests); off forces
   /// the legacy time(q, trace) evaluator, the benches' baseline.
   bool usePackedReplay = true;
+  /// Collapse the input axis of every streaming reduction by
+  /// trace-equivalence class: T(q, i) is a function of the functional trace
+  /// alone, so inputs with record-identical traces are timed ONCE per state
+  /// and the result fans out to all members through
+  /// StreamingMeasures::addEqual with smallest-index witness attribution.
+  /// Never affects results — values and witnesses are bit-identical to the
+  /// uncollapsed walk by construction (gated cell-for-cell and
+  /// witness-for-witness in tests/differential_test.cpp); off forces the
+  /// one-cell-per-input walk, the benches' collapse baseline.  Scheduling /
+  /// evaluation-strategy knob: invisible to result identities and cache
+  /// keys (canonicalResultIdentity normalizes it away).
+  bool collapseTraceClasses = true;
 };
 
 class ExperimentEngine {
@@ -180,20 +201,29 @@ class ExperimentEngine {
   /// reduceCellsRange (a shard's sub-rectangle) delegate to, so the
   /// shard-vs-single bit-identity contract rests on a single body.  The
   /// accumulator always has the full (numStates x traces.size()) shape.
+  /// `classIds` (globally indexed, covering at least [iBegin, iEnd)) turns
+  /// on trace-class collapse: the walk spans |Q| x |classes-in-range| and
+  /// each class result fans out to its member inputs — pass nullptr for the
+  /// one-cell-per-input walk.  Witnesses use GLOBAL input indices either
+  /// way, so shard merges stay byte-exact.
   core::StreamingMeasures reduceImpl(
       const TimingModel& model, const std::vector<const isa::Trace*>& traces,
-      const std::vector<const ReplayProgram*>& compiled, std::size_t qBegin,
+      const std::vector<const ReplayProgram*>& compiled,
+      const std::vector<std::uint32_t>* classIds, std::size_t qBegin,
       std::size_t qEnd, std::size_t iBegin, std::size_t iEnd) const;
 
   /// Resolves (and memoizes) traces — and compiled forms when `packed` —
   /// for inputs [iBegin, iEnd) on the worker pool.  Vectors are globally
   /// indexed (size inputs.size(); entries outside the range stay null).
+  /// `classIds` (optional) additionally receives each input's
+  /// trace-equivalence class id from the store.
   void resolveTraces(const isa::Program& program,
                      const std::vector<isa::Input>& inputs, std::size_t
                          iBegin,
                      std::size_t iEnd, bool packed,
                      std::vector<const isa::Trace*>& traces,
-                     std::vector<const ReplayProgram*>& compiled);
+                     std::vector<const ReplayProgram*>& compiled,
+                     std::vector<std::uint32_t>* classIds = nullptr);
 
   /// Compiles traces locally for the trace-pointer entry points (the
   /// program/inputs entry points reuse the store's cached compiled forms).
@@ -216,6 +246,8 @@ class ExperimentEngine {
   obs::Counter* cGridWalks_;
   obs::Counter* cTiles_;
   obs::Counter* cCells_;
+  obs::Counter* cTraceClasses_;
+  obs::Counter* cCellsCollapsed_;
   obs::PhaseAccum* pResolve_;
   obs::PhaseAccum* pReplayPacked_;
   obs::PhaseAccum* pReplayInterp_;

@@ -95,7 +95,8 @@ std::string serializeShardSpec(const ShardSpec& spec) {
   os << "i " << spec.iBegin << " " << spec.iEnd << "\n";
   os << "engine " << spec.engine.threads << " " << spec.engine.tileStates
      << " " << spec.engine.tileInputs << " "
-     << (spec.engine.usePackedReplay ? 1 : 0) << "\n";
+     << (spec.engine.usePackedReplay ? 1 : 0) << " "
+     << (spec.engine.collapseTraceClasses ? 1 : 0) << "\n";
   const PlatformOptions& o = spec.options;
   os << "states " << o.numStates << "\n";
   os << "seed " << o.seed << "\n";
@@ -154,6 +155,7 @@ ShardSpec parseShardSpec(const std::string& text) {
       spec.engine.tileStates = number<std::size_t>(in, "engine tileStates");
       spec.engine.tileInputs = number<std::size_t>(in, "engine tileInputs");
       spec.engine.usePackedReplay = flag(in, "engine packed");
+      spec.engine.collapseTraceClasses = flag(in, "engine collapse");
     } else if (key == "states") {
       spec.options.numStates = number<int>(in, "states");
     } else if (key == "seed") {
@@ -255,6 +257,16 @@ std::vector<ShardSpec> planShards(const ShardSpec& whole, std::size_t count) {
 }
 
 std::string canonicalResultIdentity(const ShardSpec& spec) {
+  // The engine block holds scheduling/evaluation-strategy knobs only
+  // (threads, tile shape, packed replay, trace-class collapse) — none of
+  // them change a single result byte, so all normalize to defaults.  The
+  // PLATFORM/WORKLOAD half of the spec, by contrast, is identity-bearing in
+  // full: workload registry names are deterministic factories, so a name
+  // pins the program (code AND MemoryLayout — programFingerprint covers all
+  // four layout fields) and the input set; PlatformOptions are serialized
+  // field-for-field above.  A change to any effective MemoryLayout can only
+  // come from a different workload name or registry code change — the
+  // latter is what kCodeVersionSalt (grid/fingerprint.h) invalidates.
   ShardSpec canonical = spec;
   canonical.engine = EngineConfig{};  // scheduling knobs never change bytes
   return serializeShardSpec(canonical);

@@ -31,24 +31,86 @@ std::string keyOf(const isa::Program& program, const isa::Input& input) {
   return key;
 }
 
+std::uint64_t packedFields(const isa::Instr& ins) {
+  return (static_cast<std::uint64_t>(ins.rd) << 16) |
+         (static_cast<std::uint64_t>(ins.rs1) << 8) |
+         static_cast<std::uint64_t>(ins.rs2);
+}
+
+bool sameInstr(const isa::Instr& a, const isa::Instr& b) {
+  return a.op == b.op && a.rd == b.rd && a.rs1 == b.rs1 && a.rs2 == b.rs2 &&
+         a.imm == b.imm;
+}
+
 }  // namespace
 
 std::uint64_t programFingerprint(const isa::Program& program) {
   std::uint64_t h = kFnvOffset;
   for (const auto& ins : program.code) {
     fnvMix(h, static_cast<std::uint64_t>(ins.op));
-    fnvMix(h, (static_cast<std::uint64_t>(ins.rd) << 16) |
-                  (static_cast<std::uint64_t>(ins.rs1) << 8) |
-                  static_cast<std::uint64_t>(ins.rs2));
+    fnvMix(h, packedFields(ins));
     fnvMix(h, static_cast<std::uint64_t>(
                   static_cast<std::int64_t>(ins.imm)));
   }
+  // The whole layout, not just memWords: the bases steer the DataRegion
+  // classification (split caches) and memWords steers address wrapping, so
+  // any layout difference can change timing or even the trace itself.
+  fnvMix(h, static_cast<std::uint64_t>(program.layout.staticBase));
+  fnvMix(h, static_cast<std::uint64_t>(program.layout.stackBase));
+  fnvMix(h, static_cast<std::uint64_t>(program.layout.heapBase));
   fnvMix(h, static_cast<std::uint64_t>(program.layout.memWords));
   return h;
 }
 
+std::uint64_t traceFingerprint(const isa::Trace& trace) {
+  std::uint64_t h = kFnvOffset;
+  fnvMix(h, static_cast<std::uint64_t>(trace.size()));
+  for (const auto& rec : trace) {
+    fnvMix(h, static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(rec.pc)));
+    fnvMix(h, static_cast<std::uint64_t>(rec.instr.op));
+    fnvMix(h, packedFields(rec.instr));
+    fnvMix(h, static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(rec.instr.imm)));
+    fnvMix(h, rec.branchTaken ? 1u : 0u);
+    fnvMix(h, static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(rec.nextPc)));
+    fnvMix(h, static_cast<std::uint64_t>(rec.memWordAddr));
+    fnvMix(h, static_cast<std::uint64_t>(
+                  static_cast<std::int64_t>(rec.extraLatency)));
+  }
+  return h;
+}
+
+bool tracesIdentical(const isa::Trace& a, const isa::Trace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    const auto& ra = a[k];
+    const auto& rb = b[k];
+    if (ra.pc != rb.pc || !sameInstr(ra.instr, rb.instr) ||
+        ra.branchTaken != rb.branchTaken || ra.nextPc != rb.nextPc ||
+        ra.memWordAddr != rb.memWordAddr ||
+        ra.extraLatency != rb.extraLatency) {
+      return false;
+    }
+  }
+  return true;
+}
+
 TraceStore::Bucket& TraceStore::bucketFor(const std::string& key) {
   return buckets_[std::hash<std::string>{}(key) & (kNumBuckets - 1)];
+}
+
+std::uint32_t TraceStore::classFor(const isa::Trace& trace) {
+  const std::uint64_t fp = traceFingerprint(trace);
+  std::lock_guard<std::mutex> lock(classMu_);
+  auto& classes = classesByFingerprint_[fp];
+  for (const auto& [id, rep] : classes) {
+    if (tracesIdentical(*rep, trace)) return id;
+  }
+  const std::uint32_t id = nextClassId_++;
+  classes.emplace_back(id, &trace);
+  return id;
 }
 
 TraceStore::Entry& TraceStore::entryFor(const isa::Program& program,
@@ -76,12 +138,25 @@ TraceStore::Entry& TraceStore::entryFor(const isa::Program& program,
   auto [it, inserted] = bucket.entries.try_emplace(key, std::move(entry));
   // A lost race counts as a hit: the store already had the trace.
   (inserted ? misses_ : hits_).add();
+  if (inserted) {
+    // Class assignment happens AFTER the insert race resolves, on the
+    // surviving entry, so the class table only ever holds representative
+    // pointers into published (never-destroyed) entries.  Lock order is
+    // bucket.mu -> classMu_, everywhere.
+    it->second->classId = classFor(it->second->trace);
+  }
   return *it->second;
 }
 
 const isa::Trace& TraceStore::traceFor(const isa::Program& program,
                                        const isa::Input& input) {
   return entryFor(program, input, keyOf(program, input)).trace;
+}
+
+TraceStore::TraceRef TraceStore::traceRefFor(const isa::Program& program,
+                                             const isa::Input& input) {
+  const Entry& entry = entryFor(program, input, keyOf(program, input));
+  return TraceRef{&entry.trace, entry.classId};
 }
 
 TraceStore::EntryRef TraceStore::entryRefFor(const isa::Program& program,
@@ -97,7 +172,7 @@ TraceStore::EntryRef TraceStore::entryRefFor(const isa::Program& program,
       entry = it->second.get();
       if (entry->compiled) {
         // The steady-state path: one hash, one lock, both forms.
-        return EntryRef{&entry->trace, entry->compiled.get()};
+        return EntryRef{&entry->trace, entry->compiled.get(), entry->classId};
       }
     }
   }
@@ -117,8 +192,11 @@ TraceStore::EntryRef TraceStore::entryRefFor(const isa::Program& program,
     auto [it, inserted] = bucket.entries.try_emplace(key, std::move(fresh));
     (inserted ? misses_ : hits_).add();
     entry = it->second.get();
+    if (inserted) {
+      entry->classId = classFor(entry->trace);
+    }
     if (entry->compiled) {
-      return EntryRef{&entry->trace, entry->compiled.get()};
+      return EntryRef{&entry->trace, entry->compiled.get(), entry->classId};
     }
     // Lost the race against a traceFor() insert that carries no compiled
     // form yet — lower the winner's trace below.
@@ -126,7 +204,7 @@ TraceStore::EntryRef TraceStore::entryRefFor(const isa::Program& program,
   auto compiled = std::make_unique<ReplayProgram>(compileTrace(entry->trace));
   std::lock_guard<std::mutex> lock(bucket.mu);
   if (!entry->compiled) entry->compiled = std::move(compiled);
-  return EntryRef{&entry->trace, entry->compiled.get()};
+  return EntryRef{&entry->trace, entry->compiled.get(), entry->classId};
 }
 
 const ReplayProgram& TraceStore::compiledFor(const isa::Program& program,
@@ -151,10 +229,22 @@ std::size_t TraceStore::size() const {
   return n;
 }
 
+std::size_t TraceStore::classCount() const {
+  std::lock_guard<std::mutex> lock(classMu_);
+  return static_cast<std::size_t>(nextClassId_);
+}
+
 void TraceStore::clear() {
+  // Bucket locks first, then the class table, matching the
+  // bucket.mu -> classMu_ order used on the insert path.
   for (auto& bucket : buckets_) {
     std::lock_guard<std::mutex> lock(bucket.mu);
     bucket.entries.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(classMu_);
+    classesByFingerprint_.clear();
+    nextClassId_ = 0;
   }
   hits_.reset();
   misses_.reset();

@@ -1,5 +1,6 @@
 #pragma once
-// trace_store.h — Memoized functional traces and their compiled replay form.
+// trace_store.h — Memoized functional traces, their compiled replay form,
+// and their trace-equivalence classes.
 //
 // Every timing model in this repository is trace-driven (isa/exec.h): the
 // functional trace of a program depends on the input i alone, never on the
@@ -11,13 +12,27 @@
 // The compiled ReplayProgram (exp/replay.h) of each trace is cached next to
 // it, lazily, so the packed replay kernels also lower each input once.
 //
-// Keys are content fingerprints (program code + input bindings), not object
-// addresses, so two structurally identical programs share entries and the
-// store stays valid however long callers keep it around.  All methods are
-// thread-safe; returned trace/compiled pointers are stable for the store's
-// lifetime.  Internally the map is sharded into kNumBuckets independently
-// locked buckets keyed by the fingerprint hash, so a wide worker pool
-// filling the store does not serialize on one mutex.
+// Keys are content fingerprints (program code + full memory layout + input
+// bindings), not object addresses, so two structurally identical programs
+// share entries and the store stays valid however long callers keep it
+// around.  All methods are thread-safe; returned trace/compiled pointers
+// are stable for the store's lifetime.  Internally the map is sharded into
+// kNumBuckets independently locked buckets keyed by the fingerprint hash,
+// so a wide worker pool filling the store does not serialize on one mutex.
+//
+// Trace-equivalence classes: distinct inputs frequently lower to the SAME
+// functional trace (duplicated inputs, permutations the program never
+// observes, values that steer no branch).  Since T(q, i) is a function of
+// the trace alone, such inputs are timing-indistinguishable on every
+// platform — so the store assigns every entry a class id: entries whose
+// traces are identical record-for-record share one id, stable for the
+// store's lifetime (clear() resets the numbering along with everything
+// else).  Ids are grouped by trace content fingerprint and then CONFIRMED
+// by exact record-for-record comparison, so a hash collision can only
+// split a class (harmless), never merge two distinct traces (which would
+// corrupt results).  The ExperimentEngine uses the ids to evaluate each
+// class once per hardware state and fan the result out to all member
+// inputs (EngineConfig::collapseTraceClasses).
 
 #include <array>
 #include <cstdint>
@@ -35,9 +50,28 @@
 
 namespace pred::exp {
 
-/// Content fingerprint of a program (FNV-1a over the instruction stream and
-/// memory layout).  Exposed for tests.
+/// Content fingerprint of a program: FNV-1a over the instruction stream AND
+/// all four MemoryLayout fields.  The bases matter even though they never
+/// change an address the code computes: staticBase/stackBase/heapBase decide
+/// the DataRegion classification of every access (split-cache routing), and
+/// memWords decides how out-of-range addresses wrap (MachineState::wrapAddr)
+/// — two code-identical programs with different layouts can produce
+/// different traces and MUST NOT share a store entry.  (A pre-fix version
+/// mixed memWords only; the layout-collision regression test in
+/// tests/exp_engine_test.cpp fails against it.)  Exposed for tests.
 std::uint64_t programFingerprint(const isa::Program& program);
+
+/// Content fingerprint of one functional trace: FNV-1a over every dynamic
+/// record (pc, decoded instruction, branch outcome, successor, effective
+/// address, data-dependent latency).  Equal traces always hash equal; the
+/// class machinery below never trusts the converse.  Exposed for tests and
+/// for callers that group externally-computed traces (the engine's
+/// trace-pointer entry points).
+std::uint64_t traceFingerprint(const isa::Trace& trace);
+
+/// Exact record-for-record equality of two traces — the relation that
+/// defines a trace-equivalence class.
+bool tracesIdentical(const isa::Trace& a, const isa::Trace& b);
 
 class TraceStore {
  public:
@@ -55,19 +89,32 @@ class TraceStore {
   const ReplayProgram& compiledFor(const isa::Program& program,
                                    const isa::Input& input);
 
-  /// Both forms with a single lookup (and a single hit/miss count) — what
-  /// the engine's packed path uses per input.
+  /// Both forms plus the trace-equivalence class id with a single lookup
+  /// (and a single hit/miss count) — what the engine's packed path uses per
+  /// input.
   struct EntryRef {
     const isa::Trace* trace;
     const ReplayProgram* compiled;
+    std::uint32_t classId;
   };
   EntryRef entryRefFor(const isa::Program& program, const isa::Input& input);
+
+  /// Trace plus class id without forcing the compiled form — the engine's
+  /// interpreted path (where lowering would be pure waste) still gets to
+  /// collapse classes.
+  struct TraceRef {
+    const isa::Trace* trace;
+    std::uint32_t classId;
+  };
+  TraceRef traceRefFor(const isa::Program& program, const isa::Input& input);
 
   /// Traces for a whole input set, in order.
   std::vector<const isa::Trace*> tracesFor(
       const isa::Program& program, const std::vector<isa::Input>& inputs);
 
   std::size_t size() const;
+  /// Distinct trace-equivalence classes assigned so far (<= size()).
+  std::size_t classCount() const;
   /// Lookup statistics, exact once concurrent fillers are joined (the
   /// counters are relaxed obs::Counters — see the memory-order contract in
   /// obs/metrics.h; hit/miss attribution is per LOOKUP, so entryRefFor's
@@ -78,8 +125,8 @@ class TraceStore {
   std::uint64_t hits() const { return hits_.value(); }
   std::uint64_t misses() const { return misses_.value(); }
 
-  /// Drops every entry AND resets the hit/miss counters — a cleared store
-  /// reports like a fresh one.
+  /// Drops every entry AND resets the hit/miss counters and the class
+  /// numbering — a cleared store reports like a fresh one.
   void clear();
 
  private:
@@ -87,6 +134,9 @@ class TraceStore {
     isa::Trace trace;
     /// Lazily lowered; unique_ptr for pointer stability once published.
     std::unique_ptr<ReplayProgram> compiled;
+    /// Trace-equivalence class id, assigned once the entry is published
+    /// (always accessed under the owning bucket's lock).
+    std::uint32_t classId = 0;
   };
   struct Bucket {
     mutable std::mutex mu;
@@ -95,11 +145,26 @@ class TraceStore {
   };
 
   Bucket& bucketFor(const std::string& key);
-  /// The memoized entry, created (trace computed) on first use.
+  /// The memoized entry, created (trace computed, class assigned) on first
+  /// use.
   Entry& entryFor(const isa::Program& program, const isa::Input& input,
                   const std::string& key);
+  /// The class id of `trace`: the id of the existing class whose
+  /// representative is record-for-record identical, or a fresh id.  `trace`
+  /// must be owned by a published entry (its address is retained as the
+  /// class representative until clear()).
+  std::uint32_t classFor(const isa::Trace& trace);
 
   std::array<Bucket, kNumBuckets> buckets_;
+  /// Trace-equivalence classes: content fingerprint -> the classes sharing
+  /// that fingerprint, each as (id, representative trace).  The vector is
+  /// the collision guard: same-fingerprint-different-content traces get
+  /// distinct ids.
+  mutable std::mutex classMu_;
+  std::unordered_map<std::uint64_t,
+                     std::vector<std::pair<std::uint32_t, const isa::Trace*>>>
+      classesByFingerprint_;
+  std::uint32_t nextClassId_ = 0;
   obs::Counter hits_;
   obs::Counter misses_;
 };

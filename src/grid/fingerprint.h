@@ -24,8 +24,13 @@
 namespace pred::grid {
 
 /// Bumped whenever evaluation semantics or the accumulator wire format
-/// change in a way that alters result bytes for the same spec.
-inline constexpr std::string_view kCodeVersionSalt = "pred-grid-salt-1";
+/// change in a way that alters result bytes for the same spec.  salt-2:
+/// programFingerprint now covers all four MemoryLayout fields (the pre-fix
+/// trace store could serve one layout's memoized trace for another
+/// code-identical program, corrupting region-dependent results), and the
+/// spec wire format grew the engine collapse flag — retire every address
+/// minted by the old code.
+inline constexpr std::string_view kCodeVersionSalt = "pred-grid-salt-2";
 
 /// FNV-1a 64-bit over `bytes`, continuing from `seed` (chainable).
 std::uint64_t fnv1a64(std::string_view bytes,

@@ -28,6 +28,86 @@ std::vector<isa::Input> keyedArrayInputs(const isa::Program& prog,
   return inputs;
 }
 
+/// 16 distinct keyed arrays x 4 trace-equal variants each: the
+/// duplicate-heavy grid that exercises trace-class collapse
+/// (exp::EngineConfig::collapseTraceClasses) end-to-end.  Per base array:
+/// the original, an exact renamed copy (same store key — Input equality
+/// ignores names), a copy with one extra NEVER-READ scratch word (distinct
+/// store key, identical trace), and a copy with two scanned non-key
+/// elements swapped (traces record comparison OUTCOMES and addresses, not
+/// loaded values, so the permutation is trace-invisible; falls back to a
+/// second scratch word when no safe swap exists).  64 inputs, at most
+/// `howMany` distinct traces.
+std::vector<isa::Input> dupKeyedArrayInputs(const isa::Program& prog,
+                                            std::int64_t n, int howMany,
+                                            std::uint64_t seed,
+                                            std::int64_t range,
+                                            std::int64_t key) {
+  auto bases = keyedArrayInputs(prog, n, howMany, seed, range, key);
+  const auto arr = prog.variables.at("a");
+  // A linear-search trace depends only on the scan length (values are
+  // loaded, compared, and never recorded), so random arrays would mostly
+  // share the full-scan "not found" class.  Plant the key at a distinct
+  // position per base array — clearing accidental earlier hits — so the
+  // bases have `howMany` DISTINCT scan lengths: exactly howMany trace
+  // classes, by construction, not by luck of the draw.
+  for (std::size_t b = 0; b < bases.size(); ++b) {
+    const std::int64_t pos = static_cast<std::int64_t>(b) % n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      auto& v = bases[b].mem.at(arr + j);
+      if (v == key) v = key + 1;
+    }
+    bases[b].mem.at(arr + pos) = key;
+  }
+  std::vector<isa::Input> out;
+  out.reserve(bases.size() * 4);
+  for (const auto& in : bases) {
+    out.push_back(in);
+
+    isa::Input renamed = in;
+    renamed.name = in.name + "-dup";
+    out.push_back(std::move(renamed));
+
+    isa::Input scratch = in;
+    scratch.mem[prog.layout.heapBase + 17] =
+        static_cast<std::int64_t>(out.size());
+    scratch.name = in.name + "-scratch";
+    out.push_back(std::move(scratch));
+
+    // Swapping elements the search scans is outcome-preserving as long as
+    // neither equals the key (every a[j] == key comparison keeps its
+    // verdict) and the swap stays below the first key occurrence (so the
+    // scan length cannot change either).
+    isa::Input swapped = in;
+    std::int64_t firstHit = n;
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (swapped.mem.at(arr + j) == key) {
+        firstHit = j;
+        break;
+      }
+    }
+    bool didSwap = false;
+    for (std::int64_t x = 0; x < firstHit && !didSwap; ++x) {
+      for (std::int64_t y = x + 1; y < firstHit && !didSwap; ++y) {
+        auto& vx = swapped.mem.at(arr + x);
+        auto& vy = swapped.mem.at(arr + y);
+        if (vx != key && vy != key && vx != vy) {
+          std::swap(vx, vy);
+          didSwap = true;
+        }
+      }
+    }
+    if (didSwap) {
+      swapped.name = in.name + "-perm";
+    } else {
+      swapped.mem[prog.layout.heapBase + 18] = 1;
+      swapped.name = in.name + "-scratch2";
+    }
+    out.push_back(std::move(swapped));
+  }
+  return out;
+}
+
 /// branchtree: drive the x0..x{depth-1} inputs through corner patterns.
 std::vector<isa::Input> cornerInputs(const isa::Program& prog, int depth,
                                      int howMany) {
@@ -98,6 +178,16 @@ WorkloadRegistry::WorkloadRegistry() {
            auto prog =
                isa::ast::compileBranchy(isa::workloads::linearSearch(16));
            auto inputs = keyedArrayInputs(prog, 16, 64, 2024, 64, 7);
+           return WorkloadInstance{std::move(prog), std::move(inputs)};
+         });
+  preset("linearsearch-16x64-dup",
+         "linear search over 16 words, 16 distinct scan lengths x 4 "
+         "trace-equal variants = 64 inputs, exactly 16 trace classes (the "
+         "duplicate-heavy collapse grid)",
+         [] {
+           auto prog =
+               isa::ast::compileBranchy(isa::workloads::linearSearch(16));
+           auto inputs = dupKeyedArrayInputs(prog, 16, 16, 2024, 64, 7);
            return WorkloadInstance{std::move(prog), std::move(inputs)};
          });
   preset("bubblesort-8", "bubble sort of 8 words, 12 random arrays", [] {

@@ -90,6 +90,75 @@ void sweepAllPresets(const isa::Program& prog,
   }
 }
 
+/// Collapse differential: the same sweep shape as sweepAllPresets, but
+/// pitting collapseTraceClasses on vs off over an input set with
+/// deliberately duplicated (and trace-equal-but-distinct) inputs.  The
+/// comparison is identicalTo — the COMPLETE accumulator state, every
+/// per-axis extreme and witness index, not just the derived measures — on
+/// both the packed and interpreted paths and on the one-walk batch path,
+/// plus a witness-for-witness cross-check against the matrix evaluators.
+void sweepCollapseAllPresets(const isa::Program& prog,
+                             const std::vector<isa::Input>& inputs,
+                             exp::PlatformOptions opts,
+                             const std::string& tag) {
+  for (const auto& name : exp::PlatformRegistry::instance().names()) {
+    const std::string label = tag + "/" + name;
+    const auto model =
+        exp::PlatformRegistry::instance().make(name, prog, opts);
+
+    for (const bool packed : {false, true}) {
+      exp::EngineConfig offCfg{2, 3, 5};
+      offCfg.usePackedReplay = packed;
+      offCfg.collapseTraceClasses = false;
+      exp::EngineConfig onCfg{2, 3, 5};
+      onCfg.usePackedReplay = packed;
+      onCfg.collapseTraceClasses = true;
+      exp::ExperimentEngine off(offCfg);
+      exp::ExperimentEngine on(onCfg);
+
+      const auto accOff = off.reduceCells(*model, prog, inputs);
+      const auto accOn = on.reduceCells(*model, prog, inputs);
+      ASSERT_TRUE(accOn.identicalTo(accOff))
+          << label << (packed ? "/packed" : "/interp")
+          << ": collapsed accumulator diverges";
+      // The duplicated inputs guarantee collapse actually engaged — a
+      // silently inert dedup must fail here, not just run slower.
+      EXPECT_GT(on.metrics().counter("engine.cells_collapsed").value(), 0u)
+          << label;
+      EXPECT_LT(on.metrics().counter("engine.trace_classes").value(),
+                static_cast<std::uint64_t>(inputs.size()))
+          << label;
+
+      // The one-walk batch path collapses identically too.
+      const exp::ExperimentEngine::GridSpec spec{model.get(), &prog,
+                                                 &inputs};
+      const auto batchOn = on.reduceCellsBatch({spec});
+      ASSERT_EQ(batchOn.size(), 1u);
+      EXPECT_TRUE(batchOn[0].identicalTo(accOff))
+          << label << (packed ? "/packed" : "/interp")
+          << ": collapsed batch diverges";
+    }
+
+    // Tie the collapsed streaming result to the matrix-evaluator ground
+    // truth, witness for witness.
+    exp::EngineConfig interpCfg{2, 3, 5};
+    interpCfg.usePackedReplay = false;
+    interpCfg.collapseTraceClasses = false;
+    exp::ExperimentEngine interp(interpCfg);
+    exp::ExperimentEngine collapsed(exp::EngineConfig{2, 3, 5});
+    const auto mi = interp.computeMatrix(*model, prog, inputs);
+    const auto acc = collapsed.reduceCells(*model, prog, inputs);
+    expectSamePredictabilityValue(acc.pr(), core::timingPredictability(mi),
+                                  label + "/collapsed-Pr");
+    expectSamePredictabilityValue(acc.sipr(),
+                                  core::stateInducedPredictability(mi),
+                                  label + "/collapsed-SIPr");
+    expectSamePredictabilityValue(acc.iipr(),
+                                  core::inputInducedPredictability(mi),
+                                  label + "/collapsed-IIPr");
+  }
+}
+
 class PackedDifferential : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(PackedDifferential, AllPresetsBitIdenticalOnRandomPrograms) {
@@ -120,6 +189,33 @@ TEST_P(PackedDifferential, AllPresetsBitIdenticalOnNonPow2Geometry) {
   opts.dataGeom = cache::CacheGeometry{3, 5, 2};
   opts.instrGeom = cache::CacheGeometry{3, 7, 2};
   sweepAllPresets(prog, inputs, opts, "np2-seed" + std::to_string(seed));
+}
+
+TEST_P(PackedDifferential, CollapseBitIdenticalOnDuplicateHeavyGrids) {
+  const auto seed = GetParam();
+  const auto prog =
+      isa::ast::compileBranchy(isa::workloads::randomAst(seed));
+  std::vector<isa::Input> inputs;
+  for (std::uint64_t k = 1; k <= 4; ++k) {
+    inputs.push_back(inputFor(prog, seed * 31 + k));
+  }
+  // Deliberate duplicates: a renamed exact copy (shares the trace-store
+  // entry), a variant with one never-read scratch word (distinct entry,
+  // identical trace), and a plain repeat — so every sweep has strictly
+  // fewer trace classes than inputs.
+  isa::Input renamed = inputs[0];
+  renamed.name = "dup-of-0";
+  inputs.push_back(std::move(renamed));
+  isa::Input scratch = inputs[1];
+  scratch.mem[prog.layout.memWords - 3] = 7;
+  scratch.name = "scratch-of-1";
+  inputs.push_back(std::move(scratch));
+  inputs.push_back(inputs[2]);
+
+  exp::PlatformOptions opts;
+  opts.numStates = 4;
+  sweepCollapseAllPresets(prog, inputs, opts,
+                          "dup-seed" + std::to_string(seed));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PackedDifferential,

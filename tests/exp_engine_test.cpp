@@ -140,6 +140,116 @@ TEST(TraceStore, KeysByContentNotByObjectAddress) {
   EXPECT_EQ(store.hits(), 1u);
 }
 
+/// Code-identical raw program parameterized by layout only: loads word 100,
+/// whose wrapped address (memWords) and region classification (bases) both
+/// depend on the MemoryLayout alone.
+isa::Program rawLoadProgram(const isa::MemoryLayout& layout) {
+  isa::Program p;
+  p.code = {
+      isa::Instr{isa::Op::LI, 1, 0, 0, 100},
+      isa::Instr{isa::Op::LD, 2, 1, 0, 0},
+      isa::Instr{isa::Op::HALT, 0, 0, 0, 0},
+  };
+  p.layout = layout;
+  return p;
+}
+
+TEST(TraceStore, CodeIdenticalProgramsWithDifferentBasesStayDistinct) {
+  // THE regression for the fingerprint-collision bug: the pre-fix
+  // programFingerprint mixed layout.memWords but NOT the three base fields,
+  // so these two code-identical programs collided and the store served one
+  // layout's memoized entry for the other.  Their traces are equal (bases
+  // never change an executed address), but the REGION of the accessed word
+  // differs — Static under the default layout, Heap once heapBase drops
+  // below it — which is exactly what split-cache timing keys on.
+  isa::MemoryLayout defaultLayout;
+  isa::MemoryLayout lowHeap;
+  lowHeap.heapBase = 64;
+  const auto progA = rawLoadProgram(defaultLayout);
+  const auto progB = rawLoadProgram(lowHeap);
+  ASSERT_EQ(defaultLayout.regionOf(100), isa::DataRegion::Static);
+  ASSERT_EQ(lowHeap.regionOf(100), isa::DataRegion::Heap);
+
+  EXPECT_NE(programFingerprint(progA), programFingerprint(progB));
+  // Every base field must be identity-bearing, not just heapBase.
+  for (auto mutate : {+[](isa::MemoryLayout& l) { l.staticBase = 8; },
+                      +[](isa::MemoryLayout& l) { l.stackBase = 512; },
+                      +[](isa::MemoryLayout& l) { l.memWords = 64; }}) {
+    isa::MemoryLayout changed;
+    mutate(changed);
+    EXPECT_NE(programFingerprint(rawLoadProgram(changed)),
+              programFingerprint(progA));
+  }
+
+  TraceStore store;
+  store.traceFor(progA, isa::Input{});
+  store.traceFor(progB, isa::Input{});
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.misses(), 2u);
+  EXPECT_EQ(store.hits(), 0u);
+}
+
+TEST(TraceStore, CodeIdenticalProgramsWithDifferentMemWordsDifferInTrace) {
+  // memWords changes the WRAPPED effective address, so here even the traces
+  // differ — sharing an entry would corrupt every measure downstream.
+  isa::MemoryLayout big;     // wrapAddr(100) = 100
+  isa::MemoryLayout small;   // wrapAddr(100) = 100 % 64 = 36
+  small.memWords = 64;
+  const auto progA = rawLoadProgram(big);
+  const auto progB = rawLoadProgram(small);
+
+  TraceStore store;
+  const auto& traceA = store.traceFor(progA, isa::Input{});
+  const auto& traceB = store.traceFor(progB, isa::Input{});
+  EXPECT_EQ(store.size(), 2u);
+  ASSERT_EQ(traceA.size(), traceB.size());
+  EXPECT_EQ(traceA[1].memWordAddr, 100);
+  EXPECT_EQ(traceB[1].memWordAddr, 36);
+  EXPECT_FALSE(tracesIdentical(traceA, traceB));
+  EXPECT_NE(traceFingerprint(traceA), traceFingerprint(traceB));
+}
+
+TEST(TraceStore, TraceEquivalentInputsShareAClassId) {
+  const auto prog = testProgram();
+  const auto inputs = testInputs(prog, 2);
+  TraceStore store;
+
+  // Three trace-equal flavors of input 0: the input itself, a renamed exact
+  // copy (same store key), and a copy with one never-read scratch word
+  // (distinct store key, identical trace).
+  const auto ref0 = store.traceRefFor(prog, inputs[0]);
+  isa::Input renamed = inputs[0];
+  renamed.name = "renamed";
+  const auto refRenamed = store.traceRefFor(prog, renamed);
+  isa::Input scratch = inputs[0];
+  scratch.mem[prog.layout.memWords - 1] = 42;
+  const auto refScratch = store.traceRefFor(prog, scratch);
+
+  EXPECT_EQ(ref0.classId, refRenamed.classId);
+  EXPECT_EQ(ref0.trace, refRenamed.trace);  // same entry entirely
+  EXPECT_EQ(ref0.classId, refScratch.classId);
+  EXPECT_NE(ref0.trace, refScratch.trace);  // distinct entry, same class
+  EXPECT_TRUE(tracesIdentical(*ref0.trace, *refScratch.trace));
+
+  // An input whose trace certainly differs (the key lands in slot 0, so
+  // the very first comparison ends the scan) gets its own class;
+  // entryRefFor and traceRefFor agree on ids.
+  isa::Input found = inputs[0];
+  found.mem[prog.variables.at("a")] = 3;
+  found.name = "found-at-0";
+  const auto ref1 = store.entryRefFor(prog, found);
+  EXPECT_NE(ref1.classId, ref0.classId);
+  EXPECT_EQ(store.traceRefFor(prog, found).classId, ref1.classId);
+
+  EXPECT_EQ(store.size(), 3u);        // input0, scratch, found
+  EXPECT_EQ(store.classCount(), 2u);  // {input0, scratch}, {found}
+
+  // clear() resets the class numbering along with the entries.
+  store.clear();
+  EXPECT_EQ(store.classCount(), 0u);
+  EXPECT_EQ(store.traceRefFor(prog, found).classId, 0u);
+}
+
 TEST(TraceStore, ThrowsOnNonHaltingProgram) {
   isa::Program infinite;
   infinite.code = {isa::Instr{isa::Op::JMP, 0, 0, 0, 0}};

@@ -393,6 +393,7 @@ TEST(GridFingerprint, SchedulingKnobsDoNotPerturbTheAddress) {
   knobs.engine.tileStates = 16;
   knobs.engine.tileInputs = 2;
   knobs.engine.usePackedReplay = !knobs.engine.usePackedReplay;
+  knobs.engine.collapseTraceClasses = !knobs.engine.collapseTraceClasses;
   EXPECT_EQ(grid::jobFingerprint(knobs), fp);
 
   // Everything result-affecting must move it.

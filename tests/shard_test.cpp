@@ -100,6 +100,48 @@ TEST(ShardIdentity, MergedShardsEqualSingleProcessForAnyShardCount) {
   }
 }
 
+TEST(ShardIdentity, CollapsedShardsMergeToUncollapsedSingleProcessBytes) {
+  // The duplicate-heavy grid (64 inputs, 16 trace classes) sharded with
+  // collapse ON must merge to the exact bytes of a single-process
+  // UNCOLLAPSED evaluation: collapse is a scheduling detail, invisible
+  // across the process boundary.  Shards group by class within their own
+  // input range but attribute through global indices, so even shards that
+  // pick different representatives of the same class stay byte-exact.
+  const auto w =
+      study::WorkloadRegistry::instance().make("linearsearch-16x64-dup");
+  exp::PlatformOptions opts;
+  opts.numStates = 8;
+  const auto model =
+      exp::PlatformRegistry::instance().make("ooo-fifo", w.program, opts);
+
+  exp::EngineConfig uncollapsed;
+  uncollapsed.collapseTraceClasses = false;
+  exp::ExperimentEngine reference(uncollapsed);
+  const auto single = reference.reduceCells(*model, w.program, w.inputs);
+
+  ShardSpec whole;
+  whole.platform = "ooo-fifo";
+  whole.workload = "linearsearch-16x64-dup";
+  whole.options = opts;
+  whole.qEnd = model->numStates();
+  whole.iEnd = w.inputs.size();
+  whole.engine.collapseTraceClasses = true;
+
+  for (const std::size_t k : {1u, 3u, 5u, 8u}) {
+    const auto plan = exp::planShards(whole, k);
+    std::vector<StreamingMeasures> parts;
+    for (const auto& s : plan) {
+      ASSERT_TRUE(s.engine.collapseTraceClasses);
+      parts.push_back(exp::evaluateShard(s, w.program, w.inputs));
+    }
+    const auto merged =
+        exp::ExperimentEngine::mergeShards(std::move(parts));
+    const std::string label = "dup-grid k=" + std::to_string(k);
+    EXPECT_TRUE(merged.identicalTo(single)) << label;
+    EXPECT_EQ(merged.serialize(), single.serialize()) << label;
+  }
+}
+
 TEST(ShardIdentity, MergeIsOrderIndependent) {
   const auto c = gridCases()[0];
   const auto w = study::WorkloadRegistry::instance().make(c.workload);

@@ -10,6 +10,7 @@
 #include <thread>
 #include <type_traits>
 
+#include "exp/trace_store.h"
 #include "isa/ast.h"
 #include "isa/workloads.h"
 #include "study/catalog.h"
@@ -213,7 +214,7 @@ TEST(WorkloadRegistry, PresetsAreValidAndSorted) {
   EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
   for (const char* name :
        {"sum-16", "sum-24", "sum-32", "linearsearch-12", "linearsearch-12-sp",
-        "linearsearch-16x64",
+        "linearsearch-16x64", "linearsearch-16x64-dup",
         "bubblesort-8", "bubblesort-8-sp", "bubblesort-10", "branchtree-5",
         "branchtree-5-sp", "matmul-4", "divkernel-8",
         "divkernel-12-magnitudes", "heapmix-8", "callroundrobin-8x6x4"}) {
@@ -251,6 +252,49 @@ TEST(WorkloadRegistry, SinglePathSiblingsShareInputs) {
       EXPECT_TRUE(branchy.inputs[k] == sp.inputs[k]) << base;
     }
   }
+}
+
+TEST(WorkloadRegistry, NamesDeterministicallyPinProgramAndLayout) {
+  // The grid result cache keys jobs by workload NAME
+  // (exp::canonicalResultIdentity / grid::jobFingerprint): that is sound
+  // only if a name fully determines the program — code AND MemoryLayout,
+  // since the layout's bases steer split-cache routing and memWords sets
+  // the address wrap — plus the input set.  Every preset must be a pure
+  // factory: two make() calls, field-identical results.
+  auto& reg = WorkloadRegistry::instance();
+  for (const auto& name : reg.names()) {
+    const auto a = reg.make(name);
+    const auto b = reg.make(name);
+    EXPECT_EQ(exp::programFingerprint(a.program),
+              exp::programFingerprint(b.program))
+        << name;
+    EXPECT_EQ(a.program.layout.staticBase, b.program.layout.staticBase)
+        << name;
+    EXPECT_EQ(a.program.layout.stackBase, b.program.layout.stackBase)
+        << name;
+    EXPECT_EQ(a.program.layout.heapBase, b.program.layout.heapBase) << name;
+    EXPECT_EQ(a.program.layout.memWords, b.program.layout.memWords) << name;
+    ASSERT_EQ(a.inputs.size(), b.inputs.size()) << name;
+    for (std::size_t k = 0; k < a.inputs.size(); ++k) {
+      EXPECT_TRUE(a.inputs[k] == b.inputs[k]) << name << " input " << k;
+    }
+  }
+}
+
+TEST(WorkloadRegistry, DupPresetIsDuplicateHeavy) {
+  // linearsearch-16x64-dup: 16 base arrays with 16 distinct planted scan
+  // lengths x 4 trace-equal variants each.  The renamed variant shares
+  // its store key with the base (Input equality ignores names), so 64
+  // inputs hit 48 store entries; every variant is trace-equal to its
+  // base, so EXACTLY 16 trace classes — four inputs per class, which is
+  // the whole point of the collapse grid.
+  const auto w =
+      WorkloadRegistry::instance().make("linearsearch-16x64-dup");
+  ASSERT_EQ(w.inputs.size(), 64u);
+  exp::TraceStore store;
+  for (const auto& in : w.inputs) store.traceRefFor(w.program, in);
+  EXPECT_EQ(store.size(), 48u);
+  EXPECT_EQ(store.classCount(), 16u);
 }
 
 TEST(Registries, ConcurrentAddAndFindAreSafe) {
