@@ -16,13 +16,18 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <thread>
+#include <vector>
 
 #include "bench_common.h"
 #include "core/definitions.h"
 #include "exp/engine.h"
 #include "exp/platform.h"
 #include "exp/shard.h"
+#include "grid/attach_worker.h"
+#include "grid/client.h"
 #include "grid/scheduler.h"
+#include "grid/server.h"
 #include "obs/span.h"
 #include "study/distributed.h"
 #include "study/scenario.h"
@@ -355,6 +360,91 @@ std::string shardedThroughputGrid(bool* identical) {
   return obj.str();
 }
 
+/// Attached-worker throughput: the same 8-shard 64 x 64 grid, but through
+/// a full attach-only GridServer on a loopback TCP socket with K remote
+/// `runAttachWorker` loops dialed in — frames, leases, and ShardDone
+/// merging included, the honest cost of the remote-worker transport
+/// relative to the in-process scheduler above.  Submissions bypass the
+/// result cache so every rep recomputes; each K's bytes are asserted
+/// identical to the single-process reference.  On a 1-core container the
+/// K curve is flat — the gate is a throughput FLOOR, not a scaling claim.
+std::string attachedThroughputGrid(bool* identical) {
+  constexpr int kStates = 64;
+  constexpr std::size_t kShards = 8;
+  const std::string platform = "inorder-lru";
+  const std::string workload = "linearsearch-16x64";
+  bench::printHeader("Grid server: attached-worker throughput",
+                     "8-shard 64 x 64 grid at K attached TCP workers");
+
+  const auto w = study::WorkloadRegistry::instance().make(workload);
+  exp::ShardSpec whole;
+  whole.platform = platform;
+  whole.workload = workload;
+  whole.options.numStates = kStates;
+  whole.engine.threads = 1;
+  const auto model =
+      exp::PlatformRegistry::instance().make(platform, w.program,
+                                             whole.options);
+  whole.qEnd = model->numStates();
+  whole.iEnd = w.inputs.size();
+  const double cells =
+      static_cast<double>(whole.qEnd) * static_cast<double>(whole.iEnd);
+
+  exp::ExperimentEngine ref(exp::EngineConfig{1});
+  const std::string refBytes =
+      ref.reduceCells(*model, w.program, w.inputs).serialize();
+
+  const auto eval = study::gridShardEvaluator();
+  bool allIdentical = true;
+  bench::JsonObject perK;
+  char buf[64];
+  for (const int k : {1, 2, 4}) {
+    grid::ServerConfig cfg;
+    cfg.endpoint = "tcp:127.0.0.1:0";
+    cfg.scheduler.workers = 0;  // attach-only: every shard rides a socket
+    cfg.scheduler.retryBackoffMs = 1;
+    grid::GridServer server(std::move(cfg));
+    std::thread serving([&server] { server.serveForever(); });
+    const std::string endpoint = server.boundEndpointText();
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(k));
+    for (int t = 0; t < k; ++t) {
+      workers.emplace_back([&endpoint, &eval] {
+        grid::runAttachWorker(endpoint, eval, {});
+      });
+    }
+    std::string merged;
+    const double ns = bestOfNs(2, [&] {
+      grid::GridClient client(endpoint);
+      merged = client.submit(whole, kShards, /*useCache=*/false)
+                   .accumulatorText;
+    });
+    allIdentical = allIdentical && merged == refBytes;
+    grid::GridClient(endpoint).shutdownServer();
+    serving.join();
+    for (std::thread& t : workers) t.join();
+    const double cellsPerSec = cells * 1e9 / ns;
+    std::snprintf(buf, sizeof buf, "%.0f", cellsPerSec);
+    bench::printKV("K=" + std::to_string(k) + " attached, cells/sec", buf);
+    perK.field("k" + std::to_string(k), cellsPerSec);
+  }
+  bench::printKV("merged == single-process (bit-identical, all K)",
+                 allIdentical ? "yes" : "NO (BUG)");
+
+  bench::JsonObject obj;
+  bench::JsonObject gridShape;
+  gridShape.field("states", kStates)
+      .field("inputs", static_cast<int>(whole.iEnd))
+      .field("shards", static_cast<int>(kShards));
+  obj.field("workload", workload)
+      .field("platform", platform)
+      .rawField("grid", gridShape.str())
+      .rawField("bit_identical", allIdentical ? "true" : "false")
+      .rawField("cells_per_sec", perK.str());
+  *identical = allIdentical;
+  return obj.str();
+}
+
 /// The acceptance grids of the replay-kernel layer — the additive in-order
 /// fast path AND the cycle-accurate OOO kernel path — recorded in one
 /// BENCH_exhaustive.json that scripts/bench_run.sh gates per grid.
@@ -372,6 +462,8 @@ void perfGrid(const char* argv0) {
       perfGridFor("ooo-fifo", cache::CacheGeometry{4, 64, 4}, reps);
   bool shardedIdentical = false;
   const std::string sharded = shardedThroughputGrid(&shardedIdentical);
+  bool attachedIdentical = false;
+  const std::string attached = attachedThroughputGrid(&attachedIdentical);
   bool collapseIdentical = false;
   const std::string collapse = collapseGrid(&collapseIdentical, reps);
 
@@ -398,11 +490,12 @@ void perfGrid(const char* argv0) {
       .rawField("metrics_enabled", obs::compiledIn() ? "true" : "false")
       .rawField("bit_identical",
                 inorder.identical && ooo.identical && shardedIdentical &&
-                        collapseIdentical
+                        attachedIdentical && collapseIdentical
                     ? "true"
                     : "false")
       .rawField("grids", grids.str())
       .rawField("sharded", sharded)
+      .rawField("attached", attached)
       .rawField("collapse", collapse);
   if (bench::writeTextFile(path, root.str())) {
     bench::printKV("json artifact", path);

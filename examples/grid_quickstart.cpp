@@ -16,6 +16,11 @@
 //    result cache journals every insert to disk, so the restarted server
 //    answers the third submission from the recovered journal — same
 //    fingerprint, same bytes, zero shards dispatched.
+// 6. Go remote: an ATTACH-ONLY server (zero local workers) with a
+//    dedicated worker endpoint, served entirely by a worker that dials
+//    in over runAttachWorker — the library call behind
+//    `pred-shard-worker attach tcp:HOST:PORT`.  Same Table-1 row, same
+//    bytes, and a resubmission still hits the result cache.
 //
 // The deployment shape — a standalone daemon with subprocess workers that
 // survive kill -9, driven from the shell — is:
@@ -23,6 +28,12 @@
 //   ./build/pred-grid-server --listen unix:/tmp/pred.sock --workers 4 &
 //   ./build/pred-grid-client submit --connect unix:/tmp/pred.sock \
 //       --platform ooo-fifo --workload bubblesort-8
+//
+// and the remote-worker shape from step 6, spread across machines:
+//
+//   ./build/pred-grid-server --listen tcp:0.0.0.0:7070 --workers 0 \
+//       --worker-listen tcp:0.0.0.0:7071 &
+//   ./build/pred-shard-worker attach tcp:HEAD:7071 --concurrency 4 &
 //
 // Build & run:   ./build/example_grid_quickstart
 
@@ -33,6 +44,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include "grid/attach_worker.h"
 #include "grid/client.h"
 #include "grid/server.h"
 #include "study/distributed.h"
@@ -134,8 +146,61 @@ int main() {
 
   grid::GridClient(server->boundEndpointText()).shutdownServer();
   serverThread.join();
+  server.reset();
   ::unlink(socketPath.c_str());
   ::unlink((cacheDir + "/results.journal").c_str());
   ::rmdir(cacheDir.c_str());
+
+  // --- 6. Remote workers: an attach-only server. --------------------------
+  // Production grids don't evaluate inside the daemon: start the server
+  // with ZERO local workers and a dedicated worker endpoint, and let
+  // `pred-shard-worker attach tcp:HOST:PORT` processes on other machines
+  // dial in.  Here the "remote" worker is a thread in this process calling
+  // the same runAttachWorker the tool calls: it handshakes (the hello
+  // carries this build's code-version salt — a worker built from different
+  // code is rejected, never trusted with shards), announces concurrency 2,
+  // and serves ShardAssign frames until the server shuts down.  The
+  // merged accumulator is byte-identical to every other execution mode.
+  const std::string workerPath =
+      "/tmp/pred-grid-quickstart-w-" + suffix + ".sock";
+  grid::ServerConfig attachConfig;
+  attachConfig.endpoint = "unix:" + socketPath;
+  attachConfig.workerEndpoint = "unix:" + workerPath;
+  attachConfig.scheduler.workers = 0;  // attach-only: no local evaluators
+  server = std::make_unique<grid::GridServer>(attachConfig);
+  serverThread = std::thread([&server] { server->serveForever(); });
+  std::thread attachedWorker([&server] {
+    grid::AttachOptions options;
+    options.concurrency = 2;
+    grid::runAttachWorker(server->boundWorkerEndpointText(),
+                          study::gridShardEvaluator(), options);
+  });
+  std::printf("\nattach-only server: clients on %s, workers on %s\n",
+              server->boundEndpointText().c_str(),
+              server->boundWorkerEndpointText().c_str());
+  {
+    grid::GridClient client(server->boundEndpointText());
+    const auto remote = query.runDistributed(client, /*shards=*/4);
+    std::printf("attached run : %s\n", remote.summary().c_str());
+    std::printf("attached run : same measures as local = %s\n",
+                remote.pr.value == firstPr ? "yes" : "NO");
+    // A resubmission is a cache hit — the content address doesn't care
+    // which transport evaluated the shards.
+    const auto again = query.runDistributed(client, /*shards=*/4);
+    const auto stats = client.stats();
+    std::printf("attached resubmit: cache hit = %llu\n",
+                static_cast<unsigned long long>(
+                    again.report->counters.at("grid.cache.hit")));
+    std::printf("workers attached = %llu, shards dispatched = %llu\n",
+                static_cast<unsigned long long>(
+                    stats.counters.at("grid.worker.attached")),
+                static_cast<unsigned long long>(
+                    stats.counters.at("grid.shards.dispatched")));
+  }
+  grid::GridClient(server->boundEndpointText()).shutdownServer();
+  serverThread.join();
+  attachedWorker.join();
+  ::unlink(socketPath.c_str());
+  ::unlink(workerPath.c_str());
   return 0;
 }

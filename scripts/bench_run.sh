@@ -21,6 +21,11 @@
 #               bit-identical to the single-process run, or any K's
 #               cells/sec falls below sharded.min_cells_per_sec /
 #               PERF_SMOKE_FACTOR, or
+#             * the attached-worker grid (an attach-only GridServer on
+#               loopback TCP serving K in {1,2,4} remote attach workers)
+#               is missing, not bit-identical, or any K's cells/sec
+#               falls below attached.min_cells_per_sec /
+#               PERF_SMOKE_FACTOR, or
 #             * the trace-class collapse grid (the duplicate-heavy
 #               linearsearch-16x64-dup preset) is missing, not
 #               bit-identical to the uncollapsed run, reports as many
@@ -113,6 +118,26 @@ else:
         if cps < floor:
             print(f"FAIL: sharded {k}: scheduler throughput fell below "
                   "the baseline floor")
+            failed = True
+
+attached = measured.get("attached")
+if attached is None:
+    print("FAIL: attached-worker throughput grid missing from the bench "
+          "JSON")
+    failed = True
+else:
+    if not attached.get("bit_identical", False):
+        print("FAIL: attached: merged accumulator differs from the "
+              "single-process run")
+        failed = True
+    floor = baseline["attached"]["min_cells_per_sec"] / factor
+    for k, cps in sorted(attached["cells_per_sec"].items()):
+        print(f"attached {k}: {cps:.0f} cells/sec (floor {floor:.0f} = "
+              f"{baseline['attached']['min_cells_per_sec']} baseline / "
+              f"{factor})")
+        if cps < floor:
+            print(f"FAIL: attached {k}: remote-worker throughput fell "
+                  "below the baseline floor")
             failed = True
 
 collapse = measured.get("collapse")

@@ -18,20 +18,33 @@
 #      --cache-dir serves the job from the recovered journal — still a
 #      cache hit, still identical bytes.
 #
+# Attach mode (the CI grid-smoke attach leg and the grid_attach_smoke
+# ctest):
+#
+#   scripts/grid_run.sh --attach [build-dir]
+#
+# runs the server ATTACH-ONLY (--workers 0 --worker-listen): two remote
+# `pred-shard-worker attach` processes dial in over the worker endpoint,
+# one is kill -9'd mid-run, and the job must still complete
+# byte-identically on the survivor; a resubmission must hit the cache,
+# and shutdown must leave the surviving worker exiting cleanly.
+#
 # Chaos mode (the CI chaos-smoke job and the grid_chaos_smoke ctest):
 #
 #   scripts/grid_run.sh --chaos SEED [build-dir]
 #
 # derives a deterministic schedule of fault plans (grid/faultpoint.h
-# grammar) from SEED with an LCG, restarts the server under each plan,
-# and tolerates injected submit failures — but any SUCCESSFUL submit
-# whose bytes differ from the single-process reference FAILS LOUDLY,
-# naming the seed and the armed fault point.  Every round must end with
-# the daemon alive and a correct result.
+# grammar) from SEED with an LCG, restarts the server under each plan
+# with one attached worker riding along (so worker.attach/worker.frame
+# plans have a socket channel to fire on), and tolerates injected submit
+# failures — but any SUCCESSFUL submit whose bytes differ from the
+# single-process reference FAILS LOUDLY, naming the seed and the armed
+# fault point.  Every round must end with the daemon alive and a correct
+# result.
 #
-# Usage:  scripts/grid_run.sh [--smoke] [--chaos SEED] [-k shards]
-#                             [-p platform] [-w workload] [-s states]
-#                             [-n workers] [build-dir]
+# Usage:  scripts/grid_run.sh [--smoke] [--attach] [--chaos SEED]
+#                             [-k shards] [-p platform] [-w workload]
+#                             [-s states] [-n workers] [build-dir]
 # Defaults: 8-way shards of the inorder-lru 64 x 64 grid on 4 workers,
 # build-dir=build.  (--smoke is accepted for symmetry with shard_run.sh;
 # the checks always run.)
@@ -46,9 +59,11 @@ STATES=64
 WORKERS=4
 BUILD_DIR=build
 CHAOS_SEED=
+ATTACH=0
 while [ "$#" -gt 0 ]; do
   case "$1" in
     --smoke) ;;
+    --attach) ATTACH=1 ;;
     --chaos) CHAOS_SEED="$2"; shift ;;
     -k) SHARDS="$2"; shift ;;
     -p) PLATFORM="$2"; shift ;;
@@ -72,13 +87,16 @@ done
 
 TMP="$(mktemp -d)"
 SERVER_PID=
+ATTACH_PIDS=
 cleanup() {
+  for p in $ATTACH_PIDS; do kill -9 "$p" 2>/dev/null || true; done
   [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
   rm -rf "$TMP"
 }
 trap cleanup EXIT
 
 SOCK="$TMP/grid.sock"
+WSOCK="$TMP/workers.sock"
 CACHE_DIR="$TMP/cache"
 
 # start_server [extra server flags...] — spawns the daemon on $SOCK with
@@ -112,18 +130,102 @@ echo "== reference: single-process reduceCells" >&2
 "$WORKER" single --platform "$PLATFORM" --workload "$WORKLOAD" \
     --states "$STATES" > "$TMP/single.txt"
 
+# --------------------------------------------------------------- attach mode
+if [ "$ATTACH" -eq 1 ]; then
+  echo "== start: attach-only grid server (zero fixed worker slots)" >&2
+  start_server --workers 0 --worker-listen "unix:$WSOCK"
+  i=0
+  while [ ! -S "$WSOCK" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && { echo "error: worker endpoint missing" >&2; exit 1; }
+    sleep 0.1
+  done
+
+  echo "== attach: two remote workers dial the worker endpoint" >&2
+  # Worker 1 is armed to die ABRUPTLY (no protocol goodbye) on receiving
+  # its first assignment — a deterministic mid-shard death holding a live
+  # lease; the kill -9 below is the backstop for the unlikely schedule
+  # where it never received one.
+  "$WORKER" attach "unix:$WSOCK" --exit-after 0 \
+      > "$TMP/w1.out" 2> "$TMP/w1.err" &
+  W1_PID=$!
+  "$WORKER" attach "unix:$WSOCK" > "$TMP/w2.out" 2> "$TMP/w2.err" &
+  W2_PID=$!
+  ATTACH_PIDS="$W1_PID $W2_PID"
+
+  echo "== job 1: $SHARDS shards, attached worker 1 dies mid-shard" >&2
+  ( sleep 0.5; kill -9 "$W1_PID" 2>/dev/null || true ) &
+  KILLER_PID=$!
+  "$CLIENT" submit --connect "unix:$SOCK" --platform "$PLATFORM" \
+      --workload "$WORKLOAD" --states "$STATES" --shards "$SHARDS" \
+      --timeout 300 > "$TMP/attach1.txt" 2> "$TMP/attach1.meta"
+  wait "$KILLER_PID" || true
+  if ! cmp "$TMP/attach1.txt" "$TMP/single.txt"; then
+    echo "FAIL: attached-worker result differs from the single-process run" >&2
+    exit 1
+  fi
+  echo "OK: result byte-identical with an attached worker dead mid-shard" >&2
+
+  echo "== job 2: cache hit on resubmission" >&2
+  "$CLIENT" submit --connect "unix:$SOCK" --platform "$PLATFORM" \
+      --workload "$WORKLOAD" --states "$STATES" --shards "$SHARDS" \
+      --timeout 60 > "$TMP/attach2.txt" 2> "$TMP/attach2.meta"
+  if ! grep -q '^cache-hit 1$' "$TMP/attach2.meta"; then
+    echo "FAIL: resubmission was not served from the result cache" >&2
+    cat "$TMP/attach2.meta" >&2
+    exit 1
+  fi
+  if ! cmp "$TMP/attach2.txt" "$TMP/single.txt"; then
+    echo "FAIL: cached result differs from the single-process run" >&2
+    exit 1
+  fi
+
+  echo "== server stats" >&2
+  "$CLIENT" stats --connect "unix:$SOCK" > "$TMP/stats.txt"
+  cat "$TMP/stats.txt" >&2
+  if ! grep -Eq 'grid\.worker\.attached *\| *2' "$TMP/stats.txt"; then
+    echo "FAIL: grid.worker.attached did not reach 2" >&2
+    exit 1
+  fi
+  if ! grep -Eq 'grid\.worker\.deaths *\| *[1-9]' "$TMP/stats.txt"; then
+    echo "FAIL: grid.worker.deaths counter did not advance" >&2
+    exit 1
+  fi
+  if ! grep -Eq 'grid\.shards\.retried *\| *[1-9]' "$TMP/stats.txt"; then
+    echo "FAIL: the orphaned lease was never requeued (grid.shards.retried)" >&2
+    exit 1
+  fi
+
+  echo "== shutdown: the surviving worker must exit cleanly" >&2
+  "$CLIENT" shutdown --connect "unix:$SOCK" --timeout 60
+  wait "$SERVER_PID"
+  SERVER_PID=
+  if ! wait "$W2_PID"; then
+    echo "FAIL: surviving attach worker exited non-zero" >&2
+    cat "$TMP/w2.err" >&2
+    exit 1
+  fi
+  ATTACH_PIDS=
+  echo "OK: grid attach smoke passed" >&2
+  cat "$TMP/attach1.txt"
+  exit 0
+fi
+
 # ---------------------------------------------------------------- chaos mode
 if [ -n "$CHAOS_SEED" ]; then
   LCG="$CHAOS_SEED"
   next_lcg() {
     LCG=$(( (LCG * 1103515245 + 12345) % 2147483648 ))
   }
-  ROUNDS=6
+  ROUNDS=8
   r=0
   while [ "$r" -lt "$ROUNDS" ]; do
     r=$((r + 1))
-    next_lcg; IDX=$((LCG % 6))
-    next_lcg; AFTER=$((LCG % 4))
+    # High bits, not low: this LCG's low bits have tiny periods (mod 8
+    # cycles through only four values), which would starve half the fault
+    # points on every seed.
+    next_lcg; IDX=$(( (LCG / 65536) % 8 ))
+    next_lcg; AFTER=$(( (LCG / 65536) % 4 ))
     case "$IDX" in
       0) PLAN="net.write:after=$AFTER:epipe" ;;
       1) PLAN="net.read:after=$AFTER:error" ;;
@@ -131,10 +233,18 @@ if [ -n "$CHAOS_SEED" ]; then
       3) PLAN="cache.journal:torn" ;;
       4) PLAN="cache.store:error" ;;
       5) PLAN="sched.dispatch:after=$AFTER:error" ;;
+      6) PLAN="worker.attach:error" ;;
+      7) PLAN="worker.frame:after=$AFTER:error" ;;
     esac
     POINT="${PLAN%%:*}"
     echo "== chaos round $r/$ROUNDS (seed $CHAOS_SEED): --fault-plan '$PLAN'" >&2
     start_server --fault-plan "$PLAN" --conn-timeout-ms 10000
+    # One attached worker rides along every round, so the worker.attach /
+    # worker.frame plans have a socket channel to fire on (its own death,
+    # rejection, or clean EOF at round teardown are all tolerated — the
+    # pipe slots carry the job either way).
+    "$WORKER" attach "unix:$SOCK" > /dev/null 2> "$TMP/chaos-attach.err" &
+    ATTACH_PIDS=$!
 
     # The armed fault may kill this submit (server drops the connection,
     # injected scheduler/cache errors, ...) — exit 1 and 3 are tolerated.
@@ -181,6 +291,11 @@ if [ -n "$CHAOS_SEED" ]; then
     fi
     echo "OK: round $r survived '$PLAN' (attempt $attempt identical)" >&2
     stop_server_hard
+    for p in $ATTACH_PIDS; do
+      kill -9 "$p" 2>/dev/null || true
+      wait "$p" 2>/dev/null || true
+    done
+    ATTACH_PIDS=
   done
 
   # Epilogue: a clean server over whatever journal the chaos left behind

@@ -36,7 +36,10 @@
 //   cache.load     journal recovery scan startup
 //   cache.store    result-cache journal append
 //   cache.journal  the journal WRITE itself (torn-write injection)
-//   sched.dispatch shard handoff to a worker (both execution modes)
+//   sched.dispatch shard handoff to a worker (all execution modes)
+//   worker.attach  server-side WorkerHello handshake of a dialing worker
+//   worker.frame   server-side frame traffic with an attached socket
+//                  worker (both the ShardAssign send and the reply drain)
 //
 // Cost contract: when nothing is armed, a fault point is ONE relaxed
 // atomic load and a predicted-not-taken branch — cheap enough to leave in

@@ -22,7 +22,7 @@ constexpr char kMagic1 = 'G';
 
 bool knownType(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::Submit) &&
-         t <= static_cast<std::uint8_t>(FrameType::ShardResult);
+         t <= static_cast<std::uint8_t>(FrameType::Heartbeat);
 }
 
 /// Validates a complete 8-byte header; returns {type, payload length}.
@@ -192,6 +192,9 @@ namespace {
 constexpr const char* kJobCodec = "grid-job";
 constexpr const char* kResultCodec = "grid-result";
 constexpr const char* kCellCodec = "grid-shard-result";
+constexpr const char* kHelloCodec = "grid-worker-hello";
+constexpr const char* kAssignCodec = "grid-shard-assign";
+constexpr const char* kDoneCodec = "grid-shard-done";
 }  // namespace
 
 std::string encodeJobRequest(const JobRequest& req) {
@@ -273,6 +276,109 @@ ShardResultMsg parseShardResultMsg(const std::string& payload) {
     badPayload(kCellCodec, "report length past end of payload");
   }
   ShardResultMsg msg;
+  msg.reportText = payload.substr(pos, reportBytes);
+  msg.accumulatorText = payload.substr(pos + reportBytes);
+  return msg;
+}
+
+std::string encodeWorkerHelloMsg(const WorkerHelloMsg& msg) {
+  if (msg.salt.empty()) badPayload(kHelloCodec, "empty salt");
+  for (const char c : msg.salt) {
+    if (c == ' ' || c == '\n' || c == '\t' || c == '\r') {
+      badPayload(kHelloCodec, "salt contains whitespace");
+    }
+  }
+  if (msg.concurrency == 0) {
+    badPayload(kHelloCodec, "concurrency must be positive");
+  }
+  std::ostringstream os;
+  os << "pred-grid-hello v1\n";
+  os << "salt " << msg.salt << "\n";
+  os << "concurrency " << msg.concurrency << "\n";
+  return os.str();
+}
+
+WorkerHelloMsg parseWorkerHelloMsg(const std::string& payload) {
+  std::size_t pos = 0;
+  if (!headerLine(kHelloCodec, payload, pos, "pred-grid-hello v1").empty()) {
+    badPayload(kHelloCodec, "malformed header line");
+  }
+  WorkerHelloMsg msg;
+  msg.salt = headerLine(kHelloCodec, payload, pos, "salt");
+  if (msg.salt.empty()) badPayload(kHelloCodec, "empty salt");
+  for (const char c : msg.salt) {
+    if (c == ' ' || c == '\t' || c == '\r') {
+      badPayload(kHelloCodec, "salt contains whitespace");
+    }
+  }
+  msg.concurrency = lineNumber<std::size_t>(
+      kHelloCodec, headerLine(kHelloCodec, payload, pos, "concurrency"),
+      "concurrency");
+  if (msg.concurrency == 0) {
+    badPayload(kHelloCodec, "concurrency must be positive");
+  }
+  if (pos != payload.size()) {
+    badPayload(kHelloCodec, "trailing bytes after hello");
+  }
+  return msg;
+}
+
+std::string encodeShardAssignMsg(const ShardAssignMsg& msg) {
+  std::ostringstream os;
+  os << "pred-grid-assign v1\n";
+  os << "id " << msg.id << "\n";
+  os << exp::serializeShardSpec(msg.spec);
+  return os.str();
+}
+
+ShardAssignMsg parseShardAssignMsg(const std::string& payload) {
+  std::size_t pos = 0;
+  if (!headerLine(kAssignCodec, payload, pos, "pred-grid-assign v1")
+           .empty()) {
+    badPayload(kAssignCodec, "malformed header line");
+  }
+  ShardAssignMsg msg;
+  msg.id = lineNumber<std::uint64_t>(
+      kAssignCodec, headerLine(kAssignCodec, payload, pos, "id"), "id");
+  // The remainder is one complete ShardSpec; its parser rejects trailing
+  // content.
+  msg.spec = exp::parseShardSpec(payload.substr(pos));
+  return msg;
+}
+
+std::string encodeShardDoneMsg(const ShardDoneMsg& msg) {
+  std::ostringstream os;
+  os << "pred-grid-done v1\n";
+  os << "id " << msg.id << "\n";
+  os << "ok " << (msg.ok ? 1 : 0) << "\n";
+  if (msg.ok) {
+    os << "report " << msg.reportText.size() << "\n";
+    os << msg.reportText << msg.accumulatorText;
+  } else {
+    os << msg.errorText;
+  }
+  return os.str();
+}
+
+ShardDoneMsg parseShardDoneMsg(const std::string& payload) {
+  std::size_t pos = 0;
+  if (!headerLine(kDoneCodec, payload, pos, "pred-grid-done v1").empty()) {
+    badPayload(kDoneCodec, "malformed header line");
+  }
+  ShardDoneMsg msg;
+  msg.id = lineNumber<std::uint64_t>(
+      kDoneCodec, headerLine(kDoneCodec, payload, pos, "id"), "id");
+  msg.ok =
+      lineFlag(kDoneCodec, headerLine(kDoneCodec, payload, pos, "ok"), "ok");
+  if (!msg.ok) {
+    msg.errorText = payload.substr(pos);
+    return msg;
+  }
+  const auto reportBytes = lineNumber<std::size_t>(
+      kDoneCodec, headerLine(kDoneCodec, payload, pos, "report"), "report");
+  if (payload.size() - pos < reportBytes) {
+    badPayload(kDoneCodec, "report length past end of payload");
+  }
   msg.reportText = payload.substr(pos, reportBytes);
   msg.accumulatorText = payload.substr(pos + reportBytes);
   return msg;

@@ -31,6 +31,19 @@
 // sends a worker Shard (ShardSpec text) and gets ShardResult
 // (ShardResultMsg: accumulator + RunReport).  Stats and Shutdown are
 // header-only requests.
+//
+// Remote worker attach adds a second conversation on the same framing: a
+// dialing worker opens with WorkerHello (WorkerHelloMsg: code-version
+// salt + concurrency), the server answers WorkerWelcome (or Error — a
+// salt mismatch is rejected at the door so a stale binary can never
+// poison the result cache), then shards flow as ShardAssign
+// (ShardAssignMsg: lease id + ShardSpec) answered by ShardDone
+// (ShardDoneMsg: the same lease id + result or failure text).  The lease
+// id exists because an attached worker may run several shards
+// concurrently and complete them out of order — pipe workers keep the
+// strictly serial Shard/ShardResult exchange unchanged.  Heartbeat is an
+// idle-liveness tick in either direction; a worker that goes silent past
+// the server's connection deadline is treated as half-open and dropped.
 
 #include <cstddef>
 #include <cstdint>
@@ -58,6 +71,11 @@ enum class FrameType : std::uint8_t {
   ShutdownAck = 7,   ///< server -> client: empty payload
   Shard = 8,         ///< server -> worker: ShardSpec wire text
   ShardResult = 9,   ///< worker -> server: ShardResultMsg payload
+  WorkerHello = 10,    ///< worker -> server: WorkerHelloMsg payload
+  WorkerWelcome = 11,  ///< server -> worker: empty payload (attach accepted)
+  ShardAssign = 12,    ///< server -> worker: ShardAssignMsg payload
+  ShardDone = 13,      ///< worker -> server: ShardDoneMsg payload
+  Heartbeat = 14,      ///< either direction: empty payload (idle liveness)
 };
 
 struct Frame {
@@ -127,5 +145,42 @@ struct ShardResultMsg {
 
 std::string encodeShardResultMsg(const ShardResultMsg& msg);
 ShardResultMsg parseShardResultMsg(const std::string& payload);
+
+/// A worker dialing in: the code-version salt it was built with (must
+/// equal grid/fingerprint.h's kCodeVersionSalt or the handshake is
+/// rejected) and how many shards it will run concurrently (>= 1).
+struct WorkerHelloMsg {
+  std::string salt;
+  std::size_t concurrency = 1;
+};
+
+std::string encodeWorkerHelloMsg(const WorkerHelloMsg& msg);
+WorkerHelloMsg parseWorkerHelloMsg(const std::string& payload);
+
+/// A shard leased to an attached worker.  The id is the server's lease
+/// token; the matching ShardDone must echo it, which is what lets a
+/// multi-shard worker complete out of order without ambiguity.
+struct ShardAssignMsg {
+  std::uint64_t id = 0;
+  exp::ShardSpec spec;
+};
+
+std::string encodeShardAssignMsg(const ShardAssignMsg& msg);
+ShardAssignMsg parseShardAssignMsg(const std::string& payload);
+
+/// An attached worker's answer to one ShardAssign: on ok the shard's
+/// accumulator + RunReport (the ShardResultMsg pair), otherwise the
+/// failure text — either way the lease id rides along, so an evaluation
+/// failure still frees the right lease.
+struct ShardDoneMsg {
+  std::uint64_t id = 0;
+  bool ok = false;
+  std::string accumulatorText;  ///< ok only
+  std::string reportText;       ///< ok only
+  std::string errorText;        ///< !ok only
+};
+
+std::string encodeShardDoneMsg(const ShardDoneMsg& msg);
+ShardDoneMsg parseShardDoneMsg(const std::string& payload);
 
 }  // namespace pred::grid

@@ -1,32 +1,19 @@
 #include "grid/scheduler.h"
 
-#include <fcntl.h>
 #include <poll.h>
-#include <signal.h>
-#include <sys/wait.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
-#include <chrono>
-#include <condition_variable>
 #include <cstring>
-#include <mutex>
-#include <optional>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "exp/engine.h"
-#include "grid/faultpoint.h"
-#include "grid/net.h"
-#include "grid/protocol.h"
+#include "grid/worker_channel.h"
 
 namespace pred::grid {
 
 namespace {
-
-using Clock = std::chrono::steady_clock;
 
 std::uint64_t cellsOf(const exp::ShardSpec& spec) {
   return static_cast<std::uint64_t>(spec.qEnd - spec.qBegin) *
@@ -35,66 +22,210 @@ std::uint64_t cellsOf(const exp::ShardSpec& spec) {
 
 }  // namespace
 
-/// Shared per-run bookkeeping.  In-process mode guards it with `mu` (many
-/// stealing threads); subprocess mode is a single-threaded event loop and
-/// touches it lock-free.
-struct WorkStealingScheduler::RunState {
-  const std::vector<exp::ShardSpec>* shards = nullptr;
+// -------------------------------------------------------------- ShardQueue
 
-  struct Pending {
-    std::size_t index;          ///< into *shards
-    Clock::time_point notBefore;  ///< backoff gate; epoch = immediately
-  };
+ShardQueue::ShardQueue(Policy policy) : policy_(policy) {
+  if (policy_.maxAttempts < 1) policy_.maxAttempts = 1;
+}
 
-  std::mutex mu;
-  std::condition_variable cv;
-  std::vector<Pending> pending;
-  std::vector<int> attempts;  ///< attempts STARTED per shard
-  std::vector<std::optional<ShardOutput>> results;
-  std::size_t completed = 0;
-  std::uint64_t retries = 0;
-  std::uint64_t deaths = 0;
-  std::string fatal;  ///< non-empty aborts the run
+std::uint64_t ShardQueue::addJob(std::vector<exp::ShardSpec> shards) {
+  if (shards.empty())
+    throw std::invalid_argument("grid scheduler: empty shard list");
+  const std::uint64_t id = nextJob_++;
+  Job job;
+  job.attempts.assign(shards.size(), 0);
+  job.results.resize(shards.size());
+  job.shards = std::move(shards);
+  for (std::size_t i = 0; i < job.shards.size(); ++i)
+    pending_.push_back({id, i, Clock::time_point{}});
+  jobs_.emplace(id, std::move(job));
+  return id;
+}
 
-  /// Cost-model scalar the ranking multiplies cell counts by; refreshed
-  /// from the scheduler's EWMA each time a shard completes.  1.0 until the
-  /// first shard calibrates it.
-  double nsPerCell = 1.0;
+double ShardQueue::costOf(const Job& job, std::size_t index) const {
+  // The telemetry feedback enters the ranking here; with a single global
+  // ns/cell scalar the ordering equals LPT by cells, and a per-shard
+  // estimate (e.g. keyed by platform) would slot in at this seam without
+  // touching steal().
+  return static_cast<double>(cellsOf(job.shards[index])) * costScalar_;
+}
 
-  /// Estimated wall cost of shard `index`.  The telemetry feedback enters
-  /// the ranking here; with a single global ns/cell scalar the ordering
-  /// equals LPT by cells, and a per-shard estimate (e.g. keyed by
-  /// platform) would slot in at this seam without touching pick().
-  double costOf(std::size_t index) const {
-    return static_cast<double>(cellsOf((*shards)[index])) * nsPerCell;
-  }
-
-  /// Index into `pending` of the best eligible shard at `now` — retried
-  /// shards first (they gate job completion), then costliest by the
-  /// calibrated estimate (LPT) — or npos when none is eligible yet.
-  std::size_t pick(Clock::time_point now) const {
-    std::size_t best = static_cast<std::size_t>(-1);
-    for (std::size_t k = 0; k < pending.size(); ++k) {
-      if (pending[k].notBefore > now) continue;
-      if (best == static_cast<std::size_t>(-1)) {
-        best = k;
-        continue;
-      }
-      const std::size_t bi = pending[best].index, ki = pending[k].index;
-      const int ab = attempts[bi], ak = attempts[ki];
-      if (ak != ab ? ak > ab : costOf(ki) > costOf(bi)) best = k;
+std::optional<ShardQueue::Lease> ShardQueue::steal(Clock::time_point now) {
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t best = npos;
+  for (std::size_t k = 0; k < pending_.size(); ++k) {
+    if (pending_[k].notBefore > now) continue;
+    if (best == npos) {
+      best = k;
+      continue;
     }
-    return best;
+    const PendingEntry& pb = pending_[best];
+    const PendingEntry& pk = pending_[k];
+    const Job& jb = jobs_.at(pb.job);
+    const Job& jk = jobs_.at(pk.job);
+    const int ab = jb.attempts[pb.index], ak = jk.attempts[pk.index];
+    if (ak != ab ? ak > ab : costOf(jk, pk.index) > costOf(jb, pb.index))
+      best = k;
   }
+  if (best == npos) return std::nullopt;
+  const PendingEntry entry = pending_[best];
+  pending_.erase(pending_.begin() + static_cast<std::ptrdiff_t>(best));
+  Job& job = jobs_.at(entry.job);
+  ++job.attempts[entry.index];
+  if (policy_.metrics)
+    policy_.metrics->counter("grid.shards.dispatched").add();
+  const std::uint64_t token = nextToken_++;
+  leases_.emplace(token, LeaseState{entry.job, entry.index});
+  return Lease{token, &job.shards[entry.index]};
+}
 
-  /// Earliest backoff gate among pending shards (nullopt when none pend).
-  std::optional<Clock::time_point> earliestNotBefore() const {
-    std::optional<Clock::time_point> t;
-    for (const Pending& p : pending)
-      if (!t || p.notBefore < *t) t = p.notBefore;
-    return t;
+void ShardQueue::completed(std::uint64_t token, ShardOutput out) {
+  const auto it = leases_.find(token);
+  if (it == leases_.end()) return;  // lease of an already-settled job
+  const LeaseState ls = it->second;
+  leases_.erase(it);
+  const auto jit = jobs_.find(ls.job);
+  if (jit == jobs_.end()) return;
+  Job& job = jit->second;
+  const std::uint64_t cells = cellsOf(job.shards[ls.index]);
+  if (out.report.wallNs > 0 && cells > 0) {
+    const double sample = static_cast<double>(out.report.wallNs) /
+                          static_cast<double>(cells);
+    ewmaNsPerCell_ = ewmaNsPerCell_ == 0.0
+                         ? sample
+                         : 0.7 * ewmaNsPerCell_ + 0.3 * sample;
+    costScalar_ = ewmaNsPerCell_;
   }
-};
+  job.results[ls.index].emplace(std::move(out));
+  ++job.completedCount;
+  if (job.completedCount == job.shards.size())
+    settled_.push_back({ls.job, true, {}});
+}
+
+void ShardQueue::failed(std::uint64_t token, const std::string& why) {
+  const auto it = leases_.find(token);
+  if (it == leases_.end()) return;  // lease of an already-settled job
+  const LeaseState ls = it->second;
+  leases_.erase(it);
+  const auto jit = jobs_.find(ls.job);
+  if (jit == jobs_.end()) return;
+  Job& job = jit->second;
+  const int made = job.attempts[ls.index];
+  if (made >= policy_.maxAttempts) {
+    // Only THIS job fails; its state is discarded immediately and any
+    // leases its other shards still hold resolve as no-ops later.
+    Settled settled;
+    settled.job = ls.job;
+    settled.ok = false;
+    settled.error = "grid shard " + exp::shardLabel(job.shards[ls.index]) +
+                    " failed after " + std::to_string(made) +
+                    " attempt(s): " + why;
+    settled_.push_back(std::move(settled));
+    jobs_.erase(jit);
+    dropPendingOf(ls.job);
+    for (auto lit = leases_.begin(); lit != leases_.end();) {
+      if (lit->second.job == ls.job)
+        lit = leases_.erase(lit);
+      else
+        ++lit;
+    }
+    return;
+  }
+  // maxAttempts is an unbounded user flag, so the exponent must be clamped
+  // (a shift count >= 64 is UB) and the wait capped at a sane ceiling.
+  constexpr std::uint64_t kMaxBackoffMs = 60'000;
+  const int shift = std::min(made > 0 ? made - 1 : 0, 20);
+  const std::uint64_t backoffMs =
+      policy_.retryBackoffMs > (kMaxBackoffMs >> shift)
+          ? kMaxBackoffMs
+          : policy_.retryBackoffMs << shift;
+  pending_.push_back(
+      {ls.job, ls.index, Clock::now() + std::chrono::milliseconds(backoffMs)});
+  ++job.retries;
+  if (policy_.metrics) policy_.metrics->counter("grid.shards.retried").add();
+}
+
+void ShardQueue::abandon(std::uint64_t token) {
+  const auto it = leases_.find(token);
+  if (it == leases_.end()) return;
+  const LeaseState ls = it->second;
+  leases_.erase(it);
+  const auto jit = jobs_.find(ls.job);
+  if (jit == jobs_.end()) return;
+  --jit->second.attempts[ls.index];
+  pending_.push_back({ls.job, ls.index, Clock::time_point{}});
+}
+
+std::optional<ShardQueue::Clock::time_point> ShardQueue::earliestGate()
+    const {
+  std::optional<Clock::time_point> t;
+  for (const PendingEntry& p : pending_)
+    if (!t || p.notBefore < *t) t = p.notBefore;
+  return t;
+}
+
+std::vector<ShardQueue::Settled> ShardQueue::takeSettled() {
+  std::vector<Settled> out;
+  out.swap(settled_);
+  return out;
+}
+
+JobOutcome ShardQueue::takeOutcome(std::uint64_t jobId) {
+  const auto jit = jobs_.find(jobId);
+  if (jit == jobs_.end() ||
+      jit->second.completedCount != jit->second.shards.size())
+    throw std::logic_error("grid queue: takeOutcome on an unsettled job");
+  Job& job = jit->second;
+  std::vector<core::StreamingMeasures> accs;
+  std::vector<obs::RunReport> reports;
+  accs.reserve(job.results.size());
+  reports.reserve(job.results.size());
+  for (std::optional<ShardOutput>& r : job.results) {
+    accs.push_back(std::move(r->accumulator));
+    reports.push_back(std::move(r->report));
+  }
+  core::StreamingMeasures merged =
+      exp::ExperimentEngine::mergeShards(std::move(accs));
+  obs::RunReport fleet = obs::mergeFleet(reports);
+  JobOutcome outcome{std::move(merged), std::move(fleet),
+                     job.results.size(), job.retries, 0};
+  jobs_.erase(jit);
+  return outcome;
+}
+
+void ShardQueue::failAll(const std::string& why) {
+  std::vector<std::uint64_t> doomed;
+  for (const auto& [id, job] : jobs_)
+    if (job.completedCount != job.shards.size()) doomed.push_back(id);
+  for (const std::uint64_t id : doomed) {
+    settled_.push_back({id, false, why});
+    jobs_.erase(id);
+    dropPendingOf(id);
+  }
+  for (auto lit = leases_.begin(); lit != leases_.end();) {
+    if (jobs_.find(lit->second.job) == jobs_.end())
+      lit = leases_.erase(lit);
+    else
+      ++lit;
+  }
+}
+
+void ShardQueue::seedNsPerCell(double value) {
+  if (value > 0.0) {
+    ewmaNsPerCell_ = value;
+    costScalar_ = value;
+  }
+}
+
+void ShardQueue::dropPendingOf(std::uint64_t job) {
+  pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                [job](const PendingEntry& p) {
+                                  return p.job == job;
+                                }),
+                 pending_.end());
+}
+
+// --------------------------------------------------- WorkStealingScheduler
 
 WorkStealingScheduler::WorkStealingScheduler(SchedulerConfig config)
     : config_(std::move(config)) {
@@ -107,245 +238,19 @@ double WorkStealingScheduler::estimatedNsPerCell() const {
   return ewmaNsPerCell_;
 }
 
-void WorkStealingScheduler::noteShardDone(RunState& st, std::size_t index,
-                                          ShardOutput out) {
-  const std::uint64_t cells = cellsOf((*st.shards)[index]);
-  if (out.report.wallNs > 0 && cells > 0) {
-    const double sample = static_cast<double>(out.report.wallNs) /
-                          static_cast<double>(cells);
-    ewmaNsPerCell_ = ewmaNsPerCell_ == 0.0
-                         ? sample
-                         : 0.7 * ewmaNsPerCell_ + 0.3 * sample;
-    st.nsPerCell = ewmaNsPerCell_;
-  }
-  st.results[index].emplace(std::move(out));
-  ++st.completed;
-}
-
-bool WorkStealingScheduler::noteShardFailed(RunState& st, std::size_t index,
-                                            const std::string& why) {
-  const int made = st.attempts[index];
-  if (made >= config_.maxAttempts) {
-    st.fatal = "grid shard " + exp::shardLabel((*st.shards)[index]) +
-               " failed after " + std::to_string(made) +
-               " attempt(s): " + why;
-    return false;
-  }
-  // maxAttempts is an unbounded user flag, so the exponent must be clamped
-  // (a shift count >= 64 is UB) and the wait capped at a sane ceiling.
-  constexpr std::uint64_t kMaxBackoffMs = 60'000;
-  const int shift = std::min(made > 0 ? made - 1 : 0, 20);
-  const std::uint64_t backoffMs =
-      config_.retryBackoffMs > (kMaxBackoffMs >> shift)
-          ? kMaxBackoffMs
-          : config_.retryBackoffMs << shift;
-  st.pending.push_back(
-      {index, Clock::now() + std::chrono::milliseconds(backoffMs)});
-  ++st.retries;
-  if (config_.metrics) config_.metrics->counter("grid.shards.retried").add();
-  return true;
-}
-
-JobOutcome WorkStealingScheduler::finish(RunState& st) {
-  std::vector<core::StreamingMeasures> accs;
-  std::vector<obs::RunReport> reports;
-  accs.reserve(st.results.size());
-  reports.reserve(st.results.size());
-  for (std::optional<ShardOutput>& r : st.results) {
-    accs.push_back(std::move(r->accumulator));
-    reports.push_back(std::move(r->report));
-  }
-  core::StreamingMeasures merged =
-      exp::ExperimentEngine::mergeShards(std::move(accs));
-  obs::RunReport fleet = obs::mergeFleet(reports);
-  return JobOutcome{std::move(merged), std::move(fleet), st.results.size(),
-                    st.retries, st.deaths};
-}
-
-// ------------------------------------------------------------- in-process
-
-JobOutcome WorkStealingScheduler::run(const std::vector<exp::ShardSpec>&
-                                          shards,
-                                      const ShardEvalFn& eval) {
+JobOutcome WorkStealingScheduler::run(
+    const std::vector<exp::ShardSpec>& shards, const ShardEvalFn& eval) {
   if (shards.empty())
     throw std::invalid_argument("grid scheduler: empty shard list");
   if (!eval) throw std::invalid_argument("grid scheduler: null evaluator");
-
-  RunState st;
-  st.shards = &shards;
-  if (ewmaNsPerCell_ > 0.0) st.nsPerCell = ewmaNsPerCell_;
-  st.attempts.assign(shards.size(), 0);
-  st.results.resize(shards.size());
-  st.pending.reserve(shards.size());
-  for (std::size_t i = 0; i < shards.size(); ++i)
-    st.pending.push_back({i, Clock::time_point{}});
-
-  const auto worker = [&] {
-    std::unique_lock<std::mutex> lk(st.mu);
-    for (;;) {
-      if (!st.fatal.empty() || st.completed == shards.size()) {
-        st.cv.notify_all();
-        return;
-      }
-      const Clock::time_point now = Clock::now();
-      const std::size_t k = st.pick(now);
-      if (k == static_cast<std::size_t>(-1)) {
-        // Nothing eligible: either every shard is in flight elsewhere (a
-        // failure may requeue one — wait for a signal) or the queue is all
-        // backoff-gated (sleep until the earliest gate opens).
-        const auto gate = st.earliestNotBefore();
-        if (gate)
-          st.cv.wait_until(lk, *gate);
-        else
-          st.cv.wait(lk);
-        continue;
-      }
-      const std::size_t index = st.pending[k].index;
-      st.pending.erase(st.pending.begin() +
-                       static_cast<std::ptrdiff_t>(k));
-      ++st.attempts[index];
-      if (config_.metrics)
-        config_.metrics->counter("grid.shards.dispatched").add();
-      lk.unlock();
-      std::optional<ShardOutput> out;
-      std::string why;
-      try {
-        fault::check("sched.dispatch");
-        out.emplace(eval(shards[index]));
-      } catch (const std::exception& e) {
-        why = e.what();
-      }
-      lk.lock();
-      if (out)
-        noteShardDone(st, index, std::move(*out));
-      else
-        noteShardFailed(st, index, why);
-      st.cv.notify_all();
-    }
-  };
-
-  const std::size_t nThreads =
-      std::min<std::size_t>(static_cast<std::size_t>(config_.workers),
-                            shards.size());
-  std::vector<std::thread> pool;
-  pool.reserve(nThreads);
-  for (std::size_t t = 0; t < nThreads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
-
-  if (!st.fatal.empty()) throw std::runtime_error(st.fatal);
-  return finish(st);
+  FleetConfig fc;
+  fc.localSlots = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(config_.workers), shards.size()));
+  fc.eval = eval;
+  fc.metrics = config_.metrics;
+  WorkerFleet fleet(fc);
+  return drive(fleet, shards);
 }
-
-// ------------------------------------------------------------- subprocess
-
-namespace {
-
-/// One persistent child-process worker slot of the subprocess event loop.
-struct Slot {
-  pid_t pid = -1;
-  net::Fd in;   ///< parent write end -> child stdin
-  net::Fd out;  ///< parent read end <- child stdout
-  std::string buf;       ///< incremental frame decode buffer
-  std::size_t off = 0;   ///< decode offset into buf
-  long busyWith = -1;    ///< shard index in flight; -1 = idle
-  int spawns = 0;
-  bool alive = false;
-  Clock::time_point deadline{};  ///< shard timeout gate when busy
-};
-
-void setCloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
-
-/// fork+exec `argvStrings` with stdin/stdout piped to the parent.
-void spawnChild(Slot& slot, const std::vector<std::string>& argvStrings) {
-  int inPipe[2], outPipe[2];
-  if (::pipe(inPipe) != 0)
-    throw std::runtime_error(std::string("grid scheduler: pipe: ") +
-                             std::strerror(errno));
-  if (::pipe(outPipe) != 0) {
-    ::close(inPipe[0]);
-    ::close(inPipe[1]);
-    throw std::runtime_error(std::string("grid scheduler: pipe: ") +
-                             std::strerror(errno));
-  }
-  // Parent-held ends must not leak into any child's exec image — a stray
-  // inherited write end would defeat EOF-based death detection.
-  setCloexec(inPipe[1]);
-  setCloexec(outPipe[0]);
-
-  const pid_t pid = ::fork();
-  if (pid < 0) {
-    ::close(inPipe[0]);
-    ::close(inPipe[1]);
-    ::close(outPipe[0]);
-    ::close(outPipe[1]);
-    throw std::runtime_error(std::string("grid scheduler: fork: ") +
-                             std::strerror(errno));
-  }
-  if (pid == 0) {
-    ::dup2(inPipe[0], STDIN_FILENO);
-    ::dup2(outPipe[1], STDOUT_FILENO);
-    ::close(inPipe[0]);
-    ::close(outPipe[1]);
-    std::vector<char*> argv;
-    argv.reserve(argvStrings.size() + 1);
-    for (const std::string& a : argvStrings)
-      argv.push_back(const_cast<char*>(a.c_str()));
-    argv.push_back(nullptr);
-    ::execvp(argv[0], argv.data());
-    // Exec failed; stderr is still the parent's.
-    ::perror("pred-grid worker exec");
-    ::_exit(127);
-  }
-  ::close(inPipe[0]);
-  ::close(outPipe[1]);
-  slot.pid = pid;
-  slot.in.reset(inPipe[1]);
-  slot.out.reset(outPipe[0]);
-  slot.buf.clear();
-  slot.off = 0;
-  slot.busyWith = -1;
-  slot.alive = true;
-  ++slot.spawns;
-}
-
-void reapChild(Slot& slot) {
-  if (slot.pid > 0) {
-    ::kill(slot.pid, SIGKILL);  // no-op if already exited
-    int status = 0;
-    while (::waitpid(slot.pid, &status, 0) < 0 && errno == EINTR) {
-    }
-  }
-  slot.pid = -1;
-  slot.in.reset();
-  slot.out.reset();
-  slot.buf.clear();
-  slot.off = 0;
-  slot.alive = false;
-}
-
-/// Graceful stop: ask, close stdin (EOF), give the worker a grace window,
-/// then force-kill.  Never throws.
-void shutdownChild(Slot& slot) {
-  if (!slot.alive) return;
-  try {
-    writeFrame(slot.in.get(), Frame{FrameType::Shutdown, ""});
-  } catch (...) {
-    // Already dead; reap below.
-  }
-  slot.in.reset();
-  int status = 0;
-  for (int spin = 0; spin < 200; ++spin) {  // ~2 s grace
-    const pid_t r = ::waitpid(slot.pid, &status, WNOHANG);
-    if (r == slot.pid || (r < 0 && errno != EINTR)) {
-      slot.pid = -1;
-      break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  reapChild(slot);
-}
-
-}  // namespace
 
 JobOutcome WorkStealingScheduler::runSubprocess(
     const std::vector<exp::ShardSpec>& shards) {
@@ -354,159 +259,66 @@ JobOutcome WorkStealingScheduler::runSubprocess(
   if (config_.workerCommand.empty())
     throw std::invalid_argument(
         "grid scheduler: subprocess mode needs a worker command");
+  FleetConfig fc;
+  fc.pipeSlots = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(config_.workers), shards.size()));
+  fc.workerCommand = config_.workerCommand;
+  fc.firstWorkerExtraArgs = config_.firstWorkerExtraArgs;
+  fc.maxSpawnsPerSlot = config_.maxSpawnsPerSlot;
+  fc.shardTimeoutMs = config_.shardTimeoutMs;
+  fc.metrics = config_.metrics;
+  WorkerFleet fleet(fc);
+  return drive(fleet, shards);
+}
 
-  RunState st;
-  st.shards = &shards;
-  if (ewmaNsPerCell_ > 0.0) st.nsPerCell = ewmaNsPerCell_;
-  st.attempts.assign(shards.size(), 0);
-  st.results.resize(shards.size());
-  for (std::size_t i = 0; i < shards.size(); ++i)
-    st.pending.push_back({i, Clock::time_point{}});
-
-  const std::size_t nSlots =
-      std::min<std::size_t>(static_cast<std::size_t>(config_.workers),
-                            shards.size());
-  std::vector<Slot> slots(nSlots);
-
-  const auto spawnSlot = [&](std::size_t s) {
-    std::vector<std::string> argv = config_.workerCommand;
-    argv.push_back("serve");
-    if (s == 0 && slots[s].spawns == 0)
-      for (const std::string& a : config_.firstWorkerExtraArgs)
-        argv.push_back(a);
-    spawnChild(slots[s], argv);
-    if (config_.metrics) config_.metrics->counter("grid.worker.spawns").add();
-  };
-
-  // Worker death: reap, requeue the orphaned shard, respawn the slot while
-  // its spawn budget lasts.
-  const auto onDeath = [&](std::size_t s, const std::string& why) {
-    Slot& slot = slots[s];
-    reapChild(slot);
-    ++st.deaths;
-    if (config_.metrics) config_.metrics->counter("grid.worker.deaths").add();
-    if (slot.busyWith >= 0) {
-      noteShardFailed(st, static_cast<std::size_t>(slot.busyWith), why);
-      slot.busyWith = -1;
-    }
-    if (slot.spawns < config_.maxSpawnsPerSlot && st.fatal.empty())
-      spawnSlot(s);
-  };
-
-  const auto drainSlot = [&](std::size_t s) {
-    Slot& slot = slots[s];
-    char chunk[65536];
-    const ssize_t r = ::read(slot.out.get(), chunk, sizeof chunk);
-    if (r < 0) {
-      if (errno == EINTR || errno == EAGAIN) return;
-      onDeath(s, std::string("worker read error: ") + std::strerror(errno));
-      return;
-    }
-    if (r == 0) {
-      onDeath(s, "worker closed its pipe (EOF)");
-      return;
-    }
-    slot.buf.append(chunk, static_cast<std::size_t>(r));
-    try {
-      while (std::optional<Frame> f = decodeFrame(slot.buf, slot.off)) {
-        if (slot.busyWith < 0)
-          throw std::invalid_argument("frame from an idle worker");
-        const std::size_t index = static_cast<std::size_t>(slot.busyWith);
-        if (f->type == FrameType::ShardResult) {
-          ShardResultMsg msg = parseShardResultMsg(f->payload);
-          ShardOutput out{
-              core::StreamingMeasures::deserialize(msg.accumulatorText),
-              obs::RunReport::deserialize(msg.reportText)};
-          slot.busyWith = -1;
-          noteShardDone(st, index, std::move(out));
-        } else if (f->type == FrameType::Error) {
-          slot.busyWith = -1;
-          noteShardFailed(st, index, "worker error: " + f->payload);
-        } else {
-          throw std::invalid_argument("unexpected frame type from worker");
-        }
-      }
-      if (slot.off == slot.buf.size()) {
-        slot.buf.clear();
-        slot.off = 0;
-      } else if (slot.off > (std::size_t{1} << 20)) {
-        slot.buf.erase(0, slot.off);
-        slot.off = 0;
-      }
-    } catch (const std::exception& e) {
-      // A worker speaking garbage is as dead as one that exited: its
-      // stream can't be resynchronized.
-      onDeath(s, std::string("worker protocol violation: ") + e.what());
-    }
-  };
+JobOutcome WorkStealingScheduler::drive(
+    WorkerFleet& fleet, const std::vector<exp::ShardSpec>& shards) {
+  using Clock = ShardQueue::Clock;
+  ShardQueue queue(ShardQueue::Policy{config_.maxAttempts,
+                                      config_.retryBackoffMs,
+                                      config_.metrics});
+  queue.seedNsPerCell(ewmaNsPerCell_);
+  const std::uint64_t job = queue.addJob(shards);
 
   try {
-    for (std::size_t s = 0; s < nSlots; ++s) spawnSlot(s);
+    for (;;) {
+      fleet.dispatch(queue);
 
-    while (st.completed < shards.size() && st.fatal.empty()) {
-      // Dispatch: every idle slot steals the best eligible shard.
-      for (std::size_t s = 0; s < nSlots; ++s) {
-        Slot& slot = slots[s];
-        if (!slot.alive || slot.busyWith >= 0) continue;
-        const std::size_t k = st.pick(Clock::now());
-        if (k == static_cast<std::size_t>(-1)) break;
-        const std::size_t index = st.pending[k].index;
-        st.pending.erase(st.pending.begin() +
-                         static_cast<std::ptrdiff_t>(k));
-        ++st.attempts[index];
-        if (config_.metrics)
-          config_.metrics->counter("grid.shards.dispatched").add();
-        try {
-          fault::check("sched.dispatch");
-          writeFrame(slot.in.get(),
-                     Frame{FrameType::Shard,
-                           exp::serializeShardSpec(shards[index])});
-          slot.busyWith = static_cast<long>(index);
-          if (config_.shardTimeoutMs > 0)
-            slot.deadline = Clock::now() + std::chrono::milliseconds(
-                                               config_.shardTimeoutMs);
-        } catch (const std::exception& e) {
-          // The write found a corpse (EPIPE).  Undo the attempt tick so
-          // the shard isn't charged for a dispatch that never arrived.
-          --st.attempts[index];
-          st.pending.push_back({index, Clock::time_point{}});
-          onDeath(s, std::string("worker unreachable: ") + e.what());
-        }
+      const std::vector<ShardQueue::Settled> settled = queue.takeSettled();
+      if (!settled.empty()) {
+        const ShardQueue::Settled& s = settled.front();
+        if (!s.ok) throw std::runtime_error(s.error);
+        if (queue.nsPerCell() > 0.0) ewmaNsPerCell_ = queue.nsPerCell();
+        fleet.shutdownAll();
+        JobOutcome outcome = queue.takeOutcome(job);
+        outcome.workerDeaths = fleet.deaths();
+        return outcome;
       }
-      if (st.completed >= shards.size() || !st.fatal.empty()) break;
 
-      std::size_t aliveCount = 0;
-      for (const Slot& slot : slots) aliveCount += slot.alive ? 1 : 0;
-      if (aliveCount == 0)
+      if (fleet.exhausted())
         throw std::runtime_error(
             "grid scheduler: every worker slot exhausted its spawn budget "
             "with shards left");
 
-      // Sleep until the next event: a result/EOF on a pipe, the earliest
-      // backoff gate, or the earliest shard deadline.
+      // Sleep until the next event: a result/EOF on a channel fd, the
+      // earliest backoff gate, or the earliest deadline.
       int timeoutMs = -1;
       const Clock::time_point now = Clock::now();
       const auto consider = [&](Clock::time_point t) {
         const auto ms =
             std::chrono::duration_cast<std::chrono::milliseconds>(t - now)
                 .count();
-        const int clamped = ms < 0 ? 0 : (ms > 60000 ? 60000
-                                                     : static_cast<int>(ms));
+        const int clamped =
+            ms < 0 ? 0 : (ms > 60000 ? 60000 : static_cast<int>(ms));
         if (timeoutMs < 0 || clamped < timeoutMs) timeoutMs = clamped + 1;
       };
-      if (const auto gate = st.earliestNotBefore()) consider(*gate);
-      if (config_.shardTimeoutMs > 0)
-        for (const Slot& slot : slots)
-          if (slot.alive && slot.busyWith >= 0) consider(slot.deadline);
+      if (const auto gate = queue.earliestGate()) consider(*gate);
+      if (const auto deadline = fleet.nextDeadline()) consider(*deadline);
 
       std::vector<pollfd> fds;
-      std::vector<std::size_t> fdSlot;
-      for (std::size_t s = 0; s < nSlots; ++s)
-        if (slots[s].alive) {
-          fds.push_back({slots[s].out.get(), POLLIN, 0});
-          fdSlot.push_back(s);
-        }
-      int rc = ::poll(fds.data(), fds.size(), timeoutMs);
+      std::vector<WorkerChannel*> chans;
+      fleet.appendPollFds(fds, chans);
+      const int rc = ::poll(fds.data(), fds.size(), timeoutMs);
       if (rc < 0 && errno != EINTR)
         throw std::runtime_error(std::string("grid scheduler: poll: ") +
                                  std::strerror(errno));
@@ -514,30 +326,23 @@ JobOutcome WorkStealingScheduler::runSubprocess(
       if (rc > 0)
         for (std::size_t j = 0; j < fds.size(); ++j) {
           if (fds[j].revents == 0) continue;
-          const std::size_t s = fdSlot[j];
-          if (!slots[s].alive) continue;  // died handling an earlier fd
+          WorkerChannel* ch = chans[j];
+          // A channel may have been destroyed handling an earlier fd.
+          if (!fleet.owns(ch) || !ch->alive()) continue;
           if (fds[j].revents & POLLIN)
-            drainSlot(s);
+            fleet.onReadable(ch, queue);
           else  // POLLHUP / POLLERR / POLLNVAL without data
-            onDeath(s, "worker hung up");
+            fleet.onHangup(ch, queue);
         }
 
-      if (config_.shardTimeoutMs > 0) {
-        const Clock::time_point t = Clock::now();
-        for (std::size_t s = 0; s < nSlots; ++s)
-          if (slots[s].alive && slots[s].busyWith >= 0 &&
-              slots[s].deadline <= t)
-            onDeath(s, "shard timeout exceeded");
-      }
+      fleet.checkDeadlines(queue);
     }
-
-    if (!st.fatal.empty()) throw std::runtime_error(st.fatal);
-    for (Slot& slot : slots) shutdownChild(slot);
   } catch (...) {
-    for (Slot& slot : slots) reapChild(slot);
+    // Whatever the cost model learned before the failure still counts.
+    if (queue.nsPerCell() > 0.0) ewmaNsPerCell_ = queue.nsPerCell();
+    fleet.killAll();
     throw;
   }
-  return finish(st);
 }
 
 }  // namespace pred::grid

@@ -1,41 +1,56 @@
 #pragma once
-// scheduler.h — Work-stealing shard scheduler with fault-tolerant retry.
+// scheduler.h — Work-stealing shard queue + scheduler with fault-tolerant
+// retry.
 //
-// The scheduler turns a planShards partition into a completed job: shards
-// sit in one shared queue, idle workers STEAL the costliest eligible
-// shard (longest-processing-time-first self-scheduling — the classic 2x
-// bound on makespan skew), and every completed shard's RunReport feeds an
-// EWMA ns/cell cost model whose estimate (cells x ns/cell) is what the
-// next steal is ranked by.  Today the model is one global scalar, so the
-// ordering coincides with LPT by cell count; the value of routing the
-// ranking through it is the seam — a per-shard estimate (say, keyed by
-// platform) drops into RunState::costOf without touching the queue.
+// The scheduling brain and the worker transports are two separate seams:
 //
-// Two execution modes share the queue and the retry policy:
+//   ShardQueue            pure policy, no I/O: a multi-job work-stealing
+//                         queue where idle workers STEAL the costliest
+//                         eligible shard (longest-processing-time-first
+//                         self-scheduling — the classic 2x bound on
+//                         makespan skew), an EWMA ns/cell cost model
+//                         calibrated from RunReport telemetry, and the
+//                         bounded retry/backoff policy.  Jobs from
+//                         different clients interleave through one queue;
+//                         lease tokens route every completion back to the
+//                         job (and shard) it belongs to, so concurrent
+//                         jobs can never share or reorder each other's
+//                         results.
 //
-//   run(shards, eval)   — in-process: config.workers threads steal shards
-//                         and evaluate them through a caller-supplied
-//                         ShardEvalFn.  This is the mode the in-process
-//                         server, the tests, and the example use; a
-//                         throwing eval is a failed attempt.
+//   WorkerChannel         transport: HOW a shard reaches a worker — pipe
+//   (worker_channel.h)    subprocess, attached socket worker, or local
+//                         evaluator thread — behind one poll()-able
+//                         interface a single event loop multiplexes.
 //
-//   runSubprocess(...)  — each worker slot is a persistent child process
-//                         (config.workerCommand + "serve") speaking the
-//                         framed protocol over stdin/stdout pipes.  A
-//                         poll() event loop dispatches shards, decodes
-//                         results incrementally, and detects death by
-//                         EOF / POLLHUP / write-EPIPE / optional timeout.
+// WorkStealingScheduler composes the two for the standalone single-job
+// callers (tests, bench, the in-process example).  Its modes build a
+// WorkerFleet and drive one event loop:
 //
-// Fault tolerance is the same story in both modes: a failed attempt
-// requeues the shard with exponential backoff until maxAttempts, at which
-// point the job fails loudly.  In subprocess mode a dead worker's slot is
-// respawned (bounded by maxSpawnsPerSlot); the orphaned shard simply goes
-// back in the queue, and because shard accumulators merge order-
-// independently, a retried shard's contribution is byte-identical to a
-// first-try one — fault injection cannot perturb results, only wall time.
+//   run(shards, eval)   — config.workers LocalChannels (in-process
+//                         evaluator threads); a throwing eval is a failed
+//                         attempt.
+//   runSubprocess(...)  — config.workers PipeChannels (persistent
+//                         config.workerCommand children speaking the
+//                         framed protocol over stdin/stdout); death by
+//                         EOF / POLLHUP / write-EPIPE / timeout is
+//                         survived by respawn (bounded per slot).
+//
+// GridServer drives the same ShardQueue/WorkerFleet pair directly from
+// its connection event loop, which is what lets attached socket workers
+// and multiple concurrent client jobs share these exact semantics.
+//
+// Fault tolerance is one story everywhere: a failed attempt requeues the
+// shard with exponential backoff until maxAttempts, at which point the
+// JOB (only that job) fails loudly.  A dead worker's leases go back in
+// the queue, and because shard accumulators merge order-independently, a
+// retried shard's contribution is byte-identical to a first-try one —
+// fault injection cannot perturb results, only wall time.
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,10 +62,11 @@
 namespace pred::grid {
 
 struct SchedulerConfig {
-  /// Worker slots (threads in run(), child processes in runSubprocess()).
-  /// Clamped to >= 1.
+  /// Worker slots (LocalChannel threads in run(), PipeChannel children in
+  /// runSubprocess()).  Clamped to >= 1 by WorkStealingScheduler; a
+  /// GridServer additionally accepts 0 for attach-only fleets.
   int workers = 2;
-  /// Attempts per shard before the job fails (>= 1).
+  /// Attempts per shard before its job fails (>= 1).
   int maxAttempts = 3;
   /// Spawns per subprocess slot (initial spawn + respawns) before the slot
   /// is retired (>= 1).
@@ -59,8 +75,8 @@ struct SchedulerConfig {
   /// at 60 s (the exponent is also clamped, so an arbitrarily large
   /// maxAttempts cannot overflow the shift).
   std::uint64_t retryBackoffMs = 25;
-  /// Per-shard wall-time budget in subprocess mode; a worker that exceeds
-  /// it is killed and its shard retried.  0 disables the timeout.
+  /// Per-shard wall-time budget for pipe/socket workers; a worker that
+  /// exceeds it is killed and its shard retried.  0 disables the timeout.
   std::uint64_t shardTimeoutMs = 0;
   /// Subprocess mode: argv prefix of the worker binary; the scheduler
   /// appends "serve".  E.g. {"./pred-shard-worker"}.
@@ -93,16 +109,124 @@ struct JobOutcome {
   obs::RunReport fleet;
   std::uint64_t shardCount = 0;
   std::uint64_t retries = 0;       ///< re-queued attempts (all causes)
-  std::uint64_t workerDeaths = 0;  ///< subprocess deaths observed
+  std::uint64_t workerDeaths = 0;  ///< worker deaths observed
 };
+
+/// The scheduling policy seam: a multi-job shard queue with the LPT
+/// cost-model ranking and the retry/backoff bookkeeping — and no I/O at
+/// all.  Single-threaded by design; one driver event loop owns it.
+class ShardQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  struct Policy {
+    int maxAttempts = 3;
+    std::uint64_t retryBackoffMs = 25;
+    obs::MetricsRegistry* metrics = nullptr;
+  };
+
+  explicit ShardQueue(Policy policy);
+
+  /// Enqueues a job's shards; returns its job id.  Throws
+  /// std::invalid_argument on an empty shard list.
+  std::uint64_t addJob(std::vector<exp::ShardSpec> shards);
+
+  /// One leased shard: the token every later completed()/failed()/
+  /// abandon() call must echo, plus the spec to dispatch.  The spec
+  /// pointer is only valid until the queue is touched again — transports
+  /// serialize or copy it during dispatch.
+  struct Lease {
+    std::uint64_t token = 0;
+    const exp::ShardSpec* spec = nullptr;
+  };
+
+  /// Steals the best eligible shard at `now` — retried shards first (they
+  /// gate job completion), then costliest by the calibrated estimate
+  /// (LPT) — across ALL jobs.  Ticks the attempt and the dispatched
+  /// counter; nullopt when nothing is eligible yet.
+  std::optional<Lease> steal(Clock::time_point now);
+
+  /// The lease's shard completed; its telemetry feeds the cost model.
+  void completed(std::uint64_t token, ShardOutput out);
+  /// The lease's attempt failed: requeue with backoff, or fail the job
+  /// once attempts are exhausted.
+  void failed(std::uint64_t token, const std::string& why);
+  /// The dispatch never reached a worker (EPIPE to a corpse): undo the
+  /// attempt tick and requeue immediately — the shard is not charged for
+  /// a dispatch that never arrived.
+  void abandon(std::uint64_t token);
+
+  /// Shards waiting or in flight (false = every job settled).
+  bool hasWork() const { return !pending_.empty() || !leases_.empty(); }
+  std::size_t inFlight() const { return leases_.size(); }
+  /// Earliest backoff gate among pending shards (poll-timeout input).
+  std::optional<Clock::time_point> earliestGate() const;
+
+  /// A job that finished since the last call: ok + takeOutcome()able, or
+  /// failed with `error` (its state is already discarded).
+  struct Settled {
+    std::uint64_t job = 0;
+    bool ok = false;
+    std::string error;
+  };
+  std::vector<Settled> takeSettled();
+
+  /// Merges and returns a settled-ok job's outcome, releasing its state.
+  /// workerDeaths is left 0 — deaths are fleet-scoped; drivers fill it.
+  JobOutcome takeOutcome(std::uint64_t job);
+
+  /// Fails every unsettled job (the fleet can never dispatch again).
+  void failAll(const std::string& why);
+
+  /// The cost model's current estimate (EWMA over completed shards'
+  /// report wall time / cells); 0 before any shard completes.
+  double nsPerCell() const { return ewmaNsPerCell_; }
+  /// Seeds the cost model from a previous queue's estimate.
+  void seedNsPerCell(double value);
+
+ private:
+  struct Job {
+    std::vector<exp::ShardSpec> shards;
+    std::vector<int> attempts;  ///< attempts STARTED per shard
+    std::vector<std::optional<ShardOutput>> results;
+    std::size_t completedCount = 0;
+    std::uint64_t retries = 0;
+  };
+  struct PendingEntry {
+    std::uint64_t job = 0;
+    std::size_t index = 0;          ///< into the job's shards
+    Clock::time_point notBefore{};  ///< backoff gate; epoch = immediately
+  };
+  struct LeaseState {
+    std::uint64_t job = 0;
+    std::size_t index = 0;
+  };
+
+  double costOf(const Job& job, std::size_t index) const;
+  void dropPendingOf(std::uint64_t job);
+
+  Policy policy_;
+  std::map<std::uint64_t, Job> jobs_;
+  std::vector<PendingEntry> pending_;
+  std::map<std::uint64_t, LeaseState> leases_;
+  std::vector<Settled> settled_;
+  std::uint64_t nextJob_ = 1;
+  std::uint64_t nextToken_ = 1;
+  /// Cost-model scalar the ranking multiplies cell counts by; 1.0 until
+  /// the first shard (or a seed) calibrates it.
+  double costScalar_ = 1.0;
+  double ewmaNsPerCell_ = 0.0;
+};
+
+class WorkerFleet;
 
 class WorkStealingScheduler {
  public:
   explicit WorkStealingScheduler(SchedulerConfig config);
 
-  /// Evaluates `shards` on config.workers threads via `eval`.  Throws
-  /// std::invalid_argument on an empty shard list and std::runtime_error
-  /// when a shard exhausts maxAttempts.
+  /// Evaluates `shards` on config.workers LocalChannel threads via
+  /// `eval`.  Throws std::invalid_argument on an empty shard list and
+  /// std::runtime_error when a shard exhausts maxAttempts.
   JobOutcome run(const std::vector<exp::ShardSpec>& shards,
                  const ShardEvalFn& eval);
 
@@ -120,16 +244,13 @@ class WorkStealingScheduler {
   const SchedulerConfig& config() const { return config_; }
 
  private:
-  struct RunState;
-  void noteShardDone(RunState& st, std::size_t index, ShardOutput out);
-  /// Requeues attempt `attempt`+1 of shard `index` (or records a fatal
-  /// error once attempts are exhausted).  Returns false on fatal.
-  bool noteShardFailed(RunState& st, std::size_t index,
-                       const std::string& why);
-  JobOutcome finish(RunState& st);
+  /// Runs `shards` as one job through `fleet`'s channels: dispatch, poll,
+  /// drain, deadlines — until the job settles.
+  JobOutcome drive(WorkerFleet& fleet,
+                   const std::vector<exp::ShardSpec>& shards);
 
   SchedulerConfig config_;
-  double ewmaNsPerCell_ = 0.0;  // guarded by the per-run state mutex
+  double ewmaNsPerCell_ = 0.0;
 };
 
 }  // namespace pred::grid

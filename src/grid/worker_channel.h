@@ -1,0 +1,328 @@
+#pragma once
+// worker_channel.h — The transport seam between the shard queue and the
+// workers that evaluate shards.
+//
+// A WorkerChannel is ONE worker the scheduler can dispatch to, whatever
+// its transport.  The contract is small and event-driven so a single
+// poll() loop (scheduler drive loop or GridServer event loop) can
+// multiplex any mix of them:
+//
+//   dispatch(token, spec)  hand the worker a shard under a lease token
+//   pollFd()               the fd to poll for results/liveness
+//   drain()                consume readable bytes, yield ChannelEvents
+//   shutdown()/kill()      graceful / immediate stop
+//
+// Three transports implement it:
+//
+//   PipeChannel    a persistent child process (pred-shard-worker serve)
+//                  speaking Shard/ShardResult frames over stdin/stdout
+//                  pipes — the original subprocess path, byte-for-byte
+//                  unchanged on the wire.  One shard in flight; death is
+//                  EOF / POLLHUP / write-EPIPE.
+//   SocketChannel  a remote worker that DIALED IN over tcp/unix and
+//                  handshook (WorkerHello/WorkerWelcome, protocol.h);
+//                  shards flow as ShardAssign/ShardDone with lease ids,
+//                  so `concurrency` shards ride in flight and complete
+//                  out of order.  Death is the same EOF/POLLHUP story —
+//                  a kill -9'd remote worker is indistinguishable from a
+//                  vanished one, and its leases are requeued.
+//   LocalChannel   an in-process evaluator thread (the --in-process
+//                  mode); a self-pipe makes completions poll()-able so
+//                  local evaluation multiplexes like any other channel.
+//                  A throwing evaluator is a failed attempt, never a
+//                  death — local channels are immortal.
+//
+// A WorkerFleet owns a set of channels and the policies around them:
+// fixed slots (pipe children with a bounded respawn budget, local
+// threads) plus dynamically adopted socket workers, shard dispatch from
+// a ShardQueue, per-shard wall-time deadlines, heartbeat staleness for
+// idle socket workers, and the grid.worker.* counters.
+
+#include <poll.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exp/shard.h"
+#include "grid/net.h"
+#include "grid/scheduler.h"
+
+namespace pred::grid {
+
+/// One thing a channel has to tell the driver after a drain: a shard
+/// completed, a shard attempt failed (worker stays healthy), or the
+/// channel itself died (the driver requeues every lease it still holds).
+struct ChannelEvent {
+  enum class Kind { Done, Failed, Died };
+  Kind kind = Kind::Died;
+  std::uint64_t token = 0;           ///< lease token (Done / Failed)
+  std::optional<ShardOutput> output; ///< engaged on Done only
+  std::string why;                   ///< Failed / Died
+};
+
+class WorkerChannel {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  virtual ~WorkerChannel() = default;
+
+  virtual const char* kindName() const = 0;  ///< "pipe" | "socket" | "local"
+  virtual const std::string& peer() const = 0;
+  virtual int pollFd() const = 0;
+  virtual bool alive() const = 0;
+  /// Shards this worker runs concurrently (1 for pipe/local).
+  virtual std::size_t capacity() const { return 1; }
+  /// Local channels turn transport-layer dispatch faults into failed
+  /// attempts instead of channel deaths (there is no transport to kill).
+  virtual bool isLocal() const { return false; }
+
+  /// Hands the worker one shard under `token`.  Throws on transport
+  /// failure (EPIPE to a corpse); the caller then kills the channel.
+  virtual void dispatch(std::uint64_t token, const exp::ShardSpec& spec) = 0;
+  /// Consumes readable bytes from pollFd() and returns what happened.
+  virtual std::vector<ChannelEvent> drain() = 0;
+  /// POLLHUP/POLLERR without readable data.
+  virtual std::vector<ChannelEvent> hangup() = 0;
+  /// Graceful stop (Shutdown frame, grace period).  Never throws.
+  virtual void shutdown() = 0;
+  /// Immediate stop (SIGKILL / close).  Never throws.
+  virtual void kill() = 0;
+
+  std::size_t inFlightCount() const { return inFlight_.size(); }
+  /// Removes and returns every lease still in flight — the death path.
+  std::vector<std::uint64_t> takeInFlightTokens();
+  /// Dispatch time of the oldest in-flight lease (shard-deadline input).
+  std::optional<Clock::time_point> oldestDispatchTime() const;
+  /// Last time the worker was heard from (heartbeat-staleness input).
+  Clock::time_point lastHeard() const { return lastHeard_; }
+  std::uint64_t completedCount() const { return completedCount_; }
+
+ protected:
+  struct InFlight {
+    std::uint64_t token;
+    Clock::time_point since;
+  };
+
+  void noteDispatched(std::uint64_t token);
+  /// Clears `token` from the in-flight set; false when it was not held
+  /// (a worker answering a lease it does not hold — protocol violation).
+  bool noteSettled(std::uint64_t token);
+
+  std::vector<InFlight> inFlight_;
+  std::uint64_t completedCount_ = 0;
+  Clock::time_point lastHeard_ = Clock::now();
+};
+
+/// The original subprocess transport: fork+exec `argv` with stdin/stdout
+/// piped, Shard frames out, ShardResult/Error frames back.
+class PipeChannel final : public WorkerChannel {
+ public:
+  /// Spawns the child (throws std::runtime_error on pipe/fork failure).
+  explicit PipeChannel(const std::vector<std::string>& argv);
+  ~PipeChannel() override;
+
+  const char* kindName() const override { return "pipe"; }
+  const std::string& peer() const override { return peer_; }
+  int pollFd() const override { return out_.get(); }
+  bool alive() const override { return alive_; }
+
+  void dispatch(std::uint64_t token, const exp::ShardSpec& spec) override;
+  std::vector<ChannelEvent> drain() override;
+  std::vector<ChannelEvent> hangup() override;
+  void shutdown() override;
+  void kill() override;
+
+ private:
+  std::vector<ChannelEvent> die(const std::string& why);
+  void reap();
+
+  pid_t pid_ = -1;
+  net::Fd in_;   ///< parent write end -> child stdin
+  net::Fd out_;  ///< parent read end <- child stdout
+  std::string buf_;      ///< incremental frame decode buffer
+  std::size_t off_ = 0;  ///< decode offset into buf_
+  bool alive_ = false;
+  std::string peer_;
+};
+
+/// A remote worker that dialed in and handshook; the server adopts its
+/// accepted fd into one of these.  ShardAssign frames out, ShardDone /
+/// Heartbeat frames back, `concurrency` leases in flight.
+class SocketChannel final : public WorkerChannel {
+ public:
+  /// `pendingBytes` carries anything read past the WorkerHello frame
+  /// during the handshake (an eager worker may pipeline a heartbeat).
+  SocketChannel(net::Fd fd, std::string peer, std::size_t concurrency,
+                std::string pendingBytes = {});
+  ~SocketChannel() override;
+
+  const char* kindName() const override { return "socket"; }
+  const std::string& peer() const override { return peer_; }
+  int pollFd() const override { return fd_.get(); }
+  bool alive() const override { return alive_; }
+  std::size_t capacity() const override { return concurrency_; }
+
+  void dispatch(std::uint64_t token, const exp::ShardSpec& spec) override;
+  std::vector<ChannelEvent> drain() override;
+  std::vector<ChannelEvent> hangup() override;
+  void shutdown() override;
+  void kill() override;
+
+ private:
+  std::vector<ChannelEvent> die(const std::string& why);
+
+  net::Fd fd_;
+  std::string peer_;
+  std::size_t concurrency_ = 1;
+  std::string buf_;
+  std::size_t off_ = 0;
+  bool alive_ = true;
+};
+
+/// An in-process evaluator thread behind the same seam: dispatch mails
+/// the shard to the thread, completion writes one byte to a self-pipe so
+/// the driver's poll() wakes, drain() collects the results.
+class LocalChannel final : public WorkerChannel {
+ public:
+  LocalChannel(ShardEvalFn eval, int index);
+  ~LocalChannel() override;
+
+  const char* kindName() const override { return "local"; }
+  const std::string& peer() const override { return peer_; }
+  int pollFd() const override { return signalRead_.get(); }
+  bool alive() const override { return !stopped_; }
+  bool isLocal() const override { return true; }
+
+  void dispatch(std::uint64_t token, const exp::ShardSpec& spec) override;
+  std::vector<ChannelEvent> drain() override;
+  std::vector<ChannelEvent> hangup() override;
+  void shutdown() override;
+  void kill() override;
+
+ private:
+  struct Task {
+    std::uint64_t token;
+    exp::ShardSpec spec;
+  };
+  struct Outcome {
+    std::uint64_t token = 0;
+    std::optional<ShardOutput> output;  ///< engaged on success
+    std::string why;
+  };
+
+  void stop();
+
+  ShardEvalFn eval_;
+  std::string peer_;
+  net::Fd signalRead_, signalWrite_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Task> tasks_;
+  std::deque<Outcome> outcomes_;
+  bool quitting_ = false;
+  bool stopped_ = false;
+  std::thread worker_;
+};
+
+struct FleetConfig {
+  /// Fixed subprocess slots (respawned on death up to maxSpawnsPerSlot).
+  int pipeSlots = 0;
+  /// Fixed in-process evaluator threads (immortal).
+  int localSlots = 0;
+  /// Evaluator for local slots; required when localSlots > 0.
+  ShardEvalFn eval;
+  /// argv prefix for pipe slots; "serve" is appended.
+  std::vector<std::string> workerCommand;
+  /// Extra argv appended to slot 0's FIRST spawn only (fault injection).
+  std::vector<std::string> firstWorkerExtraArgs;
+  int maxSpawnsPerSlot = 4;
+  /// Per-shard wall-time budget; a channel that exceeds it is killed and
+  /// its leases requeued.  0 disables.
+  std::uint64_t shardTimeoutMs = 0;
+  /// Staleness bound for IDLE attached socket workers: one that has not
+  /// been heard from (heartbeats count) within this window is treated as
+  /// half-open and dropped.  0 disables.
+  std::uint64_t idleWorkerTimeoutMs = 0;
+  /// When set, grid.worker.spawns / .deaths land here.
+  obs::MetricsRegistry* metrics = nullptr;
+};
+
+/// The channel set one driver loop multiplexes, with the policies around
+/// it: dispatch from a ShardQueue, death -> requeue leases + respawn
+/// (pipe) or remove (socket), deadlines, and provenance for stats.
+class WorkerFleet {
+ public:
+  using Clock = WorkerChannel::Clock;
+
+  explicit WorkerFleet(FleetConfig cfg);
+  ~WorkerFleet();
+
+  WorkerFleet(const WorkerFleet&) = delete;
+  WorkerFleet& operator=(const WorkerFleet&) = delete;
+
+  /// Adopts a handshook socket worker into the fleet.
+  void adopt(std::unique_ptr<WorkerChannel> ch);
+
+  std::size_t aliveCount() const;
+  std::size_t attachedCount() const;
+  /// True when the fleet was configured with fixed slots and every one
+  /// of them is retired/dead with no attached worker left — no dispatch
+  /// can ever succeed again unless a new worker attaches.
+  bool exhausted() const;
+  std::uint64_t deaths() const { return deaths_; }
+  /// Whether `ch` is still a live member (poll dispatch guards with this
+  /// because an earlier fd's death handling may have destroyed it).
+  bool owns(const WorkerChannel* ch) const;
+
+  /// Fills every channel's spare capacity from the queue.
+  void dispatch(ShardQueue& queue);
+  /// Appends one pollfd per live channel; `chans` maps them back.
+  void appendPollFds(std::vector<pollfd>& fds,
+                     std::vector<WorkerChannel*>& chans);
+  void onReadable(WorkerChannel* ch, ShardQueue& queue);
+  void onHangup(WorkerChannel* ch, ShardQueue& queue);
+  /// Enforces shard deadlines and idle-worker staleness.
+  void checkDeadlines(ShardQueue& queue);
+  /// Earliest pending deadline (poll-timeout input).
+  std::optional<Clock::time_point> nextDeadline() const;
+
+  void shutdownAll();
+  void killAll();
+
+  /// Who is doing the work: one row per live channel.
+  struct Provenance {
+    std::string kind;
+    std::string peer;
+    std::uint64_t completed = 0;
+  };
+  std::vector<Provenance> provenance() const;
+
+ private:
+  struct Slot {
+    std::unique_ptr<WorkerChannel> ch;
+    int spawns = 0;
+  };
+
+  void spawnPipeSlot(Slot& slot, bool firstSpawnOfSlot0);
+  void handleEvents(WorkerChannel* ch, std::vector<ChannelEvent> events,
+                    ShardQueue& queue);
+  void channelDied(WorkerChannel* ch, const std::string& why,
+                   ShardQueue& queue);
+  template <typename Fn>
+  void forEachChannel(Fn&& fn) const;
+
+  FleetConfig cfg_;
+  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<WorkerChannel>> attached_;
+  std::uint64_t deaths_ = 0;
+};
+
+}  // namespace pred::grid

@@ -34,6 +34,7 @@
 #include "exp/engine.h"
 #include "exp/platform.h"
 #include "exp/shard.h"
+#include "grid/attach_worker.h"
 #include "grid/cache.h"
 #include "grid/cache_store.h"
 #include "grid/client.h"
@@ -147,7 +148,8 @@ class InProcessServer {
  public:
   explicit InProcessServer(const std::string& cacheDir = std::string(),
                            std::uint64_t connTimeoutMs = 30'000,
-                           std::size_t cacheEntries = 64) {
+                           std::size_t cacheEntries = 64,
+                           bool workerListen = false) {
     path_ = uniqueSocketPath();
     endpointText_ = "unix:" + path_;
     grid::ServerConfig cfg;
@@ -158,6 +160,10 @@ class InProcessServer {
     cfg.cacheDir = cacheDir;
     cfg.connTimeoutMs = connTimeoutMs;
     cfg.eval = study::gridShardEvaluator();
+    if (workerListen) {
+      workerPath_ = uniqueSocketPath();
+      cfg.workerEndpoint = "unix:" + workerPath_;
+    }
     server_.emplace(std::move(cfg));
     thread_ = std::thread([this] { server_->serveForever(); });
   }
@@ -165,9 +171,11 @@ class InProcessServer {
   ~InProcessServer() {
     stop();
     ::unlink(path_.c_str());
+    if (!workerPath_.empty()) ::unlink(workerPath_.c_str());
   }
 
   const std::string& endpoint() const { return endpointText_; }
+  std::string workerEndpoint() const { return "unix:" + workerPath_; }
   grid::GridServer& server() { return *server_; }
 
   /// Shutdown handshake + join; all test clients must be closed first
@@ -180,6 +188,7 @@ class InProcessServer {
 
  private:
   std::string path_;
+  std::string workerPath_;
   std::string endpointText_;
   std::optional<grid::GridServer> server_;
   std::thread thread_;
@@ -524,8 +533,8 @@ TEST(GridServerRobustness, StalledConnectionDroppedWhileDaemonServes) {
   const TestGrid grid = makeTestGrid();
   InProcessServer fixture("", /*connTimeoutMs=*/250);
   {
-    // A client that connects and goes silent — the sequential server is
-    // now holding this connection and must cut it loose on the deadline.
+    // A client that connects and goes silent — the concurrent server
+    // keeps serving around it and must cut it loose on the deadline.
     grid::net::Fd silent = grid::net::connectTo(
         grid::net::parseEndpoint(fixture.endpoint()));
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -533,6 +542,15 @@ TEST(GridServerRobustness, StalledConnectionDroppedWhileDaemonServes) {
     grid::GridClient client(fixture.endpoint());
     const grid::JobResult result = client.submit(grid.whole, 4);
     EXPECT_EQ(result.accumulatorText, grid.singleBytes);
+
+    // The event loop serves other clients without waiting on the stalled
+    // connection, so the submit above can finish well before the 250 ms
+    // deadline: hold the silent socket open until the drop is observed.
+    for (int spins = 0;
+         counterOf(fixture.server(), "grid.conn.timeout") == 0 &&
+         spins < 200;
+         ++spins)
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
   }
   EXPECT_GE(counterOf(fixture.server(), "grid.conn.timeout"), 1u);
   EXPECT_GE(counterOf(fixture.server(), "grid.conn.dropped"), 1u);
@@ -580,6 +598,143 @@ TEST(GridServerRobustness, InjectedEpipeOnReplyDropsOnlyThatConnection) {
     EXPECT_EQ(result.accumulatorText, grid.singleBytes);
   }
   EXPECT_GE(counterOf(fixture.server(), "grid.conn.dropped"), 1u);
+  fixture.stop();
+}
+
+// ------------------------------------------------ worker-attach handshake
+
+/// Spins until `name` reaches at least `least` on the server's registry.
+void awaitCounter(grid::GridServer& server, const std::string& name,
+                  std::uint64_t least) {
+  for (int spins = 0; spins < 200; ++spins) {
+    if (counterOf(server, name) >= least) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  FAIL() << "counter " << name << " never reached " << least;
+}
+
+TEST(GridServerRobustness, GarbageWorkerHelloNeverWedgesTheEventLoop) {
+  FaultGuard guard;
+  const TestGrid grid = makeTestGrid();
+  InProcessServer fixture;
+
+  // A dial-in whose hello payload is garbage: Error reply (best effort),
+  // connection dropped, daemon alive.
+  {
+    auto fd = grid::net::connectTo(
+        grid::net::parseEndpoint(fixture.endpoint()));
+    grid::writeFrame(fd.get(), grid::Frame{grid::FrameType::WorkerHello,
+                                           "not a hello at all"});
+    grid::Frame reply;
+    try {
+      if (grid::readFrame(fd.get(), reply, 5'000))
+        EXPECT_EQ(reply.type, grid::FrameType::Error);
+    } catch (const std::exception&) {
+      // The server may close first; the next submit is the real check.
+    }
+  }
+
+  // An injected fault inside the handshake itself (worker.attach) must
+  // reject that dial-in the same way — never leak into the event loop.
+  grid::fault::armPlan("worker.attach:error");
+  {
+    grid::WorkerHelloMsg hello;
+    hello.salt = std::string(grid::kCodeVersionSalt);
+    hello.concurrency = 1;
+    auto fd = grid::net::connectTo(
+        grid::net::parseEndpoint(fixture.endpoint()));
+    grid::writeFrame(fd.get(),
+                     grid::Frame{grid::FrameType::WorkerHello,
+                                 grid::encodeWorkerHelloMsg(hello)});
+    grid::Frame reply;
+    try {
+      if (grid::readFrame(fd.get(), reply, 5'000))
+        EXPECT_EQ(reply.type, grid::FrameType::Error);
+    } catch (const std::exception&) {
+    }
+  }
+  grid::fault::disarm();
+
+  grid::GridClient client(fixture.endpoint());
+  EXPECT_EQ(client.submit(grid.whole, 3).accumulatorText, grid.singleBytes);
+  EXPECT_GE(counterOf(fixture.server(), "grid.bad_frames"), 2u);
+  EXPECT_EQ(counterOf(fixture.server(), "grid.worker.attached"), 0u);
+  fixture.stop();
+}
+
+TEST(GridServerRobustness, WrongSaltAttachIsRejectedAndCounted) {
+  const TestGrid grid = makeTestGrid();
+  InProcessServer fixture;
+
+  grid::AttachOptions opts;
+  opts.salt = "stale-build-salt";
+  try {
+    grid::runAttachWorker(fixture.endpoint(), study::gridShardEvaluator(),
+                          opts);
+    FAIL() << "mismatched salt must be rejected";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("salt mismatch"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(counterOf(fixture.server(), "grid.worker.rejected_salt"), 1u);
+  EXPECT_EQ(counterOf(fixture.server(), "grid.worker.attached"), 0u);
+
+  // A worker built from different code never got near the queue; jobs
+  // still run on the fixed slots.
+  grid::GridClient client(fixture.endpoint());
+  EXPECT_EQ(client.submit(grid.whole, 3).accumulatorText, grid.singleBytes);
+  fixture.stop();
+}
+
+TEST(GridServerRobustness, HalfOpenDialInIsDroppedOnDeadline) {
+  const TestGrid grid = makeTestGrid();
+  InProcessServer fixture("", /*connTimeoutMs=*/250, 64,
+                          /*workerListen=*/true);
+  {
+    // Connects to the WORKER endpoint and never says hello — the shape a
+    // crashed remote worker leaves behind.  The idle-connection deadline
+    // must reap it while the daemon serves normally.
+    grid::net::Fd halfOpen = grid::net::connectTo(
+        grid::net::parseEndpoint(fixture.workerEndpoint()));
+
+    grid::GridClient client(fixture.endpoint());
+    EXPECT_EQ(client.submit(grid.whole, 3).accumulatorText,
+              grid.singleBytes);
+    awaitCounter(fixture.server(), "grid.conn.timeout", 1);
+  }
+  EXPECT_GE(counterOf(fixture.server(), "grid.conn.dropped"), 1u);
+  EXPECT_EQ(counterOf(fixture.server(), "grid.worker.attached"), 0u);
+  fixture.stop();
+}
+
+TEST(GridServerRobustness, InjectedWorkerFrameFaultKillsChannelNotJob) {
+  FaultGuard guard;
+  const TestGrid grid = makeTestGrid();
+  InProcessServer fixture;
+
+  // A healthy attached worker whose server-side frame write is about to
+  // fail (worker.frame models EPIPE/RST on the worker socket): the
+  // channel dies, the lease requeues onto the fixed slots, the job ends
+  // byte-identical.
+  std::thread worker([&] {
+    try {
+      grid::runAttachWorker(fixture.endpoint(),
+                            study::gridShardEvaluator(), {});
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "attach worker: " << e.what();
+    }
+  });
+  awaitCounter(fixture.server(), "grid.worker.attached", 1);
+
+  grid::fault::armPlan("worker.frame:error");
+  grid::GridClient client(fixture.endpoint());
+  const grid::JobResult result = client.submit(grid.whole, 8);
+  EXPECT_EQ(result.accumulatorText, grid.singleBytes);
+  grid::fault::disarm();
+
+  worker.join();  // the dead channel's socket closed: clean EOF exit
+  EXPECT_GE(counterOf(fixture.server(), "grid.worker.deaths"), 1u);
   fixture.stop();
 }
 

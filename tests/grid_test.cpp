@@ -29,10 +29,13 @@
 #include <utility>
 #include <vector>
 
+#include <chrono>
+
 #include "core/measures.h"
 #include "exp/engine.h"
 #include "exp/platform.h"
 #include "exp/shard.h"
+#include "grid/attach_worker.h"
 #include "grid/cache.h"
 #include "grid/client.h"
 #include "grid/fingerprint.h"
@@ -92,7 +95,8 @@ TestGrid makeTestGrid() {
 /// handshake exactly once.
 class InProcessServer {
  public:
-  explicit InProcessServer(int workers = 2, std::size_t cacheEntries = 64) {
+  explicit InProcessServer(int workers = 2, std::size_t cacheEntries = 64,
+                           bool workerListen = false) {
     path_ = uniqueSocketPath();
     endpointText_ = "unix:" + path_;
     grid::ServerConfig cfg;
@@ -101,6 +105,10 @@ class InProcessServer {
     cfg.scheduler.retryBackoffMs = 1;
     cfg.cacheEntries = cacheEntries;
     cfg.eval = study::gridShardEvaluator();
+    if (workerListen) {
+      workerPath_ = uniqueSocketPath();
+      cfg.workerEndpoint = "unix:" + workerPath_;
+    }
     server_.emplace(std::move(cfg));
     thread_ = std::thread([this] { server_->serveForever(); });
   }
@@ -108,10 +116,23 @@ class InProcessServer {
   ~InProcessServer() {
     stop();
     ::unlink(path_.c_str());
+    if (!workerPath_.empty()) ::unlink(workerPath_.c_str());
   }
 
   const std::string& endpoint() const { return endpointText_; }
+  std::string workerEndpoint() const { return "unix:" + workerPath_; }
   grid::GridServer& server() { return *server_; }
+
+  /// Spins until `name` reaches at least `least` (the concurrent server
+  /// ticks counters from its own thread), failing after ~5 s.
+  void awaitCounter(const std::string& name, std::uint64_t least) {
+    for (int spins = 0; spins < 200; ++spins) {
+      for (const auto& [n, v] : server_->metrics().counterValues())
+        if (n == name && v >= least) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    FAIL() << "counter " << name << " never reached " << least;
+  }
 
   /// Shutdown handshake + join.  The server handles connections
   /// SEQUENTIALLY, so every test-owned GridClient must be destroyed (its
@@ -125,6 +146,7 @@ class InProcessServer {
 
  private:
   std::string path_;
+  std::string workerPath_;
   std::string endpointText_;
   std::optional<grid::GridServer> server_;
   std::thread thread_;
@@ -145,7 +167,9 @@ TEST(GridFrame, RoundTripsEveryTypeAndDecodesSequentially) {
       grid::FrameType::Error,        grid::FrameType::StatsRequest,
       grid::FrameType::StatsReply,   grid::FrameType::Shutdown,
       grid::FrameType::ShutdownAck,  grid::FrameType::Shard,
-      grid::FrameType::ShardResult,
+      grid::FrameType::ShardResult,  grid::FrameType::WorkerHello,
+      grid::FrameType::WorkerWelcome, grid::FrameType::ShardAssign,
+      grid::FrameType::ShardDone,    grid::FrameType::Heartbeat,
   };
   // All frames concatenated into one stream: the incremental decoder must
   // walk them in order, advancing the offset past each.
@@ -353,6 +377,82 @@ TEST(GridPayloads, ShardResultMsgRoundTripsAndRejectsGarbage) {
   for (const char* bad : {"", "nonsense", "acc 3\nxyz"}) {
     EXPECT_THROW(grid::parseShardResultMsg(bad), std::invalid_argument)
         << bad;
+  }
+}
+
+TEST(GridPayloads, WorkerHelloMsgRoundTripsAndRejectsGarbage) {
+  grid::WorkerHelloMsg msg;
+  msg.salt = "some-build-salt";
+  msg.concurrency = 4;
+
+  const auto back =
+      grid::parseWorkerHelloMsg(grid::encodeWorkerHelloMsg(msg));
+  EXPECT_EQ(back.salt, msg.salt);
+  EXPECT_EQ(back.concurrency, 4u);
+
+  for (const char* bad :
+       {"", "not a hello", "pred-grid-hello v1\n",
+        "pred-grid-hello v1\nsalt s\nconcurrency 0\n",
+        "pred-grid-hello v1\nsalt s\nconcurrency 2\ntrailing"}) {
+    EXPECT_THROW(grid::parseWorkerHelloMsg(bad), std::invalid_argument)
+        << bad;
+  }
+  // Whitespace in the salt would corrupt the line framing: refused at
+  // encode time, before it ever reaches a wire.
+  msg.salt = "two words";
+  EXPECT_THROW(grid::encodeWorkerHelloMsg(msg), std::invalid_argument);
+}
+
+TEST(GridPayloads, ShardAssignMsgRoundTripsAndRejectsGarbage) {
+  grid::ShardAssignMsg msg;
+  msg.id = 7;
+  msg.spec.platform = "inorder-lru";
+  msg.spec.workload = "bubblesort-8";
+  msg.spec.options.numStates = 8;
+  msg.spec.qBegin = 1;
+  msg.spec.qEnd = 5;
+  msg.spec.iBegin = 0;
+  msg.spec.iEnd = 3;
+
+  const auto back =
+      grid::parseShardAssignMsg(grid::encodeShardAssignMsg(msg));
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_EQ(exp::serializeShardSpec(back.spec),
+            exp::serializeShardSpec(msg.spec));
+
+  for (const char* bad :
+       {"", "garbage", "pred-grid-assign v1\n",
+        "pred-grid-assign v1\nid 3\nnot a shard spec"}) {
+    EXPECT_THROW(grid::parseShardAssignMsg(bad), std::invalid_argument)
+        << bad;
+  }
+}
+
+TEST(GridPayloads, ShardDoneMsgRoundTripsBothOutcomes) {
+  grid::ShardDoneMsg ok;
+  ok.id = 11;
+  ok.ok = true;
+  ok.reportText = "report bytes\nwith newlines\n";
+  ok.accumulatorText = "acc bytes\nmore\n";
+  const auto backOk = grid::parseShardDoneMsg(grid::encodeShardDoneMsg(ok));
+  EXPECT_EQ(backOk.id, 11u);
+  EXPECT_TRUE(backOk.ok);
+  EXPECT_EQ(backOk.reportText, ok.reportText);
+  EXPECT_EQ(backOk.accumulatorText, ok.accumulatorText);
+
+  grid::ShardDoneMsg fail;
+  fail.id = 12;
+  fail.ok = false;
+  fail.errorText = "unknown platform: xyz";
+  const auto backFail =
+      grid::parseShardDoneMsg(grid::encodeShardDoneMsg(fail));
+  EXPECT_EQ(backFail.id, 12u);
+  EXPECT_FALSE(backFail.ok);
+  EXPECT_EQ(backFail.errorText, fail.errorText);
+
+  for (const char* bad :
+       {"", "garbage", "pred-grid-done v1\nid 1\nok 1\nreport 999\nshort"}) {
+    EXPECT_THROW(grid::parseShardDoneMsg(bad), std::invalid_argument) << bad;
   }
 }
 
@@ -640,6 +740,130 @@ TEST(GridServer, SurvivesAPeerThatVanishesBeforeReadingItsReply) {
   grid::GridClient client(fixture.endpoint());
   const auto result = client.submit(g.whole, 2);
   EXPECT_EQ(result.accumulatorText, g.singleBytes);
+}
+
+// ----------------------------- concurrent clients & attached workers
+
+TEST(GridServer, TwoConcurrentClientsGetTheirOwnBytesBack) {
+  // Two clients with DIFFERENT jobs in flight at once: their shard sets
+  // interleave through the one work-stealing queue, and each connection
+  // must get exactly its own result — never the other's, never a blend.
+  const auto g = makeTestGrid();
+
+  exp::PlatformOptions options;
+  options.numStates = 8;
+  const auto w = study::WorkloadRegistry::instance().make("bubblesort-8");
+  const auto model = exp::PlatformRegistry::instance().make(
+      "ooo-fifo", w.program, options);
+  ShardSpec other;
+  other.platform = "ooo-fifo";
+  other.workload = "bubblesort-8";
+  other.options = options;
+  other.qEnd = model->numStates();
+  other.iEnd = w.inputs.size();
+  const std::string otherBytes =
+      exp::ExperimentEngine()
+          .reduceCells(*model, w.program, w.inputs)
+          .serialize();
+  ASSERT_NE(otherBytes, g.singleBytes);
+
+  InProcessServer fixture(/*workers=*/2);
+  std::string bytesA, bytesB;
+  std::thread a([&] {
+    grid::GridClient client(fixture.endpoint());
+    bytesA = client.submit(g.whole, 5).accumulatorText;
+  });
+  std::thread b([&] {
+    grid::GridClient client(fixture.endpoint());
+    bytesB = client.submit(other, 5).accumulatorText;
+  });
+  a.join();
+  b.join();
+  EXPECT_EQ(bytesA, g.singleBytes);
+  EXPECT_EQ(bytesB, otherBytes);
+
+  grid::GridClient client(fixture.endpoint());
+  const auto stats = client.stats();
+  EXPECT_EQ(stats.counters.at("grid.jobs"), 2u);
+}
+
+TEST(GridServer, AttachedWorkerServesEveryShardByteIdentically) {
+  // Attach-only shape: zero fixed worker slots, one remote worker dialing
+  // the dedicated worker endpoint.  Every shard flows over the socket and
+  // the merged bytes must still match the single-process reference.
+  const auto g = makeTestGrid();
+  InProcessServer fixture(/*workers=*/0, 64, /*workerListen=*/true);
+
+  std::thread worker([&] {
+    grid::AttachOptions opts;
+    opts.concurrency = 2;
+    grid::runAttachWorker(fixture.workerEndpoint(),
+                          study::gridShardEvaluator(), opts);
+  });
+
+  {
+    grid::GridClient client(fixture.endpoint());
+    const auto result = client.submit(g.whole, 5);
+    EXPECT_FALSE(result.cacheHit);
+    EXPECT_EQ(result.accumulatorText, g.singleBytes);
+
+    const auto stats = client.stats();
+    EXPECT_EQ(stats.counters.at("grid.worker.attached"), 1u);
+    EXPECT_EQ(stats.counters.at("grid.worker.deaths"), 0u);
+    // Provenance: the stats report names the channel that did the work.
+    bool sawChannel = false;
+    for (const auto& [name, value] : stats.counters) {
+      if (name.rfind("grid.channel.0.socket.", 0) == 0) {
+        sawChannel = true;
+        EXPECT_EQ(value, 5u) << name;  // all five shards went through it
+      }
+    }
+    EXPECT_TRUE(sawChannel);
+  }
+
+  // stop() sends the fleet Shutdown frames; the attach loop exits cleanly.
+  fixture.stop();
+  worker.join();
+}
+
+TEST(GridServer, AttachedWorkerDyingMidShardIsSurvived) {
+  // A worker that dials in, accepts a lease, and dies without answering:
+  // the orphaned shard must requeue onto the surviving fixed slots and
+  // the job must still complete byte-identically.
+  const auto g = makeTestGrid();
+  InProcessServer fixture(/*workers=*/2);
+
+  std::thread doomed([&] {
+    try {
+      auto fd = grid::net::connectTo(
+          grid::net::parseEndpoint(fixture.endpoint()));
+      grid::WorkerHelloMsg hello;
+      hello.salt = std::string(grid::kCodeVersionSalt);
+      hello.concurrency = 1;
+      grid::writeFrame(fd.get(),
+                       grid::Frame{grid::FrameType::WorkerHello,
+                                   grid::encodeWorkerHelloMsg(hello)});
+      grid::Frame welcome;
+      if (!grid::readFrame(fd.get(), welcome, 10'000)) return;
+      EXPECT_EQ(welcome.type, grid::FrameType::WorkerWelcome);
+      grid::Frame assign;  // blocks until the submit below dispatches
+      if (!grid::readFrame(fd.get(), assign, 20'000)) return;
+      EXPECT_EQ(assign.type, grid::FrameType::ShardAssign);
+      // Die holding the lease: scope exit closes the socket unanswered.
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "doomed worker: " << e.what();
+    }
+  });
+  fixture.awaitCounter("grid.worker.attached", 1);
+
+  grid::GridClient client(fixture.endpoint());
+  const auto result = client.submit(g.whole, 8);
+  EXPECT_EQ(result.accumulatorText, g.singleBytes);
+  doomed.join();
+
+  const auto stats = client.stats();
+  EXPECT_GE(stats.counters.at("grid.worker.deaths"), 1u);
+  EXPECT_EQ(stats.counters.at("grid.worker.attached"), 1u);
 }
 
 TEST(GridNet, ListenRefusesToReplaceANonSocketFile) {

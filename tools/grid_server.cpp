@@ -7,9 +7,13 @@
 //   subprocess (default)   N persistent `pred-shard-worker serve`
 //                          children over pipes; worker death is detected
 //                          and survived (scheduler retry + respawn)
-//   --in-process           the scheduler's stealing threads evaluate
-//                          shards directly in this process — no fork,
-//                          handy for quick local use and debugging
+//   --in-process           in-process evaluator threads — no fork, handy
+//                          for quick local use and debugging
+//
+// Either shape also accepts REMOTE workers dialing in with
+// `pred-shard-worker attach` (on the main endpoint, or on a dedicated
+// --worker-listen endpoint); --workers 0 runs attach-only, where every
+// shard waits for dialed-in workers.
 //
 // --fault-first-worker-exit-after N arms the deterministic fault
 // injection the CI grid-smoke uses: worker slot 0's first incarnation
@@ -36,7 +40,14 @@ int usage() {
       "pred-grid-server — grid service daemon (framed jobs over a socket)\n"
       "\n"
       "  pred-grid-server --listen unix:PATH|tcp:HOST:PORT\n"
-      "                   [--workers N]            worker slots (default 2)\n"
+      "                   [--worker-listen unix:PATH|tcp:HOST:PORT]\n"
+      "                                            dedicated endpoint for\n"
+      "                                            pred-shard-worker attach\n"
+      "                                            (workers may also attach\n"
+      "                                            on the main endpoint)\n"
+      "                   [--workers N]            fixed worker slots\n"
+      "                                            (default 2; 0 = attach-\n"
+      "                                            only)\n"
       "                   [--worker-cmd PATH]      worker binary (default:\n"
       "                                            pred-shard-worker beside\n"
       "                                            this binary)\n"
@@ -107,6 +118,8 @@ int main(int argc, char** argv) {
       const std::string& a = args[k];
       if (a == "--listen") {
         listen = value(k);
+      } else if (a == "--worker-listen") {
+        config.workerEndpoint = value(k);
       } else if (a == "--workers") {
         config.scheduler.workers = flagNumber<int>(a, value(k));
       } else if (a == "--worker-cmd") {
@@ -140,11 +153,11 @@ int main(int argc, char** argv) {
       throw std::invalid_argument("--listen is required");
 
     config.endpoint = listen;
-    if (inProcess) {
+    if (inProcess || config.scheduler.workers == 0) {
       if (haveFault)
         throw std::invalid_argument(
             "--fault-first-worker-exit-after needs subprocess workers");
-      config.eval = study::gridShardEvaluator();
+      if (inProcess) config.eval = study::gridShardEvaluator();
     } else {
       config.scheduler.workerCommand = {
           workerCmd.empty() ? defaultWorkerCmd(argv[0]) : workerCmd};
@@ -159,6 +172,9 @@ int main(int argc, char** argv) {
 
     grid::GridServer server(std::move(config));
     std::printf("listening on %s\n", server.boundEndpointText().c_str());
+    const std::string workerEp = server.boundWorkerEndpointText();
+    if (!workerEp.empty())
+      std::printf("workers on %s\n", workerEp.c_str());
     std::fflush(stdout);
     server.serveForever();
     std::fprintf(stderr, "pred-grid-server: shutdown requested, exiting\n");

@@ -1,7 +1,7 @@
 // shard_worker.cpp — pred-shard-worker: the process-level grid shard
 // executor (exp/shard.h made invocable).
 //
-// One binary, six subcommands, composing into the distribution pipeline
+// One binary, seven subcommands, composing into the distribution pipeline
 // that scripts/shard_run.sh drives end to end:
 //
 //   plan    instantiate a (platform, workload) grid, partition it into K
@@ -19,6 +19,11 @@
 //           frames in, ShardResult (or Error) frames out — until EOF or
 //           a Shutdown frame; --exit-after N injects a deterministic
 //           mid-run death for fault-tolerance smokes
+//   attach  remote worker mode: DIAL a running pred-grid-server
+//           ("attach tcp:HOST:PORT"), handshake with this build's
+//           code-version salt, and serve ShardAssign frames until the
+//           server hangs up — the same evaluation, so attached results
+//           are byte-identical to serve/single
 //
 // Determinism contract: merge(run(shard_1), ..., run(shard_K)) is
 // byte-for-byte identical to single, for any K and any shard shape —
@@ -40,6 +45,7 @@
 #include "exp/engine.h"
 #include "exp/platform.h"
 #include "exp/shard.h"
+#include "grid/attach_worker.h"
 #include "grid/protocol.h"
 #include "obs/run_report.h"
 #include "study/workloads.h"
@@ -81,7 +87,16 @@ int usage() {
       "  pred-shard-worker serve [--exit-after N]\n"
       "      persistent worker for pred-grid-server: framed Shard requests\n"
       "      on stdin, ShardResult replies on stdout, until EOF/Shutdown;\n"
-      "      --exit-after N dies on receiving shard N+1 (fault injection)\n");
+      "      --exit-after N dies on receiving shard N+1 (fault injection)\n"
+      "\n"
+      "  pred-shard-worker attach ENDPOINT [--concurrency N]\n"
+      "                           [--heartbeat-ms N] [--exit-after N]\n"
+      "                           [--salt S]\n"
+      "      dial a running pred-grid-server (tcp:HOST:PORT or unix:PATH)\n"
+      "      and serve shards remotely; --concurrency N evaluates N shards\n"
+      "      at once, --exit-after N dies on assignment N+1 (fault\n"
+      "      injection), --salt overrides the handshake salt (rejection\n"
+      "      tests)\n");
   return 2;
 }
 
@@ -347,6 +362,44 @@ int cmdServe(const std::vector<std::string>& args) {
   }
 }
 
+int cmdAttach(const std::vector<std::string>& args) {
+  if (args.empty() || args[0].empty() || args[0][0] == '-') {
+    throw std::invalid_argument("attach needs an ENDPOINT first");
+  }
+  const std::string& endpoint = args[0];
+  grid::AttachOptions options;
+  for (std::size_t k = 1; k < args.size(); ++k) {
+    if (args[k] == "--concurrency") {
+      options.concurrency =
+          flagNumber<std::size_t>(args[k], flagValue(args, k));
+    } else if (args[k] == "--heartbeat-ms") {
+      options.heartbeatMs =
+          flagNumber<std::uint64_t>(args[k], flagValue(args, k));
+    } else if (args[k] == "--exit-after") {
+      options.exitAfter =
+          flagNumber<std::size_t>(args[k], flagValue(args, k));
+      options.haveExitAfter = true;
+    } else if (args[k] == "--salt") {
+      options.salt = flagValue(args, k);
+    } else {
+      throw std::invalid_argument("unknown flag: " + args[k]);
+    }
+  }
+  // The same evaluation serve-mode runs — byte-identity across modes
+  // hinges on attached workers computing shards EXACTLY the same way.
+  return grid::runAttachWorker(
+      endpoint, [](const exp::ShardSpec& spec) {
+        const auto w =
+            study::WorkloadRegistry::instance().make(spec.workload);
+        obs::RunReport report;
+        auto acc = exp::evaluateShard(spec, w.program, w.inputs,
+                                      exp::PlatformRegistry::instance(),
+                                      &report);
+        return grid::ShardOutput{std::move(acc), std::move(report)};
+      },
+      options);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -360,6 +413,7 @@ int main(int argc, char** argv) {
     if (cmd == "report") return cmdReport(args);
     if (cmd == "single") return cmdSingle(args);
     if (cmd == "serve") return cmdServe(args);
+    if (cmd == "attach") return cmdAttach(args);
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pred-shard-worker %s: error: %s\n", cmd.c_str(),
